@@ -1,0 +1,337 @@
+package spacejmp
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// ablations for the design choices listed in DESIGN.md. Each benchmark
+// drives the corresponding experiment and reports the figure's headline
+// quantity as custom metrics (simulated cycles, MUPS, requests/second, or
+// simulated milliseconds). cmd/spacejmp-bench prints the full series.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"spacejmp/internal/experiments"
+	"spacejmp/internal/gups"
+	"spacejmp/internal/sam"
+)
+
+// BenchmarkFig1MmapCost reproduces Figure 1: page-table construction and
+// removal cost versus region size, with and without cached translations.
+func BenchmarkFig1MmapCost(b *testing.B) {
+	for _, pow := range []int{20, 25, 30} {
+		b.Run(fmt.Sprintf("size=2^%d", pow), func(b *testing.B) {
+			var last experiments.Fig1Point
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig1(pow)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = pts[len(pts)-1]
+			}
+			b.ReportMetric(last.MapMs, "map-ms")
+			b.ReportMetric(last.UnmapMs, "unmap-ms")
+			b.ReportMetric(last.MapCachedMs, "map-cached-ms")
+			b.ReportMetric(last.UnmapCachedMs, "unmap-cached-ms")
+		})
+	}
+}
+
+// BenchmarkTable2SwitchBreakdown reproduces Table 2: the cycle breakdown of
+// vas_switch on both OS personalities, tags off and on.
+func BenchmarkTable2SwitchBreakdown(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Operation == "vas_switch" {
+			b.ReportMetric(float64(r.DragonFly), "dfly-cycles")
+			b.ReportMetric(float64(r.DragonFlyT), "dfly-tagged-cycles")
+			b.ReportMetric(float64(r.Barrelfish), "bfish-cycles")
+			b.ReportMetric(float64(r.BarrelfishT), "bfish-tagged-cycles")
+		}
+	}
+}
+
+// BenchmarkFig6TLBTagging reproduces Figure 6: page-touch latency under CR3
+// switching with tags off/on versus no switching.
+func BenchmarkFig6TLBTagging(b *testing.B) {
+	for _, pages := range []int{128, 1024, 2048} {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			var p experiments.Fig6Point
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig6([]int{pages}, 500)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = pts[0]
+			}
+			b.ReportMetric(p.SwitchTagOff, "tag-off-cycles/touch")
+			b.ReportMetric(p.SwitchTagOn, "tag-on-cycles/touch")
+			b.ReportMetric(p.NoSwitch, "no-switch-cycles/touch")
+		})
+	}
+}
+
+// BenchmarkFig7RPC reproduces Figure 7: SpaceJMP versus URPC latency across
+// transfer sizes.
+func BenchmarkFig7RPC(b *testing.B) {
+	for _, size := range []int{4, 64, 4096, 262144} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			var p experiments.Fig7Point
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig7([]int{size})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = pts[0]
+			}
+			b.ReportMetric(float64(p.URPCLocal), "urpc-local-cycles")
+			b.ReportMetric(float64(p.URPCCross), "urpc-cross-cycles")
+			b.ReportMetric(float64(p.SpaceJMP), "spacejmp-cycles")
+		})
+	}
+}
+
+func benchGUPSConfig() gups.Config {
+	return gups.Config{WindowSize: 4 << 20, UpdateSet: 64, Visits: 128, Seed: 42}
+}
+
+// BenchmarkFig8GUPS reproduces Figure 8: GUPS MUPS for the three designs
+// across window counts.
+func BenchmarkFig8GUPS(b *testing.B) {
+	for _, windows := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("windows=%d", windows), func(b *testing.B) {
+			var p experiments.Fig8Point
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig8([]int{windows}, []int{64}, benchGUPSConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = pts[0]
+			}
+			b.ReportMetric(p.SpaceJMP, "spacejmp-MUPS")
+			b.ReportMetric(p.MP, "mp-MUPS")
+			b.ReportMetric(p.MAP, "map-MUPS")
+		})
+	}
+}
+
+// BenchmarkFig9GUPSRates reproduces Figure 9: VAS-switch and TLB-miss rates
+// of the SpaceJMP GUPS run.
+func BenchmarkFig9GUPSRates(b *testing.B) {
+	for _, windows := range []int{4, 8} {
+		b.Run(fmt.Sprintf("windows=%d", windows), func(b *testing.B) {
+			var p experiments.Fig9Point
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig9([]int{windows}, []int{64}, benchGUPSConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				p = pts[0]
+			}
+			b.ReportMetric(p.SwitchK, "switches-k/s")
+			b.ReportMetric(p.TLBMissK, "tlb-misses-k/s")
+		})
+	}
+}
+
+func fig10(b *testing.B) *experiments.Fig10 {
+	b.Helper()
+	var f *experiments.Fig10
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = experiments.RunFig10(16 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+// BenchmarkFig10aRedisGET reproduces Figure 10a: GET throughput by client
+// count for RedisJMP (tags off/on), Redis, and Redis 6x.
+func BenchmarkFig10aRedisGET(b *testing.B) {
+	f := fig10(b)
+	last := len(f.Clients) - 1
+	b.ReportMetric(f.GetJmp[0].RPS, "jmp-1client-rps")
+	b.ReportMetric(f.GetRedis[0].RPS, "redis-1client-rps")
+	b.ReportMetric(f.GetJmp[last].RPS, "jmp-100clients-rps")
+	b.ReportMetric(f.GetJmpTags[last].RPS, "jmp-tags-100clients-rps")
+	b.ReportMetric(f.GetRedis6x[last].RPS, "redis6x-100clients-rps")
+}
+
+// BenchmarkFig10bRedisSET reproduces Figure 10b: SET throughput by client
+// count.
+func BenchmarkFig10bRedisSET(b *testing.B) {
+	f := fig10(b)
+	last := len(f.Clients) - 1
+	b.ReportMetric(f.SetJmp[0].RPS, "jmp-1client-rps")
+	b.ReportMetric(f.SetJmp[last].RPS, "jmp-100clients-rps")
+	b.ReportMetric(f.SetRedis[last].RPS, "redis-100clients-rps")
+}
+
+// BenchmarkFig10cRedisMix reproduces Figure 10c: throughput versus SET
+// percentage at full client load.
+func BenchmarkFig10cRedisMix(b *testing.B) {
+	f := fig10(b)
+	for i, pct := range f.MixPcts {
+		if pct == 0 || pct == 10 || pct == 100 {
+			b.ReportMetric(f.MixJmp[i].RPS, fmt.Sprintf("jmp-%dpct-rps", pct))
+		}
+	}
+	b.ReportMetric(f.MixRedis[0].RPS, "redis-rps")
+}
+
+// BenchmarkFig11SAMTools reproduces Figure 11: SAM and BAM serialization
+// workflows versus SpaceJMP per operation.
+func BenchmarkFig11SAMTools(b *testing.B) {
+	var rows []experiments.Fig11Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig11(400, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Op == sam.OpFlagstat || r.Op == sam.OpCoordSort {
+			b.ReportMetric(r.SAM*1e3, string(r.Op)+"-sam-ms")
+			b.ReportMetric(r.BAM*1e3, string(r.Op)+"-bam-ms")
+			b.ReportMetric(r.SpaceJMP*1e3, string(r.Op)+"-jmp-ms")
+		}
+	}
+}
+
+// BenchmarkFig12SAMToolsMmap reproduces Figure 12: mmap'ed region files
+// versus SpaceJMP per operation.
+func BenchmarkFig12SAMToolsMmap(b *testing.B) {
+	var rows []experiments.Fig12Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig12(400, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Op == sam.OpFlagstat || r.Op == sam.OpQnameSort {
+			b.ReportMetric(r.Mmap*1e3, string(r.Op)+"-mmap-ms")
+			b.ReportMetric(r.SpaceJMP*1e3, string(r.Op)+"-jmp-ms")
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md). ---
+
+func reportAblation(b *testing.B, rows []experiments.AblationRow) {
+	b.Helper()
+	clean := strings.NewReplacer(" ", "-", ",", "", ":", "", "^", "")
+	for _, r := range rows {
+		b.ReportMetric(r.Value, clean.Replace(r.Label)+"-"+clean.Replace(r.Unit))
+	}
+}
+
+// BenchmarkAblationTagPolicy: never-tag vs always-tag on GUPS.
+func BenchmarkAblationTagPolicy(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationTagPolicy(benchGUPSConfig().WithWindows(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationSegCache: per-page attach vs cached translation subtrees.
+func BenchmarkAblationSegCache(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationSegCache([]int{24})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationLockGranularity: per-segment locks vs one shared lock set.
+func BenchmarkAblationLockGranularity(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationLockGranularity()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationPopulate: eager vs fault-driven mapping population.
+func BenchmarkAblationPopulate(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationPopulate(24)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkAblationPageSize: 4 KiB vs 2 MiB backing pages.
+func BenchmarkAblationPageSize(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationPageSize(26, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportAblation(b, rows)
+}
+
+// BenchmarkVASSwitch measures the raw switch primitive end to end through
+// the public API (the number Table 2 decomposes).
+func BenchmarkVASSwitch(b *testing.B) {
+	sys := NewDragonFly(DefaultMachine())
+	proc, err := sys.NewProcess(Creds{UID: 1, GID: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vid, err := th.VASCreate("bench", 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := th.VASAttach(vid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := th.Core.Cycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.VASSwitch(h); err != nil {
+			b.Fatal(err)
+		}
+		if err := th.VASSwitch(PrimaryHandle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(th.Core.Cycles()-start)/float64(2*b.N), "sim-cycles/switch")
+}

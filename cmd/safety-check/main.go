@@ -1,0 +1,99 @@
+// Command safety-check runs the SpaceJMP compiler analysis (paper §4.3) on
+// a textual IR program: it reports every dereference and pointer store that
+// cannot be proven safe, and can emit the instrumented program or execute
+// it with runtime checks.
+//
+// Usage:
+//
+//	safety-check [-instrument] [-O] [-run] [-oracle] file.sjir
+//
+// With no file, the program is read from standard input.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spacejmp/internal/safety"
+)
+
+func main() {
+	instrument := flag.Bool("instrument", false, "print the program with runtime checks inserted")
+	optimize := flag.Bool("O", false, "elide provably redundant checks after instrumenting")
+	run := flag.Bool("run", false, "execute the instrumented program with checks enabled")
+	oracle := flag.Bool("oracle", false, "execute uninstrumented and report dynamic violations")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := safety.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	a := safety.Analyze(prog)
+	diags := a.Diagnostics()
+	if len(diags) == 0 {
+		fmt.Println("analysis: all dereferences and pointer stores proven safe")
+	}
+	for _, d := range diags {
+		fmt.Printf("analysis: %s\n", d)
+	}
+
+	if *instrument {
+		inst, _ := safety.Instrument(prog)
+		if *optimize {
+			var removed int
+			inst, removed = safety.OptimizeChecks(inst)
+			fmt.Printf("optimizer: removed %d redundant checks\n", removed)
+		}
+		fmt.Print(inst.String())
+	}
+	if *oracle {
+		ip := safety.NewInterp(prog, safety.ModeOracle)
+		if _, err := ip.Run(); err != nil {
+			fatal(err)
+		}
+		for _, v := range ip.Violations() {
+			fmt.Printf("oracle: %s\n", v)
+		}
+		if len(ip.Violations()) == 0 {
+			fmt.Println("oracle: execution observed no violations")
+		}
+	}
+	if *run {
+		inst, _ := safety.Instrument(prog)
+		if *optimize {
+			inst, _ = safety.OptimizeChecks(inst)
+		}
+		ret, err := safety.NewInterp(inst, safety.ModeChecked).Run()
+		switch {
+		case errors.Is(err, safety.ErrCheckFailed):
+			fmt.Printf("checked run: TRAP: %v\n", err)
+			os.Exit(2)
+		case err != nil:
+			fatal(err)
+		default:
+			fmt.Printf("checked run: ok, returned %v\n", ret)
+		}
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "safety-check:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,293 @@
+// Command spacejmp-bench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated machines and prints them as text tables.
+//
+// Usage:
+//
+//	spacejmp-bench [-quick] [experiment ...]
+//
+// Experiments: table1 table2 fig1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c
+// fig11 fig12 ablations, or "all" (the default). -quick reduces sweep sizes
+// for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"spacejmp/internal/experiments"
+	"spacejmp/internal/gups"
+)
+
+var quick = flag.Bool("quick", false, "reduced sweeps for a fast run")
+
+func main() {
+	flag.Parse()
+	sel := map[string]bool{}
+	for _, a := range flag.Args() {
+		sel[a] = true
+	}
+	if len(sel) == 0 || sel["all"] {
+		sel = map[string]bool{"table1": true, "table2": true, "fig1": true, "fig6": true,
+			"fig7": true, "fig8": true, "fig9": true, "fig10a": true, "fig10b": true,
+			"fig10c": true, "fig11": true, "fig12": true, "ablations": true}
+	}
+	runners := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", table1}, {"table2", table2}, {"fig1", fig1}, {"fig6", fig6},
+		{"fig7", fig7}, {"fig8", fig8}, {"fig9", fig9},
+		{"fig10a", fig10a}, {"fig10b", fig10b}, {"fig10c", fig10c},
+		{"fig11", fig11}, {"fig12", fig12}, {"ablations", ablations},
+	}
+	for _, r := range runners {
+		if !sel[r.name] {
+			continue
+		}
+		if err := r.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "spacejmp-bench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func header(title string) *tabwriter.Writer {
+	fmt.Printf("\n== %s ==\n", title)
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table1() error {
+	w := header("Table 1: Large-memory platforms")
+	fmt.Fprintln(w, "Name\tMemory\tProcessors\tFreq.")
+	for _, r := range experiments.Table1() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f GHz\n", r.Name, r.Memory, r.CPUs, r.GHz)
+	}
+	return w.Flush()
+}
+
+func table2() error {
+	rows, err := experiments.Table2()
+	if err != nil {
+		return err
+	}
+	w := header("Table 2: Context switch breakdown (M2, cycles; bold columns = tags enabled)")
+	fmt.Fprintln(w, "Operation\tDragonFly\tDragonFly(tags)\tBarrelfish\tBarrelfish(tags)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", r.Operation, r.DragonFly, r.DragonFlyT, r.Barrelfish, r.BarrelfishT)
+	}
+	return w.Flush()
+}
+
+func fig1() error {
+	maxPow := 32
+	if *quick {
+		maxPow = 26
+	}
+	pts, err := experiments.Fig1(maxPow)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 1: mmap/munmap cost by region size (4 KiB pages, M2)")
+	fmt.Fprintln(w, "Region\tmap ms\tunmap ms\tmap(cached) ms\tunmap(cached) ms")
+	for _, p := range pts {
+		fmt.Fprintf(w, "2^%d\t%.4f\t%.4f\t%.6f\t%.6f\n",
+			p.SizePow, p.MapMs, p.UnmapMs, p.MapCachedMs, p.UnmapCachedMs)
+	}
+	return w.Flush()
+}
+
+func fig6() error {
+	counts := []int{64, 128, 256, 512, 768, 1024, 1536, 2048}
+	touches := 2000
+	if *quick {
+		counts = []int{64, 512, 2048}
+		touches = 400
+	}
+	pts, err := experiments.Fig6(counts, touches)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 6: TLB tagging on a random-access workload (M3, cycles/page-touch)")
+	fmt.Fprintln(w, "Pages\tSwitch(TagOff)\tSwitch(TagOn)\tNo switch")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\n", p.Pages, p.SwitchTagOff, p.SwitchTagOn, p.NoSwitch)
+	}
+	return w.Flush()
+}
+
+func fig7() error {
+	sizes := []int{4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+	if *quick {
+		sizes = []int{4, 4096, 262144}
+	}
+	pts, err := experiments.Fig7(sizes)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 7: URPC vs SpaceJMP as local RPC (Barrelfish on M2, cycles)")
+	fmt.Fprintln(w, "Transfer\tURPC L\tURPC X\tSpaceJMP")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%dB\t%d\t%d\t%d\n", p.Bytes, p.URPCLocal, p.URPCCross, p.SpaceJMP)
+	}
+	return w.Flush()
+}
+
+func gupsCfg() gups.Config {
+	cfg := gups.Config{WindowSize: 4 << 20, UpdateSet: 64, Visits: 256, Seed: 42}
+	if *quick {
+		cfg.Visits = 64
+		cfg.WindowSize = 1 << 20
+	}
+	return cfg
+}
+
+func gupsWindows() []int {
+	if *quick {
+		return []int{1, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16, 32}
+}
+
+func fig8() error {
+	pts, err := experiments.Fig8(gupsWindows(), []int{16, 64}, gupsCfg())
+	if err != nil {
+		return err
+	}
+	w := header("Figure 8: GUPS across designs (M3, MUPS per process)")
+	fmt.Fprintln(w, "Windows\tUpdateSet\tSpaceJMP\tMP\tMAP")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%d\t%.2f\t%.2f\t%.2f\n", p.Windows, p.UpdateSet, p.SpaceJMP, p.MP, p.MAP)
+	}
+	return w.Flush()
+}
+
+func fig9() error {
+	pts, err := experiments.Fig9(gupsWindows(), []int{16, 64}, gupsCfg())
+	if err != nil {
+		return err
+	}
+	w := header("Figure 9: SpaceJMP GUPS rates (tags disabled, 1k/sec)")
+	fmt.Fprintln(w, "Windows\tUpdateSet\tVAS switches k/s\tTLB misses k/s")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.1f\n", p.Windows, p.UpdateSet, p.SwitchK, p.TLBMissK)
+	}
+	return w.Flush()
+}
+
+var fig10Cache *experiments.Fig10
+
+func fig10Data() (*experiments.Fig10, error) {
+	if fig10Cache != nil {
+		return fig10Cache, nil
+	}
+	var err error
+	fig10Cache, err = experiments.RunFig10(16 << 20)
+	return fig10Cache, err
+}
+
+func fig10a() error {
+	f, err := fig10Data()
+	if err != nil {
+		return err
+	}
+	w := header("Figure 10a: Redis GET throughput (M1, requests/second)")
+	fmt.Fprintln(w, "Clients\tRedisJMP\tRedisJMP(tags)\tRedis\tRedis 6x")
+	for i, k := range f.Clients {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			k, f.GetJmp[i].RPS, f.GetJmpTags[i].RPS, f.GetRedis[i].RPS, f.GetRedis6x[i].RPS)
+	}
+	return w.Flush()
+}
+
+func fig10b() error {
+	f, err := fig10Data()
+	if err != nil {
+		return err
+	}
+	w := header("Figure 10b: Redis SET throughput (M1, requests/second)")
+	fmt.Fprintln(w, "Clients\tRedisJMP\tRedis")
+	for i, k := range f.Clients {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\n", k, f.SetJmp[i].RPS, f.SetRedis[i].RPS)
+	}
+	return w.Flush()
+}
+
+func fig10c() error {
+	f, err := fig10Data()
+	if err != nil {
+		return err
+	}
+	w := header("Figure 10c: throughput vs SET percentage (M1, 12 clients)")
+	fmt.Fprintln(w, "SET %\tRedisJMP\tRedis")
+	for i, pct := range f.MixPcts {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\n", pct, f.MixJmp[i].RPS, f.MixRedis[i].RPS)
+	}
+	return w.Flush()
+}
+
+func samRecords() int {
+	if *quick {
+		return 300
+	}
+	return 1500
+}
+
+func fig11() error {
+	rows, err := experiments.Fig11(samRecords(), 11)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 11: SAMTools serialization formats vs SpaceJMP (simulated seconds; paper normalizes)")
+	fmt.Fprintln(w, "Operation\tSAM\tBAM\tSpaceJMP\tSpaceJMP/SAM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.2f\n", r.Op, r.SAM, r.BAM, r.SpaceJMP, r.SpaceJMP/r.SAM)
+	}
+	return w.Flush()
+}
+
+func fig12() error {
+	rows, err := experiments.Fig12(samRecords(), 11)
+	if err != nil {
+		return err
+	}
+	w := header("Figure 12: mmap vs SpaceJMP in SAMTools (simulated seconds)")
+	fmt.Fprintln(w, "Operation\tMMAP\tSpaceJMP\tSpaceJMP/MMAP")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2f\n", r.Op, r.Mmap, r.SpaceJMP, r.SpaceJMP/r.Mmap)
+	}
+	return w.Flush()
+}
+
+func ablations() error {
+	w := header("Ablations (DESIGN.md)")
+	print := func(rows []experiments.AblationRow, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.2f %s\n", r.Label, r.Value, r.Unit)
+		}
+		return nil
+	}
+	if err := print(experiments.AblationTagPolicy(gupsCfg().WithWindows(4))); err != nil {
+		return err
+	}
+	if err := print(experiments.AblationSegCache([]int{20, 24})); err != nil {
+		return err
+	}
+	if err := print(experiments.AblationLockGranularity()); err != nil {
+		return err
+	}
+	if err := print(experiments.AblationPopulate(24)); err != nil {
+		return err
+	}
+	if err := print(experiments.AblationPageSize(26, 2000)); err != nil {
+		return err
+	}
+	if err := print(experiments.AblationHugeGUPS(gupsCfg().WithWindows(4))); err != nil {
+		return err
+	}
+	return w.Flush()
+}

@@ -1,0 +1,172 @@
+// Persistence: a pointer-rich data structure (a binary search tree) built
+// by one process survives that process's exit — and, via checkpoint and
+// restore, a whole machine reboot — and is traversed afterwards through
+// the very same pointers: no serialization, no pointer swizzling (§2.2,
+// §5.4, §7). The segment lives in the machine's persistent NVM tier, and
+// the heap that owns the nodes is an mspace whose state is itself inside
+// the segment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacejmp"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/mspace"
+)
+
+const (
+	segBase = spacejmp.GlobalBase
+	segSize = 16 << 20
+	// Node layout: [key][left][right], three 8-byte words.
+	nodeSize = 24
+)
+
+func main() {
+	cfg := spacejmp.DefaultMachine()
+	cfg.Mem.NVMSuperblock = 1 << 20 // reserve a persistent superblock
+	machine := spacejmp.NewMachine(cfg)
+	sys := spacejmp.NewDragonFlyOn(machine)
+	sys.SetSegmentTier(mem.TierNVM) // segments go to persistent memory
+
+	rootSlot := buildTree(sys, []uint64{50, 30, 70, 20, 40, 60, 80, 65, 75})
+	fmt.Println("--- searching in the same boot ---")
+	searchTree(sys, rootSlot, []uint64{65, 33, 80})
+
+	// Checkpoint the VAS registry to NVM, power-cycle the machine (all
+	// DRAM dies), boot a fresh OS instance, and restore (§7).
+	if err := sys.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	machine.PM.PowerCycle()
+	sys2 := spacejmp.NewDragonFlyOn(machine)
+	if err := sys2.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- searching after a machine reboot ---")
+	searchTree(sys2, rootSlot, []uint64{65, 33, 80})
+}
+
+// buildTree runs as the first process: create the VAS, format a heap in
+// the segment, insert keys, park the root pointer, and exit.
+func buildTree(sys *spacejmp.System, keys []uint64) spacejmp.VirtAddr {
+	proc, err := sys.NewProcess(spacejmp.Creds{UID: 1, GID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vid, err := th.VASCreate("bst", 0o666)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sid, err := th.SegAlloc("bst.heap", segBase, segSize, spacejmp.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, spacejmp.PermRW); err != nil {
+		log.Fatal(err)
+	}
+	h, err := th.VASAttach(vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := th.VASSwitch(h); err != nil {
+		log.Fatal(err)
+	}
+	alloc := mspace.NewVASAllocator(th)
+	heap, err := alloc.InitHeap(h, segBase, segSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The first allocation is the root slot; later processes re-derive it
+	// by re-opening the heap (deterministic first-alloc address).
+	rootSlot, err := heap.Alloc(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range keys {
+		insert(th, heap, rootSlot, k)
+	}
+	fmt.Printf("builder: inserted %d keys, root slot at %v\n", len(keys), rootSlot)
+	if err := th.VASSwitch(spacejmp.PrimaryHandle); err != nil {
+		log.Fatal(err)
+	}
+	proc.Exit()
+	fmt.Println("builder process exited; the VAS and its heap live on")
+	return rootSlot
+}
+
+func insert(th *spacejmp.Thread, heap *mspace.Space, slot spacejmp.VirtAddr, key uint64) {
+	cur, _ := th.Load64(slot)
+	if cur == 0 {
+		node, err := heap.Alloc(nodeSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		th.Store64(node, key)
+		th.Store64(node+8, 0)
+		th.Store64(node+16, 0)
+		th.Store64(slot, uint64(node))
+		return
+	}
+	node := spacejmp.VirtAddr(cur)
+	k, _ := th.Load64(node)
+	if key < k {
+		insert(th, heap, node+8, key)
+	} else {
+		insert(th, heap, node+16, key)
+	}
+}
+
+// searchTree runs as a later process: find the VAS by name, switch in, and
+// chase the raw pointers left by the builder.
+func searchTree(sys *spacejmp.System, rootSlot spacejmp.VirtAddr, probes []uint64) {
+	proc, err := sys.NewProcess(spacejmp.Creds{UID: 2, GID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vid, err := th.VASFind("bst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := th.VASAttach(vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := th.VASSwitch(h); err != nil {
+		log.Fatal(err)
+	}
+	// Re-open the heap (its allocator state is inside the segment too, so
+	// this process could keep inserting).
+	if _, err := mspace.Open(th, segBase); err != nil {
+		log.Fatal(err)
+	}
+	for _, probe := range probes {
+		depth := 0
+		cur, _ := th.Load64(rootSlot)
+		found := false
+		for cur != 0 {
+			node := spacejmp.VirtAddr(cur)
+			k, _ := th.Load64(node)
+			if k == probe {
+				found = true
+				break
+			}
+			depth++
+			if probe < k {
+				cur, _ = th.Load64(node + 8)
+			} else {
+				cur, _ = th.Load64(node + 16)
+			}
+		}
+		fmt.Printf("searcher: key %d found=%v (depth %d)\n", probe, found, depth)
+	}
+}

@@ -1,0 +1,117 @@
+// Sandbox: the paper's §7 sketch — "another potential application is
+// sandboxing, using different address spaces to limit access only to
+// trusted code." A host process holds a secret in one segment and gives an
+// untrusted plugin a restricted VAS that maps only the plugin's own arena:
+// while switched into the sandbox, the secret simply does not exist in the
+// address space, whatever addresses the plugin probes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spacejmp"
+	"spacejmp/internal/arch"
+)
+
+var (
+	secretBase = spacejmp.GlobalBase
+	arenaBase  = spacejmp.GlobalBase + spacejmp.VirtAddr(arch.LevelCoverage(3))
+)
+
+func main() {
+	sys := spacejmp.NewDragonFly(spacejmp.DefaultMachine())
+	host, err := sys.NewProcess(spacejmp.Creds{UID: 1, GID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := host.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host state: a secret segment and the plugin's arena.
+	secretSeg, err := th.SegAlloc("host.secret", secretBase, 1<<20, spacejmp.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arenaSeg, err := th.SegAlloc("plugin.arena", arenaBase, 1<<20, spacejmp.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The host's working VAS maps both; the sandbox VAS maps only the arena.
+	hostVAS, err := th.VASCreate("host.vas", 0o600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sid := range []spacejmp.SegID{secretSeg, arenaSeg} {
+		if err := th.SegAttachVAS(hostVAS, sid, spacejmp.PermRW); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sandboxVAS, err := th.VASCreate("sandbox.vas", 0o600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := th.SegAttachVAS(sandboxVAS, arenaSeg, spacejmp.PermRW); err != nil {
+		log.Fatal(err)
+	}
+
+	hostH, err := th.VASAttach(hostVAS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sandboxH, err := th.VASAttach(sandboxVAS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host writes the secret and some work for the plugin.
+	if err := th.VASSwitch(hostH); err != nil {
+		log.Fatal(err)
+	}
+	if err := th.Store64(secretBase, 0x5EC12E7); err != nil {
+		log.Fatal(err)
+	}
+	if err := th.Store64(arenaBase, 21); err != nil { // plugin input
+		log.Fatal(err)
+	}
+
+	// "Call" the untrusted plugin: jump into the sandbox first.
+	if err := th.VASSwitch(sandboxH); err != nil {
+		log.Fatal(err)
+	}
+	runPlugin(th)
+	if err := th.VASSwitch(hostH); err != nil {
+		log.Fatal(err)
+	}
+	result, err := th.Load64(arenaBase + 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host: plugin computed %d; secret is still %#x\n",
+		result, mustLoad(th, secretBase))
+}
+
+// runPlugin is the untrusted code: it does its job, then tries to steal the
+// secret — the address is valid in the host's VAS, but inside the sandbox
+// there is nothing mapped there.
+func runPlugin(th *spacejmp.Thread) {
+	in, _ := th.Load64(arenaBase)
+	th.Store64(arenaBase+8, in*2) // the legitimate work
+
+	if v, err := th.Load64(secretBase); err != nil {
+		fmt.Printf("plugin: probing %v -> fault (%v)\n", secretBase, err)
+	} else {
+		fmt.Printf("plugin: STOLE THE SECRET %#x — sandbox broken!\n", v)
+	}
+}
+
+func mustLoad(th *spacejmp.Thread, va spacejmp.VirtAddr) uint64 {
+	v, err := th.Load64(va)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

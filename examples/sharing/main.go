@@ -1,0 +1,132 @@
+// Sharing: several client processes operate on one shared, lockable
+// segment by switching into a common VAS — the RedisJMP pattern (§5.3).
+// Read-only attachments take the segment lock shared; the writable
+// attachment takes it exclusively, so readers run concurrently and writers
+// serialize, with no server process anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"spacejmp"
+)
+
+const counterAddr = spacejmp.GlobalBase
+
+func main() {
+	sys := spacejmp.NewDragonFly(spacejmp.DefaultMachine())
+
+	// First client bootstraps the shared state: one segment, two VASes
+	// over it (read-only and read-write views).
+	boot, err := sys.NewProcess(spacejmp.Creds{UID: 1, GID: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bt, err := boot.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sid, err := bt.SegAlloc("shared.data", counterAddr, 1<<20, spacejmp.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	readVAS, err := bt.VASCreate("shared.read", 0o666)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bt.SegAttachVAS(readVAS, sid, spacejmp.PermRead); err != nil {
+		log.Fatal(err)
+	}
+	writeVAS, err := bt.VASCreate("shared.write", 0o666)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bt.SegAttachVAS(writeVAS, sid, spacejmp.PermRW); err != nil {
+		log.Fatal(err)
+	}
+
+	// Writer: increments a counter under the exclusive lock.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		proc, err := sys.NewProcess(spacejmp.Creds{UID: 2, GID: 100})
+		if err != nil {
+			log.Fatal(err)
+		}
+		th, err := proc.NewThread()
+		if err != nil {
+			log.Fatal(err)
+		}
+		vid, _ := th.VASFind("shared.write")
+		h, err := th.VASAttach(vid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if err := th.VASSwitch(h); err != nil { // takes the lock exclusively
+				log.Fatal(err)
+			}
+			v, _ := th.Load64(counterAddr)
+			if err := th.Store64(counterAddr, v+1); err != nil {
+				log.Fatal(err)
+			}
+			if err := th.VASSwitch(spacejmp.PrimaryHandle); err != nil { // releases
+				log.Fatal(err)
+			}
+		}
+	}()
+
+	// Readers: poll the counter under the shared lock, concurrently.
+	results := make(chan uint64, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			proc, err := sys.NewProcess(spacejmp.Creds{UID: uint32(10 + id), GID: 100})
+			if err != nil {
+				log.Fatal(err)
+			}
+			th, err := proc.NewThread()
+			if err != nil {
+				log.Fatal(err)
+			}
+			vid, _ := th.VASFind("shared.read")
+			h, err := th.VASAttach(vid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var last uint64
+			for i := 0; i < 200; i++ {
+				if err := th.VASSwitch(h); err != nil { // shared lock
+					log.Fatal(err)
+				}
+				last, _ = th.Load64(counterAddr)
+				if err := th.VASSwitch(spacejmp.PrimaryHandle); err != nil {
+					log.Fatal(err)
+				}
+			}
+			results <- last
+		}(r)
+	}
+	wg.Wait()
+	close(results)
+	for v := range results {
+		fmt.Printf("reader observed counter = %d\n", v)
+	}
+
+	// Verify the final value through a fresh attachment.
+	vid, _ := bt.VASFind("shared.write")
+	h, err := bt.VASAttach(vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bt.VASSwitch(h); err != nil {
+		log.Fatal(err)
+	}
+	final, _ := bt.Load64(counterAddr)
+	fmt.Printf("final counter = %d (want 100)\n", final)
+	fmt.Printf("total vas_switch operations: %d\n", sys.Switches())
+}

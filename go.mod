@@ -1,0 +1,3 @@
+module spacejmp
+
+go 1.24

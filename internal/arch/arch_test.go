@@ -1,0 +1,119 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexDecomposition(t *testing.T) {
+	// A canonical address must be reconstructable from its four table
+	// indices plus the page offset.
+	cases := []VirtAddr{0, 0x1000, 0xC0DE000, VirtAddr(VASize - PageSize), 0x7fff_ffff_f000}
+	for _, va := range cases {
+		var rebuilt uint64
+		for level := 0; level < PTLevels; level++ {
+			rebuilt |= va.Index(level) << (PageShift + level*PTIndexBits)
+		}
+		rebuilt |= va.PageOffset()
+		if VirtAddr(rebuilt) != va {
+			t.Errorf("decompose(%v) rebuilt %#x", va, rebuilt)
+		}
+	}
+}
+
+func TestIndexRange(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := VirtAddr(raw % VASize)
+		for level := 0; level < PTLevels; level++ {
+			if va.Index(level) >= PTEntries {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelCoverage(t *testing.T) {
+	if LevelCoverage(0) != PageSize {
+		t.Errorf("PT entry covers %d, want %d", LevelCoverage(0), PageSize)
+	}
+	if LevelCoverage(1) != HugePageSize {
+		t.Errorf("PD entry covers %d, want %d", LevelCoverage(1), HugePageSize)
+	}
+	if LevelCoverage(2) != GiantPageSize {
+		t.Errorf("PDPT entry covers %d, want %d", LevelCoverage(2), GiantPageSize)
+	}
+	if LevelCoverage(3) != uint64(PTEntries)*GiantPageSize {
+		t.Errorf("PML4 entry covers %d", LevelCoverage(3))
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if got := AlignDown(0x1fff, PageSize); got != 0x1000 {
+		t.Errorf("AlignDown = %v", got)
+	}
+	if got := AlignUp(0x1001, PageSize); got != 0x2000 {
+		t.Errorf("AlignUp = %v", got)
+	}
+	if got := AlignUp(0x2000, PageSize); got != 0x2000 {
+		t.Errorf("AlignUp aligned input = %v", got)
+	}
+	f := func(raw uint64) bool {
+		va := VirtAddr(raw % (VASize - PageSize))
+		d, u := AlignDown(va, PageSize), AlignUp(va, PageSize)
+		return d <= va && va <= u && d.PageAligned() && u.PageAligned() && u-d < PageSize*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	cases := []struct {
+		size, want uint64
+	}{{0, 0}, {1, 1}, {PageSize, 1}, {PageSize + 1, 2}, {10 * PageSize, 10}}
+	for _, c := range cases {
+		if got := PagesIn(c.size); got != c.want {
+			t.Errorf("PagesIn(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := PermRW.String(); s != "rw-" {
+		t.Errorf("PermRW = %q", s)
+	}
+	if s := (PermRead | PermExec).String(); s != "r-x" {
+		t.Errorf("r-x = %q", s)
+	}
+	if s := Perm(0).String(); s != "---" {
+		t.Errorf("zero perm = %q", s)
+	}
+}
+
+func TestPermAllows(t *testing.T) {
+	if !PermRW.Allows(PermRead) || !PermRW.Allows(PermWrite) || PermRW.Allows(PermExec) {
+		t.Error("PermRW Allows wrong")
+	}
+	if !PermRead.Allows(0) {
+		t.Error("any perm should allow empty need")
+	}
+}
+
+func TestAccessPerm(t *testing.T) {
+	if AccessRead.Perm() != PermRead || AccessWrite.Perm() != PermWrite || AccessExec.Perm() != PermExec {
+		t.Error("Access.Perm mapping wrong")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if !VirtAddr(0).Canonical() || !VirtAddr(VASize-1).Canonical() {
+		t.Error("low-half addresses must be canonical")
+	}
+	if VirtAddr(VASize).Canonical() {
+		t.Error("address beyond 48 bits must not be canonical")
+	}
+}

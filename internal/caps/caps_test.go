@@ -1,0 +1,261 @@
+package caps
+
+import (
+	"errors"
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/mem"
+)
+
+func testKernel() *Kernel {
+	return NewKernel(mem.New(mem.Config{DRAMSize: 128 << 20}))
+}
+
+func TestRetypeRAMToFrames(t *testing.T) {
+	k := testKernel()
+	cs := NewCSpace()
+	ram, err := k.AllocRAM(cs, 2) // 4 frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := k.Retype(cs, ram, TypeFrame, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	var prev arch.PhysAddr
+	for i, s := range frames {
+		c, err := cs.Lookup(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Type != TypeFrame || c.Size != arch.PageSize {
+			t.Errorf("frame %d: %v size %d", i, c.Type, c.Size)
+		}
+		if i > 0 && c.Base != prev+arch.PageSize {
+			t.Errorf("frame %d not contiguous", i)
+		}
+		prev = c.Base
+	}
+}
+
+func TestRetypeOnlyOnce(t *testing.T) {
+	k := testKernel()
+	cs := NewCSpace()
+	ram, _ := k.AllocRAM(cs, 0)
+	if _, err := k.Retype(cs, ram, TypeFrame, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Retype(cs, ram, TypePageTable, 1); err == nil {
+		t.Error("double retype accepted — exclusivity rule violated")
+	}
+}
+
+func TestRetypeRules(t *testing.T) {
+	k := testKernel()
+	cs := NewCSpace()
+	ram, _ := k.AllocRAM(cs, 1)
+	if _, err := k.Retype(cs, ram, TypeVAS, 1); err == nil {
+		t.Error("RAM retyped to VAS")
+	}
+	if _, err := k.Retype(cs, ram, TypeFrame, 3); err == nil {
+		t.Error("uneven split accepted")
+	}
+	frames, err := k.Retype(cs, ram, TypeFrame, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Retype(cs, frames[0], TypePageTable, 1); err == nil {
+		t.Error("frame retyped")
+	}
+}
+
+func TestMintRightsMonotonic(t *testing.T) {
+	k := testKernel()
+	a, b := NewCSpace(), NewCSpace()
+	ram, _ := k.AllocRAM(a, 0)
+	frames, _ := k.Retype(a, ram, TypeFrame, 1)
+	ro, err := k.Mint(a, frames[0], b, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := b.Lookup(ro)
+	if c.Rights != RightRead {
+		t.Errorf("minted rights = %b", c.Rights)
+	}
+	// The read-only copy has no grant right, so it cannot be re-minted.
+	if _, err := k.Mint(b, ro, a, RightRead); err == nil {
+		t.Error("grantless capability minted onward")
+	}
+	// Nor can rights be amplified (construct a grantable read cap first).
+	rg, err := k.Mint(a, frames[0], b, RightRead|RightGrant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mint(b, rg, a, RightRead|RightWrite); err == nil {
+		t.Error("rights amplified through mint")
+	}
+}
+
+func TestRevokeCascades(t *testing.T) {
+	k := testKernel()
+	a, b, c := NewCSpace(), NewCSpace(), NewCSpace()
+	ram, _ := k.AllocRAM(a, 0)
+	frames, _ := k.Retype(a, ram, TypeFrame, 1)
+	s1, err := k.Mint(a, frames[0], b, RightRead|RightGrant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := k.Mint(b, s1, c, RightRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Revoke(a, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Lookup(s1); err == nil {
+		t.Error("direct child survived revoke")
+	}
+	if _, err := c.Lookup(s2); err == nil {
+		t.Error("grandchild survived revoke")
+	}
+	// The revoked root itself remains usable.
+	if _, err := a.Lookup(frames[0]); err != nil {
+		t.Errorf("revoke destroyed the root: %v", err)
+	}
+}
+
+func TestUserSpacePageTableConstruction(t *testing.T) {
+	// §4.2: a process allocates memory for its own page tables and maps
+	// frames by capability invocation; the kernel only validates.
+	k := testKernel()
+	cs := NewCSpace()
+	ptRAM, _ := k.AllocRAM(cs, 0)
+	ptSlots, err := k.Retype(cs, ptRAM, TypePageTable, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vnode, err := k.CreateVNode(cs, ptSlots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameRAM, _ := k.AllocRAM(cs, 0)
+	frames, _ := k.Retype(cs, frameRAM, TypeFrame, 1)
+	if err := k.MapFrame(vnode, cs, frames[0], 0x4000, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	r, err := vnode.Table.Walk(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := cs.Lookup(frames[0])
+	if r.PA != fc.Base {
+		t.Error("mapping does not hit the frame capability's memory")
+	}
+}
+
+func TestMapFrameValidation(t *testing.T) {
+	k := testKernel()
+	cs := NewCSpace()
+	ptRAM, _ := k.AllocRAM(cs, 0)
+	ptSlots, _ := k.Retype(cs, ptRAM, TypePageTable, 1)
+	vnode, _ := k.CreateVNode(cs, ptSlots[0])
+
+	// Mapping a RAM (untyped) capability must be rejected.
+	ram, _ := k.AllocRAM(cs, 0)
+	if err := k.MapFrame(vnode, cs, ram, 0x4000, arch.PermRead); err == nil {
+		t.Error("untyped memory mapped")
+	}
+	// Mapping writable through a read-only frame cap must be rejected.
+	other := NewCSpace()
+	fRAM, _ := k.AllocRAM(cs, 0)
+	frames, _ := k.Retype(cs, fRAM, TypeFrame, 1)
+	ro, _ := k.Mint(cs, frames[0], other, RightRead)
+	if err := k.MapFrame(vnode, other, ro, 0x8000, arch.PermRW); err == nil {
+		t.Error("writable mapping through read-only capability")
+	}
+	if err := k.MapFrame(vnode, other, ro, 0x8000, arch.PermRead); err != nil {
+		t.Errorf("read-only mapping rejected: %v", err)
+	}
+	// VNode creation requires a PageTable capability.
+	if _, err := k.CreateVNode(cs, frames[0]); err == nil {
+		t.Error("vnode from frame capability")
+	}
+}
+
+func TestTable2BarrelfishCalibration(t *testing.T) {
+	p := Personality{}
+	untagged := p.SwitchCycles() + p.SwitchBookkeeping(false) + hw.DefaultCost.CR3Load
+	tagged := p.SwitchCycles() + p.SwitchBookkeeping(true) + hw.DefaultCost.CR3LoadTagged
+	if untagged != 664 {
+		t.Errorf("untagged vas_switch = %d cycles, Table 2 says 664", untagged)
+	}
+	if tagged != 462 {
+		t.Errorf("tagged vas_switch = %d cycles, Table 2 says 462", tagged)
+	}
+	if p.SwitchCycles() != 130 {
+		t.Errorf("invocation = %d, Table 2 says 130", p.SwitchCycles())
+	}
+}
+
+func TestEndToEndCapabilityEnforcement(t *testing.T) {
+	sys, svc := New(hw.NewMachine(hw.SmallTest()))
+	owner, _ := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	ot, _ := owner.NewThread()
+	vid, err := ot.VASCreate("caps-v", 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ot.VASAttach(vid); err != nil {
+		t.Fatalf("owner attach: %v", err)
+	}
+	// A stranger has no capability.
+	strangerP, _ := sys.NewProcess(core.Creds{UID: 300, GID: 30})
+	st, _ := strangerP.NewThread()
+	if _, err := st.VASAttach(vid); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("capless attach: %v", err)
+	}
+	// The service mints them a read capability; attach now succeeds.
+	if err := svc.Grant(TypeVAS, uint64(vid), 100, 300, RightRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.VASAttach(vid); err != nil {
+		t.Errorf("attach after grant: %v", err)
+	}
+}
+
+func TestModeGrantsHonored(t *testing.T) {
+	sys, _ := New(hw.NewMachine(hw.SmallTest()))
+	owner, _ := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	ot, _ := owner.NewThread()
+	vid, _ := ot.VASCreate("shared", 0o644)
+	mate, _ := sys.NewProcess(core.Creds{UID: 200, GID: 10})
+	mt, _ := mate.NewThread()
+	if _, err := mt.VASAttach(vid); err != nil {
+		t.Errorf("group attach under 0644: %v", err)
+	}
+	// Group member cannot write-ctl (group bits are read-only).
+	if err := mt.VASCtl(core.CtlSetTag, vid, nil); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("group write ctl: %v", err)
+	}
+}
+
+func TestSwitchCostEndToEndBarrelfish(t *testing.T) {
+	sys, _ := New(hw.NewMachine(hw.SmallTest()))
+	p, _ := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	th, _ := p.NewThread()
+	vid, _ := th.VASCreate("v", 0o600)
+	h, _ := th.VASAttach(vid)
+	before := th.Core.Cycles()
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.Core.Cycles() - before; got != 664 {
+		t.Errorf("end-to-end untagged vas_switch = %d cycles, want 664", got)
+	}
+}

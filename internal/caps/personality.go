@@ -1,0 +1,200 @@
+package caps
+
+import (
+	"fmt"
+	"sync"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+	"spacejmp/internal/hw"
+)
+
+// Table 2 calibration (Barrelfish on M2, cycles).
+const (
+	// InvocationCycles is one capability invocation — Barrelfish's
+	// "system call" row in Table 2.
+	InvocationCycles = 130
+	// bookkeeping = vas_switch total - invocation - CR3 load.
+	bookkeepingTagged   = 462 - InvocationCycles - 224
+	bookkeepingUntagged = 664 - InvocationCycles - 130
+
+	// RPCCycles models one round trip to the user-space SpaceJMP service:
+	// two cache-line messages plus a kernel entry on each side and the
+	// service's dispatch work. Management operations pay this instead of a
+	// syscall.
+	RPCCycles = 2*100 + 2*InvocationCycles + 340
+)
+
+// Service is the user-level SpaceJMP service: it owns the capability state
+// for every VAS and segment and answers process RPCs. Management logic runs
+// here, entirely outside the kernel (§4.2).
+type Service struct {
+	kernel *Kernel
+
+	mu      sync.Mutex
+	cspaces map[uint32]*CSpace // per-UID dispatcher capability spaces
+	// modeGrants records rights implied by an object's Unix-style creation
+	// mode for group members and everyone else, published in the service's
+	// registry (Barrelfish has no ambient UID model; the mode argument of
+	// vas_create is honored by the service minting these virtual grants).
+	modeGrants map[grantKey]modeGrant
+}
+
+type grantKey struct {
+	kind  Type
+	objID uint64
+}
+
+type modeGrant struct {
+	ownerGID uint32
+	group    Right
+	others   Right
+}
+
+// NewService boots the user-space service over a capability kernel.
+func NewService(k *Kernel) *Service {
+	return &Service{kernel: k, cspaces: map[uint32]*CSpace{}, modeGrants: map[grantKey]modeGrant{}}
+}
+
+// CSpaceOf returns (creating on demand) the capability space of a UID's
+// dispatcher.
+func (s *Service) CSpaceOf(uid uint32) *CSpace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.cspaces[uid]
+	if !ok {
+		cs = NewCSpace()
+		s.cspaces[uid] = cs
+	}
+	return cs
+}
+
+func modeRights(bits uint16) Right {
+	var r Right
+	if bits&4 != 0 {
+		r |= RightRead
+	}
+	if bits&2 != 0 {
+		r |= RightWrite
+	}
+	if bits&1 != 0 {
+		r |= RightExec
+	}
+	return r
+}
+
+// register creates the owner capability for a new object and publishes the
+// mode-derived grants.
+func (s *Service) register(kind Type, objID uint64, owner core.Creds, mode uint16) {
+	cs := s.CSpaceOf(owner.UID)
+	cs.Insert(&Capability{Type: kind, Rights: RightsAll, ObjID: objID})
+	s.mu.Lock()
+	s.modeGrants[grantKey{kind, objID}] = modeGrant{
+		ownerGID: owner.GID,
+		group:    modeRights(mode >> 3),
+		others:   modeRights(mode),
+	}
+	s.mu.Unlock()
+}
+
+// check authorizes creds for rights on an object: first by capability
+// possession, then by the published mode grants.
+func (s *Service) check(kind Type, objID uint64, creds core.Creds, want Right) error {
+	cs := s.CSpaceOf(creds.UID)
+	if _, ok := cs.Find(func(c *Capability) bool {
+		return c.Type == kind && c.ObjID == objID && c.Rights.Allows(want)
+	}); ok {
+		return nil
+	}
+	s.mu.Lock()
+	g, ok := s.modeGrants[grantKey{kind, objID}]
+	s.mu.Unlock()
+	if ok {
+		if creds.GID == g.ownerGID && g.group.Allows(want) {
+			return nil
+		}
+		if g.others.Allows(want) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: uid %d holds no %v capability for object %d with rights %b",
+		core.ErrDenied, creds.UID, kind, objID, want)
+}
+
+// Grant mints a capability for an object from one UID's cspace into
+// another's with the given rights, the Barrelfish way of sharing a VAS or
+// segment.
+func (s *Service) Grant(kind Type, objID uint64, from, to uint32, rights Right) error {
+	src := s.CSpaceOf(from)
+	c, ok := src.Find(func(c *Capability) bool { return c.Type == kind && c.ObjID == objID })
+	if !ok {
+		return fmt.Errorf("%w: uid %d holds no %v capability for object %d", core.ErrNotFound, from, kind, objID)
+	}
+	// Re-find the slot to mint from.
+	var slot Slot
+	src.mu.Lock()
+	for sl, cc := range src.slots {
+		if cc == c {
+			slot = sl
+			break
+		}
+	}
+	src.mu.Unlock()
+	_, err := s.kernel.Mint(src, slot, s.CSpaceOf(to), rights)
+	return err
+}
+
+// Personality adapts the service to the core.Personality interface.
+type Personality struct {
+	Service *Service
+}
+
+var _ core.Personality = Personality{}
+
+// Name identifies the personality.
+func (Personality) Name() string { return "barrelfish" }
+
+// ControlCycles is an RPC round trip to the user-space service.
+func (Personality) ControlCycles() uint64 { return RPCCycles }
+
+// SwitchCycles is one capability invocation replacing the root page table.
+func (Personality) SwitchCycles() uint64 { return InvocationCycles }
+
+// SwitchBookkeeping is the dispatcher/runtime work per switch (Table 2).
+func (Personality) SwitchBookkeeping(tagged bool) uint64 {
+	if tagged {
+		return bookkeepingTagged
+	}
+	return bookkeepingUntagged
+}
+
+// CheckVAS requires a VAS capability (or a mode grant) with the rights
+// matching the requested permissions.
+func (p Personality) CheckVAS(creds core.Creds, v *core.VAS, want arch.Perm) error {
+	return p.Service.check(TypeVAS, uint64(v.ID), creds, PermRights(want))
+}
+
+// CheckSeg requires a Segment capability (or a mode grant).
+func (p Personality) CheckSeg(creds core.Creds, seg *core.Segment, want arch.Perm) error {
+	return p.Service.check(TypeSegment, uint64(seg.ID), creds, PermRights(want))
+}
+
+// VASCreated registers the owner capability in the service.
+func (p Personality) VASCreated(creds core.Creds, v *core.VAS) {
+	p.Service.register(TypeVAS, uint64(v.ID), creds, v.Mode)
+	v.Security = p.Service
+}
+
+// SegCreated registers the owner capability. Segments default to
+// owner+group access like the DragonFly personality's 0660 ACL.
+func (p Personality) SegCreated(creds core.Creds, seg *core.Segment) {
+	p.Service.register(TypeSegment, uint64(seg.ID), creds, 0o660)
+	seg.Security = p.Service
+}
+
+// New boots a SpaceJMP system with the Barrelfish personality on machine m,
+// returning the system and the user-space service for capability grants.
+func New(m *hw.Machine) (*core.System, *Service) {
+	svc := NewService(NewKernel(m.PM))
+	return core.NewSystem(m, Personality{Service: svc}), svc
+}

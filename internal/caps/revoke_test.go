@@ -1,0 +1,85 @@
+package caps
+
+import (
+	"errors"
+	"testing"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/hw"
+)
+
+func TestGrantRequiresSourceCapability(t *testing.T) {
+	sys, svc := New(hw.NewMachine(hw.SmallTest()))
+	owner, _ := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	ot, _ := owner.NewThread()
+	vid, _ := ot.VASCreate("g", 0o600)
+	// UID 200 holds nothing; granting *from* 200 must fail.
+	if err := svc.Grant(TypeVAS, uint64(vid), 200, 300, RightRead); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("grant from capless uid: %v", err)
+	}
+}
+
+func TestRevocationCutsAccess(t *testing.T) {
+	sys, svc := New(hw.NewMachine(hw.SmallTest()))
+	owner, _ := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	ot, _ := owner.NewThread()
+	vid, _ := ot.VASCreate("r", 0o600)
+	if err := svc.Grant(TypeVAS, uint64(vid), 100, 300, RightRead); err != nil {
+		t.Fatal(err)
+	}
+	strangerP, _ := sys.NewProcess(core.Creds{UID: 300, GID: 30})
+	st, _ := strangerP.NewThread()
+	if _, err := st.VASAttach(vid); err != nil {
+		t.Fatalf("attach after grant: %v", err)
+	}
+	// The owner revokes its capability's descendants: the grant dies.
+	ownerCS := svc.CSpaceOf(100)
+	var slot Slot
+	ownerCS.mu.Lock()
+	for s, c := range ownerCS.slots {
+		if c.Type == TypeVAS && c.ObjID == uint64(vid) {
+			slot = s
+		}
+	}
+	ownerCS.mu.Unlock()
+	if err := svc.kernel.Revoke(ownerCS, slot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.VASAttach(vid); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("attach after revoke: %v", err)
+	}
+	// The owner itself still holds the root capability.
+	if _, err := ot.VASAttach(vid); err != nil {
+		t.Errorf("owner attach after revoking descendants: %v", err)
+	}
+}
+
+func TestSegmentCapabilityChecks(t *testing.T) {
+	sys, svc := New(hw.NewMachine(hw.SmallTest()))
+	owner, _ := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	ot, _ := owner.NewThread()
+	vid, _ := ot.VASCreate("sv", 0o666)
+	sid, err := ot.SegAlloc("sseg", core.GlobalBase, 1<<20, 0x3) // rw
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stranger (not in the owner's group) cannot attach the segment.
+	strangerP, _ := sys.NewProcess(core.Creds{UID: 999, GID: 999})
+	st, _ := strangerP.NewThread()
+	if err := st.SegAttachVAS(vid, sid, 0x1); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("capless seg attach: %v", err)
+	}
+	if err := svc.Grant(TypeSegment, uint64(sid), 100, 999, RightRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SegAttachVAS(vid, sid, 0x1); err != nil {
+		t.Errorf("granted read seg attach: %v", err)
+	}
+	// Read grant does not permit a writable mapping.
+	if err := st.SegDetachVAS(vid, sid); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SegAttachVAS(vid, sid, 0x3); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("write mapping with read grant: %v", err)
+	}
+}

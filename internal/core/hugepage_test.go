@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"spacejmp/internal/arch"
+)
+
+func TestHugePageSegment(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("huge.vas", 0o660)
+	sid, err := th.SegAllocPages("huge.seg", segBase(0), 8<<20, arch.PermRW, arch.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	// Store/load across the segment.
+	for off := uint64(0); off < 8<<20; off += arch.HugePageSize {
+		if err := th.Store64(segBase(0)+arch.VirtAddr(off)+8, off); err != nil {
+			t.Fatalf("store at +%#x: %v", off, err)
+		}
+	}
+	for off := uint64(0); off < 8<<20; off += arch.HugePageSize {
+		if v, _ := th.Load64(segBase(0) + arch.VirtAddr(off) + 8); v != off {
+			t.Errorf("+%#x = %d", off, v)
+		}
+	}
+	// The mapping really is 2 MiB: the leaf walk resolves with 3 refs and
+	// reports the huge page size.
+	r, err := th.Space().Table().Walk(segBase(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PageSize != arch.HugePageSize || r.Refs != 3 {
+		t.Errorf("walk = pagesize %d refs %d, want 2 MiB / 3 refs", r.PageSize, r.Refs)
+	}
+}
+
+func TestHugeSegmentTLBReach(t *testing.T) {
+	// 8 MiB with 2 MiB pages needs just 4 TLB entries: after the warm
+	// pass, a sweep is all hits. With 4 KiB pages the same sweep would
+	// need 2048 entries (beyond the test TLB's 64).
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("reach.vas", 0o660)
+	sid, err := th.SegAllocPages("reach.seg", segBase(0), 8<<20, arch.PermRW, arch.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	sweep := func() {
+		for off := uint64(0); off < 8<<20; off += arch.PageSize * 16 {
+			if _, err := th.Load64(segBase(0) + arch.VirtAddr(off)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sweep()
+	th.Core.ResetStats()
+	sweep()
+	if m := th.Core.Stats().TLBMisses; m != 0 {
+		t.Errorf("huge-page sweep missed %d times after warmup", m)
+	}
+}
+
+func TestHugeSegmentAlignmentRules(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	// Base not 2 MiB aligned.
+	if _, err := th.SegAllocPages("bad.base", segBase(0)+arch.PageSize, 4<<20, arch.PermRW, arch.HugePageSize); !errors.Is(err, ErrLayout) {
+		t.Errorf("misaligned huge base: %v", err)
+	}
+	// Bogus page size.
+	if _, err := th.SegAllocPages("bad.ps", segBase(0), 4<<20, arch.PermRW, 8192); !errors.Is(err, ErrLayout) {
+		t.Errorf("bogus page size: %v", err)
+	}
+	// Size rounds up to whole huge pages.
+	sid, err := th.SegAllocPages("round", segBase(0), 3<<20, arch.PermRW, arch.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := mustSeg(t, sys, sid)
+	if seg.Size != 4<<20 {
+		t.Errorf("size = %d, want rounded 4 MiB", seg.Size)
+	}
+}
+
+func TestHugeSegmentCloneAndCache(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	sid, err := th.SegAllocPages("hc.seg", segBase(0), 4<<20, arch.PermRW, arch.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Translation caching works at huge granularity.
+	if err := th.SegCtl(sid, CtlCacheTranslations, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Write through a local mapping, clone, verify the copy.
+	if err := th.SegAttachLocal(PrimaryHandle, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(segBase(0)+arch.HugePageSize+128, 777); err != nil {
+		t.Fatal(err)
+	}
+	cid, err := th.SegClone(sid, "hc.copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegDetachLocal(PrimaryHandle, sid); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachLocal(PrimaryHandle, cid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.Load64(segBase(0) + arch.HugePageSize + 128); v != 777 {
+		t.Errorf("huge clone holds %d", v)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"spacejmp/internal/arch"
+)
+
+func TestSetLockableFalseDisablesLocking(t *testing.T) {
+	sys := testSystem(t)
+	_, a := spawn(t, sys)
+	_, b := spawn(t, sys)
+	vid, _ := a.VASCreate("nolock", 0o666)
+	sid, _ := a.SegAlloc("nolock.seg", segBase(0), 1<<20, arch.PermRW)
+	if err := a.SegCtl(sid, CtlSetLockable, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := a.VASAttach(vid)
+	hb, _ := b.VASAttach(vid)
+	if err := a.VASSwitch(ha); err != nil {
+		t.Fatal(err)
+	}
+	// With locking off, a second writer enters immediately (the paper's
+	// lockable bit is opt-in; unlocked segments leave synchronization to
+	// the application).
+	done := make(chan error, 1)
+	go func() { done <- b.VASSwitch(hb) }()
+	if err := <-done; err != nil {
+		t.Fatalf("second writer blocked or failed on non-lockable segment: %v", err)
+	}
+	seg := mustSeg(t, sys, sid)
+	if r, w := seg.LockHolders(); r != 0 || w != 0 {
+		t.Errorf("lock holders on non-lockable segment: %d/%d", r, w)
+	}
+}
+
+func TestSegCtlPermNarrowingBlocksNewMappings(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("narrow", 0o660)
+	sid, _ := th.SegAlloc("narrow.seg", segBase(0), 1<<20, arch.PermRW)
+	if err := th.SegCtl(sid, CtlSetPerm, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); !errors.Is(err, ErrDenied) {
+		t.Errorf("RW mapping of read-only segment: %v", err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRead); err != nil {
+		t.Errorf("read mapping: %v", err)
+	}
+}
+
+func TestSegCtlBadArgs(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	sid, _ := th.SegAlloc("args.seg", segBase(0), 1<<20, arch.PermRW)
+	if err := th.SegCtl(sid, CtlSetPerm, "not-a-perm"); err == nil {
+		t.Error("bad set-perm arg accepted")
+	}
+	if err := th.SegCtl(sid, CtlSetLockable, 42); err == nil {
+		t.Error("bad set-lockable arg accepted")
+	}
+	if err := th.SegCtl(sid, CtlCmd(99), nil); err == nil {
+		t.Error("unknown seg_ctl command accepted")
+	}
+	vid, _ := th.VASCreate("args.vas", 0o600)
+	if err := th.VASCtl(CtlSetPerm, vid, "nope"); err == nil {
+		t.Error("bad vas_ctl set-perm arg accepted")
+	}
+	if err := th.VASCtl(CtlCacheTranslations, vid, nil); err == nil {
+		t.Error("cache-translations on a VAS accepted")
+	}
+}
+
+func TestCacheRequiresSinglePML4Slot(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	// A segment straddling two PML4 slots cannot cache translations.
+	cover := arch.LevelCoverage(3)
+	base := GlobalBase + arch.VirtAddr(cover) - arch.PageSize
+	sid, err := th.SegAlloc("straddle", base, 2*arch.PageSize, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegCtl(sid, CtlCacheTranslations, nil); !errors.Is(err, ErrLayout) {
+		t.Errorf("cache across PML4 slots: %v", err)
+	}
+}
+
+func TestAttachReadOnlyUsesPerPageWhenCacheIsRW(t *testing.T) {
+	// The cached subtree carries the segment's full (RW) permissions, so a
+	// read-only attachment must fall back to per-page mappings — sharing
+	// the RW subtree would leak write access.
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("ro", 0o660)
+	sid, _ := th.SegAlloc("ro.seg", segBase(0), 1<<20, arch.PermRW)
+	if err := th.SegCtl(sid, CtlCacheTranslations, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(segBase(0), 1); err == nil {
+		t.Fatal("write through read-only attachment succeeded — cache leaked write access")
+	}
+	if _, err := th.Load64(segBase(0)); err != nil {
+		t.Errorf("read: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/vm"
+)
+
+// Persistence of VASes across reboots (paper §7: "we also plan to address
+// other issues such as the persistency of multiple virtual address spaces
+// (for example, across reboots)").
+//
+// Checkpoint serializes the registries of NVM-backed segments and the
+// VASes over them into the machine's NVM superblock. After a power cycle —
+// which destroys all DRAM content and allocations but preserves NVM — a
+// fresh System Restores from the superblock: segments reattach their
+// surviving frames, VASes reattach their segment lists, and processes can
+// vas_find and switch into them as if nothing happened.
+
+const checkpointMagic uint64 = 0x53504a4d50533031 // "SPJMPS01"
+
+// Gob-friendly snapshots of the persistable state.
+type persistSeg struct {
+	ID       SegID
+	Name     string
+	Base     arch.VirtAddr
+	Size     uint64
+	Perm     arch.Perm
+	Lockable bool
+	Owner    Creds
+	PageSize uint64
+	Frames   map[uint64]arch.PhysAddr
+}
+
+type persistVASMapping struct {
+	Seg  SegID
+	Perm arch.Perm
+}
+
+type persistVAS struct {
+	ID    VASID
+	Name  string
+	Owner Creds
+	Mode  uint16
+	Tag   arch.ASID
+	Segs  []persistVASMapping
+}
+
+type persistImage struct {
+	Segs     []persistSeg
+	Vases    []persistVAS
+	NextVAS  VASID
+	NextSeg  SegID
+	NextASID arch.ASID
+}
+
+// Checkpoint writes the persistable state into the NVM superblock. Only
+// segments backed by the NVM tier are included (DRAM contents would not
+// survive the power cycle anyway); VAS segment lists are filtered
+// accordingly. Attachments and processes are inherently volatile and are
+// not part of the image.
+func (sys *System) Checkpoint() error {
+	sbBase, sbSize := sys.M.PM.Superblock()
+	if sbSize == 0 {
+		return fmt.Errorf("spacejmp: machine has no NVM superblock; configure mem.Config.NVMSuperblock")
+	}
+	sys.mu.Lock()
+	img := persistImage{NextVAS: sys.nextVAS, NextSeg: sys.nextSeg, NextASID: sys.nextASID}
+	persisted := map[SegID]bool{}
+	for _, seg := range sys.segs {
+		if seg.Obj.Tier != mem.TierNVM {
+			continue
+		}
+		img.Segs = append(img.Segs, persistSeg{
+			ID: seg.ID, Name: seg.Name, Base: seg.Base, Size: seg.Size,
+			Perm: seg.Perm(), Lockable: seg.Lockable(), Owner: seg.Owner,
+			PageSize: seg.Obj.PageSize, Frames: seg.Obj.FrameMap(),
+		})
+		persisted[seg.ID] = true
+	}
+	for _, v := range sys.vases {
+		pv := persistVAS{ID: v.ID, Name: v.Name, Owner: v.Owner, Mode: v.Mode, Tag: v.Tag()}
+		for _, m := range v.Mappings() {
+			if persisted[m.Seg.ID] {
+				pv.Segs = append(pv.Segs, persistVASMapping{Seg: m.Seg.ID, Perm: m.Perm})
+			}
+		}
+		img.Vases = append(img.Vases, pv)
+	}
+	sys.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		return fmt.Errorf("spacejmp: encoding checkpoint: %w", err)
+	}
+	if uint64(buf.Len())+16 > sbSize {
+		return fmt.Errorf("spacejmp: checkpoint (%d B) exceeds superblock (%d B)", buf.Len(), sbSize)
+	}
+	head := make([]byte, 16)
+	binary.LittleEndian.PutUint64(head, checkpointMagic)
+	binary.LittleEndian.PutUint64(head[8:], uint64(buf.Len()))
+	if err := sys.M.PM.WriteAt(sbBase, head); err != nil {
+		return err
+	}
+	return sys.M.PM.WriteAt(sbBase+16, buf.Bytes())
+}
+
+// Restore rebuilds the registries from the NVM superblock into this
+// (freshly booted) System. It must be called before any VASes or global
+// segments are created, so restored IDs cannot collide.
+func (sys *System) Restore() error {
+	sbBase, sbSize := sys.M.PM.Superblock()
+	if sbSize == 0 {
+		return fmt.Errorf("spacejmp: machine has no NVM superblock")
+	}
+	head := make([]byte, 16)
+	if err := sys.M.PM.ReadAt(sbBase, head); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint64(head) != checkpointMagic {
+		return fmt.Errorf("spacejmp: no checkpoint in superblock")
+	}
+	length := binary.LittleEndian.Uint64(head[8:])
+	if length+16 > sbSize {
+		return fmt.Errorf("spacejmp: corrupt checkpoint length %d", length)
+	}
+	data := make([]byte, length)
+	if err := sys.M.PM.ReadAt(sbBase+16, data); err != nil {
+		return err
+	}
+	var img persistImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return fmt.Errorf("spacejmp: decoding checkpoint: %w", err)
+	}
+
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if len(sys.segs) > 0 || len(sys.vases) > 0 {
+		return fmt.Errorf("%w: restore into a non-empty system", ErrBusy)
+	}
+	segByID := map[SegID]*Segment{}
+	for _, ps := range img.Segs {
+		pageSize := ps.PageSize
+		if pageSize == 0 {
+			pageSize = arch.PageSize
+		}
+		seg := &Segment{
+			ID: ps.ID, Name: ps.Name, Base: ps.Base, Size: ps.Size,
+			Obj:   vm.NewObjectFromFramesPages(sys.M.PM, ps.Name, ps.Size, mem.TierNVM, pageSize, ps.Frames),
+			Owner: ps.Owner, perm: ps.Perm, lockable: ps.Lockable,
+		}
+		sys.segs[seg.ID] = seg
+		sys.segByName[seg.Name] = seg
+		segByID[seg.ID] = seg
+		sys.P.SegCreated(ps.Owner, seg)
+	}
+	for _, pv := range img.Vases {
+		v := &VAS{ID: pv.ID, Name: pv.Name, Owner: pv.Owner, Mode: pv.Mode,
+			tag: pv.Tag, atts: map[*Attachment]struct{}{}}
+		for _, m := range pv.Segs {
+			seg, ok := segByID[m.Seg]
+			if !ok {
+				return fmt.Errorf("spacejmp: checkpoint references missing segment %d", m.Seg)
+			}
+			v.segs = append(v.segs, SegMapping{Seg: seg, Perm: m.Perm})
+		}
+		sys.vases[v.ID] = v
+		sys.vasByName[v.Name] = v
+		sys.P.VASCreated(pv.Owner, v)
+	}
+	if img.NextVAS > sys.nextVAS {
+		sys.nextVAS = img.NextVAS
+	}
+	if img.NextSeg > sys.nextSeg {
+		sys.nextSeg = img.NextSeg
+	}
+	if img.NextASID > sys.nextASID {
+		sys.nextASID = img.NextASID
+	}
+	return nil
+}

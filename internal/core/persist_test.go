@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/tlb"
+)
+
+func persistentMachine() *hw.Machine {
+	return hw.NewMachine(hw.MachineConfig{
+		Name: "persist-test", Sockets: 1, CoresPerSocket: 2, GHz: 2.0,
+		Mem: mem.Config{DRAMSize: 256 << 20, NVMSize: 128 << 20, NVMSuperblock: 1 << 20},
+		TLB: tlb.Config{Sets: 16, Ways: 4}, Cost: hw.DefaultCost,
+	})
+}
+
+func TestCheckpointRestoreAcrossPowerCycle(t *testing.T) {
+	m := persistentMachine()
+	sys := NewSystem(m, testPersonality{})
+	sys.SetSegmentTier(mem.TierNVM)
+	_, th := spawn(t, sys)
+
+	vid, err := th.VASCreate("durable.vas", 0o660)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := th.SegAlloc("durable.seg", segBase(0), 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASCtl(CtlSetTag, vid, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(segBase(0)+64, 0xD00DFEED); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: DRAM dies, a fresh OS instance boots on the same machine.
+	m.PM.PowerCycle()
+	sys2 := NewSystem(m, testPersonality{})
+	if err := sys2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := sys2.NewProcess(Creds{UID: 1000, GID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p2.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := t2.VASFind("durable.vas")
+	if err != nil {
+		t.Fatalf("restored VAS not findable: %v", err)
+	}
+	if found != vid {
+		t.Errorf("restored VAS id = %d, want %d", found, vid)
+	}
+	h2, err := t2.VASAttach(found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.VASSwitch(h2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := t2.Load64(segBase(0) + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xD00DFEED {
+		t.Errorf("data after reboot = %#x", v)
+	}
+	// The restored VAS kept its tag and the segment its properties.
+	rv, _ := sys2.vas(found)
+	if rv.Tag() == arch.ASIDFlush {
+		t.Error("TLB tag lost across reboot")
+	}
+	rs, err := sys2.SegByID(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Lockable() || rs.Perm() != arch.PermRW || rs.Base != segBase(0) {
+		t.Errorf("segment properties lost: %+v", rs)
+	}
+	// And the restored system keeps allocating fresh, non-colliding IDs.
+	nvid, err := t2.VASCreate("new.vas", 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvid <= vid {
+		t.Errorf("post-restore VAS id %d collides with restored id space", nvid)
+	}
+}
+
+func TestDRAMSegmentsNotPersisted(t *testing.T) {
+	m := persistentMachine()
+	sys := NewSystem(m, testPersonality{})
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("mixed.vas", 0o660)
+	// DRAM segment (default tier).
+	dram, err := th.SegAlloc("volatile.seg", segBase(0), 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, dram, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// NVM segment.
+	sys.SetSegmentTier(mem.TierNVM)
+	nvm, err := th.SegAlloc("durable.seg", segBase(1), 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, nvm, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m.PM.PowerCycle()
+	sys2 := NewSystem(m, testPersonality{})
+	if err := sys2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.SegByID(nvm); err != nil {
+		t.Errorf("NVM segment not restored: %v", err)
+	}
+	if _, err := sys2.SegByID(dram); err == nil {
+		t.Error("DRAM segment restored; its content died with the power")
+	}
+	v, err := sys2.vas(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Mappings()) != 1 || v.Mappings()[0].Seg.ID != nvm {
+		t.Errorf("restored VAS mappings = %+v", v.Mappings())
+	}
+}
+
+func TestRestoreGuards(t *testing.T) {
+	m := persistentMachine()
+	sys := NewSystem(m, testPersonality{})
+	// No checkpoint written yet.
+	if err := sys.Restore(); err == nil || !strings.Contains(err.Error(), "no checkpoint") {
+		t.Errorf("restore without checkpoint: %v", err)
+	}
+	// A machine without a superblock cannot checkpoint.
+	plain := NewSystem(hw.NewMachine(hw.SmallTest()), testPersonality{})
+	if err := plain.Checkpoint(); err == nil {
+		t.Error("checkpoint without superblock accepted")
+	}
+	// Restore into a non-empty system is refused.
+	_, th := spawn(t, sys)
+	if _, err := th.VASCreate("x", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Restore(); err == nil {
+		t.Error("restore into live system accepted")
+	}
+}
+
+func TestCheckpointIsIdempotentAndUpdatable(t *testing.T) {
+	m := persistentMachine()
+	sys := NewSystem(m, testPersonality{})
+	sys.SetSegmentTier(mem.TierNVM)
+	_, th := spawn(t, sys)
+	if _, err := th.VASCreate("v1", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.VASCreate("v2", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil { // overwrite with newer image
+		t.Fatal(err)
+	}
+	m.PM.PowerCycle()
+	sys2 := NewSystem(m, testPersonality{})
+	if err := sys2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	_, th2 := spawn(t, sys2)
+	if _, err := th2.VASFind("v2"); err != nil {
+		t.Errorf("second checkpoint not effective: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"spacejmp/internal/arch"
+)
+
+// Snapshotting and copy-on-write cloning — the address-space creation
+// optimizations the paper lists as ongoing work in §7 ("copy-on-write,
+// snapshotting, and versioning").
+
+// SegCloneCOW creates a copy-on-write clone of a segment: the clone shares
+// the original's frames until either side writes (writes to the original
+// are prevented by dropping its... no — both sides keep full rights; the
+// clone's pages are copied on its own first write, and writes to the
+// original are immediately visible to the clone only for pages the clone
+// has not yet written).
+//
+// Note the sharing direction: this gives the *clone* stable private pages
+// on write, which is the cheap-copy primitive. For a true point-in-time
+// snapshot that also isolates writes made to the original, snapshot the
+// VAS instead (VASSnapshot freezes the original's segments by cloning and
+// swapping).
+func (t *Thread) SegCloneCOW(sid SegID, newName string) (SegID, error) {
+	sys := t.enter()
+	src, err := sys.seg(sid)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, src, arch.PermRead); err != nil {
+		return 0, err
+	}
+	sys.mu.Lock()
+	if _, dup := sys.segByName[newName]; dup {
+		sys.mu.Unlock()
+		return 0, fmt.Errorf("%w: segment %q", ErrExists, newName)
+	}
+	id := sys.nextSeg
+	sys.nextSeg++
+	sys.mu.Unlock()
+	dst := &Segment{
+		ID: id, Name: newName, Base: src.Base, Size: src.Size,
+		Obj: src.Obj.CloneCOW(newName), Owner: t.Proc.Creds,
+		perm: src.Perm(), lockable: src.Lockable(),
+	}
+	sys.mu.Lock()
+	sys.segs[dst.ID] = dst
+	sys.segByName[newName] = dst
+	sys.mu.Unlock()
+	sys.P.SegCreated(t.Proc.Creds, dst)
+	return dst.ID, nil
+}
+
+// VASSnapshot creates a point-in-time copy of a VAS: a new VAS whose
+// segments are copy-on-write clones of the original's, named
+// "<segment>@<snapshot>". The snapshot is immediately attachable; its
+// memory cost is one frame per page *written* through it, not the full
+// footprint (§7's snapshotting optimization).
+//
+// The snapshot diverges from the original on the snapshot's writes. Writes
+// to the original after the snapshot remain visible through the snapshot's
+// unwritten pages; freeze the original (map it read-only in its VAS, or
+// quiesce writers via the segment locks) if a strict point-in-time image
+// is required — the RedisJMP pattern of taking snapshots while holding the
+// exclusive lock does exactly that.
+func (t *Thread) VASSnapshot(vid VASID, snapName string) (VASID, error) {
+	sys := t.enter()
+	src, err := sys.vas(vid)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, src, arch.PermRead); err != nil {
+		return 0, err
+	}
+	newVID, err := t.VASCreate(snapName, src.Mode)
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range src.Mappings() {
+		cloneID, err := t.SegCloneCOW(m.Seg.ID, fmt.Sprintf("%s@%s", m.Seg.Name, snapName))
+		if err != nil {
+			return 0, err
+		}
+		if err := t.SegAttachVAS(newVID, cloneID, m.Perm); err != nil {
+			return 0, err
+		}
+	}
+	return newVID, nil
+}

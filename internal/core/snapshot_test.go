@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/hw"
+)
+
+func TestSegCloneCOWSharesUntilWrite(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	sid, err := th.SegAlloc("cow.src", segBase(0), 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write through a VAS attachment.
+	vid, _ := th.VASCreate("cow.v", 0o660)
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(segBase(0), 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+
+	before := sys.M.PM.Stats().AllocatedBytes
+	cid, err := th.SegCloneCOW(sid, "cow.copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown := sys.M.PM.Stats().AllocatedBytes - before; grown != 0 {
+		t.Errorf("COW clone allocated %d bytes up front", grown)
+	}
+	// Read through the clone: shares the source's data.
+	cv, _ := th.VASCreate("cow.cv", 0o660)
+	if err := th.SegAttachVAS(cv, cid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := th.VASAttach(cv)
+	if err := th.VASSwitch(ch); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.Load64(segBase(0)); v != 111 {
+		t.Errorf("clone reads %d, want shared 111", v)
+	}
+	// Write through the clone: breaks COW for that page only.
+	if err := th.Store64(segBase(0), 222); err != nil {
+		t.Fatalf("COW write: %v", err)
+	}
+	if v, _ := th.Load64(segBase(0)); v != 222 {
+		t.Errorf("clone reads %d after its own write", v)
+	}
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.Load64(segBase(0)); v != 111 {
+		t.Errorf("original sees %d after clone write, want 111", v)
+	}
+	// Exactly one page was copied.
+	seg, _ := sys.seg(cid)
+	if res := seg.Obj.Resident(); res != 1 {
+		t.Errorf("clone resident pages = %d, want 1", res)
+	}
+}
+
+func TestVASSnapshot(t *testing.T) {
+	sys := testSystem(t)
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("live", 0o660)
+	sid, _ := th.SegAlloc("data", segBase(0), 1<<20, arch.PermRW)
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := th.Store64(segBase(0)+arch.VirtAddr(i*8), uint64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := th.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+
+	snapID, err := th.VASSnapshot(vid, "snap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot has its own segment objects mapped at the same bases.
+	sh, err := th.VASAttach(snapID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASSwitch(sh); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if v, _ := th.Load64(segBase(0) + arch.VirtAddr(i*8)); v != uint64(100+i) {
+			t.Errorf("snapshot word %d = %d", i, v)
+		}
+	}
+	// Writes through the snapshot do not leak into the live VAS.
+	if err := th.Store64(segBase(0), 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.Load64(segBase(0)); v != 100 {
+		t.Errorf("live VAS sees snapshot write: %d", v)
+	}
+	// The snapshot's segment is registered under a derived name.
+	if _, err := th.SegFind("data@snap1"); err != nil {
+		t.Errorf("snapshot segment not registered: %v", err)
+	}
+	if _, err := th.VASSnapshot(vid, "snap1"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate snapshot name: %v", err)
+	}
+}
+
+func TestSnapshotIsCheap(t *testing.T) {
+	sys := NewSystem(hw.NewMachine(hw.SmallTest()), testPersonality{})
+	_, th := spawn(t, sys)
+	vid, _ := th.VASCreate("big", 0o660)
+	sid, _ := th.SegAlloc("bigseg", segBase(0), 8<<20, arch.PermRW)
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.M.PM.Stats().AllocatedBytes
+	if _, err := th.VASSnapshot(vid, "cheap"); err != nil {
+		t.Fatal(err)
+	}
+	grown := sys.M.PM.Stats().AllocatedBytes - before
+	if grown > 1<<16 { // metadata only, nowhere near the 8 MiB footprint
+		t.Errorf("snapshot of 8 MiB VAS allocated %d bytes", grown)
+	}
+}

@@ -1,0 +1,709 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/vm"
+)
+
+// System is the OS-side SpaceJMP state: the registries of first-class VASes
+// and segments, the process table, and the TLB tag allocator, bound to a
+// simulated machine and an OS personality.
+type System struct {
+	M *hw.Machine
+	P Personality
+
+	mu           sync.Mutex
+	vases        map[VASID]*VAS
+	vasByName    map[string]*VAS
+	segs         map[SegID]*Segment
+	segByName    map[string]*Segment
+	nextVAS      VASID
+	nextSeg      SegID
+	nextPID      int
+	nextASID     arch.ASID
+	coreInUse    []bool
+	segTier      mem.Tier
+	tagPrimaries bool
+	switchures   uint64 // total vas_switch count (Figure 9's switch rate)
+}
+
+// NewSystem boots a SpaceJMP system on the given machine with the given
+// personality.
+func NewSystem(m *hw.Machine, p Personality) *System {
+	return &System{
+		M: m, P: p,
+		vases: map[VASID]*VAS{}, vasByName: map[string]*VAS{},
+		segs: map[SegID]*Segment{}, segByName: map[string]*Segment{},
+		nextVAS: 1, nextSeg: 1, nextPID: 1, nextASID: 1,
+		coreInUse: make([]bool, len(m.Cores)),
+		segTier:   mem.TierDRAM,
+	}
+}
+
+// SetSegmentTier selects the memory tier backing subsequently created
+// segments (TierNVM gives segments that survive power cycles, §7).
+func (sys *System) SetSegmentTier(t mem.Tier) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	sys.segTier = t
+}
+
+// SetTagPrimaries makes subsequently created processes' primary address
+// spaces TLB-tagged, so switching between a tagged VAS and the process's
+// own space retains translations in both directions — the configuration
+// behind the paper's tagged measurements (Table 2, Figure 10a).
+func (sys *System) SetTagPrimaries(v bool) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	sys.tagPrimaries = v
+}
+
+// allocTag hands out a fresh, never-reused TLB tag.
+func (sys *System) allocTag() (arch.ASID, error) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sys.nextASID >= arch.MaxASID {
+		return 0, fmt.Errorf("%w: out of TLB tags", ErrBusy)
+	}
+	tag := sys.nextASID
+	sys.nextASID++
+	return tag, nil
+}
+
+// installShootdown arranges TLB invalidation across all cores when
+// translations are removed from the space. tagOf yields the tag the space's
+// entries are cached under at invalidation time.
+func (sys *System) installShootdown(space *vm.Space, tagOf func() arch.ASID) {
+	space.Shootdown = func(va arch.VirtAddr, size uint64) {
+		pages := arch.PagesIn(size)
+		tag := tagOf()
+		for _, c := range sys.M.Cores {
+			if pages > 64 {
+				c.TLB.FlushASID(tag)
+				if tag != arch.ASIDFlush {
+					continue
+				}
+				c.TLB.FlushAll()
+				continue
+			}
+			for i := uint64(0); i < pages; i++ {
+				a := va + arch.VirtAddr(i*arch.PageSize)
+				c.TLB.FlushPage(tag, a)
+				if tag != arch.ASIDFlush {
+					c.TLB.FlushPage(arch.ASIDFlush, a)
+				}
+			}
+		}
+	}
+}
+
+// Switches returns the number of vas_switch operations performed.
+func (sys *System) Switches() uint64 {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	return sys.switchures
+}
+
+func (sys *System) countSwitch() {
+	sys.mu.Lock()
+	sys.switchures++
+	sys.mu.Unlock()
+}
+
+// claimCore reserves a free core for a thread.
+func (sys *System) claimCore() (*hw.Core, error) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	for i, used := range sys.coreInUse {
+		if !used {
+			sys.coreInUse[i] = true
+			return sys.M.Cores[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: all %d cores busy", ErrBusy, len(sys.coreInUse))
+}
+
+func (sys *System) releaseCore(c *hw.Core) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	sys.coreInUse[c.ID] = false
+}
+
+// NewProcess creates a process with the traditional private segments (text,
+// globals, stack) mapped into a primary address space.
+func (sys *System) NewProcess(creds Creds) (*Process, error) {
+	sys.mu.Lock()
+	pid := sys.nextPID
+	sys.nextPID++
+	sys.mu.Unlock()
+
+	p := &Process{PID: pid, Creds: creds, sys: sys, atts: map[Handle]*Attachment{}, nextHandle: 1}
+	sys.mu.Lock()
+	tagIt := sys.tagPrimaries
+	sys.mu.Unlock()
+	if tagIt {
+		tag, err := sys.allocTag()
+		if err != nil {
+			return nil, err
+		}
+		p.primaryTag = tag
+	}
+	layout := []struct {
+		name string
+		base arch.VirtAddr
+		size uint64
+		perm arch.Perm
+	}{
+		{"text", TextBase, TextSize, arch.PermRead | arch.PermExec},
+		{"globals", GlobalsBase, GlobalsSize, arch.PermRW},
+		{"stack", StackBase, StackSize, arch.PermRW},
+	}
+	for _, l := range layout {
+		seg := sys.newSegmentLocked(fmt.Sprintf("pid%d.%s", pid, l.name), l.base, l.size, l.perm, creds, false)
+		p.priv = append(p.priv, SegMapping{Seg: seg, Perm: l.perm})
+	}
+	space, err := sys.buildSpace(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.primary = space
+	return p, nil
+}
+
+// newSegmentLocked constructs a segment without registering it by name
+// (used for process-private segments). Global registration happens in
+// SegAlloc.
+func (sys *System) newSegmentLocked(name string, base arch.VirtAddr, size uint64, perm arch.Perm, owner Creds, lockable bool) *Segment {
+	return sys.newSegmentPages(name, base, size, perm, owner, lockable, arch.PageSize)
+}
+
+func (sys *System) newSegmentPages(name string, base arch.VirtAddr, size uint64, perm arch.Perm, owner Creds, lockable bool, pageSize uint64) *Segment {
+	sys.mu.Lock()
+	id := sys.nextSeg
+	sys.nextSeg++
+	tier := sys.segTier
+	sys.mu.Unlock()
+	size = (size + pageSize - 1) &^ (pageSize - 1)
+	return &Segment{
+		ID: id, Name: name, Base: base, Size: size,
+		Obj: vm.NewObjectPages(sys.M.PM, name, size, tier, pageSize), Owner: owner,
+		perm: perm, lockable: lockable,
+	}
+}
+
+// buildSpace creates a vmspace holding the process's private segments plus,
+// if vas is non-nil, the VAS's global segments.
+func (sys *System) buildSpace(p *Process, a *Attachment) (*vm.Space, error) {
+	space, err := vm.NewSpace(sys.M.PM)
+	if err != nil {
+		return nil, err
+	}
+	if a != nil {
+		vas := a.VAS
+		sys.installShootdown(space, vas.Tag)
+	} else {
+		tag := p.primaryTag
+		sys.installShootdown(space, func() arch.ASID { return tag })
+	}
+	for _, m := range p.priv {
+		if _, err := space.Map(m.Seg.Base, m.Seg.Size, m.Perm, m.Seg.Obj, 0, vm.MapFixed); err != nil {
+			space.Destroy()
+			return nil, fmt.Errorf("mapping private segment %q: %w", m.Seg.Name, err)
+		}
+	}
+	if a != nil {
+		a.Space = space
+		for _, m := range a.VAS.Mappings() {
+			if err := a.installSeg(m.Seg, m.Perm); err != nil {
+				space.Destroy()
+				return nil, fmt.Errorf("mapping segment %q: %w", m.Seg.Name, err)
+			}
+		}
+	}
+	return space, nil
+}
+
+// --- The VAS API (Figure 3), charged to the calling thread's core. ---
+
+func (t *Thread) enter() *System {
+	sys := t.Proc.sys
+	t.Core.AddCycles(sys.P.ControlCycles())
+	return sys
+}
+
+// VASCreate creates a named first-class address space (vas_create).
+func (t *Thread) VASCreate(name string, mode uint16) (VASID, error) {
+	sys := t.enter()
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if _, dup := sys.vasByName[name]; dup {
+		return 0, fmt.Errorf("%w: vas %q", ErrExists, name)
+	}
+	v := &VAS{ID: sys.nextVAS, Name: name, Owner: t.Proc.Creds, Mode: mode, atts: map[*Attachment]struct{}{}}
+	sys.nextVAS++
+	sys.vases[v.ID] = v
+	sys.vasByName[name] = v
+	sys.P.VASCreated(t.Proc.Creds, v)
+	return v.ID, nil
+}
+
+// VASFind looks up a VAS by name (vas_find).
+func (t *Thread) VASFind(name string) (VASID, error) {
+	sys := t.enter()
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	v, ok := sys.vasByName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: vas %q", ErrNotFound, name)
+	}
+	return v.ID, nil
+}
+
+func (sys *System) vas(id VASID) (*VAS, error) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	v, ok := sys.vases[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: vas %d", ErrNotFound, id)
+	}
+	return v, nil
+}
+
+func (sys *System) seg(id SegID) (*Segment, error) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	s, ok := sys.segs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: segment %d", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// VASByID returns the VAS object for inspection (ACL edits, tag queries).
+func (sys *System) VASByID(id VASID) (*VAS, error) { return sys.vas(id) }
+
+// SegByID returns the segment object for inspection.
+func (sys *System) SegByID(id SegID) (*Segment, error) { return sys.seg(id) }
+
+// VASAttach attaches the calling process to a VAS, building the
+// process-private vmspace instance (vas_attach).
+func (t *Thread) VASAttach(vid VASID) (Handle, error) {
+	sys := t.enter()
+	v, err := sys.vas(vid)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, v, arch.PermRead); err != nil {
+		return 0, err
+	}
+	p := t.Proc
+	a := &Attachment{VAS: v, proc: p}
+	if _, err := sys.buildSpace(p, a); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	a.H = p.nextHandle
+	p.nextHandle++
+	p.atts[a.H] = a
+	p.mu.Unlock()
+	v.addAttachment(a)
+	return a.H, nil
+}
+
+// VASDetach drops an attachment (vas_detach). The VAS itself survives.
+func (t *Thread) VASDetach(h Handle) error {
+	sys := t.enter()
+	_ = sys
+	if h == PrimaryHandle {
+		return fmt.Errorf("%w: cannot detach the primary address space", ErrDenied)
+	}
+	p := t.Proc
+	p.mu.Lock()
+	a, ok := p.atts[h]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: handle %d", ErrNotFound, h)
+	}
+	for _, th := range p.threads {
+		if th.cur == a {
+			p.mu.Unlock()
+			return fmt.Errorf("%w: a thread is switched into handle %d", ErrBusy, h)
+		}
+	}
+	delete(p.atts, h)
+	p.mu.Unlock()
+	a.destroy()
+	return nil
+}
+
+// VASSwitch is the thread-level switch entry point (vas_switch).
+func (t *Thread) VASSwitch(h Handle) error {
+	t.Proc.sys.countSwitch()
+	return t.Switch(h)
+}
+
+// VASClone creates a new VAS sharing the original's segments — combined
+// with VASCtl it implements permission-changed views and snapshots
+// (vas_clone).
+func (t *Thread) VASClone(vid VASID, newName string) (VASID, error) {
+	sys := t.enter()
+	src, err := sys.vas(vid)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, src, arch.PermRead); err != nil {
+		return 0, err
+	}
+	sys.mu.Lock()
+	if _, dup := sys.vasByName[newName]; dup {
+		sys.mu.Unlock()
+		return 0, fmt.Errorf("%w: vas %q", ErrExists, newName)
+	}
+	v := &VAS{ID: sys.nextVAS, Name: newName, Owner: t.Proc.Creds, Mode: src.Mode, atts: map[*Attachment]struct{}{}}
+	sys.nextVAS++
+	sys.vases[v.ID] = v
+	sys.vasByName[newName] = v
+	sys.mu.Unlock()
+	v.segs = src.Mappings()
+	sys.P.VASCreated(t.Proc.Creds, v)
+	return v.ID, nil
+}
+
+// VASCtl manipulates VAS metadata (vas_ctl).
+func (t *Thread) VASCtl(cmd CtlCmd, vid VASID, arg any) error {
+	sys := t.enter()
+	v, err := sys.vas(vid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, v, arch.PermWrite); err != nil {
+		return err
+	}
+	switch cmd {
+	case CtlSetTag:
+		if v.Tag() == arch.ASIDFlush {
+			tag, err := sys.allocTag()
+			if err != nil {
+				return err
+			}
+			v.setTag(tag)
+		}
+		return nil
+	case CtlClearTag:
+		v.setTag(arch.ASIDFlush)
+		return nil
+	case CtlSetPerm:
+		mode, ok := arg.(uint16)
+		if !ok {
+			return fmt.Errorf("vas_ctl set-perm: arg must be uint16 mode, got %T", arg)
+		}
+		v.mu.Lock()
+		v.Mode = mode
+		v.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("vas_ctl: unsupported command %v", cmd)
+	}
+}
+
+// VASDestroy removes an unattached VAS from the system. Its segments
+// survive (they are independently named objects). This is the reclamation
+// path the paper leaves to vas_ctl.
+func (t *Thread) VASDestroy(vid VASID) error {
+	sys := t.enter()
+	v, err := sys.vas(vid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, v, arch.PermWrite); err != nil {
+		return err
+	}
+	if v.AttachCount() > 0 {
+		return fmt.Errorf("%w: vas %q has attachments", ErrBusy, v.Name)
+	}
+	sys.mu.Lock()
+	delete(sys.vases, v.ID)
+	delete(sys.vasByName, v.Name)
+	sys.mu.Unlock()
+	return nil
+}
+
+// --- The segment API (Figure 3). ---
+
+// SegAlloc creates a named global segment at a fixed base address with
+// physical memory reserved up front (seg_alloc). Global segments must live
+// at or above GlobalBase, disjoint from every process's private range.
+func (t *Thread) SegAlloc(name string, base arch.VirtAddr, size uint64, perm arch.Perm) (SegID, error) {
+	return t.SegAllocPages(name, base, size, perm, arch.PageSize)
+}
+
+// SegAllocPages is SegAlloc with an explicit backing page size
+// (arch.PageSize or arch.HugePageSize). Huge segments use 2 MiB leaf
+// translations: three-level walks and far larger TLB reach, the trade-off
+// discussed in the paper's related work (§6, large pages).
+func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, perm arch.Perm, pageSize uint64) (SegID, error) {
+	sys := t.enter()
+	if pageSize != arch.PageSize && pageSize != arch.HugePageSize {
+		return 0, fmt.Errorf("%w: segment %q: unsupported page size %d", ErrLayout, name, pageSize)
+	}
+	if base < GlobalBase || !(base + arch.VirtAddr(size)).Canonical() {
+		return 0, fmt.Errorf("%w: global segment %q must lie in [%v, 2^48)", ErrLayout, name, GlobalBase)
+	}
+	if uint64(base)%pageSize != 0 || size == 0 {
+		return 0, fmt.Errorf("%w: segment %q base/size not aligned to %d-byte pages", ErrLayout, name, pageSize)
+	}
+	sys.mu.Lock()
+	if _, dup := sys.segByName[name]; dup {
+		sys.mu.Unlock()
+		return 0, fmt.Errorf("%w: segment %q", ErrExists, name)
+	}
+	sys.mu.Unlock()
+	seg := sys.newSegmentPages(name, base, size, perm, t.Proc.Creds, true, pageSize)
+	if err := seg.Obj.Populate(); err != nil {
+		seg.Obj.Unref()
+		return 0, err
+	}
+	sys.mu.Lock()
+	sys.segs[seg.ID] = seg
+	sys.segByName[name] = seg
+	sys.mu.Unlock()
+	sys.P.SegCreated(t.Proc.Creds, seg)
+	return seg.ID, nil
+}
+
+// SegFind looks a segment up by name (seg_find).
+func (t *Thread) SegFind(name string) (SegID, error) {
+	sys := t.enter()
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	s, ok := sys.segByName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: segment %q", ErrNotFound, name)
+	}
+	return s.ID, nil
+}
+
+// SegAttachVAS maps a segment into a VAS for every attached process, with
+// the given mapping permissions (seg_attach with a vid). The mapping
+// permissions may not exceed the segment's own.
+func (t *Thread) SegAttachVAS(vid VASID, sid SegID, mapPerm arch.Perm) error {
+	sys := t.enter()
+	v, err := sys.vas(vid)
+	if err != nil {
+		return err
+	}
+	seg, err := sys.seg(sid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, v, arch.PermWrite); err != nil {
+		return err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, seg, mapPerm); err != nil {
+		return err
+	}
+	if !seg.Perm().Allows(mapPerm) {
+		return fmt.Errorf("%w: mapping %v exceeds segment perm %v", ErrDenied, mapPerm, seg.Perm())
+	}
+	if !v.addSeg(SegMapping{Seg: seg, Perm: mapPerm}) {
+		return fmt.Errorf("%w: segment %q overlaps a segment in vas %q", ErrLayout, seg.Name, v.Name)
+	}
+	// Propagate to existing attachments, rolling back on failure.
+	done := []*Attachment{}
+	for _, a := range v.attachments() {
+		if err := a.installSeg(seg, mapPerm); err != nil {
+			for _, d := range done {
+				_ = d.removeSeg(seg)
+			}
+			v.removeSeg(sid)
+			return err
+		}
+		done = append(done, a)
+	}
+	return nil
+}
+
+// SegAttachLocal maps a segment into only the calling process's attachment
+// (seg_attach with a vh) — process-specific installation.
+func (t *Thread) SegAttachLocal(h Handle, sid SegID, mapPerm arch.Perm) error {
+	sys := t.enter()
+	seg, err := sys.seg(sid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, seg, mapPerm); err != nil {
+		return err
+	}
+	if !seg.Perm().Allows(mapPerm) {
+		return fmt.Errorf("%w: mapping %v exceeds segment perm %v", ErrDenied, mapPerm, seg.Perm())
+	}
+	a, err := t.Proc.attachment(h)
+	if err != nil {
+		return err
+	}
+	if a == nil {
+		_, err := t.Proc.primary.Map(seg.Base, seg.Size, mapPerm, seg.Obj, 0, vm.MapFixed)
+		return err
+	}
+	return a.installSeg(seg, mapPerm)
+}
+
+// SegDetachVAS removes a segment from a VAS and from every attachment
+// (seg_detach with a vid).
+func (t *Thread) SegDetachVAS(vid VASID, sid SegID) error {
+	sys := t.enter()
+	v, err := sys.vas(vid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckVAS(t.Proc.Creds, v, arch.PermWrite); err != nil {
+		return err
+	}
+	m, ok := v.removeSeg(sid)
+	if !ok {
+		return fmt.Errorf("%w: segment %d not in vas %q", ErrNotFound, sid, v.Name)
+	}
+	for _, a := range v.attachments() {
+		if err := a.removeSeg(m.Seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SegDetachLocal unmaps a segment from the calling process's attachment
+// (seg_detach with a vh).
+func (t *Thread) SegDetachLocal(h Handle, sid SegID) error {
+	sys := t.enter()
+	seg, err := sys.seg(sid)
+	if err != nil {
+		return err
+	}
+	a, err := t.Proc.attachment(h)
+	if err != nil {
+		return err
+	}
+	if a == nil {
+		return t.Proc.primary.Unmap(seg.Base, seg.Size)
+	}
+	return a.removeSeg(seg)
+}
+
+// SegClone deep-copies a segment's content into a new segment with a new
+// name at the same base address (seg_clone). Cloning plus SegCtl implements
+// permission-changed copies (§3.2).
+func (t *Thread) SegClone(sid SegID, newName string) (SegID, error) {
+	sys := t.enter()
+	src, err := sys.seg(sid)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, src, arch.PermRead); err != nil {
+		return 0, err
+	}
+	sys.mu.Lock()
+	if _, dup := sys.segByName[newName]; dup {
+		sys.mu.Unlock()
+		return 0, fmt.Errorf("%w: segment %q", ErrExists, newName)
+	}
+	sys.mu.Unlock()
+	dst := sys.newSegmentPages(newName, src.Base, src.Size, src.Perm(), t.Proc.Creds, src.Lockable(), src.Obj.PageSize)
+	if err := dst.Obj.Populate(); err != nil {
+		dst.Obj.Unref()
+		return 0, err
+	}
+	// Copy content frame by frame through physical memory.
+	buf := make([]byte, src.Obj.PageSize)
+	for idx := uint64(0); idx < src.Obj.Pages(); idx++ {
+		sf, err := src.Obj.Frame(idx)
+		if err != nil {
+			dst.Obj.Unref()
+			return 0, err
+		}
+		df, err := dst.Obj.Frame(idx)
+		if err != nil {
+			dst.Obj.Unref()
+			return 0, err
+		}
+		if err := sys.M.PM.ReadAt(sf, buf); err != nil {
+			dst.Obj.Unref()
+			return 0, err
+		}
+		if err := sys.M.PM.WriteAt(df, buf); err != nil {
+			dst.Obj.Unref()
+			return 0, err
+		}
+	}
+	sys.mu.Lock()
+	sys.segs[dst.ID] = dst
+	sys.segByName[newName] = dst
+	sys.mu.Unlock()
+	sys.P.SegCreated(t.Proc.Creds, dst)
+	return dst.ID, nil
+}
+
+// SegCtl manipulates segment metadata (seg_ctl).
+func (t *Thread) SegCtl(sid SegID, cmd CtlCmd, arg any) error {
+	sys := t.enter()
+	seg, err := sys.seg(sid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, seg, arch.PermWrite); err != nil {
+		return err
+	}
+	switch cmd {
+	case CtlSetPerm:
+		p, ok := arg.(arch.Perm)
+		if !ok {
+			return fmt.Errorf("seg_ctl set-perm: arg must be arch.Perm, got %T", arg)
+		}
+		seg.setPerm(p)
+		return nil
+	case CtlSetLockable:
+		b, ok := arg.(bool)
+		if !ok {
+			return fmt.Errorf("seg_ctl set-lockable: arg must be bool, got %T", arg)
+		}
+		seg.SetLockable(b)
+		return nil
+	case CtlCacheTranslations:
+		return seg.buildCache(sys.M.PM)
+	default:
+		return fmt.Errorf("seg_ctl: unsupported command %v", cmd)
+	}
+}
+
+// SegFree removes an unmapped global segment and releases its memory.
+func (t *Thread) SegFree(sid SegID) error {
+	sys := t.enter()
+	seg, err := sys.seg(sid)
+	if err != nil {
+		return err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, seg, arch.PermWrite); err != nil {
+		return err
+	}
+	sys.mu.Lock()
+	for _, v := range sys.vases {
+		v.mu.Lock()
+		for _, m := range v.segs {
+			if m.Seg == seg {
+				v.mu.Unlock()
+				sys.mu.Unlock()
+				return fmt.Errorf("%w: segment %q mapped in vas %q", ErrBusy, seg.Name, v.Name)
+			}
+		}
+		v.mu.Unlock()
+	}
+	delete(sys.segs, seg.ID)
+	delete(sys.segByName, seg.Name)
+	sys.mu.Unlock()
+	seg.destroy()
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package core implements the SpaceJMP object model and API (paper §3):
+// virtual address spaces (VASes) as first-class OS objects that processes
+// create, attach to, and switch between, and lockable segments as the unit
+// of memory sharing and protection.
+//
+// The package is personality-neutral: the DragonFly BSD kernel
+// implementation (internal/kernel) and the Barrelfish user-space
+// implementation (internal/caps) plug in through the Personality interface,
+// which supplies the control-path costs and the security model (§4.1, §4.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spacejmp/internal/arch"
+)
+
+// VASID names a virtual address space, global to the system.
+type VASID uint64
+
+// SegID names a segment, global to the system.
+type SegID uint64
+
+// Handle identifies one process's attachment to a VAS (the paper's vh).
+type Handle uint64
+
+// PrimaryHandle addresses the process's original address space, so a thread
+// can switch back out of every SpaceJMP VAS.
+const PrimaryHandle Handle = 0
+
+// Creds identify a subject for access control decisions.
+type Creds struct {
+	UID uint32
+	GID uint32
+}
+
+// API errors.
+var (
+	ErrNotFound = errors.New("spacejmp: no such object")
+	ErrExists   = errors.New("spacejmp: name already exists")
+	ErrDenied   = errors.New("spacejmp: access denied")
+	ErrBusy     = errors.New("spacejmp: object busy")
+	ErrLayout   = errors.New("spacejmp: address layout violation")
+)
+
+// Conventional process layout. Process-private segments (text, globals,
+// stack — the "common region" of §3.3) live below PrivateTop; globally
+// visible segments must be allocated at or above GlobalBase. Keeping the two
+// disjoint is how the DragonFly prototype avoids collisions between private
+// and global segments on attach (§4.1).
+const (
+	TextBase    arch.VirtAddr = 0x0000_0000_0040_0000
+	TextSize    uint64        = 2 << 20
+	GlobalsBase arch.VirtAddr = 0x0000_0000_0080_0000
+	GlobalsSize uint64        = 4 << 20
+	StackBase   arch.VirtAddr = 0x0000_7F00_0000_0000
+	StackSize   uint64        = 8 << 20
+
+	// PrivateTop bounds process-private segments other than the stack.
+	PrivateTop arch.VirtAddr = 0x0000_0010_0000_0000
+	// GlobalBase is the lowest address a global segment may occupy. It is
+	// PML4-slot aligned so segment translation caches can be linked whole.
+	GlobalBase arch.VirtAddr = 0x0000_8000_0000_0000
+)
+
+// CtlCmd enumerates vas_ctl / seg_ctl commands.
+type CtlCmd int
+
+const (
+	// CtlSetTag requests a TLB tag (ASID) for a VAS; arg is ignored and a
+	// fresh tag is assigned (paper §4.4: the user passes hints to the
+	// kernel to request a tag). Passing it again keeps the existing tag.
+	CtlSetTag CtlCmd = iota
+	// CtlClearTag reverts a VAS to the reserved flush tag.
+	CtlClearTag
+	// CtlSetPerm changes an object's maximum permissions; arg is an
+	// arch.Perm.
+	CtlSetPerm
+	// CtlSetLockable toggles a segment's lockable bit; arg is a bool.
+	CtlSetLockable
+	// CtlCacheTranslations builds a segment's cached translation subtree
+	// (§4.1: "a segment may contain a set of cached translations to
+	// accelerate attachment to an address space").
+	CtlCacheTranslations
+)
+
+func (c CtlCmd) String() string {
+	switch c {
+	case CtlSetTag:
+		return "set-tag"
+	case CtlClearTag:
+		return "clear-tag"
+	case CtlSetPerm:
+		return "set-perm"
+	case CtlSetLockable:
+		return "set-lockable"
+	case CtlCacheTranslations:
+		return "cache-translations"
+	default:
+		return fmt.Sprintf("ctl(%d)", int(c))
+	}
+}
+
+// Personality abstracts the host OS design under the SpaceJMP model: what a
+// control-path operation costs, what a switch costs beyond the CR3 write,
+// and how access decisions are made. It reproduces the paper's two
+// implementations (§4) as two values of one interface.
+type Personality interface {
+	// Name identifies the personality ("dragonfly", "barrelfish").
+	Name() string
+	// ControlCycles is the cost of entering the OS for a management
+	// operation (vas_create, seg_attach, ...): a syscall in DragonFly, an
+	// RPC to the user-space service in Barrelfish.
+	ControlCycles() uint64
+	// SwitchCycles is the cost of entering the OS for vas_switch,
+	// excluding the CR3 load itself: syscall entry in DragonFly, one
+	// capability invocation in Barrelfish.
+	SwitchCycles() uint64
+	// SwitchBookkeeping is the kernel/runtime work performed during a
+	// switch (lock bookkeeping, vmspace lookup). Untagged switches pay
+	// more because the OS's own translations are flushed too (Table 2).
+	SwitchBookkeeping(tagged bool) uint64
+	// CheckVAS authorizes access to a VAS at the given rights.
+	CheckVAS(creds Creds, vas *VAS, want arch.Perm) error
+	// CheckSeg authorizes access to a segment at the given rights.
+	CheckSeg(creds Creds, seg *Segment, want arch.Perm) error
+	// VASCreated and SegCreated let the personality attach its own
+	// security state (ACLs, capabilities) to new objects.
+	VASCreated(creds Creds, vas *VAS)
+	SegCreated(creds Creds, seg *Segment)
+}

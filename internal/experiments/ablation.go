@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+	"spacejmp/internal/gups"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/pt"
+	"spacejmp/internal/vm"
+)
+
+// Ablations for the design choices DESIGN.md calls out. Each returns
+// labeled measurements the harness prints.
+
+// AblationRow is one labeled measurement.
+type AblationRow struct {
+	Label string
+	Value float64
+	Unit  string
+}
+
+// AblationTagPolicy compares GUPS throughput never-tagged vs always-tagged
+// (the §4.4 trade-off: tags retain translations but cost more per CR3
+// write and reduce effective TLB capacity when many spaces share entries).
+func AblationTagPolicy(cfg gups.Config) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, tags := range []bool{false, true} {
+		c := cfg
+		c.UseTags = tags
+		r, err := gups.RunSpaceJMP(kernel.New(hw.NewMachine(gupsMachine(c.Windows))), c)
+		if err != nil {
+			return nil, err
+		}
+		label := "tags off"
+		if tags {
+			label = "tags on"
+		}
+		out = append(out,
+			AblationRow{"GUPS " + label, r.MUPS, "MUPS"},
+			AblationRow{"TLB misses " + label, float64(r.TLBMisses), "misses"},
+		)
+	}
+	return out, nil
+}
+
+// AblationSegCache compares VAS attach cost with per-page mappings versus
+// cached translation subtrees (§4.1), as a function of segment size.
+func AblationSegCache(sizePows []int) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, p := range sizePows {
+		size := uint64(1) << p
+		for _, cached := range []bool{false, true} {
+			m := hw.NewMachine(hw.M2())
+			sys := kernel.New(m)
+			proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+			if err != nil {
+				return nil, err
+			}
+			th, err := proc.NewThread()
+			if err != nil {
+				return nil, err
+			}
+			vid, err := th.VASCreate("abl.v", 0o600)
+			if err != nil {
+				return nil, err
+			}
+			sid, err := th.SegAlloc("abl.s", core.GlobalBase, size, arch.PermRW)
+			if err != nil {
+				return nil, err
+			}
+			if cached {
+				if err := th.SegCtl(sid, core.CtlCacheTranslations, nil); err != nil {
+					return nil, err
+				}
+			}
+			if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+				return nil, err
+			}
+			// Measure attach + first full touch (faults populate the
+			// uncached case; the cached case has no faults at all).
+			before := th.Core.Cycles()
+			h, err := th.VASAttach(vid)
+			if err != nil {
+				return nil, err
+			}
+			if err := th.VASSwitch(h); err != nil {
+				return nil, err
+			}
+			for off := uint64(0); off < size; off += arch.PageSize {
+				if _, err := th.Load64(core.GlobalBase + arch.VirtAddr(off)); err != nil {
+					return nil, err
+				}
+			}
+			cycles := th.Core.Cycles() - before
+			label := fmt.Sprintf("attach+touch 2^%d", p)
+			if cached {
+				label += " cached"
+			} else {
+				label += " per-page"
+			}
+			out = append(out, AblationRow{label, float64(cycles), "cycles"})
+		}
+	}
+	return out, nil
+}
+
+// AblationLockGranularity compares per-segment locking against one global
+// lock across all segments, for a VAS holding several read-only segments
+// read by many concurrent clients. With per-segment locks every reader
+// proceeds; a single VAS-wide mutex would serialize even readers when any
+// writer exists — measured here as the exclusive-path cost difference.
+func AblationLockGranularity() ([]AblationRow, error) {
+	// Per-segment reader/writer locks: two VASes over disjoint segments
+	// can be written concurrently by two threads with zero blocking;
+	// a global lock would serialize the writes. We measure total cycles
+	// for both threads to complete N switch+write rounds under the two
+	// regimes (the global regime simulated by mapping both segments into
+	// one VAS so one write lock spans them).
+	const rounds = 200
+	run := func(shared bool) (uint64, int64, error) {
+		m := hw.NewMachine(hw.M2())
+		sys := kernel.New(m)
+		total := uint64(0)
+		var segIDs []core.SegID
+		segBase := func(i int) arch.VirtAddr {
+			return core.GlobalBase + arch.VirtAddr(uint64(i)*arch.LevelCoverage(3))
+		}
+		var threads []*core.Thread
+		var handles []core.Handle
+		for i := 0; i < 2; i++ {
+			proc, err := sys.NewProcess(core.Creds{UID: uint32(i + 1), GID: 1})
+			if err != nil {
+				return 0, 0, err
+			}
+			th, err := proc.NewThread()
+			if err != nil {
+				return 0, 0, err
+			}
+			threads = append(threads, th)
+		}
+		if shared {
+			// One VAS holding both segments: the write lock set spans both.
+			vid, err := threads[0].VASCreate("abl.shared", 0o666)
+			if err != nil {
+				return 0, 0, err
+			}
+			for i := 0; i < 2; i++ {
+				sid, err := threads[0].SegAlloc(fmt.Sprintf("abl.seg%d", i), segBase(i), 1<<20, arch.PermRW)
+				if err != nil {
+					return 0, 0, err
+				}
+				segIDs = append(segIDs, sid)
+				if err := threads[0].SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+					return 0, 0, err
+				}
+			}
+			for i := 0; i < 2; i++ {
+				h, err := threads[i].VASAttach(vid)
+				if err != nil {
+					return 0, 0, err
+				}
+				handles = append(handles, h)
+			}
+		} else {
+			for i := 0; i < 2; i++ {
+				vid, err := threads[i].VASCreate(fmt.Sprintf("abl.v%d", i), 0o666)
+				if err != nil {
+					return 0, 0, err
+				}
+				sid, err := threads[i].SegAlloc(fmt.Sprintf("abl.seg%d", i), segBase(i), 1<<20, arch.PermRW)
+				if err != nil {
+					return 0, 0, err
+				}
+				segIDs = append(segIDs, sid)
+				if err := threads[i].SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+					return 0, 0, err
+				}
+				h, err := threads[i].VASAttach(vid)
+				if err != nil {
+					return 0, 0, err
+				}
+				handles = append(handles, h)
+			}
+		}
+		// Orchestrate a guaranteed overlap each round: thread 0 switches in
+		// and holds its lock set while thread 1 attempts its own switch.
+		// With disjoint segments thread 1 proceeds immediately; with the
+		// shared lock set it must block until thread 0 leaves.
+		done := make(chan uint64, 2)
+		holderIn := make(chan struct{})
+		release := make(chan struct{})
+		roundDone := make(chan struct{})
+		go func() {
+			th, h := threads[0], handles[0]
+			before := th.Core.Cycles()
+			for r := 0; r < rounds; r++ {
+				if err := th.VASSwitch(h); err != nil {
+					done <- 0
+					return
+				}
+				if err := th.Store64(segBase(0), uint64(r)); err != nil {
+					done <- 0
+					return
+				}
+				holderIn <- struct{}{}
+				<-release
+				if err := th.VASSwitch(core.PrimaryHandle); err != nil {
+					done <- 0
+					return
+				}
+				// Do not start the next round (re-acquiring the lock set)
+				// until the peer finished this one, or we could snatch the
+				// lock back before its pending acquisition is served.
+				<-roundDone
+			}
+			done <- th.Core.Cycles() - before
+		}()
+		go func() {
+			th, h := threads[1], handles[1]
+			before := th.Core.Cycles()
+			for r := 0; r < rounds; r++ {
+				<-holderIn
+				// Let the holder go only after this thread's switch attempt
+				// is in flight; a real-time grace period bounds the skew.
+				go func() {
+					time.Sleep(200 * time.Microsecond)
+					release <- struct{}{}
+				}()
+				if err := th.VASSwitch(h); err != nil { // contends iff shared
+					done <- 0
+					return
+				}
+				if err := th.Store64(segBase(1), uint64(r)); err != nil {
+					done <- 0
+					return
+				}
+				if err := th.VASSwitch(core.PrimaryHandle); err != nil {
+					done <- 0
+					return
+				}
+				roundDone <- struct{}{}
+			}
+			done <- th.Core.Cycles() - before
+		}()
+		total = <-done + <-done
+		var contentions int64
+		for _, sid := range segIDs {
+			seg, err := sys.SegByID(sid)
+			if err != nil {
+				return 0, 0, err
+			}
+			contentions += seg.LockContentions()
+		}
+		return total, contentions, nil
+	}
+	perSegCycles, perSegCont, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	globalCycles, globalCont, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	// Blocked threads consume no simulated cycles, so the work cycles are
+	// near-identical; the serialization shows up as blocked acquisitions.
+	return []AblationRow{
+		{"2 writers, disjoint segments: work", float64(perSegCycles), "cycles"},
+		{"2 writers, disjoint segments: blocked lock acquisitions", float64(perSegCont), "count"},
+		{"2 writers, one shared lock set: work", float64(globalCycles), "cycles"},
+		{"2 writers, one shared lock set: blocked lock acquisitions", float64(globalCont), "count"},
+	}, nil
+}
+
+// AblationPopulate compares eager versus fault-driven population of a
+// fresh mapping followed by a full sequential touch.
+func AblationPopulate(sizePow int) ([]AblationRow, error) {
+	size := uint64(1) << sizePow
+	run := func(flags vm.MapFlags, label string) (AblationRow, error) {
+		m := hw.NewMachine(hw.M2())
+		space, err := vm.NewSpace(m.PM)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		c := m.Cores[0]
+		c.LoadCR3(space.Table(), arch.ASIDFlush)
+		c.OnFault = space.Handler()
+		before := c.Cycles()
+		ptBefore := space.Table().Stats()
+		if _, err := space.MapAnon(core.GlobalBase, size, arch.PermRW, vm.MapFixed|flags); err != nil {
+			return AblationRow{}, err
+		}
+		c.ChargePT(hw.DeltaPT(ptBefore, space.Table().Stats()))
+		for off := uint64(0); off < size; off += arch.PageSize {
+			if _, err := c.Load64(core.GlobalBase + arch.VirtAddr(off)); err != nil {
+				return AblationRow{}, err
+			}
+		}
+		// Charge fault-driven PT work too.
+		c.ChargePT(hw.DeltaPT(ptBefore, space.Table().Stats()))
+		return AblationRow{label, float64(c.Cycles() - before), "cycles"}, nil
+	}
+	eager, err := run(vm.MapPopulate, fmt.Sprintf("map+touch 2^%d eager", sizePow))
+	if err != nil {
+		return nil, err
+	}
+	lazy, err := run(0, fmt.Sprintf("map+touch 2^%d fault-driven", sizePow))
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{eager, lazy}, nil
+}
+
+// AblationHugeGUPS runs the SpaceJMP GUPS design with 4 KiB versus 2 MiB
+// window segments end to end through the public API.
+func AblationHugeGUPS(cfg gups.Config) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, ps := range []uint64{arch.PageSize, arch.HugePageSize} {
+		c := cfg
+		c.PageSize = ps
+		r, err := gups.RunSpaceJMP(kernel.New(hw.NewMachine(gupsMachine(c.Windows))), c)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("GUPS windows on %d KiB pages", ps>>10)
+		out = append(out,
+			AblationRow{label, r.MUPS, "MUPS"},
+			AblationRow{label + " TLB misses", float64(r.TLBMisses), "misses"},
+		)
+	}
+	return out, nil
+}
+
+// AblationPageSize compares a random-touch workload over a region backed
+// by 4 KiB pages versus 2 MiB pages: fewer walker references per miss and
+// vastly larger TLB reach.
+func AblationPageSize(regionPow, touches int) ([]AblationRow, error) {
+	size := uint64(1) << regionPow
+	run := func(pageSize uint64, label string) (AblationRow, error) {
+		m := hw.NewMachine(hw.M3())
+		table, err := pt.New(m.PM)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		order := 0
+		if pageSize == arch.HugePageSize {
+			order = 9
+		}
+		for off := uint64(0); off < size; off += pageSize {
+			frame, err := m.PM.AllocFrames(order, 0)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			if err := table.MapPage(core.GlobalBase+arch.VirtAddr(off), frame, pageSize, arch.PermRW, false); err != nil {
+				return AblationRow{}, err
+			}
+		}
+		c := m.Cores[0]
+		c.LoadCR3(table, arch.ASIDFlush)
+		rng := newDeterministicSequence(size)
+		before := c.Cycles()
+		for i := 0; i < touches; i++ {
+			if _, err := c.Load64(core.GlobalBase + arch.VirtAddr(rng())); err != nil {
+				return AblationRow{}, err
+			}
+		}
+		per := float64(c.Cycles()-before) / float64(touches)
+		return AblationRow{label, per, "cycles/touch"}, nil
+	}
+	small, err := run(arch.PageSize, fmt.Sprintf("random touch 2^%d, 4 KiB pages", regionPow))
+	if err != nil {
+		return nil, err
+	}
+	huge, err := run(arch.HugePageSize, fmt.Sprintf("random touch 2^%d, 2 MiB pages", regionPow))
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{small, huge}, nil
+}
+
+// newDeterministicSequence yields 8-byte-aligned offsets within size.
+func newDeterministicSequence(size uint64) func() uint64 {
+	state := uint64(0x9E3779B97F4A7C15)
+	return func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return (state % (size / 8)) * 8
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"spacejmp/internal/gups"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/sam"
+	"spacejmp/internal/tlb"
+)
+
+// gupsMachine is M3 scaled for simulation: full socket/core/frequency
+// configuration, enough simulated DRAM for the windows, and the default
+// TLB. Window sizes keep the paper's regime (working set >> TLB reach).
+func gupsMachine(windows int) hw.MachineConfig {
+	cfg := hw.M3()
+	// MP needs one core per window plus the master; M3 has 36.
+	if windows+1 > cfg.Sockets*cfg.CoresPerSocket {
+		cfg.CoresPerSocket = (windows + 2) / cfg.Sockets
+	}
+	cfg.TLB = tlb.Config{Sets: 16, Ways: 4} // reach 256 KiB << window
+	return cfg
+}
+
+// Fig8Point is one x-position of Figure 8: MUPS per design at a window
+// count, for one update-set size.
+type Fig8Point struct {
+	Windows   int
+	UpdateSet int
+	SpaceJMP  float64
+	MP        float64
+	MAP       float64
+}
+
+// Fig8 sweeps window counts for both update-set sizes (16 and 64).
+func Fig8(windowCounts []int, updateSets []int, cfg gups.Config) ([]Fig8Point, error) {
+	var out []Fig8Point
+	for _, us := range updateSets {
+		for _, w := range windowCounts {
+			c := cfg
+			c.Windows = w
+			c.UpdateSet = us
+			p := Fig8Point{Windows: w, UpdateSet: us}
+
+			sj, err := gups.RunSpaceJMP(kernel.New(hw.NewMachine(gupsMachine(w))), c)
+			if err != nil {
+				return nil, err
+			}
+			p.SpaceJMP = sj.MUPS
+			mp, err := gups.RunMP(hw.NewMachine(gupsMachine(w)), c)
+			if err != nil {
+				return nil, err
+			}
+			p.MP = mp.MUPS
+			mapRes, err := gups.RunMAP(hw.NewMachine(gupsMachine(w)), c)
+			if err != nil {
+				return nil, err
+			}
+			p.MAP = mapRes.MUPS
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Fig9Point is one x-position of Figure 9: VAS-switch and TLB-miss rates
+// (1k/sec of simulated time) for the SpaceJMP GUPS run.
+type Fig9Point struct {
+	Windows   int
+	UpdateSet int
+	SwitchK   float64 // thousands of switches per second
+	TLBMissK  float64 // thousands of TLB misses per second
+}
+
+// Fig9 derives the rates from SpaceJMP GUPS runs (TLB tagging disabled, as
+// in the paper's figure).
+func Fig9(windowCounts []int, updateSets []int, cfg gups.Config) ([]Fig9Point, error) {
+	var out []Fig9Point
+	for _, us := range updateSets {
+		for _, w := range windowCounts {
+			c := cfg
+			c.Windows = w
+			c.UpdateSet = us
+			c.UseTags = false
+			r, err := gups.RunSpaceJMP(kernel.New(hw.NewMachine(gupsMachine(w))), c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig9Point{
+				Windows:   w,
+				UpdateSet: us,
+				SwitchK:   float64(r.Switches) / r.Seconds / 1e3,
+				TLBMissK:  float64(r.TLBMisses) / r.Seconds / 1e3,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig10 bundles the three Redis sub-figures, produced from measured costs
+// on M1 (the paper's Redis machine).
+type Fig10 struct {
+	Clients []int
+
+	// Figure 10a: GET throughput.
+	GetJmp     []redis.Point
+	GetJmpTags []redis.Point
+	GetRedis   []redis.Point
+	GetRedis6x []redis.Point
+
+	// Figure 10b: SET throughput.
+	SetJmp   []redis.Point
+	SetRedis []redis.Point
+
+	// Figure 10c: mixed GET/SET at full client load.
+	MixPcts  []int
+	MixJmp   []redis.Point
+	MixRedis []redis.Point
+}
+
+// Fig10Clients is the client-count sweep of Figures 10a/10b.
+var Fig10Clients = []int{1, 2, 3, 4, 6, 8, 10, 12, 16, 24, 32, 48, 64, 100}
+
+// Fig10SetPcts is the SET-percentage sweep of Figure 10c.
+var Fig10SetPcts = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// RunFig10 measures per-op costs with and without tags and produces all
+// three figures' series.
+func RunFig10(segSize uint64) (*Fig10, error) {
+	plain, err := redis.MeasureCosts(hw.M1(), false, segSize)
+	if err != nil {
+		return nil, err
+	}
+	tagged, err := redis.MeasureCosts(hw.M1(), true, segSize)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig10{Clients: Fig10Clients, MixPcts: Fig10SetPcts}
+	f.GetJmp = plain.GetSeries(f.Clients)
+	f.GetJmpTags = tagged.GetSeries(f.Clients)
+	f.GetRedis = plain.BaselineGetSeries(f.Clients, 1)
+	f.GetRedis6x = plain.BaselineGetSeries(f.Clients, 6)
+	f.SetJmp = plain.SetSeries(f.Clients)
+	f.SetRedis = plain.BaselineSetSeries(f.Clients)
+	f.MixJmp = plain.MixSeries(12, f.MixPcts)
+	f.MixRedis = plain.BaselineMixSeries(12, f.MixPcts)
+	return f, nil
+}
+
+// samMachine is M1 (the SAMTools runs use the most mature DragonFly
+// platform; the exact host is not stated, results are normalized).
+func samMachine() hw.MachineConfig {
+	cfg := hw.M1()
+	cfg.Mem = mem.Config{DRAMSize: 4 << 30}
+	return cfg
+}
+
+// Fig11Row is one operation of Figure 11 with per-mode simulated seconds
+// (the paper normalizes to the slowest; the harness prints both).
+type Fig11Row struct {
+	Op       sam.Op
+	SAM      float64
+	BAM      float64
+	SpaceJMP float64
+}
+
+// Fig11 runs the three serialization modes over the same synthetic data.
+func Fig11(records int, seed int64) ([]Fig11Row, error) {
+	recs := sam.Generate(records, seed)
+	samRes, err := sam.RunSAM(hw.NewMachine(samMachine()), append([]sam.Record(nil), recs...))
+	if err != nil {
+		return nil, err
+	}
+	bamRes, err := sam.RunBAM(hw.NewMachine(samMachine()), append([]sam.Record(nil), recs...))
+	if err != nil {
+		return nil, err
+	}
+	jmpRes, err := sam.RunSpaceJMP(kernel.New(hw.NewMachine(samMachine())), append([]sam.Record(nil), recs...))
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11Row
+	for _, op := range sam.Ops {
+		out = append(out, Fig11Row{
+			Op: op, SAM: samRes.Seconds[op], BAM: bamRes.Seconds[op], SpaceJMP: jmpRes.Seconds[op],
+		})
+	}
+	return out, nil
+}
+
+// Fig12Row is one operation of Figure 12: mmap'ed region files versus
+// SpaceJMP, simulated seconds.
+type Fig12Row struct {
+	Op       sam.Op
+	Mmap     float64
+	SpaceJMP float64
+}
+
+// Fig12 runs the two in-memory modes over the same synthetic data.
+func Fig12(records int, seed int64) ([]Fig12Row, error) {
+	recs := sam.Generate(records, seed)
+	mmapRes, err := sam.RunMmap(hw.NewMachine(samMachine()), append([]sam.Record(nil), recs...))
+	if err != nil {
+		return nil, err
+	}
+	jmpRes, err := sam.RunSpaceJMP(kernel.New(hw.NewMachine(samMachine())), append([]sam.Record(nil), recs...))
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Row
+	for _, op := range sam.Ops {
+		out = append(out, Fig12Row{Op: op, Mmap: mmapRes.Seconds[op], SpaceJMP: jmpRes.Seconds[op]})
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"testing"
+
+	"spacejmp/internal/gups"
+)
+
+// The experiment drivers are exercised at reduced scale; EXPERIMENTS.md
+// records full-scale results. These tests assert the paper's qualitative
+// shapes, not absolute numbers.
+
+func quickGUPS() gups.Config {
+	return gups.Config{Windows: 2, WindowSize: 1 << 20, UpdateSet: 16, Visits: 32, Seed: 1}
+}
+
+func TestFig1Shape(t *testing.T) {
+	pts, err := Fig1(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Map cost grows with region size; at 2^22 it must be far above 2^15.
+	first, last := pts[0], pts[len(pts)-1]
+	if last.MapMs < first.MapMs*10 {
+		t.Errorf("map cost did not scale: %.4f ms -> %.4f ms", first.MapMs, last.MapMs)
+	}
+	if last.UnmapMs < first.UnmapMs*10 {
+		t.Errorf("unmap cost did not scale: %.4f -> %.4f", first.UnmapMs, last.UnmapMs)
+	}
+	// Cached attach is O(1): flat across sizes and far below map cost.
+	if last.MapCachedMs > first.MapCachedMs*2 {
+		t.Errorf("cached map cost not flat: %.6f -> %.6f", first.MapCachedMs, last.MapCachedMs)
+	}
+	if last.MapCachedMs >= last.MapMs/10 {
+		t.Errorf("cached map (%.6f ms) not well below map (%.4f ms)", last.MapCachedMs, last.MapMs)
+	}
+}
+
+func TestFig1PaperCalibration(t *testing.T) {
+	// The paper: constructing page tables for a 1 GiB region with 4 KiB
+	// pages takes about 5 ms. Verify our cost model reproduces the order
+	// of magnitude (between 2 and 15 ms).
+	pts, err := Fig1(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[len(pts)-1]
+	if p.SizePow != 30 {
+		t.Fatalf("last point 2^%d", p.SizePow)
+	}
+	if p.MapMs < 2 || p.MapMs > 15 {
+		t.Errorf("1 GiB map = %.2f ms, paper says ~5 ms", p.MapMs)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 || rows[0].Name != "M1" || rows[2].GHz != 2.30 {
+		t.Errorf("table 1 rows = %+v", rows)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][4]uint64{
+		// Operation -> {DragonFly, DragonFly tagged, Barrelfish, Barrelfish tagged}
+		"CR3 load":    {130, 224, 130, 224},
+		"system call": {357, 357, 130, 130},
+		"vas_switch":  {1127, 807, 664, 462},
+	}
+	for _, r := range rows {
+		w := want[r.Operation]
+		got := [4]uint64{r.DragonFly, r.DragonFlyT, r.Barrelfish, r.BarrelfishT}
+		if got != w {
+			t.Errorf("%s = %v, Table 2 says %v", r.Operation, got, w)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	pts, err := Fig6([]int{64, 512, 4096}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := pts[0], pts[len(pts)-1]
+	// Small working set: tagging retains translations, approaching the
+	// no-switch latency and far below the flushing case.
+	if small.SwitchTagOn > small.NoSwitch*2 {
+		t.Errorf("small set: tagged %.1f not near no-switch %.1f", small.SwitchTagOn, small.NoSwitch)
+	}
+	if small.SwitchTagOff < small.SwitchTagOn*3 {
+		t.Errorf("small set: flush %.1f not far above tagged %.1f", small.SwitchTagOff, small.SwitchTagOn)
+	}
+	// Beyond TLB capacity the benefit tails off: tagged approaches flush.
+	if large.SwitchTagOn < large.SwitchTagOff*0.5 {
+		t.Errorf("large set: tagged %.1f still far below flush %.1f; benefit should tail off",
+			large.SwitchTagOn, large.SwitchTagOff)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	pts, err := Fig7([]int{4, 64, 4096, 262144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := pts[0], pts[len(pts)-1]
+	// Small messages: intra-socket URPC beats SpaceJMP (system call and
+	// context switch overheads), per §5.1.
+	if small.URPCLocal >= small.SpaceJMP {
+		t.Errorf("4B: URPC local (%d) not below SpaceJMP (%d)", small.URPCLocal, small.SpaceJMP)
+	}
+	// Cross-socket: the interconnect dominates; SpaceJMP wins.
+	if small.SpaceJMP >= small.URPCCross {
+		t.Errorf("4B: SpaceJMP (%d) not below URPC cross (%d)", small.SpaceJMP, small.URPCCross)
+	}
+	if big.SpaceJMP >= big.URPCCross {
+		t.Errorf("256KiB: SpaceJMP (%d) not below URPC cross (%d)", big.SpaceJMP, big.URPCCross)
+	}
+	// Latency grows with size in all mechanisms.
+	if big.URPCLocal <= small.URPCLocal || big.SpaceJMP <= small.SpaceJMP {
+		t.Error("latency did not grow with transfer size")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	pts, err := Fig8([]int{1, 4}, []int{16}, quickGUPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	one, four := pts[0], pts[1]
+	// One window: all close. Many windows: MAP collapses, SpaceJMP >= MP.
+	if four.MAP*2 > one.MAP {
+		t.Errorf("MAP did not collapse: %.2f -> %.2f MUPS", one.MAP, four.MAP)
+	}
+	if four.SpaceJMP < four.MP*0.9 {
+		t.Errorf("SpaceJMP (%.2f) below MP (%.2f) at 4 windows", four.SpaceJMP, four.MP)
+	}
+	if four.SpaceJMP < four.MAP {
+		t.Errorf("SpaceJMP (%.2f) below MAP (%.2f) at 4 windows", four.SpaceJMP, four.MAP)
+	}
+}
+
+func TestFig9Rates(t *testing.T) {
+	pts, err := Fig9([]int{2}, []int{16}, quickGUPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.SwitchK <= 0 || p.TLBMissK <= 0 {
+		t.Fatalf("rates = %+v", p)
+	}
+	// TLB misses outnumber switches (each visit misses many times).
+	if p.TLBMissK <= p.SwitchK {
+		t.Errorf("miss rate %.0fk <= switch rate %.0fk", p.TLBMissK, p.SwitchK)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	f, err := RunFig10(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(f.Clients) - 1
+	// Headline shapes (details are asserted in internal/redis tests).
+	if f.GetJmp[0].RPS < 2.5*f.GetRedis[0].RPS {
+		t.Errorf("1-client GET: RedisJMP %.0f not ~4x Redis %.0f", f.GetJmp[0].RPS, f.GetRedis[0].RPS)
+	}
+	if f.GetJmp[last].RPS <= f.GetRedis6x[last].RPS {
+		t.Errorf("full load: RedisJMP %.0f not above Redis6x %.0f", f.GetJmp[last].RPS, f.GetRedis6x[last].RPS)
+	}
+	if f.GetJmpTags[0].RPS <= f.GetJmp[0].RPS {
+		t.Errorf("tags did not improve GET: %.0f vs %.0f", f.GetJmpTags[0].RPS, f.GetJmp[0].RPS)
+	}
+	if f.SetJmp[0].RPS <= f.SetRedis[0].RPS {
+		t.Errorf("1-client SET: RedisJMP %.0f not above Redis %.0f", f.SetJmp[0].RPS, f.SetRedis[0].RPS)
+	}
+	// Figure 10c: monotone decline as SETs increase.
+	for i := 1; i < len(f.MixJmp); i++ {
+		if f.MixJmp[i].RPS > f.MixJmp[i-1].RPS {
+			t.Errorf("mix not declining at %d%% SETs", f.MixPcts[i])
+		}
+	}
+}
+
+func TestFig11Fig12Shapes(t *testing.T) {
+	rows11, err := Fig11(250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows11 {
+		if r.SpaceJMP >= r.SAM || r.SpaceJMP >= r.BAM {
+			t.Errorf("%s: SpaceJMP %.4f not below SAM %.4f / BAM %.4f", r.Op, r.SpaceJMP, r.SAM, r.BAM)
+		}
+	}
+	rows12, err := Fig12(250, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows12 {
+		if r.SpaceJMP > r.Mmap*1.3 {
+			t.Errorf("%s: SpaceJMP %.4f not comparable to mmap %.4f", r.Op, r.SpaceJMP, r.Mmap)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tag, err := AblationTagPolicy(quickGUPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tag) != 4 {
+		t.Fatalf("tag rows = %d", len(tag))
+	}
+	if tag[3].Value >= tag[1].Value {
+		t.Errorf("tags-on misses (%v) not below tags-off (%v)", tag[3].Value, tag[1].Value)
+	}
+	segCache, err := AblationSegCache([]int{20, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached attach+touch must beat per-page at both sizes.
+	if segCache[1].Value >= segCache[0].Value {
+		t.Errorf("cached (%v) not below per-page (%v)", segCache[1].Value, segCache[0].Value)
+	}
+	locks, err := AblationLockGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locks) != 4 {
+		t.Fatal("lock rows")
+	}
+	// Disjoint segments never block; the shared lock set must contend.
+	if locks[1].Value != 0 {
+		t.Errorf("disjoint-segment writers blocked %v times", locks[1].Value)
+	}
+	if locks[3].Value == 0 {
+		t.Error("shared lock set never contended")
+	}
+	pop, err := AblationPopulate(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 2 || pop[0].Value <= 0 || pop[1].Value <= 0 {
+		t.Fatalf("populate rows = %+v", pop)
+	}
+	pages, err := AblationPageSize(24, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages[1].Value >= pages[0].Value {
+		t.Errorf("2 MiB pages (%v cycles/touch) not below 4 KiB (%v)", pages[1].Value, pages[0].Value)
+	}
+	huge, err := AblationHugeGUPS(quickGUPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(huge) != 4 {
+		t.Fatalf("huge gups rows = %d", len(huge))
+	}
+	// 2 MiB windows: higher MUPS, fewer misses.
+	if huge[2].Value <= huge[0].Value {
+		t.Errorf("huge-window GUPS (%v MUPS) not above 4 KiB (%v)", huge[2].Value, huge[0].Value)
+	}
+	if huge[3].Value >= huge[1].Value {
+		t.Errorf("huge-window misses (%v) not below 4 KiB (%v)", huge[3].Value, huge[1].Value)
+	}
+}

@@ -1,0 +1,345 @@
+// Package hw models the hardware the SpaceJMP prototypes ran on: multi-core,
+// dual-socket machines (paper Table 1) whose cores each hold a CR3 root
+// pointer and a tagged TLB, with a deterministic cycle cost model calibrated
+// to the paper's Table 2 measurements.
+//
+// All simulated work is charged to a per-core cycle counter; benchmarks
+// convert cycles to time using the machine's clock frequency, which lets the
+// reproduction report the same units the paper does regardless of the speed
+// of the host running the simulation.
+package hw
+
+import (
+	"fmt"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/pt"
+	"spacejmp/internal/tlb"
+)
+
+// CostModel holds the hardware cycle costs. The CR3 constants come straight
+// from Table 2 (measured on M2): loading CR3 costs 130 cycles untagged and
+// 224 cycles with PCID tagging enabled, because the tagged write activates
+// extra TLB circuitry.
+type CostModel struct {
+	CR3Load       uint64 // write to CR3, untagged
+	CR3LoadTagged uint64 // write to CR3 with a PCID tag
+	TLBHit        uint64 // translation served from the TLB
+	WalkRef       uint64 // one page-walker memory reference
+	MemAccess     uint64 // one cache-line data access
+	CacheLineXfer uint64 // cache-line transfer between cores, same socket
+	CacheLineXSoc uint64 // cache-line transfer across sockets (coherence round trip)
+
+	// Kernel page-table manipulation costs (Figure 1's mmap/munmap cost
+	// model): writing one PTE, allocating+zeroing one table node, and
+	// freeing one.
+	PTESet     uint64
+	PTEClear   uint64
+	TableAlloc uint64
+	TableFree  uint64
+}
+
+// DefaultCost is the cost model used by every machine config.
+var DefaultCost = CostModel{
+	CR3Load:       130,
+	CR3LoadTagged: 224,
+	TLBHit:        1,
+	WalkRef:       40,
+	MemAccess:     4,
+	CacheLineXfer: 100,
+	CacheLineXSoc: 450,
+	PTESet:        45,
+	PTEClear:      25,
+	TableAlloc:    600,
+	TableFree:     300,
+}
+
+// MachineConfig describes a simulated platform.
+type MachineConfig struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	GHz            float64
+	Mem            mem.Config
+	TLB            tlb.Config
+	Cost           CostModel
+}
+
+// The three large-memory platforms of Table 1. Physical memory is lazily
+// materialized, so the full capacities are simulated faithfully.
+func M1() MachineConfig {
+	// The Xeon X5650 is a 6-core part; §5.3 calls M1 "the twelve core
+	// machine" (SMT disabled), i.e. 2 sockets x 6 cores.
+	return MachineConfig{Name: "M1", Sockets: 2, CoresPerSocket: 6, GHz: 2.66,
+		Mem: mem.Config{DRAMSize: 92 << 30}, TLB: tlb.DefaultConfig, Cost: DefaultCost}
+}
+
+func M2() MachineConfig {
+	return MachineConfig{Name: "M2", Sockets: 2, CoresPerSocket: 10, GHz: 2.50,
+		Mem: mem.Config{DRAMSize: 256 << 30}, TLB: tlb.DefaultConfig, Cost: DefaultCost}
+}
+
+func M3() MachineConfig {
+	return MachineConfig{Name: "M3", Sockets: 2, CoresPerSocket: 18, GHz: 2.30,
+		Mem: mem.Config{DRAMSize: 512 << 30}, TLB: tlb.DefaultConfig, Cost: DefaultCost}
+}
+
+// SmallTest returns a small machine for unit tests.
+func SmallTest() MachineConfig {
+	return MachineConfig{Name: "test", Sockets: 2, CoresPerSocket: 2, GHz: 2.0,
+		Mem: mem.Config{DRAMSize: 512 << 20, NVMSize: 128 << 20}, TLB: tlb.Config{Sets: 16, Ways: 4}, Cost: DefaultCost}
+}
+
+// Machine is a simulated platform instance.
+type Machine struct {
+	Cfg   MachineConfig
+	PM    *mem.PhysMem
+	Cores []*Core
+}
+
+// NewMachine boots a machine: physical memory plus one Core per hardware
+// thread (SMT is disabled in the paper's setup).
+func NewMachine(cfg MachineConfig) *Machine {
+	m := &Machine{Cfg: cfg, PM: mem.New(cfg.Mem)}
+	n := cfg.Sockets * cfg.CoresPerSocket
+	for i := 0; i < n; i++ {
+		m.Cores = append(m.Cores, &Core{
+			ID:      i,
+			Socket:  i / cfg.CoresPerSocket,
+			machine: m,
+			TLB:     tlb.New(cfg.TLB),
+		})
+	}
+	return m
+}
+
+// SameSocket reports whether two cores share a socket (Figure 7's URPC L
+// vs URPC X distinction).
+func (m *Machine) SameSocket(a, b int) bool {
+	return m.Cores[a].Socket == m.Cores[b].Socket
+}
+
+// CyclesToNs converts a cycle count to nanoseconds at this machine's clock.
+func (m *Machine) CyclesToNs(cycles uint64) float64 {
+	return float64(cycles) / m.Cfg.GHz
+}
+
+// CoreStats counts per-core MMU events.
+type CoreStats struct {
+	TLBHits   uint64
+	TLBMisses uint64
+	Faults    uint64
+	CR3Loads  uint64
+}
+
+// PageFault is delivered when a translation is absent or permissions are
+// insufficient. The OS personality's fault handler decides whether to
+// populate the mapping and retry.
+type PageFault struct {
+	VA     arch.VirtAddr
+	Access arch.Access
+	Cause  error // underlying pt.NotMappedError or permission violation
+}
+
+func (f *PageFault) Error() string {
+	return fmt.Sprintf("hw: page fault: %v %v (%v)", f.Access, f.VA, f.Cause)
+}
+
+// FaultHandler resolves a page fault, typically by establishing a mapping.
+// Returning a non-nil error aborts the faulting access.
+type FaultHandler func(c *Core, f *PageFault) error
+
+// Core is one hardware thread: CR3, an ASID, a private TLB, and a cycle
+// counter. A Core is driven by exactly one simulated OS thread at a time.
+type Core struct {
+	ID     int
+	Socket int
+	TLB    *tlb.TLB
+
+	machine *Machine
+	table   *pt.Table // the address space CR3 points at
+	asid    arch.ASID
+	cycles  uint64
+	stats   CoreStats
+
+	// OnFault is invoked on page faults; nil means faults are fatal to the
+	// access. The OS personality installs its handler here.
+	OnFault FaultHandler
+}
+
+// Machine returns the machine this core belongs to.
+func (c *Core) Machine() *Machine { return c.machine }
+
+// Cycles returns the core's consumed cycle count.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// AddCycles charges work to the core (used by OS personalities for syscall
+// and bookkeeping costs).
+func (c *Core) AddCycles(n uint64) { c.cycles += n }
+
+// Stats returns a snapshot of the core's MMU counters.
+func (c *Core) Stats() CoreStats { return c.stats }
+
+// ResetStats clears the MMU counters.
+func (c *Core) ResetStats() { c.stats = CoreStats{}; c.TLB.ResetStats() }
+
+// ASID returns the currently loaded address-space tag.
+func (c *Core) ASID() arch.ASID { return c.asid }
+
+// CR3 returns the root of the currently active page table, or 0 if none.
+func (c *Core) CR3() arch.PhysAddr {
+	if c.table == nil {
+		return 0
+	}
+	return c.table.Root()
+}
+
+// Table returns the active page table object.
+func (c *Core) Table() *pt.Table { return c.table }
+
+// LoadCR3 activates an address space. With the reserved flush tag (ASID 0),
+// all non-global TLB entries are invalidated, as on pre-PCID x86; with a
+// real tag the TLB is retained and the write costs more cycles (Table 2).
+func (c *Core) LoadCR3(t *pt.Table, asid arch.ASID) {
+	cost := &c.machine.Cfg.Cost
+	if asid == arch.ASIDFlush {
+		c.cycles += cost.CR3Load
+		c.TLB.FlushAll()
+	} else {
+		c.cycles += cost.CR3LoadTagged
+	}
+	c.table = t
+	c.asid = asid
+	c.stats.CR3Loads++
+}
+
+// Translate resolves va for the given access kind, charging TLB and walk
+// cycles. On a miss it walks the active page table and fills the TLB. On a
+// translation or permission failure it raises a page fault: if OnFault is
+// set and resolves the fault, the translation is retried once.
+func (c *Core) Translate(va arch.VirtAddr, access arch.Access) (arch.PhysAddr, error) {
+	pa, err := c.translateOnce(va, access)
+	if err == nil {
+		return pa, nil
+	}
+	f, ok := err.(*PageFault)
+	if !ok || c.OnFault == nil {
+		return 0, err
+	}
+	c.stats.Faults++
+	if herr := c.OnFault(c, f); herr != nil {
+		return 0, herr
+	}
+	return c.translateOnce(va, access)
+}
+
+func (c *Core) translateOnce(va arch.VirtAddr, access arch.Access) (arch.PhysAddr, error) {
+	cost := &c.machine.Cfg.Cost
+	c.cycles += cost.TLBHit
+	if e, ok := c.TLB.Lookup(c.asid, va); ok {
+		if e.Perm.Allows(access.Perm()) {
+			c.stats.TLBHits++
+			return e.Frame + arch.PhysAddr(uint64(va)%e.PageSize), nil
+		}
+		// Permission violation on a cached translation: as on x86, the
+		// entry may be stale after a PTE upgrade, so drop it and re-walk
+		// the paging structures before raising the fault.
+		c.TLB.FlushPage(c.asid, va)
+	}
+	c.stats.TLBMisses++
+	if c.table == nil {
+		return 0, &PageFault{VA: va, Access: access, Cause: fmt.Errorf("no address space loaded")}
+	}
+	r, err := c.table.Walk(va)
+	c.cycles += uint64(r.Refs) * cost.WalkRef
+	if err != nil {
+		return 0, &PageFault{VA: va, Access: access, Cause: err}
+	}
+	if !r.Perm.Allows(access.Perm()) {
+		return 0, &PageFault{VA: va, Access: access, Cause: fmt.Errorf("%v mapping denies %v", r.Perm, access)}
+	}
+	base := arch.AlignDown(va, r.PageSize)
+	frame := r.PA - arch.PhysAddr(uint64(va)-uint64(base))
+	c.TLB.Insert(c.asid, base, frame, r.PageSize, r.Perm, r.Global)
+	return r.PA, nil
+}
+
+// Read copies size bytes of virtual memory at va into buf, translating page
+// by page and charging one MemAccess per cache line touched.
+func (c *Core) Read(va arch.VirtAddr, buf []byte) error {
+	return c.access(va, buf, arch.AccessRead)
+}
+
+// Write copies buf into virtual memory at va.
+func (c *Core) Write(va arch.VirtAddr, buf []byte) error {
+	return c.access(va, buf, arch.AccessWrite)
+}
+
+func (c *Core) access(va arch.VirtAddr, buf []byte, kind arch.Access) error {
+	cost := &c.machine.Cfg.Cost
+	for len(buf) > 0 {
+		pa, err := c.Translate(va, kind)
+		if err != nil {
+			return err
+		}
+		n := arch.PageSize - int(va.PageOffset())
+		if n > len(buf) {
+			n = len(buf)
+		}
+		c.cycles += cost.MemAccess * uint64((n+arch.CacheLineSize-1)/arch.CacheLineSize)
+		if kind == arch.AccessWrite {
+			err = c.machine.PM.WriteAt(pa, buf[:n])
+		} else {
+			err = c.machine.PM.ReadAt(pa, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		va += arch.VirtAddr(n)
+	}
+	return nil
+}
+
+// ChargePT charges the core for kernel page-table manipulation described by
+// a pt.Stats delta (entries written/cleared, table nodes allocated/freed) —
+// the in-kernel work of mmap, munmap, and segment attach.
+func (c *Core) ChargePT(delta pt.Stats) {
+	cost := &c.machine.Cfg.Cost
+	c.cycles += delta.EntriesSet*cost.PTESet +
+		delta.EntriesCleared*cost.PTEClear +
+		delta.TablesAllocated*cost.TableAlloc +
+		delta.TablesFreed*cost.TableFree
+}
+
+// DeltaPT subtracts two pt.Stats snapshots.
+func DeltaPT(before, after pt.Stats) pt.Stats {
+	return pt.Stats{
+		TablesAllocated: after.TablesAllocated - before.TablesAllocated,
+		TablesFreed:     after.TablesFreed - before.TablesFreed,
+		EntriesSet:      after.EntriesSet - before.EntriesSet,
+		EntriesCleared:  after.EntriesCleared - before.EntriesCleared,
+		Walks:           after.Walks - before.Walks,
+	}
+}
+
+// Load64 reads an aligned uint64 at va.
+func (c *Core) Load64(va arch.VirtAddr) (uint64, error) {
+	pa, err := c.Translate(va, arch.AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	c.cycles += c.machine.Cfg.Cost.MemAccess
+	return c.machine.PM.Load64(pa)
+}
+
+// Store64 writes an aligned uint64 at va.
+func (c *Core) Store64(va arch.VirtAddr, v uint64) error {
+	pa, err := c.Translate(va, arch.AccessWrite)
+	if err != nil {
+		return err
+	}
+	c.cycles += c.machine.Cfg.Cost.MemAccess
+	return c.machine.PM.Store64(pa, v)
+}

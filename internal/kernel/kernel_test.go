@@ -1,0 +1,172 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+	"spacejmp/internal/hw"
+)
+
+func TestACLModeBits(t *testing.T) {
+	owner := core.Creds{UID: 100, GID: 10}
+	acl := NewACL(owner, 0o640)
+	cases := []struct {
+		name  string
+		creds core.Creds
+		want  arch.Perm
+		ok    bool
+	}{
+		{"owner rw", owner, arch.PermRW, true},
+		{"owner exec", owner, arch.PermExec, false},
+		{"group read", core.Creds{UID: 200, GID: 10}, arch.PermRead, true},
+		{"group write", core.Creds{UID: 200, GID: 10}, arch.PermWrite, false},
+		{"other read", core.Creds{UID: 300, GID: 30}, arch.PermRead, false},
+	}
+	for _, c := range cases {
+		err := acl.Check(c.creds, c.want)
+		if c.ok && err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: allowed", c.name)
+		}
+	}
+}
+
+func TestACLGrantRevoke(t *testing.T) {
+	acl := NewACL(core.Creds{UID: 100, GID: 10}, 0o600)
+	stranger := core.Creds{UID: 300, GID: 30}
+	if acl.Check(stranger, arch.PermRead) == nil {
+		t.Fatal("stranger allowed before grant")
+	}
+	acl.Grant(300, arch.PermRead)
+	if err := acl.Check(stranger, arch.PermRead); err != nil {
+		t.Fatalf("after grant: %v", err)
+	}
+	if acl.Check(stranger, arch.PermWrite) == nil {
+		t.Error("grant over-approximated")
+	}
+	acl.Revoke(300)
+	if acl.Check(stranger, arch.PermRead) == nil {
+		t.Error("revoke ineffective")
+	}
+}
+
+func TestTable2DragonFlyCalibration(t *testing.T) {
+	p := Personality{}
+	// vas_switch total = syscall + bookkeeping + CR3 load (Table 2, M2).
+	untagged := p.SwitchCycles() + p.SwitchBookkeeping(false) + hw.DefaultCost.CR3Load
+	tagged := p.SwitchCycles() + p.SwitchBookkeeping(true) + hw.DefaultCost.CR3LoadTagged
+	if untagged != 1127 {
+		t.Errorf("untagged vas_switch = %d cycles, Table 2 says 1127", untagged)
+	}
+	if tagged != 807 {
+		t.Errorf("tagged vas_switch = %d cycles, Table 2 says 807", tagged)
+	}
+	if p.ControlCycles() != 357 {
+		t.Errorf("syscall = %d, Table 2 says 357", p.ControlCycles())
+	}
+}
+
+func TestEndToEndACLEnforcement(t *testing.T) {
+	sys := New(hw.NewMachine(hw.SmallTest()))
+	owner, err := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot, err := owner.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mode 0o600: owner-only.
+	vid, err := ot.VASCreate("private", 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ot.VASAttach(vid); err != nil {
+		t.Fatalf("owner attach: %v", err)
+	}
+
+	otherProc, err := sys.NewProcess(core.Creds{UID: 300, GID: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := otherProc.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.VASAttach(vid); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("stranger attach to 0600 VAS: %v", err)
+	}
+
+	// Group-readable VAS admits a group member.
+	gvid, err := ot.VASCreate("groupshare", 0o660)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mateProc, err := sys.NewProcess(core.Creds{UID: 200, GID: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mate, err := mateProc.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mate.VASAttach(gvid); err != nil {
+		t.Errorf("group member attach: %v", err)
+	}
+}
+
+func TestSegmentACLOnAttach(t *testing.T) {
+	sys := New(hw.NewMachine(hw.SmallTest()))
+	p1, _ := sys.NewProcess(core.Creds{UID: 100, GID: 10})
+	t1, _ := p1.NewThread()
+	vid, _ := t1.VASCreate("v", 0o666)
+	sid, err := t1.SegAlloc("s", core.GlobalBase, 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stranger may not attach the owner's segment into a VAS (segment ACL
+	// is 0660 and stranger is not in the group).
+	p2, _ := sys.NewProcess(core.Creds{UID: 999, GID: 999})
+	t2, _ := p2.NewThread()
+	if err := t2.SegAttachVAS(vid, sid, arch.PermRW); !errors.Is(err, core.ErrDenied) {
+		t.Errorf("stranger seg_attach: %v", err)
+	}
+	// The owner grants the stranger read access explicitly via ACL.
+	seg := segOf(t, sys, t1, "s")
+	seg.Security.(*ACL).Grant(999, arch.PermRead)
+	if err := t2.SegAttachVAS(vid, sid, arch.PermRead); err != nil {
+		t.Errorf("granted read attach: %v", err)
+	}
+}
+
+func segOf(t *testing.T, sys *core.System, th *core.Thread, name string) *core.Segment {
+	t.Helper()
+	sid, err := th.SegFind(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := sys.SegByID(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestSwitchCostEndToEnd(t *testing.T) {
+	sys := New(hw.NewMachine(hw.SmallTest()))
+	p, _ := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	th, _ := p.NewThread()
+	vid, _ := th.VASCreate("v", 0o600)
+	h, _ := th.VASAttach(vid)
+	before := th.Core.Cycles()
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := th.Core.Cycles() - before; got != 1127 {
+		t.Errorf("end-to-end untagged vas_switch = %d cycles, want 1127", got)
+	}
+}

@@ -1,0 +1,108 @@
+package mem
+
+import "fmt"
+
+// buddy is a classic binary buddy allocator over frame numbers. Order 0 is a
+// single 4 KiB frame; order k is a naturally aligned run of 2^k frames.
+type buddy struct {
+	base   uint64 // first PFN managed
+	frames uint64 // number of frames managed
+
+	// free[k] holds the base PFNs (relative to base) of free order-k
+	// blocks. Sets give O(1) buddy lookup during coalescing.
+	freeLists [MaxOrder + 1]map[uint64]struct{}
+
+	// allocated tracks live blocks (relative base PFN -> order) so Free can
+	// validate double-frees and mismatched orders.
+	allocated map[uint64]int
+
+	freeFrames uint64
+}
+
+func newBuddy(base, frames uint64) *buddy {
+	b := &buddy{base: base, frames: frames, allocated: make(map[uint64]int)}
+	for k := range b.freeLists {
+		b.freeLists[k] = make(map[uint64]struct{})
+	}
+	// Seed the free lists greedily with the largest aligned blocks.
+	pfn := uint64(0)
+	for pfn < frames {
+		k := MaxOrder
+		for k > 0 && (pfn&(1<<k-1) != 0 || pfn+1<<k > frames) {
+			k--
+		}
+		b.freeLists[k][pfn] = struct{}{}
+		pfn += 1 << k
+	}
+	b.freeFrames = frames
+	return b
+}
+
+// alloc returns the absolute base PFN of a free order-k block.
+func (b *buddy) alloc(order int) (uint64, bool) {
+	k := order
+	for k <= MaxOrder && len(b.freeLists[k]) == 0 {
+		k++
+	}
+	if k > MaxOrder {
+		return 0, false
+	}
+	var blk uint64
+	for blk = range b.freeLists[k] {
+		break
+	}
+	delete(b.freeLists[k], blk)
+	// Split down to the requested order, freeing the upper buddies.
+	for k > order {
+		k--
+		b.freeLists[k][blk+1<<k] = struct{}{}
+	}
+	b.allocated[blk] = order
+	b.freeFrames -= 1 << order
+	return b.base + blk, true
+}
+
+// free releases the block at absolute PFN pfn with the given order,
+// coalescing with free buddies.
+func (b *buddy) free(pfn uint64, order int) error {
+	if pfn < b.base || pfn-b.base >= b.frames {
+		return fmt.Errorf("mem: free of PFN %d outside tier", pfn)
+	}
+	blk := pfn - b.base
+	got, ok := b.allocated[blk]
+	if !ok {
+		return fmt.Errorf("mem: double free or bad base PFN %d", pfn)
+	}
+	if got != order {
+		return fmt.Errorf("mem: free order %d mismatches allocation order %d", order, got)
+	}
+	delete(b.allocated, blk)
+	b.freeFrames += 1 << order
+	k := order
+	for k < MaxOrder {
+		bud := blk ^ (1 << k)
+		if _, ok := b.freeLists[k][bud]; !ok {
+			break
+		}
+		delete(b.freeLists[k], bud)
+		if bud < blk {
+			blk = bud
+		}
+		k++
+	}
+	b.freeLists[k][blk] = struct{}{}
+	return nil
+}
+
+// reset frees every live allocation and returns how many frames it released.
+func (b *buddy) reset() uint64 {
+	var released uint64
+	for blk, order := range b.allocated {
+		released += 1 << order
+		// Reuse free() for coalescing; it cannot fail for a live block.
+		if err := b.free(b.base+blk, order); err != nil {
+			panic("mem: reset: " + err.Error())
+		}
+	}
+	return released
+}

@@ -1,0 +1,295 @@
+// Package mem simulates the physical memory of the machine: a flat physical
+// address space carved into 4 KiB frames, managed by a buddy allocator, and
+// optionally split into a volatile DRAM tier and a persistent NVM tier.
+//
+// Frame contents are materialized lazily as Go byte slices, so a simulated
+// machine can expose a physical address space much larger than the memory
+// the test process actually touches — mirroring the paper's premise (§2.1)
+// that physical capacity outgrows what a process can comfortably map.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"spacejmp/internal/arch"
+)
+
+// Tier identifies the class of physical memory a frame lives in.
+type Tier int
+
+const (
+	// TierDRAM is the volatile performance tier.
+	TierDRAM Tier = iota
+	// TierNVM is the persistent capacity tier (byte-addressable NVM). Its
+	// frames survive PhysMem.PowerCycle, which models a reboot.
+	TierNVM
+
+	numTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierDRAM:
+		return "dram"
+	case TierNVM:
+		return "nvm"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// MaxOrder is the largest buddy order: order 0 is one 4 KiB frame, so
+// MaxOrder 18 is a 1 GiB contiguous block.
+const MaxOrder = 18
+
+// Config sizes the two memory tiers in bytes. NVM may be zero.
+// NVMSuperblock reserves the first bytes of the NVM tier outside the
+// allocator: a well-known persistent region where the OS keeps the
+// metadata needed to rebuild state after a power cycle (paper §7,
+// persistent VASes).
+type Config struct {
+	DRAMSize      uint64
+	NVMSize       uint64
+	NVMSuperblock uint64
+}
+
+// Stats reports allocator and content activity.
+type Stats struct {
+	AllocatedBytes uint64 // currently allocated
+	PeakBytes      uint64 // high-water mark
+	Allocs         uint64
+	Frees          uint64
+	FailedAllocs   uint64
+	ZeroedPages    uint64 // frames whose content was materialized (zeroed)
+}
+
+// PhysMem is the machine's simulated physical memory.
+type PhysMem struct {
+	mu    sync.Mutex
+	tiers [numTiers]*buddy
+	cfg   Config
+
+	pages map[uint64]*[arch.PageSize]byte // PFN -> content, lazy
+	stats Stats
+}
+
+// New creates a physical memory with the given tier sizes. Sizes are rounded
+// down to whole frames. DRAM occupies physical addresses [0, DRAMSize) and
+// NVM [DRAMSize, DRAMSize+NVMSize).
+func New(cfg Config) *PhysMem {
+	cfg.DRAMSize &^= arch.PageSize - 1
+	cfg.NVMSize &^= arch.PageSize - 1
+	cfg.NVMSuperblock = arch.PagesIn(cfg.NVMSuperblock) * arch.PageSize
+	if cfg.NVMSuperblock > cfg.NVMSize {
+		cfg.NVMSuperblock = cfg.NVMSize
+	}
+	pm := &PhysMem{cfg: cfg, pages: make(map[uint64]*[arch.PageSize]byte)}
+	pm.tiers[TierDRAM] = newBuddy(0, cfg.DRAMSize/arch.PageSize)
+	pm.tiers[TierNVM] = newBuddy((cfg.DRAMSize+cfg.NVMSuperblock)/arch.PageSize,
+		(cfg.NVMSize-cfg.NVMSuperblock)/arch.PageSize)
+	return pm
+}
+
+// Superblock returns the reserved persistent region's base and size
+// (size 0 when no superblock is configured). Its contents survive
+// PowerCycle like all NVM.
+func (pm *PhysMem) Superblock() (arch.PhysAddr, uint64) {
+	return arch.PhysAddr(pm.cfg.DRAMSize), pm.cfg.NVMSuperblock
+}
+
+// Size returns the total physical memory size in bytes.
+func (pm *PhysMem) Size() uint64 { return pm.cfg.DRAMSize + pm.cfg.NVMSize }
+
+// TierOf returns the tier containing pa.
+func (pm *PhysMem) TierOf(pa arch.PhysAddr) Tier {
+	if uint64(pa) < pm.cfg.DRAMSize {
+		return TierDRAM
+	}
+	return TierNVM
+}
+
+// Contains reports whether pa is a valid physical address.
+func (pm *PhysMem) Contains(pa arch.PhysAddr) bool { return uint64(pa) < pm.Size() }
+
+// AllocFrames allocates a naturally aligned contiguous block of 2^order
+// frames from the given tier and returns its base physical address. The
+// block's contents read as zero until written.
+func (pm *PhysMem) AllocFrames(order int, tier Tier) (arch.PhysAddr, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("mem: invalid order %d", order)
+	}
+	if tier < 0 || tier >= numTiers {
+		return 0, fmt.Errorf("mem: invalid tier %d", tier)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pfn, ok := pm.tiers[tier].alloc(order)
+	if !ok {
+		pm.stats.FailedAllocs++
+		return 0, fmt.Errorf("mem: out of %v memory (order %d)", tier, order)
+	}
+	pm.stats.Allocs++
+	pm.stats.AllocatedBytes += (uint64(1) << order) * arch.PageSize
+	if pm.stats.AllocatedBytes > pm.stats.PeakBytes {
+		pm.stats.PeakBytes = pm.stats.AllocatedBytes
+	}
+	return arch.PhysAddr(pfn * arch.PageSize), nil
+}
+
+// AllocPage allocates a single 4 KiB DRAM frame.
+func (pm *PhysMem) AllocPage() (arch.PhysAddr, error) { return pm.AllocFrames(0, TierDRAM) }
+
+// Free returns a block previously obtained from AllocFrames with the same
+// order. The content of the block is discarded.
+func (pm *PhysMem) Free(pa arch.PhysAddr, order int) error {
+	if order < 0 || order > MaxOrder {
+		return fmt.Errorf("mem: invalid order %d", order)
+	}
+	pfn := uint64(pa) / arch.PageSize
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	tier := pm.TierOf(pa)
+	if err := pm.tiers[tier].free(pfn, order); err != nil {
+		return err
+	}
+	n := uint64(1) << order
+	for i := uint64(0); i < n; i++ {
+		delete(pm.pages, pfn+i)
+	}
+	pm.stats.Frees++
+	pm.stats.AllocatedBytes -= n * arch.PageSize
+	return nil
+}
+
+// page returns the backing array for a PFN, materializing it if needed.
+// Caller holds pm.mu.
+func (pm *PhysMem) page(pfn uint64) *[arch.PageSize]byte {
+	p := pm.pages[pfn]
+	if p == nil {
+		p = new([arch.PageSize]byte)
+		pm.pages[pfn] = p
+		pm.stats.ZeroedPages++
+	}
+	return p
+}
+
+// ReadAt copies len(buf) bytes of physical memory starting at pa into buf.
+// Reads may cross frame boundaries.
+func (pm *PhysMem) ReadAt(pa arch.PhysAddr, buf []byte) error {
+	if uint64(pa)+uint64(len(buf)) > pm.Size() {
+		return fmt.Errorf("mem: read [%v,+%d) out of range", pa, len(buf))
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	off := uint64(pa)
+	for len(buf) > 0 {
+		pfn, po := off/arch.PageSize, off%arch.PageSize
+		n := copy(buf, pm.page(pfn)[po:])
+		buf = buf[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt copies buf into physical memory starting at pa.
+func (pm *PhysMem) WriteAt(pa arch.PhysAddr, buf []byte) error {
+	if uint64(pa)+uint64(len(buf)) > pm.Size() {
+		return fmt.Errorf("mem: write [%v,+%d) out of range", pa, len(buf))
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	off := uint64(pa)
+	for len(buf) > 0 {
+		pfn, po := off/arch.PageSize, off%arch.PageSize
+		n := copy(pm.page(pfn)[po:], buf)
+		buf = buf[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// Load64 reads a little-endian uint64 at pa, which must be 8-byte aligned.
+// This is the accessor the page walker and allocators use.
+func (pm *PhysMem) Load64(pa arch.PhysAddr) (uint64, error) {
+	if pa&7 != 0 {
+		return 0, fmt.Errorf("mem: unaligned Load64 at %v", pa)
+	}
+	if uint64(pa)+8 > pm.Size() {
+		return 0, fmt.Errorf("mem: Load64 at %v out of range", pa)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	p := pm.page(uint64(pa) / arch.PageSize)
+	po := uint64(pa) % arch.PageSize
+	return binary.LittleEndian.Uint64(p[po : po+8]), nil
+}
+
+// Store64 writes a little-endian uint64 at pa, which must be 8-byte aligned.
+func (pm *PhysMem) Store64(pa arch.PhysAddr, v uint64) error {
+	if pa&7 != 0 {
+		return fmt.Errorf("mem: unaligned Store64 at %v", pa)
+	}
+	if uint64(pa)+8 > pm.Size() {
+		return fmt.Errorf("mem: Store64 at %v out of range", pa)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	p := pm.page(uint64(pa) / arch.PageSize)
+	po := uint64(pa) % arch.PageSize
+	binary.LittleEndian.PutUint64(p[po:po+8], v)
+	return nil
+}
+
+// Zero clears size bytes starting at pa.
+func (pm *PhysMem) Zero(pa arch.PhysAddr, size uint64) error {
+	if uint64(pa)+size > pm.Size() {
+		return fmt.Errorf("mem: zero [%v,+%d) out of range", pa, size)
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	off := uint64(pa)
+	for size > 0 {
+		pfn, po := off/arch.PageSize, off%arch.PageSize
+		n := arch.PageSize - po
+		if n > size {
+			n = size
+		}
+		p := pm.page(pfn)
+		clear(p[po : po+n])
+		off += n
+		size -= n
+	}
+	return nil
+}
+
+// PowerCycle models a reboot: DRAM contents are lost (and its allocations
+// reset), NVM contents and allocations survive. Persistent VASes (paper §7)
+// are rebuilt from NVM after a power cycle.
+func (pm *PhysMem) PowerCycle() {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	dramFrames := pm.cfg.DRAMSize / arch.PageSize
+	for pfn := range pm.pages {
+		if pfn < dramFrames {
+			delete(pm.pages, pfn)
+		}
+	}
+	freed := pm.tiers[TierDRAM].reset()
+	pm.stats.AllocatedBytes -= freed * arch.PageSize
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (pm *PhysMem) Stats() Stats {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.stats
+}
+
+// FreeBytes returns the number of unallocated bytes in a tier.
+func (pm *PhysMem) FreeBytes(tier Tier) uint64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.tiers[tier].freeFrames * arch.PageSize
+}

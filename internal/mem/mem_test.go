@@ -1,0 +1,312 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spacejmp/internal/arch"
+)
+
+func testPM() *PhysMem {
+	return New(Config{DRAMSize: 64 << 20, NVMSize: 16 << 20})
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	pm := testPM()
+	pa, err := pm.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Contains(pa) {
+		t.Fatalf("allocated frame %v outside memory", pa)
+	}
+	if pm.TierOf(pa) != TierDRAM {
+		t.Errorf("AllocPage tier = %v, want dram", pm.TierOf(pa))
+	}
+	if err := pm.Free(pa, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	pm := testPM()
+	for order := 0; order <= 10; order++ {
+		pa, err := pm.AllocFrames(order, TierDRAM)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		align := uint64(arch.PageSize) << order
+		if uint64(pa)%align != 0 {
+			t.Errorf("order %d block at %v not naturally aligned", order, pa)
+		}
+	}
+}
+
+func TestNVMTierPlacement(t *testing.T) {
+	pm := testPM()
+	pa, err := pm.AllocFrames(0, TierNVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.TierOf(pa) != TierNVM {
+		t.Errorf("NVM frame %v classified as %v", pa, pm.TierOf(pa))
+	}
+	if uint64(pa) < 64<<20 {
+		t.Errorf("NVM frame %v below DRAM boundary", pa)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	pm := New(Config{DRAMSize: 4 * arch.PageSize})
+	var got []arch.PhysAddr
+	for {
+		pa, err := pm.AllocPage()
+		if err != nil {
+			break
+		}
+		got = append(got, pa)
+	}
+	if len(got) != 4 {
+		t.Fatalf("allocated %d frames from 4-frame memory", len(got))
+	}
+	if pm.Stats().FailedAllocs != 1 {
+		t.Errorf("FailedAllocs = %d, want 1", pm.Stats().FailedAllocs)
+	}
+	for _, pa := range got {
+		if err := pm.Free(pa, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if free := pm.FreeBytes(TierDRAM); free != 4*arch.PageSize {
+		t.Errorf("FreeBytes after release = %d", free)
+	}
+}
+
+func TestDoubleFreeRejected(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocPage()
+	if err := pm.Free(pa, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Free(pa, 0); err == nil {
+		t.Error("double free not rejected")
+	}
+}
+
+func TestFreeOrderMismatchRejected(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocFrames(2, TierDRAM)
+	if err := pm.Free(pa, 1); err == nil {
+		t.Error("order-mismatched free not rejected")
+	}
+	if err := pm.Free(pa, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	pm := New(Config{DRAMSize: 1 << 20}) // 256 frames
+	// Fragment completely, then free everything; a full-size block must be
+	// allocatable again, proving buddies re-coalesced.
+	var all []arch.PhysAddr
+	for {
+		pa, err := pm.AllocPage()
+		if err != nil {
+			break
+		}
+		all = append(all, pa)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for _, pa := range all {
+		if err := pm.Free(pa, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pm.AllocFrames(8, TierDRAM); err != nil { // 256 frames
+		t.Errorf("memory did not coalesce: %v", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocFrames(1, TierDRAM) // 2 frames so we can cross a boundary
+	msg := []byte("spacejmp crossing a frame boundary")
+	off := arch.PhysAddr(uint64(pa) + arch.PageSize - 10)
+	if err := pm.WriteAt(off, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := pm.ReadAt(off, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestFreshFramesReadZero(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocPage()
+	buf := make([]byte, arch.PageSize)
+	if err := pm.ReadAt(pa, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh frame byte %d = %#x", i, b)
+		}
+	}
+}
+
+func TestLoadStore64(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocPage()
+	if err := pm.Store64(pa+8, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := pm.Load64(pa + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEFCAFEF00D {
+		t.Errorf("Load64 = %#x", v)
+	}
+	if _, err := pm.Load64(pa + 3); err == nil {
+		t.Error("unaligned Load64 not rejected")
+	}
+	if err := pm.Store64(pa+3, 1); err == nil {
+		t.Error("unaligned Store64 not rejected")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	pm := New(Config{DRAMSize: arch.PageSize})
+	if err := pm.WriteAt(arch.PhysAddr(arch.PageSize-4), make([]byte, 8)); err == nil {
+		t.Error("overflowing write not rejected")
+	}
+	if _, err := pm.Load64(arch.PhysAddr(arch.PageSize)); err == nil {
+		t.Error("out-of-range Load64 not rejected")
+	}
+}
+
+func TestZero(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocFrames(1, TierDRAM)
+	buf := make([]byte, 2*arch.PageSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := pm.WriteAt(pa, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Zero(arch.PhysAddr(uint64(pa)+100), arch.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.ReadAt(pa, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[99] != 0xFF || buf[100] != 0 || buf[100+arch.PageSize-1] != 0 || buf[100+arch.PageSize] != 0xFF {
+		t.Error("Zero cleared wrong range")
+	}
+}
+
+func TestPowerCycle(t *testing.T) {
+	pm := testPM()
+	dram, _ := pm.AllocPage()
+	nvm, _ := pm.AllocFrames(0, TierNVM)
+	if err := pm.WriteAt(dram, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.WriteAt(nvm, []byte{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	pm.PowerCycle()
+	buf := make([]byte, 3)
+	if err := pm.ReadAt(nvm, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 4 || buf[1] != 5 || buf[2] != 6 {
+		t.Errorf("NVM content lost across power cycle: %v", buf)
+	}
+	// DRAM allocations were reset: the same frame is allocatable again and
+	// reads as zero.
+	if free := pm.FreeBytes(TierDRAM); free != 64<<20 {
+		t.Errorf("DRAM not fully reclaimed: %d free", free)
+	}
+	if err := pm.ReadAt(dram, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("DRAM content survived power cycle")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	pm := testPM()
+	pa, _ := pm.AllocFrames(3, TierDRAM)
+	st := pm.Stats()
+	if st.AllocatedBytes != 8*arch.PageSize {
+		t.Errorf("AllocatedBytes = %d", st.AllocatedBytes)
+	}
+	if err := pm.Free(pa, 3); err != nil {
+		t.Fatal(err)
+	}
+	st = pm.Stats()
+	if st.AllocatedBytes != 0 || st.PeakBytes != 8*arch.PageSize {
+		t.Errorf("after free: allocated=%d peak=%d", st.AllocatedBytes, st.PeakBytes)
+	}
+}
+
+// Property: any interleaving of allocs and frees never hands out
+// overlapping blocks, and freeing everything restores the full capacity.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pm := New(Config{DRAMSize: 4 << 20}) // 1024 frames
+		type blk struct {
+			pa    arch.PhysAddr
+			order int
+		}
+		var live []blk
+		owned := make(map[uint64]bool) // PFN -> owned
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				order := rng.Intn(6)
+				pa, err := pm.AllocFrames(order, TierDRAM)
+				if err != nil {
+					continue
+				}
+				base := uint64(pa) / arch.PageSize
+				for i := uint64(0); i < 1<<order; i++ {
+					if owned[base+i] {
+						return false // overlap!
+					}
+					owned[base+i] = true
+				}
+				live = append(live, blk{pa, order})
+			} else {
+				i := rng.Intn(len(live))
+				b := live[i]
+				if pm.Free(b.pa, b.order) != nil {
+					return false
+				}
+				base := uint64(b.pa) / arch.PageSize
+				for j := uint64(0); j < 1<<b.order; j++ {
+					delete(owned, base+j)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for _, b := range live {
+			if pm.Free(b.pa, b.order) != nil {
+				return false
+			}
+		}
+		return pm.FreeBytes(TierDRAM) == 4<<20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

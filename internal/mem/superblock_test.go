@@ -1,0 +1,64 @@
+package mem
+
+import (
+	"testing"
+
+	"spacejmp/internal/arch"
+)
+
+func TestSuperblockReservation(t *testing.T) {
+	pm := New(Config{DRAMSize: 16 << 20, NVMSize: 8 << 20, NVMSuperblock: 1 << 20})
+	base, size := pm.Superblock()
+	if uint64(base) != 16<<20 || size != 1<<20 {
+		t.Fatalf("superblock = %v +%d", base, size)
+	}
+	// The allocator never hands out superblock frames.
+	seen := map[arch.PhysAddr]bool{}
+	for {
+		pa, err := pm.AllocFrames(0, TierNVM)
+		if err != nil {
+			break
+		}
+		if uint64(pa) < uint64(base)+size {
+			t.Fatalf("allocator handed out superblock frame %v", pa)
+		}
+		seen[pa] = true
+	}
+	if len(seen) != int((8<<20-1<<20)/arch.PageSize) {
+		t.Errorf("NVM frames available = %d", len(seen))
+	}
+}
+
+func TestSuperblockSurvivesPowerCycle(t *testing.T) {
+	pm := New(Config{DRAMSize: 16 << 20, NVMSize: 8 << 20, NVMSuperblock: 1 << 20})
+	base, _ := pm.Superblock()
+	if err := pm.WriteAt(base, []byte("superblock payload")); err != nil {
+		t.Fatal(err)
+	}
+	pm.PowerCycle()
+	buf := make([]byte, 18)
+	if err := pm.ReadAt(base, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "superblock payload" {
+		t.Errorf("superblock lost: %q", buf)
+	}
+}
+
+func TestSuperblockClampedToNVM(t *testing.T) {
+	pm := New(Config{DRAMSize: 16 << 20, NVMSize: 1 << 20, NVMSuperblock: 4 << 20})
+	_, size := pm.Superblock()
+	if size != 1<<20 {
+		t.Errorf("superblock size = %d, want clamped to NVM size", size)
+	}
+	if _, err := pm.AllocFrames(0, TierNVM); err == nil {
+		t.Error("NVM fully reserved but allocation succeeded")
+	}
+}
+
+func TestNoSuperblockByDefault(t *testing.T) {
+	pm := New(Config{DRAMSize: 16 << 20, NVMSize: 8 << 20})
+	if _, size := pm.Superblock(); size != 0 {
+		t.Errorf("unexpected superblock size %d", size)
+	}
+}

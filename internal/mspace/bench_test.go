@@ -1,0 +1,46 @@
+package mspace
+
+import (
+	"testing"
+
+	"spacejmp/internal/arch"
+)
+
+func BenchmarkAllocFree(b *testing.B) {
+	s, err := Init(newFlat(), base, 1<<22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := s.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocChurn(b *testing.B) {
+	s, err := Init(newFlat(), base, 1<<22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live [64]arch.VirtAddr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(live)
+		if live[slot] != 0 {
+			if err := s.Free(live[slot]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p, err := s.Alloc(uint64(16 + (i%32)*24))
+		if err != nil {
+			b.Fatal(err)
+		}
+		live[slot] = p
+	}
+}

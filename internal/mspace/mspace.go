@@ -1,0 +1,396 @@
+// Package mspace is the SpaceJMP runtime library's heap allocator (paper
+// §4.1): a dlmalloc-style boundary-tag allocator whose entire state — bin
+// heads, chunk headers, free-list links — lives inside the segment it
+// manages, addressed by virtual addresses of the owning VAS.
+//
+// Because the state is in segment memory rather than process memory, an
+// mspace created by one process is directly usable by the next process that
+// switches into the VAS: pointers keep their meaning across process
+// lifetimes, which is exactly the property SAMTools exploits (§5.4).
+//
+// All metadata accesses go through an Accessor (typically a core.Thread),
+// so they traverse the simulated MMU of the currently active address space.
+package mspace
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"spacejmp/internal/arch"
+)
+
+// Accessor reads and writes 64-bit words of the active virtual address
+// space. core.Thread satisfies it.
+type Accessor interface {
+	Load64(va arch.VirtAddr) (uint64, error)
+	Store64(va arch.VirtAddr, v uint64) error
+}
+
+const (
+	magic = 0x4d53504143453031 // "MSPACE01"
+
+	numBins    = 64
+	headerSize = 8 + 8 + 8 + numBins*8 // magic, size, allocated, bins
+	headerPad  = (headerSize + 15) &^ 15
+
+	chunkOverhead = 8  // size/flags word
+	minChunk      = 32 // header + fd + bk + footer
+
+	flagInUse    = 1 << 0
+	flagPrevFree = 1 << 1
+	flagMask     = flagInUse | flagPrevFree
+)
+
+// Errors returned by the allocator.
+var (
+	ErrCorrupt = errors.New("mspace: heap corrupt")
+	ErrNoSpace = errors.New("mspace: out of memory")
+	ErrBadFree = errors.New("mspace: bad free")
+)
+
+// Space is a handle to an mspace. The handle itself carries no heap state —
+// only where the heap lives — so any process may construct one over the
+// same segment.
+type Space struct {
+	mem  Accessor
+	base arch.VirtAddr
+	size uint64
+}
+
+// Word offsets inside the header.
+const (
+	offMagic = 0
+	offSize  = 8
+	offAlloc = 16
+	offBins  = 24
+)
+
+func (s *Space) load(va arch.VirtAddr) uint64 {
+	v, err := s.mem.Load64(va)
+	if err != nil {
+		panic(fmt.Sprintf("mspace: load %v: %v", va, err))
+	}
+	return v
+}
+
+func (s *Space) store(va arch.VirtAddr, v uint64) {
+	if err := s.mem.Store64(va, v); err != nil {
+		panic(fmt.Sprintf("mspace: store %v: %v", va, err))
+	}
+}
+
+// guard converts internal panics (raised on inaccessible memory, e.g. when
+// the wrong VAS is active) into errors.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrCorrupt, r)
+	}
+}
+
+// Init formats a new mspace over [base, base+size) and returns its handle.
+// The range must be mapped writable in the active address space.
+func Init(mem Accessor, base arch.VirtAddr, size uint64) (sp *Space, err error) {
+	defer guard(&err)
+	if base&15 != 0 {
+		return nil, fmt.Errorf("mspace: base %v not 16-byte aligned", base)
+	}
+	if size < headerPad+minChunk+chunkOverhead {
+		return nil, fmt.Errorf("mspace: %d bytes too small for an mspace", size)
+	}
+	size &^= 15
+	s := &Space{mem: mem, base: base, size: size}
+	s.store(base+offSize, size)
+	s.store(base+offAlloc, 0)
+	for i := 0; i < numBins; i++ {
+		s.store(base+offBins+arch.VirtAddr(i*8), 0)
+	}
+	// One big free chunk followed by the end sentinel (an in-use header).
+	first := base + headerPad
+	sentinel := base + arch.VirtAddr(size) - chunkOverhead
+	chunkSize := uint64(sentinel - first)
+	s.setChunk(first, chunkSize, false, false)
+	s.store(sentinel, chunkOverhead|flagInUse|flagPrevFree)
+	s.binInsert(first, chunkSize)
+	s.store(base+offMagic, magic)
+	return s, nil
+}
+
+// Open attaches to an existing mspace at base (created by Init, possibly by
+// another process in an earlier lifetime).
+func Open(mem Accessor, base arch.VirtAddr) (sp *Space, err error) {
+	defer guard(&err)
+	s := &Space{mem: mem, base: base}
+	if s.load(base+offMagic) != magic {
+		return nil, fmt.Errorf("%w: no mspace at %v", ErrCorrupt, base)
+	}
+	s.size = s.load(base + offSize)
+	return s, nil
+}
+
+// Base returns the mspace's base address.
+func (s *Space) Base() arch.VirtAddr { return s.base }
+
+// Size returns the mspace's total size.
+func (s *Space) Size() uint64 { return s.size }
+
+// Allocated returns the number of payload-plus-overhead bytes in use.
+func (s *Space) Allocated() (n uint64, err error) {
+	defer guard(&err)
+	return s.load(s.base + offAlloc), nil
+}
+
+// --- chunk primitives ---
+
+// header returns (size, inUse, prevFree) of the chunk at va.
+func (s *Space) header(c arch.VirtAddr) (uint64, bool, bool) {
+	h := s.load(c)
+	return h &^ flagMask, h&flagInUse != 0, h&flagPrevFree != 0
+}
+
+// setChunk writes a chunk header (and footer + next's prevFree bit when the
+// chunk is free).
+func (s *Space) setChunk(c arch.VirtAddr, size uint64, inUse, prevFree bool) {
+	h := size
+	if inUse {
+		h |= flagInUse
+	}
+	if prevFree {
+		h |= flagPrevFree
+	}
+	s.store(c, h)
+	next := c + arch.VirtAddr(size)
+	if !inUse {
+		s.store(next-8, size) // footer
+		nh := s.load(next)
+		s.store(next, nh|flagPrevFree)
+	} else if next < s.end() {
+		nh := s.load(next)
+		s.store(next, nh&^flagPrevFree)
+	}
+}
+
+func (s *Space) end() arch.VirtAddr { return s.base + arch.VirtAddr(s.size) }
+
+// free chunk list links.
+func (s *Space) fd(c arch.VirtAddr) arch.VirtAddr { return arch.VirtAddr(s.load(c + 8)) }
+func (s *Space) bk(c arch.VirtAddr) arch.VirtAddr { return arch.VirtAddr(s.load(c + 16)) }
+func (s *Space) setFd(c, v arch.VirtAddr)         { s.store(c+8, uint64(v)) }
+func (s *Space) setBk(c, v arch.VirtAddr)         { s.store(c+16, uint64(v)) }
+
+// binFor maps a chunk size to a segregated bin: linear 32-byte classes up
+// to 1 KiB, logarithmic beyond.
+func binFor(size uint64) int {
+	if size < 1024 {
+		return int(size / 32) // bins 1..31
+	}
+	b := 22 + bits.Len64(size) // 1024 -> bin 33
+	if b >= numBins {
+		b = numBins - 1
+	}
+	return b
+}
+
+func (s *Space) binHead(b int) arch.VirtAddr {
+	return arch.VirtAddr(s.load(s.base + offBins + arch.VirtAddr(b*8)))
+}
+
+func (s *Space) setBinHead(b int, c arch.VirtAddr) {
+	s.store(s.base+offBins+arch.VirtAddr(b*8), uint64(c))
+}
+
+// binInsert pushes a free chunk onto its bin's list.
+func (s *Space) binInsert(c arch.VirtAddr, size uint64) {
+	b := binFor(size)
+	head := s.binHead(b)
+	s.setFd(c, head)
+	s.setBk(c, 0)
+	if head != 0 {
+		s.setBk(head, c)
+	}
+	s.setBinHead(b, c)
+}
+
+// binRemove unlinks a free chunk from its bin's list.
+func (s *Space) binRemove(c arch.VirtAddr, size uint64) {
+	b := binFor(size)
+	fd, bk := s.fd(c), s.bk(c)
+	if bk == 0 {
+		s.setBinHead(b, fd)
+	} else {
+		s.setFd(bk, fd)
+	}
+	if fd != 0 {
+		s.setBk(fd, bk)
+	}
+}
+
+// Alloc returns the address of a payload of at least n bytes.
+func (s *Space) Alloc(n uint64) (va arch.VirtAddr, err error) {
+	defer guard(&err)
+	if n == 0 {
+		n = 1
+	}
+	need := (n + chunkOverhead + 15) &^ 15
+	if need < minChunk {
+		need = minChunk
+	}
+	for b := binFor(need); b < numBins; b++ {
+		for c := s.binHead(b); c != 0; c = s.fd(c) {
+			size, inUse, _ := s.header(c)
+			if inUse {
+				return 0, fmt.Errorf("%w: in-use chunk on free list at %v", ErrCorrupt, c)
+			}
+			if size < need {
+				continue
+			}
+			s.binRemove(c, size)
+			_, _, prevFree := s.header(c)
+			if size-need >= minChunk {
+				// Split: tail remains free.
+				tail := c + arch.VirtAddr(need)
+				s.setChunk(c, need, true, prevFree)
+				s.setChunk(tail, size-need, false, false)
+				s.binInsert(tail, size-need)
+				size = need
+			} else {
+				s.setChunk(c, size, true, prevFree)
+			}
+			s.store(s.base+offAlloc, s.load(s.base+offAlloc)+size)
+			return c + chunkOverhead, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no chunk of %d bytes", ErrNoSpace, need)
+}
+
+// UsableSize returns the payload capacity of an allocation.
+func (s *Space) UsableSize(va arch.VirtAddr) (n uint64, err error) {
+	defer guard(&err)
+	c := va - chunkOverhead
+	size, inUse, _ := s.header(c)
+	if !inUse || !s.contains(c, size) {
+		return 0, fmt.Errorf("%w: %v is not an allocation", ErrBadFree, va)
+	}
+	return size - chunkOverhead, nil
+}
+
+func (s *Space) contains(c arch.VirtAddr, size uint64) bool {
+	return c >= s.base+headerPad && c+arch.VirtAddr(size) <= s.end() && size >= minChunk
+}
+
+// Free releases an allocation, coalescing with free neighbours.
+func (s *Space) Free(va arch.VirtAddr) (err error) {
+	defer guard(&err)
+	c := va - chunkOverhead
+	size, inUse, prevFree := s.header(c)
+	if !inUse || !s.contains(c, size) {
+		return fmt.Errorf("%w: %v", ErrBadFree, va)
+	}
+	s.store(s.base+offAlloc, s.load(s.base+offAlloc)-size)
+	// Coalesce backwards.
+	if prevFree {
+		prevSize := s.load(c - 8)
+		prev := c - arch.VirtAddr(prevSize)
+		s.binRemove(prev, prevSize)
+		c = prev
+		size += prevSize
+	}
+	// Coalesce forwards.
+	next := c + arch.VirtAddr(size)
+	if next < s.end() {
+		nsize, nInUse, _ := s.header(next)
+		if !nInUse {
+			s.binRemove(next, nsize)
+			size += nsize
+		}
+	}
+	s.setChunk(c, size, false, false)
+	s.binInsert(c, size)
+	return nil
+}
+
+// Realloc grows or shrinks an allocation, copying through the accessor.
+func (s *Space) Realloc(va arch.VirtAddr, n uint64) (out arch.VirtAddr, err error) {
+	defer guard(&err)
+	old, err := s.UsableSize(va)
+	if err != nil {
+		return 0, err
+	}
+	if n <= old {
+		return va, nil
+	}
+	nva, err := s.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	for off := uint64(0); off < old; off += 8 {
+		s.store(nva+arch.VirtAddr(off), s.load(va+arch.VirtAddr(off)))
+	}
+	if err := s.Free(va); err != nil {
+		return 0, err
+	}
+	return nva, nil
+}
+
+// Check walks the whole heap and verifies the boundary-tag invariants:
+// chunks tile the arena exactly, free neighbours are always coalesced, all
+// free chunks are on the correct bin, and the allocated counter matches.
+func (s *Space) Check() (err error) {
+	defer guard(&err)
+	if s.load(s.base+offMagic) != magic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	free := map[arch.VirtAddr]uint64{}
+	var allocated uint64
+	prevWasFree := false
+	c := s.base + headerPad
+	for c < s.end()-chunkOverhead {
+		size, inUse, prevFree := s.header(c)
+		if size < minChunk || c+arch.VirtAddr(size) > s.end() {
+			return fmt.Errorf("%w: bad chunk size %d at %v", ErrCorrupt, size, c)
+		}
+		if prevFree != prevWasFree {
+			return fmt.Errorf("%w: prevFree flag wrong at %v", ErrCorrupt, c)
+		}
+		if !inUse {
+			if prevWasFree {
+				return fmt.Errorf("%w: adjacent free chunks at %v", ErrCorrupt, c)
+			}
+			if s.load(c+arch.VirtAddr(size)-8) != size {
+				return fmt.Errorf("%w: footer mismatch at %v", ErrCorrupt, c)
+			}
+			free[c] = size
+		} else {
+			allocated += size
+		}
+		prevWasFree = !inUse
+		c += arch.VirtAddr(size)
+	}
+	if c != s.end()-chunkOverhead {
+		return fmt.Errorf("%w: chunks do not tile the arena (ended at %v)", ErrCorrupt, c)
+	}
+	if got := s.load(s.base + offAlloc); got != allocated {
+		return fmt.Errorf("%w: allocated counter %d, walked %d", ErrCorrupt, got, allocated)
+	}
+	// Every free chunk must be reachable from exactly its bin.
+	seen := map[arch.VirtAddr]bool{}
+	for b := 0; b < numBins; b++ {
+		for f := s.binHead(b); f != 0; f = s.fd(f) {
+			size, ok := free[f]
+			if !ok {
+				return fmt.Errorf("%w: bin %d links non-free chunk %v", ErrCorrupt, b, f)
+			}
+			if binFor(size) != b {
+				return fmt.Errorf("%w: chunk %v (size %d) in wrong bin %d", ErrCorrupt, f, size, b)
+			}
+			if seen[f] {
+				return fmt.Errorf("%w: chunk %v on multiple lists", ErrCorrupt, f)
+			}
+			seen[f] = true
+		}
+	}
+	if len(seen) != len(free) {
+		return fmt.Errorf("%w: %d free chunks, %d binned", ErrCorrupt, len(free), len(seen))
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package mspace
+
+import (
+	"fmt"
+	"sync"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+)
+
+// VASAllocator is the runtime library's malloc layer (paper §4.1): it keeps
+// one mspace per (address space, segment) pair and dispatches Malloc and
+// Free to the mspace of the currently active address space. Freeing memory
+// that belongs to a segment not attached to the active address space is
+// refused, mirroring the constraint the paper calls out.
+type VASAllocator struct {
+	th *core.Thread
+
+	mu     sync.Mutex
+	spaces map[core.Handle][]*Space
+}
+
+// NewVASAllocator wraps a thread.
+func NewVASAllocator(th *core.Thread) *VASAllocator {
+	return &VASAllocator{th: th, spaces: map[core.Handle][]*Space{}}
+}
+
+// InitHeap formats a new mspace over [base, base+size) inside the address
+// space identified by h. The thread must currently be switched into h.
+func (a *VASAllocator) InitHeap(h core.Handle, base arch.VirtAddr, size uint64) (*Space, error) {
+	if a.th.Current() != h {
+		return nil, fmt.Errorf("mspace: thread is in handle %d, not %d", a.th.Current(), h)
+	}
+	s, err := Init(a.th, base, size)
+	if err != nil {
+		return nil, err
+	}
+	a.register(h, s)
+	return s, nil
+}
+
+// OpenHeap attaches to an existing mspace (created by an earlier process or
+// another attachment of the same VAS).
+func (a *VASAllocator) OpenHeap(h core.Handle, base arch.VirtAddr) (*Space, error) {
+	if a.th.Current() != h {
+		return nil, fmt.Errorf("mspace: thread is in handle %d, not %d", a.th.Current(), h)
+	}
+	s, err := Open(a.th, base)
+	if err != nil {
+		return nil, err
+	}
+	a.register(h, s)
+	return s, nil
+}
+
+func (a *VASAllocator) register(h core.Handle, s *Space) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spaces[h] = append(a.spaces[h], s)
+}
+
+// Malloc allocates from a heap of the currently active address space,
+// trying each registered mspace in order.
+func (a *VASAllocator) Malloc(n uint64) (arch.VirtAddr, error) {
+	h := a.th.Current()
+	a.mu.Lock()
+	spaces := append([]*Space(nil), a.spaces[h]...)
+	a.mu.Unlock()
+	if len(spaces) == 0 {
+		return 0, fmt.Errorf("mspace: no heap registered for handle %d", h)
+	}
+	var lastErr error
+	for _, s := range spaces {
+		va, err := s.Alloc(n)
+		if err == nil {
+			return va, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// Free releases va, which must belong to a heap of the currently active
+// address space: "a call to free can only be executed by a process if it is
+// currently in an address space which has the corresponding segment
+// attached" (§4.1).
+func (a *VASAllocator) Free(va arch.VirtAddr) error {
+	h := a.th.Current()
+	a.mu.Lock()
+	spaces := append([]*Space(nil), a.spaces[h]...)
+	a.mu.Unlock()
+	for _, s := range spaces {
+		if va >= s.Base() && va < s.Base()+arch.VirtAddr(s.Size()) {
+			return s.Free(va)
+		}
+	}
+	return fmt.Errorf("%w: %v belongs to no heap of the active address space (handle %d)", ErrBadFree, va, h)
+}

@@ -1,0 +1,58 @@
+package pt
+
+import (
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/mem"
+)
+
+func BenchmarkMapPage(b *testing.B) {
+	pm := mem.New(mem.Config{DRAMSize: 2 << 30})
+	tbl, err := New(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, _ := pm.AllocPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(uint64(i+1) * arch.PageSize)
+		if err := tbl.MapPage(va, frame, arch.PageSize, arch.PermRW, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	pm := mem.New(mem.Config{DRAMSize: 256 << 20})
+	tbl, _ := New(pm)
+	frame, _ := pm.AllocPage()
+	const pages = 1024
+	for i := 0; i < pages; i++ {
+		if err := tbl.MapPage(arch.VirtAddr(uint64(i)*arch.PageSize), frame, arch.PageSize, arch.PermRW, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Walk(arch.VirtAddr(uint64(i%pages) * arch.PageSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapUnmapRegion(b *testing.B) {
+	pm := mem.New(mem.Config{DRAMSize: 2 << 30})
+	tbl, _ := New(pm)
+	frames, _ := pm.AllocFrames(10, mem.TierDRAM) // 4 MiB contiguous
+	const size = 4 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Map(0x40000000, frames, size, arch.PageSize, arch.PermRW, false); err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Unmap(0x40000000, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package pt implements x86-64-style four-level radix page tables over the
+// simulated physical memory. Table nodes are real 4 KiB frames allocated
+// from mem.PhysMem and entries are read and written through physical loads
+// and stores, so the cost of constructing, walking, and destroying
+// translations has the same shape as on hardware (paper Figure 1, §2.4).
+package pt
+
+import (
+	"fmt"
+
+	"spacejmp/internal/arch"
+)
+
+// PTE is a page-table entry in the x86-64 layout: low flag bits, a 40-bit
+// frame number, and the NX bit at position 63.
+type PTE uint64
+
+// PTE flag bits (x86-64 encoding).
+const (
+	FlagPresent PTE = 1 << 0
+	FlagWrite   PTE = 1 << 1
+	FlagUser    PTE = 1 << 2
+	FlagHuge    PTE = 1 << 7 // PS: entry maps a large page (PD/PDPT level)
+	FlagGlobal  PTE = 1 << 8 // survives non-tagged TLB flushes
+	FlagNX      PTE = 1 << 63
+
+	addrMask PTE = 0x000F_FFFF_FFFF_F000
+)
+
+// MakePTE builds a leaf entry mapping pa with the given permissions.
+func MakePTE(pa arch.PhysAddr, perm arch.Perm, extra PTE) PTE {
+	e := PTE(pa)&addrMask | FlagPresent | FlagUser | extra
+	if perm.CanWrite() {
+		e |= FlagWrite
+	}
+	if !perm.CanExec() {
+		e |= FlagNX
+	}
+	return e
+}
+
+// makeTablePTE builds a non-leaf entry pointing at a child table. Non-leaf
+// entries are maximally permissive; leaves carry the effective permissions.
+func makeTablePTE(pa arch.PhysAddr) PTE {
+	return PTE(pa)&addrMask | FlagPresent | FlagWrite | FlagUser
+}
+
+// Present reports whether the entry is valid.
+func (e PTE) Present() bool { return e&FlagPresent != 0 }
+
+// Huge reports whether the entry maps a large page rather than a child table.
+func (e PTE) Huge() bool { return e&FlagHuge != 0 }
+
+// Global reports whether the translation survives untagged TLB flushes.
+func (e PTE) Global() bool { return e&FlagGlobal != 0 }
+
+// Addr returns the physical address the entry points at (child table for
+// non-leaf entries, mapped frame for leaves).
+func (e PTE) Addr() arch.PhysAddr { return arch.PhysAddr(e & addrMask) }
+
+// Perm decodes the effective permissions of a leaf entry.
+func (e PTE) Perm() arch.Perm {
+	if !e.Present() {
+		return 0
+	}
+	p := arch.PermRead
+	if e&FlagWrite != 0 {
+		p |= arch.PermWrite
+	}
+	if e&FlagNX == 0 {
+		p |= arch.PermExec
+	}
+	return p
+}
+
+func (e PTE) String() string {
+	if !e.Present() {
+		return "pte:<absent>"
+	}
+	s := fmt.Sprintf("pte:%v %v", e.Addr(), e.Perm())
+	if e.Huge() {
+		s += " huge"
+	}
+	if e.Global() {
+		s += " global"
+	}
+	return s
+}
+
+// leafLevel returns the table level at which a page of the given size is
+// mapped: 0 (PT) for 4 KiB, 1 (PD) for 2 MiB, 2 (PDPT) for 1 GiB.
+func leafLevel(pageSize uint64) (int, error) {
+	switch pageSize {
+	case arch.PageSize:
+		return 0, nil
+	case arch.HugePageSize:
+		return 1, nil
+	case arch.GiantPageSize:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("pt: unsupported page size %d", pageSize)
+	}
+}
+
+// TablesFor returns how many page-table nodes (including the root) are
+// needed to map a region of the given size at base va with 4 KiB pages.
+// This is the analytical counterpart of the paper's observation that an
+// 8 KiB segment spanning a PML4 boundary needs 7 tables (§4.4).
+func TablesFor(va arch.VirtAddr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	total := 1 // root
+	for level := 2; level >= 0; level-- {
+		cover := arch.LevelCoverage(level + 1) // bytes covered per table at this level
+		first := uint64(va) / cover
+		last := (uint64(va) + size - 1) / cover
+		total += int(last - first + 1)
+	}
+	return total
+}

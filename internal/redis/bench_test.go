@@ -1,0 +1,81 @@
+package redis
+
+import (
+	"fmt"
+	"testing"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+)
+
+func benchClient(b *testing.B) *Client {
+	b.Helper()
+	sys := kernel.New(hw.NewMachine(hw.SmallTest()))
+	proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewClient(th, 16<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkJmpGet measures a full RedisJMP GET: two VAS switches plus the
+// MMU-mediated hash walk. The sim-cycles metric is the simulated cost.
+func BenchmarkJmpGet(b *testing.B) {
+	c := benchClient(b)
+	for i := 0; i < 256; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := c.th.Core.Cycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Get(fmt.Sprintf("k%d", i%256)); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.th.Core.Cycles()-start)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkJmpSet measures a RedisJMP SET under the exclusive lock.
+func BenchmarkJmpSet(b *testing.B) {
+	c := benchClient(b)
+	start := c.th.Core.Cycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i%256), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.th.Core.Cycles()-start)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkBaselineGet measures the socket-path baseline.
+func BenchmarkBaselineGet(b *testing.B) {
+	m := hw.NewMachine(hw.SmallTest())
+	server := NewBaselineServer(m.Cores[3])
+	client := NewBaselineClient(m.Cores[0], server)
+	if err := client.Set("k", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	start := client.core.Cycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := client.Get("k"); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(client.core.Cycles()-start)/float64(b.N), "sim-cycles/op")
+}

@@ -1,0 +1,207 @@
+package redis
+
+import (
+	"errors"
+	"fmt"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+)
+
+// RedisJMP (§5.3): the server process is elided entirely. The first client
+// lazily creates a lockable segment holding the store, plus two VASes over
+// it — one mapping the segment read-only (GETs take the lock shared) and
+// one mapping it read-write (SETs take it exclusively). Every client also
+// attaches a small private scratch heap into its own view of the VAS for
+// command parsing, so GETs never need write access to the shared segment.
+
+// Names in the global registries.
+const (
+	segName     = "redisjmp.data"
+	readVASName = "redisjmp.read"
+	writVASName = "redisjmp.write"
+)
+
+// SegBase is the store segment's fixed address; ScratchBase hosts each
+// client's private scratch segment inside its attachments.
+const (
+	SegBase     = core.GlobalBase
+	scratchSize = 64 << 10
+)
+
+// ScratchBase hosts client scratch heaps one PML4 slot above the store.
+var ScratchBase = core.GlobalBase + arch.VirtAddr(arch.LevelCoverage(3))
+
+// parseCycles models the RESP command parse/format work redis-benchmark
+// style clients perform per request (in the scratch heap).
+const parseCycles = 300
+
+// Client is one RedisJMP client process.
+type Client struct {
+	th     *core.Thread
+	readH  core.Handle
+	writeH core.Handle
+	store  *Store
+
+	// scratch is this client's private heap segment id.
+	scratch core.SegID
+}
+
+// NewClient attaches the calling thread to the RedisJMP state, creating it
+// (segment, store, VASes) if this is the first client.
+func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
+	c := &Client{th: th}
+	if err := c.bootstrap(segSize); err != nil {
+		return nil, err
+	}
+	vidR, err := th.VASFind(readVASName)
+	if err != nil {
+		return nil, err
+	}
+	vidW, err := th.VASFind(writVASName)
+	if err != nil {
+		return nil, err
+	}
+	if c.readH, err = th.VASAttach(vidR); err != nil {
+		return nil, err
+	}
+	if c.writeH, err = th.VASAttach(vidW); err != nil {
+		return nil, err
+	}
+	// Private scratch heap, attached to this client's views only.
+	scratchName := fmt.Sprintf("redisjmp.scratch.p%d", th.Proc.PID)
+	c.scratch, err = th.SegFind(scratchName)
+	if errors.Is(err, core.ErrNotFound) {
+		c.scratch, err = th.SegAlloc(scratchName, ScratchBase, scratchSize, arch.PermRW)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := th.SegAttachLocal(c.readH, c.scratch, arch.PermRW); err != nil {
+		return nil, err
+	}
+	if err := th.SegAttachLocal(c.writeH, c.scratch, arch.PermRW); err != nil {
+		return nil, err
+	}
+	// Bind the store handle (reads header pointers) from inside the VAS.
+	if err := th.VASSwitch(c.readH); err != nil {
+		return nil, err
+	}
+	c.store, err = OpenStore(th, SegBase)
+	if err != nil {
+		return nil, err
+	}
+	return c, th.VASSwitch(core.PrimaryHandle)
+}
+
+// bootstrap creates the shared state if no client has yet (§5.3: "the
+// server data is initialized lazily by its first client").
+func (c *Client) bootstrap(segSize uint64) error {
+	th := c.th
+	if _, err := th.VASFind(readVASName); err == nil {
+		return nil
+	} else if !errors.Is(err, core.ErrNotFound) {
+		return err
+	}
+	sid, err := th.SegAlloc(segName, SegBase, segSize, arch.PermRW)
+	if err != nil {
+		if errors.Is(err, core.ErrExists) {
+			return nil // raced with another bootstrapper
+		}
+		return err
+	}
+	vidW, err := th.VASCreate(writVASName, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := th.SegAttachVAS(vidW, sid, arch.PermRW); err != nil {
+		return err
+	}
+	vidR, err := th.VASCreate(readVASName, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := th.SegAttachVAS(vidR, sid, arch.PermRead); err != nil {
+		return err
+	}
+	// Initialize the store through a temporary write attachment.
+	h, err := th.VASAttach(vidW)
+	if err != nil {
+		return err
+	}
+	if err := th.VASSwitch(h); err != nil {
+		return err
+	}
+	if _, err := CreateStore(th, SegBase, segSize); err != nil {
+		return err
+	}
+	if err := th.VASSwitch(core.PrimaryHandle); err != nil {
+		return err
+	}
+	return th.VASDetach(h)
+}
+
+// EnableTags assigns TLB tags to both VASes (the "RedisJMP (Tags)" series
+// of Figure 10a).
+func (c *Client) EnableTags() error {
+	for _, name := range []string{readVASName, writVASName} {
+		vid, err := c.th.VASFind(name)
+		if err != nil {
+			return err
+		}
+		if err := c.th.VASCtl(core.CtlSetTag, vid, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get executes a GET: parse in the scratch heap, switch into the read VAS
+// (shared lock), walk the table directly, switch back.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	c.th.Core.AddCycles(parseCycles)
+	if err := c.th.VASSwitch(c.readH); err != nil {
+		return nil, false, err
+	}
+	val, ok, err := c.store.Get([]byte(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.th.VASSwitch(core.PrimaryHandle); err != nil {
+		return nil, false, err
+	}
+	return val, ok, nil
+}
+
+// Set executes a SET under the exclusive lock, rehashing while exclusive
+// if the table outgrew its buckets.
+func (c *Client) Set(key string, val []byte) error {
+	c.th.Core.AddCycles(parseCycles)
+	if err := c.th.VASSwitch(c.writeH); err != nil {
+		return err
+	}
+	if err := c.store.Set([]byte(key), val); err != nil {
+		return err
+	}
+	if need, err := c.store.NeedRehash(); err != nil {
+		return err
+	} else if need {
+		if err := c.store.Rehash(); err != nil {
+			return err
+		}
+	}
+	return c.th.VASSwitch(core.PrimaryHandle)
+}
+
+// Del removes a key under the exclusive lock.
+func (c *Client) Del(key string) (bool, error) {
+	c.th.Core.AddCycles(parseCycles)
+	if err := c.th.VASSwitch(c.writeH); err != nil {
+		return false, err
+	}
+	found, err := c.store.Del([]byte(key))
+	if err != nil {
+		return false, err
+	}
+	return found, c.th.VASSwitch(core.PrimaryHandle)
+}

@@ -1,0 +1,302 @@
+package redis
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+)
+
+func TestRESPRoundTrip(t *testing.T) {
+	cmd := EncodeCommand("SET", "key:1", "hello")
+	args, err := DecodeCommand(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || args[0] != "SET" || args[2] != "hello" {
+		t.Errorf("args = %v", args)
+	}
+	v, isNil, err := DecodeReply(EncodeBulk([]byte("world")))
+	if err != nil || isNil || string(v) != "world" {
+		t.Errorf("bulk reply: %q %v %v", v, isNil, err)
+	}
+	if _, isNil, _ := DecodeReply(EncodeBulk(nil)); !isNil {
+		t.Error("null bulk not nil")
+	}
+	if _, _, err := DecodeReply(EncodeError("boom")); err == nil {
+		t.Error("error reply not an error")
+	}
+	if v, _, err := DecodeReply(EncodeSimple("OK")); err != nil || string(v) != "OK" {
+		t.Errorf("simple reply: %q %v", v, err)
+	}
+}
+
+func TestRESPPropertyRoundTrip(t *testing.T) {
+	f := func(parts []string) bool {
+		if len(parts) == 0 {
+			return true
+		}
+		for i := range parts {
+			if len(parts[i]) > 64 {
+				parts[i] = parts[i][:64]
+			}
+			// RESP bulk strings here are CRLF-delimited text.
+			clean := []byte(parts[i])
+			for j, ch := range clean {
+				if ch == '\r' || ch == '\n' {
+					clean[j] = '_'
+				}
+			}
+			parts[i] = string(clean)
+		}
+		got, err := DecodeCommand(EncodeCommand(parts...))
+		if err != nil || len(got) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if got[i] != parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newClient(t *testing.T) (*core.System, *Client) {
+	t.Helper()
+	sys := kernel.New(hw.NewMachine(hw.SmallTest()))
+	proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(th, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, c
+}
+
+func TestJmpSetGet(t *testing.T) {
+	_, c := newClient(t)
+	if err := c.Set("hello", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("hello")
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if string(v) != "world" {
+		t.Errorf("value = %q", v)
+	}
+	if _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Errorf("missing key: %v %v", ok, err)
+	}
+}
+
+func TestJmpOverwriteAndDelete(t *testing.T) {
+	_, c := newClient(t)
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("k", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v2-longer" {
+		t.Errorf("after overwrite: %q", v)
+	}
+	found, err := c.Del("k")
+	if err != nil || !found {
+		t.Fatalf("del: %v %v", found, err)
+	}
+	if _, ok, _ := c.Get("k"); ok {
+		t.Error("deleted key still present")
+	}
+	if found, _ := c.Del("k"); found {
+		t.Error("double delete reported found")
+	}
+}
+
+func TestTwoClientProcessesShareData(t *testing.T) {
+	sys, c1 := newClient(t)
+	if err := c1.Set("shared", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	proc2, err := sys.NewProcess(core.Creds{UID: 2, GID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, err := proc2.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewClient(th2, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c2.Get("shared")
+	if err != nil || !ok {
+		t.Fatalf("second client get: %v %v", ok, err)
+	}
+	if string(v) != "data" {
+		t.Errorf("second client sees %q", v)
+	}
+}
+
+func TestRehashUnderLoad(t *testing.T) {
+	_, c := newClient(t)
+	// Push well past 4x the initial 64 buckets to force rehashes.
+	for i := 0; i < 600; i++ {
+		if err := c.Set(fmt.Sprintf("key:%d", i), []byte(fmt.Sprintf("val:%d", i))); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 600; i++ {
+		v, ok, err := c.Get(fmt.Sprintf("key:%d", i))
+		if err != nil || !ok {
+			t.Fatalf("get %d after rehash: %v %v", i, ok, err)
+		}
+		if string(v) != fmt.Sprintf("val:%d", i) {
+			t.Errorf("key %d = %q", i, v)
+		}
+	}
+}
+
+func TestStorePropertyAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := kernel.New(hw.NewMachine(hw.SmallTest()))
+		proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+		if err != nil {
+			return false
+		}
+		th, err := proc.NewThread()
+		if err != nil {
+			return false
+		}
+		c, err := NewClient(th, 8<<20)
+		if err != nil {
+			return false
+		}
+		oracle := map[string][]byte{}
+		for step := 0; step < 150; step++ {
+			k := fmt.Sprintf("k%d", rng.Intn(30))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := []byte(fmt.Sprintf("v%d", rng.Intn(1000)))
+				if err := c.Set(k, v); err != nil {
+					return false
+				}
+				oracle[k] = v
+			case 2:
+				found, err := c.Del(k)
+				if err != nil {
+					return false
+				}
+				_, want := oracle[k]
+				if found != want {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		for k, want := range oracle {
+			got, ok, err := c.Get(k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineServer(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	server := NewBaselineServer(m.Cores[3])
+	client := NewBaselineClient(m.Cores[0], server)
+	if err := client.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := client.Get("a")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := client.Get("zzz"); ok {
+		t.Error("missing key found")
+	}
+	if server.core.Cycles() == 0 {
+		t.Error("server core not charged")
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	costs, err := MeasureCosts(hw.M1(), false, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costsTag, err := MeasureCosts(hw.M1(), true, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single client: RedisJMP ~4x the socket baseline (paper: "by a
+	// factor of 4x for GET and SET requests").
+	jmp1 := costs.GetSeries([]int{1})[0].RPS
+	base1 := costs.BaselineGetSeries([]int{1}, 1)[0].RPS
+	ratio := jmp1 / base1
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Errorf("GET speedup at 1 client = %.2fx, want ~4x", ratio)
+	}
+	// Tags help.
+	if costsTag.JmpGet >= costs.JmpGet {
+		t.Errorf("tags did not reduce GET cost: %.0f vs %.0f", costsTag.JmpGet, costs.JmpGet)
+	}
+	// At full utilization RedisJMP beats 6 separate Redis instances.
+	clients := []int{1, 2, 4, 8, 12, 16, 32, 64, 100}
+	jmp := costs.GetSeries(clients)
+	six := costs.BaselineGetSeries(clients, 6)
+	if jmp[len(jmp)-1].RPS <= six[len(six)-1].RPS {
+		t.Errorf("RedisJMP at 100 clients (%.0f) not above Redis 6x (%.0f)",
+			jmp[len(jmp)-1].RPS, six[len(six)-1].RPS)
+	}
+	// GET throughput rises with clients, but lock-line contention keeps
+	// 12-client throughput below ~3x the single client (the paper's peak
+	// is ~1.8x its single-client rate).
+	if jmp[4].RPS < jmp[0].RPS*1.2 || jmp[4].RPS > jmp[0].RPS*3.5 {
+		t.Errorf("GET scaling off: 1 client %.0f, 12 clients %.0f", jmp[0].RPS, jmp[4].RPS)
+	}
+	// SET throughput is lock-limited: more clients do not help much.
+	sets := costs.SetSeries(clients)
+	if sets[len(sets)-1].RPS > sets[1].RPS*1.5 {
+		t.Errorf("SETs scaled despite the exclusive lock: %v", sets)
+	}
+	// Mixed workload: throughput falls as SET percentage rises.
+	mix := costs.MixSeries(12, []int{0, 10, 50, 100})
+	for i := 1; i < len(mix); i++ {
+		if mix[i].RPS > mix[i-1].RPS {
+			t.Errorf("throughput rose with more SETs: %v", mix)
+		}
+	}
+	// Even at 10%% SETs RedisJMP stays above the file-based baseline.
+	baseMix := costs.BaselineMixSeries(12, []int{10})
+	if mix[1].RPS <= baseMix[0].RPS {
+		t.Errorf("RedisJMP at 10%% SETs (%.0f) below baseline (%.0f)", mix[1].RPS, baseMix[0].RPS)
+	}
+}

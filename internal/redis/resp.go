@@ -1,0 +1,105 @@
+// Package redis reproduces the paper's Redis experiment (§5.3, Figure 10):
+// a baseline single-threaded key-value server reached over a socket, versus
+// RedisJMP — a client-side library in which clients switch into a shared
+// server VAS and execute the operations directly against a lockable
+// segment, eliding the server process entirely.
+package redis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RESP is the Redis serialization protocol (the subset redis-benchmark
+// exercises: inline arrays of bulk strings for commands; simple strings,
+// bulk strings and errors for replies).
+
+// EncodeCommand renders a command as a RESP array of bulk strings.
+func EncodeCommand(args ...string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
+	}
+	return []byte(b.String())
+}
+
+// DecodeCommand parses a RESP command array.
+func DecodeCommand(data []byte) ([]string, error) {
+	s := string(data)
+	if !strings.HasPrefix(s, "*") {
+		return nil, fmt.Errorf("redis: not a command array")
+	}
+	lines := strings.Split(s, "\r\n")
+	n, err := strconv.Atoi(strings.TrimPrefix(lines[0], "*"))
+	if err != nil {
+		return nil, fmt.Errorf("redis: bad array header %q", lines[0])
+	}
+	var out []string
+	li := 1
+	for i := 0; i < n; i++ {
+		if li+1 >= len(lines) {
+			return nil, fmt.Errorf("redis: truncated command")
+		}
+		if !strings.HasPrefix(lines[li], "$") {
+			return nil, fmt.Errorf("redis: expected bulk string, got %q", lines[li])
+		}
+		want, err := strconv.Atoi(strings.TrimPrefix(lines[li], "$"))
+		if err != nil {
+			return nil, err
+		}
+		body := lines[li+1]
+		if len(body) != want {
+			return nil, fmt.Errorf("redis: bulk length %d != %d", len(body), want)
+		}
+		out = append(out, body)
+		li += 2
+	}
+	return out, nil
+}
+
+// Replies.
+
+// EncodeSimple renders "+OK"-style replies.
+func EncodeSimple(s string) []byte { return []byte("+" + s + "\r\n") }
+
+// EncodeError renders an error reply.
+func EncodeError(s string) []byte { return []byte("-ERR " + s + "\r\n") }
+
+// EncodeBulk renders a bulk string reply; nil renders the null bulk.
+func EncodeBulk(v []byte) []byte {
+	if v == nil {
+		return []byte("$-1\r\n")
+	}
+	return []byte(fmt.Sprintf("$%d\r\n%s\r\n", len(v), v))
+}
+
+// DecodeReply parses a reply, returning (value, isNil, error).
+func DecodeReply(data []byte) ([]byte, bool, error) {
+	s := string(data)
+	switch {
+	case strings.HasPrefix(s, "+"):
+		return []byte(strings.TrimSuffix(s[1:], "\r\n")), false, nil
+	case strings.HasPrefix(s, "-"):
+		return nil, false, fmt.Errorf("redis: %s", strings.TrimSuffix(s[1:], "\r\n"))
+	case strings.HasPrefix(s, "$-1"):
+		return nil, true, nil
+	case strings.HasPrefix(s, "$"):
+		body, _, ok := strings.Cut(s[1:], "\r\n")
+		if !ok {
+			return nil, false, fmt.Errorf("redis: truncated bulk")
+		}
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return nil, false, err
+		}
+		rest := s[1+len(body)+2:]
+		if len(rest) < n {
+			return nil, false, fmt.Errorf("redis: short bulk")
+		}
+		return []byte(rest[:n]), false, nil
+	default:
+		return nil, false, fmt.Errorf("redis: unknown reply %q", s)
+	}
+}

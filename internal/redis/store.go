@@ -1,0 +1,300 @@
+package redis
+
+import (
+	"fmt"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/mspace"
+)
+
+// Store is the server state of RedisJMP: a chained hash table whose
+// buckets, entries, and string data all live inside the lockable segment,
+// addressed by segment virtual addresses. Any process that switches into
+// the server VAS can operate on it directly — the paper's replacement for
+// the Redis server process.
+//
+// Layout: a root pointer word sits at the segment base; the mspace heap
+// starts one page in. All multi-byte data is stored in little-endian
+// words through the Accessor (a thread's MMU-mediated loads and stores).
+type Store struct {
+	mem  mspace.Accessor
+	heap *mspace.Space
+	base arch.VirtAddr
+	root arch.VirtAddr // header chunk
+}
+
+// Store header words.
+const (
+	hdrBuckets = 0  // VA of bucket array
+	hdrNBkt    = 8  // number of buckets
+	hdrCount   = 16 // number of entries
+	hdrSize    = 24
+)
+
+// Entry words.
+const (
+	entNext   = 0
+	entKeyPtr = 8
+	entKeyLen = 16
+	entValPtr = 24
+	entValLen = 32
+	entSize   = 40
+)
+
+const initialBuckets = 64
+
+// heapOff is where the mspace begins inside the segment.
+const heapOff = arch.PageSize
+
+// CreateStore formats the segment at base as an empty store.
+func CreateStore(mem mspace.Accessor, base arch.VirtAddr, size uint64) (*Store, error) {
+	heap, err := mspace.Init(mem, base+heapOff, size-heapOff)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{mem: mem, heap: heap, base: base}
+	root, err := heap.Alloc(hdrSize)
+	if err != nil {
+		return nil, err
+	}
+	s.root = root
+	buckets, err := s.allocZeroed(initialBuckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	s.put(root+hdrBuckets, uint64(buckets))
+	s.put(root+hdrNBkt, initialBuckets)
+	s.put(root+hdrCount, 0)
+	s.put(base, uint64(root))
+	return s, nil
+}
+
+// OpenStore attaches to a store created earlier (possibly by another
+// process in an earlier lifetime).
+func OpenStore(mem mspace.Accessor, base arch.VirtAddr) (*Store, error) {
+	heap, err := mspace.Open(mem, base+heapOff)
+	if err != nil {
+		return nil, err
+	}
+	rootWord, err := mem.Load64(base)
+	if err != nil {
+		return nil, err
+	}
+	if rootWord == 0 {
+		return nil, fmt.Errorf("redis: no store at %v", base)
+	}
+	return &Store{mem: mem, heap: heap, base: base, root: arch.VirtAddr(rootWord)}, nil
+}
+
+func (s *Store) get(va arch.VirtAddr) uint64 {
+	v, err := s.mem.Load64(va)
+	if err != nil {
+		panic(fmt.Sprintf("redis: load %v: %v", va, err))
+	}
+	return v
+}
+
+func (s *Store) put(va arch.VirtAddr, v uint64) {
+	if err := s.mem.Store64(va, v); err != nil {
+		panic(fmt.Sprintf("redis: store %v: %v", va, err))
+	}
+}
+
+func (s *Store) allocZeroed(n uint64) (arch.VirtAddr, error) {
+	va, err := s.heap.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	for off := uint64(0); off < n; off += 8 {
+		s.put(va+arch.VirtAddr(off), 0)
+	}
+	return va, nil
+}
+
+// writeBytes stores b into segment memory word by word.
+func (s *Store) writeBytes(va arch.VirtAddr, b []byte) {
+	for off := 0; off < len(b); off += 8 {
+		var w uint64
+		for k := 0; k < 8 && off+k < len(b); k++ {
+			w |= uint64(b[off+k]) << (8 * k)
+		}
+		s.put(va+arch.VirtAddr(off), w)
+	}
+}
+
+// readBytes loads n bytes from segment memory.
+func (s *Store) readBytes(va arch.VirtAddr, n uint64) []byte {
+	out := make([]byte, n)
+	for off := uint64(0); off < n; off += 8 {
+		w := s.get(va + arch.VirtAddr(off))
+		for k := uint64(0); k < 8 && off+k < n; k++ {
+			out[off+k] = byte(w >> (8 * k))
+		}
+	}
+	return out
+}
+
+// fnv1a hashes a key (computed in client code; only the table lives in
+// segment memory).
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// guard converts inaccessible-memory panics (e.g. operating without being
+// switched into the VAS) into errors.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("redis: store access failed: %v", r)
+	}
+}
+
+// bucketFor returns the address of the bucket head slot for key.
+func (s *Store) bucketFor(key []byte) arch.VirtAddr {
+	n := s.get(s.root + hdrNBkt)
+	buckets := arch.VirtAddr(s.get(s.root + hdrBuckets))
+	return buckets + arch.VirtAddr((fnv1a(key)%n)*8)
+}
+
+// findEntry returns (entry, prevSlot) for key, entry == 0 if absent.
+func (s *Store) findEntry(key []byte) (entry, prevSlot arch.VirtAddr) {
+	slot := s.bucketFor(key)
+	cur := arch.VirtAddr(s.get(slot))
+	for cur != 0 {
+		klen := s.get(cur + entKeyLen)
+		if klen == uint64(len(key)) {
+			kptr := arch.VirtAddr(s.get(cur + entKeyPtr))
+			if string(s.readBytes(kptr, klen)) == string(key) {
+				return cur, slot
+			}
+		}
+		slot = cur + entNext
+		cur = arch.VirtAddr(s.get(cur + entNext))
+	}
+	return 0, slot
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key []byte) (val []byte, ok bool, err error) {
+	defer guard(&err)
+	ent, _ := s.findEntry(key)
+	if ent == 0 {
+		return nil, false, nil
+	}
+	vptr := arch.VirtAddr(s.get(ent + entValPtr))
+	vlen := s.get(ent + entValLen)
+	return s.readBytes(vptr, vlen), true, nil
+}
+
+// Set inserts or replaces key's value.
+func (s *Store) Set(key, val []byte) (err error) {
+	defer guard(&err)
+	ent, _ := s.findEntry(key)
+	if ent != 0 {
+		// Replace the value in place.
+		old := arch.VirtAddr(s.get(ent + entValPtr))
+		if err := s.heap.Free(old); err != nil {
+			return err
+		}
+		vptr, err := s.heap.Alloc(uint64(len(val)))
+		if err != nil {
+			return err
+		}
+		s.writeBytes(vptr, val)
+		s.put(ent+entValPtr, uint64(vptr))
+		s.put(ent+entValLen, uint64(len(val)))
+		return nil
+	}
+	kptr, err := s.heap.Alloc(uint64(len(key)))
+	if err != nil {
+		return err
+	}
+	s.writeBytes(kptr, key)
+	vptr, err := s.heap.Alloc(uint64(len(val)))
+	if err != nil {
+		return err
+	}
+	s.writeBytes(vptr, val)
+	e, err := s.heap.Alloc(entSize)
+	if err != nil {
+		return err
+	}
+	slot := s.bucketFor(key)
+	s.put(e+entNext, s.get(slot))
+	s.put(e+entKeyPtr, uint64(kptr))
+	s.put(e+entKeyLen, uint64(len(key)))
+	s.put(e+entValPtr, uint64(vptr))
+	s.put(e+entValLen, uint64(len(val)))
+	s.put(slot, uint64(e))
+	s.put(s.root+hdrCount, s.get(s.root+hdrCount)+1)
+	return nil
+}
+
+// Del removes key, reporting whether it was present.
+func (s *Store) Del(key []byte) (found bool, err error) {
+	defer guard(&err)
+	ent, prevSlot := s.findEntry(key)
+	if ent == 0 {
+		return false, nil
+	}
+	s.put(prevSlot, s.get(ent+entNext))
+	for _, w := range []arch.VirtAddr{entKeyPtr, entValPtr} {
+		if err := s.heap.Free(arch.VirtAddr(s.get(ent + w))); err != nil {
+			return false, err
+		}
+	}
+	if err := s.heap.Free(ent); err != nil {
+		return false, err
+	}
+	s.put(s.root+hdrCount, s.get(s.root+hdrCount)-1)
+	return true, nil
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() (n uint64, err error) {
+	defer guard(&err)
+	return s.get(s.root + hdrCount), nil
+}
+
+// NeedRehash reports whether the table exceeds its load factor. Redis
+// normally rehashes asynchronously; RedisJMP rehashes only while a client
+// holds the exclusive lock (§5.3), so clients check this on the SET path.
+func (s *Store) NeedRehash() (bool, error) {
+	var err error
+	defer guard(&err)
+	n := s.get(s.root + hdrNBkt)
+	count := s.get(s.root + hdrCount)
+	return count > 4*n, err
+}
+
+// Rehash grows the bucket array fourfold and relinks every entry. Caller
+// must hold the segment exclusively.
+func (s *Store) Rehash() (err error) {
+	defer guard(&err)
+	oldN := s.get(s.root + hdrNBkt)
+	oldBkts := arch.VirtAddr(s.get(s.root + hdrBuckets))
+	newN := oldN * 4
+	newBkts, err := s.allocZeroed(newN * 8)
+	if err != nil {
+		return err
+	}
+	// Install the new table first so bucketFor sees it while relinking.
+	s.put(s.root+hdrBuckets, uint64(newBkts))
+	s.put(s.root+hdrNBkt, newN)
+	for i := uint64(0); i < oldN; i++ {
+		cur := arch.VirtAddr(s.get(oldBkts + arch.VirtAddr(i*8)))
+		for cur != 0 {
+			next := arch.VirtAddr(s.get(cur + entNext))
+			key := s.readBytes(arch.VirtAddr(s.get(cur+entKeyPtr)), s.get(cur+entKeyLen))
+			slot := s.bucketFor(key)
+			s.put(cur+entNext, s.get(slot))
+			s.put(slot, uint64(cur))
+			cur = next
+		}
+	}
+	return s.heap.Free(oldBkts)
+}

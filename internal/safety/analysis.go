@@ -1,0 +1,393 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VSet is a set over VAS identifiers extended with the two special values
+// of §4.3: vcommon (the pointer targets the common region) and vunknown
+// (the VAS is not statically known). The same representation carries
+// VASvalid sets (all three kinds) and VASin/VASout sets (ids + unknown).
+type VSet struct {
+	ids     map[int]struct{}
+	common  bool
+	unknown bool
+}
+
+// NewVSet builds a set from VAS ids.
+func NewVSet(ids ...int) *VSet {
+	v := &VSet{ids: map[int]struct{}{}}
+	for _, id := range ids {
+		v.ids[id] = struct{}{}
+	}
+	return v
+}
+
+// CommonSet returns {vcommon}.
+func CommonSet() *VSet { v := NewVSet(); v.common = true; return v }
+
+// UnknownSet returns {vunknown}.
+func UnknownSet() *VSet { v := NewVSet(); v.unknown = true; return v }
+
+// Has reports id membership.
+func (v *VSet) Has(id int) bool { _, ok := v.ids[id]; return ok }
+
+// HasCommon reports vcommon membership.
+func (v *VSet) HasCommon() bool { return v.common }
+
+// HasUnknown reports vunknown membership.
+func (v *VSet) HasUnknown() bool { return v.unknown }
+
+// IDCount returns the number of concrete VAS ids.
+func (v *VSet) IDCount() int { return len(v.ids) }
+
+// Empty reports a set with no members of any kind — a value that is not a
+// pointer as far as the analysis can tell.
+func (v *VSet) Empty() bool { return len(v.ids) == 0 && !v.common && !v.unknown }
+
+// union merges o into v, reporting whether v grew.
+func (v *VSet) union(o *VSet) bool {
+	if o == nil {
+		return false
+	}
+	changed := false
+	for id := range o.ids {
+		if _, ok := v.ids[id]; !ok {
+			v.ids[id] = struct{}{}
+			changed = true
+		}
+	}
+	if o.common && !v.common {
+		v.common, changed = true, true
+	}
+	if o.unknown && !v.unknown {
+		v.unknown, changed = true, true
+	}
+	return changed
+}
+
+// sameIDs reports whether two sets hold exactly the same concrete ids.
+func (v *VSet) sameIDs(o *VSet) bool {
+	if len(v.ids) != len(o.ids) {
+		return false
+	}
+	for id := range v.ids {
+		if _, ok := o.ids[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *VSet) String() string {
+	var parts []string
+	ids := make([]int, 0, len(v.ids))
+	for id := range v.ids {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("v%d", id))
+	}
+	if v.common {
+		parts = append(parts, "vcommon")
+	}
+	if v.unknown {
+		parts = append(parts, "vunknown")
+	}
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+type instrKey struct {
+	fn, blk string
+	idx     int
+}
+
+// Analysis is the fixpoint result of the §4.3 dataflow.
+type Analysis struct {
+	prog *Program
+
+	// InitialVAS is the address space active when the program starts.
+	InitialVAS int
+
+	valid    map[string]*VSet // fn + "." + value -> VASvalid
+	in, out  map[instrKey]*VSet
+	entryIn  map[string]*VSet // function -> union of VASin at callsites
+	retOut   map[string]*VSet // function -> union of VASout at rets
+	retValid map[string]*VSet // function -> union of VASvalid of returned values
+	preds    map[string]map[string][]string
+	changed  bool
+}
+
+// Analyze runs the interprocedural dataflow to fixpoint.
+func Analyze(p *Program) *Analysis {
+	a := &Analysis{
+		prog: p, InitialVAS: 0,
+		valid: map[string]*VSet{}, in: map[instrKey]*VSet{}, out: map[instrKey]*VSet{},
+		entryIn: map[string]*VSet{}, retOut: map[string]*VSet{}, retValid: map[string]*VSet{},
+		preds: map[string]map[string][]string{},
+	}
+	for name, f := range p.Funcs {
+		a.entryIn[name] = NewVSet()
+		a.retOut[name] = NewVSet()
+		a.retValid[name] = NewVSet()
+		pr := map[string][]string{}
+		for _, blk := range f.Blocks {
+			last := blk.Instrs[len(blk.Instrs)-1]
+			for _, tgt := range last.Blocks {
+				pr[tgt] = append(pr[tgt], blk.Name)
+			}
+		}
+		a.preds[name] = pr
+	}
+	a.entryIn[p.Entry].union(NewVSet(a.InitialVAS))
+	for {
+		a.changed = false
+		for _, f := range p.Funcs {
+			a.passFunc(f)
+		}
+		if !a.changed {
+			return a
+		}
+	}
+}
+
+func (a *Analysis) validOf(fn, val string) *VSet {
+	key := fn + "." + val
+	v, ok := a.valid[key]
+	if !ok {
+		v = NewVSet()
+		a.valid[key] = v
+	}
+	return v
+}
+
+// ValidOf exposes VASvalid for tests and tools.
+func (a *Analysis) ValidOf(fn, val string) *VSet { return a.validOf(fn, val) }
+
+// InAt exposes VASin for tests and tools.
+func (a *Analysis) InAt(fn, blk string, idx int) *VSet {
+	v, ok := a.in[instrKey{fn, blk, idx}]
+	if !ok {
+		return NewVSet()
+	}
+	return v
+}
+
+func (a *Analysis) mark(changed bool) {
+	if changed {
+		a.changed = true
+	}
+}
+
+func (a *Analysis) passFunc(f *Func) {
+	for bi, blk := range f.Blocks {
+		for idx, ins := range blk.Instrs {
+			key := instrKey{f.Name, blk.Name, idx}
+			in, ok := a.in[key]
+			if !ok {
+				in = NewVSet()
+				a.in[key] = in
+			}
+			// Flow in.
+			switch {
+			case idx > 0:
+				a.mark(in.union(a.out[instrKey{f.Name, blk.Name, idx - 1}]))
+			case bi == 0:
+				a.mark(in.union(a.entryIn[f.Name]))
+			}
+			if idx == 0 {
+				for _, pred := range a.preds[f.Name][blk.Name] {
+					pb := f.Block(pred)
+					a.mark(in.union(a.out[instrKey{f.Name, pred, len(pb.Instrs) - 1}]))
+				}
+			}
+			out, ok := a.out[key]
+			if !ok {
+				out = NewVSet()
+				a.out[key] = out
+			}
+			a.transfer(f, ins, in, out)
+		}
+	}
+}
+
+// transfer implements Figure 5's per-instruction effects.
+func (a *Analysis) transfer(f *Func, ins *Instr, in, out *VSet) {
+	flowThrough := func() { a.mark(out.union(in)) }
+	switch ins.Op {
+	case OpSwitch:
+		if ins.VAS != NoVAS {
+			a.mark(out.union(NewVSet(ins.VAS)))
+		} else {
+			a.mark(out.union(UnknownSet()))
+		}
+	case OpVCast:
+		a.mark(a.validOf(f.Name, ins.Dst).union(NewVSet(ins.VAS)))
+		flowThrough()
+	case OpAlloca, OpGlobal:
+		a.mark(a.validOf(f.Name, ins.Dst).union(CommonSet()))
+		flowThrough()
+	case OpMalloc:
+		a.mark(a.validOf(f.Name, ins.Dst).union(in))
+		flowThrough()
+	case OpCopy:
+		a.mark(a.validOf(f.Name, ins.Dst).union(a.validOf(f.Name, ins.Args[0])))
+		flowThrough()
+	case OpArith:
+		dst := a.validOf(f.Name, ins.Dst)
+		for _, arg := range ins.Args {
+			a.mark(dst.union(a.validOf(f.Name, arg)))
+		}
+		flowThrough()
+	case OpPhi:
+		dst := a.validOf(f.Name, ins.Dst)
+		for _, arg := range ins.Args {
+			a.mark(dst.union(a.validOf(f.Name, arg)))
+		}
+		flowThrough()
+	case OpLoad:
+		pv := a.validOf(f.Name, ins.Args[0])
+		dst := a.validOf(f.Name, ins.Dst)
+		// Loading from the non-common region yields a pointer valid in
+		// the active VAS; loading from the common region (or through an
+		// unknown pointer) yields statically unknown provenance.
+		if pv.IDCount() > 0 {
+			a.mark(dst.union(in))
+		}
+		if pv.HasCommon() || pv.HasUnknown() || pv.Empty() {
+			a.mark(dst.union(UnknownSet()))
+		}
+		flowThrough()
+	case OpStore:
+		flowThrough()
+	case OpCall:
+		callee := a.prog.Funcs[ins.Callee]
+		a.mark(a.entryIn[ins.Callee].union(in))
+		for k, arg := range ins.Args {
+			if k < len(callee.Params) {
+				a.mark(a.validOf(ins.Callee, callee.Params[k]).union(a.validOf(f.Name, arg)))
+			}
+		}
+		a.mark(out.union(a.retOut[ins.Callee]))
+		if ins.Dst != "" {
+			a.mark(a.validOf(f.Name, ins.Dst).union(a.retValid[ins.Callee]))
+		}
+	case OpRet:
+		a.mark(a.retOut[f.Name].union(in))
+		if len(ins.Args) > 0 {
+			a.mark(a.retValid[f.Name].union(a.validOf(f.Name, ins.Args[0])))
+		}
+		flowThrough()
+	default: // const, br, condbr, checks
+		flowThrough()
+	}
+}
+
+// DiagKind classifies a diagnostic.
+type DiagKind int
+
+const (
+	// DiagDeref marks a load/store whose pointer may be dereferenced in
+	// the wrong address space (conditions 1–3 of §4.3).
+	DiagDeref DiagKind = iota
+	// DiagStore marks a store that may place a pointer in an illegal
+	// location (the store rules of §4.3).
+	DiagStore
+)
+
+func (k DiagKind) String() string {
+	if k == DiagDeref {
+		return "unsafe-deref"
+	}
+	return "unsafe-store"
+}
+
+// Diagnostic points at an instruction the analysis could not prove safe.
+type Diagnostic struct {
+	Fn    string
+	Block string
+	Index int
+	Kind  DiagKind
+	Instr *Instr
+	Why   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s/%s#%d: %s: %q (%s)", d.Fn, d.Block, d.Index, d.Kind, d.Instr, d.Why)
+}
+
+// derefUnsafe evaluates §4.3's three deref conditions for pointer value p
+// at an instruction with VASin = in. A pointer provably confined to the
+// common region is always safe to dereference.
+func (a *Analysis) derefUnsafe(fn, p string, in *VSet) (bool, string) {
+	pv := a.validOf(fn, p)
+	if pv.HasCommon() && pv.IDCount() == 0 && !pv.HasUnknown() {
+		return false, ""
+	}
+	if pv.Empty() || pv.HasUnknown() || pv.IDCount() > 1 || (pv.HasCommon() && pv.IDCount() > 0) {
+		return true, fmt.Sprintf("VASvalid(%s)=%s is ambiguous", p, pv)
+	}
+	if in.HasUnknown() || in.IDCount() > 1 {
+		return true, fmt.Sprintf("VASin=%s is ambiguous", in)
+	}
+	if !pv.sameIDs(in) {
+		return true, fmt.Sprintf("VASvalid(%s)=%s differs from VASin=%s", p, pv, in)
+	}
+	return false, ""
+}
+
+// storeUnsafe evaluates §4.3's pointer-store conditions for `store p, v`.
+func (a *Analysis) storeUnsafe(fn, p, v string) (bool, string) {
+	vv := a.validOf(fn, v)
+	if vv.Empty() {
+		return false, "" // not a pointer
+	}
+	pv := a.validOf(fn, p)
+	if pv.HasCommon() && pv.IDCount() == 0 && !pv.HasUnknown() {
+		return false, "" // store to the common region
+	}
+	if pv.IDCount() == 1 && !pv.HasCommon() && !pv.HasUnknown() && pv.sameIDs(vv) &&
+		!vv.HasCommon() && !vv.HasUnknown() {
+		return false, "" // pointer stored within its own region
+	}
+	return true, fmt.Sprintf("VASvalid(%s)=%s stored into VASvalid(%s)=%s", v, vv, p, pv)
+}
+
+// Diagnostics returns every instruction that needs a runtime check,
+// in program order.
+func (a *Analysis) Diagnostics() []Diagnostic {
+	var out []Diagnostic
+	var names []string
+	for n := range a.prog.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		f := a.prog.Funcs[fn]
+		for _, blk := range f.Blocks {
+			for idx, ins := range blk.Instrs {
+				in := a.InAt(fn, blk.Name, idx)
+				switch ins.Op {
+				case OpLoad:
+					if bad, why := a.derefUnsafe(fn, ins.Args[0], in); bad {
+						out = append(out, Diagnostic{fn, blk.Name, idx, DiagDeref, ins, why})
+					}
+				case OpStore:
+					if bad, why := a.derefUnsafe(fn, ins.Args[0], in); bad {
+						out = append(out, Diagnostic{fn, blk.Name, idx, DiagDeref, ins, why})
+					}
+					if bad, why := a.storeUnsafe(fn, ins.Args[0], ins.Args[1]); bad {
+						out = append(out, Diagnostic{fn, blk.Name, idx, DiagStore, ins, why})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

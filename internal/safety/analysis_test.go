@@ -1,0 +1,375 @@
+package safety
+
+import (
+	"strings"
+	"testing"
+)
+
+// diagsOf analyzes src and returns diagnostics as "kind@block#idx" strings.
+func diagsOf(t *testing.T, src string) []string {
+	t.Helper()
+	p := MustParse(src)
+	a := Analyze(p)
+	var out []string
+	for _, d := range a.Diagnostics() {
+		out = append(out, d.Kind.String()+"@"+d.Block+"#"+itoa(d.Index))
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestSafeSameVASDeref(t *testing.T) {
+	d := diagsOf(t, `
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %x = load %p
+  store %p, %x
+  ret
+}`)
+	if len(d) != 0 {
+		t.Errorf("safe program flagged: %v", d)
+	}
+}
+
+func TestDerefAfterSwitchFlagged(t *testing.T) {
+	d := diagsOf(t, `
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %x = load %p
+  ret
+}`)
+	if len(d) != 1 || d[0] != "unsafe-deref@entry#3" {
+		t.Errorf("diags = %v, want the cross-VAS load flagged", d)
+	}
+}
+
+func TestCommonRegionAlwaysSafe(t *testing.T) {
+	// alloca and global derefs are safe in any VAS (§3.3 rule 2).
+	d := diagsOf(t, `
+func main() {
+entry:
+  %g = global counter
+  %s = alloca
+  switch 1
+  %a = load %g
+  switch 2
+  %b = load %s
+  store %g, %b
+  ret
+}`)
+	// store %g, %b is a store of an unknown-provenance value (loaded from
+	// the common region via %s... actually %b = load %s yields unknown) to
+	// the common region: store-to-common is safe, deref of %g is safe.
+	if len(d) != 0 {
+		t.Errorf("common-region program flagged: %v", d)
+	}
+}
+
+func TestVCastOverridesProvenance(t *testing.T) {
+	d := diagsOf(t, `
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %q = vcast %p, 2
+  %x = load %q
+  ret
+}`)
+	if len(d) != 0 {
+		t.Errorf("vcast-corrected program flagged: %v", d)
+	}
+}
+
+func TestAmbiguousProvenancePhi(t *testing.T) {
+	// The pointer may come from VAS 1 or VAS 2 depending on the branch:
+	// condition 1 (|VASvalid| > 1).
+	d := diagsOf(t, `
+func main() {
+entry:
+  %c = const 1
+  condbr %c, a, b
+a:
+  switch 1
+  %p = malloc
+  br join
+b:
+  switch 2
+  %q = malloc
+  br join
+join:
+  %r = phi [%p, a], [%q, b]
+  %x = load %r
+  ret
+}`)
+	found := false
+	for _, s := range d {
+		if strings.HasPrefix(s, "unsafe-deref@join") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ambiguous phi deref not flagged: %v", d)
+	}
+}
+
+func TestAmbiguousVASinFlagged(t *testing.T) {
+	// Condition 2: the active VAS at the load is ambiguous.
+	d := diagsOf(t, `
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %c = const 0
+  condbr %c, a, join
+a:
+  switch 2
+  br join
+join:
+  %x = load %p
+  ret
+}`)
+	if len(d) == 0 {
+		t.Error("load under ambiguous VASin not flagged")
+	}
+}
+
+func TestStoreCrossVASPointerFlagged(t *testing.T) {
+	d := diagsOf(t, `
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %q = malloc
+  store %q, %p
+  ret
+}`)
+	// Deref of %q is fine ({2} = {2}); storing %p ({1}) into it is not.
+	want := "unsafe-store@entry#4"
+	if len(d) != 1 || d[0] != want {
+		t.Errorf("diags = %v, want [%s]", d, want)
+	}
+}
+
+func TestStorePointerToCommonSafe(t *testing.T) {
+	// "A VAS should not store a pointer that points to another VAS,
+	// except in the common region."
+	d := diagsOf(t, `
+func main() {
+entry:
+  %g = global head
+  switch 1
+  %p = malloc
+  store %g, %p
+  ret
+}`)
+	if len(d) != 0 {
+		t.Errorf("store to common region flagged: %v", d)
+	}
+}
+
+func TestStoreCommonPointerToVASFlagged(t *testing.T) {
+	// "Pointers to the common region should only be stored in the common
+	// region."
+	d := diagsOf(t, `
+func main() {
+entry:
+  %g = global head
+  switch 1
+  %p = malloc
+  store %p, %g
+  ret
+}`)
+	if len(d) != 1 || d[0] != "unsafe-store@entry#3" {
+		t.Errorf("diags = %v", d)
+	}
+}
+
+func TestLoadFromCommonIsUnknown(t *testing.T) {
+	// A pointer loaded from the common region has the safety of whatever
+	// was stored — statically unknown, so its deref needs a check.
+	d := diagsOf(t, `
+func main() {
+entry:
+  %g = global head
+  switch 1
+  %p = malloc
+  store %g, %p
+  %q = load %g
+  %x = load %q
+  ret
+}`)
+	if len(d) != 1 || d[0] != "unsafe-deref@entry#5" {
+		t.Errorf("diags = %v", d)
+	}
+}
+
+func TestDynamicSwitchMakesEverythingUnknown(t *testing.T) {
+	d := diagsOf(t, `
+func main() {
+entry:
+  %v = const 3
+  switch %v
+  %p = malloc
+  %x = load %p
+  ret
+}`)
+	if len(d) == 0 {
+		t.Error("deref after dynamic switch not flagged")
+	}
+}
+
+func TestInterproceduralSwitchPropagates(t *testing.T) {
+	// The callee switches VASes; the caller's post-call deref of a
+	// pre-call pointer must be flagged.
+	d := diagsOf(t, `
+func jump() {
+entry:
+  switch 2
+  ret
+}
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  call jump()
+  %x = load %p
+  ret
+}`)
+	found := false
+	for _, s := range d {
+		if strings.HasPrefix(s, "unsafe-deref@entry#3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("post-call deref not flagged: %v", d)
+	}
+}
+
+func TestInterproceduralPointerArgument(t *testing.T) {
+	// A pointer passed into a function keeps its provenance; the callee
+	// dereferencing it in the right VAS is safe.
+	d := diagsOf(t, `
+func use(%arg) {
+entry:
+  %x = load %arg
+  ret
+}
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  call use(%p)
+  ret
+}`)
+	if len(d) != 0 {
+		t.Errorf("matching interprocedural deref flagged: %v", d)
+	}
+}
+
+func TestInterproceduralReturnValue(t *testing.T) {
+	d := diagsOf(t, `
+func mk() {
+entry:
+  %p = malloc
+  ret %p
+}
+func main() {
+entry:
+  switch 1
+  %q = call mk()
+  switch 2
+  %x = load %q
+  ret
+}`)
+	found := false
+	for _, s := range d {
+		if strings.HasPrefix(s, "unsafe-deref@entry#3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cross-VAS deref of returned pointer not flagged: %v", d)
+	}
+}
+
+func TestFigure5MallocTakesVASin(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 7
+  %p = malloc
+  ret
+}`)
+	a := Analyze(p)
+	v := a.ValidOf("main", "%p")
+	if !v.Has(7) || v.IDCount() != 1 || v.HasCommon() || v.HasUnknown() {
+		t.Errorf("VASvalid(malloc after switch 7) = %v", v)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	src := `func helper(%a) {
+entry:
+  %x = load %a
+  ret %x
+}
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %c = const 5
+  %q = arith %p, %c
+  condbr %c, a, b
+a:
+  %r1 = copy %q
+  br join
+b:
+  %r2 = vcast %q, 2
+  br join
+join:
+  %r = phi [%r1, a], [%r2, b]
+  %v = call helper(%r)
+  store %p, %v
+  ret
+}`
+	p1 := MustParse(src)
+	p2 := MustParse(p1.String())
+	if p1.String() != p2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", p1, p2)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []string{
+		"func main() {\nentry:\n  %x = copy %y\n  ret\n}",              // undefined use
+		"func main() {\nentry:\n  ret\n  %x = malloc\n}",               // instr after terminator
+		"func main() {\nentry:\n  br nowhere\n}",                       // bad target
+		"func main() {\nentry:\n  call missing()\n  ret\n}",            // unknown callee
+		"func main() {\nentry:\n  %x = malloc\n  %x = malloc\n ret\n}", // double def
+		"func other() {\nentry:\n  ret\n}",                             // no main
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package safety
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpBasicExecution(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %c = const 42
+  store %p, %c
+  %x = load %p
+  ret %x
+}`)
+	v, err := NewInterp(p, ModeRaw).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 42 {
+		t.Errorf("result = %v", v)
+	}
+}
+
+func TestInterpControlFlowAndPhi(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  %c = const 1
+  condbr %c, a, b
+a:
+  %x = const 10
+  br join
+b:
+  %y = const 20
+  br join
+join:
+  %r = phi [%x, a], [%y, b]
+  ret %r
+}`)
+	v, err := NewInterp(p, ModeRaw).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 10 {
+		t.Errorf("took wrong branch: %v", v)
+	}
+}
+
+func TestInterpCallAndReturn(t *testing.T) {
+	p := MustParse(`
+func double(%n) {
+entry:
+  %r = arith %n, %n
+  ret %r
+}
+func main() {
+entry:
+  %c = const 21
+  %r = call double(%c)
+  ret %r
+}`)
+	v, err := NewInterp(p, ModeRaw).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 42 {
+		t.Errorf("call result = %v", v)
+	}
+}
+
+func TestInterpVASIsolation(t *testing.T) {
+	// The same address in two VASes holds different data; a wrong-VAS
+	// deref silently reads the active VAS's memory (hardware semantics).
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %c1 = const 111
+  store %p, %c1
+  switch 2
+  %x = load %p
+  ret %x
+}`)
+	ip := NewInterp(p, ModeOracle)
+	v, err := ip.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 0 {
+		t.Errorf("cross-VAS load returned %v, want VAS 2's (empty) memory", v)
+	}
+	viol := ip.Violations()
+	if len(viol) != 1 || viol[0].Kind != DiagDeref {
+		t.Errorf("oracle violations = %v", viol)
+	}
+}
+
+func TestInterpLoopWithStepLimit(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  br entry
+}`)
+	ip := NewInterp(p, ModeRaw)
+	ip.MaxSteps = 100
+	if _, err := ip.Run(); err == nil {
+		t.Error("infinite loop not bounded")
+	}
+}
+
+func TestInstrumentInsertsOnlyWhereNeeded(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %x = load %p
+  switch 2
+  %y = load %p
+  ret
+}`)
+	inst, diags := Instrument(p)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v", diags)
+	}
+	text := inst.String()
+	if strings.Count(text, "checkderef") != 1 {
+		t.Errorf("want exactly one checkderef:\n%s", text)
+	}
+	// The check must precede the second load, not the first.
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "checkderef") {
+			if !strings.Contains(lines[i+1], "%y = load") {
+				t.Errorf("check not immediately before the unsafe load:\n%s", text)
+			}
+		}
+	}
+	// The instrumented program still validates and parses.
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("instrumented program does not reparse: %v", err)
+	}
+}
+
+func TestCheckedModeTrapsOnViolation(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %x = load %p
+  ret
+}`)
+	inst, _ := Instrument(p)
+	_, err := NewInterp(inst, ModeChecked).Run()
+	if !errors.Is(err, ErrCheckFailed) {
+		t.Errorf("checked run: %v", err)
+	}
+}
+
+func TestCheckedModeAllowsVCast(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %q = vcast %p, 2
+  %x = load %q
+  ret
+}`)
+	inst, _ := Instrument(p)
+	if _, err := NewInterp(inst, ModeChecked).Run(); err != nil {
+		t.Errorf("vcast-corrected program trapped: %v", err)
+	}
+}
+
+func TestCheckedModeStoreTrap(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %q = malloc
+  store %q, %p
+  ret
+}`)
+	inst, _ := Instrument(p)
+	_, err := NewInterp(inst, ModeChecked).Run()
+	if !errors.Is(err, ErrCheckFailed) {
+		t.Errorf("illegal pointer store not trapped: %v", err)
+	}
+}
+
+// --- Random program generation for the property tests. ---
+
+type progGen struct {
+	rng   *rand.Rand
+	vals  []string
+	n     int
+	lines []string
+}
+
+func (g *progGen) fresh() string {
+	g.n++
+	v := fmt.Sprintf("%%v%d", g.n)
+	g.vals = append(g.vals, v)
+	return v
+}
+
+func (g *progGen) pick() string { return g.vals[g.rng.Intn(len(g.vals))] }
+
+func (g *progGen) emit(format string, args ...any) {
+	g.lines = append(g.lines, "  "+fmt.Sprintf(format, args...))
+}
+
+func (g *progGen) step() {
+	switch g.rng.Intn(10) {
+	case 0:
+		g.emit("switch %d", g.rng.Intn(3))
+	case 1:
+		g.emit("%s = malloc", g.fresh())
+	case 2:
+		g.emit("%s = alloca", g.fresh())
+	case 3:
+		g.emit("%s = const %d", g.fresh(), g.rng.Intn(100))
+	case 4:
+		g.emit("%s = copy %s", g.fresh(), g.pick())
+	case 5:
+		g.emit("%s = vcast %s, %d", g.fresh(), g.pick(), g.rng.Intn(3))
+	case 6:
+		g.emit("%s = load %s", g.fresh(), g.pick())
+	case 7, 8:
+		g.emit("store %s, %s", g.pick(), g.pick())
+	case 9:
+		g.emit("%s = arith %s, %s", g.fresh(), g.pick(), g.pick())
+	}
+}
+
+// randProgram builds a random straight-line-plus-one-diamond program.
+func randProgram(rng *rand.Rand) *Program {
+	g := &progGen{rng: rng}
+	g.lines = append(g.lines, "func main() {", "entry:")
+	g.emit("%s = malloc", g.fresh())
+	for i := 0; i < 10+rng.Intn(15); i++ {
+		g.step()
+	}
+	cond := g.fresh()
+	g.emit("%s = const %d", cond, rng.Intn(2))
+	g.lines = append(g.lines, fmt.Sprintf("  condbr %s, left, right", cond), "left:")
+	for i := 0; i < 5; i++ {
+		g.step()
+	}
+	g.lines = append(g.lines, "  br join", "right:")
+	for i := 0; i < 5; i++ {
+		g.step()
+	}
+	g.lines = append(g.lines, "  br join", "join:")
+	for i := 0; i < 5+rng.Intn(10); i++ {
+		g.step()
+	}
+	g.lines = append(g.lines, "  ret", "}")
+	return MustParse(strings.Join(g.lines, "\n"))
+}
+
+// Soundness: every violation the dynamic oracle observes happens at an
+// instruction the static analysis flagged (with the same kind).
+func TestPropertyAnalysisSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng)
+		a := Analyze(p)
+		flagged := map[string]bool{}
+		for _, d := range a.Diagnostics() {
+			flagged[fmt.Sprintf("%s/%s/%d/%s", d.Fn, d.Block, d.Index, d.Kind)] = true
+		}
+		ip := NewInterp(p, ModeOracle)
+		if _, err := ip.Run(); err != nil {
+			return true // step limit etc.; nothing to verify
+		}
+		// Soundness is guaranteed for the *first* violation only: once an
+		// unchecked violation has executed, memory may hold pointers whose
+		// provenance the static abstraction no longer covers (a checked
+		// program would have trapped before reaching that state).
+		if vs := ip.Violations(); len(vs) > 0 {
+			v := vs[0]
+			if !flagged[fmt.Sprintf("%s/%s/%d/%s", v.Fn, v.Block, v.Index, v.Kind)] {
+				t.Logf("seed %d: unflagged first violation %v in\n%s", seed, v, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exactness of instrumentation: the checked run traps if and only if the
+// oracle observes at least one violation on the same input.
+func TestPropertyChecksTrapExactlyOnViolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng)
+		oracle := NewInterp(p, ModeOracle)
+		if _, err := oracle.Run(); err != nil {
+			return true
+		}
+		inst, _ := Instrument(p)
+		_, err := NewInterp(inst, ModeChecked).Run()
+		trapped := errors.Is(err, ErrCheckFailed)
+		violated := len(oracle.Violations()) > 0
+		if trapped != violated {
+			t.Logf("seed %d: trapped=%v violated=%v\n%s", seed, trapped, violated, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Safe programs stay uninstrumented-equivalent: a program with no
+// diagnostics runs identically checked and raw.
+func TestPropertyNoDiagsNoChecks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng)
+		a := Analyze(p)
+		if len(a.Diagnostics()) > 0 {
+			return true
+		}
+		inst, _ := Instrument(p)
+		return !strings.Contains(inst.String(), "check")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package safety implements the compiler support of paper §4.3: a static
+// analysis over an SSA intermediate representation that computes, for every
+// pointer, the set of address spaces it may be valid in (VASvalid) and, for
+// every instruction, the set of address spaces that may be active when it
+// executes (VASin/VASout); a transformation that inserts runtime checks
+// exactly where safety cannot be proven; and an interpreter with tagged
+// pointers that executes (instrumented) programs and serves as the dynamic
+// oracle in tests.
+//
+// The instruction set is Figure 5's: switch, vcast, alloca, global, malloc,
+// copy/arith, phi, load, store, call, ret — plus the control-flow and
+// constant plumbing needed to write real programs, and the check
+// pseudo-instructions the transformation inserts.
+package safety
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an IR operation.
+type Op int
+
+// The IR operations (Figure 5, plus control flow, constants and checks).
+const (
+	OpSwitch     Op = iota // switch <vas> | switch %v
+	OpVCast                // %x = vcast %y, <vas>
+	OpAlloca               // %x = alloca
+	OpGlobal               // %x = global <name>
+	OpMalloc               // %x = malloc
+	OpCopy                 // %x = copy %y
+	OpArith                // %x = arith %a, %b
+	OpPhi                  // %x = phi [%a, blk], [%b, blk]
+	OpLoad                 // %x = load %p
+	OpStore                // store %p, %v   (*p = v)
+	OpCall                 // %x = call fn(%a, ...) | call fn(...)
+	OpRet                  // ret [%x]
+	OpBr                   // br blk
+	OpCondBr               // condbr %c, blk1, blk2
+	OpConst                // %x = const <int>
+	OpCheckDeref           // checkderef %p        (inserted)
+	OpCheckStore           // checkstore %p, %v    (inserted)
+)
+
+var opNames = map[Op]string{
+	OpSwitch: "switch", OpVCast: "vcast", OpAlloca: "alloca", OpGlobal: "global",
+	OpMalloc: "malloc", OpCopy: "copy", OpArith: "arith", OpPhi: "phi",
+	OpLoad: "load", OpStore: "store", OpCall: "call", OpRet: "ret",
+	OpBr: "br", OpCondBr: "condbr", OpConst: "const",
+	OpCheckDeref: "checkderef", OpCheckStore: "checkstore",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// NoVAS marks the VAS field of instructions whose switch/vcast target is a
+// dynamic value rather than a constant.
+const NoVAS = -1
+
+// Instr is one SSA instruction.
+type Instr struct {
+	Op     Op
+	Dst    string   // defined value ("" if none)
+	Args   []string // operand value names
+	VAS    int      // constant VAS id for switch/vcast (NoVAS if dynamic)
+	Const  int64    // literal for OpConst
+	Callee string   // for OpCall
+	Global string   // symbol for OpGlobal
+	Blocks []string // br/condbr targets; phi's incoming blocks (aligned to Args)
+}
+
+func (i *Instr) String() string {
+	var b strings.Builder
+	if i.Dst != "" {
+		fmt.Fprintf(&b, "%s = ", i.Dst)
+	}
+	switch i.Op {
+	case OpSwitch:
+		if i.VAS != NoVAS {
+			fmt.Fprintf(&b, "switch %d", i.VAS)
+		} else {
+			fmt.Fprintf(&b, "switch %s", i.Args[0])
+		}
+	case OpVCast:
+		fmt.Fprintf(&b, "vcast %s, %d", i.Args[0], i.VAS)
+	case OpAlloca:
+		b.WriteString("alloca")
+	case OpGlobal:
+		fmt.Fprintf(&b, "global %s", i.Global)
+	case OpMalloc:
+		b.WriteString("malloc")
+	case OpCopy:
+		fmt.Fprintf(&b, "copy %s", i.Args[0])
+	case OpArith:
+		fmt.Fprintf(&b, "arith %s, %s", i.Args[0], i.Args[1])
+	case OpPhi:
+		b.WriteString("phi ")
+		for k := range i.Args {
+			if k > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[%s, %s]", i.Args[k], i.Blocks[k])
+		}
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s", i.Args[0])
+	case OpStore:
+		fmt.Fprintf(&b, "store %s, %s", i.Args[0], i.Args[1])
+	case OpCall:
+		fmt.Fprintf(&b, "call %s(%s)", i.Callee, strings.Join(i.Args, ", "))
+	case OpRet:
+		b.WriteString("ret")
+		if len(i.Args) > 0 {
+			fmt.Fprintf(&b, " %s", i.Args[0])
+		}
+	case OpBr:
+		fmt.Fprintf(&b, "br %s", i.Blocks[0])
+	case OpCondBr:
+		fmt.Fprintf(&b, "condbr %s, %s, %s", i.Args[0], i.Blocks[0], i.Blocks[1])
+	case OpConst:
+		fmt.Fprintf(&b, "const %d", i.Const)
+	case OpCheckDeref:
+		fmt.Fprintf(&b, "checkderef %s", i.Args[0])
+	case OpCheckStore:
+		fmt.Fprintf(&b, "checkstore %s, %s", i.Args[0], i.Args[1])
+	}
+	return b.String()
+}
+
+// Terminator reports whether the instruction ends a block.
+func (i *Instr) Terminator() bool {
+	return i.Op == OpRet || i.Op == OpBr || i.Op == OpCondBr
+}
+
+// Block is a basic block: a label and a terminated instruction list.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+}
+
+// Func is an SSA function.
+type Func struct {
+	Name   string
+	Params []string
+	Blocks []*Block
+}
+
+// Block returns the named block.
+func (f *Func) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// Program is a set of functions; execution starts at Entry (default "main").
+type Program struct {
+	Funcs map[string]*Func
+	Entry string
+}
+
+// EntryFunc returns the program's entry function.
+func (p *Program) EntryFunc() *Func { return p.Funcs[p.Entry] }
+
+func (p *Program) String() string {
+	var b strings.Builder
+	// Stable order: entry first, then the rest sorted by name.
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		if n != p.Entry {
+			names = append(names, n)
+		}
+	}
+	sortStrings(names)
+	if p.Funcs[p.Entry] != nil {
+		names = append([]string{p.Entry}, names...)
+	}
+	for _, n := range names {
+		f := p.Funcs[n]
+		fmt.Fprintf(&b, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, ins := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", ins)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Validate performs structural checks: blocks terminated exactly once,
+// SSA single definition, uses of defined values, and valid branch targets.
+func (p *Program) Validate() error {
+	if p.EntryFunc() == nil {
+		return fmt.Errorf("safety: no entry function %q", p.Entry)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("safety: function %s has no blocks", f.Name)
+		}
+		defined := map[string]bool{}
+		for _, prm := range f.Params {
+			if defined[prm] {
+				return fmt.Errorf("safety: %s: duplicate param %s", f.Name, prm)
+			}
+			defined[prm] = true
+		}
+		for _, blk := range f.Blocks {
+			if len(blk.Instrs) == 0 {
+				return fmt.Errorf("safety: %s/%s: empty block", f.Name, blk.Name)
+			}
+			for k, ins := range blk.Instrs {
+				if ins.Terminator() != (k == len(blk.Instrs)-1) {
+					return fmt.Errorf("safety: %s/%s: terminator placement at %d", f.Name, blk.Name, k)
+				}
+				if ins.Dst != "" {
+					if defined[ins.Dst] {
+						return fmt.Errorf("safety: %s: value %s defined twice", f.Name, ins.Dst)
+					}
+					defined[ins.Dst] = true
+				}
+				for _, tgt := range ins.Blocks {
+					if (ins.Op == OpBr || ins.Op == OpCondBr) && f.Block(tgt) == nil {
+						return fmt.Errorf("safety: %s/%s: branch to unknown block %s", f.Name, blk.Name, tgt)
+					}
+				}
+				if ins.Op == OpCall {
+					if _, ok := p.Funcs[ins.Callee]; !ok {
+						return fmt.Errorf("safety: %s: call to unknown function %s", f.Name, ins.Callee)
+					}
+				}
+			}
+		}
+		// Every used value must be defined somewhere in the function
+		// (dominance is not checked; phi makes a full check involved).
+		for _, blk := range f.Blocks {
+			for _, ins := range blk.Instrs {
+				for _, a := range ins.Args {
+					if !defined[a] {
+						return fmt.Errorf("safety: %s: use of undefined value %s in %q", f.Name, a, ins)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

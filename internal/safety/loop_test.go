@@ -1,0 +1,123 @@
+package safety
+
+import (
+	"errors"
+	"testing"
+)
+
+// Loops exercise the fixpoint of the dataflow: a switch inside a loop body
+// makes VASin at the loop head the union of the entry VAS and the switched
+// VAS.
+
+func TestLoopAccumulatesVASin(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  %n = const 3
+  br head
+head:
+  %x = load %p
+  switch 2
+  %c = const 0
+  condbr %c, head, exit
+exit:
+  ret
+}`)
+	a := Analyze(p)
+	// At the loop head the active VAS may be 1 (first iteration) or 2
+	// (back edge), so the load must be flagged.
+	in := a.InAt("main", "head", 0)
+	if !in.Has(1) || !in.Has(2) {
+		t.Errorf("VASin at loop head = %v, want {v1,v2}", in)
+	}
+	d := a.Diagnostics()
+	if len(d) != 1 || d[0].Block != "head" {
+		t.Errorf("diags = %v", d)
+	}
+}
+
+func TestLoopSafeWhenVASStable(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  br head
+head:
+  %x = load %p
+  %c = const 0
+  condbr %c, head, exit
+exit:
+  %y = load %p
+  ret
+}`)
+	a := Analyze(p)
+	if d := a.Diagnostics(); len(d) != 0 {
+		t.Errorf("stable-VAS loop flagged: %v", d)
+	}
+}
+
+func TestLoopCarriedPointerPhi(t *testing.T) {
+	// A pointer rotated through a phi across iterations where the VAS
+	// also rotates: the analysis must catch the mismatch.
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p0 = malloc
+  br head
+head:
+  %p = phi [%p0, entry], [%q, body]
+  %x = load %p
+  br body
+body:
+  switch 2
+  %q = malloc
+  %c = const 0
+  condbr %c, head, exit
+exit:
+  ret
+}`)
+	a := Analyze(p)
+	found := false
+	for _, d := range a.Diagnostics() {
+		if d.Block == "head" && d.Kind == DiagDeref {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop-carried cross-VAS pointer not flagged: %v", a.Diagnostics())
+	}
+	// The dynamic run (two iterations) violates on the second trip.
+	inst, _ := Instrument(p)
+	if _, err := NewInterp(inst, ModeChecked).Run(); err == nil {
+		// The condbr constant 0 exits after one iteration... take the
+		// loop body once but exit before re-entering head; in that case
+		// no violation occurs and not trapping is correct. Force the
+		// second iteration instead:
+		p2 := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p0 = malloc
+  %one = const 1
+  %zero = const 0
+  br head
+head:
+  %it = phi [%zero, entry], [%one, body]
+  %x = load %p0
+  condbr %it, exit, body
+body:
+  switch 2
+  br head
+exit:
+  ret
+}`)
+		inst2, _ := Instrument(p2)
+		if _, err := NewInterp(inst2, ModeChecked).Run(); !errors.Is(err, ErrCheckFailed) {
+			t.Errorf("second-iteration violation not trapped: %v", err)
+		}
+	}
+}

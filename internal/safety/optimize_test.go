@@ -1,0 +1,166 @@
+package safety
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimizeRemovesBackToBackChecks(t *testing.T) {
+	// Two flagged loads of the same pointer with no VAS change between
+	// them need only one check.
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %x = load %p
+  %y = load %p
+  ret
+}`)
+	inst, diags := Instrument(p)
+	if len(diags) != 2 {
+		t.Fatalf("diags = %d", len(diags))
+	}
+	opt, removed := OptimizeChecks(inst)
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	if got := strings.Count(opt.String(), "checkderef"); got != 1 {
+		t.Errorf("checks remaining = %d:\n%s", got, opt)
+	}
+	// Still traps on the (first) unsafe load.
+	if _, err := NewInterp(opt, ModeChecked).Run(); !errors.Is(err, ErrCheckFailed) {
+		t.Errorf("optimized program no longer traps: %v", err)
+	}
+}
+
+func TestOptimizeKeepsChecksAcrossSwitch(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %x = load %p
+  switch 1
+  %y = load %p
+  ret
+}`)
+	inst, _ := Instrument(p)
+	opt, removed := OptimizeChecks(inst)
+	if removed != 0 {
+		t.Errorf("removed %d checks across a switch", removed)
+	}
+	if got := strings.Count(opt.String(), "checkderef"); got < 1 {
+		t.Errorf("checks remaining = %d", got)
+	}
+}
+
+func TestOptimizeKeepsChecksAcrossCall(t *testing.T) {
+	p := MustParse(`
+func jump() {
+entry:
+  switch 2
+  ret
+}
+func main() {
+entry:
+  %c = const 0
+  condbr %c, a, b
+a:
+  br b
+b:
+  switch 1
+  %p = malloc
+  call jump()
+  %x = load %p
+  call jump()
+  %y = load %p
+  ret
+}`)
+	inst, _ := Instrument(p)
+	opt, removed := OptimizeChecks(inst)
+	if removed != 0 {
+		t.Errorf("removed %d checks across calls", removed)
+	}
+	_ = opt
+}
+
+func TestOptimizeCheckStorePairs(t *testing.T) {
+	p := MustParse(`
+func main() {
+entry:
+  switch 1
+  %p = malloc
+  switch 2
+  %q = malloc
+  store %q, %p
+  store %q, %p
+  ret
+}`)
+	inst, _ := Instrument(p)
+	before := strings.Count(inst.String(), "checkstore")
+	opt, _ := OptimizeChecks(inst)
+	after := strings.Count(opt.String(), "checkstore")
+	if before != 2 || after != 1 {
+		t.Errorf("checkstores %d -> %d, want 2 -> 1", before, after)
+	}
+}
+
+// Property: the optimized instrumented program traps exactly when the
+// unoptimized one does.
+func TestPropertyOptimizationPreservesTrapping(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng)
+		inst, _ := Instrument(p)
+		opt, _ := OptimizeChecks(inst)
+		_, errA := NewInterp(inst, ModeChecked).Run()
+		_, errB := NewInterp(opt, ModeChecked).Run()
+		return errors.Is(errA, ErrCheckFailed) == errors.Is(errB, ErrCheckFailed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: optimization only ever removes check instructions.
+func TestPropertyOptimizationRemovesOnlyChecks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng)
+		inst, _ := Instrument(p)
+		opt, removed := OptimizeChecks(inst)
+		count := func(pr *Program, op Op) int {
+			n := 0
+			for _, f := range pr.Funcs {
+				for _, b := range f.Blocks {
+					for _, i := range b.Instrs {
+						if i.Op == op {
+							n++
+						}
+					}
+				}
+			}
+			return n
+		}
+		checksGone := (count(inst, OpCheckDeref) + count(inst, OpCheckStore)) -
+			(count(opt, OpCheckDeref) + count(opt, OpCheckStore))
+		if checksGone != removed {
+			return false
+		}
+		for _, op := range []Op{OpLoad, OpStore, OpSwitch, OpMalloc, OpCall} {
+			if count(inst, op) != count(opt, op) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+package safety
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR form produced by Program.String. The grammar
+// is line-oriented:
+//
+//	func name(%a, %b) {
+//	entry:
+//	  %p = malloc
+//	  switch 1
+//	  %x = vcast %p, 2
+//	  store %p, %x
+//	  condbr %c, then, else
+//	}
+//
+// Comments start with ';' and run to end of line.
+func Parse(src string) (*Program, error) {
+	p := &Program{Funcs: map[string]*Func{}, Entry: "main"}
+	var curFn *Func
+	var curBlk *Block
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("safety: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if curFn != nil {
+				return nil, fail("nested func")
+			}
+			rest := strings.TrimPrefix(line, "func ")
+			open := strings.IndexByte(rest, '(')
+			closeP := strings.IndexByte(rest, ')')
+			if open < 0 || closeP < open || !strings.HasSuffix(rest, "{") {
+				return nil, fail("malformed func header %q", line)
+			}
+			name := strings.TrimSpace(rest[:open])
+			var params []string
+			for _, prm := range strings.Split(rest[open+1:closeP], ",") {
+				if prm = strings.TrimSpace(prm); prm != "" {
+					params = append(params, prm)
+				}
+			}
+			curFn = &Func{Name: name, Params: params}
+		case line == "}":
+			if curFn == nil {
+				return nil, fail("stray }")
+			}
+			p.Funcs[curFn.Name] = curFn
+			curFn, curBlk = nil, nil
+		case strings.HasSuffix(line, ":"):
+			if curFn == nil {
+				return nil, fail("label outside func")
+			}
+			curBlk = &Block{Name: strings.TrimSuffix(line, ":")}
+			curFn.Blocks = append(curFn.Blocks, curBlk)
+		default:
+			if curBlk == nil {
+				return nil, fail("instruction outside block")
+			}
+			ins, err := parseInstr(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			curBlk.Instrs = append(curBlk.Instrs, ins)
+		}
+	}
+	if curFn != nil {
+		return nil, fmt.Errorf("safety: unterminated func %s", curFn.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse for tests and fixtures; it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseInstr(line string) (*Instr, error) {
+	ins := &Instr{VAS: NoVAS}
+	rest := line
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("value without assignment: %q", line)
+		}
+		ins.Dst = strings.TrimSpace(line[:eq])
+		rest = strings.TrimSpace(line[eq+1:])
+	}
+	op, operands, _ := strings.Cut(rest, " ")
+	operands = strings.TrimSpace(operands)
+	args := splitOperands(operands)
+	switch op {
+	case "switch":
+		ins.Op = OpSwitch
+		if len(args) != 1 {
+			return nil, fmt.Errorf("switch wants 1 operand")
+		}
+		if v, err := strconv.Atoi(args[0]); err == nil {
+			ins.VAS = v
+		} else {
+			ins.Args = args
+		}
+	case "vcast":
+		ins.Op = OpVCast
+		if len(args) != 2 {
+			return nil, fmt.Errorf("vcast wants value, vas")
+		}
+		v, err := strconv.Atoi(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("vcast vas must be a constant: %q", args[1])
+		}
+		ins.Args = args[:1]
+		ins.VAS = v
+	case "alloca":
+		ins.Op = OpAlloca
+	case "global":
+		ins.Op = OpGlobal
+		if len(args) != 1 {
+			return nil, fmt.Errorf("global wants a symbol")
+		}
+		ins.Global = args[0]
+	case "malloc":
+		ins.Op = OpMalloc
+	case "copy":
+		ins.Op = OpCopy
+		ins.Args = args
+	case "arith":
+		ins.Op = OpArith
+		ins.Args = args
+	case "phi":
+		ins.Op = OpPhi
+		// [%a, blk], [%b, blk]
+		for _, part := range strings.Split(operands, "]") {
+			part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), ","))
+			part = strings.TrimPrefix(part, "[")
+			if part == "" {
+				continue
+			}
+			val, blk, ok := strings.Cut(part, ",")
+			if !ok {
+				return nil, fmt.Errorf("malformed phi arm %q", part)
+			}
+			ins.Args = append(ins.Args, strings.TrimSpace(val))
+			ins.Blocks = append(ins.Blocks, strings.TrimSpace(blk))
+		}
+		if len(ins.Args) == 0 {
+			return nil, fmt.Errorf("phi with no arms")
+		}
+	case "load":
+		ins.Op = OpLoad
+		ins.Args = args
+	case "store":
+		ins.Op = OpStore
+		if len(args) != 2 {
+			return nil, fmt.Errorf("store wants pointer, value")
+		}
+		ins.Args = args
+	case "call":
+		ins.Op = OpCall
+		open := strings.IndexByte(operands, '(')
+		closeP := strings.LastIndexByte(operands, ')')
+		if open < 0 || closeP < open {
+			return nil, fmt.Errorf("malformed call %q", operands)
+		}
+		ins.Callee = strings.TrimSpace(operands[:open])
+		for _, a := range strings.Split(operands[open+1:closeP], ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				ins.Args = append(ins.Args, a)
+			}
+		}
+	case "ret":
+		ins.Op = OpRet
+		ins.Args = args
+	case "br":
+		ins.Op = OpBr
+		if len(args) != 1 {
+			return nil, fmt.Errorf("br wants a target")
+		}
+		ins.Blocks = args
+	case "condbr":
+		ins.Op = OpCondBr
+		if len(args) != 3 {
+			return nil, fmt.Errorf("condbr wants cond, then, else")
+		}
+		ins.Args = args[:1]
+		ins.Blocks = args[1:]
+	case "const":
+		ins.Op = OpConst
+		if len(args) != 1 {
+			return nil, fmt.Errorf("const wants a literal")
+		}
+		v, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		ins.Const = v
+	case "checkderef":
+		ins.Op = OpCheckDeref
+		ins.Args = args
+	case "checkstore":
+		ins.Op = OpCheckStore
+		ins.Args = args
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+	return ins, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

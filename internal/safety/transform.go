@@ -1,0 +1,66 @@
+package safety
+
+// Instrument runs the analysis and returns a copy of the program with
+// runtime checks inserted exactly before the instructions the analysis
+// could not prove safe — checkderef before ambiguous dereferences,
+// checkstore before possibly-illegal pointer stores (§4.3). The returned
+// diagnostics describe every inserted check.
+//
+// Provably safe instructions receive no instrumentation, which is the
+// paper's point: "because checking every pointer dereference is too
+// conservative, we present a compiler analysis to prove when dereferences
+// are safe ... and only insert checks where safety cannot be proven".
+func Instrument(p *Program) (*Program, []Diagnostic) {
+	a := Analyze(p)
+	diags := a.Diagnostics()
+	out := cloneProgram(p)
+
+	// Group diagnostics by (fn, block, index); a store may need both a
+	// deref check and a store check.
+	type site struct {
+		fn, blk string
+		idx     int
+	}
+	bysite := map[site][]Diagnostic{}
+	for _, d := range diags {
+		k := site{d.Fn, d.Block, d.Index}
+		bysite[k] = append(bysite[k], d)
+	}
+	for _, f := range out.Funcs {
+		for _, blk := range f.Blocks {
+			var instrs []*Instr
+			for idx, ins := range blk.Instrs {
+				for _, d := range bysite[site{f.Name, blk.Name, idx}] {
+					switch d.Kind {
+					case DiagDeref:
+						instrs = append(instrs, &Instr{Op: OpCheckDeref, Args: []string{ins.Args[0]}, VAS: NoVAS})
+					case DiagStore:
+						instrs = append(instrs, &Instr{Op: OpCheckStore, Args: []string{ins.Args[0], ins.Args[1]}, VAS: NoVAS})
+					}
+				}
+				instrs = append(instrs, ins)
+			}
+			blk.Instrs = instrs
+		}
+	}
+	return out, diags
+}
+
+func cloneProgram(p *Program) *Program {
+	out := &Program{Funcs: map[string]*Func{}, Entry: p.Entry}
+	for name, f := range p.Funcs {
+		nf := &Func{Name: f.Name, Params: append([]string(nil), f.Params...)}
+		for _, blk := range f.Blocks {
+			nb := &Block{Name: blk.Name}
+			for _, ins := range blk.Instrs {
+				c := *ins
+				c.Args = append([]string(nil), ins.Args...)
+				c.Blocks = append([]string(nil), ins.Blocks...)
+				nb.Instrs = append(nb.Instrs, &c)
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		out.Funcs[name] = nf
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package sam
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// BAM-like binary codec: records are encoded little-endian with
+// length-prefixed strings, and the stream is DEFLATE-compressed (BGZF is
+// gzip blocks; a single flate stream preserves the compress-and-binary
+// cost structure without the block framing).
+
+var bamMagic = [4]byte{'B', 'A', 'M', 1}
+
+// EncodeBAM renders records as compressed binary.
+func EncodeBAM(recs []Record) ([]byte, error) {
+	var raw bytes.Buffer
+	raw.Write(bamMagic[:])
+	if err := binary.Write(&raw, binary.LittleEndian, uint32(len(recs))); err != nil {
+		return nil, err
+	}
+	for i := range recs {
+		r := &recs[i]
+		if err := binary.Write(&raw, binary.LittleEndian, struct {
+			Flag  uint16
+			MapQ  uint8
+			_     uint8
+			Pos   int32
+			PNext int32
+			TLen  int32
+		}{Flag: r.Flag, MapQ: r.MapQ, Pos: r.Pos, PNext: r.PNext, TLen: r.TLen}); err != nil {
+			return nil, err
+		}
+		for _, s := range []string{r.QName, r.RName, r.CIGAR, r.RNext, r.Seq, r.Qual} {
+			if err := binary.Write(&raw, binary.LittleEndian, uint32(len(s))); err != nil {
+				return nil, err
+			}
+			raw.WriteString(s)
+		}
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeBAM parses compressed binary records.
+func DecodeBAM(data []byte) ([]Record, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bam: decompress: %w", err)
+	}
+	buf := bytes.NewReader(raw)
+	var magic [4]byte
+	if _, err := io.ReadFull(buf, magic[:]); err != nil || magic != bamMagic {
+		return nil, fmt.Errorf("bam: bad magic")
+	}
+	var n uint32
+	if err := binary.Read(buf, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	out := make([]Record, n)
+	for i := range out {
+		var fixed struct {
+			Flag  uint16
+			MapQ  uint8
+			_     uint8
+			Pos   int32
+			PNext int32
+			TLen  int32
+		}
+		if err := binary.Read(buf, binary.LittleEndian, &fixed); err != nil {
+			return nil, fmt.Errorf("bam: record %d: %w", i, err)
+		}
+		strs := make([]string, 6)
+		for k := range strs {
+			var sl uint32
+			if err := binary.Read(buf, binary.LittleEndian, &sl); err != nil {
+				return nil, fmt.Errorf("bam: record %d string %d: %w", i, k, err)
+			}
+			b := make([]byte, sl)
+			if _, err := io.ReadFull(buf, b); err != nil {
+				return nil, err
+			}
+			strs[k] = string(b)
+		}
+		out[i] = Record{
+			QName: strs[0], Flag: fixed.Flag, RName: strs[1], Pos: fixed.Pos,
+			MapQ: fixed.MapQ, CIGAR: strs[2], RNext: strs[3], PNext: fixed.PNext,
+			TLen: fixed.TLen, Seq: strs[4], Qual: strs[5],
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package sam
+
+import (
+	"sort"
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+	"spacejmp/internal/kernel"
+)
+
+func TestIndexLookupAgreesWithScan(t *testing.T) {
+	recs := Generate(300, 21)
+	sort.SliceStable(recs, func(i, j int) bool { return CoordLess(&recs[i], &recs[j]) })
+	idx := BuildIndex(recs)
+	for _, probe := range []struct {
+		ref string
+		pos int32
+	}{{"chr1", 1_000_000}, {"chr2", 25_000_000}, {"chrX", 40_000_000}} {
+		first, ok := idx.Lookup(probe.ref, probe.pos)
+		// Independent linear scan for the same bin.
+		wantOK := false
+		var want int32
+		for i := range recs {
+			if recs[i].Flag&FlagUnmapped != 0 {
+				continue
+			}
+			if recs[i].RName == probe.ref && recs[i].Pos/IndexBinSize == probe.pos/IndexBinSize {
+				want, wantOK = int32(i), true
+				break
+			}
+		}
+		if ok != wantOK || (ok && first != want) {
+			t.Errorf("Lookup(%s,%d) = (%d,%v), scan says (%d,%v)", probe.ref, probe.pos, first, ok, want, wantOK)
+		}
+	}
+}
+
+func TestMemStoreQueryIndexMatchesNative(t *testing.T) {
+	recs := Generate(200, 22)
+	sys := kernel.New(samMachine())
+	proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid, _ := th.VASCreate("idx.vas", 0o600)
+	sid, err := th.SegAlloc("idx.seg", memBase, storeSegSize(len(recs)), arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := CreateMemStore(th, memBase, storeSegSize(len(recs)), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SortCoord(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// Native reference on the identically sorted slice.
+	sorted := append([]Record(nil), recs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return CoordLess(&sorted[i], &sorted[j]) })
+	native := BuildIndex(sorted)
+
+	for _, probe := range []struct {
+		ref string
+		pos int32
+	}{{"chr1", 5_000_000}, {"chr3", 30_000_000}, {"chrX", 10_000_000}} {
+		got, ok, err := ms.QueryIndex(probe.ref, probe.pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := native.Lookup(probe.ref, probe.pos)
+		if ok != wantOK || (ok && got != want) {
+			t.Errorf("QueryIndex(%s,%d) = (%d,%v), native (%d,%v)", probe.ref, probe.pos, got, ok, want, wantOK)
+		}
+		if ok {
+			rec, err := ms.ReadRecord(uint64(got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.RName != probe.ref {
+				t.Errorf("record at index points to %s, want %s", rec.RName, probe.ref)
+			}
+		}
+	}
+	if _, _, err := ms.QueryIndex("chr1", 59_000_000); err != nil {
+		t.Errorf("miss query errored: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package sam reproduces the paper's SAMTools experiment (§5.4, Figures 11
+// and 12): DNA alignment records processed by a chain of tools (flagstat,
+// name sort, coordinate sort, index), comparing serialization-based
+// workflows (SAM text and BAM binary files) against keeping the pointer-rich
+// in-memory representation alive — in an mmap'ed region file, or in a
+// SpaceJMP VAS that successive processes switch into.
+//
+// The paper uses real sequencing data; this reproduction generates
+// deterministic synthetic alignments with a realistic field mix, which
+// exercises the identical parse/serialize/sort/index code paths
+// (substitution documented in DESIGN.md).
+package sam
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SAM flag bits (SAM spec §1.4).
+const (
+	FlagPaired       = 0x1
+	FlagProperPair   = 0x2
+	FlagUnmapped     = 0x4
+	FlagMateUnmapped = 0x8
+	FlagReverse      = 0x10
+	FlagRead1        = 0x40
+	FlagRead2        = 0x80
+	FlagSecondary    = 0x100
+	FlagQCFail       = 0x200
+	FlagDuplicate    = 0x400
+)
+
+// Record is one alignment line (the mandatory SAM fields).
+type Record struct {
+	QName string
+	Flag  uint16
+	RName string
+	Pos   int32
+	MapQ  uint8
+	CIGAR string
+	RNext string
+	PNext int32
+	TLen  int32
+	Seq   string
+	Qual  string
+}
+
+// References lists the synthetic reference sequences.
+var References = []string{"chr1", "chr2", "chr3", "chrX", "*"}
+
+const bases = "ACGT"
+
+// Generate produces n deterministic synthetic alignments.
+func Generate(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		readLen := 36 + rng.Intn(65)
+		seq := make([]byte, readLen)
+		qual := make([]byte, readLen)
+		for j := range seq {
+			seq[j] = bases[rng.Intn(4)]
+			qual[j] = byte('!' + rng.Intn(40))
+		}
+		flag := uint16(FlagPaired)
+		ref := References[rng.Intn(len(References)-1)]
+		pos := int32(rng.Intn(50_000_000) + 1)
+		switch rng.Intn(10) {
+		case 0: // unmapped
+			flag |= FlagUnmapped
+			ref, pos = "*", 0
+		case 1:
+			flag |= FlagDuplicate | FlagProperPair
+		case 2:
+			flag |= FlagSecondary
+		default:
+			flag |= FlagProperPair
+		}
+		if rng.Intn(2) == 0 {
+			flag |= FlagRead1
+		} else {
+			flag |= FlagRead2
+		}
+		if rng.Intn(2) == 0 {
+			flag |= FlagReverse
+		}
+		out[i] = Record{
+			QName: fmt.Sprintf("read.%08d", rng.Intn(n*2)),
+			Flag:  flag,
+			RName: ref,
+			Pos:   pos,
+			MapQ:  uint8(rng.Intn(61)),
+			CIGAR: fmt.Sprintf("%dM", readLen),
+			RNext: "=",
+			PNext: pos + int32(rng.Intn(500)),
+			TLen:  int32(rng.Intn(1000) - 500),
+			Seq:   string(seq),
+			Qual:  string(qual),
+		}
+	}
+	return out
+}
+
+// FlagstatResult is samtools flagstat's summary.
+type FlagstatResult struct {
+	Total      int
+	Mapped     int
+	Paired     int
+	ProperPair int
+	Duplicates int
+	Secondary  int
+	QCFail     int
+	Read1      int
+	Read2      int
+}
+
+// Flagstat computes flag statistics over native records.
+func Flagstat(recs []Record) FlagstatResult {
+	var r FlagstatResult
+	for i := range recs {
+		f := recs[i].Flag
+		r.Total++
+		if f&FlagUnmapped == 0 {
+			r.Mapped++
+		}
+		if f&FlagPaired != 0 {
+			r.Paired++
+		}
+		if f&FlagProperPair != 0 {
+			r.ProperPair++
+		}
+		if f&FlagDuplicate != 0 {
+			r.Duplicates++
+		}
+		if f&FlagSecondary != 0 {
+			r.Secondary++
+		}
+		if f&FlagQCFail != 0 {
+			r.QCFail++
+		}
+		if f&FlagRead1 != 0 {
+			r.Read1++
+		}
+		if f&FlagRead2 != 0 {
+			r.Read2++
+		}
+	}
+	return r
+}
+
+// CoordLess orders records by (reference, position), unmapped last — the
+// samtools coordinate sort order.
+func CoordLess(a, b *Record) bool {
+	ra, rb := refRank(a.RName), refRank(b.RName)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.Pos < b.Pos
+}
+
+func refRank(name string) int {
+	for i, r := range References {
+		if r == name {
+			return i
+		}
+	}
+	return len(References)
+}
+
+// IndexBinSize is the position granularity of the index (16 KiB of
+// reference, like BAI linear index bins).
+const IndexBinSize = 16384
+
+// Index maps (reference rank, pos/IndexBinSize) to the first record index
+// at or past that bin in a coordinate-sorted set.
+type Index map[[2]int32]int32
+
+// BuildIndex indexes coordinate-sorted records.
+func BuildIndex(recs []Record) Index {
+	idx := Index{}
+	for i := range recs {
+		if recs[i].Flag&FlagUnmapped != 0 {
+			continue
+		}
+		key := [2]int32{int32(refRank(recs[i].RName)), recs[i].Pos / IndexBinSize}
+		if _, ok := idx[key]; !ok {
+			idx[key] = int32(i)
+		}
+	}
+	return idx
+}
+
+// Lookup returns the index of the first record at or past the bin holding
+// (ref, pos), and whether the bin is populated.
+func (idx Index) Lookup(ref string, pos int32) (int32, bool) {
+	first, ok := idx[[2]int32{int32(refRank(ref)), pos / IndexBinSize}]
+	return first, ok
+}

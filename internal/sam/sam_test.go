@@ -1,0 +1,209 @@
+package sam
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/mem"
+	"spacejmp/internal/tlb"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(100, 1)
+	b := Generate(100, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("generation not deterministic")
+	}
+	c := Generate(100, 2)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSAMRoundTrip(t *testing.T) {
+	recs := Generate(200, 3)
+	got, err := DecodeSAM(EncodeSAM(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Error("SAM round trip mismatch")
+	}
+}
+
+func TestBAMRoundTrip(t *testing.T) {
+	recs := Generate(200, 4)
+	enc, err := EncodeBAM(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBAM(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Error("BAM round trip mismatch")
+	}
+}
+
+func TestBAMSmallerThanSAM(t *testing.T) {
+	recs := Generate(500, 5)
+	samBytes := EncodeSAM(recs)
+	bamBytes, err := EncodeBAM(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bamBytes) >= len(samBytes) {
+		t.Errorf("BAM (%d B) not smaller than SAM (%d B)", len(bamBytes), len(samBytes))
+	}
+}
+
+func TestBAMRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBAM([]byte("not a bam")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestSAMPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		recs := Generate(int(n%50)+1, seed)
+		got, err := DecodeSAM(EncodeSAM(recs))
+		return err == nil && reflect.DeepEqual(recs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagstatCounts(t *testing.T) {
+	recs := []Record{
+		{Flag: FlagPaired | FlagRead1},
+		{Flag: FlagPaired | FlagUnmapped | FlagRead2},
+		{Flag: FlagPaired | FlagDuplicate | FlagProperPair | FlagRead1},
+	}
+	r := Flagstat(recs)
+	if r.Total != 3 || r.Mapped != 2 || r.Paired != 3 || r.Duplicates != 1 ||
+		r.ProperPair != 1 || r.Read1 != 2 || r.Read2 != 1 {
+		t.Errorf("flagstat = %+v", r)
+	}
+}
+
+func samMachine() *hw.Machine {
+	return hw.NewMachine(hw.MachineConfig{
+		Name: "sam-test", Sockets: 1, CoresPerSocket: 4, GHz: 2.5,
+		Mem: mem.Config{DRAMSize: 1 << 30}, TLB: tlb.DefaultConfig, Cost: hw.DefaultCost,
+	})
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	m := samMachine()
+	sys := kernel.New(m)
+	recs := Generate(50, 6)
+	res, err := RunSpaceJMP(sys, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagstat != Flagstat(recs) {
+		t.Errorf("memstore flagstat %+v != native %+v", res.Flagstat, Flagstat(recs))
+	}
+}
+
+func TestAllModesAgree(t *testing.T) {
+	recs := Generate(120, 7)
+
+	native := Flagstat(recs)
+	coordSorted := append([]Record(nil), recs...)
+	sort.SliceStable(coordSorted, func(i, j int) bool { return CoordLess(&coordSorted[i], &coordSorted[j]) })
+	wantFirst := coordSorted[0].Pos
+	wantBins := len(BuildIndex(coordSorted))
+
+	samRes, err := RunSAM(samMachine(), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bamRes, err := RunBAM(samMachine(), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmapRes, err := RunMmap(samMachine(), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jmpRes, err := RunSpaceJMP(kernel.New(samMachine()), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Result{samRes, bamRes, mmapRes, jmpRes} {
+		if r.Flagstat != native {
+			t.Errorf("%s flagstat %+v != native %+v", r.Mode, r.Flagstat, native)
+		}
+		if r.FirstPos != wantFirst {
+			t.Errorf("%s coordinate sort first pos = %d, want %d", r.Mode, r.FirstPos, wantFirst)
+		}
+		if r.Bins != wantBins {
+			t.Errorf("%s index bins = %d, want %d", r.Mode, r.Bins, wantBins)
+		}
+		for _, op := range Ops {
+			if r.Cycles[op] == 0 {
+				t.Errorf("%s %s reported zero cycles", r.Mode, op)
+			}
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	// SpaceJMP avoids serialization entirely: every operation must beat
+	// both file formats significantly.
+	recs := Generate(400, 8)
+	samRes, err := RunSAM(samMachine(), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bamRes, err := RunBAM(samMachine(), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jmpRes, err := RunSpaceJMP(kernel.New(samMachine()), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range Ops {
+		if jmpRes.Cycles[op] >= samRes.Cycles[op] {
+			t.Errorf("%s: SpaceJMP (%d) not faster than SAM (%d)", op, jmpRes.Cycles[op], samRes.Cycles[op])
+		}
+		if jmpRes.Cycles[op] >= bamRes.Cycles[op] {
+			t.Errorf("%s: SpaceJMP (%d) not faster than BAM (%d)", op, jmpRes.Cycles[op], bamRes.Cycles[op])
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	// SpaceJMP is comparable to mmap overall, and flagstat (the shortest
+	// op) shows the largest relative gain for SpaceJMP because the mmap
+	// page-table construction dominates it.
+	recs := Generate(400, 9)
+	mmapRes, err := RunMmap(samMachine(), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jmpRes, err := RunSpaceJMP(kernel.New(samMachine()), append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(op Op) float64 {
+		return float64(jmpRes.Cycles[op]) / float64(mmapRes.Cycles[op])
+	}
+	for _, op := range Ops {
+		if r := ratio(op); r > 1.3 {
+			t.Errorf("%s: SpaceJMP/mmap = %.2f, want comparable (<=1.3)", op, r)
+		}
+	}
+	if ratio(OpFlagstat) >= ratio(OpQnameSort) {
+		t.Errorf("flagstat ratio (%.2f) should show the largest SpaceJMP gain vs qname sort (%.2f)",
+			ratio(OpFlagstat), ratio(OpQnameSort))
+	}
+}

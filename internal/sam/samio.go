@@ -1,0 +1,68 @@
+package sam
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SAM text codec: tab-separated mandatory fields with an @HD header, as in
+// the SAM specification.
+
+// EncodeSAM renders records as SAM text.
+func EncodeSAM(recs []Record) []byte {
+	var b bytes.Buffer
+	b.WriteString("@HD\tVN:1.6\n")
+	for _, ref := range References {
+		if ref != "*" {
+			fmt.Fprintf(&b, "@SQ\tSN:%s\tLN:%d\n", ref, 60_000_000)
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		fmt.Fprintf(&b, "%s\t%d\t%s\t%d\t%d\t%s\t%s\t%d\t%d\t%s\t%s\n",
+			r.QName, r.Flag, r.RName, r.Pos, r.MapQ, r.CIGAR, r.RNext, r.PNext, r.TLen, r.Seq, r.Qual)
+	}
+	return b.Bytes()
+}
+
+// DecodeSAM parses SAM text.
+func DecodeSAM(data []byte) ([]Record, error) {
+	var out []Record
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "@") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) < 11 {
+			return nil, fmt.Errorf("sam: line %d has %d fields", ln+1, len(f))
+		}
+		flag, err := strconv.ParseUint(f[1], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("sam: line %d flag: %w", ln+1, err)
+		}
+		pos, err := strconv.ParseInt(f[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sam: line %d pos: %w", ln+1, err)
+		}
+		mapq, err := strconv.ParseUint(f[4], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("sam: line %d mapq: %w", ln+1, err)
+		}
+		pnext, err := strconv.ParseInt(f[7], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sam: line %d pnext: %w", ln+1, err)
+		}
+		tlen, err := strconv.ParseInt(f[8], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sam: line %d tlen: %w", ln+1, err)
+		}
+		out = append(out, Record{
+			QName: f[0], Flag: uint16(flag), RName: f[2], Pos: int32(pos),
+			MapQ: uint8(mapq), CIGAR: f[5], RNext: f[6], PNext: int32(pnext),
+			TLen: int32(tlen), Seq: f[9], Qual: f[10],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package tlb
+
+import (
+	"testing"
+
+	"spacejmp/internal/arch"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	tl := New(DefaultConfig)
+	for i := 0; i < 512; i++ {
+		tl.Insert(1, arch.VirtAddr(i*arch.PageSize), arch.PhysAddr(i*arch.PageSize), arch.PageSize, arch.PermRW, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(1, arch.VirtAddr((i%512)*arch.PageSize))
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	tl := New(DefaultConfig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(1, arch.VirtAddr(i*arch.PageSize))
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	tl := New(Config{Sets: 16, Ways: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Insert(1, arch.VirtAddr(i*arch.PageSize), arch.PhysAddr(i*arch.PageSize), arch.PageSize, arch.PermRW, false)
+	}
+}
+
+func BenchmarkFlushAll(b *testing.B) {
+	tl := New(DefaultConfig)
+	for i := 0; i < tl.Capacity(); i++ {
+		tl.Insert(1, arch.VirtAddr(i*arch.PageSize), arch.PhysAddr(i*arch.PageSize), arch.PageSize, arch.PermRW, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.FlushAll()
+	}
+}

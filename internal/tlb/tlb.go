@@ -1,0 +1,192 @@
+// Package tlb simulates a set-associative, tagged translation lookaside
+// buffer. Entries carry an ASID (a 12-bit PCID, paper §4.4); loading CR3
+// with the reserved flush tag invalidates all non-global entries, while
+// switching between tagged address spaces retains translations — the
+// mechanism behind the paper's Figure 6 and the tagged rows of Table 2.
+package tlb
+
+import (
+	"fmt"
+
+	"spacejmp/internal/arch"
+)
+
+// Config sizes the TLB. Entries = Sets * Ways.
+type Config struct {
+	Sets int // power of two
+	Ways int
+}
+
+// DefaultConfig models a modern unified L2 TLB: 128 sets x 12 ways = 1536
+// entries (Haswell-era STLB, matching the paper's M3 machine).
+var DefaultConfig = Config{Sets: 128, Ways: 12}
+
+// Entry is one cached translation.
+type Entry struct {
+	VPN      uint64 // virtual page number (va / PageSize of the page base)
+	ASID     arch.ASID
+	Frame    arch.PhysAddr // physical base of the page
+	Perm     arch.Perm
+	PageSize uint64
+	Global   bool
+
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Hits           uint64
+	Misses         uint64
+	Evictions      uint64
+	Flushes        uint64
+	FlushedEntries uint64
+}
+
+// TLB is a single-level, set-associative translation cache.
+type TLB struct {
+	cfg   Config
+	sets  [][]Entry
+	tick  uint64
+	stats Stats
+}
+
+// New creates a TLB with the given geometry.
+func New(cfg Config) *TLB {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("tlb: sets must be a positive power of two, got %d", cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("tlb: ways must be positive, got %d", cfg.Ways))
+	}
+	t := &TLB{cfg: cfg, sets: make([][]Entry, cfg.Sets)}
+	for i := range t.sets {
+		t.sets[i] = make([]Entry, cfg.Ways)
+	}
+	return t
+}
+
+// Capacity returns the number of entries the TLB can hold.
+func (t *TLB) Capacity() int { return t.cfg.Sets * t.cfg.Ways }
+
+// Stats returns a snapshot of the activity counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats clears the activity counters (entries are kept).
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+func (t *TLB) setFor(vpn uint64) []Entry {
+	return t.sets[vpn&uint64(t.cfg.Sets-1)]
+}
+
+// pageSizes are probed from smallest to largest on lookup, emulating a
+// unified TLB that caches all three page sizes.
+var pageSizes = [...]uint64{arch.PageSize, arch.HugePageSize, arch.GiantPageSize}
+
+// Lookup probes the TLB for a translation of va under the given ASID.
+// Global entries match any ASID. On a hit the entry's LRU stamp is renewed.
+func (t *TLB) Lookup(asid arch.ASID, va arch.VirtAddr) (Entry, bool) {
+	t.tick++
+	for _, ps := range pageSizes {
+		base := arch.AlignDown(va, ps)
+		vpn := uint64(base) >> arch.PageShift
+		set := t.setFor(vpn)
+		for i := range set {
+			e := &set[i]
+			if e.valid && e.PageSize == ps && e.VPN == vpn && (e.Global || e.ASID == asid) {
+				e.used = t.tick
+				t.stats.Hits++
+				return *e, true
+			}
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Insert installs a translation, evicting the least recently used entry of
+// the target set if it is full. The entry's VPN is derived from its page
+// base, so callers pass the base virtual address of the page.
+func (t *TLB) Insert(asid arch.ASID, base arch.VirtAddr, frame arch.PhysAddr, pageSize uint64, perm arch.Perm, global bool) {
+	t.tick++
+	vpn := uint64(arch.AlignDown(base, pageSize)) >> arch.PageShift
+	set := t.setFor(vpn)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.PageSize == pageSize && e.VPN == vpn && e.ASID == asid {
+			victim = i // refresh in place
+			break
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid && (set[victim].VPN != vpn || set[victim].ASID != asid) {
+		t.stats.Evictions++
+	}
+	set[victim] = Entry{
+		VPN: vpn, ASID: asid, Frame: arch.PhysAddr(arch.AlignDown(arch.VirtAddr(frame), pageSize)),
+		Perm: perm, PageSize: pageSize, Global: global, valid: true, used: t.tick,
+	}
+}
+
+// FlushAll invalidates every non-global entry — the effect of writing CR3
+// without a tag (or with the reserved flush tag).
+func (t *TLB) FlushAll() {
+	t.stats.Flushes++
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid && !set[i].Global {
+				set[i].valid = false
+				t.stats.FlushedEntries++
+			}
+		}
+	}
+}
+
+// FlushASID invalidates every entry tagged with the given ASID (INVPCID).
+func (t *TLB) FlushASID(asid arch.ASID) {
+	t.stats.Flushes++
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid && set[i].ASID == asid {
+				set[i].valid = false
+				t.stats.FlushedEntries++
+			}
+		}
+	}
+}
+
+// FlushPage invalidates the translation of the page containing va for the
+// given ASID at every page size (INVLPG).
+func (t *TLB) FlushPage(asid arch.ASID, va arch.VirtAddr) {
+	for _, ps := range pageSizes {
+		vpn := uint64(arch.AlignDown(va, ps)) >> arch.PageShift
+		set := t.setFor(vpn)
+		for i := range set {
+			e := &set[i]
+			if e.valid && e.PageSize == ps && e.VPN == vpn && e.ASID == asid {
+				e.valid = false
+				t.stats.FlushedEntries++
+			}
+		}
+	}
+}
+
+// Live returns the number of valid entries (for tests and introspection).
+func (t *TLB) Live() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

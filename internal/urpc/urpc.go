@@ -1,0 +1,175 @@
+// Package urpc implements user-level RPC over shared-memory channels in the
+// style of Barrelfish UMP / FastForward (paper §5.1, Figure 7): circular
+// buffers of cache-line-sized messages polled by sender and receiver. Each
+// line moved between cores costs a cache-line transfer, more when the cores
+// sit on different sockets (URPC L vs URPC X in the figure).
+//
+// Calls execute the server handler inline but attribute every cycle to the
+// correct simulated core: the client core is charged for its sends,
+// receives, and the busy-wait while the server works; the server core is
+// charged for its receives, dispatch, handler work, and sends. The paper's
+// GUPS message-passing baseline (§5.2) is built on this layer too.
+package urpc
+
+import (
+	"fmt"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/hw"
+)
+
+// PayloadPerLine is the usable payload of one cache-line message after the
+// sequence/valid header.
+const PayloadPerLine = arch.CacheLineSize - 8
+
+// DispatchCycles models the receiver's demultiplex-and-dispatch work per
+// message batch.
+const DispatchCycles = 60
+
+// Lines returns the number of cache-line messages needed for n bytes. Every
+// transfer uses at least one line (a 64-bit key rides in the header line).
+func Lines(n int) uint64 {
+	if n <= 0 {
+		return 1
+	}
+	return uint64((n + PayloadPerLine - 1) / PayloadPerLine)
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Sends uint64
+	Recvs uint64
+	Lines uint64
+}
+
+// Channel is a one-directional ring of cache-line messages between two
+// cores.
+type Channel struct {
+	m        *hw.Machine
+	tx, rx   int
+	ring     [][]byte
+	head     int // next slot to read
+	count    int // occupied slots
+	perLine  uint64
+	stats    Stats
+	capacity int
+}
+
+// NewChannel creates a channel with the given number of message slots from
+// core tx to core rx.
+func NewChannel(m *hw.Machine, tx, rx, slots int) *Channel {
+	perLine := m.Cfg.Cost.CacheLineXfer
+	if !m.SameSocket(tx, rx) {
+		perLine = m.Cfg.Cost.CacheLineXSoc
+	}
+	return &Channel{
+		m: m, tx: tx, rx: rx,
+		ring: make([][]byte, slots), capacity: slots,
+		perLine: perLine,
+	}
+}
+
+// CrossSocket reports whether the channel spans sockets.
+func (c *Channel) CrossSocket() bool { return !c.m.SameSocket(c.tx, c.rx) }
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Send enqueues a message, charging the sending core one cache-line
+// transfer per line. Fails when the ring is full (the caller polls).
+func (c *Channel) Send(payload []byte) error {
+	if c.count == c.capacity {
+		return fmt.Errorf("urpc: channel full (%d slots)", c.capacity)
+	}
+	lines := Lines(len(payload))
+	c.m.Cores[c.tx].AddCycles(lines * c.perLine)
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	c.ring[(c.head+c.count)%c.capacity] = msg
+	c.count++
+	c.stats.Sends++
+	c.stats.Lines += lines
+	return nil
+}
+
+// Recv dequeues the oldest message, charging the receiving core per line
+// plus dispatch. Fails when the ring is empty.
+func (c *Channel) Recv() ([]byte, error) {
+	if c.count == 0 {
+		return nil, fmt.Errorf("urpc: channel empty")
+	}
+	msg := c.ring[c.head]
+	c.ring[c.head] = nil
+	c.head = (c.head + 1) % c.capacity
+	c.count--
+	c.m.Cores[c.rx].AddCycles(Lines(len(msg))*c.perLine + DispatchCycles)
+	c.stats.Recvs++
+	return msg, nil
+}
+
+// Len returns the number of queued messages.
+func (c *Channel) Len() int { return c.count }
+
+// Handler processes a request and produces a response. It runs with the
+// server core's cycle counter active: any simulated memory work it performs
+// through that core is charged there.
+type Handler func(req []byte) []byte
+
+// Endpoint is a bidirectional RPC binding between a client core and a
+// server core.
+type Endpoint struct {
+	m              *hw.Machine
+	client, server int
+	req, resp      *Channel
+	handler        Handler
+}
+
+// Connect binds a client core to a server core with the given handler.
+func Connect(m *hw.Machine, clientCore, serverCore, slots int, h Handler) *Endpoint {
+	return &Endpoint{
+		m: m, client: clientCore, server: serverCore,
+		req:     NewChannel(m, clientCore, serverCore, slots),
+		resp:    NewChannel(m, serverCore, clientCore, slots),
+		handler: h,
+	}
+}
+
+// ServerCore returns the core the handler runs on.
+func (e *Endpoint) ServerCore() *hw.Core { return e.m.Cores[e.server] }
+
+// ClientCore returns the calling core.
+func (e *Endpoint) ClientCore() *hw.Core { return e.m.Cores[e.client] }
+
+// Call performs one RPC round trip and returns the response. The client
+// core's cycle delta across Call is the client-perceived latency the paper
+// plots in Figure 7.
+func (e *Endpoint) Call(request []byte) ([]byte, error) {
+	client := e.m.Cores[e.client]
+	server := e.m.Cores[e.server]
+	if err := e.req.Send(request); err != nil {
+		return nil, err
+	}
+	// Server side: receive, dispatch, handle, respond.
+	before := server.Cycles()
+	req, err := e.req.Recv()
+	if err != nil {
+		return nil, err
+	}
+	response := e.handler(req)
+	if err := e.resp.Send(response); err != nil {
+		return nil, err
+	}
+	// The client busy-waits while the server works.
+	client.AddCycles(server.Cycles() - before)
+	return e.resp.Recv()
+}
+
+// CallLatency runs one call and returns the client-perceived latency in
+// cycles.
+func (e *Endpoint) CallLatency(request []byte) (uint64, error) {
+	before := e.m.Cores[e.client].Cycles()
+	if _, err := e.Call(request); err != nil {
+		return 0, err
+	}
+	return e.m.Cores[e.client].Cycles() - before, nil
+}

@@ -1,0 +1,214 @@
+package urpc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"spacejmp/internal/hw"
+)
+
+func TestLines(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{{0, 1}, {1, 1}, {PayloadPerLine, 1}, {PayloadPerLine + 1, 2}, {4096, 74}}
+	for _, c := range cases {
+		if got := Lines(c.n); got != c.want {
+			t.Errorf("Lines(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestChannelFIFO(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ch := NewChannel(m, 0, 1, 4)
+	for i := 0; i < 4; i++ {
+		if err := ch.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ch.Send([]byte{9}); err == nil {
+		t.Error("send into full ring accepted")
+	}
+	for i := 0; i < 4; i++ {
+		msg, err := ch.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg[0] != byte(i) {
+			t.Errorf("message %d out of order: %d", i, msg[0])
+		}
+	}
+	if _, err := ch.Recv(); err == nil {
+		t.Error("recv from empty ring succeeded")
+	}
+}
+
+func TestChannelWrapAround(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ch := NewChannel(m, 0, 1, 2)
+	seq := 0
+	for round := 0; round < 5; round++ {
+		if err := ch.Send([]byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		msg, err := ch.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(msg[0]) != seq-1 {
+			t.Errorf("wrap round %d: got %d", round, msg[0])
+		}
+	}
+}
+
+func TestCostAttribution(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ch := NewChannel(m, 0, 1, 8) // same socket
+	tx, rx := m.Cores[0], m.Cores[1]
+	t0, r0 := tx.Cycles(), rx.Cycles()
+	payload := make([]byte, 200) // 4 lines
+	if err := ch.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Cycles() - t0; got != 4*hw.DefaultCost.CacheLineXfer {
+		t.Errorf("sender charged %d", got)
+	}
+	if _, err := ch.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rx.Cycles() - r0; got != 4*hw.DefaultCost.CacheLineXfer+DispatchCycles {
+		t.Errorf("receiver charged %d", got)
+	}
+}
+
+func TestCrossSocketCostsMore(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest()) // cores 0,1 socket 0; 2,3 socket 1
+	local := NewChannel(m, 0, 1, 4)
+	cross := NewChannel(m, 0, 2, 4)
+	if local.CrossSocket() || !cross.CrossSocket() {
+		t.Fatal("socket detection wrong")
+	}
+	payload := make([]byte, 100)
+	c0 := m.Cores[0].Cycles()
+	if err := local.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	localCost := m.Cores[0].Cycles() - c0
+	c0 = m.Cores[0].Cycles()
+	if err := cross.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	crossCost := m.Cores[0].Cycles() - c0
+	if crossCost <= localCost {
+		t.Errorf("cross-socket send (%d) not costlier than local (%d)", crossCost, localCost)
+	}
+}
+
+func TestRPCEcho(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte {
+		out := append([]byte("echo:"), req...)
+		return out
+	})
+	resp, err := ep.Call([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("echo:ping")) {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestRPCLatencyGrowsWithSize(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ep := Connect(m, 0, 1, 8192, func(req []byte) []byte { return req })
+	var prev uint64
+	for _, size := range []int{4, 64, 4096, 65536} {
+		lat, err := ep.CallLatency(make([]byte, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat <= prev {
+			t.Errorf("latency at %dB (%d) not above %d", size, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestRPCCrossSocketSlower(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	local := Connect(m, 0, 1, 64, func(req []byte) []byte { return req })
+	cross := Connect(m, 0, 2, 64, func(req []byte) []byte { return req })
+	l, err := local.CallLatency(make([]byte, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := cross.CallLatency(make([]byte, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x <= l {
+		t.Errorf("cross-socket RPC (%d) not slower than local (%d)", x, l)
+	}
+}
+
+func TestServerWorkReflectedInClientLatency(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	const work = 12345
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte {
+		m.Cores[1].AddCycles(work)
+		return req
+	})
+	lat, err := ep.CallLatency([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < work {
+		t.Errorf("client latency %d does not include server work %d", lat, work)
+	}
+}
+
+func TestPropertyMessagesNotCorrupted(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ep := Connect(m, 0, 1, 16, func(req []byte) []byte { return req })
+	f := func(payload []byte) bool {
+		if len(payload) > 512 {
+			payload = payload[:512]
+		}
+		resp, err := ep.Call(payload)
+		return err == nil && bytes.Equal(resp, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyEndpointsSharedServerCore(t *testing.T) {
+	// Several clients call into one server core; its cycle counter
+	// accumulates all the handler work (the Redis-baseline saturation
+	// model).
+	m := hw.NewMachine(hw.SmallTest())
+	server := m.Cores[1]
+	before := server.Cycles()
+	var eps []*Endpoint
+	for i := 0; i < 3; i++ {
+		eps = append(eps, Connect(m, 0, 1, 8, func(req []byte) []byte {
+			server.AddCycles(1000)
+			return []byte(fmt.Sprintf("ok-%s", req))
+		}))
+	}
+	for round := 0; round < 10; round++ {
+		for _, ep := range eps {
+			if _, err := ep.Call([]byte("r")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := server.Cycles() - before; got < 30*1000 {
+		t.Errorf("server core accumulated only %d cycles", got)
+	}
+}

@@ -1,0 +1,254 @@
+// Package vm implements the BSD/Mach-derived virtual memory layer the
+// SpaceJMP DragonFly prototype builds on (paper §4.1): VM objects abstract
+// physical storage, and a Space (the BSD "vmspace") combines a list of
+// region descriptors with one architecture-level page table.
+//
+// SpaceJMP segments are thin wrappers around VM objects; attaching a segment
+// to an address space inserts a region referencing the object, and the page
+// fault handler asks the object for frames.
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/mem"
+)
+
+// Object is a Mach-style VM object: a logical array of pages backed by
+// physical frames, materialized on demand. Objects are reference counted;
+// mappings and segments take references.
+type Object struct {
+	Name string
+	Size uint64
+	Tier mem.Tier
+	// PageSize is the granularity of the object's pages (4 KiB or 2 MiB).
+	// Huge objects back huge-page mappings: one order-9 frame block per
+	// page, fewer page-table levels per translation.
+	PageSize uint64
+
+	mu     sync.Mutex
+	pm     *mem.PhysMem
+	frames map[uint64]arch.PhysAddr // page index -> frame (PageSize-sized)
+	refs   int
+	dead   bool
+
+	// parent is the copy-on-write source: pages without an own frame are
+	// served from the parent (read-only) until BreakCOW copies them — the
+	// snapshotting optimization of paper §7.
+	parent *Object
+}
+
+// order returns the buddy order of one page of the object.
+func (o *Object) order() int {
+	order := 0
+	for ps := uint64(arch.PageSize); ps < o.PageSize; ps <<= 1 {
+		order++
+	}
+	return order
+}
+
+// NewObject creates an object of the given size (rounded up to whole pages)
+// with one reference held by the caller.
+func NewObject(pm *mem.PhysMem, name string, size uint64, tier mem.Tier) *Object {
+	return NewObjectPages(pm, name, size, tier, arch.PageSize)
+}
+
+// NewObjectPages creates an object backed by pages of the given size
+// (arch.PageSize or arch.HugePageSize); size is rounded up accordingly.
+func NewObjectPages(pm *mem.PhysMem, name string, size uint64, tier mem.Tier, pageSize uint64) *Object {
+	size = (size + pageSize - 1) &^ (pageSize - 1)
+	return &Object{
+		Name: name, Size: size, Tier: tier, PageSize: pageSize,
+		pm: pm, frames: make(map[uint64]arch.PhysAddr), refs: 1,
+	}
+}
+
+// NewObjectFromFrames reconstructs an object over frames that already hold
+// content — the restore path after a power cycle, where NVM frames (and the
+// allocator state covering them) survived.
+func NewObjectFromFrames(pm *mem.PhysMem, name string, size uint64, tier mem.Tier, frames map[uint64]arch.PhysAddr) *Object {
+	return NewObjectFromFramesPages(pm, name, size, tier, arch.PageSize, frames)
+}
+
+// NewObjectFromFramesPages is NewObjectFromFrames for an explicit page size.
+func NewObjectFromFramesPages(pm *mem.PhysMem, name string, size uint64, tier mem.Tier, pageSize uint64, frames map[uint64]arch.PhysAddr) *Object {
+	o := NewObjectPages(pm, name, size, tier, pageSize)
+	for idx, pa := range frames {
+		o.frames[idx] = pa
+	}
+	return o
+}
+
+// FrameMap returns a copy of the page-index -> frame mapping (what a
+// checkpoint must record to reattach the object's memory later).
+func (o *Object) FrameMap() map[uint64]arch.PhysAddr {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[uint64]arch.PhysAddr, len(o.frames))
+	for idx, pa := range o.frames {
+		out[idx] = pa
+	}
+	return out
+}
+
+// Ref takes an additional reference.
+func (o *Object) Ref() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		panic("vm: Ref on destroyed object " + o.Name)
+	}
+	o.refs++
+}
+
+// Unref drops a reference; the last drop frees every backing frame.
+func (o *Object) Unref() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		panic("vm: Unref on destroyed object " + o.Name)
+	}
+	o.refs--
+	if o.refs > 0 {
+		return
+	}
+	o.dead = true
+	order := o.order()
+	for idx, pa := range o.frames {
+		delete(o.frames, idx)
+		if err := o.pm.Free(pa, order); err != nil {
+			panic("vm: freeing object frame: " + err.Error())
+		}
+	}
+	if o.parent != nil {
+		o.parent.Unref()
+		o.parent = nil
+	}
+}
+
+// Pages returns the number of pages (of PageSize each) the object spans.
+func (o *Object) Pages() uint64 { return o.Size / o.PageSize }
+
+// Frame returns the physical frame backing page idx. For ordinary pages it
+// allocates (and zeroes) on first use — the page-cache behaviour of the
+// BSD object. For COW pages without an own copy it returns the parent's
+// frame; callers must map such pages read-only and call BreakCOW on the
+// first write.
+func (o *Object) Frame(idx uint64) (arch.PhysAddr, error) {
+	if idx >= o.Pages() {
+		return 0, fmt.Errorf("vm: page %d beyond object %q (%d pages)", idx, o.Name, o.Pages())
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return 0, fmt.Errorf("vm: object %q destroyed", o.Name)
+	}
+	if pa, ok := o.frames[idx]; ok {
+		return pa, nil
+	}
+	if o.parent != nil {
+		return o.parent.Frame(idx)
+	}
+	pa, err := o.pm.AllocFrames(o.order(), o.Tier)
+	if err != nil {
+		return 0, fmt.Errorf("vm: backing page %d of %q: %w", idx, o.Name, err)
+	}
+	o.frames[idx] = pa
+	return pa, nil
+}
+
+// CloneCOW creates a copy-on-write child: reads are served from this
+// object's frames until the child's pages are written (§7's snapshotting
+// optimization). The child holds a reference on the parent.
+func (o *Object) CloneCOW(name string) *Object {
+	o.Ref()
+	return &Object{
+		Name: name, Size: o.Size, Tier: o.Tier, PageSize: o.PageSize,
+		pm: o.pm, frames: make(map[uint64]arch.PhysAddr), refs: 1, parent: o,
+	}
+}
+
+// IsCOW reports whether page idx is still shared with a parent (and must
+// therefore be mapped read-only).
+func (o *Object) IsCOW(idx uint64) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.parent == nil {
+		return false
+	}
+	_, own := o.frames[idx]
+	return !own
+}
+
+// BreakCOW gives page idx its own frame, copying the parent's content.
+// It is idempotent; returns the (possibly new) frame.
+func (o *Object) BreakCOW(idx uint64) (arch.PhysAddr, error) {
+	if idx >= o.Pages() {
+		return 0, fmt.Errorf("vm: page %d beyond object %q", idx, o.Name)
+	}
+	o.mu.Lock()
+	if pa, ok := o.frames[idx]; ok {
+		o.mu.Unlock()
+		return pa, nil
+	}
+	parent := o.parent
+	o.mu.Unlock()
+	if parent == nil {
+		return o.Frame(idx)
+	}
+	src, err := parent.Frame(idx)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := o.pm.AllocFrames(o.order(), o.Tier)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, o.PageSize)
+	if err := o.pm.ReadAt(src, buf); err != nil {
+		o.pm.Free(dst, o.order())
+		return 0, err
+	}
+	if err := o.pm.WriteAt(dst, buf); err != nil {
+		o.pm.Free(dst, o.order())
+		return 0, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if pa, ok := o.frames[idx]; ok { // raced with another breaker
+		if err := o.pm.Free(dst, o.order()); err != nil {
+			return 0, err
+		}
+		return pa, nil
+	}
+	o.frames[idx] = dst
+	return dst, nil
+}
+
+// Resident returns the number of pages currently backed by frames.
+func (o *Object) Resident() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return uint64(len(o.frames))
+}
+
+// Populate allocates frames for every page (physical reservation at segment
+// creation, paper §4.1: "Physical pages are reserved at the time a segment
+// is created, and are not swappable"). On a COW object it materializes
+// private copies of every page.
+func (o *Object) Populate() error {
+	for idx := uint64(0); idx < o.Pages(); idx++ {
+		if o.IsCOW(idx) {
+			if _, err := o.BreakCOW(idx); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := o.Frame(idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
