@@ -1,0 +1,210 @@
+// Fault injection: rehearsing the failure modes a multi-VAS operating
+// system must survive. A deterministic fault registry (package fault) is
+// attached to the simulated machine and armed point by point to stage
+// three recoveries:
+//
+//  1. a process crashes while holding a segment write lock — the kernel
+//     reaper releases the lock, wakes a blocked switcher, and returns
+//     every frame the dead process owned;
+//  2. power fails mid-checkpoint, tearing an NVM write — Restore boots
+//     the previous intact checkpoint generation;
+//  3. an RPC channel drops messages — Endpoint.Call retries with
+//     backoff and at-most-once semantics until the reply lands.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"spacejmp"
+	"spacejmp/internal/urpc"
+)
+
+const (
+	segBase = spacejmp.GlobalBase
+	segSize = 1 << 20
+)
+
+func main() {
+	cfg := spacejmp.DefaultMachine()
+	cfg.Mem.NVMSuperblock = 1 << 20
+	machine := spacejmp.NewMachine(cfg)
+	faults := spacejmp.NewFaults(42)
+	machine.SetFaults(faults)
+	sys := spacejmp.NewDragonFlyOn(machine)
+	sys.SetSegmentTier(spacejmp.TierNVM)
+
+	crashWhileLocked(sys)
+	tornCheckpoint(machine, sys, faults)
+	lossyRPC(machine, faults)
+}
+
+// spawn starts a fresh process with one thread.
+func spawn(sys *spacejmp.System, uid uint32) (*spacejmp.Process, *spacejmp.Thread) {
+	proc, err := sys.NewProcess(spacejmp.Creds{UID: uid, GID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return proc, th
+}
+
+// crashWhileLocked kills a process that is switched into a VAS holding its
+// lockable segment exclusively. The reaper must release the lock so the
+// blocked second process gets in, and the dead process's memory must all
+// come back.
+func crashWhileLocked(sys *spacejmp.System) {
+	fmt.Println("--- scenario 1: crash while holding a write lock ---")
+	_, owner := spawn(sys, 1)
+	vid, err := owner.VASCreate("shared", 0o666)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sid, err := owner.SegAlloc("shared.seg", segBase, segSize, spacejmp.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := owner.SegAttachVAS(vid, sid, spacejmp.PermRW); err != nil {
+		log.Fatal(err)
+	}
+	seg, err := sys.SegByID(sid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The waiter attaches and touches the segment once, so its page tables
+	// exist before we take the leak baseline.
+	_, waiter := spawn(sys, 2)
+	wh, err := waiter.VASAttach(vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := waiter.VASSwitch(wh); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := waiter.Load64(segBase); err != nil {
+		log.Fatal(err)
+	}
+	if err := waiter.VASSwitch(spacejmp.PrimaryHandle); err != nil {
+		log.Fatal(err)
+	}
+	baseline := sys.M.PM.AllocatedBytes()
+
+	victim, vt := spawn(sys, 3)
+	vh, err := vt.VASAttach(vid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vt.VASSwitch(vh); err != nil { // takes the write lock
+		log.Fatal(err)
+	}
+	if err := vt.Store64(segBase, 0xC0FFEE); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim: switched in, wrote 0xC0FFEE, holding the write lock")
+
+	// The waiter blocks trying to switch in.
+	done := make(chan error, 1)
+	go func() { done <- waiter.VASSwitch(wh) }()
+	for seg.LockContentions() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	fmt.Println("victim: crashing without releasing anything")
+	victim.Crash()
+
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	v, err := waiter.Load64(segBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("waiter: acquired the lock, read %#x (victim's committed write)\n", v)
+	if err := waiter.VASSwitch(spacejmp.PrimaryHandle); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.M.PM.CheckLeaks(baseline); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reaper: all of the victim's frames returned, no leaks")
+	if _, err := vt.VASFind("shared"); errors.Is(err, spacejmp.ErrProcessDead) {
+		fmt.Println("victim: later syscalls fail with ErrProcessDead")
+	}
+	fmt.Println()
+}
+
+// tornCheckpoint tears an NVM write in the middle of a checkpoint, power
+// cycles the machine, and shows Restore falling back to the previous
+// generation.
+func tornCheckpoint(machine *spacejmp.Machine, sys *spacejmp.System, faults *spacejmp.FaultRegistry) {
+	fmt.Println("--- scenario 2: power loss tears a checkpoint write ---")
+	if err := sys.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpoint A committed (VAS \"shared\" inside)")
+
+	_, th := spawn(sys, 4)
+	if _, err := th.VASCreate("doomed", 0o600); err != nil {
+		log.Fatal(err)
+	}
+	// The second NVM write of the next checkpoint — the commit header —
+	// stops halfway, as a power cut would leave it.
+	faults.Enable(spacejmp.FaultMemWriteTorn, spacejmp.FaultOnNth(2))
+	err := sys.Checkpoint()
+	faults.Disable(spacejmp.FaultMemWriteTorn)
+	fmt.Printf("checkpoint B torn mid-commit: %v\n", err)
+
+	machine.PM.PowerCycle()
+	sys2 := spacejmp.NewDragonFlyOn(machine)
+	if err := sys2.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	_, th2 := spawn(sys2, 5)
+	if _, err := th2.VASFind("shared"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after reboot: checkpoint A restored, VAS \"shared\" intact")
+	if _, err := th2.VASFind("doomed"); errors.Is(err, spacejmp.ErrNotFound) {
+		fmt.Println("after reboot: the half-committed generation is invisible")
+	}
+	fmt.Println()
+}
+
+// lossyRPC drops a third of all RPC messages and shows Call's
+// retry-with-backoff completing every request exactly once anyway.
+func lossyRPC(machine *spacejmp.Machine, faults *spacejmp.FaultRegistry) {
+	fmt.Println("--- scenario 3: RPC over a lossy channel ---")
+	calls := 0
+	ep := urpc.Connect(machine, 0, 1, 8, func(req []byte) []byte {
+		calls++ // not idempotent: double execution would show here
+		return []byte{req[0] + 1}
+	})
+	faults.Enable(spacejmp.FaultURPCDrop, spacejmp.FaultProbability(0.3))
+	for i := 0; i < 20; i++ {
+		resp, err := ep.Call([]byte{byte(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp[0] != byte(i)+1 {
+			log.Fatalf("call %d: wrong response %d", i, resp[0])
+		}
+	}
+	faults.Disable(spacejmp.FaultURPCDrop)
+	req, resp := ep.ChannelStats()
+	fmt.Printf("20 calls completed; handler ran %d times (at-most-once)\n", calls)
+	fmt.Printf("dropped %d messages, %d retries absorbed the loss\n",
+		req.Drops+resp.Drops, ep.Retries())
+
+	// With the channel fully dead, Call gives up with a typed timeout.
+	faults.Enable(spacejmp.FaultURPCDrop, spacejmp.FaultAlways())
+	_, err := ep.Call([]byte{0})
+	faults.Disable(spacejmp.FaultURPCDrop)
+	fmt.Printf("dead channel: %v (errors.Is ErrTimeout: %v)\n",
+		err, errors.Is(err, urpc.ErrTimeout))
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
+)
+
+// lockableSeg builds a VAS with one lockable RW segment and returns
+// (vid, segment).
+func lockableSeg(t *testing.T, th *Thread, vasName, segName string) (VASID, *Segment) {
+	t.Helper()
+	vid, err := th.VASCreate(vasName, 0o660)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := th.SegAlloc(segName, segBase(0), 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := th.Proc.System().SegByID(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vid, seg
+}
+
+// waitContention polls until the segment has seen at least n blocked
+// acquisitions.
+func waitContention(t *testing.T, seg *Segment, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for seg.LockContentions() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("no contention after 5s (contentions=%d)", seg.LockContentions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCrashWhileHoldingWriteLock is the headline recovery scenario: a
+// process dies abruptly while switched into a VAS whose lockable segment it
+// holds exclusively. The reaper must release the lock (waking a blocked
+// acquirer on another core) and return every frame the dead process owned.
+func TestCrashWhileHoldingWriteLock(t *testing.T) {
+	sys := testSystem(t)
+	pm := sys.M.PM
+	_, owner := spawn(t, sys)
+	vid, seg := lockableSeg(t, owner, "crash.vas", "crash.seg")
+
+	// The waiter exists (and is attached) before the baseline so that only
+	// the victim's footprint is at stake across the crash. It also touches
+	// the segment once now, so its lazily-installed page-table frames are
+	// part of the baseline rather than appearing after the crash.
+	_, waiter := spawn(t, sys)
+	wh, err := waiter.VASAttach(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := waiter.VASSwitch(wh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := waiter.Load64(segBase(0) + 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := waiter.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+	baseline := pm.AllocatedBytes()
+
+	victim, vt := spawn(t, sys)
+	vh, err := vt.VASAttach(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vt.VASSwitch(vh); err != nil {
+		t.Fatal(err)
+	}
+	if err := vt.Store64(segBase(0)+8, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	if r, w := seg.LockHolders(); r != 0 || w != 1 {
+		t.Fatalf("victim holders = (%d, %d), want (0, 1)", r, w)
+	}
+
+	// The waiter blocks in Segment.acquire on another goroutine.
+	done := make(chan error, 1)
+	go func() { done <- waiter.VASSwitch(wh) }()
+	waitContention(t, seg, 1)
+
+	victim.Crash()
+
+	if err := <-done; err != nil {
+		t.Fatalf("waiter switch after crash: %v", err)
+	}
+	if r, w := seg.LockHolders(); r != 0 || w != 1 {
+		t.Fatalf("post-crash holders = (%d, %d), want waiter (0, 1)", r, w)
+	}
+	// The victim's committed write survives in the first-class segment.
+	if v, err := waiter.Load64(segBase(0) + 8); err != nil || v != 0xDEAD {
+		t.Fatalf("waiter read = %d, %v; want 0xDEAD", v, err)
+	}
+	if err := waiter.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+	if r, w := seg.LockHolders(); r != 0 || w != 0 {
+		t.Fatalf("final holders = (%d, %d), want (0, 0)", r, w)
+	}
+	// Every frame the victim owned came back.
+	if err := pm.CheckLeaks(baseline); err != nil {
+		t.Fatal(err)
+	}
+	// The dead process is inert.
+	if !victim.Dead() {
+		t.Error("victim not marked dead")
+	}
+	if _, err := victim.NewThread(); !errors.Is(err, ErrProcessDead) {
+		t.Errorf("NewThread on dead process: %v", err)
+	}
+	if _, err := vt.VASCreate("x", 0o600); !errors.Is(err, ErrProcessDead) {
+		t.Errorf("syscall on dead process: %v", err)
+	}
+	if err := vt.VASSwitch(PrimaryHandle); !errors.Is(err, ErrProcessDead) {
+		t.Errorf("switch on dead process: %v", err)
+	}
+}
+
+// TestExitRacesBlockedAcquire: Exit on one thread while another process's
+// thread is blocked in Segment.acquire. The exit path releases the lock via
+// the ordinary switch path, the waiter wakes, and once the waiter leaves
+// too the holder counts return to zero.
+func TestExitRacesBlockedAcquire(t *testing.T) {
+	sys := testSystem(t)
+	_, owner := spawn(t, sys)
+	vid, seg := lockableSeg(t, owner, "race.vas", "race.seg")
+
+	holderProc, holder := spawn(t, sys)
+	hh, err := holder.VASAttach(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.VASSwitch(hh); err != nil {
+		t.Fatal(err)
+	}
+
+	_, waiter := spawn(t, sys)
+	wh, err := waiter.VASAttach(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- waiter.VASSwitch(wh) }()
+	waitContention(t, seg, 1)
+
+	holderProc.Exit()
+
+	if err := <-done; err != nil {
+		t.Fatalf("waiter switch after exit: %v", err)
+	}
+	if err := waiter.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+	if r, w := seg.LockHolders(); r != 0 || w != 0 {
+		t.Fatalf("holders = (%d, %d) after both leave, want (0, 0)", r, w)
+	}
+}
+
+// TestInjectedSyscallCrash arms the syscall-boundary crash point: the Nth
+// syscall kills the process mid-entry, and the reaper cleans up exactly as
+// for an explicit Crash.
+func TestInjectedSyscallCrash(t *testing.T) {
+	sys := testSystem(t)
+	reg := fault.New(1)
+	sys.M.SetFaults(reg)
+	pm := sys.M.PM
+
+	_, owner := spawn(t, sys)
+	vid, seg := lockableSeg(t, owner, "inj.vas", "inj.seg")
+	baseline := pm.AllocatedBytes()
+
+	victim, vt := spawn(t, sys)
+	vh, err := vt.VASAttach(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vt.VASSwitch(vh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash on the next syscall the victim makes.
+	reg.Enable(fault.CoreSyscallCrash, fault.OnNth(1))
+	_, err = vt.VASFind("inj.vas")
+	if !errors.Is(err, ErrProcessDead) {
+		t.Fatalf("injected crash returned %v, want ErrProcessDead", err)
+	}
+	reg.Disable(fault.CoreSyscallCrash)
+
+	if !victim.Dead() {
+		t.Fatal("victim survived injected crash")
+	}
+	if r, w := seg.LockHolders(); r != 0 || w != 0 {
+		t.Fatalf("holders = (%d, %d) after injected crash, want (0, 0)", r, w)
+	}
+	if err := pm.CheckLeaks(baseline); err != nil {
+		t.Fatal(err)
+	}
+	// The surviving owner still works: faults are per-point, not global.
+	if _, err := owner.VASFind("inj.vas"); err != nil {
+		t.Errorf("owner syscall after victim crash: %v", err)
+	}
+}
+
+// TestExitIsIdempotent: Exit and Crash on an already-dead process are
+// no-ops, in any order.
+func TestExitIsIdempotent(t *testing.T) {
+	sys := testSystem(t)
+	p, th := spawn(t, sys)
+	vid, _ := lockableSeg(t, th, "idem.vas", "idem.seg")
+	h, err := th.VASAttach(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	p.Exit()
+	p.Exit()
+	p.Crash()
+	if !p.Dead() {
+		t.Error("process not dead after Exit")
+	}
+	// The core is back in the pool: a fresh process can claim all 4.
+	p2, err := sys.NewProcess(Creds{UID: 1, GID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(sys.M.Cores); i++ {
+		if _, err := p2.NewThread(); err != nil {
+			t.Fatalf("core %d not reclaimed: %v", i, err)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"spacejmp/internal/arch"
 	"spacejmp/internal/mem"
@@ -21,8 +23,37 @@ import (
 // fresh System Restores from the superblock: segments reattach their
 // surviving frames, VASes reattach their segment lists, and processes can
 // vas_find and switch into them as if nothing happened.
+//
+// The superblock is crash-consistent: it holds two generation slots, each a
+// header (magic, version, sequence number, payload length, CRC32) followed
+// by a gob payload. Checkpoint writes the new generation into the slot NOT
+// holding the newest valid image — payload first, committing header last —
+// so a power cut at any byte leaves the previous generation intact. Restore
+// validates both slots and boots from the newest one whose CRC checks out.
 
-const checkpointMagic uint64 = 0x53504a4d50533031 // "SPJMPS01"
+const (
+	checkpointMagic   uint64 = 0x53504a4d50533031 // "SPJMPS01"
+	checkpointVersion uint64 = 2
+
+	// Slot header layout (all little-endian uint64):
+	// magic, version, seq, payload length, CRC32 of payload.
+	hdrMagic   = 0
+	hdrVersion = 8
+	hdrSeq     = 16
+	hdrLen     = 24
+	hdrCRC     = 32
+	hdrSize    = 40
+
+	numGenerations = 2
+)
+
+// Checkpoint/Restore errors. Callers distinguish fresh NVM (no image was
+// ever committed) from a damaged image (a header is present but no
+// generation validates).
+var (
+	ErrNoCheckpoint      = errors.New("spacejmp: no checkpoint in superblock")
+	ErrCorruptCheckpoint = errors.New("spacejmp: corrupt checkpoint")
+)
 
 // Gob-friendly snapshots of the persistable state.
 type persistSeg struct {
@@ -59,11 +90,92 @@ type persistImage struct {
 	NextASID arch.ASID
 }
 
-// Checkpoint writes the persistable state into the NVM superblock. Only
-// segments backed by the NVM tier are included (DRAM contents would not
-// survive the power cycle anyway); VAS segment lists are filtered
-// accordingly. Attachments and processes are inherently volatile and are
-// not part of the image.
+// generation describes one validated superblock slot.
+type generation struct {
+	slot  int
+	base  arch.PhysAddr // slot base (header)
+	seq   uint64
+	size  uint64
+	valid bool
+	magic bool // slot carries the checkpoint magic (valid or not)
+}
+
+// slotGeometry returns the base and capacity of slot i within the
+// superblock [sbBase, sbBase+sbSize).
+func slotGeometry(sbBase arch.PhysAddr, sbSize uint64, i int) (arch.PhysAddr, uint64) {
+	per := sbSize / numGenerations
+	return sbBase + arch.PhysAddr(uint64(i)*per), per
+}
+
+// readGeneration validates slot i's header and payload CRC.
+func (sys *System) readGeneration(sbBase arch.PhysAddr, sbSize uint64, i int) (generation, error) {
+	base, slotCap := slotGeometry(sbBase, sbSize, i)
+	g := generation{slot: i, base: base}
+	if slotCap < hdrSize {
+		return g, nil
+	}
+	head := make([]byte, hdrSize)
+	if err := sys.M.PM.ReadAt(base, head); err != nil {
+		return g, err
+	}
+	if binary.LittleEndian.Uint64(head[hdrMagic:]) != checkpointMagic {
+		return g, nil
+	}
+	g.magic = true
+	if binary.LittleEndian.Uint64(head[hdrVersion:]) != checkpointVersion {
+		return g, nil
+	}
+	g.seq = binary.LittleEndian.Uint64(head[hdrSeq:])
+	g.size = binary.LittleEndian.Uint64(head[hdrLen:])
+	if g.size == 0 || g.size+hdrSize > slotCap {
+		return g, nil
+	}
+	payload := make([]byte, g.size)
+	if err := sys.M.PM.ReadAt(base+hdrSize, payload); err != nil {
+		return g, err
+	}
+	if uint64(crc32.ChecksumIEEE(payload)) != binary.LittleEndian.Uint64(head[hdrCRC:]) {
+		return g, nil
+	}
+	g.valid = true
+	return g, nil
+}
+
+// generations reads and validates both slots.
+func (sys *System) generations(sbBase arch.PhysAddr, sbSize uint64) ([numGenerations]generation, error) {
+	var gens [numGenerations]generation
+	for i := range gens {
+		g, err := sys.readGeneration(sbBase, sbSize, i)
+		if err != nil {
+			return gens, err
+		}
+		gens[i] = g
+	}
+	return gens, nil
+}
+
+// newestValid returns the valid generation with the highest sequence
+// number, or ok=false when no slot validates.
+func newestValid(gens [numGenerations]generation) (generation, bool) {
+	best, ok := generation{}, false
+	for _, g := range gens {
+		if g.valid && (!ok || g.seq > best.seq) {
+			best, ok = g, true
+		}
+	}
+	return best, ok
+}
+
+// Checkpoint writes the persistable state into the NVM superblock as a new
+// generation. Only segments backed by the NVM tier are included (DRAM
+// contents would not survive the power cycle anyway); VAS segment lists are
+// filtered accordingly. Attachments and processes are inherently volatile
+// and are not part of the image.
+//
+// The commit is atomic with respect to power loss: the previous generation's
+// slot is untouched, the new payload lands first, and the header (whose CRC
+// makes the slot valid) is written last. A torn write surfaces as an error
+// and leaves the previous generation the newest valid one.
 func (sys *System) Checkpoint() error {
 	sbBase, sbSize := sys.M.PM.Superblock()
 	if sbSize == 0 {
@@ -98,44 +210,75 @@ func (sys *System) Checkpoint() error {
 	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
 		return fmt.Errorf("spacejmp: encoding checkpoint: %w", err)
 	}
-	if uint64(buf.Len())+16 > sbSize {
-		return fmt.Errorf("spacejmp: checkpoint (%d B) exceeds superblock (%d B)", buf.Len(), sbSize)
+	_, slotCap := slotGeometry(sbBase, sbSize, 0)
+	if uint64(buf.Len())+hdrSize > slotCap {
+		return fmt.Errorf("spacejmp: checkpoint (%d B) exceeds generation slot (%d B); grow mem.Config.NVMSuperblock",
+			buf.Len(), slotCap)
 	}
-	head := make([]byte, 16)
-	binary.LittleEndian.PutUint64(head, checkpointMagic)
-	binary.LittleEndian.PutUint64(head[8:], uint64(buf.Len()))
-	if err := sys.M.PM.WriteAt(sbBase, head); err != nil {
+
+	// Pick the slot NOT holding the newest valid generation.
+	gens, err := sys.generations(sbBase, sbSize)
+	if err != nil {
 		return err
 	}
-	return sys.M.PM.WriteAt(sbBase+16, buf.Bytes())
+	target, seq := 0, uint64(1)
+	if cur, ok := newestValid(gens); ok {
+		target = (cur.slot + 1) % numGenerations
+		seq = cur.seq + 1
+	}
+	slotBase, _ := slotGeometry(sbBase, sbSize, target)
+
+	// Payload first; the slot stays invalid (old header, new payload → CRC
+	// mismatch) until the header commits it.
+	if err := sys.M.PM.WriteAt(slotBase+hdrSize, buf.Bytes()); err != nil {
+		return fmt.Errorf("spacejmp: writing checkpoint payload: %w", err)
+	}
+	head := make([]byte, hdrSize)
+	binary.LittleEndian.PutUint64(head[hdrMagic:], checkpointMagic)
+	binary.LittleEndian.PutUint64(head[hdrVersion:], checkpointVersion)
+	binary.LittleEndian.PutUint64(head[hdrSeq:], seq)
+	binary.LittleEndian.PutUint64(head[hdrLen:], uint64(buf.Len()))
+	binary.LittleEndian.PutUint64(head[hdrCRC:], uint64(crc32.ChecksumIEEE(buf.Bytes())))
+	if err := sys.M.PM.WriteAt(slotBase, head); err != nil {
+		return fmt.Errorf("spacejmp: committing checkpoint header: %w", err)
+	}
+	return nil
 }
 
-// Restore rebuilds the registries from the NVM superblock into this
-// (freshly booted) System. It must be called before any VASes or global
-// segments are created, so restored IDs cannot collide.
+// Restore rebuilds the registries from the newest valid checkpoint
+// generation in the NVM superblock into this (freshly booted) System. It
+// must be called before any VASes or global segments are created, so
+// restored IDs cannot collide.
+//
+// It returns ErrNoCheckpoint when the superblock has never held a committed
+// image (fresh NVM) and ErrCorruptCheckpoint when headers are present but no
+// generation validates — callers can reformat in the first case and must
+// not silently discard data in the second.
 func (sys *System) Restore() error {
 	sbBase, sbSize := sys.M.PM.Superblock()
 	if sbSize == 0 {
 		return fmt.Errorf("spacejmp: machine has no NVM superblock")
 	}
-	head := make([]byte, 16)
-	if err := sys.M.PM.ReadAt(sbBase, head); err != nil {
+	gens, err := sys.generations(sbBase, sbSize)
+	if err != nil {
 		return err
 	}
-	if binary.LittleEndian.Uint64(head) != checkpointMagic {
-		return fmt.Errorf("spacejmp: no checkpoint in superblock")
+	best, ok := newestValid(gens)
+	if !ok {
+		for _, g := range gens {
+			if g.magic {
+				return fmt.Errorf("%w: headers present but no generation validates", ErrCorruptCheckpoint)
+			}
+		}
+		return ErrNoCheckpoint
 	}
-	length := binary.LittleEndian.Uint64(head[8:])
-	if length+16 > sbSize {
-		return fmt.Errorf("spacejmp: corrupt checkpoint length %d", length)
-	}
-	data := make([]byte, length)
-	if err := sys.M.PM.ReadAt(sbBase+16, data); err != nil {
+	data := make([]byte, best.size)
+	if err := sys.M.PM.ReadAt(best.base+hdrSize, data); err != nil {
 		return err
 	}
 	var img persistImage
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
-		return fmt.Errorf("spacejmp: decoding checkpoint: %w", err)
+		return fmt.Errorf("%w: decoding generation %d: %v", ErrCorruptCheckpoint, best.seq, err)
 	}
 
 	sys.mu.Lock()
@@ -165,7 +308,7 @@ func (sys *System) Restore() error {
 		for _, m := range pv.Segs {
 			seg, ok := segByID[m.Seg]
 			if !ok {
-				return fmt.Errorf("spacejmp: checkpoint references missing segment %d", m.Seg)
+				return fmt.Errorf("%w: generation %d references missing segment %d", ErrCorruptCheckpoint, best.seq, m.Seg)
 			}
 			v.segs = append(v.segs, SegMapping{Seg: seg, Perm: m.Perm})
 		}

@@ -1,10 +1,12 @@
 package core
 
 import (
-	"strings"
+	"errors"
+	"fmt"
 	"testing"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/tlb"
@@ -159,8 +161,8 @@ func TestDRAMSegmentsNotPersisted(t *testing.T) {
 func TestRestoreGuards(t *testing.T) {
 	m := persistentMachine()
 	sys := NewSystem(m, testPersonality{})
-	// No checkpoint written yet.
-	if err := sys.Restore(); err == nil || !strings.Contains(err.Error(), "no checkpoint") {
+	// No checkpoint written yet: the typed error lets callers reformat.
+	if err := sys.Restore(); !errors.Is(err, ErrNoCheckpoint) {
 		t.Errorf("restore without checkpoint: %v", err)
 	}
 	// A machine without a superblock cannot checkpoint.
@@ -206,5 +208,115 @@ func TestCheckpointIsIdempotentAndUpdatable(t *testing.T) {
 	_, th2 := spawn(t, sys2)
 	if _, err := th2.VASFind("v2"); err != nil {
 		t.Errorf("second checkpoint not effective: %v", err)
+	}
+}
+
+// checkpointWithVAS creates a system on m with one NVM-backed VAS named
+// name and checkpoints it.
+func checkpointWithVAS(t *testing.T, m *hw.Machine, name string) *System {
+	t.Helper()
+	sys := NewSystem(m, testPersonality{})
+	sys.SetSegmentTier(mem.TierNVM)
+	_, th := spawn(t, sys)
+	if _, err := th.VASCreate(name, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// tornCheckpoint arms the torn-NVM-write point on the nth WriteAt of the
+// next Checkpoint (1 = payload, 2 = commit header), runs a second
+// checkpoint containing VAS "gen2", and verifies that after the implied
+// power loss Restore boots the previous generation.
+func tornCheckpoint(t *testing.T, nth uint64) {
+	t.Helper()
+	m := persistentMachine()
+	reg := fault.New(7)
+	m.SetFaults(reg)
+	sys := checkpointWithVAS(t, m, "gen1")
+
+	_, th := spawn(t, sys)
+	if _, err := th.VASCreate("gen2", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	reg.Enable(fault.MemWriteTorn, fault.OnNth(nth))
+	err := sys.Checkpoint()
+	reg.Disable(fault.MemWriteTorn)
+	if !errors.Is(err, mem.ErrTornWrite) {
+		t.Fatalf("torn checkpoint returned %v, want ErrTornWrite", err)
+	}
+
+	// Power cut at the torn write: DRAM gone, NVM holds a half-written
+	// generation plus the intact previous one.
+	m.PM.PowerCycle()
+	sys2 := NewSystem(m, testPersonality{})
+	if err := sys2.Restore(); err != nil {
+		t.Fatalf("restore after torn write: %v", err)
+	}
+	_, th2 := spawn(t, sys2)
+	if _, err := th2.VASFind("gen1"); err != nil {
+		t.Errorf("previous generation lost: %v", err)
+	}
+	if _, err := th2.VASFind("gen2"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("half-committed generation visible: %v", err)
+	}
+}
+
+func TestTornPayloadWriteKeepsPreviousGeneration(t *testing.T) { tornCheckpoint(t, 1) }
+func TestTornHeaderWriteKeepsPreviousGeneration(t *testing.T)  { tornCheckpoint(t, 2) }
+
+func TestCheckpointAlternatesSlotsUnderRepeatedTearing(t *testing.T) {
+	// Generations ping-pong between the two slots: tearing checkpoint N
+	// never threatens checkpoint N-1, round after round.
+	m := persistentMachine()
+	reg := fault.New(3)
+	m.SetFaults(reg)
+	sys := checkpointWithVAS(t, m, "round0")
+	_, th := spawn(t, sys)
+	for round := 1; round <= 4; round++ {
+		name := fmt.Sprintf("round%d", round)
+		if _, err := th.VASCreate(name, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		reg.Enable(fault.MemWriteTorn, fault.OnNth(uint64(1+round%2)))
+		if err := sys.Checkpoint(); !errors.Is(err, mem.ErrTornWrite) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		reg.Disable(fault.MemWriteTorn)
+		if err := sys.Checkpoint(); err != nil { // retry succeeds
+			t.Fatalf("round %d retry: %v", round, err)
+		}
+	}
+	m.PM.PowerCycle()
+	sys2 := NewSystem(m, testPersonality{})
+	if err := sys2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	_, th2 := spawn(t, sys2)
+	if _, err := th2.VASFind("round4"); err != nil {
+		t.Errorf("newest retried generation not restored: %v", err)
+	}
+}
+
+func TestRestoreCorruptCheckpoint(t *testing.T) {
+	m := persistentMachine()
+	sys := checkpointWithVAS(t, m, "v")
+	_ = sys
+	// Scribble over the committed payload: the header still carries the
+	// magic, so this is damage, not fresh NVM.
+	sbBase, sbSize := m.PM.Superblock()
+	for i := 0; i < 2; i++ {
+		slotBase := sbBase + arch.PhysAddr(uint64(i)*(sbSize/2))
+		if err := m.PM.WriteAt(slotBase+40, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.PM.PowerCycle()
+	sys2 := NewSystem(m, testPersonality{})
+	if err := sys2.Restore(); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("restore of scribbled checkpoint: %v", err)
 	}
 }

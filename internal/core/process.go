@@ -90,6 +90,9 @@ func (p *Process) Attachments() []Handle {
 // NewThread creates a thread bound to a free core, starting in the primary
 // address space.
 func (p *Process) NewThread() (*Thread, error) {
+	if p.Dead() {
+		return nil, fmt.Errorf("%w: pid %d", ErrProcessDead, p.PID)
+	}
 	core, err := p.sys.claimCore()
 	if err != nil {
 		return nil, err
@@ -98,40 +101,72 @@ func (p *Process) NewThread() (*Thread, error) {
 	core.LoadCR3(p.primary.Table(), p.primaryTag)
 	core.OnFault = p.primary.Handler()
 	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		p.sys.releaseCore(core)
+		return nil, fmt.Errorf("%w: pid %d", ErrProcessDead, p.PID)
+	}
 	p.threads = append(p.threads, t)
 	p.mu.Unlock()
 	return t, nil
 }
 
-// Exit tears the process down: threads leave their VASes (releasing segment
-// locks), attachments are destroyed, and private segments are freed. VASes
-// and global segments survive — they are first-class and independent of the
-// process (§3.2).
+// Dead reports whether the process has exited or crashed.
+func (p *Process) Dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// Exit tears the process down cleanly: threads leave their VASes (releasing
+// segment locks through the ordinary switch path), then the kernel reaper
+// reclaims cores, attachments, and private segments. VASes and global
+// segments survive — they are first-class and independent of the process
+// (§3.2). Exit on a dead process is a no-op.
 func (p *Process) Exit() {
 	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
 	threads := append([]*Thread(nil), p.threads...)
 	p.mu.Unlock()
 	for _, t := range threads {
 		if t.cur != nil {
 			_ = t.Switch(PrimaryHandle)
 		}
-		p.sys.releaseCore(t.Core)
 	}
+	p.terminate()
+}
+
+// Crash models abrupt process death — a kill mid-syscall, a panic while
+// switched into a VAS. No polite lock release happens: the process dies
+// holding whatever segment locks its threads took, and the kernel reaper
+// (System.reap) forcibly releases them, wakes blocked acquirers, and
+// reclaims every frame the process owned. Crash on a dead process is a
+// no-op.
+func (p *Process) Crash() {
+	p.terminate()
+}
+
+// terminate marks the process dead exactly once and hands its remains to
+// the reaper.
+func (p *Process) terminate() {
 	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	threads := p.threads
+	p.threads = nil
 	atts := make([]*Attachment, 0, len(p.atts))
 	for _, a := range p.atts {
 		atts = append(atts, a)
 	}
 	p.atts = map[Handle]*Attachment{}
-	p.dead = true
 	p.mu.Unlock()
-	for _, a := range atts {
-		a.destroy()
-	}
-	p.primary.Destroy()
-	for _, m := range p.priv {
-		m.Seg.destroy()
-	}
+	p.sys.reap(p, threads, atts)
 }
 
 // destroy unmaps and releases an attachment's vmspace.

@@ -23,7 +23,10 @@ import (
 // VAS instead (VASSnapshot freezes the original's segments by cloning and
 // swapping).
 func (t *Thread) SegCloneCOW(sid SegID, newName string) (SegID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	src, err := sys.seg(sid)
 	if err != nil {
 		return 0, err
@@ -65,7 +68,10 @@ func (t *Thread) SegCloneCOW(sid SegID, newName string) (SegID, error) {
 // is required — the RedisJMP pattern of taking snapshots while holding the
 // exclusive lock does exactly that.
 func (t *Thread) VASSnapshot(vid VASID, snapName string) (VASID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	src, err := sys.vas(vid)
 	if err != nil {
 		return 0, err

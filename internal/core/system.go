@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/vm"
@@ -230,15 +231,36 @@ func (sys *System) buildSpace(p *Process, a *Attachment) (*vm.Space, error) {
 
 // --- The VAS API (Figure 3), charged to the calling thread's core. ---
 
-func (t *Thread) enter() *System {
+// gate is the syscall-boundary check every API entry makes after paying the
+// entry cost: a dead process cannot make syscalls, and an armed
+// fault.CoreSyscallCrash point kills the process right here — after entry,
+// before the operation — leaving locks held and attachments live for the
+// reaper to clean up.
+func (t *Thread) gate(sys *System) error {
+	if t.Proc.Dead() {
+		return fmt.Errorf("%w: pid %d", ErrProcessDead, t.Proc.PID)
+	}
+	if sys.M.Faults.Fire(fault.CoreSyscallCrash) {
+		t.Proc.Crash()
+		return fmt.Errorf("%w: pid %d crashed at syscall entry (injected)", ErrProcessDead, t.Proc.PID)
+	}
+	return nil
+}
+
+// enter charges the personality's control-path cost and runs the syscall
+// gate.
+func (t *Thread) enter() (*System, error) {
 	sys := t.Proc.sys
 	t.Core.AddCycles(sys.P.ControlCycles())
-	return sys
+	return sys, t.gate(sys)
 }
 
 // VASCreate creates a named first-class address space (vas_create).
 func (t *Thread) VASCreate(name string, mode uint16) (VASID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	if _, dup := sys.vasByName[name]; dup {
@@ -254,7 +276,10 @@ func (t *Thread) VASCreate(name string, mode uint16) (VASID, error) {
 
 // VASFind looks up a VAS by name (vas_find).
 func (t *Thread) VASFind(name string) (VASID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	v, ok := sys.vasByName[name]
@@ -293,7 +318,10 @@ func (sys *System) SegByID(id SegID) (*Segment, error) { return sys.seg(id) }
 // VASAttach attaches the calling process to a VAS, building the
 // process-private vmspace instance (vas_attach).
 func (t *Thread) VASAttach(vid VASID) (Handle, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	v, err := sys.vas(vid)
 	if err != nil {
 		return 0, err
@@ -317,8 +345,9 @@ func (t *Thread) VASAttach(vid VASID) (Handle, error) {
 
 // VASDetach drops an attachment (vas_detach). The VAS itself survives.
 func (t *Thread) VASDetach(h Handle) error {
-	sys := t.enter()
-	_ = sys
+	if _, err := t.enter(); err != nil {
+		return err
+	}
 	if h == PrimaryHandle {
 		return fmt.Errorf("%w: cannot detach the primary address space", ErrDenied)
 	}
@@ -341,8 +370,13 @@ func (t *Thread) VASDetach(h Handle) error {
 	return nil
 }
 
-// VASSwitch is the thread-level switch entry point (vas_switch).
+// VASSwitch is the thread-level switch entry point (vas_switch). Like every
+// syscall it passes the crash gate: an injected crash here dies while the
+// thread still holds the locks of the space it is leaving.
 func (t *Thread) VASSwitch(h Handle) error {
+	if err := t.gate(t.Proc.sys); err != nil {
+		return err
+	}
 	t.Proc.sys.countSwitch()
 	return t.Switch(h)
 }
@@ -351,7 +385,10 @@ func (t *Thread) VASSwitch(h Handle) error {
 // with VASCtl it implements permission-changed views and snapshots
 // (vas_clone).
 func (t *Thread) VASClone(vid VASID, newName string) (VASID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	src, err := sys.vas(vid)
 	if err != nil {
 		return 0, err
@@ -376,7 +413,10 @@ func (t *Thread) VASClone(vid VASID, newName string) (VASID, error) {
 
 // VASCtl manipulates VAS metadata (vas_ctl).
 func (t *Thread) VASCtl(cmd CtlCmd, vid VASID, arg any) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -415,7 +455,10 @@ func (t *Thread) VASCtl(cmd CtlCmd, vid VASID, arg any) error {
 // survive (they are independently named objects). This is the reclamation
 // path the paper leaves to vas_ctl.
 func (t *Thread) VASDestroy(vid VASID) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -447,7 +490,10 @@ func (t *Thread) SegAlloc(name string, base arch.VirtAddr, size uint64, perm arc
 // translations: three-level walks and far larger TLB reach, the trade-off
 // discussed in the paper's related work (§6, large pages).
 func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, perm arch.Perm, pageSize uint64) (SegID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	if pageSize != arch.PageSize && pageSize != arch.HugePageSize {
 		return 0, fmt.Errorf("%w: segment %q: unsupported page size %d", ErrLayout, name, pageSize)
 	}
@@ -478,7 +524,10 @@ func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, per
 
 // SegFind looks a segment up by name (seg_find).
 func (t *Thread) SegFind(name string) (SegID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	s, ok := sys.segByName[name]
@@ -492,7 +541,10 @@ func (t *Thread) SegFind(name string) (SegID, error) {
 // the given mapping permissions (seg_attach with a vid). The mapping
 // permissions may not exceed the segment's own.
 func (t *Thread) SegAttachVAS(vid VASID, sid SegID, mapPerm arch.Perm) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -531,7 +583,10 @@ func (t *Thread) SegAttachVAS(vid VASID, sid SegID, mapPerm arch.Perm) error {
 // SegAttachLocal maps a segment into only the calling process's attachment
 // (seg_attach with a vh) — process-specific installation.
 func (t *Thread) SegAttachLocal(h Handle, sid SegID, mapPerm arch.Perm) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err
@@ -556,7 +611,10 @@ func (t *Thread) SegAttachLocal(h Handle, sid SegID, mapPerm arch.Perm) error {
 // SegDetachVAS removes a segment from a VAS and from every attachment
 // (seg_detach with a vid).
 func (t *Thread) SegDetachVAS(vid VASID, sid SegID) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -579,7 +637,10 @@ func (t *Thread) SegDetachVAS(vid VASID, sid SegID) error {
 // SegDetachLocal unmaps a segment from the calling process's attachment
 // (seg_detach with a vh).
 func (t *Thread) SegDetachLocal(h Handle, sid SegID) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err
@@ -598,7 +659,10 @@ func (t *Thread) SegDetachLocal(h Handle, sid SegID) error {
 // name at the same base address (seg_clone). Cloning plus SegCtl implements
 // permission-changed copies (§3.2).
 func (t *Thread) SegClone(sid SegID, newName string) (SegID, error) {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return 0, err
+	}
 	src, err := sys.seg(sid)
 	if err != nil {
 		return 0, err
@@ -649,7 +713,10 @@ func (t *Thread) SegClone(sid SegID, newName string) (SegID, error) {
 
 // SegCtl manipulates segment metadata (seg_ctl).
 func (t *Thread) SegCtl(sid SegID, cmd CtlCmd, arg any) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err
@@ -681,7 +748,10 @@ func (t *Thread) SegCtl(sid SegID, cmd CtlCmd, arg any) error {
 
 // SegFree removes an unmapped global segment and releases its memory.
 func (t *Thread) SegFree(sid SegID) error {
-	sys := t.enter()
+	sys, err := t.enter()
+	if err != nil {
+		return err
+	}
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err

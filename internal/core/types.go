@@ -42,6 +42,10 @@ var (
 	ErrDenied   = errors.New("spacejmp: access denied")
 	ErrBusy     = errors.New("spacejmp: object busy")
 	ErrLayout   = errors.New("spacejmp: address layout violation")
+	// ErrProcessDead reports a syscall made by (or an injected crash of) a
+	// process that has exited or crashed; the kernel reaper has already
+	// reclaimed its cores, locks, and memory.
+	ErrProcessDead = errors.New("spacejmp: process dead")
 )
 
 // Conventional process layout. Process-private segments (text, globals,

@@ -111,10 +111,10 @@ func Fig1(maxPow int) ([]Fig1Point, error) {
 			return nil, err
 		}
 		target.Destroy()
-		proc.Exit()
 		if err := th.SegFree(sid); err != nil {
 			return nil, err
 		}
+		proc.Exit()
 		space.Destroy()
 		out = append(out, pt_)
 	}

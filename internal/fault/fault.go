@@ -1,0 +1,200 @@
+// Package fault is a deterministic, seedable fault-injection registry for
+// the simulated machine. Components declare named injection points (frame
+// allocation, NVM writes, syscall entry, message transport) and consult the
+// registry on every pass through them; tests enable a point with a trigger
+// policy — fire on the Nth hit, fire with a seeded probability, fire always —
+// and the component turns the firing into its layer's failure mode: a failed
+// allocation, a torn write, an abrupt process death, a lost message.
+//
+// Registries are per-test-scoped by construction: each Registry is an
+// independent value, so one test's faults can never leak into another's.
+// Determinism is per-point: every enabled point draws from its own RNG seeded
+// from the registry seed and the point name, so the firing pattern of one
+// point does not depend on how many times other points were hit.
+//
+// All methods are safe on a nil *Registry (they report "no fault"), so
+// components can hold an optional registry and consult it unconditionally.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Well-known injection point names. Components define the failure semantics;
+// the registry only decides *when* a pass through the point fails.
+const (
+	// MemAlloc fails a physical frame allocation in mem.PhysMem.AllocFrames
+	// with an out-of-memory error.
+	MemAlloc = "mem.alloc"
+	// MemWriteTorn tears a mem.PhysMem.WriteAt in half: only a prefix of
+	// the buffer reaches memory before the simulated power cut. This is how
+	// a checkpoint write is interrupted mid-flight.
+	MemWriteTorn = "mem.write.torn"
+	// CoreSyscallCrash kills the calling process abruptly at syscall entry:
+	// no lock release, no detach — the kernel reaper has to clean up.
+	CoreSyscallCrash = "core.syscall.crash"
+	// URPCDrop loses a urpc channel message in transit: the sender is
+	// charged for the send but the message never arrives.
+	URPCDrop = "urpc.drop"
+	// URPCDelay charges the receiving core extra cycles on a delivery,
+	// modelling a delayed cache-line transfer.
+	URPCDelay = "urpc.delay"
+)
+
+// A Policy decides whether the hit'th pass (1-based) through a point fires.
+// rng is the point's private deterministic source.
+type Policy func(hit uint64, rng *rand.Rand) bool
+
+// OnNth fires exactly on the nth hit (1-based) and never again.
+func OnNth(n uint64) Policy {
+	return func(hit uint64, _ *rand.Rand) bool { return hit == n }
+}
+
+// FromNth fires on the nth hit and on every hit after it.
+func FromNth(n uint64) Policy {
+	return func(hit uint64, _ *rand.Rand) bool { return hit >= n }
+}
+
+// Always fires on every hit.
+func Always() Policy {
+	return func(uint64, *rand.Rand) bool { return true }
+}
+
+// Probability fires each hit independently with probability p, drawn from
+// the point's seeded RNG — the same registry seed replays the same pattern.
+func Probability(p float64) Policy {
+	return func(_ uint64, rng *rand.Rand) bool { return rng.Float64() < p }
+}
+
+// point is one enabled injection point.
+type point struct {
+	policy Policy
+	rng    *rand.Rand
+	hits   uint64
+	fired  uint64
+}
+
+// Registry holds the enabled injection points of one test scope.
+type Registry struct {
+	mu     sync.Mutex
+	seed   int64
+	points map[string]*point
+}
+
+// New creates a registry. The seed determines every probabilistic policy's
+// firing pattern.
+func New(seed int64) *Registry {
+	return &Registry{seed: seed, points: map[string]*point{}}
+}
+
+// pointSeed mixes the registry seed with the point name, giving each point
+// an independent deterministic stream.
+func pointSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// Enable arms a point with a policy, resetting its hit and fired counters.
+func (r *Registry) Enable(name string, p Policy) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points[name] = &point{policy: p, rng: rand.New(rand.NewSource(pointSeed(r.seed, name)))}
+}
+
+// Disable disarms a point. Its counters are discarded.
+func (r *Registry) Disable(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.points, name)
+}
+
+// Reset disarms every point — the per-test cleanup when a registry is shared
+// across subtests.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points = map[string]*point{}
+}
+
+// Fire records one pass through the named point and reports whether the
+// fault fires. Unarmed points (and nil registries) never fire.
+func (r *Registry) Fire(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pt, ok := r.points[name]
+	if !ok {
+		return false
+	}
+	pt.hits++
+	if pt.policy(pt.hits, pt.rng) {
+		pt.fired++
+		return true
+	}
+	return false
+}
+
+// Hits returns how many times the named point was passed while armed.
+func (r *Registry) Hits(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pt, ok := r.points[name]; ok {
+		return pt.hits
+	}
+	return 0
+}
+
+// Fired returns how many of those passes fired the fault.
+func (r *Registry) Fired(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pt, ok := r.points[name]; ok {
+		return pt.fired
+	}
+	return 0
+}
+
+// String summarizes the armed points, for test failure messages.
+func (r *Registry) String() string {
+	if r == nil {
+		return "fault.Registry(nil)"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.points))
+	for n := range r.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := "fault.Registry{"
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		pt := r.points[n]
+		s += fmt.Sprintf("%s: %d/%d", n, pt.fired, pt.hits)
+	}
+	return s + "}"
+}

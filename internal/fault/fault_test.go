@@ -1,0 +1,137 @@
+package fault
+
+import "testing"
+
+func TestNilRegistryNeverFires(t *testing.T) {
+	var r *Registry
+	r.Enable(MemAlloc, Always()) // must not panic
+	if r.Fire(MemAlloc) {
+		t.Error("nil registry fired")
+	}
+	if r.Hits(MemAlloc) != 0 || r.Fired(MemAlloc) != 0 {
+		t.Error("nil registry counted")
+	}
+	r.Disable(MemAlloc)
+	r.Reset()
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Fire(MemAlloc) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if r.Hits(MemAlloc) != 0 {
+		t.Error("unarmed point counted hits")
+	}
+}
+
+func TestOnNthFiresExactlyOnce(t *testing.T) {
+	r := New(1)
+	r.Enable(MemAlloc, OnNth(3))
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if r.Fire(MemAlloc) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Errorf("OnNth(3) fired at %v", fired)
+	}
+	if r.Hits(MemAlloc) != 10 || r.Fired(MemAlloc) != 1 {
+		t.Errorf("counters = %d hits, %d fired", r.Hits(MemAlloc), r.Fired(MemAlloc))
+	}
+}
+
+func TestFromNthFiresFromThenOn(t *testing.T) {
+	r := New(1)
+	r.Enable(URPCDrop, FromNth(4))
+	for i := 1; i <= 6; i++ {
+		want := i >= 4
+		if got := r.Fire(URPCDrop); got != want {
+			t.Errorf("hit %d: fired = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestProbabilityIsDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		r := New(seed)
+		r.Enable(URPCDrop, Probability(0.5))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Fire(URPCDrop)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-hit patterns")
+	}
+}
+
+func TestPointStreamsAreIndependent(t *testing.T) {
+	// The firing pattern of one point must not shift when another point is
+	// hit in between — each point has its own seeded stream.
+	solo := New(3)
+	solo.Enable(URPCDrop, Probability(0.5))
+	var a []bool
+	for i := 0; i < 32; i++ {
+		a = append(a, solo.Fire(URPCDrop))
+	}
+
+	mixed := New(3)
+	mixed.Enable(URPCDrop, Probability(0.5))
+	mixed.Enable(MemAlloc, Probability(0.5))
+	var b []bool
+	for i := 0; i < 32; i++ {
+		mixed.Fire(MemAlloc) // interleaved traffic on another point
+		b = append(b, mixed.Fire(URPCDrop))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving another point shifted the pattern at hit %d", i)
+		}
+	}
+}
+
+func TestEnableResetsCounters(t *testing.T) {
+	r := New(1)
+	r.Enable(MemAlloc, Always())
+	r.Fire(MemAlloc)
+	r.Enable(MemAlloc, OnNth(1))
+	if r.Hits(MemAlloc) != 0 {
+		t.Error("re-Enable kept stale hit count")
+	}
+	if !r.Fire(MemAlloc) {
+		t.Error("re-armed OnNth(1) did not fire on first hit")
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	r := New(1)
+	r.Enable(MemAlloc, Always())
+	r.Enable(URPCDrop, Always())
+	r.Disable(MemAlloc)
+	if r.Fire(MemAlloc) {
+		t.Error("disabled point fired")
+	}
+	r.Reset()
+	if r.Fire(URPCDrop) {
+		t.Error("reset registry fired")
+	}
+}

@@ -1,12 +1,15 @@
 package gups
 
 import (
+	"errors"
 	"testing"
 
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/tlb"
+	"spacejmp/internal/urpc"
 )
 
 // gupsMachine has enough cores for MP with several windows and enough
@@ -165,5 +168,42 @@ func TestRepeatedRunsOnOneSystem(t *testing.T) {
 func TestMPNeedsEnoughCores(t *testing.T) {
 	if _, err := RunMP(gupsMachine(), smallCfg(100)); err == nil {
 		t.Error("MP with more windows than cores accepted")
+	}
+}
+
+func TestMPSurvivesMessageDrops(t *testing.T) {
+	// The MP design on a lossy transport: the urpc retry/dedup protocol
+	// absorbs dropped requests and responses, so the run completes with the
+	// full update count — just slower than the loss-free run.
+	cfg := smallCfg(3)
+	clean, err := RunMP(gupsMachine(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := gupsMachine()
+	reg := fault.New(cfg.Seed)
+	m.SetFaults(reg)
+	reg.Enable(fault.URPCDrop, fault.Probability(0.2))
+	lossy, err := RunMP(m, cfg)
+	if err != nil {
+		t.Fatalf("MP under 20%% drops: %v", err)
+	}
+	if lossy.Updates != clean.Updates {
+		t.Errorf("lossy run applied %d updates, clean %d", lossy.Updates, clean.Updates)
+	}
+	if lossy.Cycles <= clean.Cycles {
+		t.Errorf("lossy run (%d cycles) not slower than clean (%d): retries unbilled?",
+			lossy.Cycles, clean.Cycles)
+	}
+}
+
+func TestMPFailsCleanlyWhenChannelDead(t *testing.T) {
+	cfg := smallCfg(2)
+	m := gupsMachine()
+	reg := fault.New(1)
+	m.SetFaults(reg)
+	reg.Enable(fault.URPCDrop, fault.Always())
+	if _, err := RunMP(m, cfg); !errors.Is(err, urpc.ErrTimeout) {
+		t.Errorf("MP on dead channel: %v, want urpc.ErrTimeout", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/pt"
 	"spacejmp/internal/tlb"
@@ -96,6 +97,18 @@ type Machine struct {
 	Cfg   MachineConfig
 	PM    *mem.PhysMem
 	Cores []*Core
+
+	// Faults is the machine-wide fault-injection registry (nil when fault
+	// injection is off). Install it with SetFaults so physical memory and
+	// everything built on the machine share one scope.
+	Faults *fault.Registry
+}
+
+// SetFaults installs a fault-injection registry on the machine and its
+// physical memory. Pass nil to disable injection.
+func (m *Machine) SetFaults(r *fault.Registry) {
+	m.Faults = r
+	m.PM.SetFaults(r)
 }
 
 // NewMachine boots a machine: physical memory plus one Core per hardware

@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // buddy is a classic binary buddy allocator over frame numbers. Order 0 is a
 // single 4 KiB frame; order k is a naturally aligned run of 2^k frames.
@@ -91,6 +94,49 @@ func (b *buddy) free(pfn uint64, order int) error {
 		k++
 	}
 	b.freeLists[k][blk] = struct{}{}
+	return nil
+}
+
+// check verifies the allocator's structural invariants: every free-list and
+// allocated block is naturally aligned and in range, blocks do not overlap,
+// free+allocated blocks tile the tier exactly, and freeFrames matches the
+// free lists.
+func (b *buddy) check() error {
+	type blk struct {
+		start uint64
+		size  uint64
+	}
+	var blocks []blk
+	var free uint64
+	for k, list := range b.freeLists {
+		for start := range list {
+			if start&(1<<k-1) != 0 {
+				return fmt.Errorf("buddy: free order-%d block at %d misaligned", k, start)
+			}
+			blocks = append(blocks, blk{start, 1 << k})
+			free += 1 << k
+		}
+	}
+	if free != b.freeFrames {
+		return fmt.Errorf("buddy: freeFrames %d, free lists hold %d", b.freeFrames, free)
+	}
+	for start, order := range b.allocated {
+		if start&(1<<order-1) != 0 {
+			return fmt.Errorf("buddy: allocated order-%d block at %d misaligned", order, start)
+		}
+		blocks = append(blocks, blk{start, 1 << order})
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].start < blocks[j].start })
+	next := uint64(0)
+	for _, bl := range blocks {
+		if bl.start != next {
+			return fmt.Errorf("buddy: gap or overlap at frame %d (expected %d)", bl.start, next)
+		}
+		next = bl.start + bl.size
+	}
+	if next != b.frames {
+		return fmt.Errorf("buddy: blocks cover %d of %d frames", next, b.frames)
+	}
 	return nil
 }
 

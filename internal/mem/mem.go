@@ -10,11 +10,18 @@ package mem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
 )
+
+// ErrTornWrite reports a write that was cut short mid-flight by an injected
+// power loss (fault.MemWriteTorn): a prefix of the buffer reached memory,
+// the rest did not. Recovery code must treat the destination as suspect.
+var ErrTornWrite = errors.New("mem: torn write (simulated power loss)")
 
 // Tier identifies the class of physical memory a frame lives in.
 type Tier int
@@ -71,8 +78,18 @@ type PhysMem struct {
 	tiers [numTiers]*buddy
 	cfg   Config
 
-	pages map[uint64]*[arch.PageSize]byte // PFN -> content, lazy
-	stats Stats
+	pages  map[uint64]*[arch.PageSize]byte // PFN -> content, lazy
+	stats  Stats
+	faults *fault.Registry
+}
+
+// SetFaults installs a fault-injection registry. The memory consults it at
+// frame allocation (fault.MemAlloc) and on writes (fault.MemWriteTorn). A
+// nil registry disables injection.
+func (pm *PhysMem) SetFaults(r *fault.Registry) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.faults = r
 }
 
 // New creates a physical memory with the given tier sizes. Sizes are rounded
@@ -125,6 +142,10 @@ func (pm *PhysMem) AllocFrames(order int, tier Tier) (arch.PhysAddr, error) {
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	if pm.faults.Fire(fault.MemAlloc) {
+		pm.stats.FailedAllocs++
+		return 0, fmt.Errorf("mem: out of %v memory (order %d, injected)", tier, order)
+	}
 	pfn, ok := pm.tiers[tier].alloc(order)
 	if !ok {
 		pm.stats.FailedAllocs++
@@ -193,13 +214,20 @@ func (pm *PhysMem) ReadAt(pa arch.PhysAddr, buf []byte) error {
 	return nil
 }
 
-// WriteAt copies buf into physical memory starting at pa.
+// WriteAt copies buf into physical memory starting at pa. Under an armed
+// fault.MemWriteTorn point the write may be torn: only the first half of buf
+// lands and ErrTornWrite is returned, as if power failed mid-write.
 func (pm *PhysMem) WriteAt(pa arch.PhysAddr, buf []byte) error {
 	if uint64(pa)+uint64(len(buf)) > pm.Size() {
 		return fmt.Errorf("mem: write [%v,+%d) out of range", pa, len(buf))
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	var torn error
+	if pm.faults.Fire(fault.MemWriteTorn) {
+		buf = buf[:len(buf)/2]
+		torn = fmt.Errorf("%w: [%v,+%d)", ErrTornWrite, pa, len(buf))
+	}
 	off := uint64(pa)
 	for len(buf) > 0 {
 		pfn, po := off/arch.PageSize, off%arch.PageSize
@@ -207,7 +235,7 @@ func (pm *PhysMem) WriteAt(pa arch.PhysAddr, buf []byte) error {
 		buf = buf[n:]
 		off += uint64(n)
 	}
-	return nil
+	return torn
 }
 
 // Load64 reads a little-endian uint64 at pa, which must be 8-byte aligned.
@@ -292,4 +320,47 @@ func (pm *PhysMem) FreeBytes(tier Tier) uint64 {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	return pm.tiers[tier].freeFrames * arch.PageSize
+}
+
+// AllocatedBytes returns the bytes currently allocated across all tiers —
+// the number a leak check compares before and after a process lifetime.
+func (pm *PhysMem) AllocatedBytes() uint64 {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.stats.AllocatedBytes
+}
+
+// CheckLeaks verifies the allocator invariants and that exactly want bytes
+// are allocated. It is the post-crash assertion that the reaper returned
+// every frame a dead process held.
+func (pm *PhysMem) CheckLeaks(want uint64) error {
+	if err := pm.VerifyInvariants(); err != nil {
+		return err
+	}
+	if got := pm.AllocatedBytes(); got != want {
+		return fmt.Errorf("mem: %d bytes allocated, want %d (leaked %d)", got, want, int64(got)-int64(want))
+	}
+	return nil
+}
+
+// VerifyInvariants checks the buddy allocators' internal consistency: free
+// and allocated blocks tile each tier exactly with no overlap, free lists
+// hold only aligned in-range blocks, and the byte accounting matches the
+// allocators' view. It is O(live+free blocks) and intended for tests.
+func (pm *PhysMem) VerifyInvariants() error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	var allocated uint64
+	for t := Tier(0); t < numTiers; t++ {
+		b := pm.tiers[t]
+		if err := b.check(); err != nil {
+			return fmt.Errorf("mem: %v tier: %w", t, err)
+		}
+		allocated += (b.frames - b.freeFrames) * arch.PageSize
+	}
+	if allocated != pm.stats.AllocatedBytes {
+		return fmt.Errorf("mem: stats say %d bytes allocated, allocators say %d",
+			pm.stats.AllocatedBytes, allocated)
+	}
+	return nil
 }

@@ -1,11 +1,13 @@
 package mem
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
 )
 
 func testPM() *PhysMem {
@@ -308,5 +310,124 @@ func TestPropertyNoOverlap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestInjectedAllocFailure(t *testing.T) {
+	pm := testPM()
+	reg := fault.New(1)
+	pm.SetFaults(reg)
+	reg.Enable(fault.MemAlloc, fault.OnNth(2))
+	if _, err := pm.AllocPage(); err != nil {
+		t.Fatalf("first alloc (not yet armed hit): %v", err)
+	}
+	if _, err := pm.AllocPage(); err == nil {
+		t.Fatal("second alloc survived injection")
+	}
+	if got := pm.Stats().FailedAllocs; got != 1 {
+		t.Errorf("FailedAllocs = %d, want 1", got)
+	}
+	// The point fires once; allocation recovers and invariants hold.
+	pa, err := pm.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.VerifyInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Free(pa, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornWriteWritesPrefixOnly(t *testing.T) {
+	pm := testPM()
+	reg := fault.New(1)
+	pm.SetFaults(reg)
+	pa, err := pm.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, 64)
+	for i := range full {
+		full[i] = 0xAB
+	}
+	reg.Enable(fault.MemWriteTorn, fault.OnNth(1))
+	if err := pm.WriteAt(pa, full); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn write returned %v, want ErrTornWrite", err)
+	}
+	got := make([]byte, 64)
+	if err := pm.ReadAt(pa, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0)
+		if i < 32 {
+			want = 0xAB
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x (half-write semantics)", i, b, want)
+		}
+	}
+}
+
+func TestCheckLeaksCatchesLeak(t *testing.T) {
+	pm := testPM()
+	if err := pm.CheckLeaks(0); err != nil {
+		t.Fatalf("fresh allocator reported leak: %v", err)
+	}
+	pa, err := pm.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.CheckLeaks(0); err == nil {
+		t.Error("outstanding page not reported as leak")
+	}
+	if err := pm.CheckLeaks(arch.PageSize); err != nil {
+		t.Errorf("exact accounting rejected: %v", err)
+	}
+	if err := pm.Free(pa, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.CheckLeaks(0); err != nil {
+		t.Errorf("after free: %v", err)
+	}
+}
+
+func TestVerifyInvariantsUnderChurn(t *testing.T) {
+	pm := New(Config{DRAMSize: 2 << 20})
+	rng := rand.New(rand.NewSource(99))
+	type block struct {
+		pa    arch.PhysAddr
+		order int
+	}
+	var live []block
+	for i := 0; i < 300; i++ {
+		if rng.Intn(2) == 0 && len(live) > 0 {
+			j := rng.Intn(len(live))
+			if err := pm.Free(live[j].pa, live[j].order); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		} else {
+			order := rng.Intn(4)
+			pa, err := pm.AllocFrames(order, TierDRAM)
+			if err != nil {
+				continue // exhaustion is fine; invariants still must hold
+			}
+			live = append(live, block{pa, order})
+		}
+		if i%50 == 0 {
+			if err := pm.VerifyInvariants(); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+	}
+	var want uint64
+	for _, b := range live {
+		want += arch.PageSize << b.order
+	}
+	if err := pm.CheckLeaks(want); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -10,6 +10,9 @@
 //
 // All metadata accesses go through an Accessor (typically a core.Thread),
 // so they traverse the simulated MMU of the currently active address space.
+// An access that faults (wrong VAS active, unmapped range, dead process) is
+// reported as an ErrCorrupt-wrapped error from the failing operation — the
+// allocator never panics.
 package mspace
 
 import (
@@ -66,32 +69,24 @@ const (
 	offBins  = 24
 )
 
-func (s *Space) load(va arch.VirtAddr) uint64 {
+func (s *Space) load(va arch.VirtAddr) (uint64, error) {
 	v, err := s.mem.Load64(va)
 	if err != nil {
-		panic(fmt.Sprintf("mspace: load %v: %v", va, err))
+		return 0, fmt.Errorf("%w: load %v: %v", ErrCorrupt, va, err)
 	}
-	return v
+	return v, nil
 }
 
-func (s *Space) store(va arch.VirtAddr, v uint64) {
+func (s *Space) store(va arch.VirtAddr, v uint64) error {
 	if err := s.mem.Store64(va, v); err != nil {
-		panic(fmt.Sprintf("mspace: store %v: %v", va, err))
+		return fmt.Errorf("%w: store %v: %v", ErrCorrupt, va, err)
 	}
-}
-
-// guard converts internal panics (raised on inaccessible memory, e.g. when
-// the wrong VAS is active) into errors.
-func guard(err *error) {
-	if r := recover(); r != nil {
-		*err = fmt.Errorf("%w: %v", ErrCorrupt, r)
-	}
+	return nil
 }
 
 // Init formats a new mspace over [base, base+size) and returns its handle.
 // The range must be mapped writable in the active address space.
-func Init(mem Accessor, base arch.VirtAddr, size uint64) (sp *Space, err error) {
-	defer guard(&err)
+func Init(mem Accessor, base arch.VirtAddr, size uint64) (*Space, error) {
 	if base&15 != 0 {
 		return nil, fmt.Errorf("mspace: base %v not 16-byte aligned", base)
 	}
@@ -100,31 +95,50 @@ func Init(mem Accessor, base arch.VirtAddr, size uint64) (sp *Space, err error) 
 	}
 	size &^= 15
 	s := &Space{mem: mem, base: base, size: size}
-	s.store(base+offSize, size)
-	s.store(base+offAlloc, 0)
+	if err := s.store(base+offSize, size); err != nil {
+		return nil, err
+	}
+	if err := s.store(base+offAlloc, 0); err != nil {
+		return nil, err
+	}
 	for i := 0; i < numBins; i++ {
-		s.store(base+offBins+arch.VirtAddr(i*8), 0)
+		if err := s.store(base+offBins+arch.VirtAddr(i*8), 0); err != nil {
+			return nil, err
+		}
 	}
 	// One big free chunk followed by the end sentinel (an in-use header).
 	first := base + headerPad
 	sentinel := base + arch.VirtAddr(size) - chunkOverhead
 	chunkSize := uint64(sentinel - first)
-	s.setChunk(first, chunkSize, false, false)
-	s.store(sentinel, chunkOverhead|flagInUse|flagPrevFree)
-	s.binInsert(first, chunkSize)
-	s.store(base+offMagic, magic)
+	if err := s.setChunk(first, chunkSize, false, false); err != nil {
+		return nil, err
+	}
+	if err := s.store(sentinel, chunkOverhead|flagInUse|flagPrevFree); err != nil {
+		return nil, err
+	}
+	if err := s.binInsert(first, chunkSize); err != nil {
+		return nil, err
+	}
+	if err := s.store(base+offMagic, magic); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // Open attaches to an existing mspace at base (created by Init, possibly by
 // another process in an earlier lifetime).
-func Open(mem Accessor, base arch.VirtAddr) (sp *Space, err error) {
-	defer guard(&err)
+func Open(mem Accessor, base arch.VirtAddr) (*Space, error) {
 	s := &Space{mem: mem, base: base}
-	if s.load(base+offMagic) != magic {
+	m, err := s.load(base + offMagic)
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
 		return nil, fmt.Errorf("%w: no mspace at %v", ErrCorrupt, base)
 	}
-	s.size = s.load(base + offSize)
+	if s.size, err = s.load(base + offSize); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -135,22 +149,24 @@ func (s *Space) Base() arch.VirtAddr { return s.base }
 func (s *Space) Size() uint64 { return s.size }
 
 // Allocated returns the number of payload-plus-overhead bytes in use.
-func (s *Space) Allocated() (n uint64, err error) {
-	defer guard(&err)
-	return s.load(s.base + offAlloc), nil
+func (s *Space) Allocated() (uint64, error) {
+	return s.load(s.base + offAlloc)
 }
 
 // --- chunk primitives ---
 
 // header returns (size, inUse, prevFree) of the chunk at va.
-func (s *Space) header(c arch.VirtAddr) (uint64, bool, bool) {
-	h := s.load(c)
-	return h &^ flagMask, h&flagInUse != 0, h&flagPrevFree != 0
+func (s *Space) header(c arch.VirtAddr) (uint64, bool, bool, error) {
+	h, err := s.load(c)
+	if err != nil {
+		return 0, false, false, err
+	}
+	return h &^ flagMask, h&flagInUse != 0, h&flagPrevFree != 0, nil
 }
 
 // setChunk writes a chunk header (and footer + next's prevFree bit when the
 // chunk is free).
-func (s *Space) setChunk(c arch.VirtAddr, size uint64, inUse, prevFree bool) {
+func (s *Space) setChunk(c arch.VirtAddr, size uint64, inUse, prevFree bool) error {
 	h := size
 	if inUse {
 		h |= flagInUse
@@ -158,25 +174,45 @@ func (s *Space) setChunk(c arch.VirtAddr, size uint64, inUse, prevFree bool) {
 	if prevFree {
 		h |= flagPrevFree
 	}
-	s.store(c, h)
+	if err := s.store(c, h); err != nil {
+		return err
+	}
 	next := c + arch.VirtAddr(size)
 	if !inUse {
-		s.store(next-8, size) // footer
-		nh := s.load(next)
-		s.store(next, nh|flagPrevFree)
-	} else if next < s.end() {
-		nh := s.load(next)
-		s.store(next, nh&^flagPrevFree)
+		if err := s.store(next-8, size); err != nil { // footer
+			return err
+		}
+		nh, err := s.load(next)
+		if err != nil {
+			return err
+		}
+		return s.store(next, nh|flagPrevFree)
 	}
+	if next < s.end() {
+		nh, err := s.load(next)
+		if err != nil {
+			return err
+		}
+		return s.store(next, nh&^flagPrevFree)
+	}
+	return nil
 }
 
 func (s *Space) end() arch.VirtAddr { return s.base + arch.VirtAddr(s.size) }
 
 // free chunk list links.
-func (s *Space) fd(c arch.VirtAddr) arch.VirtAddr { return arch.VirtAddr(s.load(c + 8)) }
-func (s *Space) bk(c arch.VirtAddr) arch.VirtAddr { return arch.VirtAddr(s.load(c + 16)) }
-func (s *Space) setFd(c, v arch.VirtAddr)         { s.store(c+8, uint64(v)) }
-func (s *Space) setBk(c, v arch.VirtAddr)         { s.store(c+16, uint64(v)) }
+func (s *Space) fd(c arch.VirtAddr) (arch.VirtAddr, error) {
+	v, err := s.load(c + 8)
+	return arch.VirtAddr(v), err
+}
+
+func (s *Space) bk(c arch.VirtAddr) (arch.VirtAddr, error) {
+	v, err := s.load(c + 16)
+	return arch.VirtAddr(v), err
+}
+
+func (s *Space) setFd(c, v arch.VirtAddr) error { return s.store(c+8, uint64(v)) }
+func (s *Space) setBk(c, v arch.VirtAddr) error { return s.store(c+16, uint64(v)) }
 
 // binFor maps a chunk size to a segregated bin: linear 32-byte classes up
 // to 1 KiB, logarithmic beyond.
@@ -191,43 +227,62 @@ func binFor(size uint64) int {
 	return b
 }
 
-func (s *Space) binHead(b int) arch.VirtAddr {
-	return arch.VirtAddr(s.load(s.base + offBins + arch.VirtAddr(b*8)))
+func (s *Space) binHead(b int) (arch.VirtAddr, error) {
+	v, err := s.load(s.base + offBins + arch.VirtAddr(b*8))
+	return arch.VirtAddr(v), err
 }
 
-func (s *Space) setBinHead(b int, c arch.VirtAddr) {
-	s.store(s.base+offBins+arch.VirtAddr(b*8), uint64(c))
+func (s *Space) setBinHead(b int, c arch.VirtAddr) error {
+	return s.store(s.base+offBins+arch.VirtAddr(b*8), uint64(c))
 }
 
 // binInsert pushes a free chunk onto its bin's list.
-func (s *Space) binInsert(c arch.VirtAddr, size uint64) {
+func (s *Space) binInsert(c arch.VirtAddr, size uint64) error {
 	b := binFor(size)
-	head := s.binHead(b)
-	s.setFd(c, head)
-	s.setBk(c, 0)
-	if head != 0 {
-		s.setBk(head, c)
+	head, err := s.binHead(b)
+	if err != nil {
+		return err
 	}
-	s.setBinHead(b, c)
+	if err := s.setFd(c, head); err != nil {
+		return err
+	}
+	if err := s.setBk(c, 0); err != nil {
+		return err
+	}
+	if head != 0 {
+		if err := s.setBk(head, c); err != nil {
+			return err
+		}
+	}
+	return s.setBinHead(b, c)
 }
 
 // binRemove unlinks a free chunk from its bin's list.
-func (s *Space) binRemove(c arch.VirtAddr, size uint64) {
+func (s *Space) binRemove(c arch.VirtAddr, size uint64) error {
 	b := binFor(size)
-	fd, bk := s.fd(c), s.bk(c)
+	fd, err := s.fd(c)
+	if err != nil {
+		return err
+	}
+	bk, err := s.bk(c)
+	if err != nil {
+		return err
+	}
 	if bk == 0 {
-		s.setBinHead(b, fd)
-	} else {
-		s.setFd(bk, fd)
+		if err := s.setBinHead(b, fd); err != nil {
+			return err
+		}
+	} else if err := s.setFd(bk, fd); err != nil {
+		return err
 	}
 	if fd != 0 {
-		s.setBk(fd, bk)
+		return s.setBk(fd, bk)
 	}
+	return nil
 }
 
 // Alloc returns the address of a payload of at least n bytes.
-func (s *Space) Alloc(n uint64) (va arch.VirtAddr, err error) {
-	defer guard(&err)
+func (s *Space) Alloc(n uint64) (arch.VirtAddr, error) {
 	if n == 0 {
 		n = 1
 	}
@@ -236,27 +291,54 @@ func (s *Space) Alloc(n uint64) (va arch.VirtAddr, err error) {
 		need = minChunk
 	}
 	for b := binFor(need); b < numBins; b++ {
-		for c := s.binHead(b); c != 0; c = s.fd(c) {
-			size, inUse, _ := s.header(c)
+		c, err := s.binHead(b)
+		if err != nil {
+			return 0, err
+		}
+		for c != 0 {
+			size, inUse, _, err := s.header(c)
+			if err != nil {
+				return 0, err
+			}
 			if inUse {
 				return 0, fmt.Errorf("%w: in-use chunk on free list at %v", ErrCorrupt, c)
 			}
 			if size < need {
+				if c, err = s.fd(c); err != nil {
+					return 0, err
+				}
 				continue
 			}
-			s.binRemove(c, size)
-			_, _, prevFree := s.header(c)
+			if err := s.binRemove(c, size); err != nil {
+				return 0, err
+			}
+			_, _, prevFree, err := s.header(c)
+			if err != nil {
+				return 0, err
+			}
 			if size-need >= minChunk {
 				// Split: tail remains free.
 				tail := c + arch.VirtAddr(need)
-				s.setChunk(c, need, true, prevFree)
-				s.setChunk(tail, size-need, false, false)
-				s.binInsert(tail, size-need)
+				if err := s.setChunk(c, need, true, prevFree); err != nil {
+					return 0, err
+				}
+				if err := s.setChunk(tail, size-need, false, false); err != nil {
+					return 0, err
+				}
+				if err := s.binInsert(tail, size-need); err != nil {
+					return 0, err
+				}
 				size = need
-			} else {
-				s.setChunk(c, size, true, prevFree)
+			} else if err := s.setChunk(c, size, true, prevFree); err != nil {
+				return 0, err
 			}
-			s.store(s.base+offAlloc, s.load(s.base+offAlloc)+size)
+			alloc, err := s.load(s.base + offAlloc)
+			if err != nil {
+				return 0, err
+			}
+			if err := s.store(s.base+offAlloc, alloc+size); err != nil {
+				return 0, err
+			}
 			return c + chunkOverhead, nil
 		}
 	}
@@ -264,10 +346,12 @@ func (s *Space) Alloc(n uint64) (va arch.VirtAddr, err error) {
 }
 
 // UsableSize returns the payload capacity of an allocation.
-func (s *Space) UsableSize(va arch.VirtAddr) (n uint64, err error) {
-	defer guard(&err)
+func (s *Space) UsableSize(va arch.VirtAddr) (uint64, error) {
 	c := va - chunkOverhead
-	size, inUse, _ := s.header(c)
+	size, inUse, _, err := s.header(c)
+	if err != nil {
+		return 0, err
+	}
 	if !inUse || !s.contains(c, size) {
 		return 0, fmt.Errorf("%w: %v is not an allocation", ErrBadFree, va)
 	}
@@ -279,39 +363,57 @@ func (s *Space) contains(c arch.VirtAddr, size uint64) bool {
 }
 
 // Free releases an allocation, coalescing with free neighbours.
-func (s *Space) Free(va arch.VirtAddr) (err error) {
-	defer guard(&err)
+func (s *Space) Free(va arch.VirtAddr) error {
 	c := va - chunkOverhead
-	size, inUse, prevFree := s.header(c)
+	size, inUse, prevFree, err := s.header(c)
+	if err != nil {
+		return err
+	}
 	if !inUse || !s.contains(c, size) {
 		return fmt.Errorf("%w: %v", ErrBadFree, va)
 	}
-	s.store(s.base+offAlloc, s.load(s.base+offAlloc)-size)
+	alloc, err := s.load(s.base + offAlloc)
+	if err != nil {
+		return err
+	}
+	if err := s.store(s.base+offAlloc, alloc-size); err != nil {
+		return err
+	}
 	// Coalesce backwards.
 	if prevFree {
-		prevSize := s.load(c - 8)
+		prevSize, err := s.load(c - 8)
+		if err != nil {
+			return err
+		}
 		prev := c - arch.VirtAddr(prevSize)
-		s.binRemove(prev, prevSize)
+		if err := s.binRemove(prev, prevSize); err != nil {
+			return err
+		}
 		c = prev
 		size += prevSize
 	}
 	// Coalesce forwards.
 	next := c + arch.VirtAddr(size)
 	if next < s.end() {
-		nsize, nInUse, _ := s.header(next)
+		nsize, nInUse, _, err := s.header(next)
+		if err != nil {
+			return err
+		}
 		if !nInUse {
-			s.binRemove(next, nsize)
+			if err := s.binRemove(next, nsize); err != nil {
+				return err
+			}
 			size += nsize
 		}
 	}
-	s.setChunk(c, size, false, false)
-	s.binInsert(c, size)
-	return nil
+	if err := s.setChunk(c, size, false, false); err != nil {
+		return err
+	}
+	return s.binInsert(c, size)
 }
 
 // Realloc grows or shrinks an allocation, copying through the accessor.
-func (s *Space) Realloc(va arch.VirtAddr, n uint64) (out arch.VirtAddr, err error) {
-	defer guard(&err)
+func (s *Space) Realloc(va arch.VirtAddr, n uint64) (arch.VirtAddr, error) {
 	old, err := s.UsableSize(va)
 	if err != nil {
 		return 0, err
@@ -324,7 +426,13 @@ func (s *Space) Realloc(va arch.VirtAddr, n uint64) (out arch.VirtAddr, err erro
 		return 0, err
 	}
 	for off := uint64(0); off < old; off += 8 {
-		s.store(nva+arch.VirtAddr(off), s.load(va+arch.VirtAddr(off)))
+		v, err := s.load(va + arch.VirtAddr(off))
+		if err != nil {
+			return 0, err
+		}
+		if err := s.store(nva+arch.VirtAddr(off), v); err != nil {
+			return 0, err
+		}
 	}
 	if err := s.Free(va); err != nil {
 		return 0, err
@@ -335,9 +443,12 @@ func (s *Space) Realloc(va arch.VirtAddr, n uint64) (out arch.VirtAddr, err erro
 // Check walks the whole heap and verifies the boundary-tag invariants:
 // chunks tile the arena exactly, free neighbours are always coalesced, all
 // free chunks are on the correct bin, and the allocated counter matches.
-func (s *Space) Check() (err error) {
-	defer guard(&err)
-	if s.load(s.base+offMagic) != magic {
+func (s *Space) Check() error {
+	m, err := s.load(s.base + offMagic)
+	if err != nil {
+		return err
+	}
+	if m != magic {
 		return fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	free := map[arch.VirtAddr]uint64{}
@@ -345,7 +456,10 @@ func (s *Space) Check() (err error) {
 	prevWasFree := false
 	c := s.base + headerPad
 	for c < s.end()-chunkOverhead {
-		size, inUse, prevFree := s.header(c)
+		size, inUse, prevFree, err := s.header(c)
+		if err != nil {
+			return err
+		}
 		if size < minChunk || c+arch.VirtAddr(size) > s.end() {
 			return fmt.Errorf("%w: bad chunk size %d at %v", ErrCorrupt, size, c)
 		}
@@ -356,7 +470,11 @@ func (s *Space) Check() (err error) {
 			if prevWasFree {
 				return fmt.Errorf("%w: adjacent free chunks at %v", ErrCorrupt, c)
 			}
-			if s.load(c+arch.VirtAddr(size)-8) != size {
+			footer, err := s.load(c + arch.VirtAddr(size) - 8)
+			if err != nil {
+				return err
+			}
+			if footer != size {
 				return fmt.Errorf("%w: footer mismatch at %v", ErrCorrupt, c)
 			}
 			free[c] = size
@@ -369,13 +487,21 @@ func (s *Space) Check() (err error) {
 	if c != s.end()-chunkOverhead {
 		return fmt.Errorf("%w: chunks do not tile the arena (ended at %v)", ErrCorrupt, c)
 	}
-	if got := s.load(s.base + offAlloc); got != allocated {
+	got, err := s.load(s.base + offAlloc)
+	if err != nil {
+		return err
+	}
+	if got != allocated {
 		return fmt.Errorf("%w: allocated counter %d, walked %d", ErrCorrupt, got, allocated)
 	}
 	// Every free chunk must be reachable from exactly its bin.
 	seen := map[arch.VirtAddr]bool{}
 	for b := 0; b < numBins; b++ {
-		for f := s.binHead(b); f != 0; f = s.fd(f) {
+		f, err := s.binHead(b)
+		if err != nil {
+			return err
+		}
+		for f != 0 {
 			size, ok := free[f]
 			if !ok {
 				return fmt.Errorf("%w: bin %d links non-free chunk %v", ErrCorrupt, b, f)
@@ -387,6 +513,9 @@ func (s *Space) Check() (err error) {
 				return fmt.Errorf("%w: chunk %v on multiple lists", ErrCorrupt, f)
 			}
 			seen[f] = true
+			if f, err = s.fd(f); err != nil {
+				return err
+			}
 		}
 	}
 	if len(seen) != len(free) {

@@ -16,6 +16,9 @@ import (
 // Layout: a root pointer word sits at the segment base; the mspace heap
 // starts one page in. All multi-byte data is stored in little-endian
 // words through the Accessor (a thread's MMU-mediated loads and stores).
+// An access that faults (e.g. operating without being switched into the
+// VAS, or from a dead process) is returned as an error from the failing
+// operation — the store never panics.
 type Store struct {
 	mem  mspace.Accessor
 	heap *mspace.Space
@@ -62,10 +65,18 @@ func CreateStore(mem mspace.Accessor, base arch.VirtAddr, size uint64) (*Store, 
 	if err != nil {
 		return nil, err
 	}
-	s.put(root+hdrBuckets, uint64(buckets))
-	s.put(root+hdrNBkt, initialBuckets)
-	s.put(root+hdrCount, 0)
-	s.put(base, uint64(root))
+	if err := s.put(root+hdrBuckets, uint64(buckets)); err != nil {
+		return nil, err
+	}
+	if err := s.put(root+hdrNBkt, initialBuckets); err != nil {
+		return nil, err
+	}
+	if err := s.put(root+hdrCount, 0); err != nil {
+		return nil, err
+	}
+	if err := s.put(base, uint64(root)); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -86,18 +97,19 @@ func OpenStore(mem mspace.Accessor, base arch.VirtAddr) (*Store, error) {
 	return &Store{mem: mem, heap: heap, base: base, root: arch.VirtAddr(rootWord)}, nil
 }
 
-func (s *Store) get(va arch.VirtAddr) uint64 {
+func (s *Store) get(va arch.VirtAddr) (uint64, error) {
 	v, err := s.mem.Load64(va)
 	if err != nil {
-		panic(fmt.Sprintf("redis: load %v: %v", va, err))
+		return 0, fmt.Errorf("redis: load %v: %w", va, err)
 	}
-	return v
+	return v, nil
 }
 
-func (s *Store) put(va arch.VirtAddr, v uint64) {
+func (s *Store) put(va arch.VirtAddr, v uint64) error {
 	if err := s.mem.Store64(va, v); err != nil {
-		panic(fmt.Sprintf("redis: store %v: %v", va, err))
+		return fmt.Errorf("redis: store %v: %w", va, err)
 	}
+	return nil
 }
 
 func (s *Store) allocZeroed(n uint64) (arch.VirtAddr, error) {
@@ -106,32 +118,40 @@ func (s *Store) allocZeroed(n uint64) (arch.VirtAddr, error) {
 		return 0, err
 	}
 	for off := uint64(0); off < n; off += 8 {
-		s.put(va+arch.VirtAddr(off), 0)
+		if err := s.put(va+arch.VirtAddr(off), 0); err != nil {
+			return 0, err
+		}
 	}
 	return va, nil
 }
 
 // writeBytes stores b into segment memory word by word.
-func (s *Store) writeBytes(va arch.VirtAddr, b []byte) {
+func (s *Store) writeBytes(va arch.VirtAddr, b []byte) error {
 	for off := 0; off < len(b); off += 8 {
 		var w uint64
 		for k := 0; k < 8 && off+k < len(b); k++ {
 			w |= uint64(b[off+k]) << (8 * k)
 		}
-		s.put(va+arch.VirtAddr(off), w)
+		if err := s.put(va+arch.VirtAddr(off), w); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // readBytes loads n bytes from segment memory.
-func (s *Store) readBytes(va arch.VirtAddr, n uint64) []byte {
+func (s *Store) readBytes(va arch.VirtAddr, n uint64) ([]byte, error) {
 	out := make([]byte, n)
 	for off := uint64(0); off < n; off += 8 {
-		w := s.get(va + arch.VirtAddr(off))
+		w, err := s.get(va + arch.VirtAddr(off))
+		if err != nil {
+			return nil, err
+		}
 		for k := uint64(0); k < 8 && off+k < n; k++ {
 			out[off+k] = byte(w >> (8 * k))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // fnv1a hashes a key (computed in client code; only the table lives in
@@ -145,155 +165,278 @@ func fnv1a(key []byte) uint64 {
 	return h
 }
 
-// guard converts inaccessible-memory panics (e.g. operating without being
-// switched into the VAS) into errors.
-func guard(err *error) {
-	if r := recover(); r != nil {
-		*err = fmt.Errorf("redis: store access failed: %v", r)
-	}
-}
-
 // bucketFor returns the address of the bucket head slot for key.
-func (s *Store) bucketFor(key []byte) arch.VirtAddr {
-	n := s.get(s.root + hdrNBkt)
-	buckets := arch.VirtAddr(s.get(s.root + hdrBuckets))
-	return buckets + arch.VirtAddr((fnv1a(key)%n)*8)
+func (s *Store) bucketFor(key []byte) (arch.VirtAddr, error) {
+	n, err := s.get(s.root + hdrNBkt)
+	if err != nil {
+		return 0, err
+	}
+	bkts, err := s.get(s.root + hdrBuckets)
+	if err != nil {
+		return 0, err
+	}
+	return arch.VirtAddr(bkts) + arch.VirtAddr((fnv1a(key)%n)*8), nil
 }
 
 // findEntry returns (entry, prevSlot) for key, entry == 0 if absent.
-func (s *Store) findEntry(key []byte) (entry, prevSlot arch.VirtAddr) {
-	slot := s.bucketFor(key)
-	cur := arch.VirtAddr(s.get(slot))
+func (s *Store) findEntry(key []byte) (entry, prevSlot arch.VirtAddr, err error) {
+	slot, err := s.bucketFor(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	curWord, err := s.get(slot)
+	if err != nil {
+		return 0, 0, err
+	}
+	cur := arch.VirtAddr(curWord)
 	for cur != 0 {
-		klen := s.get(cur + entKeyLen)
+		klen, err := s.get(cur + entKeyLen)
+		if err != nil {
+			return 0, 0, err
+		}
 		if klen == uint64(len(key)) {
-			kptr := arch.VirtAddr(s.get(cur + entKeyPtr))
-			if string(s.readBytes(kptr, klen)) == string(key) {
-				return cur, slot
+			kptr, err := s.get(cur + entKeyPtr)
+			if err != nil {
+				return 0, 0, err
+			}
+			k, err := s.readBytes(arch.VirtAddr(kptr), klen)
+			if err != nil {
+				return 0, 0, err
+			}
+			if string(k) == string(key) {
+				return cur, slot, nil
 			}
 		}
 		slot = cur + entNext
-		cur = arch.VirtAddr(s.get(cur + entNext))
+		if curWord, err = s.get(cur + entNext); err != nil {
+			return 0, 0, err
+		}
+		cur = arch.VirtAddr(curWord)
 	}
-	return 0, slot
+	return 0, slot, nil
 }
 
 // Get returns the value for key.
-func (s *Store) Get(key []byte) (val []byte, ok bool, err error) {
-	defer guard(&err)
-	ent, _ := s.findEntry(key)
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	ent, _, err := s.findEntry(key)
+	if err != nil {
+		return nil, false, err
+	}
 	if ent == 0 {
 		return nil, false, nil
 	}
-	vptr := arch.VirtAddr(s.get(ent + entValPtr))
-	vlen := s.get(ent + entValLen)
-	return s.readBytes(vptr, vlen), true, nil
+	vptr, err := s.get(ent + entValPtr)
+	if err != nil {
+		return nil, false, err
+	}
+	vlen, err := s.get(ent + entValLen)
+	if err != nil {
+		return nil, false, err
+	}
+	val, err := s.readBytes(arch.VirtAddr(vptr), vlen)
+	if err != nil {
+		return nil, false, err
+	}
+	return val, true, nil
 }
 
 // Set inserts or replaces key's value.
-func (s *Store) Set(key, val []byte) (err error) {
-	defer guard(&err)
-	ent, _ := s.findEntry(key)
+func (s *Store) Set(key, val []byte) error {
+	ent, _, err := s.findEntry(key)
+	if err != nil {
+		return err
+	}
 	if ent != 0 {
 		// Replace the value in place.
-		old := arch.VirtAddr(s.get(ent + entValPtr))
-		if err := s.heap.Free(old); err != nil {
+		old, err := s.get(ent + entValPtr)
+		if err != nil {
+			return err
+		}
+		if err := s.heap.Free(arch.VirtAddr(old)); err != nil {
 			return err
 		}
 		vptr, err := s.heap.Alloc(uint64(len(val)))
 		if err != nil {
 			return err
 		}
-		s.writeBytes(vptr, val)
-		s.put(ent+entValPtr, uint64(vptr))
-		s.put(ent+entValLen, uint64(len(val)))
-		return nil
+		if err := s.writeBytes(vptr, val); err != nil {
+			return err
+		}
+		if err := s.put(ent+entValPtr, uint64(vptr)); err != nil {
+			return err
+		}
+		return s.put(ent+entValLen, uint64(len(val)))
 	}
 	kptr, err := s.heap.Alloc(uint64(len(key)))
 	if err != nil {
 		return err
 	}
-	s.writeBytes(kptr, key)
+	if err := s.writeBytes(kptr, key); err != nil {
+		return err
+	}
 	vptr, err := s.heap.Alloc(uint64(len(val)))
 	if err != nil {
 		return err
 	}
-	s.writeBytes(vptr, val)
+	if err := s.writeBytes(vptr, val); err != nil {
+		return err
+	}
 	e, err := s.heap.Alloc(entSize)
 	if err != nil {
 		return err
 	}
-	slot := s.bucketFor(key)
-	s.put(e+entNext, s.get(slot))
-	s.put(e+entKeyPtr, uint64(kptr))
-	s.put(e+entKeyLen, uint64(len(key)))
-	s.put(e+entValPtr, uint64(vptr))
-	s.put(e+entValLen, uint64(len(val)))
-	s.put(slot, uint64(e))
-	s.put(s.root+hdrCount, s.get(s.root+hdrCount)+1)
-	return nil
+	slot, err := s.bucketFor(key)
+	if err != nil {
+		return err
+	}
+	head, err := s.get(slot)
+	if err != nil {
+		return err
+	}
+	for _, w := range []struct {
+		off arch.VirtAddr
+		v   uint64
+	}{
+		{entNext, head},
+		{entKeyPtr, uint64(kptr)},
+		{entKeyLen, uint64(len(key))},
+		{entValPtr, uint64(vptr)},
+		{entValLen, uint64(len(val))},
+	} {
+		if err := s.put(e+w.off, w.v); err != nil {
+			return err
+		}
+	}
+	if err := s.put(slot, uint64(e)); err != nil {
+		return err
+	}
+	count, err := s.get(s.root + hdrCount)
+	if err != nil {
+		return err
+	}
+	return s.put(s.root+hdrCount, count+1)
 }
 
 // Del removes key, reporting whether it was present.
-func (s *Store) Del(key []byte) (found bool, err error) {
-	defer guard(&err)
-	ent, prevSlot := s.findEntry(key)
+func (s *Store) Del(key []byte) (bool, error) {
+	ent, prevSlot, err := s.findEntry(key)
+	if err != nil {
+		return false, err
+	}
 	if ent == 0 {
 		return false, nil
 	}
-	s.put(prevSlot, s.get(ent+entNext))
+	next, err := s.get(ent + entNext)
+	if err != nil {
+		return false, err
+	}
+	if err := s.put(prevSlot, next); err != nil {
+		return false, err
+	}
 	for _, w := range []arch.VirtAddr{entKeyPtr, entValPtr} {
-		if err := s.heap.Free(arch.VirtAddr(s.get(ent + w))); err != nil {
+		ptr, err := s.get(ent + w)
+		if err != nil {
+			return false, err
+		}
+		if err := s.heap.Free(arch.VirtAddr(ptr)); err != nil {
 			return false, err
 		}
 	}
 	if err := s.heap.Free(ent); err != nil {
 		return false, err
 	}
-	s.put(s.root+hdrCount, s.get(s.root+hdrCount)-1)
+	count, err := s.get(s.root + hdrCount)
+	if err != nil {
+		return false, err
+	}
+	if err := s.put(s.root+hdrCount, count-1); err != nil {
+		return false, err
+	}
 	return true, nil
 }
 
 // Len returns the number of entries.
-func (s *Store) Len() (n uint64, err error) {
-	defer guard(&err)
-	return s.get(s.root + hdrCount), nil
+func (s *Store) Len() (uint64, error) {
+	return s.get(s.root + hdrCount)
 }
 
 // NeedRehash reports whether the table exceeds its load factor. Redis
 // normally rehashes asynchronously; RedisJMP rehashes only while a client
 // holds the exclusive lock (§5.3), so clients check this on the SET path.
 func (s *Store) NeedRehash() (bool, error) {
-	var err error
-	defer guard(&err)
-	n := s.get(s.root + hdrNBkt)
-	count := s.get(s.root + hdrCount)
-	return count > 4*n, err
+	n, err := s.get(s.root + hdrNBkt)
+	if err != nil {
+		return false, err
+	}
+	count, err := s.get(s.root + hdrCount)
+	if err != nil {
+		return false, err
+	}
+	return count > 4*n, nil
 }
 
 // Rehash grows the bucket array fourfold and relinks every entry. Caller
 // must hold the segment exclusively.
-func (s *Store) Rehash() (err error) {
-	defer guard(&err)
-	oldN := s.get(s.root + hdrNBkt)
-	oldBkts := arch.VirtAddr(s.get(s.root + hdrBuckets))
+func (s *Store) Rehash() error {
+	oldN, err := s.get(s.root + hdrNBkt)
+	if err != nil {
+		return err
+	}
+	oldWord, err := s.get(s.root + hdrBuckets)
+	if err != nil {
+		return err
+	}
+	oldBkts := arch.VirtAddr(oldWord)
 	newN := oldN * 4
 	newBkts, err := s.allocZeroed(newN * 8)
 	if err != nil {
 		return err
 	}
 	// Install the new table first so bucketFor sees it while relinking.
-	s.put(s.root+hdrBuckets, uint64(newBkts))
-	s.put(s.root+hdrNBkt, newN)
+	if err := s.put(s.root+hdrBuckets, uint64(newBkts)); err != nil {
+		return err
+	}
+	if err := s.put(s.root+hdrNBkt, newN); err != nil {
+		return err
+	}
 	for i := uint64(0); i < oldN; i++ {
-		cur := arch.VirtAddr(s.get(oldBkts + arch.VirtAddr(i*8)))
+		curWord, err := s.get(oldBkts + arch.VirtAddr(i*8))
+		if err != nil {
+			return err
+		}
+		cur := arch.VirtAddr(curWord)
 		for cur != 0 {
-			next := arch.VirtAddr(s.get(cur + entNext))
-			key := s.readBytes(arch.VirtAddr(s.get(cur+entKeyPtr)), s.get(cur+entKeyLen))
-			slot := s.bucketFor(key)
-			s.put(cur+entNext, s.get(slot))
-			s.put(slot, uint64(cur))
-			cur = next
+			nextWord, err := s.get(cur + entNext)
+			if err != nil {
+				return err
+			}
+			kptr, err := s.get(cur + entKeyPtr)
+			if err != nil {
+				return err
+			}
+			klen, err := s.get(cur + entKeyLen)
+			if err != nil {
+				return err
+			}
+			key, err := s.readBytes(arch.VirtAddr(kptr), klen)
+			if err != nil {
+				return err
+			}
+			slot, err := s.bucketFor(key)
+			if err != nil {
+				return err
+			}
+			head, err := s.get(slot)
+			if err != nil {
+				return err
+			}
+			if err := s.put(cur+entNext, head); err != nil {
+				return err
+			}
+			if err := s.put(slot, uint64(cur)); err != nil {
+				return err
+			}
+			cur = arch.VirtAddr(nextWord)
 		}
 	}
 	return s.heap.Free(oldBkts)

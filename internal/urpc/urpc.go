@@ -9,12 +9,21 @@
 // receives, and the busy-wait while the server works; the server core is
 // charged for its receives, dispatch, handler work, and sends. The paper's
 // GUPS message-passing baseline (§5.2) is built on this layer too.
+//
+// The transport is lossy under fault injection: an armed fault.URPCDrop
+// point silently discards a message after the sender paid for it, and
+// fault.URPCDelay stalls the sender. Endpoint.Call layers an at-most-once
+// RPC protocol on top — sequence-numbered requests, a server-side duplicate
+// cache, and bounded timeout/retry with exponential backoff — so callers
+// see degraded latency rather than lost or doubly-applied operations.
 package urpc
 
 import (
+	"errors"
 	"fmt"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 )
 
@@ -25,6 +34,22 @@ const PayloadPerLine = arch.CacheLineSize - 8
 // DispatchCycles models the receiver's demultiplex-and-dispatch work per
 // message batch.
 const DispatchCycles = 60
+
+// DelayCycles is the stall charged to a sender when fault.URPCDelay fires:
+// the line sits in the sender's store buffer while the interconnect is busy.
+const DelayCycles = 5000
+
+// DefaultTimeoutCycles is the client's initial busy-wait before it declares
+// a request lost and retries; it doubles on every retry.
+const DefaultTimeoutCycles = 1 << 14
+
+// DefaultMaxRetries bounds how many times Call re-sends a request before
+// giving up with ErrTimeout.
+const DefaultMaxRetries = 8
+
+// ErrTimeout reports a Call whose request or response kept getting lost:
+// every retry timed out without a matching response arriving.
+var ErrTimeout = errors.New("urpc: call timed out")
 
 // Lines returns the number of cache-line messages needed for n bytes. Every
 // transfer uses at least one line (a 64-bit key rides in the header line).
@@ -37,9 +62,19 @@ func Lines(n int) uint64 {
 
 // Stats counts channel activity.
 type Stats struct {
-	Sends uint64
-	Recvs uint64
-	Lines uint64
+	Sends  uint64
+	Recvs  uint64
+	Lines  uint64
+	Drops  uint64 // messages paid for but lost to fault injection
+	Delays uint64 // messages stalled by fault injection
+}
+
+// message is one ring slot: the sequence number rides in the cache line's
+// 8-byte header (already accounted for in PayloadPerLine), out of band of
+// the payload, so transfer costs depend only on payload size.
+type message struct {
+	seq     uint64
+	payload []byte
 }
 
 // Channel is a one-directional ring of cache-line messages between two
@@ -47,7 +82,7 @@ type Stats struct {
 type Channel struct {
 	m        *hw.Machine
 	tx, rx   int
-	ring     [][]byte
+	ring     []message
 	head     int // next slot to read
 	count    int // occupied slots
 	perLine  uint64
@@ -64,7 +99,7 @@ func NewChannel(m *hw.Machine, tx, rx, slots int) *Channel {
 	}
 	return &Channel{
 		m: m, tx: tx, rx: rx,
-		ring: make([][]byte, slots), capacity: slots,
+		ring: make([]message, slots), capacity: slots,
 		perLine: perLine,
 	}
 }
@@ -76,35 +111,52 @@ func (c *Channel) CrossSocket() bool { return !c.m.SameSocket(c.tx, c.rx) }
 func (c *Channel) Stats() Stats { return c.stats }
 
 // Send enqueues a message, charging the sending core one cache-line
-// transfer per line. Fails when the ring is full (the caller polls).
-func (c *Channel) Send(payload []byte) error {
+// transfer per line. Fails when the ring is full (the caller polls). An
+// armed fault.URPCDrop point loses the message after the sender paid for
+// it — exactly how a lossy interconnect looks from the sending side.
+func (c *Channel) Send(payload []byte) error { return c.sendSeq(0, payload) }
+
+func (c *Channel) sendSeq(seq uint64, payload []byte) error {
 	if c.count == c.capacity {
 		return fmt.Errorf("urpc: channel full (%d slots)", c.capacity)
 	}
 	lines := Lines(len(payload))
 	c.m.Cores[c.tx].AddCycles(lines * c.perLine)
-	msg := make([]byte, len(payload))
-	copy(msg, payload)
-	c.ring[(c.head+c.count)%c.capacity] = msg
-	c.count++
+	if c.m.Faults.Fire(fault.URPCDelay) {
+		c.m.Cores[c.tx].AddCycles(DelayCycles)
+		c.stats.Delays++
+	}
 	c.stats.Sends++
 	c.stats.Lines += lines
+	if c.m.Faults.Fire(fault.URPCDrop) {
+		c.stats.Drops++
+		return nil
+	}
+	msg := message{seq: seq, payload: make([]byte, len(payload))}
+	copy(msg.payload, payload)
+	c.ring[(c.head+c.count)%c.capacity] = msg
+	c.count++
 	return nil
 }
 
 // Recv dequeues the oldest message, charging the receiving core per line
 // plus dispatch. Fails when the ring is empty.
 func (c *Channel) Recv() ([]byte, error) {
+	_, payload, err := c.recvSeq()
+	return payload, err
+}
+
+func (c *Channel) recvSeq() (uint64, []byte, error) {
 	if c.count == 0 {
-		return nil, fmt.Errorf("urpc: channel empty")
+		return 0, nil, fmt.Errorf("urpc: channel empty")
 	}
 	msg := c.ring[c.head]
-	c.ring[c.head] = nil
+	c.ring[c.head] = message{}
 	c.head = (c.head + 1) % c.capacity
 	c.count--
-	c.m.Cores[c.rx].AddCycles(Lines(len(msg))*c.perLine + DispatchCycles)
+	c.m.Cores[c.rx].AddCycles(Lines(len(msg.payload))*c.perLine + DispatchCycles)
 	c.stats.Recvs++
-	return msg, nil
+	return msg.seq, msg.payload, nil
 }
 
 // Len returns the number of queued messages.
@@ -122,6 +174,22 @@ type Endpoint struct {
 	client, server int
 	req, resp      *Channel
 	handler        Handler
+
+	// MaxRetries and TimeoutCycles govern Call's retry loop on a lossy
+	// channel; Connect sets the defaults.
+	MaxRetries    int
+	TimeoutCycles uint64
+
+	nextSeq uint64 // client: next request sequence number
+
+	// Server-side at-most-once duplicate cache: a retried request whose
+	// original was already executed gets the cached response instead of
+	// running the handler twice (the handler may not be idempotent —
+	// GUPS's XOR updates are the in-repo example).
+	lastSeq  uint64
+	lastResp []byte
+
+	retries uint64 // total re-sends across all Calls
 }
 
 // Connect binds a client core to a server core with the given handler.
@@ -131,6 +199,10 @@ func Connect(m *hw.Machine, clientCore, serverCore, slots int, h Handler) *Endpo
 		req:     NewChannel(m, clientCore, serverCore, slots),
 		resp:    NewChannel(m, serverCore, clientCore, slots),
 		handler: h,
+
+		MaxRetries:    DefaultMaxRetries,
+		TimeoutCycles: DefaultTimeoutCycles,
+		nextSeq:       1,
 	}
 }
 
@@ -140,28 +212,72 @@ func (e *Endpoint) ServerCore() *hw.Core { return e.m.Cores[e.server] }
 // ClientCore returns the calling core.
 func (e *Endpoint) ClientCore() *hw.Core { return e.m.Cores[e.client] }
 
+// Retries returns the total number of request re-sends this endpoint has
+// performed (0 on a loss-free channel).
+func (e *Endpoint) Retries() uint64 { return e.retries }
+
+// ChannelStats returns snapshots of the request and response channel
+// counters, exposing drop/delay accounting to callers.
+func (e *Endpoint) ChannelStats() (req, resp Stats) { return e.req.Stats(), e.resp.Stats() }
+
 // Call performs one RPC round trip and returns the response. The client
 // core's cycle delta across Call is the client-perceived latency the paper
 // plots in Figure 7.
+//
+// Call is at-most-once under message loss: the request carries a sequence
+// number, a lost request or response makes the client time out (charging
+// the busy-wait, doubling each retry) and re-send, and the server's
+// duplicate cache ensures a re-executed round trip never runs the handler
+// twice for the same sequence number. After MaxRetries lost round trips
+// Call returns ErrTimeout.
 func (e *Endpoint) Call(request []byte) ([]byte, error) {
 	client := e.m.Cores[e.client]
 	server := e.m.Cores[e.server]
-	if err := e.req.Send(request); err != nil {
-		return nil, err
+	seq := e.nextSeq
+	e.nextSeq++
+	for try := 0; try <= e.MaxRetries; try++ {
+		if try > 0 {
+			e.retries++
+		}
+		if err := e.req.sendSeq(seq, request); err != nil {
+			return nil, err
+		}
+		// Server side: receive, dispatch, handle, respond. An empty
+		// request ring means the send was dropped in flight.
+		before := server.Cycles()
+		rseq, req, err := e.req.recvSeq()
+		if err == nil {
+			var response []byte
+			if rseq != 0 && rseq == e.lastSeq {
+				response = e.lastResp // duplicate of an executed request
+			} else {
+				response = e.handler(req)
+				if rseq != 0 {
+					e.lastSeq, e.lastResp = rseq, response
+				}
+			}
+			if err := e.resp.sendSeq(rseq, response); err != nil {
+				return nil, err
+			}
+		}
+		// The client busy-waits while the server works.
+		client.AddCycles(server.Cycles() - before)
+		// Drain the response ring: stale responses from earlier retries
+		// are discarded, a matching sequence number completes the call.
+		for e.resp.Len() > 0 {
+			sseq, resp, err := e.resp.recvSeq()
+			if err != nil {
+				break
+			}
+			if sseq == seq {
+				return resp, nil
+			}
+		}
+		// Nothing (or only stale traffic) arrived: time out and retry,
+		// backing off exponentially.
+		client.AddCycles(e.TimeoutCycles << uint(try))
 	}
-	// Server side: receive, dispatch, handle, respond.
-	before := server.Cycles()
-	req, err := e.req.Recv()
-	if err != nil {
-		return nil, err
-	}
-	response := e.handler(req)
-	if err := e.resp.Send(response); err != nil {
-		return nil, err
-	}
-	// The client busy-waits while the server works.
-	client.AddCycles(server.Cycles() - before)
-	return e.resp.Recv()
+	return nil, fmt.Errorf("%w: seq %d after %d retries", ErrTimeout, seq, e.MaxRetries)
 }
 
 // CallLatency runs one call and returns the client-perceived latency in

@@ -2,10 +2,12 @@ package urpc
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
 
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 )
 
@@ -210,5 +212,127 @@ func TestManyEndpointsSharedServerCore(t *testing.T) {
 	}
 	if got := server.Cycles() - before; got < 30*1000 {
 		t.Errorf("server core accumulated only %d cycles", got)
+	}
+}
+
+func TestCallTimesOutWhenEverythingDrops(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(11)
+	m.SetFaults(reg)
+	handled := 0
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte { handled++; return req })
+	ep.MaxRetries = 3
+
+	reg.Enable(fault.URPCDrop, fault.Always())
+	before := m.Cores[0].Cycles()
+	_, err := ep.Call([]byte("lost"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call on dead channel: %v, want ErrTimeout", err)
+	}
+	if handled != 0 {
+		t.Errorf("handler ran %d times on a dead channel", handled)
+	}
+	if got := ep.Retries(); got != 3 {
+		t.Errorf("retries = %d, want 3", got)
+	}
+	// The client paid for every timeout window: at least the sum of the
+	// exponentially backed-off waits.
+	var waits uint64
+	for try := 0; try <= 3; try++ {
+		waits += DefaultTimeoutCycles << uint(try)
+	}
+	if got := m.Cores[0].Cycles() - before; got < waits {
+		t.Errorf("client charged %d cycles, want >= %d of backoff", got, waits)
+	}
+	reqStats, _ := ep.ChannelStats()
+	if reqStats.Drops != 4 {
+		t.Errorf("request drops = %d, want 4", reqStats.Drops)
+	}
+	reg.Disable(fault.URPCDrop)
+
+	// The channel heals: the next call completes and handler state is sane.
+	resp, err := ep.Call([]byte("back"))
+	if err != nil || !bytes.Equal(resp, []byte("back")) {
+		t.Fatalf("call after heal: %q, %v", resp, err)
+	}
+	if handled != 1 {
+		t.Errorf("handler ran %d times after heal, want 1", handled)
+	}
+}
+
+func TestCallRetriesThroughLossyChannel(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(42)
+	m.SetFaults(reg)
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte {
+		return append([]byte("ok:"), req...)
+	})
+	reg.Enable(fault.URPCDrop, fault.Probability(0.4))
+	for i := 0; i < 50; i++ {
+		want := []byte(fmt.Sprintf("ok:msg%d", i))
+		resp, err := ep.Call([]byte(fmt.Sprintf("msg%d", i)))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, want) {
+			t.Fatalf("call %d: got %q, want %q", i, resp, want)
+		}
+	}
+	reqStats, respStats := ep.ChannelStats()
+	if reqStats.Drops+respStats.Drops == 0 {
+		t.Error("probability(0.4) channel dropped nothing in 50 calls")
+	}
+	if ep.Retries() == 0 {
+		t.Error("no retries despite drops")
+	}
+}
+
+func TestAtMostOnceUnderResponseLoss(t *testing.T) {
+	// The response to the first delivery is dropped; the retry must hit the
+	// duplicate cache rather than rerunning the (non-idempotent) handler.
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(5)
+	m.SetFaults(reg)
+	counter := uint64(0)
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte {
+		counter++ // XOR-style non-idempotent state change
+		return []byte{byte(counter)}
+	})
+	// Hit 1 = request send (delivered), hit 2 = response send (dropped).
+	reg.Enable(fault.URPCDrop, fault.OnNth(2))
+	resp, err := ep.Call([]byte("inc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 {
+		t.Errorf("handler ran %d times, want exactly 1", counter)
+	}
+	if len(resp) != 1 || resp[0] != 1 {
+		t.Errorf("resp = %v, want cached first response", resp)
+	}
+	if ep.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", ep.Retries())
+	}
+}
+
+func TestDelayInjectionChargesSender(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(9)
+	m.SetFaults(reg)
+	ch := NewChannel(m, 0, 1, 4)
+	reg.Enable(fault.URPCDelay, fault.OnNth(1))
+	before := m.Cores[0].Cycles()
+	if err := ch.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cores[0].Cycles() - before; got < DelayCycles {
+		t.Errorf("delayed send charged %d cycles, want >= %d", got, DelayCycles)
+	}
+	// The message still arrives.
+	if msg, err := ch.Recv(); err != nil || !bytes.Equal(msg, []byte("slow")) {
+		t.Errorf("delayed message lost: %q, %v", msg, err)
+	}
+	if ch.Stats().Delays != 1 {
+		t.Errorf("delays = %d, want 1", ch.Stats().Delays)
 	}
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must pass before merging.
+# Run from the repo root: ./scripts/check.sh
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"

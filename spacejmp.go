@@ -37,6 +37,7 @@ import (
 	"spacejmp/internal/arch"
 	"spacejmp/internal/caps"
 	"spacejmp/internal/core"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/mem"
@@ -109,6 +110,44 @@ var (
 	ErrDenied   = core.ErrDenied
 	ErrBusy     = core.ErrBusy
 	ErrLayout   = core.ErrLayout
+	// ErrProcessDead reports a syscall by a process that exited or crashed.
+	ErrProcessDead = core.ErrProcessDead
+	// ErrNoCheckpoint: Restore found fresh NVM with no committed image.
+	ErrNoCheckpoint = core.ErrNoCheckpoint
+	// ErrCorruptCheckpoint: a checkpoint exists but no generation validates.
+	ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
+)
+
+// Fault injection (package fault): a deterministic, seedable registry of
+// named injection points threaded through the simulated machine. Attach one
+// with Machine.SetFaults and arm points to rehearse crashes, torn NVM
+// writes, allocation failures, and lossy RPC.
+type (
+	// FaultRegistry owns the armed injection points.
+	FaultRegistry = fault.Registry
+	// FaultPolicy decides whether a point fires on a given hit.
+	FaultPolicy = fault.Policy
+)
+
+// NewFaults creates a fault registry whose probabilistic points derive
+// their independent random streams from seed.
+func NewFaults(seed int64) *FaultRegistry { return fault.New(seed) }
+
+// Fault-point firing policies.
+var (
+	FaultOnNth       = fault.OnNth
+	FaultFromNth     = fault.FromNth
+	FaultAlways      = fault.Always
+	FaultProbability = fault.Probability
+)
+
+// Injection point names wired through the stack.
+const (
+	FaultMemAlloc         = fault.MemAlloc
+	FaultMemWriteTorn     = fault.MemWriteTorn
+	FaultCoreSyscallCrash = fault.CoreSyscallCrash
+	FaultURPCDrop         = fault.URPCDrop
+	FaultURPCDelay        = fault.URPCDelay
 )
 
 // Machine configurations of the paper's Table 1 platforms.
