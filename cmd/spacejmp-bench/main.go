@@ -31,7 +31,8 @@ func main() {
 	if len(sel) == 0 || sel["all"] {
 		sel = map[string]bool{"table1": true, "table2": true, "fig1": true, "fig6": true,
 			"fig7": true, "fig8": true, "fig9": true, "fig10a": true, "fig10b": true,
-			"fig10c": true, "fig11": true, "fig12": true, "ablations": true}
+			"fig10c": true, "fig11": true, "fig12": true, "ablations": true,
+			"counters": true}
 	}
 	runners := []struct {
 		name string
@@ -41,6 +42,7 @@ func main() {
 		{"fig7", fig7}, {"fig8", fig8}, {"fig9", fig9},
 		{"fig10a", fig10a}, {"fig10b", fig10b}, {"fig10c", fig10c},
 		{"fig11", fig11}, {"fig12", fig12}, {"ablations", ablations},
+		{"counters", counters},
 	}
 	for _, r := range runners {
 		if !sel[r.name] {
@@ -90,10 +92,10 @@ func fig1() error {
 		return err
 	}
 	w := header("Figure 1: mmap/munmap cost by region size (4 KiB pages, M2)")
-	fmt.Fprintln(w, "Region\tmap ms\tunmap ms\tmap(cached) ms\tunmap(cached) ms")
+	fmt.Fprintln(w, "Region\tmap ms\tunmap ms\tmap(cached) ms\tunmap(cached) ms\tPT nodes\tPT nodes(cached)")
 	for _, p := range pts {
-		fmt.Fprintf(w, "2^%d\t%.4f\t%.4f\t%.6f\t%.6f\n",
-			p.SizePow, p.MapMs, p.UnmapMs, p.MapCachedMs, p.UnmapCachedMs)
+		fmt.Fprintf(w, "2^%d\t%.4f\t%.4f\t%.6f\t%.6f\t%d\t%d\n",
+			p.SizePow, p.MapMs, p.UnmapMs, p.MapCachedMs, p.UnmapCachedMs, p.MapNodes, p.MapCachedNodes)
 	}
 	return w.Flush()
 }
@@ -110,9 +112,10 @@ func fig6() error {
 		return err
 	}
 	w := header("Figure 6: TLB tagging on a random-access workload (M3, cycles/page-touch)")
-	fmt.Fprintln(w, "Pages\tSwitch(TagOff)\tSwitch(TagOn)\tNo switch")
+	fmt.Fprintln(w, "Pages\tSwitch(TagOff)\tSwitch(TagOn)\tNo switch\tmisses(off)\tmisses(on)\tmisses(none)")
 	for _, p := range pts {
-		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\n", p.Pages, p.SwitchTagOff, p.SwitchTagOn, p.NoSwitch)
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\n",
+			p.Pages, p.SwitchTagOff, p.SwitchTagOn, p.NoSwitch, p.MissTagOff, p.MissTagOn, p.MissNone)
 	}
 	return w.Flush()
 }
@@ -258,6 +261,17 @@ func fig12() error {
 		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2f\n", r.Op, r.Mmap, r.SpaceJMP, r.SpaceJMP/r.Mmap)
 	}
 	return w.Flush()
+}
+
+func counters() error {
+	cfg := gupsCfg().WithWindows(4)
+	r, err := experiments.GUPSCounters(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== GUPS counters (SpaceJMP design, %d windows, observability enabled) ==\n", cfg.Windows)
+	fmt.Printf("%.2f MUPS over %d updates\n", r.MUPS, r.Updates)
+	return r.Stats.WriteText(os.Stdout)
 }
 
 func ablations() error {

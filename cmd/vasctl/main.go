@@ -14,7 +14,8 @@
 //	peek <addr>                      load a 64-bit value
 //	tag <vas>                        assign a TLB tag
 //	ls                               list VASes and segments
-//	stats                            core cycle/TLB statistics
+//	stats                            machine-wide observability counters
+//	trace                            recent trace events (switches, attaches)
 //
 // Numbers accept 0x prefixes and k/m/g suffixes.
 package main
@@ -40,6 +41,7 @@ type shell struct {
 
 func main() {
 	sys := spacejmp.NewDragonFly(spacejmp.DefaultMachine())
+	sys.EnableStats(256) // before the first process, so every PT is observed
 	proc, err := sys.NewProcess(spacejmp.Creds{UID: uint32(os.Getuid()), GID: uint32(os.Getgid())})
 	if err != nil {
 		fatal(err)
@@ -179,7 +181,7 @@ func (s *shell) run(args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: tag <vas>")
 		}
-		return s.th.VASCtl(spacejmp.CtlSetTag, s.vases[args[1]], nil)
+		return s.th.VASCtl(s.vases[args[1]], spacejmp.SetTag())
 	case "ls":
 		for name, vid := range s.vases {
 			v, err := s.sys.VASByID(vid)
@@ -204,8 +206,13 @@ func (s *shell) run(args []string) error {
 		st := s.th.Core.Stats()
 		fmt.Printf("cycles=%d tlb-hits=%d tlb-misses=%d faults=%d cr3-loads=%d switches=%d\n",
 			s.th.Core.Cycles(), st.TLBHits, st.TLBMisses, st.Faults, st.CR3Loads, s.sys.Switches())
+		return s.sys.Stats().WriteText(os.Stdout)
+	case "trace":
+		for _, ev := range s.sys.Tracer().Events() {
+			fmt.Println(ev)
+		}
 	case "help":
-		fmt.Println("commands: vas seg attach-seg attach switch poke peek tag ls stats")
+		fmt.Println("commands: vas seg attach-seg attach switch poke peek tag ls stats trace")
 	default:
 		return fmt.Errorf("unknown command %q (try help)", args[0])
 	}

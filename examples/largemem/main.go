@@ -47,7 +47,7 @@ func main() {
 			log.Fatal(err)
 		}
 		// Tag the VAS so switching retains TLB entries (§4.4).
-		if err := th.VASCtl(spacejmp.CtlSetTag, vid, nil); err != nil {
+		if err := th.VASCtl(vid, spacejmp.SetTag()); err != nil {
 			log.Fatal(err)
 		}
 		if handles[w], err = th.VASAttach(vid); err != nil {

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/pt"
 )
@@ -144,7 +145,7 @@ func (cs *CSpace) Lookup(s Slot) (*Capability, error) {
 	defer cs.mu.Unlock()
 	c, ok := cs.slots[s]
 	if !ok || c.revoked {
-		return nil, fmt.Errorf("caps: empty or revoked slot %d", s)
+		return nil, fmt.Errorf("%w: caps: empty or revoked slot %d", core.ErrNotFound, s)
 	}
 	return c, nil
 }
@@ -202,16 +203,16 @@ func (k *Kernel) Retype(cs *CSpace, s Slot, to Type, count int) ([]Slot, error) 
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if c.Type != TypeRAM {
-		return nil, fmt.Errorf("caps: cannot retype %v capability", c.Type)
+		return nil, fmt.Errorf("%w: caps: cannot retype %v capability", core.ErrInvalid, c.Type)
 	}
 	if c.retyped {
-		return nil, fmt.Errorf("caps: RAM capability already retyped")
+		return nil, fmt.Errorf("%w: caps: RAM capability already retyped", core.ErrBusy)
 	}
 	if to != TypeFrame && to != TypePageTable {
-		return nil, fmt.Errorf("caps: RAM cannot become %v", to)
+		return nil, fmt.Errorf("%w: caps: RAM cannot become %v", core.ErrInvalid, to)
 	}
 	if count <= 0 || c.Size%uint64(count) != 0 || (c.Size/uint64(count))%arch.PageSize != 0 {
-		return nil, fmt.Errorf("caps: cannot split %d bytes into %d page-aligned children", c.Size, count)
+		return nil, fmt.Errorf("%w: caps: cannot split %d bytes into %d page-aligned children", core.ErrInvalid, c.Size, count)
 	}
 	part := c.Size / uint64(count)
 	var out []Slot
@@ -236,10 +237,10 @@ func (k *Kernel) Mint(src *CSpace, s Slot, dst *CSpace, rights Right) (Slot, err
 		return 0, err
 	}
 	if !c.Rights.Allows(RightGrant) {
-		return 0, fmt.Errorf("caps: source lacks grant right")
+		return 0, fmt.Errorf("%w: caps: source lacks grant right", core.ErrDenied)
 	}
 	if !c.Rights.Allows(rights) {
-		return 0, fmt.Errorf("caps: minting rights %b exceed source %b", rights, c.Rights)
+		return 0, fmt.Errorf("%w: caps: minting rights %b exceed source %b", core.ErrDenied, rights, c.Rights)
 	}
 	child := &Capability{
 		Type: c.Type, Rights: rights, Base: c.Base, Size: c.Size, ObjID: c.ObjID,
@@ -291,7 +292,7 @@ func (k *Kernel) CreateVNode(cs *CSpace, s Slot) (*VNode, error) {
 		return nil, err
 	}
 	if c.Type != TypePageTable {
-		return nil, fmt.Errorf("caps: vnode requires a pagetable capability, got %v", c.Type)
+		return nil, fmt.Errorf("%w: caps: vnode requires a pagetable capability, got %v", core.ErrInvalid, c.Type)
 	}
 	table, err := pt.New(k.pm)
 	if err != nil {
@@ -310,10 +311,10 @@ func (k *Kernel) MapFrame(v *VNode, cs *CSpace, frame Slot, va arch.VirtAddr, pe
 		return err
 	}
 	if c.Type != TypeFrame {
-		return fmt.Errorf("caps: map requires a frame capability, got %v", c.Type)
+		return fmt.Errorf("%w: caps: map requires a frame capability, got %v", core.ErrInvalid, c.Type)
 	}
 	if !c.Rights.Allows(PermRights(perm)) {
-		return fmt.Errorf("caps: frame rights %b do not permit %v mapping", c.Rights, perm)
+		return fmt.Errorf("%w: caps: frame rights %b do not permit %v mapping", core.ErrDenied, c.Rights, perm)
 	}
 	return v.Table.Map(va, c.Base, c.Size, arch.PageSize, perm, false)
 }

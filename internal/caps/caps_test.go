@@ -240,7 +240,7 @@ func TestModeGrantsHonored(t *testing.T) {
 		t.Errorf("group attach under 0644: %v", err)
 	}
 	// Group member cannot write-ctl (group bits are read-only).
-	if err := mt.VASCtl(core.CtlSetTag, vid, nil); !errors.Is(err, core.ErrDenied) {
+	if err := mt.VASCtl(vid, core.SetTag()); !errors.Is(err, core.ErrDenied) {
 		t.Errorf("group write ctl: %v", err)
 	}
 }

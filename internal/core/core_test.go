@@ -448,7 +448,7 @@ func TestVASCtlTagging(t *testing.T) {
 		t.Error("untagged ping-pong retained translations")
 	}
 	for _, vid := range vids {
-		if err := th.VASCtl(CtlSetTag, vid, nil); err != nil {
+		if err := th.VASCtl(vid, SetTag()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -461,13 +461,13 @@ func TestVASCtlTagging(t *testing.T) {
 	}
 	// Tag is sticky; clearing reverts to the flush tag.
 	tag := v.Tag()
-	if err := th.VASCtl(CtlSetTag, vids[0], nil); err != nil {
+	if err := th.VASCtl(vids[0], SetTag()); err != nil {
 		t.Fatal(err)
 	}
 	if v.Tag() != tag {
 		t.Error("second CtlSetTag reassigned the tag")
 	}
-	if err := th.VASCtl(CtlClearTag, vids[0], nil); err != nil {
+	if err := th.VASCtl(vids[0], ClearTag()); err != nil {
 		t.Fatal(err)
 	}
 	if v.Tag() != arch.ASIDFlush {
@@ -484,7 +484,7 @@ func TestTaggedPrimaries(t *testing.T) {
 	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
 		t.Fatal(err)
 	}
-	if err := th.VASCtl(CtlSetTag, vid, nil); err != nil {
+	if err := th.VASCtl(vid, SetTag()); err != nil {
 		t.Fatal(err)
 	}
 	h, _ := th.VASAttach(vid)
@@ -526,7 +526,7 @@ func TestCachedTranslationsAttach(t *testing.T) {
 	_, th := spawn(t, sys)
 	vid, _ := th.VASCreate("v", 0o660)
 	sid, _ := th.SegAlloc("s", segBase(2), 1<<20, arch.PermRW)
-	if err := th.SegCtl(sid, CtlCacheTranslations, nil); err != nil {
+	if err := th.SegCtl(sid, CacheTranslations()); err != nil {
 		t.Fatal(err)
 	}
 	if !mustSeg(t, sys, sid).HasCache() {
@@ -662,7 +662,7 @@ func TestSwitchCostAccounting(t *testing.T) {
 	if got != want {
 		t.Errorf("untagged switch cost = %d, want %d", got, want)
 	}
-	if err := th.VASCtl(CtlSetTag, vid, nil); err != nil {
+	if err := th.VASCtl(vid, SetTag()); err != nil {
 		t.Fatal(err)
 	}
 	before = th.Core.Cycles()

@@ -11,7 +11,7 @@ func TestHugePageSegment(t *testing.T) {
 	sys := testSystem(t)
 	_, th := spawn(t, sys)
 	vid, _ := th.VASCreate("huge.vas", 0o660)
-	sid, err := th.SegAllocPages("huge.seg", segBase(0), 8<<20, arch.PermRW, arch.HugePageSize)
+	sid, err := th.SegAlloc("huge.seg", segBase(0), 8<<20, arch.PermRW, WithPageSize(arch.HugePageSize))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestHugeSegmentTLBReach(t *testing.T) {
 	sys := testSystem(t)
 	_, th := spawn(t, sys)
 	vid, _ := th.VASCreate("reach.vas", 0o660)
-	sid, err := th.SegAllocPages("reach.seg", segBase(0), 8<<20, arch.PermRW, arch.HugePageSize)
+	sid, err := th.SegAlloc("reach.seg", segBase(0), 8<<20, arch.PermRW, WithPageSize(arch.HugePageSize))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,15 +81,15 @@ func TestHugeSegmentAlignmentRules(t *testing.T) {
 	sys := testSystem(t)
 	_, th := spawn(t, sys)
 	// Base not 2 MiB aligned.
-	if _, err := th.SegAllocPages("bad.base", segBase(0)+arch.PageSize, 4<<20, arch.PermRW, arch.HugePageSize); !errors.Is(err, ErrLayout) {
+	if _, err := th.SegAlloc("bad.base", segBase(0)+arch.PageSize, 4<<20, arch.PermRW, WithPageSize(arch.HugePageSize)); !errors.Is(err, ErrLayout) {
 		t.Errorf("misaligned huge base: %v", err)
 	}
 	// Bogus page size.
-	if _, err := th.SegAllocPages("bad.ps", segBase(0), 4<<20, arch.PermRW, 8192); !errors.Is(err, ErrLayout) {
+	if _, err := th.SegAlloc("bad.ps", segBase(0), 4<<20, arch.PermRW, WithPageSize(8192)); !errors.Is(err, ErrLayout) {
 		t.Errorf("bogus page size: %v", err)
 	}
 	// Size rounds up to whole huge pages.
-	sid, err := th.SegAllocPages("round", segBase(0), 3<<20, arch.PermRW, arch.HugePageSize)
+	sid, err := th.SegAlloc("round", segBase(0), 3<<20, arch.PermRW, WithPageSize(arch.HugePageSize))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,12 +102,12 @@ func TestHugeSegmentAlignmentRules(t *testing.T) {
 func TestHugeSegmentCloneAndCache(t *testing.T) {
 	sys := testSystem(t)
 	_, th := spawn(t, sys)
-	sid, err := th.SegAllocPages("hc.seg", segBase(0), 4<<20, arch.PermRW, arch.HugePageSize)
+	sid, err := th.SegAlloc("hc.seg", segBase(0), 4<<20, arch.PermRW, WithPageSize(arch.HugePageSize))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Translation caching works at huge granularity.
-	if err := th.SegCtl(sid, CtlCacheTranslations, nil); err != nil {
+	if err := th.SegCtl(sid, CacheTranslations()); err != nil {
 		t.Fatal(err)
 	}
 	// Write through a local mapping, clone, verify the copy.

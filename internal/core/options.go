@@ -1,0 +1,39 @@
+package core
+
+import (
+	"spacejmp/internal/mem"
+)
+
+// segConfig collects the optional knobs of SegAlloc. The zero value is not
+// meaningful; SegAlloc seeds the defaults (4 KiB pages, the system's segment
+// tier, lockable) before applying options.
+type segConfig struct {
+	pageSize uint64
+	tier     mem.Tier
+	tierSet  bool
+	lockable bool
+}
+
+// SegOption configures SegAlloc.
+type SegOption func(*segConfig)
+
+// WithPageSize selects the backing page size (arch.PageSize or
+// arch.HugePageSize). Huge segments use 2 MiB leaf translations: three-level
+// walks and far larger TLB reach, the trade-off discussed in the paper's
+// related work (§6, large pages).
+func WithPageSize(pageSize uint64) SegOption {
+	return func(c *segConfig) { c.pageSize = pageSize }
+}
+
+// WithTier overrides the memory tier backing the segment for this allocation
+// only (mem.TierDRAM or mem.TierNVM), independent of
+// System.SetSegmentTier's system-wide default.
+func WithTier(t mem.Tier) SegOption {
+	return func(c *segConfig) { c.tier = t; c.tierSet = true }
+}
+
+// WithLockable sets whether switches must take the segment's reader/writer
+// lock (§3.1). Segments are lockable by default.
+func WithLockable(v bool) SegOption {
+	return func(c *segConfig) { c.lockable = v }
+}

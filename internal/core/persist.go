@@ -179,7 +179,7 @@ func newestValid(gens [numGenerations]generation) (generation, bool) {
 func (sys *System) Checkpoint() error {
 	sbBase, sbSize := sys.M.PM.Superblock()
 	if sbSize == 0 {
-		return fmt.Errorf("spacejmp: machine has no NVM superblock; configure mem.Config.NVMSuperblock")
+		return fmt.Errorf("%w: machine has no NVM superblock; configure mem.Config.NVMSuperblock", ErrInvalid)
 	}
 	sys.mu.Lock()
 	img := persistImage{NextVAS: sys.nextVAS, NextSeg: sys.nextSeg, NextASID: sys.nextASID}
@@ -212,8 +212,8 @@ func (sys *System) Checkpoint() error {
 	}
 	_, slotCap := slotGeometry(sbBase, sbSize, 0)
 	if uint64(buf.Len())+hdrSize > slotCap {
-		return fmt.Errorf("spacejmp: checkpoint (%d B) exceeds generation slot (%d B); grow mem.Config.NVMSuperblock",
-			buf.Len(), slotCap)
+		return fmt.Errorf("%w: checkpoint (%d B) exceeds generation slot (%d B); grow mem.Config.NVMSuperblock",
+			ErrLayout, buf.Len(), slotCap)
 	}
 
 	// Pick the slot NOT holding the newest valid generation.
@@ -257,7 +257,7 @@ func (sys *System) Checkpoint() error {
 func (sys *System) Restore() error {
 	sbBase, sbSize := sys.M.PM.Superblock()
 	if sbSize == 0 {
-		return fmt.Errorf("spacejmp: machine has no NVM superblock")
+		return fmt.Errorf("%w: machine has no NVM superblock", ErrInvalid)
 	}
 	gens, err := sys.generations(sbBase, sbSize)
 	if err != nil {

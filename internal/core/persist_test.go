@@ -37,7 +37,7 @@ func TestCheckpointRestoreAcrossPowerCycle(t *testing.T) {
 	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
 		t.Fatal(err)
 	}
-	if err := th.VASCtl(CtlSetTag, vid, nil); err != nil {
+	if err := th.VASCtl(vid, SetTag()); err != nil {
 		t.Fatal(err)
 	}
 	h, _ := th.VASAttach(vid)

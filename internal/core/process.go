@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"spacejmp/internal/arch"
 	"spacejmp/internal/hw"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/vm"
 )
 
@@ -54,6 +56,10 @@ type Thread struct {
 
 	cur  *Attachment  // nil when running in the primary address space
 	held []SegMapping // lockable segments currently locked by this thread
+
+	// lockStart is the core's cycle count when the held lock set was
+	// acquired, feeding the lock-hold histogram on release.
+	lockStart uint64
 }
 
 // System returns the owning system.
@@ -225,10 +231,14 @@ func (t *Thread) Current() Handle {
 // blocking until granted), then overwrite CR3 (§3.1, §4.1).
 func (t *Thread) Switch(h Handle) error {
 	sys := t.Proc.sys
-	t.Core.AddCycles(sys.P.SwitchCycles())
+	obs := sys.M.Observer()
+	t.Core.AddCyclesCat(stats.CatSwitch, sys.P.SwitchCycles())
 	a, err := t.Proc.attachment(h)
 	if err != nil {
 		return err
+	}
+	if obs != nil && len(t.held) > 0 {
+		obs.LockHold(t.Core.Cycles() - t.lockStart)
 	}
 	for i := len(t.held) - 1; i >= 0; i-- {
 		t.held[i].Seg.release(t.held[i].Perm)
@@ -241,14 +251,24 @@ func (t *Thread) Switch(h Handle) error {
 		space = t.Proc.primary
 	} else {
 		locks := a.VAS.lockSet()
+		// Lock wait is measured in real nanoseconds: simulated cycles do
+		// not advance while a goroutine blocks on another thread's lock.
+		var waitStart time.Time
+		if obs != nil && len(locks) > 0 {
+			waitStart = time.Now()
+		}
 		for _, m := range locks {
 			m.Seg.acquire(m.Perm)
 		}
+		if obs != nil && len(locks) > 0 {
+			obs.LockWait(uint64(time.Since(waitStart)))
+		}
+		t.lockStart = t.Core.Cycles()
 		t.held = locks
 		space = a.Space
 		tag = a.VAS.Tag()
 	}
-	t.Core.AddCycles(sys.P.SwitchBookkeeping(tag != arch.ASIDFlush))
+	t.Core.AddCyclesCat(stats.CatSwitch, sys.P.SwitchBookkeeping(tag != arch.ASIDFlush))
 	t.Core.LoadCR3(space.Table(), tag)
 	t.Core.OnFault = space.Handler()
 	t.cur = a

@@ -8,6 +8,7 @@ import (
 	"spacejmp/internal/arch"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/pt"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/vm"
 )
 
@@ -146,7 +147,8 @@ func (s *Segment) HasCache() bool {
 // buildCache constructs the cached translation subtree: every page of the
 // segment is mapped (at its maximum permissions) into a private table whose
 // PDPT is then shareable. Requires the segment to fit in one PML4 slot.
-func (s *Segment) buildCache(pm *mem.PhysMem) error {
+// obs (which may be nil) feeds the observability layer's page-table counters.
+func (s *Segment) buildCache(pm *mem.PhysMem, obs *stats.PTCounters) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cache != nil {
@@ -159,6 +161,7 @@ func (s *Segment) buildCache(pm *mem.PhysMem) error {
 	if err != nil {
 		return err
 	}
+	table.SetObserver(obs)
 	ps := s.Obj.PageSize
 	for off := uint64(0); off < s.Size; off += ps {
 		frame, err := s.Obj.Frame(off / ps)

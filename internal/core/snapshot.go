@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/stats"
 )
 
 // Snapshotting and copy-on-write cloning — the address-space creation
@@ -23,10 +24,11 @@ import (
 // VAS instead (VASSnapshot freezes the original's segments by cloning and
 // swapping).
 func (t *Thread) SegCloneCOW(sid SegID, newName string) (SegID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegClone)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	src, err := sys.seg(sid)
 	if err != nil {
 		return 0, err
@@ -68,10 +70,11 @@ func (t *Thread) SegCloneCOW(sid SegID, newName string) (SegID, error) {
 // is required — the RedisJMP pattern of taking snapshots while holding the
 // exclusive lock does exactly that.
 func (t *Thread) VASSnapshot(vid VASID, snapName string) (VASID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpVASClone)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	src, err := sys.vas(vid)
 	if err != nil {
 		return 0, err

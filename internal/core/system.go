@@ -8,6 +8,7 @@ import (
 	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/mem"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/vm"
 )
 
@@ -83,23 +84,25 @@ func (sys *System) installShootdown(space *vm.Space, tagOf func() arch.ASID) {
 	space.Shootdown = func(va arch.VirtAddr, size uint64) {
 		pages := arch.PagesIn(size)
 		tag := tagOf()
+		entries := 0
 		for _, c := range sys.M.Cores {
 			if pages > 64 {
-				c.TLB.FlushASID(tag)
+				entries += c.TLB.FlushASID(tag)
 				if tag != arch.ASIDFlush {
 					continue
 				}
-				c.TLB.FlushAll()
+				entries += c.TLB.FlushAll()
 				continue
 			}
 			for i := uint64(0); i < pages; i++ {
 				a := va + arch.VirtAddr(i*arch.PageSize)
-				c.TLB.FlushPage(tag, a)
+				entries += c.TLB.FlushPage(tag, a)
 				if tag != arch.ASIDFlush {
-					c.TLB.FlushPage(arch.ASIDFlush, a)
+					entries += c.TLB.FlushPage(arch.ASIDFlush, a)
 				}
 			}
 		}
+		sys.M.Observer().Shootdown(pages, entries)
 	}
 }
 
@@ -110,10 +113,34 @@ func (sys *System) Switches() uint64 {
 	return sys.switchures
 }
 
-func (sys *System) countSwitch() {
+func (sys *System) countSwitch(t *Thread, h Handle) {
 	sys.mu.Lock()
 	sys.switchures++
 	sys.mu.Unlock()
+	sys.M.Observer().VASSwitch(t.Core.ID, t.Proc.PID, uint64(h))
+}
+
+// EnableStats turns on machine-wide observability (see hw.Machine.EnableStats)
+// and returns the live sink. Address spaces built after this call also feed
+// the page-table counters; enable stats before creating processes and
+// segments for complete accounting.
+func (sys *System) EnableStats(traceCap int) *stats.Sink {
+	return sys.M.EnableStats(traceCap)
+}
+
+// Stats returns an immutable snapshot of every observability counter,
+// completed with the syscall-layer totals, or nil when stats are disabled.
+func (sys *System) Stats() *stats.Snapshot {
+	snap := sys.M.StatsSnapshot()
+	if snap != nil {
+		snap.Switches = sys.Switches()
+	}
+	return snap
+}
+
+// Tracer returns the installed trace ring, or nil when tracing is off.
+func (sys *System) Tracer() *stats.Tracer {
+	return sys.M.Observer().Tracer()
 }
 
 // claimCore reserves a free core for a thread.
@@ -180,20 +207,23 @@ func (sys *System) NewProcess(creds Creds) (*Process, error) {
 // (used for process-private segments). Global registration happens in
 // SegAlloc.
 func (sys *System) newSegmentLocked(name string, base arch.VirtAddr, size uint64, perm arch.Perm, owner Creds, lockable bool) *Segment {
-	return sys.newSegmentPages(name, base, size, perm, owner, lockable, arch.PageSize)
+	return sys.newSegment(name, base, size, perm, owner, segConfig{pageSize: arch.PageSize, lockable: lockable})
 }
 
-func (sys *System) newSegmentPages(name string, base arch.VirtAddr, size uint64, perm arch.Perm, owner Creds, lockable bool, pageSize uint64) *Segment {
+func (sys *System) newSegment(name string, base arch.VirtAddr, size uint64, perm arch.Perm, owner Creds, cfg segConfig) *Segment {
 	sys.mu.Lock()
 	id := sys.nextSeg
 	sys.nextSeg++
 	tier := sys.segTier
 	sys.mu.Unlock()
-	size = (size + pageSize - 1) &^ (pageSize - 1)
+	if cfg.tierSet {
+		tier = cfg.tier
+	}
+	size = (size + cfg.pageSize - 1) &^ (cfg.pageSize - 1)
 	return &Segment{
 		ID: id, Name: name, Base: base, Size: size,
-		Obj: vm.NewObjectPages(sys.M.PM, name, size, tier, pageSize), Owner: owner,
-		perm: perm, lockable: lockable,
+		Obj: vm.NewObjectPages(sys.M.PM, name, size, tier, cfg.pageSize), Owner: owner,
+		perm: perm, lockable: cfg.lockable,
 	}
 }
 
@@ -204,6 +234,7 @@ func (sys *System) buildSpace(p *Process, a *Attachment) (*vm.Space, error) {
 	if err != nil {
 		return nil, err
 	}
+	space.SetObserver(sys.M.Observer())
 	if a != nil {
 		vas := a.VAS
 		sys.installShootdown(space, vas.Tag)
@@ -248,19 +279,29 @@ func (t *Thread) gate(sys *System) error {
 }
 
 // enter charges the personality's control-path cost and runs the syscall
-// gate.
-func (t *Thread) enter() (*System, error) {
+// gate. The returned done func records the syscall's simulated-cycle latency
+// into the per-op histogram; callers defer it so the measurement covers the
+// whole operation. When observability is off done is a shared no-op.
+func (t *Thread) enter(op stats.Op) (*System, func(), error) {
 	sys := t.Proc.sys
-	t.Core.AddCycles(sys.P.ControlCycles())
-	return sys, t.gate(sys)
+	done := noopDone
+	if obs := sys.M.Observer(); obs != nil {
+		core, start := t.Core, t.Core.Cycles()
+		done = func() { obs.Syscall(op, core.Cycles()-start) }
+	}
+	t.Core.AddCyclesCat(stats.CatSyscall, sys.P.ControlCycles())
+	return sys, done, t.gate(sys)
 }
+
+var noopDone = func() {}
 
 // VASCreate creates a named first-class address space (vas_create).
 func (t *Thread) VASCreate(name string, mode uint16) (VASID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpVASCreate)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	if _, dup := sys.vasByName[name]; dup {
@@ -276,10 +317,11 @@ func (t *Thread) VASCreate(name string, mode uint16) (VASID, error) {
 
 // VASFind looks up a VAS by name (vas_find).
 func (t *Thread) VASFind(name string) (VASID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpVASFind)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	v, ok := sys.vasByName[name]
@@ -318,10 +360,11 @@ func (sys *System) SegByID(id SegID) (*Segment, error) { return sys.seg(id) }
 // VASAttach attaches the calling process to a VAS, building the
 // process-private vmspace instance (vas_attach).
 func (t *Thread) VASAttach(vid VASID) (Handle, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpVASAttach)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	v, err := sys.vas(vid)
 	if err != nil {
 		return 0, err
@@ -345,9 +388,11 @@ func (t *Thread) VASAttach(vid VASID) (Handle, error) {
 
 // VASDetach drops an attachment (vas_detach). The VAS itself survives.
 func (t *Thread) VASDetach(h Handle) error {
-	if _, err := t.enter(); err != nil {
+	_, done, err := t.enter(stats.OpVASDetach)
+	if err != nil {
 		return err
 	}
+	defer done()
 	if h == PrimaryHandle {
 		return fmt.Errorf("%w: cannot detach the primary address space", ErrDenied)
 	}
@@ -374,21 +419,28 @@ func (t *Thread) VASDetach(h Handle) error {
 // syscall it passes the crash gate: an injected crash here dies while the
 // thread still holds the locks of the space it is leaving.
 func (t *Thread) VASSwitch(h Handle) error {
-	if err := t.gate(t.Proc.sys); err != nil {
+	sys := t.Proc.sys
+	start := t.Core.Cycles()
+	if err := t.gate(sys); err != nil {
 		return err
 	}
-	t.Proc.sys.countSwitch()
-	return t.Switch(h)
+	sys.countSwitch(t, h)
+	err := t.Switch(h)
+	if obs := sys.M.Observer(); obs != nil {
+		obs.Syscall(stats.OpVASSwitch, t.Core.Cycles()-start)
+	}
+	return err
 }
 
 // VASClone creates a new VAS sharing the original's segments — combined
 // with VASCtl it implements permission-changed views and snapshots
 // (vas_clone).
 func (t *Thread) VASClone(vid VASID, newName string) (VASID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpVASClone)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	src, err := sys.vas(vid)
 	if err != nil {
 		return 0, err
@@ -411,12 +463,15 @@ func (t *Thread) VASClone(vid VASID, newName string) (VASID, error) {
 	return v.ID, nil
 }
 
-// VASCtl manipulates VAS metadata (vas_ctl).
-func (t *Thread) VASCtl(cmd CtlCmd, vid VASID, arg any) error {
-	sys, err := t.enter()
+// VASCtl manipulates VAS metadata (vas_ctl). Commands are typed values
+// built with SetTag, ClearTag, or SetMode, applied in order; an ill-typed
+// argument is now a compile error rather than a runtime one.
+func (t *Thread) VASCtl(vid VASID, cmds ...VASCmd) error {
+	sys, done, err := t.enter(stats.OpVASCtl)
 	if err != nil {
 		return err
 	}
+	defer done()
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -424,41 +479,26 @@ func (t *Thread) VASCtl(cmd CtlCmd, vid VASID, arg any) error {
 	if err := sys.P.CheckVAS(t.Proc.Creds, v, arch.PermWrite); err != nil {
 		return err
 	}
-	switch cmd {
-	case CtlSetTag:
-		if v.Tag() == arch.ASIDFlush {
-			tag, err := sys.allocTag()
-			if err != nil {
-				return err
-			}
-			v.setTag(tag)
+	for _, cmd := range cmds {
+		if cmd == nil {
+			return fmt.Errorf("%w: vas_ctl: nil command", ErrInvalid)
 		}
-		return nil
-	case CtlClearTag:
-		v.setTag(arch.ASIDFlush)
-		return nil
-	case CtlSetPerm:
-		mode, ok := arg.(uint16)
-		if !ok {
-			return fmt.Errorf("vas_ctl set-perm: arg must be uint16 mode, got %T", arg)
+		if err := cmd.applyVAS(sys, v); err != nil {
+			return err
 		}
-		v.mu.Lock()
-		v.Mode = mode
-		v.mu.Unlock()
-		return nil
-	default:
-		return fmt.Errorf("vas_ctl: unsupported command %v", cmd)
 	}
+	return nil
 }
 
 // VASDestroy removes an unattached VAS from the system. Its segments
 // survive (they are independently named objects). This is the reclamation
 // path the paper leaves to vas_ctl.
 func (t *Thread) VASDestroy(vid VASID) error {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpVASDestroy)
 	if err != nil {
 		return err
 	}
+	defer done()
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -481,27 +521,27 @@ func (t *Thread) VASDestroy(vid VASID) error {
 // SegAlloc creates a named global segment at a fixed base address with
 // physical memory reserved up front (seg_alloc). Global segments must live
 // at or above GlobalBase, disjoint from every process's private range.
-func (t *Thread) SegAlloc(name string, base arch.VirtAddr, size uint64, perm arch.Perm) (SegID, error) {
-	return t.SegAllocPages(name, base, size, perm, arch.PageSize)
-}
-
-// SegAllocPages is SegAlloc with an explicit backing page size
-// (arch.PageSize or arch.HugePageSize). Huge segments use 2 MiB leaf
-// translations: three-level walks and far larger TLB reach, the trade-off
-// discussed in the paper's related work (§6, large pages).
-func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, perm arch.Perm, pageSize uint64) (SegID, error) {
-	sys, err := t.enter()
+// Options select the backing page size (WithPageSize), memory tier
+// (WithTier), and lockability (WithLockable); the defaults are 4 KiB pages,
+// the system's segment tier, lockable.
+func (t *Thread) SegAlloc(name string, base arch.VirtAddr, size uint64, perm arch.Perm, opts ...SegOption) (SegID, error) {
+	sys, done, err := t.enter(stats.OpSegAlloc)
 	if err != nil {
 		return 0, err
 	}
-	if pageSize != arch.PageSize && pageSize != arch.HugePageSize {
-		return 0, fmt.Errorf("%w: segment %q: unsupported page size %d", ErrLayout, name, pageSize)
+	defer done()
+	cfg := segConfig{pageSize: arch.PageSize, lockable: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.pageSize != arch.PageSize && cfg.pageSize != arch.HugePageSize {
+		return 0, fmt.Errorf("%w: segment %q: unsupported page size %d", ErrLayout, name, cfg.pageSize)
 	}
 	if base < GlobalBase || !(base + arch.VirtAddr(size)).Canonical() {
 		return 0, fmt.Errorf("%w: global segment %q must lie in [%v, 2^48)", ErrLayout, name, GlobalBase)
 	}
-	if uint64(base)%pageSize != 0 || size == 0 {
-		return 0, fmt.Errorf("%w: segment %q base/size not aligned to %d-byte pages", ErrLayout, name, pageSize)
+	if uint64(base)%cfg.pageSize != 0 || size == 0 {
+		return 0, fmt.Errorf("%w: segment %q base/size not aligned to %d-byte pages", ErrLayout, name, cfg.pageSize)
 	}
 	sys.mu.Lock()
 	if _, dup := sys.segByName[name]; dup {
@@ -509,7 +549,7 @@ func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, per
 		return 0, fmt.Errorf("%w: segment %q", ErrExists, name)
 	}
 	sys.mu.Unlock()
-	seg := sys.newSegmentPages(name, base, size, perm, t.Proc.Creds, true, pageSize)
+	seg := sys.newSegment(name, base, size, perm, t.Proc.Creds, cfg)
 	if err := seg.Obj.Populate(); err != nil {
 		seg.Obj.Unref()
 		return 0, err
@@ -522,12 +562,20 @@ func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, per
 	return seg.ID, nil
 }
 
+// SegAllocPages is SegAlloc with a positional page size.
+//
+// Deprecated: use SegAlloc with WithPageSize.
+func (t *Thread) SegAllocPages(name string, base arch.VirtAddr, size uint64, perm arch.Perm, pageSize uint64) (SegID, error) {
+	return t.SegAlloc(name, base, size, perm, WithPageSize(pageSize))
+}
+
 // SegFind looks a segment up by name (seg_find).
 func (t *Thread) SegFind(name string) (SegID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegFind)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	sys.mu.Lock()
 	defer sys.mu.Unlock()
 	s, ok := sys.segByName[name]
@@ -541,10 +589,11 @@ func (t *Thread) SegFind(name string) (SegID, error) {
 // the given mapping permissions (seg_attach with a vid). The mapping
 // permissions may not exceed the segment's own.
 func (t *Thread) SegAttachVAS(vid VASID, sid SegID, mapPerm arch.Perm) error {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegAttach)
 	if err != nil {
 		return err
 	}
+	defer done()
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -566,27 +615,29 @@ func (t *Thread) SegAttachVAS(vid VASID, sid SegID, mapPerm arch.Perm) error {
 		return fmt.Errorf("%w: segment %q overlaps a segment in vas %q", ErrLayout, seg.Name, v.Name)
 	}
 	// Propagate to existing attachments, rolling back on failure.
-	done := []*Attachment{}
+	installed := []*Attachment{}
 	for _, a := range v.attachments() {
 		if err := a.installSeg(seg, mapPerm); err != nil {
-			for _, d := range done {
+			for _, d := range installed {
 				_ = d.removeSeg(seg)
 			}
 			v.removeSeg(sid)
 			return err
 		}
-		done = append(done, a)
+		installed = append(installed, a)
 	}
+	sys.M.Observer().SegAttach(t.Core.ID, t.Proc.PID, uint64(vid), uint64(sid))
 	return nil
 }
 
 // SegAttachLocal maps a segment into only the calling process's attachment
 // (seg_attach with a vh) — process-specific installation.
 func (t *Thread) SegAttachLocal(h Handle, sid SegID, mapPerm arch.Perm) error {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegAttach)
 	if err != nil {
 		return err
 	}
+	defer done()
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err
@@ -611,10 +662,11 @@ func (t *Thread) SegAttachLocal(h Handle, sid SegID, mapPerm arch.Perm) error {
 // SegDetachVAS removes a segment from a VAS and from every attachment
 // (seg_detach with a vid).
 func (t *Thread) SegDetachVAS(vid VASID, sid SegID) error {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegDetach)
 	if err != nil {
 		return err
 	}
+	defer done()
 	v, err := sys.vas(vid)
 	if err != nil {
 		return err
@@ -637,10 +689,11 @@ func (t *Thread) SegDetachVAS(vid VASID, sid SegID) error {
 // SegDetachLocal unmaps a segment from the calling process's attachment
 // (seg_detach with a vh).
 func (t *Thread) SegDetachLocal(h Handle, sid SegID) error {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegDetach)
 	if err != nil {
 		return err
 	}
+	defer done()
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err
@@ -659,10 +712,11 @@ func (t *Thread) SegDetachLocal(h Handle, sid SegID) error {
 // name at the same base address (seg_clone). Cloning plus SegCtl implements
 // permission-changed copies (§3.2).
 func (t *Thread) SegClone(sid SegID, newName string) (SegID, error) {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegClone)
 	if err != nil {
 		return 0, err
 	}
+	defer done()
 	src, err := sys.seg(sid)
 	if err != nil {
 		return 0, err
@@ -676,7 +730,8 @@ func (t *Thread) SegClone(sid SegID, newName string) (SegID, error) {
 		return 0, fmt.Errorf("%w: segment %q", ErrExists, newName)
 	}
 	sys.mu.Unlock()
-	dst := sys.newSegmentPages(newName, src.Base, src.Size, src.Perm(), t.Proc.Creds, src.Lockable(), src.Obj.PageSize)
+	dst := sys.newSegment(newName, src.Base, src.Size, src.Perm(), t.Proc.Creds,
+		segConfig{pageSize: src.Obj.PageSize, lockable: src.Lockable()})
 	if err := dst.Obj.Populate(); err != nil {
 		dst.Obj.Unref()
 		return 0, err
@@ -711,12 +766,14 @@ func (t *Thread) SegClone(sid SegID, newName string) (SegID, error) {
 	return dst.ID, nil
 }
 
-// SegCtl manipulates segment metadata (seg_ctl).
-func (t *Thread) SegCtl(sid SegID, cmd CtlCmd, arg any) error {
-	sys, err := t.enter()
+// SegCtl manipulates segment metadata (seg_ctl). Commands are typed values
+// built with SetPerm, SetLockable, or CacheTranslations, applied in order.
+func (t *Thread) SegCtl(sid SegID, cmds ...SegCmd) error {
+	sys, done, err := t.enter(stats.OpSegCtl)
 	if err != nil {
 		return err
 	}
+	defer done()
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err
@@ -724,34 +781,24 @@ func (t *Thread) SegCtl(sid SegID, cmd CtlCmd, arg any) error {
 	if err := sys.P.CheckSeg(t.Proc.Creds, seg, arch.PermWrite); err != nil {
 		return err
 	}
-	switch cmd {
-	case CtlSetPerm:
-		p, ok := arg.(arch.Perm)
-		if !ok {
-			return fmt.Errorf("seg_ctl set-perm: arg must be arch.Perm, got %T", arg)
+	for _, cmd := range cmds {
+		if cmd == nil {
+			return fmt.Errorf("%w: seg_ctl: nil command", ErrInvalid)
 		}
-		seg.setPerm(p)
-		return nil
-	case CtlSetLockable:
-		b, ok := arg.(bool)
-		if !ok {
-			return fmt.Errorf("seg_ctl set-lockable: arg must be bool, got %T", arg)
+		if err := cmd.applySeg(sys, seg); err != nil {
+			return err
 		}
-		seg.SetLockable(b)
-		return nil
-	case CtlCacheTranslations:
-		return seg.buildCache(sys.M.PM)
-	default:
-		return fmt.Errorf("seg_ctl: unsupported command %v", cmd)
 	}
+	return nil
 }
 
 // SegFree removes an unmapped global segment and releases its memory.
 func (t *Thread) SegFree(sid SegID) error {
-	sys, err := t.enter()
+	sys, done, err := t.enter(stats.OpSegFree)
 	if err != nil {
 		return err
 	}
+	defer done()
 	seg, err := sys.seg(sid)
 	if err != nil {
 		return err

@@ -11,7 +11,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"spacejmp/internal/arch"
 )
@@ -42,6 +41,9 @@ var (
 	ErrDenied   = errors.New("spacejmp: access denied")
 	ErrBusy     = errors.New("spacejmp: object busy")
 	ErrLayout   = errors.New("spacejmp: address layout violation")
+	// ErrInvalid reports a malformed syscall argument (a nil ctl command, a
+	// machine missing required configuration).
+	ErrInvalid = errors.New("spacejmp: invalid argument")
 	// ErrProcessDead reports a syscall made by (or an injected crash of) a
 	// process that has exited or crashed; the kernel reaper has already
 	// reclaimed its cores, locks, and memory.
@@ -67,44 +69,6 @@ const (
 	// PML4-slot aligned so segment translation caches can be linked whole.
 	GlobalBase arch.VirtAddr = 0x0000_8000_0000_0000
 )
-
-// CtlCmd enumerates vas_ctl / seg_ctl commands.
-type CtlCmd int
-
-const (
-	// CtlSetTag requests a TLB tag (ASID) for a VAS; arg is ignored and a
-	// fresh tag is assigned (paper §4.4: the user passes hints to the
-	// kernel to request a tag). Passing it again keeps the existing tag.
-	CtlSetTag CtlCmd = iota
-	// CtlClearTag reverts a VAS to the reserved flush tag.
-	CtlClearTag
-	// CtlSetPerm changes an object's maximum permissions; arg is an
-	// arch.Perm.
-	CtlSetPerm
-	// CtlSetLockable toggles a segment's lockable bit; arg is a bool.
-	CtlSetLockable
-	// CtlCacheTranslations builds a segment's cached translation subtree
-	// (§4.1: "a segment may contain a set of cached translations to
-	// accelerate attachment to an address space").
-	CtlCacheTranslations
-)
-
-func (c CtlCmd) String() string {
-	switch c {
-	case CtlSetTag:
-		return "set-tag"
-	case CtlClearTag:
-		return "clear-tag"
-	case CtlSetPerm:
-		return "set-perm"
-	case CtlSetLockable:
-		return "set-lockable"
-	case CtlCacheTranslations:
-		return "cache-translations"
-	default:
-		return fmt.Sprintf("ctl(%d)", int(c))
-	}
-}
 
 // Personality abstracts the host OS design under the SpaceJMP model: what a
 // control-path operation costs, what a switch costs beyond the CR3 write,

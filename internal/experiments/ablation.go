@@ -73,7 +73,7 @@ func AblationSegCache(sizePows []int) ([]AblationRow, error) {
 				return nil, err
 			}
 			if cached {
-				if err := th.SegCtl(sid, core.CtlCacheTranslations, nil); err != nil {
+				if err := th.SegCtl(sid, core.CacheTranslations()); err != nil {
 					return nil, err
 				}
 			}

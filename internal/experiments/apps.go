@@ -98,6 +98,17 @@ func Fig9(windowCounts []int, updateSets []int, cfg gups.Config) ([]Fig9Point, e
 	return out, nil
 }
 
+// GUPSCounters runs the SpaceJMP GUPS design with the observability layer
+// enabled and returns the run plus its counter delta over the measured
+// section (TLB hit rate, page-table nodes touched, cycles by category).
+// Stats are switched on before the system allocates any address space, so
+// every page table the run builds is observed.
+func GUPSCounters(cfg gups.Config) (gups.Result, error) {
+	sys := kernel.New(hw.NewMachine(gupsMachine(cfg.Windows)))
+	sys.EnableStats(0)
+	return gups.RunSpaceJMP(sys, cfg)
+}
+
 // Fig10 bundles the three Redis sub-figures, produced from measured costs
 // on M1 (the paper's Redis machine).
 type Fig10 struct {

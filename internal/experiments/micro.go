@@ -28,6 +28,11 @@ type Fig1Point struct {
 	UnmapMs       float64
 	MapCachedMs   float64
 	UnmapCachedMs float64
+	// Counter evidence for the latency claim: table nodes allocated by the
+	// plain map (grows with region size) vs by the cached attach (O(1) —
+	// the subtree already exists and is only linked).
+	MapNodes       uint64
+	MapCachedNodes uint64
 }
 
 // Fig1 measures page-table construction and removal cost for region sizes
@@ -36,6 +41,7 @@ type Fig1Point struct {
 // translations) instead of constructing page tables.
 func Fig1(maxPow int) ([]Fig1Point, error) {
 	m := hw.NewMachine(hw.M2())
+	sink := m.EnableStats(0)
 	var out []Fig1Point
 	for p := 15; p <= maxPow; p++ {
 		size := uint64(1) << p
@@ -43,6 +49,7 @@ func Fig1(maxPow int) ([]Fig1Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		space.SetObserver(sink)
 		c := m.Cores[0]
 
 		measure := func(f func() error) (float64, error) {
@@ -57,12 +64,14 @@ func Fig1(maxPow int) ([]Fig1Point, error) {
 		}
 
 		pt_ := Fig1Point{SizePow: p}
+		nodesBefore := sink.Snapshot().PT.NodesAllocated
 		if pt_.MapMs, err = measure(func() error {
 			_, err := space.MapAnon(core.GlobalBase, size, arch.PermRW, vm.MapFixed|vm.MapPopulate)
 			return err
 		}); err != nil {
 			return nil, err
 		}
+		pt_.MapNodes = sink.Snapshot().PT.NodesAllocated - nodesBefore
 		if pt_.UnmapMs, err = measure(func() error {
 			return space.Unmap(core.GlobalBase, size)
 		}); err != nil {
@@ -85,7 +94,7 @@ func Fig1(maxPow int) ([]Fig1Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := th.SegCtl(sid, core.CtlCacheTranslations, nil); err != nil {
+		if err := th.SegCtl(sid, core.CacheTranslations()); err != nil {
 			return nil, err
 		}
 		seg, err := sys.SegByID(sid)
@@ -100,11 +109,14 @@ func Fig1(maxPow int) ([]Fig1Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		target.SetObserver(sink.PTObs())
+		nodesBefore = sink.Snapshot().PT.NodesAllocated
 		if pt_.MapCachedMs, err = measure(func() error {
 			return target.LinkSubtree(core.GlobalBase, 3, sub)
 		}); err != nil {
 			return nil, err
 		}
+		pt_.MapCachedNodes = sink.Snapshot().PT.NodesAllocated - nodesBefore
 		if pt_.UnmapCachedMs, err = measure(func() error {
 			return target.UnlinkSubtree(core.GlobalBase, 3)
 		}); err != nil {
@@ -177,7 +189,7 @@ func Table2() ([]Table2Row, error) {
 			return 0, 0, 0, err
 		}
 		if tagged {
-			if err := th.VASCtl(core.CtlSetTag, vid, nil); err != nil {
+			if err := th.VASCtl(vid, core.SetTag()); err != nil {
 				return 0, 0, 0, err
 			}
 		}
@@ -238,6 +250,12 @@ type Fig6Point struct {
 	SwitchTagOff float64 // cycles per touch, CR3 rewritten untagged between touches
 	SwitchTagOn  float64 // cycles per touch, tagged CR3 rewrite between touches
 	NoSwitch     float64 // cycles per touch, no CR3 writes
+	// Counter evidence for the latency claim: TLB misses over the measured
+	// touches per regime. Untagged CR3 rewrites flush the TLB, so every
+	// touch misses; tags retain entries across rewrites.
+	MissTagOff uint64
+	MissTagOn  uint64
+	MissNone   uint64
 }
 
 // Fig6 reproduces the random page-walking benchmark on M3: for a given set
@@ -245,6 +263,7 @@ type Fig6Point struct {
 // is introduced between iterations; tags on/off/no-switch are compared.
 func Fig6(pageCounts []int, touches int) ([]Fig6Point, error) {
 	m := hw.NewMachine(hw.M3())
+	sink := m.EnableStats(0)
 	var out []Fig6Point
 	for _, pages := range pageCounts {
 		space, err := vm.NewSpace(m.PM)
@@ -256,15 +275,16 @@ func Fig6(pageCounts []int, touches int) ([]Fig6Point, error) {
 			return nil, err
 		}
 		c := m.Cores[0]
-		run := func(tag arch.ASID, reloadCR3 bool) (float64, error) {
+		run := func(tag arch.ASID, reloadCR3 bool) (float64, uint64, error) {
 			rng := rand.New(rand.NewSource(99))
 			c.LoadCR3(space.Table(), tag)
 			// Warm pass.
 			for i := 0; i < pages; i++ {
 				if _, err := c.Load64(base + arch.VirtAddr(i*arch.PageSize)); err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 			}
+			missBefore := sink.Snapshot().TLB.Misses
 			var touchCycles uint64
 			for i := 0; i < touches; i++ {
 				if reloadCR3 {
@@ -273,20 +293,21 @@ func Fig6(pageCounts []int, touches int) ([]Fig6Point, error) {
 				va := base + arch.VirtAddr(rng.Intn(pages)*arch.PageSize)
 				before := c.Cycles()
 				if _, err := c.Load64(va); err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				touchCycles += c.Cycles() - before
 			}
-			return float64(touchCycles) / float64(touches), nil
+			misses := sink.Snapshot().TLB.Misses - missBefore
+			return float64(touchCycles) / float64(touches), misses, nil
 		}
 		p := Fig6Point{Pages: pages}
-		if p.SwitchTagOff, err = run(arch.ASIDFlush, true); err != nil {
+		if p.SwitchTagOff, p.MissTagOff, err = run(arch.ASIDFlush, true); err != nil {
 			return nil, err
 		}
-		if p.SwitchTagOn, err = run(7, true); err != nil {
+		if p.SwitchTagOn, p.MissTagOn, err = run(7, true); err != nil {
 			return nil, err
 		}
-		if p.NoSwitch, err = run(7, false); err != nil {
+		if p.NoSwitch, p.MissNone, err = run(7, false); err != nil {
 			return nil, err
 		}
 		space.Destroy()

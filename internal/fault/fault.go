@@ -80,9 +80,22 @@ type point struct {
 
 // Registry holds the enabled injection points of one test scope.
 type Registry struct {
-	mu     sync.Mutex
-	seed   int64
-	points map[string]*point
+	mu       sync.Mutex
+	seed     int64
+	points   map[string]*point
+	observer func(name string)
+}
+
+// SetObserver installs a callback invoked (outside the registry lock) every
+// time a point fires, letting an observability layer count and trace
+// injected faults. A nil callback disables observation.
+func (r *Registry) SetObserver(fn func(name string)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observer = fn
 }
 
 // New creates a registry. The seed determines every probabilistic policy's
@@ -137,17 +150,22 @@ func (r *Registry) Fire(name string) bool {
 		return false
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	pt, ok := r.points[name]
 	if !ok {
+		r.mu.Unlock()
 		return false
 	}
 	pt.hits++
-	if pt.policy(pt.hits, pt.rng) {
+	fired := pt.policy(pt.hits, pt.rng)
+	if fired {
 		pt.fired++
-		return true
 	}
-	return false
+	obs := r.observer
+	r.mu.Unlock()
+	if fired && obs != nil {
+		obs(name)
+	}
+	return fired
 }
 
 // Hits returns how many times the named point was passed while armed.

@@ -25,6 +25,7 @@ import (
 	"spacejmp/internal/arch"
 	"spacejmp/internal/core"
 	"spacejmp/internal/hw"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/urpc"
 	"spacejmp/internal/vm"
 )
@@ -69,6 +70,9 @@ type Result struct {
 	Switches  uint64 // address-space switches (SpaceJMP)
 	TLBMisses uint64
 	Faults    uint64
+	// Stats is the observability delta over the measured section, when the
+	// system's stats sink is enabled (nil otherwise).
+	Stats *stats.Snapshot
 }
 
 func finish(r Result, m *hw.Machine) Result {
@@ -132,7 +136,7 @@ func RunSpaceJMP(sys *core.System, cfg Config) (Result, error) {
 		if pageSize == 0 {
 			pageSize = arch.PageSize
 		}
-		sid, err := th.SegAllocPages(fmt.Sprintf("gups.win%d", w), windowBase, cfg.WindowSize, arch.PermRW, pageSize)
+		sid, err := th.SegAlloc(fmt.Sprintf("gups.win%d", w), windowBase, cfg.WindowSize, arch.PermRW, core.WithPageSize(pageSize))
 		if err != nil {
 			return Result{}, err
 		}
@@ -140,7 +144,7 @@ func RunSpaceJMP(sys *core.System, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		if cfg.UseTags {
-			if err := th.VASCtl(core.CtlSetTag, vid, nil); err != nil {
+			if err := th.VASCtl(vid, core.SetTag()); err != nil {
 				return Result{}, err
 			}
 		}
@@ -164,6 +168,7 @@ func RunSpaceJMP(sys *core.System, cfg Config) (Result, error) {
 	}
 	stream := newStream(cfg)
 	th.Core.ResetStats()
+	statsBefore := sys.Stats()
 	startCycles := th.Core.Cycles()
 	startSwitches := sys.Switches()
 	cur := -1
@@ -197,6 +202,7 @@ func RunSpaceJMP(sys *core.System, cfg Config) (Result, error) {
 		Switches:  sys.Switches() - startSwitches,
 		TLBMisses: st.TLBMisses,
 		Faults:    st.Faults,
+		Stats:     sys.Stats().Delta(statsBefore),
 	}
 	// Tear down the segments so repeated runs can reuse the names.
 	for w := 0; w < cfg.Windows; w++ {

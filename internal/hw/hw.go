@@ -16,6 +16,7 @@ import (
 	"spacejmp/internal/fault"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/pt"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/tlb"
 )
 
@@ -102,6 +103,8 @@ type Machine struct {
 	// injection is off). Install it with SetFaults so physical memory and
 	// everything built on the machine share one scope.
 	Faults *fault.Registry
+
+	obs *stats.Sink
 }
 
 // SetFaults installs a fault-injection registry on the machine and its
@@ -109,6 +112,73 @@ type Machine struct {
 func (m *Machine) SetFaults(r *fault.Registry) {
 	m.Faults = r
 	m.PM.SetFaults(r)
+	m.wireFaultObserver()
+}
+
+// EnableStats turns on machine-wide observability: per-core cycle accounting
+// by category, per-ASID TLB counters, page-table and NVM activity. When
+// traceCap > 0 a bounded trace ring of that capacity is installed too. The
+// returned sink is live; take point-in-time copies with StatsSnapshot.
+func (m *Machine) EnableStats(traceCap int) *stats.Sink {
+	s := stats.NewSink(len(m.Cores))
+	if traceCap > 0 {
+		s.SetTracer(stats.NewTracer(traceCap))
+	}
+	m.setObserver(s)
+	return s
+}
+
+// DisableStats turns observability back off; subsequent hardware activity
+// reduces to the nil fast path.
+func (m *Machine) DisableStats() { m.setObserver(nil) }
+
+// Observer returns the installed stats sink, or nil when observability is
+// off. Components built on the machine (vm, the OS personalities, urpc)
+// record their own events through it.
+func (m *Machine) Observer() *stats.Sink { return m.obs }
+
+func (m *Machine) setObserver(s *stats.Sink) {
+	m.obs = s
+	m.PM.SetObserver(s)
+	for _, c := range m.Cores {
+		c.sink = s
+		c.cobs = s.Core(c.ID)
+	}
+	m.wireFaultObserver()
+}
+
+func (m *Machine) wireFaultObserver() {
+	if m.Faults == nil {
+		return
+	}
+	if s := m.obs; s != nil {
+		m.Faults.SetObserver(func(name string) { s.FaultFired(name) })
+	} else {
+		m.Faults.SetObserver(nil)
+	}
+}
+
+// StatsSnapshot returns an immutable copy of every observability counter,
+// completed with the per-core totals (cycle counter, MMU event counts) the
+// hardware owns. Returns nil when observability is off.
+func (m *Machine) StatsSnapshot() *stats.Snapshot {
+	s := m.obs
+	if s == nil {
+		return nil
+	}
+	snap := s.Snapshot()
+	for i, c := range m.Cores {
+		if i >= len(snap.Cores) {
+			break
+		}
+		cs := &snap.Cores[i]
+		cs.Cycles = c.cycles
+		cs.TLBHits = c.stats.TLBHits
+		cs.TLBMisses = c.stats.TLBMisses
+		cs.Faults = c.stats.Faults
+		cs.CR3Loads = c.stats.CR3Loads
+	}
+	return snap
 }
 
 // NewMachine boots a machine: physical memory plus one Core per hardware
@@ -176,6 +246,11 @@ type Core struct {
 	cycles  uint64
 	stats   CoreStats
 
+	// sink/cobs mirror machine.obs; both are nil-safe, so every charge site
+	// records unconditionally and observability off costs one nil check.
+	sink *stats.Sink
+	cobs *stats.CoreCounters
+
 	// OnFault is invoked on page faults; nil means faults are fatal to the
 	// access. The OS personality installs its handler here.
 	OnFault FaultHandler
@@ -188,8 +263,16 @@ func (c *Core) Machine() *Machine { return c.machine }
 func (c *Core) Cycles() uint64 { return c.cycles }
 
 // AddCycles charges work to the core (used by OS personalities for syscall
-// and bookkeeping costs).
-func (c *Core) AddCycles(n uint64) { c.cycles += n }
+// and bookkeeping costs). Cycles charged this way are attributed to the
+// stats.CatOther category; use AddCyclesCat to attribute them precisely.
+func (c *Core) AddCycles(n uint64) { c.AddCyclesCat(stats.CatOther, n) }
+
+// AddCyclesCat charges work to the core, attributing it to the given
+// cycle-accounting category when observability is enabled.
+func (c *Core) AddCyclesCat(cat stats.Cat, n uint64) {
+	c.cycles += n
+	c.cobs.AddCycles(cat, n)
+}
 
 // Stats returns a snapshot of the core's MMU counters.
 func (c *Core) Stats() CoreStats { return c.stats }
@@ -217,10 +300,14 @@ func (c *Core) Table() *pt.Table { return c.table }
 func (c *Core) LoadCR3(t *pt.Table, asid arch.ASID) {
 	cost := &c.machine.Cfg.Cost
 	if asid == arch.ASIDFlush {
+		// The untagged write's cost is dominated by the implicit full TLB
+		// invalidation, so its cycles are attributed to the flush category.
 		c.cycles += cost.CR3Load
-		c.TLB.FlushAll()
+		c.cobs.AddCycles(stats.CatFlush, cost.CR3Load)
+		c.sink.TLBFlush(c.TLB.FlushAll())
 	} else {
 		c.cycles += cost.CR3LoadTagged
+		c.cobs.AddCycles(stats.CatSwitch, cost.CR3LoadTagged)
 	}
 	c.table = t
 	c.asid = asid
@@ -250,22 +337,29 @@ func (c *Core) Translate(va arch.VirtAddr, access arch.Access) (arch.PhysAddr, e
 func (c *Core) translateOnce(va arch.VirtAddr, access arch.Access) (arch.PhysAddr, error) {
 	cost := &c.machine.Cfg.Cost
 	c.cycles += cost.TLBHit
+	c.cobs.AddCycles(stats.CatTLBProbe, cost.TLBHit)
 	if e, ok := c.TLB.Lookup(c.asid, va); ok {
 		if e.Perm.Allows(access.Perm()) {
 			c.stats.TLBHits++
+			c.sink.TLBHit(c.asid)
 			return e.Frame + arch.PhysAddr(uint64(va)%e.PageSize), nil
 		}
 		// Permission violation on a cached translation: as on x86, the
 		// entry may be stale after a PTE upgrade, so drop it and re-walk
 		// the paging structures before raising the fault.
-		c.TLB.FlushPage(c.asid, va)
+		if n := c.TLB.FlushPage(c.asid, va); n > 0 {
+			c.sink.TLBFlush(n)
+		}
 	}
 	c.stats.TLBMisses++
+	c.sink.TLBMiss(c.asid)
 	if c.table == nil {
 		return 0, &PageFault{VA: va, Access: access, Cause: fmt.Errorf("no address space loaded")}
 	}
 	r, err := c.table.Walk(va)
-	c.cycles += uint64(r.Refs) * cost.WalkRef
+	walk := uint64(r.Refs) * cost.WalkRef
+	c.cycles += walk
+	c.cobs.AddCycles(stats.CatWalk, walk)
 	if err != nil {
 		return 0, &PageFault{VA: va, Access: access, Cause: err}
 	}
@@ -274,7 +368,9 @@ func (c *Core) translateOnce(va arch.VirtAddr, access arch.Access) (arch.PhysAdd
 	}
 	base := arch.AlignDown(va, r.PageSize)
 	frame := r.PA - arch.PhysAddr(uint64(va)-uint64(base))
-	c.TLB.Insert(c.asid, base, frame, r.PageSize, r.Perm, r.Global)
+	if victim, evicted := c.TLB.Insert(c.asid, base, frame, r.PageSize, r.Perm, r.Global); evicted {
+		c.sink.TLBEvict(victim)
+	}
 	return r.PA, nil
 }
 
@@ -300,7 +396,15 @@ func (c *Core) access(va arch.VirtAddr, buf []byte, kind arch.Access) error {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		c.cycles += cost.MemAccess * uint64((n+arch.CacheLineSize-1)/arch.CacheLineSize)
+		dc := cost.MemAccess * uint64((n+arch.CacheLineSize-1)/arch.CacheLineSize)
+		c.cycles += dc
+		if c.cobs != nil {
+			cat := stats.CatData
+			if kind == arch.AccessWrite && c.machine.PM.TierOf(pa) == mem.TierNVM {
+				cat = stats.CatNVMWrite
+			}
+			c.cobs.AddCycles(cat, dc)
+		}
 		if kind == arch.AccessWrite {
 			err = c.machine.PM.WriteAt(pa, buf[:n])
 		} else {
@@ -320,10 +424,12 @@ func (c *Core) access(va arch.VirtAddr, buf []byte, kind arch.Access) error {
 // the in-kernel work of mmap, munmap, and segment attach.
 func (c *Core) ChargePT(delta pt.Stats) {
 	cost := &c.machine.Cfg.Cost
-	c.cycles += delta.EntriesSet*cost.PTESet +
+	n := delta.EntriesSet*cost.PTESet +
 		delta.EntriesCleared*cost.PTEClear +
 		delta.TablesAllocated*cost.TableAlloc +
 		delta.TablesFreed*cost.TableFree
+	c.cycles += n
+	c.cobs.AddCycles(stats.CatPT, n)
 }
 
 // DeltaPT subtracts two pt.Stats snapshots.
@@ -334,6 +440,7 @@ func DeltaPT(before, after pt.Stats) pt.Stats {
 		EntriesSet:      after.EntriesSet - before.EntriesSet,
 		EntriesCleared:  after.EntriesCleared - before.EntriesCleared,
 		Walks:           after.Walks - before.Walks,
+		WalkRefs:        after.WalkRefs - before.WalkRefs,
 	}
 }
 
@@ -344,6 +451,7 @@ func (c *Core) Load64(va arch.VirtAddr) (uint64, error) {
 		return 0, err
 	}
 	c.cycles += c.machine.Cfg.Cost.MemAccess
+	c.cobs.AddCycles(stats.CatData, c.machine.Cfg.Cost.MemAccess)
 	return c.machine.PM.Load64(pa)
 }
 
@@ -354,5 +462,12 @@ func (c *Core) Store64(va arch.VirtAddr, v uint64) error {
 		return err
 	}
 	c.cycles += c.machine.Cfg.Cost.MemAccess
+	if c.cobs != nil {
+		cat := stats.CatData
+		if c.machine.PM.TierOf(pa) == mem.TierNVM {
+			cat = stats.CatNVMWrite
+		}
+		c.cobs.AddCycles(cat, c.machine.Cfg.Cost.MemAccess)
+	}
 	return c.machine.PM.Store64(pa, v)
 }

@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"testing"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/pt"
+)
+
+// benchCore maps a window of pages and returns the core to drive. The
+// window exceeds the SmallTest TLB so the loop exercises both the hit and
+// the miss/walk paths — the two hot paths the observability hooks sit on.
+func benchCore(b *testing.B, m *Machine, pages int) *Core {
+	b.Helper()
+	tbl, err := pt.New(m.PM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < pages; p++ {
+		frame, err := m.PM.AllocPage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		va := arch.VirtAddr(0x4000 + uint64(p)*arch.PageSize)
+		if err := tbl.MapPage(va, frame, arch.PageSize, arch.PermRW, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := m.Cores[0]
+	c.LoadCR3(tbl, arch.ASIDFlush)
+	return c
+}
+
+func runAccessLoop(b *testing.B, c *Core, pages int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		va := arch.VirtAddr(0x4000 + uint64(i%pages)*arch.PageSize)
+		if err := c.Store64(va, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Load64(va); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessStatsOff measures the MMU access path with observability
+// disabled — the nil fast path. Compare against BenchmarkAccessStatsOn; the
+// design contract is that Off stays within 2% of the pre-observability
+// baseline (the hooks reduce to one pointer comparison).
+func BenchmarkAccessStatsOff(b *testing.B) {
+	const pages = 512
+	m := NewMachine(SmallTest())
+	c := benchCore(b, m, pages)
+	b.ResetTimer()
+	runAccessLoop(b, c, pages)
+}
+
+// BenchmarkAccessStatsOn measures the same loop with counters enabled
+// (atomic adds on hit, miss, walk, and data charge).
+func BenchmarkAccessStatsOn(b *testing.B) {
+	const pages = 512
+	m := NewMachine(SmallTest())
+	m.EnableStats(0)
+	c := benchCore(b, m, pages)
+	b.ResetTimer()
+	runAccessLoop(b, c, pages)
+}
+
+// BenchmarkAccessStatsTraced adds a trace ring on top of the counters; the
+// access path itself records no events, so this isolates the tracer's
+// atomic-pointer load.
+func BenchmarkAccessStatsTraced(b *testing.B) {
+	const pages = 512
+	m := NewMachine(SmallTest())
+	m.EnableStats(4096)
+	c := benchCore(b, m, pages)
+	b.ResetTimer()
+	runAccessLoop(b, c, pages)
+}
+
+// TestStatsToggle: enabling attaches a sink, disabling detaches it, and the
+// hardware keeps running through both transitions.
+func TestStatsToggle(t *testing.T) {
+	m := NewMachine(SmallTest())
+	if m.Observer() != nil || m.StatsSnapshot() != nil {
+		t.Fatal("observer present before EnableStats")
+	}
+	s := m.EnableStats(0)
+	if s == nil || m.Observer() != s {
+		t.Fatal("EnableStats did not install the sink")
+	}
+	tbl, err := pt.New(m.PM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := m.PM.AllocPage()
+	if err := tbl.MapPage(0x4000, frame, arch.PageSize, arch.PermRW, false); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Cores[0]
+	c.LoadCR3(tbl, arch.ASIDFlush)
+	if err := c.Store64(0x4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.StatsSnapshot()
+	if snap.TLB.Misses == 0 {
+		t.Error("no miss recorded on first touch")
+	}
+	if snap.Cores[0].Cycles == 0 || len(snap.Cores[0].ByCat) == 0 {
+		t.Errorf("core cycles not attributed: %+v", snap.Cores[0])
+	}
+	m.DisableStats()
+	if m.Observer() != nil || m.StatsSnapshot() != nil {
+		t.Error("observer survived DisableStats")
+	}
+	if _, err := c.Load64(0x4000); err != nil {
+		t.Fatal(err)
+	}
+}

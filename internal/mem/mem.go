@@ -16,6 +16,7 @@ import (
 
 	"spacejmp/internal/arch"
 	"spacejmp/internal/fault"
+	"spacejmp/internal/stats"
 )
 
 // ErrTornWrite reports a write that was cut short mid-flight by an injected
@@ -81,6 +82,7 @@ type PhysMem struct {
 	pages  map[uint64]*[arch.PageSize]byte // PFN -> content, lazy
 	stats  Stats
 	faults *fault.Registry
+	obs    *stats.Sink
 }
 
 // SetFaults installs a fault-injection registry. The memory consults it at
@@ -90,6 +92,14 @@ func (pm *PhysMem) SetFaults(r *fault.Registry) {
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
 	pm.faults = r
+}
+
+// SetObserver installs the machine-wide stats sink; the memory records
+// writes landing in the NVM tier into it. Nil disables observation.
+func (pm *PhysMem) SetObserver(s *stats.Sink) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.obs = s
 }
 
 // New creates a physical memory with the given tier sizes. Sizes are rounded
@@ -228,6 +238,9 @@ func (pm *PhysMem) WriteAt(pa arch.PhysAddr, buf []byte) error {
 		buf = buf[:len(buf)/2]
 		torn = fmt.Errorf("%w: [%v,+%d)", ErrTornWrite, pa, len(buf))
 	}
+	if pm.obs != nil && pm.TierOf(pa) == TierNVM {
+		pm.obs.NVMWrite(len(buf))
+	}
 	off := uint64(pa)
 	for len(buf) > 0 {
 		pfn, po := off/arch.PageSize, off%arch.PageSize
@@ -264,6 +277,9 @@ func (pm *PhysMem) Store64(pa arch.PhysAddr, v uint64) error {
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
+	if pm.obs != nil && pm.TierOf(pa) == TierNVM {
+		pm.obs.NVMWrite(8)
+	}
 	p := pm.page(uint64(pa) / arch.PageSize)
 	po := uint64(pa) % arch.PageSize
 	binary.LittleEndian.PutUint64(p[po:po+8], v)

@@ -5,15 +5,19 @@ import (
 
 	"spacejmp/internal/arch"
 	"spacejmp/internal/mem"
+	"spacejmp/internal/stats"
 )
 
 // Stats counts page-table activity, used by the Figure 1 reproduction.
+// WalkRefs accumulates the table nodes the hardware walker referenced
+// across all walks — the paper's "page-table nodes touched" metric.
 type Stats struct {
 	TablesAllocated uint64
 	TablesFreed     uint64
 	EntriesSet      uint64
 	EntriesCleared  uint64
 	Walks           uint64
+	WalkRefs        uint64
 }
 
 // Table is one address space's translation structure: a root (PML4) frame
@@ -25,6 +29,7 @@ type Table struct {
 	root  arch.PhysAddr
 	owned map[arch.PhysAddr]struct{}
 	stats Stats
+	obs   *stats.PTCounters // optional machine-wide counters (nil = off)
 }
 
 // New allocates an empty page table.
@@ -37,6 +42,11 @@ func New(pm *mem.PhysMem) (*Table, error) {
 	t.stats.TablesAllocated++
 	return t, nil
 }
+
+// SetObserver mirrors this table's subsequent activity into the machine-wide
+// page-table counters (stats.Sink.PT). A nil observer disables mirroring;
+// activity before the call is not backfilled.
+func (t *Table) SetObserver(o *stats.PTCounters) { t.obs = o }
 
 // Root returns the physical address of the root table — the value a core
 // loads into CR3 to activate this address space.
@@ -69,6 +79,7 @@ func (t *Table) allocTable() (arch.PhysAddr, error) {
 	}
 	t.owned[pa] = struct{}{}
 	t.stats.TablesAllocated++
+	t.obs.TableAllocated()
 	return pa, nil
 }
 
@@ -87,6 +98,7 @@ func (t *Table) ensurePath(va arch.VirtAddr, leafLevel int) (arch.PhysAddr, erro
 			}
 			t.store(table, idx, makeTablePTE(child))
 			t.stats.EntriesSet++
+			t.obs.EntrySet()
 			table = child
 			continue
 		}
@@ -130,6 +142,7 @@ func (t *Table) MapPage(va arch.VirtAddr, pa arch.PhysAddr, pageSize uint64, per
 	}
 	t.store(table, idx, MakePTE(pa, perm, extra))
 	t.stats.EntriesSet++
+	t.obs.EntrySet()
 	return nil
 }
 
@@ -161,6 +174,10 @@ type WalkResult struct {
 func (t *Table) Walk(va arch.VirtAddr) (WalkResult, error) {
 	t.stats.Walks++
 	var r WalkResult
+	defer func() {
+		t.stats.WalkRefs += uint64(r.Refs)
+		t.obs.Walk(r.Refs)
+	}()
 	table := t.root
 	for level := arch.PTLevels - 1; level >= 0; level-- {
 		r.Refs++
@@ -297,6 +314,7 @@ func (t *Table) freeTable(pa arch.PhysAddr) {
 		panic("pt: freeing table: " + err.Error())
 	}
 	t.stats.TablesFreed++
+	t.obs.TableFreed()
 }
 
 // LinkSubtree installs an entry at the given level pointing to an externally
@@ -321,6 +339,7 @@ func (t *Table) LinkSubtree(va arch.VirtAddr, level int, subtree arch.PhysAddr) 
 	}
 	t.store(table, idx, makeTablePTE(subtree))
 	t.stats.EntriesSet++
+	t.obs.EntrySet()
 	return nil
 }
 
@@ -345,6 +364,7 @@ func (t *Table) UnlinkSubtree(va arch.VirtAddr, level int) error {
 	}
 	t.store(table, idx, 0)
 	t.stats.EntriesCleared++
+	t.obs.EntryCleared()
 	return nil
 }
 
@@ -357,5 +377,6 @@ func (t *Table) Destroy() {
 			panic("pt: destroy: " + err.Error())
 		}
 		t.stats.TablesFreed++
+		t.obs.TableFreed()
 	}
 }

@@ -149,7 +149,7 @@ func (c *Client) EnableTags() error {
 		if err != nil {
 			return err
 		}
-		if err := c.th.VASCtl(core.CtlSetTag, vid, nil); err != nil {
+		if err := c.th.VASCtl(vid, core.SetTag()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,339 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"spacejmp/internal/arch"
+)
+
+// CoreSnap is one core's view in a Snapshot. Cycles is the core's total
+// cycle counter; ByCat decomposes the cycles charged while observability
+// was enabled (the two agree when stats were on for the whole run).
+type CoreSnap struct {
+	ID        int               `json:"id"`
+	Cycles    uint64            `json:"cycles"`
+	ByCat     map[string]uint64 `json:"by_cat,omitempty"`
+	TLBHits   uint64            `json:"tlb_hits"`
+	TLBMisses uint64            `json:"tlb_misses"`
+	Faults    uint64            `json:"faults"`
+	CR3Loads  uint64            `json:"cr3_loads"`
+}
+
+// TLBSnap aggregates TLB activity machine-wide.
+type TLBSnap struct {
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Evictions      uint64 `json:"evictions"`
+	Flushes        uint64 `json:"flushes"`
+	FlushedEntries uint64 `json:"flushed_entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no probes.
+func (t TLBSnap) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}
+
+// ASIDSnap is one address-space tag's TLB activity.
+type ASIDSnap struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no probes.
+func (a ASIDSnap) HitRate() float64 {
+	total := a.Hits + a.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Hits) / float64(total)
+}
+
+// PTSnap is machine-wide page-table activity. NodesTouched is the
+// cumulative count of table nodes the hardware walker referenced.
+type PTSnap struct {
+	NodesAllocated uint64 `json:"nodes_allocated"`
+	NodesFreed     uint64 `json:"nodes_freed"`
+	NodesTouched   uint64 `json:"nodes_touched"`
+	EntriesSet     uint64 `json:"entries_set"`
+	EntriesCleared uint64 `json:"entries_cleared"`
+	Walks          uint64 `json:"walks"`
+}
+
+// NVMSnap counts data writes into the persistent tier.
+type NVMSnap struct {
+	Writes       uint64 `json:"writes"`
+	WrittenBytes uint64 `json:"written_bytes"`
+}
+
+// VMSnap counts VM-layer activity across observed spaces.
+type VMSnap struct {
+	Maps   uint64 `json:"maps"`
+	Unmaps uint64 `json:"unmaps"`
+	Faults uint64 `json:"faults"`
+}
+
+// Snapshot is an immutable, point-in-time copy of every counter the
+// observability layer maintains. It shares no memory with the live Sink:
+// mutating the machine after Snapshot() leaves the snapshot unchanged.
+type Snapshot struct {
+	Cores    []CoreSnap             `json:"cores,omitempty"`
+	Cycles   map[string]uint64      `json:"cycles_by_cat,omitempty"`
+	TLB      TLBSnap                `json:"tlb"`
+	ASIDs    map[arch.ASID]ASIDSnap `json:"asids,omitempty"`
+	PT       PTSnap                 `json:"pt"`
+	NVM      NVMSnap                `json:"nvm"`
+	VM       VMSnap                 `json:"vm"`
+	Syscalls map[string]HistSnap    `json:"syscalls,omitempty"`
+
+	LockWaitNs     HistSnap `json:"lock_wait_ns"`
+	LockHoldCycles HistSnap `json:"lock_hold_cycles"`
+
+	Shootdowns     uint64 `json:"shootdowns"`
+	ShootdownPages uint64 `json:"shootdown_pages"`
+	URPCRetries    uint64 `json:"urpc_retries"`
+	FaultsInjected uint64 `json:"faults_injected"`
+	Switches       uint64 `json:"switches"`
+
+	TraceRecorded uint64 `json:"trace_recorded"`
+	TraceDropped  uint64 `json:"trace_dropped"`
+}
+
+// Snapshot copies the sink-owned counters into an immutable Snapshot.
+// Per-core total cycles and MMU counters are owned by the hardware layer;
+// hw.Machine.StatsSnapshot completes them. Returns nil on a nil sink.
+func (s *Sink) Snapshot() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	snap := &Snapshot{
+		Cores:  make([]CoreSnap, len(s.cores)),
+		Cycles: make(map[string]uint64, NumCats),
+		ASIDs:  map[arch.ASID]ASIDSnap{},
+		PT: PTSnap{
+			NodesAllocated: s.PT.tablesAllocated.Load(),
+			NodesFreed:     s.PT.tablesFreed.Load(),
+			NodesTouched:   s.PT.walkRefs.Load(),
+			EntriesSet:     s.PT.entriesSet.Load(),
+			EntriesCleared: s.PT.entriesCleared.Load(),
+			Walks:          s.PT.walks.Load(),
+		},
+		NVM: NVMSnap{Writes: s.nvmWrites.Load(), WrittenBytes: s.nvmWriteByte.Load()},
+		VM:  VMSnap{Maps: s.vmMaps.Load(), Unmaps: s.vmUnmaps.Load(), Faults: s.vmFaults.Load()},
+
+		LockWaitNs:     s.lockWaitNs.snapshot(),
+		LockHoldCycles: s.lockHoldCycles.snapshot(),
+
+		Shootdowns:     s.shootdowns.Load(),
+		ShootdownPages: s.shootdownPages.Load(),
+		URPCRetries:    s.urpcRetries.Load(),
+		FaultsInjected: s.faultsFired.Load(),
+	}
+	for i := range s.cores {
+		by := make(map[string]uint64, NumCats)
+		for c := 0; c < NumCats; c++ {
+			if v := s.cores[i].cycles[c].Load(); v != 0 {
+				by[Cat(c).String()] = v
+				snap.Cycles[Cat(c).String()] += v
+			}
+		}
+		snap.Cores[i] = CoreSnap{ID: i, ByCat: by}
+	}
+	snap.TLB.Flushes = s.tlbFlushes.Load()
+	snap.TLB.FlushedEntries = s.tlbFlushedEntries.Load()
+	for asid := range s.asids {
+		a := ASIDSnap{
+			Hits:      s.asids[asid].hits.Load(),
+			Misses:    s.asids[asid].misses.Load(),
+			Evictions: s.asids[asid].evictions.Load(),
+		}
+		if a.Hits == 0 && a.Misses == 0 && a.Evictions == 0 {
+			continue
+		}
+		snap.ASIDs[arch.ASID(asid)] = a
+		snap.TLB.Hits += a.Hits
+		snap.TLB.Misses += a.Misses
+		snap.TLB.Evictions += a.Evictions
+	}
+	snap.Syscalls = map[string]HistSnap{}
+	for op := 0; op < NumOps; op++ {
+		if h := s.syscalls[op].snapshot(); h.Count != 0 {
+			snap.Syscalls[Op(op).String()] = h
+		}
+	}
+	if t := s.tracer.Load(); t != nil {
+		snap.TraceRecorded = t.Recorded()
+		snap.TraceDropped = t.Dropped()
+	}
+	return snap
+}
+
+// Delta returns this snapshot minus an earlier one, counter by counter —
+// the per-measurement view a benchmark prints. A nil before is treated as
+// all-zero. Histogram Max fields carry the later snapshot's value.
+func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	if before == nil {
+		before = &Snapshot{}
+	}
+	out.Cores = make([]CoreSnap, len(s.Cores))
+	for i, c := range s.Cores {
+		d := c
+		d.ByCat = subMap(c.ByCat, nil)
+		if i < len(before.Cores) {
+			b := before.Cores[i]
+			d.Cycles -= b.Cycles
+			d.TLBHits -= b.TLBHits
+			d.TLBMisses -= b.TLBMisses
+			d.Faults -= b.Faults
+			d.CR3Loads -= b.CR3Loads
+			d.ByCat = subMap(c.ByCat, b.ByCat)
+		}
+		out.Cores[i] = d
+	}
+	out.Cycles = subMap(s.Cycles, before.Cycles)
+	out.TLB = TLBSnap{
+		Hits:           s.TLB.Hits - before.TLB.Hits,
+		Misses:         s.TLB.Misses - before.TLB.Misses,
+		Evictions:      s.TLB.Evictions - before.TLB.Evictions,
+		Flushes:        s.TLB.Flushes - before.TLB.Flushes,
+		FlushedEntries: s.TLB.FlushedEntries - before.TLB.FlushedEntries,
+	}
+	out.ASIDs = map[arch.ASID]ASIDSnap{}
+	for asid, a := range s.ASIDs {
+		b := before.ASIDs[asid]
+		d := ASIDSnap{Hits: a.Hits - b.Hits, Misses: a.Misses - b.Misses, Evictions: a.Evictions - b.Evictions}
+		if d.Hits != 0 || d.Misses != 0 || d.Evictions != 0 {
+			out.ASIDs[asid] = d
+		}
+	}
+	out.PT = PTSnap{
+		NodesAllocated: s.PT.NodesAllocated - before.PT.NodesAllocated,
+		NodesFreed:     s.PT.NodesFreed - before.PT.NodesFreed,
+		NodesTouched:   s.PT.NodesTouched - before.PT.NodesTouched,
+		EntriesSet:     s.PT.EntriesSet - before.PT.EntriesSet,
+		EntriesCleared: s.PT.EntriesCleared - before.PT.EntriesCleared,
+		Walks:          s.PT.Walks - before.PT.Walks,
+	}
+	out.NVM = NVMSnap{Writes: s.NVM.Writes - before.NVM.Writes, WrittenBytes: s.NVM.WrittenBytes - before.NVM.WrittenBytes}
+	out.VM = VMSnap{Maps: s.VM.Maps - before.VM.Maps, Unmaps: s.VM.Unmaps - before.VM.Unmaps, Faults: s.VM.Faults - before.VM.Faults}
+	out.Syscalls = map[string]HistSnap{}
+	for op, h := range s.Syscalls {
+		d := h.sub(before.Syscalls[op])
+		if d.Count != 0 {
+			out.Syscalls[op] = d
+		}
+	}
+	out.LockWaitNs = s.LockWaitNs.sub(before.LockWaitNs)
+	out.LockHoldCycles = s.LockHoldCycles.sub(before.LockHoldCycles)
+	out.Shootdowns = s.Shootdowns - before.Shootdowns
+	out.ShootdownPages = s.ShootdownPages - before.ShootdownPages
+	out.URPCRetries = s.URPCRetries - before.URPCRetries
+	out.FaultsInjected = s.FaultsInjected - before.FaultsInjected
+	out.Switches = s.Switches - before.Switches
+	out.TraceRecorded = s.TraceRecorded - before.TraceRecorded
+	out.TraceDropped = s.TraceDropped - before.TraceDropped
+	return &out
+}
+
+func subMap(a, b map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(a))
+	for k, v := range a {
+		if d := v - b[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteText renders the snapshot as a human-readable counter table.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "cycles by category\n")
+	var total uint64
+	for _, name := range sortedKeys(s.Cycles) {
+		fmt.Fprintf(tw, "  %s\t%d\n", name, s.Cycles[name])
+		total += s.Cycles[name]
+	}
+	fmt.Fprintf(tw, "  total\t%d\n", total)
+
+	fmt.Fprintf(tw, "tlb\thits %d\tmisses %d\thit-rate %.4f\n", s.TLB.Hits, s.TLB.Misses, s.TLB.HitRate())
+	fmt.Fprintf(tw, "\tevictions %d\tflushes %d\tflushed-entries %d\n", s.TLB.Evictions, s.TLB.Flushes, s.TLB.FlushedEntries)
+	asids := make([]arch.ASID, 0, len(s.ASIDs))
+	for a := range s.ASIDs {
+		asids = append(asids, a)
+	}
+	sort.Slice(asids, func(i, j int) bool { return asids[i] < asids[j] })
+	for _, a := range asids {
+		v := s.ASIDs[a]
+		fmt.Fprintf(tw, "  asid %d\thits %d\tmisses %d\thit-rate %.4f\tevictions %d\n",
+			a, v.Hits, v.Misses, v.HitRate(), v.Evictions)
+	}
+
+	fmt.Fprintf(tw, "pt\tnodes-alloc %d\tnodes-freed %d\tnodes-touched %d\n",
+		s.PT.NodesAllocated, s.PT.NodesFreed, s.PT.NodesTouched)
+	fmt.Fprintf(tw, "\tentries-set %d\tentries-cleared %d\twalks %d\n",
+		s.PT.EntriesSet, s.PT.EntriesCleared, s.PT.Walks)
+	fmt.Fprintf(tw, "vm\tmaps %d\tunmaps %d\tfaults %d\n", s.VM.Maps, s.VM.Unmaps, s.VM.Faults)
+	if s.NVM.Writes != 0 {
+		fmt.Fprintf(tw, "nvm\twrites %d\tbytes %d\n", s.NVM.Writes, s.NVM.WrittenBytes)
+	}
+	fmt.Fprintf(tw, "switches\t%d\tshootdowns %d (%d pages)\n", s.Switches, s.Shootdowns, s.ShootdownPages)
+	if s.URPCRetries != 0 || s.FaultsInjected != 0 {
+		fmt.Fprintf(tw, "failures\turpc-retries %d\tfaults-injected %d\n", s.URPCRetries, s.FaultsInjected)
+	}
+	if s.LockWaitNs.Count != 0 {
+		fmt.Fprintf(tw, "lock-wait-ns\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+			s.LockWaitNs.Count, s.LockWaitNs.Mean(), s.LockWaitNs.Quantile(0.99), s.LockWaitNs.Max)
+	}
+	if s.LockHoldCycles.Count != 0 {
+		fmt.Fprintf(tw, "lock-hold-cyc\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+			s.LockHoldCycles.Count, s.LockHoldCycles.Mean(), s.LockHoldCycles.Quantile(0.99), s.LockHoldCycles.Max)
+	}
+	if len(s.Syscalls) > 0 {
+		fmt.Fprintf(tw, "syscall latency (cycles)\n")
+		for _, op := range sortedHistKeys(s.Syscalls) {
+			h := s.Syscalls[op]
+			fmt.Fprintf(tw, "  %s\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+				op, h.Count, h.Mean(), h.Quantile(0.99), h.Max)
+		}
+	}
+	if s.TraceRecorded != 0 {
+		fmt.Fprintf(tw, "trace\trecorded %d\tdropped %d\n", s.TraceRecorded, s.TraceDropped)
+	}
+	return tw.Flush()
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedHistKeys(m map[string]HistSnap) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

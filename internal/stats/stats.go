@@ -1,0 +1,400 @@
+// Package stats is the machine-wide observability layer: low-overhead,
+// race-safe counters and an optional bounded trace ring, threaded through
+// the simulated hardware (hw, tlb, pt, mem), the VM layer, and the OS
+// personalities.
+//
+// The design contract is zero cost when disabled: every component holds an
+// optional *Sink (or a sub-counter pointer taken from one) and consults it
+// unconditionally; all methods are safe on a nil receiver and reduce to a
+// single pointer comparison when observability is off — the same pattern
+// package fault uses for its registry. When enabled, all mutation goes
+// through sync/atomic, so counters can be read mid-run from any goroutine
+// and recorded under `go test -race` from concurrently running cores.
+//
+// Cycle accounting is by category (Cat): the hardware attributes every
+// cycle it charges to a category (TLB probe, page walk, flushing CR3 write,
+// tagged switch, data access, NVM write, kernel page-table manipulation,
+// syscall control path), so a benchmark's wall-clock claim can be
+// decomposed the way the paper's §6 hardware-counter plots are.
+package stats
+
+import (
+	"sync/atomic"
+
+	"spacejmp/internal/arch"
+)
+
+// Cat is a cycle-accounting category. Every cycle the simulated hardware
+// charges is attributed to exactly one category.
+type Cat uint8
+
+const (
+	// CatOther holds cycles charged through the generic AddCycles path
+	// (application work, URPC transfers) that no specific category claims.
+	CatOther Cat = iota
+	// CatSyscall is OS control-path work: syscall entry and the
+	// personality's per-operation overhead.
+	CatSyscall
+	// CatSwitch is tagged CR3 writes plus switch bookkeeping — the cost of
+	// moving a core between address spaces while retaining the TLB.
+	CatSwitch
+	// CatFlush is untagged CR3 writes: the flushing form of the switch,
+	// whose cost is dominated by the implicit full TLB invalidation.
+	CatFlush
+	// CatShootdown is remote-TLB invalidation work. The calibrated cost
+	// model charges shootdowns no cycles today; the category exists so the
+	// taxonomy is stable when a cost is added (event counts live in
+	// Sink.Shootdown*).
+	CatShootdown
+	// CatTLBProbe is TLB lookup cycles (hits and the probe part of misses).
+	CatTLBProbe
+	// CatWalk is page-walker memory references on TLB misses.
+	CatWalk
+	// CatPT is kernel page-table manipulation: PTE writes/clears and table
+	// node allocation/free during map, unmap, and attach.
+	CatPT
+	// CatData is data-side cache-line accesses (loads and DRAM stores).
+	CatData
+	// CatNVMWrite is data stores that land in the persistent NVM tier.
+	CatNVMWrite
+
+	// NumCats is the number of cycle categories.
+	NumCats = int(CatNVMWrite) + 1
+)
+
+var catNames = [NumCats]string{
+	"other", "syscall", "switch", "flush", "shootdown",
+	"tlb-probe", "walk", "pt", "data", "nvm-write",
+}
+
+func (c Cat) String() string {
+	if int(c) < NumCats {
+		return catNames[c]
+	}
+	return "cat(?)"
+}
+
+// Op identifies a SpaceJMP syscall for per-syscall latency accounting.
+type Op uint8
+
+const (
+	OpVASCreate Op = iota
+	OpVASFind
+	OpVASAttach
+	OpVASDetach
+	OpVASSwitch
+	OpVASClone
+	OpVASCtl
+	OpVASDestroy
+	OpSegAlloc
+	OpSegFind
+	OpSegAttach
+	OpSegDetach
+	OpSegClone
+	OpSegCtl
+	OpSegFree
+
+	// NumOps is the number of accounted syscalls.
+	NumOps = int(OpSegFree) + 1
+)
+
+var opNames = [NumOps]string{
+	"vas_create", "vas_find", "vas_attach", "vas_detach", "vas_switch",
+	"vas_clone", "vas_ctl", "vas_destroy",
+	"seg_alloc", "seg_find", "seg_attach", "seg_detach", "seg_clone",
+	"seg_ctl", "seg_free",
+}
+
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return "op(?)"
+}
+
+// CoreCounters is one core's cycle accounting by category. Cores hold a
+// pointer to their slot and add with a single atomic op per charge.
+type CoreCounters struct {
+	cycles [NumCats]atomic.Uint64
+}
+
+// AddCycles attributes n cycles to category cat. Safe on nil (disabled).
+func (c *CoreCounters) AddCycles(cat Cat, n uint64) {
+	if c == nil {
+		return
+	}
+	c.cycles[cat].Add(n)
+}
+
+// Cycles returns the cycles attributed to cat so far.
+func (c *CoreCounters) Cycles(cat Cat) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.cycles[cat].Load()
+}
+
+// PTCounters counts page-table node and entry activity machine-wide. The
+// pt package records into it directly when a table has an observer set.
+type PTCounters struct {
+	tablesAllocated atomic.Uint64
+	tablesFreed     atomic.Uint64
+	entriesSet      atomic.Uint64
+	entriesCleared  atomic.Uint64
+	walks           atomic.Uint64
+	walkRefs        atomic.Uint64
+}
+
+// TableAllocated records one table-node allocation. Safe on nil.
+func (p *PTCounters) TableAllocated() {
+	if p != nil {
+		p.tablesAllocated.Add(1)
+	}
+}
+
+// TableFreed records one table-node free. Safe on nil.
+func (p *PTCounters) TableFreed() {
+	if p != nil {
+		p.tablesFreed.Add(1)
+	}
+}
+
+// EntrySet records one PTE write. Safe on nil.
+func (p *PTCounters) EntrySet() {
+	if p != nil {
+		p.entriesSet.Add(1)
+	}
+}
+
+// EntryCleared records one PTE clear. Safe on nil.
+func (p *PTCounters) EntryCleared() {
+	if p != nil {
+		p.entriesCleared.Add(1)
+	}
+}
+
+// Walk records one page walk touching refs table nodes. Safe on nil.
+func (p *PTCounters) Walk(refs int) {
+	if p != nil {
+		p.walks.Add(1)
+		p.walkRefs.Add(uint64(refs))
+	}
+}
+
+// asidCounters is per-address-space-tag TLB activity.
+type asidCounters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// Sink is the machine-wide collector. One Sink serves one hw.Machine; all
+// recording methods are safe on a nil *Sink and safe to call from any
+// number of goroutines.
+type Sink struct {
+	cores []CoreCounters
+	asids []asidCounters // indexed by arch.ASID, length arch.MaxASID+1
+
+	// PT is the machine-wide page-table counter block; tables record into
+	// it via SetObserver(sink.PTObs()).
+	PT PTCounters
+
+	tlbFlushes        atomic.Uint64
+	tlbFlushedEntries atomic.Uint64
+
+	shootdowns     atomic.Uint64
+	shootdownPages atomic.Uint64
+
+	nvmWrites    atomic.Uint64
+	nvmWriteByte atomic.Uint64
+
+	vmMaps   atomic.Uint64
+	vmUnmaps atomic.Uint64
+	vmFaults atomic.Uint64
+
+	urpcRetries atomic.Uint64
+	faultsFired atomic.Uint64
+
+	lockWaitNs     Hist // real time a vas_switch spent blocked acquiring segment locks
+	lockHoldCycles Hist // simulated cycles a lock set was held between switches
+
+	syscalls [NumOps]Hist // per-syscall latency in simulated cycles
+
+	tracer atomic.Pointer[Tracer]
+}
+
+// NewSink creates a collector for a machine with the given core count.
+func NewSink(cores int) *Sink {
+	return &Sink{
+		cores: make([]CoreCounters, cores),
+		asids: make([]asidCounters, int(arch.MaxASID)+1),
+	}
+}
+
+// Core returns core i's category-cycle counter block, or nil when the sink
+// is nil or i is out of range — callers hold the result and charge through
+// its nil-safe methods.
+func (s *Sink) Core(i int) *CoreCounters {
+	if s == nil || i < 0 || i >= len(s.cores) {
+		return nil
+	}
+	return &s.cores[i]
+}
+
+// PTObs returns the machine-wide page-table counter block (nil-safe).
+func (s *Sink) PTObs() *PTCounters {
+	if s == nil {
+		return nil
+	}
+	return &s.PT
+}
+
+// TLBHit records a TLB hit while the core ran under the given tag.
+func (s *Sink) TLBHit(asid arch.ASID) {
+	if s != nil {
+		s.asids[asid].hits.Add(1)
+	}
+}
+
+// TLBMiss records a TLB miss while the core ran under the given tag.
+func (s *Sink) TLBMiss(asid arch.ASID) {
+	if s != nil {
+		s.asids[asid].misses.Add(1)
+	}
+}
+
+// TLBEvict records the eviction of an entry belonging to the given tag.
+func (s *Sink) TLBEvict(asid arch.ASID) {
+	if s != nil {
+		s.asids[asid].evictions.Add(1)
+	}
+}
+
+// TLBFlush records one flush operation that invalidated entries entries.
+func (s *Sink) TLBFlush(entries int) {
+	if s != nil {
+		s.tlbFlushes.Add(1)
+		s.tlbFlushedEntries.Add(uint64(entries))
+	}
+}
+
+// Shootdown records one remote-TLB shootdown covering pages pages that
+// invalidated entries entries across all cores.
+func (s *Sink) Shootdown(pages uint64, entries int) {
+	if s != nil {
+		s.shootdowns.Add(1)
+		s.shootdownPages.Add(pages)
+		s.tlbFlushedEntries.Add(uint64(entries))
+	}
+}
+
+// NVMWrite records a data write of n bytes landing in the NVM tier.
+func (s *Sink) NVMWrite(n int) {
+	if s != nil {
+		s.nvmWrites.Add(1)
+		s.nvmWriteByte.Add(uint64(n))
+	}
+}
+
+// VMMap records one vm.Space region map.
+func (s *Sink) VMMap() {
+	if s != nil {
+		s.vmMaps.Add(1)
+	}
+}
+
+// VMUnmap records one vm.Space region unmap.
+func (s *Sink) VMUnmap() {
+	if s != nil {
+		s.vmUnmaps.Add(1)
+	}
+}
+
+// VMFault records one VM-layer page fault (demand paging or COW break).
+func (s *Sink) VMFault() {
+	if s != nil {
+		s.vmFaults.Add(1)
+	}
+}
+
+// LockWait records ns nanoseconds of real time a switch spent acquiring a
+// VAS's segment lock set (≈0 when uncontended).
+func (s *Sink) LockWait(ns uint64) {
+	if s != nil {
+		s.lockWaitNs.Observe(ns)
+	}
+}
+
+// LockHold records the simulated cycles a thread held a VAS's segment lock
+// set before switching away.
+func (s *Sink) LockHold(cycles uint64) {
+	if s != nil {
+		s.lockHoldCycles.Observe(cycles)
+	}
+}
+
+// Syscall records one completed syscall of kind op taking the given number
+// of simulated cycles.
+func (s *Sink) Syscall(op Op, cycles uint64) {
+	if s != nil {
+		s.syscalls[op].Observe(cycles)
+	}
+}
+
+// URPCRetry records one request re-send by a urpc endpoint and traces it.
+func (s *Sink) URPCRetry(core int, seq, try uint64) {
+	if s == nil {
+		return
+	}
+	s.urpcRetries.Add(1)
+	s.Trace(Event{Kind: EvURPCRetry, Core: core, A: seq, B: try})
+}
+
+// FaultFired records the firing of a fault-injection point and traces it.
+func (s *Sink) FaultFired(name string) {
+	if s == nil {
+		return
+	}
+	s.faultsFired.Add(1)
+	s.Trace(Event{Kind: EvFault, Core: -1, Label: name})
+}
+
+// VASSwitch traces one vas_switch by the thread on the given core.
+func (s *Sink) VASSwitch(core, pid int, handle uint64) {
+	if s != nil {
+		s.Trace(Event{Kind: EvVASSwitch, Core: core, PID: pid, A: handle})
+	}
+}
+
+// SegAttach traces a segment being attached to a VAS.
+func (s *Sink) SegAttach(core, pid int, vid, sid uint64) {
+	if s != nil {
+		s.Trace(Event{Kind: EvSegAttach, Core: core, PID: pid, A: vid, B: sid})
+	}
+}
+
+// SetTracer installs (or, with nil, removes) the bounded trace ring.
+func (s *Sink) SetTracer(t *Tracer) {
+	if s != nil {
+		s.tracer.Store(t)
+	}
+}
+
+// Tracer returns the installed trace ring, or nil.
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.Load()
+}
+
+// Trace records an event into the ring, if one is installed. The nil-tracer
+// fast path is a single atomic pointer load.
+func (s *Sink) Trace(e Event) {
+	if s == nil {
+		return
+	}
+	if t := s.tracer.Load(); t != nil {
+		t.Record(e)
+	}
+}

@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"spacejmp/internal/arch"
+)
+
+// TestNilSafety: every recording and reading method must be a no-op on a nil
+// receiver — this is the disabled fast path every component relies on.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	s.TLBHit(1)
+	s.TLBMiss(1)
+	s.TLBEvict(1)
+	s.TLBFlush(4)
+	s.Shootdown(2, 8)
+	s.NVMWrite(64)
+	s.VMMap()
+	s.VMUnmap()
+	s.VMFault()
+	s.LockWait(100)
+	s.LockHold(100)
+	s.Syscall(OpVASSwitch, 10)
+	s.URPCRetry(0, 1, 2)
+	s.FaultFired("x")
+	s.VASSwitch(0, 1, 2)
+	s.SegAttach(0, 1, 2, 3)
+	s.SetTracer(NewTracer(4))
+	s.Trace(Event{Kind: EvVASSwitch})
+	if s.Tracer() != nil || s.Core(0) != nil || s.PTObs() != nil || s.Snapshot() != nil {
+		t.Error("nil sink returned non-nil sub-objects")
+	}
+
+	var c *CoreCounters
+	c.AddCycles(CatData, 5)
+	if c.Cycles(CatData) != 0 {
+		t.Error("nil CoreCounters recorded cycles")
+	}
+
+	var p *PTCounters
+	p.TableAllocated()
+	p.TableFreed()
+	p.EntrySet()
+	p.EntryCleared()
+	p.Walk(4)
+
+	var h *Hist
+	h.Observe(7)
+	if h.Count() != 0 {
+		t.Error("nil Hist recorded")
+	}
+
+	var tr *Tracer
+	tr.Record(Event{Kind: EvFault})
+	if tr.Events() != nil || tr.Recorded() != 0 || tr.Dropped() != 0 || tr.Count(EvFault) != 0 {
+		t.Error("nil Tracer retained state")
+	}
+
+	var snap *Snapshot
+	if snap.Delta(nil) != nil {
+		t.Error("nil snapshot delta is non-nil")
+	}
+}
+
+// TestConcurrentCounters hammers every counter family from many goroutines
+// and verifies the snapshot totals are exact. Run under -race this also
+// proves the recording paths are data-race free.
+func TestConcurrentCounters(t *testing.T) {
+	const workers = 8
+	const perWorker = 1000
+	s := NewSink(2)
+	s.SetTracer(NewTracer(16))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := s.Core(w % 2)
+			for i := 0; i < perWorker; i++ {
+				cc.AddCycles(CatWalk, 3)
+				s.TLBHit(arch.ASID(w % 4))
+				s.TLBMiss(arch.ASID(w % 4))
+				s.TLBEvict(1)
+				s.PTObs().Walk(4)
+				s.PTObs().EntrySet()
+				s.NVMWrite(8)
+				s.Syscall(OpVASSwitch, uint64(i))
+				s.LockWait(uint64(i))
+				s.VASSwitch(w, w, uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	const total = workers * perWorker
+	if got := snap.Cycles[CatWalk.String()]; got != 3*total {
+		t.Errorf("walk cycles = %d, want %d", got, 3*total)
+	}
+	if snap.TLB.Hits != total || snap.TLB.Misses != total || snap.TLB.Evictions != total {
+		t.Errorf("tlb = %+v, want %d each", snap.TLB, total)
+	}
+	if snap.TLB.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", snap.TLB.HitRate())
+	}
+	if snap.PT.Walks != total || snap.PT.NodesTouched != 4*total || snap.PT.EntriesSet != total {
+		t.Errorf("pt = %+v", snap.PT)
+	}
+	if snap.NVM.Writes != total || snap.NVM.WrittenBytes != 8*total {
+		t.Errorf("nvm = %+v", snap.NVM)
+	}
+	if h := snap.Syscalls[OpVASSwitch.String()]; h.Count != total {
+		t.Errorf("vas_switch latencies = %d, want %d", h.Count, total)
+	}
+	if snap.LockWaitNs.Count != total {
+		t.Errorf("lock waits = %d, want %d", snap.LockWaitNs.Count, total)
+	}
+	// Per-kind trace counts survive ring overflow (capacity 16 << total).
+	if got := s.Tracer().Count(EvVASSwitch); got != total {
+		t.Errorf("traced switches = %d, want %d", got, total)
+	}
+	if snap.TraceRecorded != total || snap.TraceDropped != total-16 {
+		t.Errorf("trace recorded/dropped = %d/%d", snap.TraceRecorded, snap.TraceDropped)
+	}
+}
+
+// TestSnapshotImmutability: a snapshot must not change when the live sink
+// keeps counting.
+func TestSnapshotImmutability(t *testing.T) {
+	s := NewSink(1)
+	s.Core(0).AddCycles(CatData, 10)
+	s.TLBHit(2)
+	s.PTObs().Walk(4)
+	before := s.Snapshot()
+	buf, err := before.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate everything the snapshot covers.
+	s.Core(0).AddCycles(CatData, 99)
+	s.TLBHit(2)
+	s.TLBFlush(7)
+	s.PTObs().Walk(4)
+	s.Syscall(OpSegAlloc, 123)
+	after, err := before.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(after) {
+		t.Errorf("snapshot changed under mutation:\nbefore %s\nafter  %s", buf, after)
+	}
+	if before.TLB.Hits != 1 || before.Cycles[CatData.String()] != 10 {
+		t.Errorf("snapshot values wrong: %+v", before)
+	}
+}
+
+// TestSnapshotDelta verifies counter-by-counter subtraction.
+func TestSnapshotDelta(t *testing.T) {
+	s := NewSink(1)
+	s.Core(0).AddCycles(CatWalk, 5)
+	s.TLBMiss(1)
+	s.Syscall(OpVASSwitch, 10)
+	before := s.Snapshot()
+	s.Core(0).AddCycles(CatWalk, 7)
+	s.TLBMiss(1)
+	s.TLBMiss(1)
+	s.Syscall(OpVASSwitch, 20)
+	d := s.Snapshot().Delta(before)
+	if d.Cycles[CatWalk.String()] != 7 {
+		t.Errorf("delta walk cycles = %d, want 7", d.Cycles[CatWalk.String()])
+	}
+	if d.TLB.Misses != 2 {
+		t.Errorf("delta misses = %d, want 2", d.TLB.Misses)
+	}
+	h := d.Syscalls[OpVASSwitch.String()]
+	if h.Count != 1 || h.Sum != 20 {
+		t.Errorf("delta vas_switch hist = %+v, want count 1 sum 20", h)
+	}
+	// Delta against nil is the snapshot itself.
+	if full := s.Snapshot().Delta(nil); full.TLB.Misses != 3 {
+		t.Errorf("delta(nil) misses = %d, want 3", full.TLB.Misses)
+	}
+}
+
+// TestTraceRingOverflow: the ring keeps the newest capacity events in order,
+// Recorded/Dropped account for the rest, and per-kind counts are exact.
+func TestTraceRingOverflow(t *testing.T) {
+	tr := NewTracer(8)
+	const n = 20
+	for i := 0; i < n; i++ {
+		tr.Record(Event{Kind: EvVASSwitch, Core: 0, A: uint64(i)})
+	}
+	if tr.Recorded() != n {
+		t.Errorf("recorded = %d, want %d", tr.Recorded(), n)
+	}
+	if tr.Dropped() != n-8 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), n-8)
+	}
+	ev := tr.Events()
+	if len(ev) != 8 {
+		t.Fatalf("retained %d events, want 8", len(ev))
+	}
+	for i, e := range ev {
+		wantSeq := uint64(n - 8 + i + 1) // oldest retained first, 1-based seq
+		if e.Seq != wantSeq || e.A != wantSeq-1 {
+			t.Errorf("event %d: seq=%d a=%d, want seq=%d", i, e.Seq, e.A, wantSeq)
+		}
+	}
+	if tr.Count(EvVASSwitch) != n || tr.Count(EvFault) != 0 {
+		t.Errorf("counts = %d/%d", tr.Count(EvVASSwitch), tr.Count(EvFault))
+	}
+	// Events JSON-encode (the exporter path).
+	if _, err := json.Marshal(ev); err != nil {
+		t.Errorf("events not encodable: %v", err)
+	}
+}
+
+// TestTracerBelowCapacity: no wrap, events in insertion order, zero dropped.
+func TestTracerBelowCapacity(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Kind: EvFault, Label: "a"})
+	tr.Record(Event{Kind: EvSegAttach, A: 1, B: 2})
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Kind != EvFault || ev[1].Kind != EvSegAttach {
+		t.Errorf("events = %+v", ev)
+	}
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Errorf("seqs = %d, %d", ev[0].Seq, ev[1].Seq)
+	}
+}
+
+// TestHistQuantiles checks the log2 histogram's mean, max, and quantile
+// upper bounds.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("hist = count %d sum %d max %d", s.Count, s.Sum, s.Max)
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// The median observation is 50; its log2 bucket [32,64) reports 63.
+	if q := s.Quantile(0.5); q != 63 {
+		t.Errorf("p50 = %d, want 63", q)
+	}
+	// The top quantile is clamped to the observed max.
+	if q := s.Quantile(1.0); q != 100 {
+		t.Errorf("p100 = %d, want 100", q)
+	}
+	if q := s.Quantile(0.0); q > 1 {
+		t.Errorf("p0 = %d, want ≤1", q)
+	}
+
+	var zeros Hist
+	zeros.Observe(0)
+	if q := zeros.snapshot().Quantile(0.99); q != 0 {
+		t.Errorf("all-zero p99 = %d", q)
+	}
+}
+
+// TestCatOpNames: every category and op has a distinct name (the snapshot
+// keys), and out-of-range values don't panic.
+func TestCatOpNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := 0; c < NumCats; c++ {
+		name := Cat(c).String()
+		if name == "" || seen[name] {
+			t.Errorf("cat %d name %q empty or duplicate", c, name)
+		}
+		seen[name] = true
+	}
+	for o := 0; o < NumOps; o++ {
+		name := Op(o).String()
+		if name == "" || seen[name] {
+			t.Errorf("op %d name %q empty or duplicate", o, name)
+		}
+		seen[name] = true
+	}
+	_ = Cat(200).String()
+	_ = Op(200).String()
+	_ = EventKind(200).String()
+}

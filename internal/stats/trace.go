@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// EvVASSwitch is one vas_switch: A = the handle switched to.
+	EvVASSwitch EventKind = iota
+	// EvSegAttach is a segment attach: A = VAS id, B = segment id.
+	EvSegAttach
+	// EvFault is a fault-injection point firing: Label = the point name.
+	EvFault
+	// EvURPCRetry is a urpc request re-send: A = sequence number, B = try.
+	EvURPCRetry
+
+	// NumEvents is the number of event kinds.
+	NumEvents = int(EvURPCRetry) + 1
+)
+
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry"}
+
+func (k EventKind) String() string {
+	if int(k) < NumEvents {
+		return eventNames[k]
+	}
+	return "event(?)"
+}
+
+// Event is one typed trace record. Seq is a 1-based total order over all
+// recorded events, assigned by the Tracer; A and B are kind-specific
+// payloads; Core is -1 when no core is attributable.
+type Event struct {
+	Seq   uint64    `json:"seq"`
+	Kind  EventKind `json:"-"`
+	Core  int       `json:"core"`
+	PID   int       `json:"pid,omitempty"`
+	A     uint64    `json:"a,omitempty"`
+	B     uint64    `json:"b,omitempty"`
+	Label string    `json:"label,omitempty"`
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvVASSwitch:
+		return fmt.Sprintf("#%d vas-switch core=%d pid=%d handle=%d", e.Seq, e.Core, e.PID, e.A)
+	case EvSegAttach:
+		return fmt.Sprintf("#%d seg-attach core=%d pid=%d vas=%d seg=%d", e.Seq, e.Core, e.PID, e.A, e.B)
+	case EvFault:
+		return fmt.Sprintf("#%d fault %s", e.Seq, e.Label)
+	case EvURPCRetry:
+		return fmt.Sprintf("#%d urpc-retry core=%d seq=%d try=%d", e.Seq, e.Core, e.A, e.B)
+	}
+	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
+}
+
+// Tracer is a bounded ring of trace events. When the ring is full the
+// oldest events are overwritten; per-kind totals keep counting, so event
+// counts survive overflow even though the events themselves do not.
+type Tracer struct {
+	mu       sync.Mutex
+	ring     []Event
+	recorded uint64 // total events ever recorded
+
+	counts [NumEvents]atomic.Uint64
+}
+
+// NewTracer creates a ring holding at most capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, assigning its sequence number and overwriting
+// the oldest event if the ring is full. Safe on nil.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if int(e.Kind) < NumEvents {
+		t.counts[e.Kind].Add(1)
+	}
+	t.mu.Lock()
+	t.recorded++
+	e.Seq = t.recorded
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[int((t.recorded-1)%uint64(cap(t.ring)))] = e
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.ring))
+	if t.recorded <= uint64(cap(t.ring)) {
+		copy(out, t.ring)
+		return out
+	}
+	// Ring has wrapped: the oldest retained event sits right after the
+	// write cursor.
+	head := int(t.recorded % uint64(cap(t.ring)))
+	n := copy(out, t.ring[head:])
+	copy(out[n:], t.ring[:head])
+	return out
+}
+
+// Recorded returns the total number of events ever recorded.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recorded
+}
+
+// Dropped returns how many events were overwritten by ring overflow.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.recorded <= uint64(cap(t.ring)) {
+		return 0
+	}
+	return t.recorded - uint64(cap(t.ring))
+}
+
+// Count returns the total number of events of kind k ever recorded,
+// including events since overwritten — the counter a regression test
+// compares against System.Switches().
+func (t *Tracer) Count(k EventKind) uint64 {
+	if t == nil || int(k) >= NumEvents {
+		return 0
+	}
+	return t.counts[k].Load()
+}

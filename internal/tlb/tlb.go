@@ -106,8 +106,10 @@ func (t *TLB) Lookup(asid arch.ASID, va arch.VirtAddr) (Entry, bool) {
 
 // Insert installs a translation, evicting the least recently used entry of
 // the target set if it is full. The entry's VPN is derived from its page
-// base, so callers pass the base virtual address of the page.
-func (t *TLB) Insert(asid arch.ASID, base arch.VirtAddr, frame arch.PhysAddr, pageSize uint64, perm arch.Perm, global bool) {
+// base, so callers pass the base virtual address of the page. It returns
+// the ASID of the entry it displaced and whether an eviction happened, so
+// the MMU can attribute the eviction to the victim's address space.
+func (t *TLB) Insert(asid arch.ASID, base arch.VirtAddr, frame arch.PhysAddr, pageSize uint64, perm arch.Perm, global bool) (victimASID arch.ASID, evicted bool) {
 	t.tick++
 	vpn := uint64(arch.AlignDown(base, pageSize)) >> arch.PageShift
 	set := t.setFor(vpn)
@@ -128,43 +130,55 @@ func (t *TLB) Insert(asid arch.ASID, base arch.VirtAddr, frame arch.PhysAddr, pa
 	}
 	if set[victim].valid && (set[victim].VPN != vpn || set[victim].ASID != asid) {
 		t.stats.Evictions++
+		victimASID, evicted = set[victim].ASID, true
 	}
 	set[victim] = Entry{
 		VPN: vpn, ASID: asid, Frame: arch.PhysAddr(arch.AlignDown(arch.VirtAddr(frame), pageSize)),
 		Perm: perm, PageSize: pageSize, Global: global, valid: true, used: t.tick,
 	}
+	return victimASID, evicted
 }
 
 // FlushAll invalidates every non-global entry — the effect of writing CR3
-// without a tag (or with the reserved flush tag).
-func (t *TLB) FlushAll() {
+// without a tag (or with the reserved flush tag). It returns the number of
+// entries invalidated.
+func (t *TLB) FlushAll() int {
 	t.stats.Flushes++
+	n := 0
 	for _, set := range t.sets {
 		for i := range set {
 			if set[i].valid && !set[i].Global {
 				set[i].valid = false
 				t.stats.FlushedEntries++
+				n++
 			}
 		}
 	}
+	return n
 }
 
-// FlushASID invalidates every entry tagged with the given ASID (INVPCID).
-func (t *TLB) FlushASID(asid arch.ASID) {
+// FlushASID invalidates every entry tagged with the given ASID (INVPCID)
+// and returns the number of entries invalidated.
+func (t *TLB) FlushASID(asid arch.ASID) int {
 	t.stats.Flushes++
+	n := 0
 	for _, set := range t.sets {
 		for i := range set {
 			if set[i].valid && set[i].ASID == asid {
 				set[i].valid = false
 				t.stats.FlushedEntries++
+				n++
 			}
 		}
 	}
+	return n
 }
 
 // FlushPage invalidates the translation of the page containing va for the
-// given ASID at every page size (INVLPG).
-func (t *TLB) FlushPage(asid arch.ASID, va arch.VirtAddr) {
+// given ASID at every page size (INVLPG) and returns the number of entries
+// invalidated.
+func (t *TLB) FlushPage(asid arch.ASID, va arch.VirtAddr) int {
+	n := 0
 	for _, ps := range pageSizes {
 		vpn := uint64(arch.AlignDown(va, ps)) >> arch.PageShift
 		set := t.setFor(vpn)
@@ -173,9 +187,11 @@ func (t *TLB) FlushPage(asid arch.ASID, va arch.VirtAddr) {
 			if e.valid && e.PageSize == ps && e.VPN == vpn && e.ASID == asid {
 				e.valid = false
 				t.stats.FlushedEntries++
+				n++
 			}
 		}
 	}
+	return n
 }
 
 // Live returns the number of valid entries (for tests and introspection).

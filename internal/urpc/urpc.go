@@ -238,6 +238,7 @@ func (e *Endpoint) Call(request []byte) ([]byte, error) {
 	for try := 0; try <= e.MaxRetries; try++ {
 		if try > 0 {
 			e.retries++
+			e.m.Observer().URPCRetry(e.client, seq, uint64(try))
 		}
 		if err := e.req.sendSeq(seq, request); err != nil {
 			return nil, err

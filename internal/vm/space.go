@@ -9,6 +9,7 @@ import (
 	"spacejmp/internal/hw"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/pt"
+	"spacejmp/internal/stats"
 )
 
 // MapFlags control how a region is established.
@@ -61,6 +62,7 @@ type Space struct {
 	table   *pt.Table
 	regions []*Region // sorted by Start, non-overlapping
 	stats   Stats
+	obs     *stats.Sink
 
 	// Shootdown, if set, is invoked after translations in [va, va+size)
 	// are removed or downgraded, so the OS can invalidate TLB entries on
@@ -87,6 +89,15 @@ func NewSpace(pm *mem.PhysMem) (*Space, error) {
 
 // Table exposes the page table (for CR3 loads and subtree linking).
 func (s *Space) Table() *pt.Table { return s.table }
+
+// SetObserver installs the machine-wide stats sink on the space and its
+// page table. Nil disables observation.
+func (s *Space) SetObserver(sink *stats.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = sink
+	s.table.SetObserver(sink.PTObs())
+}
 
 // Stats returns a snapshot of the space's counters.
 func (s *Space) Stats() Stats {
@@ -174,6 +185,7 @@ func (s *Space) Map(va arch.VirtAddr, size uint64, perm arch.Perm, obj *Object, 
 	obj.Ref()
 	s.insert(r)
 	s.stats.Maps++
+	s.obs.VMMap()
 	if flags&MapPopulate != 0 {
 		if err := s.populate(r); err != nil {
 			s.remove(r)
@@ -328,6 +340,7 @@ func (s *Space) Unmap(va arch.VirtAddr, size uint64) error {
 		r.Obj.Unref()
 	}
 	s.stats.Unmaps++
+	s.obs.VMUnmap()
 	return nil
 }
 
@@ -390,6 +403,7 @@ func (s *Space) HandleFault(va arch.VirtAddr, access arch.Access) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Faults++
+	s.obs.VMFault()
 	r := s.regionAt(va)
 	if r == nil {
 		return fmt.Errorf("vm: segmentation fault: %v %v", access, va)
@@ -419,6 +433,7 @@ func (s *Space) Handler() hw.FaultHandler {
 				idx := (r.ObjOff + uint64(hbase-r.Start)) / r.pageSize()
 				if r.Obj.IsCOW(idx) {
 					s.stats.Faults++
+					s.obs.VMFault()
 					err := s.breakCOW(r, f.VA)
 					s.mu.Unlock()
 					return err

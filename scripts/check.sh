@@ -5,8 +5,27 @@ set -e
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
+
+echo "== deprecated API gate =="
+# SegAllocPages is deprecated; the only call allowed is the wrapper's own
+# declaration in internal/core/system.go. Everything else must use
+# SegAlloc(..., WithPageSize(...)).
+offenders=$(grep -rn "SegAllocPages" --include='*.go' . | grep -v "^./internal/core/system.go:" || true)
+if [ -n "$offenders" ]; then
+    echo "deprecated SegAllocPages used outside its wrapper:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...

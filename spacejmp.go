@@ -41,6 +41,7 @@ import (
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/mem"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/tlb"
 )
 
@@ -64,8 +65,13 @@ type (
 	Handle = core.Handle
 	// Creds identify a subject to the personality's security model.
 	Creds = core.Creds
-	// CtlCmd selects a vas_ctl / seg_ctl operation.
-	CtlCmd = core.CtlCmd
+	// VASCmd is a typed vas_ctl command (SetTag, ClearTag, SetMode).
+	VASCmd = core.VASCmd
+	// SegCmd is a typed seg_ctl command (SetPerm, SetLockable,
+	// CacheTranslations).
+	SegCmd = core.SegCmd
+	// SegOption configures SegAlloc (WithPageSize, WithTier, WithLockable).
+	SegOption = core.SegOption
 
 	// MachineConfig describes the simulated platform.
 	MachineConfig = hw.MachineConfig
@@ -94,13 +100,19 @@ const PrimaryHandle = core.PrimaryHandle
 // ranges).
 const GlobalBase = core.GlobalBase
 
-// vas_ctl / seg_ctl commands.
-const (
-	CtlSetTag            = core.CtlSetTag
-	CtlClearTag          = core.CtlClearTag
-	CtlSetPerm           = core.CtlSetPerm
-	CtlSetLockable       = core.CtlSetLockable
-	CtlCacheTranslations = core.CtlCacheTranslations
+// Typed vas_ctl / seg_ctl command constructors and SegAlloc options. An
+// ill-typed ctl argument is a compile error, not a runtime one.
+var (
+	SetTag            = core.SetTag
+	ClearTag          = core.ClearTag
+	SetMode           = core.SetMode
+	SetPerm           = core.SetPerm
+	SetLockable       = core.SetLockable
+	CacheTranslations = core.CacheTranslations
+
+	WithPageSize = core.WithPageSize
+	WithTier     = core.WithTier
+	WithLockable = core.WithLockable
 )
 
 // API errors.
@@ -110,12 +122,28 @@ var (
 	ErrDenied   = core.ErrDenied
 	ErrBusy     = core.ErrBusy
 	ErrLayout   = core.ErrLayout
+	ErrInvalid  = core.ErrInvalid
 	// ErrProcessDead reports a syscall by a process that exited or crashed.
 	ErrProcessDead = core.ErrProcessDead
 	// ErrNoCheckpoint: Restore found fresh NVM with no committed image.
 	ErrNoCheckpoint = core.ErrNoCheckpoint
 	// ErrCorruptCheckpoint: a checkpoint exists but no generation validates.
 	ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
+)
+
+// Observability (package stats): machine-wide cycle accounting by category,
+// TLB/page-table counters, and an optional bounded trace ring. Enable with
+// System.EnableStats (or Machine.EnableStats), read with System.Stats.
+type (
+	// Stats is an immutable point-in-time snapshot of every counter.
+	Stats = stats.Snapshot
+	// StatsSink is the live collector installed by EnableStats.
+	StatsSink = stats.Sink
+	// Tracer is the bounded ring of typed trace events.
+	Tracer = stats.Tracer
+	// TraceEvent is one trace record (VAS switch, segment attach, fault
+	// firing, URPC retry).
+	TraceEvent = stats.Event
 )
 
 // Fault injection (package fault): a deterministic, seedable registry of
