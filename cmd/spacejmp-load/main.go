@@ -1,0 +1,50 @@
+// Command spacejmp-load is a closed-loop RESP load generator for
+// cmd/spacejmp-server: N connections each keep a fixed pipeline of mixed
+// GET/SET commands in flight, values are deterministic binary bytes
+// (embedded CRLF included) so every GET reply is verified, and per-command
+// latency percentiles are reported at the end. It doubles as the
+// integration harness the serving-layer tests run in-process.
+//
+// Usage:
+//
+//	spacejmp-load [-addr host:port] [-conns n] [-pipeline n] [-n requests]
+//	              [-set-percent p] [-keys n] [-value bytes] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spacejmp/internal/server"
+)
+
+func main() {
+	cfg := server.LoadConfig{}
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:6379", "server address")
+	flag.IntVar(&cfg.Conns, "conns", 64, "concurrent connections")
+	flag.IntVar(&cfg.Pipeline, "pipeline", 8, "commands in flight per connection")
+	flag.IntVar(&cfg.Requests, "n", 1024, "commands per connection")
+	flag.IntVar(&cfg.SetPercent, "set-percent", 20, "percentage of SETs in the mix")
+	flag.IntVar(&cfg.Keys, "keys", 512, "keyspace size")
+	flag.IntVar(&cfg.ValueSize, "value", 64, "value size in bytes")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "per-connection PRNG seed base")
+	flag.Parse()
+
+	res, err := server.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spacejmp-load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("commands  %d (%d GET, %d SET) in %v\n",
+		res.Commands, res.Gets, res.Sets, res.Elapsed.Round(1e6))
+	fmt.Printf("throughput  %.0f cmd/s\n", res.Throughput())
+	fmt.Printf("latency  mean %.0fns  p50 ≤%dns  p99 ≤%dns  max %dns\n",
+		res.Latency.Mean(), res.Latency.Quantile(0.50),
+		res.Latency.Quantile(0.99), res.Latency.Max)
+	fmt.Printf("busy  %d  errors  %d  mismatches  %d\n",
+		res.Busy, res.Errors, res.Mismatches)
+	if res.Mismatches > 0 || res.Errors > 0 {
+		os.Exit(1)
+	}
+}

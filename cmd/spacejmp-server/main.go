@@ -1,0 +1,112 @@
+// Command spacejmp-server runs the RESP/TCP serving layer over the
+// simulated SpaceJMP machine: a sharded worker pool in which every worker
+// owns a simulated core and serves commands by switching into the shared
+// RedisJMP VAS (§5.3). Drive it with cmd/spacejmp-load or any RESP client
+// (GET, SET, DEL, PING, ECHO, QUIT).
+//
+// Usage:
+//
+//	spacejmp-server [-addr host:port] [-shards n] [-queue n] [-pipeline n]
+//	                [-seg bytes] [-tags] [-machine M1|M2|M3|small] [-trace n]
+//
+// On SIGINT/SIGTERM the server drains gracefully — stops accepting,
+// finishes in-flight commands, detaches every worker from the shared VASes
+// (the kernel reaper verifies frame reclamation) — and dumps the stats
+// snapshot, including per-shard counters and latency histograms, to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6379", "listen address")
+	shards := flag.Int("shards", 2, "worker shards (each claims one simulated core)")
+	queue := flag.Int("queue", 64, "per-shard queue depth (full queue replies busy)")
+	pipeline := flag.Int("pipeline", 32, "per-connection in-flight command cap")
+	segSize := flag.Uint64("seg", 16<<20, "shared store segment bytes")
+	tags := flag.Bool("tags", false, "enable TLB tags on the server VASes")
+	machine := flag.String("machine", "M1", "simulated machine: M1, M2, M3, small")
+	traceCap := flag.Int("trace", 4096, "trace ring capacity (0 disables tracing)")
+	jsonOut := flag.Bool("json", false, "dump the final stats snapshot as JSON")
+	flag.Parse()
+
+	cfg, err := machineConfig(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	m := hw.NewMachine(cfg)
+	sys := kernel.New(m)
+	sys.EnableStats(*traceCap)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	base := m.PM.AllocatedBytes()
+	srv, err := server.New(sys, ln, server.Config{
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		PipelineDepth: *pipeline,
+		SegSize:       *segSize,
+		Tags:          *tags,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "spacejmp-server: listening on %s (%s, %d shards, queue %d, pipeline %d)\n",
+		srv.Addr(), cfg.Name, *shards, *queue, *pipeline)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	fmt.Fprintln(os.Stderr, "spacejmp-server: draining...")
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "spacejmp-server: shutdown: %v\n", err)
+	}
+	if err := m.PM.CheckLeaks(base); err != nil {
+		fmt.Fprintf(os.Stderr, "spacejmp-server: leak check: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "spacejmp-server: all simulated frames reclaimed")
+	}
+
+	snap := sys.Stats()
+	if snap == nil {
+		return
+	}
+	if *jsonOut {
+		if b, err := snap.JSON(); err == nil {
+			os.Stderr.Write(append(b, '\n'))
+		}
+		return
+	}
+	snap.WriteText(os.Stderr)
+}
+
+func machineConfig(name string) (hw.MachineConfig, error) {
+	switch name {
+	case "M1":
+		return hw.M1(), nil
+	case "M2":
+		return hw.M2(), nil
+	case "M3":
+		return hw.M3(), nil
+	case "small":
+		return hw.SmallTest(), nil
+	}
+	return hw.MachineConfig{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spacejmp-server: %v\n", err)
+	os.Exit(1)
+}

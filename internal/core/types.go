@@ -48,6 +48,10 @@ var (
 	// process that has exited or crashed; the kernel reaper has already
 	// reclaimed its cores, locks, and memory.
 	ErrProcessDead = errors.New("spacejmp: process dead")
+	// ErrNoSpace reports an allocation that cannot fit: a full segment
+	// heap, an exhausted physical memory tier. Higher layers wrap it so
+	// errors.Is recognizes "out of space" end to end.
+	ErrNoSpace = errors.New("spacejmp: out of space")
 )
 
 // Conventional process layout. Process-private segments (text, globals,

@@ -43,6 +43,15 @@ const (
 	// URPCDelay charges the receiving core extra cycles on a delivery,
 	// modelling a delayed cache-line transfer.
 	URPCDelay = "urpc.delay"
+	// SrvAccept fails an accepted connection before it is served: the
+	// server closes it immediately, as a listener hitting EMFILE would.
+	SrvAccept = "server.accept"
+	// SrvConnStall pauses a connection's reader briefly before the next
+	// command, modelling a slow or half-stuck client link.
+	SrvConnStall = "server.conn.stall"
+	// SrvConnDrop severs a connection mid-command stream: the server
+	// closes the socket without a reply, as a network partition would.
+	SrvConnDrop = "server.conn.drop"
 )
 
 // A Policy decides whether the hit'th pass (1-based) through a point fires.

@@ -1,7 +1,6 @@
 package redis
 
 import (
-	"fmt"
 	"strings"
 
 	"spacejmp/internal/hw"
@@ -70,7 +69,7 @@ func (s *BaselineServer) exec(args []string) []byte {
 	switch strings.ToUpper(args[0]) {
 	case "GET":
 		if len(args) != 2 {
-			return EncodeError("wrong number of arguments for GET")
+			return EncodeWrongArity(args[0])
 		}
 		v, ok := s.data[args[1]]
 		if !ok {
@@ -79,14 +78,14 @@ func (s *BaselineServer) exec(args []string) []byte {
 		return EncodeBulk(v)
 	case "SET":
 		if len(args) != 3 {
-			return EncodeError("wrong number of arguments for SET")
+			return EncodeWrongArity(args[0])
 		}
 		s.core.AddCycles(setPersist)
 		s.data[args[1]] = []byte(args[2])
 		return EncodeSimple("OK")
 	case "DEL":
 		if len(args) != 2 {
-			return EncodeError("wrong number of arguments for DEL")
+			return EncodeWrongArity(args[0])
 		}
 		if _, ok := s.data[args[1]]; ok {
 			delete(s.data, args[1])
@@ -94,7 +93,7 @@ func (s *BaselineServer) exec(args []string) []byte {
 		}
 		return EncodeBulk(nil)
 	default:
-		return EncodeError(fmt.Sprintf("unknown command %q", args[0]))
+		return EncodeUnknownCommand(args[0])
 	}
 }
 

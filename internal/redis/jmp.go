@@ -6,6 +6,7 @@ import (
 
 	"spacejmp/internal/arch"
 	"spacejmp/internal/core"
+	"spacejmp/internal/mspace"
 )
 
 // RedisJMP (§5.3): the server process is elided entirely. The first client
@@ -15,12 +16,21 @@ import (
 // attaches a small private scratch heap into its own view of the VAS for
 // command parsing, so GETs never need write access to the shared segment.
 
-// Names in the global registries.
+// Names in the global registries, exported so tooling and the serving
+// layer can find (and tear down) the shared state.
 const (
-	segName     = "redisjmp.data"
-	readVASName = "redisjmp.read"
-	writVASName = "redisjmp.write"
+	// SegName is the shared data segment holding the store.
+	SegName = "redisjmp.data"
+	// ReadVASName maps the store read-only (GETs lock it shared).
+	ReadVASName = "redisjmp.read"
+	// WriteVASName maps the store read-write (SETs lock it exclusively).
+	WriteVASName = "redisjmp.write"
 )
+
+// ErrStoreFull reports a SET that could not fit in the shared segment's
+// heap. It wraps core.ErrNoSpace (and the failing operation keeps its
+// mspace.ErrNoSpace cause), so errors.Is works end to end across layers.
+var ErrStoreFull = fmt.Errorf("redis: store segment full: %w", core.ErrNoSpace)
 
 // SegBase is the store segment's fixed address; ScratchBase hosts each
 // client's private scratch segment inside its attachments.
@@ -54,11 +64,11 @@ func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
 	if err := c.bootstrap(segSize); err != nil {
 		return nil, err
 	}
-	vidR, err := th.VASFind(readVASName)
+	vidR, err := th.VASFind(ReadVASName)
 	if err != nil {
 		return nil, err
 	}
-	vidW, err := th.VASFind(writVASName)
+	vidW, err := th.VASFind(WriteVASName)
 	if err != nil {
 		return nil, err
 	}
@@ -98,26 +108,26 @@ func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
 // server data is initialized lazily by its first client").
 func (c *Client) bootstrap(segSize uint64) error {
 	th := c.th
-	if _, err := th.VASFind(readVASName); err == nil {
+	if _, err := th.VASFind(ReadVASName); err == nil {
 		return nil
 	} else if !errors.Is(err, core.ErrNotFound) {
 		return err
 	}
-	sid, err := th.SegAlloc(segName, SegBase, segSize, arch.PermRW)
+	sid, err := th.SegAlloc(SegName, SegBase, segSize, arch.PermRW)
 	if err != nil {
 		if errors.Is(err, core.ErrExists) {
 			return nil // raced with another bootstrapper
 		}
 		return err
 	}
-	vidW, err := th.VASCreate(writVASName, 0o666)
+	vidW, err := th.VASCreate(WriteVASName, 0o666)
 	if err != nil {
 		return err
 	}
 	if err := th.SegAttachVAS(vidW, sid, arch.PermRW); err != nil {
 		return err
 	}
-	vidR, err := th.VASCreate(readVASName, 0o666)
+	vidR, err := th.VASCreate(ReadVASName, 0o666)
 	if err != nil {
 		return err
 	}
@@ -144,7 +154,7 @@ func (c *Client) bootstrap(segSize uint64) error {
 // EnableTags assigns TLB tags to both VASes (the "RedisJMP (Tags)" series
 // of Figure 10a).
 func (c *Client) EnableTags() error {
-	for _, name := range []string{readVASName, writVASName} {
+	for _, name := range []string{ReadVASName, WriteVASName} {
 		vid, err := c.th.VASFind(name)
 		if err != nil {
 			return err
@@ -157,40 +167,49 @@ func (c *Client) EnableTags() error {
 }
 
 // Get executes a GET: parse in the scratch heap, switch into the read VAS
-// (shared lock), walk the table directly, switch back.
+// (shared lock), walk the table directly, switch back. The switch back
+// happens even when the table walk fails, so an error never strands the
+// thread inside the VAS holding the shared lock.
 func (c *Client) Get(key string) ([]byte, bool, error) {
 	c.th.Core.AddCycles(parseCycles)
 	if err := c.th.VASSwitch(c.readH); err != nil {
 		return nil, false, err
 	}
 	val, ok, err := c.store.Get([]byte(key))
-	if err != nil {
-		return nil, false, err
+	if serr := c.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
 	}
-	if err := c.th.VASSwitch(core.PrimaryHandle); err != nil {
+	if err != nil {
 		return nil, false, err
 	}
 	return val, ok, nil
 }
 
 // Set executes a SET under the exclusive lock, rehashing while exclusive
-// if the table outgrew its buckets.
+// if the table outgrew its buckets. Whatever happens inside the critical
+// section, the thread switches back out (releasing the exclusive lock) —
+// a full heap must not leave the segment locked forever. A heap-exhausted
+// SET comes back wrapped in ErrStoreFull, so callers can test it with
+// errors.Is against redis, core, and mspace sentinels alike.
 func (c *Client) Set(key string, val []byte) error {
 	c.th.Core.AddCycles(parseCycles)
 	if err := c.th.VASSwitch(c.writeH); err != nil {
 		return err
 	}
-	if err := c.store.Set([]byte(key), val); err != nil {
-		return err
-	}
-	if need, err := c.store.NeedRehash(); err != nil {
-		return err
-	} else if need {
-		if err := c.store.Rehash(); err != nil {
-			return err
+	err := c.store.Set([]byte(key), val)
+	if err == nil {
+		var need bool
+		if need, err = c.store.NeedRehash(); err == nil && need {
+			err = c.store.Rehash()
 		}
 	}
-	return c.th.VASSwitch(core.PrimaryHandle)
+	if serr := c.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if errors.Is(err, mspace.ErrNoSpace) {
+		return fmt.Errorf("%w: %w", ErrStoreFull, err)
+	}
+	return err
 }
 
 // Del removes a key under the exclusive lock.
@@ -200,8 +219,48 @@ func (c *Client) Del(key string) (bool, error) {
 		return false, err
 	}
 	found, err := c.store.Del([]byte(key))
-	if err != nil {
-		return false, err
+	if serr := c.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
 	}
-	return found, c.th.VASSwitch(core.PrimaryHandle)
+	return found, err
+}
+
+// Close detaches the client from the RedisJMP state and frees its private
+// scratch segment. The shared VASes and store survive — they are
+// first-class and outlive every client (§3.2).
+func (c *Client) Close() error {
+	if cur := c.th.Current(); cur != core.PrimaryHandle {
+		if err := c.th.VASSwitch(core.PrimaryHandle); err != nil {
+			return err
+		}
+	}
+	for _, h := range []core.Handle{c.readH, c.writeH} {
+		if err := c.th.VASDetach(h); err != nil {
+			return err
+		}
+	}
+	return c.th.SegFree(c.scratch)
+}
+
+// Destroy removes the shared RedisJMP state: both VASes and the store
+// segment are destroyed and their frames returned to the allocator. Every
+// client must have Closed first (attached VASes refuse destruction).
+func Destroy(th *core.Thread) error {
+	sid, err := th.SegFind(SegName)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{ReadVASName, WriteVASName} {
+		vid, err := th.VASFind(name)
+		if err != nil {
+			return err
+		}
+		if err := th.SegDetachVAS(vid, sid); err != nil {
+			return err
+		}
+		if err := th.VASDestroy(vid); err != nil {
+			return err
+		}
+	}
+	return th.SegFree(sid)
 }

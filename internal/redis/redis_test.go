@@ -2,6 +2,7 @@ package redis
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"spacejmp/internal/core"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
+	"spacejmp/internal/mspace"
 )
 
 func TestRESPRoundTrip(t *testing.T) {
@@ -45,14 +47,8 @@ func TestRESPPropertyRoundTrip(t *testing.T) {
 			if len(parts[i]) > 64 {
 				parts[i] = parts[i][:64]
 			}
-			// RESP bulk strings here are CRLF-delimited text.
-			clean := []byte(parts[i])
-			for j, ch := range clean {
-				if ch == '\r' || ch == '\n' {
-					clean[j] = '_'
-				}
-			}
-			parts[i] = string(clean)
+			// Bulk strings are length-prefixed: arbitrary bytes round-trip,
+			// CR and LF included.
 		}
 		got, err := DecodeCommand(EncodeCommand(parts...))
 		if err != nil || len(got) != len(parts) {
@@ -129,6 +125,50 @@ func TestJmpOverwriteAndDelete(t *testing.T) {
 	}
 	if found, _ := c.Del("k"); found {
 		t.Error("double delete reported found")
+	}
+}
+
+func TestSetStoreFullTypedError(t *testing.T) {
+	sys := kernel.New(hw.NewMachine(hw.SmallTest()))
+	proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(th, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("keep", []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+	var full error
+	for i := 0; i < 1024 && full == nil; i++ {
+		full = c.Set(fmt.Sprintf("fill:%d", i), make([]byte, 4096))
+	}
+	if full == nil {
+		t.Fatal("store never filled")
+	}
+	// The sentinel chain must hold across layers: redis → core → mspace.
+	if !errors.Is(full, ErrStoreFull) {
+		t.Errorf("errors.Is(err, ErrStoreFull) false: %v", full)
+	}
+	if !errors.Is(full, core.ErrNoSpace) {
+		t.Errorf("errors.Is(err, core.ErrNoSpace) false: %v", full)
+	}
+	if !errors.Is(full, mspace.ErrNoSpace) {
+		t.Errorf("errors.Is(err, mspace.ErrNoSpace) false: %v", full)
+	}
+	// The failed SET must have released the exclusive lock and switched
+	// back out — the client stays usable.
+	if th.Current() != core.PrimaryHandle {
+		t.Error("thread stranded outside the primary space after full SET")
+	}
+	if v, ok, err := c.Get("keep"); err != nil || !ok || string(v) != "safe" {
+		t.Errorf("store unusable after full SET: %q %v %v", v, ok, err)
 	}
 }
 

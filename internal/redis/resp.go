@@ -6,57 +6,138 @@
 package redis
 
 import (
+	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 )
 
 // RESP is the Redis serialization protocol (the subset redis-benchmark
 // exercises: inline arrays of bulk strings for commands; simple strings,
-// bulk strings and errors for replies).
+// integers, bulk strings and errors for replies). Bulk strings are
+// length-prefixed, so keys and values may contain arbitrary bytes —
+// including CR and LF — and the reader below is length-driven rather than
+// line-split so it stays correct on binary payloads and on fragmented
+// reads from a real TCP stream.
+
+// Protocol hardening limits: a malicious or corrupt header must not make
+// the reader allocate unboundedly before any payload byte has arrived.
+const (
+	// MaxArgs bounds the element count of one command array.
+	MaxArgs = 1 << 16
+	// MaxBulkLen bounds one bulk string (64 MiB, well above any modeled
+	// workload but far below anything that could wedge the host).
+	MaxBulkLen = 64 << 20
+)
+
+// ErrProtocol reports malformed RESP input.
+var ErrProtocol = errors.New("redis: protocol error")
+
+// ReplyError is an error reply ("-ERR ...") decoded from a server. It is
+// distinct from transport and protocol errors so clients can tell "the
+// server refused this command" from "the connection is broken".
+type ReplyError string
+
+func (e ReplyError) Error() string { return string(e) }
 
 // EncodeCommand renders a command as a RESP array of bulk strings.
 func EncodeCommand(args ...string) []byte {
-	var b strings.Builder
+	var b bytes.Buffer
 	fmt.Fprintf(&b, "*%d\r\n", len(args))
 	for _, a := range args {
 		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
 	}
-	return []byte(b.String())
+	return b.Bytes()
 }
 
-// DecodeCommand parses a RESP command array.
-func DecodeCommand(data []byte) ([]string, error) {
-	s := string(data)
-	if !strings.HasPrefix(s, "*") {
-		return nil, fmt.Errorf("redis: not a command array")
-	}
-	lines := strings.Split(s, "\r\n")
-	n, err := strconv.Atoi(strings.TrimPrefix(lines[0], "*"))
+// readLine reads one CRLF-terminated header line. Header lines never
+// contain CR or LF themselves (bulk bodies, which may, are read by length
+// instead). first distinguishes a clean end-of-stream before any byte of a
+// message (io.EOF) from truncation inside one (io.ErrUnexpectedEOF).
+func readLine(br *bufio.Reader, first bool) (string, error) {
+	s, err := br.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("redis: bad array header %q", lines[0])
+		if err == io.EOF && (len(s) > 0 || !first) {
+			return "", io.ErrUnexpectedEOF
+		}
+		return "", err
 	}
-	var out []string
-	li := 1
+	if len(s) < 2 || s[len(s)-2] != '\r' {
+		return "", fmt.Errorf("%w: header %q not CRLF-terminated", ErrProtocol, strings.TrimSuffix(s, "\n"))
+	}
+	return s[:len(s)-2], nil
+}
+
+// readBulk reads one "$<len>\r\n<len bytes>\r\n" bulk string body given its
+// already-parsed header line. The body is copied incrementally so a lying
+// length header cannot force a huge up-front allocation.
+func readBulk(br *bufio.Reader, header string) ([]byte, error) {
+	n, err := strconv.Atoi(header[1:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, header)
+	}
+	if n > MaxBulkLen {
+		return nil, fmt.Errorf("%w: bulk length %d exceeds %d", ErrProtocol, n, MaxBulkLen)
+	}
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, br, int64(n)+2); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	b := body.Bytes()
+	if b[n] != '\r' || b[n+1] != '\n' {
+		return nil, fmt.Errorf("%w: bulk of %d bytes not CRLF-terminated", ErrProtocol, n)
+	}
+	return b[:n], nil
+}
+
+// ReadCommand reads exactly one RESP command array from a stream. It is
+// length-driven: bulk strings may contain arbitrary bytes (embedded CRLF
+// included), and partial reads simply block in the reader rather than
+// misparse. A clean end-of-stream before the first byte returns io.EOF;
+// truncation inside a command returns io.ErrUnexpectedEOF.
+func ReadCommand(br *bufio.Reader) ([]string, error) {
+	line, err := readLine(br, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("%w: expected command array, got %q", ErrProtocol, line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: bad array header %q", ErrProtocol, line)
+	}
+	if n > MaxArgs {
+		return nil, fmt.Errorf("%w: array of %d elements exceeds %d", ErrProtocol, n, MaxArgs)
+	}
+	args := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		if li+1 >= len(lines) {
-			return nil, fmt.Errorf("redis: truncated command")
-		}
-		if !strings.HasPrefix(lines[li], "$") {
-			return nil, fmt.Errorf("redis: expected bulk string, got %q", lines[li])
-		}
-		want, err := strconv.Atoi(strings.TrimPrefix(lines[li], "$"))
+		hdr, err := readLine(br, false)
 		if err != nil {
 			return nil, err
 		}
-		body := lines[li+1]
-		if len(body) != want {
-			return nil, fmt.Errorf("redis: bulk length %d != %d", len(body), want)
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, fmt.Errorf("%w: expected bulk string, got %q", ErrProtocol, hdr)
 		}
-		out = append(out, body)
-		li += 2
+		body, err := readBulk(br, hdr)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, string(body))
 	}
-	return out, nil
+	return args, nil
+}
+
+// DecodeCommand parses a RESP command array from a byte slice. It is a
+// thin wrapper over ReadCommand, kept for the in-process cost models.
+func DecodeCommand(data []byte) ([]string, error) {
+	return ReadCommand(bufio.NewReader(bytes.NewReader(data)))
 }
 
 // Replies.
@@ -67,39 +148,61 @@ func EncodeSimple(s string) []byte { return []byte("+" + s + "\r\n") }
 // EncodeError renders an error reply.
 func EncodeError(s string) []byte { return []byte("-ERR " + s + "\r\n") }
 
+// EncodeInt renders an integer reply (":1"-style, as Redis DEL returns).
+func EncodeInt(n int64) []byte { return []byte(":" + strconv.FormatInt(n, 10) + "\r\n") }
+
 // EncodeBulk renders a bulk string reply; nil renders the null bulk.
 func EncodeBulk(v []byte) []byte {
+	var b bytes.Buffer
 	if v == nil {
 		return []byte("$-1\r\n")
 	}
-	return []byte(fmt.Sprintf("$%d\r\n%s\r\n", len(v), v))
+	fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(v), v)
+	return b.Bytes()
 }
 
-// DecodeReply parses a reply, returning (value, isNil, error).
-func DecodeReply(data []byte) ([]byte, bool, error) {
-	s := string(data)
-	switch {
-	case strings.HasPrefix(s, "+"):
-		return []byte(strings.TrimSuffix(s[1:], "\r\n")), false, nil
-	case strings.HasPrefix(s, "-"):
-		return nil, false, fmt.Errorf("redis: %s", strings.TrimSuffix(s[1:], "\r\n"))
-	case strings.HasPrefix(s, "$-1"):
-		return nil, true, nil
-	case strings.HasPrefix(s, "$"):
-		body, _, ok := strings.Cut(s[1:], "\r\n")
-		if !ok {
-			return nil, false, fmt.Errorf("redis: truncated bulk")
+// EncodeUnknownCommand renders the canonical unknown-command error reply.
+func EncodeUnknownCommand(name string) []byte {
+	return EncodeError(fmt.Sprintf("unknown command '%s'", name))
+}
+
+// EncodeWrongArity renders the canonical arity-mismatch error reply.
+func EncodeWrongArity(name string) []byte {
+	return EncodeError(fmt.Sprintf("wrong number of arguments for '%s' command", strings.ToLower(name)))
+}
+
+// ReadReply reads exactly one reply from a stream, returning (value, isNil,
+// error). Error replies come back as ReplyError; the value of an integer
+// reply is its decimal text.
+func ReadReply(br *bufio.Reader) ([]byte, bool, error) {
+	line, err := readLine(br, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(line) == 0 {
+		return nil, false, fmt.Errorf("%w: empty reply line", ErrProtocol)
+	}
+	switch line[0] {
+	case '+', ':':
+		return []byte(line[1:]), false, nil
+	case '-':
+		return nil, false, ReplyError(line[1:])
+	case '$':
+		if line == "$-1" {
+			return nil, true, nil
 		}
-		n, err := strconv.Atoi(body)
+		body, err := readBulk(br, line)
 		if err != nil {
 			return nil, false, err
 		}
-		rest := s[1+len(body)+2:]
-		if len(rest) < n {
-			return nil, false, fmt.Errorf("redis: short bulk")
-		}
-		return []byte(rest[:n]), false, nil
+		return body, false, nil
 	default:
-		return nil, false, fmt.Errorf("redis: unknown reply %q", s)
+		return nil, false, fmt.Errorf("%w: unknown reply %q", ErrProtocol, line)
 	}
+}
+
+// DecodeReply parses a reply from a byte slice, returning (value, isNil,
+// error). Thin wrapper over ReadReply for the in-process cost models.
+func DecodeReply(data []byte) ([]byte, bool, error) {
+	return ReadReply(bufio.NewReader(bytes.NewReader(data)))
 }

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"spacejmp/internal/fault"
+	"spacejmp/internal/redis"
+)
+
+// closedDone is a pre-closed channel for requests answered without a
+// worker (busy rejections, QUIT, protocol errors).
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// inlineReply builds an already-answered request.
+func inlineReply(resp []byte) *request {
+	return &request{resp: resp, done: closedDone}
+}
+
+var busyReply = redis.EncodeError("server busy: shard queue full, retry")
+
+// serveConn runs one connection: this goroutine reads and parses commands
+// and enqueues them; a companion writer goroutine sends replies back in
+// arrival order, flushing only when the pipeline goes idle so pipelined
+// clients get batched writes. Neither goroutine ever touches simulated
+// state — that is the shard worker's monopoly.
+func (s *Server) serveConn(id uint64, nc net.Conn, sh *shard) {
+	defer s.connWG.Done()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	replies := make(chan *request, s.cfg.PipelineDepth)
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		var werr error
+		for r := range replies {
+			<-r.done
+			if werr != nil {
+				continue // keep draining so the reader never wedges
+			}
+			if _, err := bw.Write(r.resp); err != nil {
+				werr = err
+				continue
+			}
+			if len(replies) == 0 {
+				werr = bw.Flush()
+			}
+		}
+		if werr == nil {
+			bw.Flush()
+		}
+	}()
+
+	var commands uint64
+	for {
+		if s.faults.Fire(fault.SrvConnStall) {
+			time.Sleep(500 * time.Microsecond)
+		}
+		args, err := redis.ReadCommand(br)
+		if err != nil {
+			if errors.Is(err, redis.ErrProtocol) {
+				replies <- inlineReply(redis.EncodeError("protocol error: " + err.Error()))
+			}
+			break // clean close, truncation, or drain deadline
+		}
+		if s.faults.Fire(fault.SrvConnDrop) {
+			nc.Close() // mid-command partition: no reply, no goodbye
+			break
+		}
+		commands++
+		if len(args) == 1 && strings.EqualFold(args[0], "QUIT") {
+			replies <- inlineReply(redis.EncodeSimple("OK"))
+			break
+		}
+		r := &request{args: args, start: time.Now(), done: make(chan struct{})}
+		select {
+		case sh.queue <- r:
+			d := len(sh.queue)
+			sh.ctr.QueueDepth(d)
+			s.obs.ServerQueue(d)
+		default:
+			// Backpressure: the shard is saturated. Fail fast with an
+			// error reply instead of buffering without bound.
+			sh.ctr.Busy()
+			s.obs.ServerBusy()
+			r.resp = busyReply
+			r.done = closedDone
+		}
+		s.obs.ServerPipeline(len(replies) + 1)
+		// A full pipeline blocks here (never in the worker) until the
+		// writer catches up — TCP flow control does the rest.
+		replies <- r
+	}
+	close(replies)
+	writerWG.Wait()
+	s.dropConn(nc)
+	s.obs.ConnClosed(id, commands)
+	sh.ctr.QueueDepth(len(sh.queue))
+}

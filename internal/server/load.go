@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacejmp/internal/redis"
+	"spacejmp/internal/stats"
+)
+
+// Closed-loop load generator: N connections, each keeping a fixed pipeline
+// of commands in flight — write a batch, read the batch's replies, repeat.
+// Values are deterministic functions of their key (and deliberately contain
+// CR/LF and NUL bytes), so every GET reply is verifiable without any shared
+// bookkeeping between connections. cmd/spacejmp-load wraps this; the
+// integration tests drive it directly.
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	Addr       string
+	Conns      int
+	Pipeline   int
+	Requests   int // commands per connection
+	SetPercent int // portion of SETs in the mix, 0..100
+	Keys       int // keyspace size
+	ValueSize  int // bytes per value
+	Seed       int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Conns <= 0 {
+		c.Conns = 64
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 256
+	}
+	if c.SetPercent < 0 || c.SetPercent > 100 {
+		c.SetPercent = 20
+	}
+	if c.Keys <= 0 {
+		c.Keys = 512
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LoadResult aggregates a run.
+type LoadResult struct {
+	Commands   uint64
+	Gets       uint64
+	Sets       uint64
+	Busy       uint64 // backpressure rejections ("server busy")
+	Errors     uint64 // any other error reply
+	Mismatches uint64 // GET replies that matched neither nil nor the key's value
+	Elapsed    time.Duration
+	Latency    stats.HistSnap // per-command wall latency, nanoseconds
+}
+
+// Throughput returns commands per second over the run.
+func (r *LoadResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commands) / r.Elapsed.Seconds()
+}
+
+// ValueFor returns the deterministic value stored under key: binary bytes
+// (embedded CRLF and NUL included) padded to size.
+func ValueFor(key string, size int) []byte {
+	pattern := []byte("\r\n\x00\xff" + key + "|")
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}
+
+// RunLoad drives the server at cfg.Addr and blocks until every connection
+// finishes its quota. Transport-level failures abort the run with an error;
+// error *replies* (busy, OOM) are counted, not fatal.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	res := &LoadResult{}
+	var commands, gets, sets, busy, errCount, mismatches atomic.Uint64
+	var lat stats.Hist
+
+	errs := make([]error, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			nc, err := net.Dial("tcp", cfg.Addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer nc.Close()
+			br := bufio.NewReader(nc)
+			bw := bufio.NewWriter(nc)
+
+			type sent struct {
+				isGet bool
+				key   string
+				at    time.Time
+			}
+			batch := make([]sent, 0, cfg.Pipeline)
+			for remaining := cfg.Requests; remaining > 0; {
+				n := cfg.Pipeline
+				if n > remaining {
+					n = remaining
+				}
+				remaining -= n
+				batch = batch[:0]
+				for j := 0; j < n; j++ {
+					key := fmt.Sprintf("k%06d", rng.Intn(cfg.Keys))
+					isGet := rng.Intn(100) >= cfg.SetPercent
+					var cmd []byte
+					if isGet {
+						cmd = redis.EncodeCommand("GET", key)
+					} else {
+						cmd = redis.EncodeCommand("SET", key, string(ValueFor(key, cfg.ValueSize)))
+					}
+					if _, err := bw.Write(cmd); err != nil {
+						errs[i] = err
+						return
+					}
+					batch = append(batch, sent{isGet: isGet, key: key, at: time.Now()})
+				}
+				if err := bw.Flush(); err != nil {
+					errs[i] = err
+					return
+				}
+				for _, s := range batch {
+					val, isNil, err := redis.ReadReply(br)
+					var reply redis.ReplyError
+					switch {
+					case errors.As(err, &reply):
+						if strings.Contains(string(reply), "busy") {
+							busy.Add(1)
+						} else {
+							errCount.Add(1)
+						}
+					case err != nil:
+						errs[i] = err
+						return
+					case s.isGet && !isNil && !bytes.Equal(val, ValueFor(s.key, cfg.ValueSize)):
+						mismatches.Add(1)
+					}
+					lat.Observe(uint64(time.Since(s.at).Nanoseconds()))
+					commands.Add(1)
+					if s.isGet {
+						gets.Add(1)
+					} else {
+						sets.Add(1)
+					}
+				}
+			}
+			// Polite goodbye; the +OK confirms the server saw it.
+			if _, err := nc.Write(redis.EncodeCommand("QUIT")); err == nil {
+				redis.ReadReply(br)
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Commands = commands.Load()
+	res.Gets = gets.Load()
+	res.Sets = sets.Load()
+	res.Busy = busy.Load()
+	res.Errors = errCount.Load()
+	res.Mismatches = mismatches.Load()
+	res.Latency = lat.Snap()
+	return res, errors.Join(errs...)
+}

@@ -1,0 +1,228 @@
+// Package server is the serving layer: a real TCP front-end speaking RESP
+// over the SpaceJMP store. It is the point where true Go concurrency meets
+// the simulated machine — many connection goroutines feed a sharded worker
+// pool, and each worker owns a core.Thread attached to the shared RedisJMP
+// VASes (§5.3), so every command runs the paper's fast path: switch into
+// the server VAS, operate on the lockable segment directly, switch out.
+//
+// The concurrency contract with the simulator is strict: a simulated core's
+// cycle counter is not atomic, so exactly one goroutine — the worker that
+// claimed it — may ever drive a given Thread. Connection goroutines never
+// touch simulated state; they parse RESP, hand requests to a shard over a
+// bounded queue, and write replies in arrival order. A full queue is
+// answered immediately with a RESP error (backpressure, never unbounded
+// buffering); a full pipeline blocks the connection's reader, pushing the
+// backpressure onto TCP itself.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/fault"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/stats"
+)
+
+// Config sizes the server. Zero values take the defaults below.
+type Config struct {
+	// Shards is the number of worker shards; each claims one simulated
+	// core for the lifetime of the server.
+	Shards int
+	// QueueDepth bounds each shard's request queue. An enqueue on a full
+	// queue fails fast with a "server busy" reply.
+	QueueDepth int
+	// PipelineDepth bounds the commands in flight per connection. When a
+	// connection has this many awaiting replies its reader blocks, so a
+	// fast pipeliner is throttled by TCP flow control.
+	PipelineDepth int
+	// SegSize is the shared store segment size.
+	SegSize uint64
+	// Tags enables TLB tags on the server VASes (Figure 10a's tagged
+	// series).
+	Tags bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 32
+	}
+	if c.SegSize == 0 {
+		c.SegSize = 16 << 20
+	}
+	return c
+}
+
+// request is one command in flight: filled in by a connection reader,
+// executed by a shard worker, written back by the connection writer once
+// done is closed. Replies preserve arrival order because the writer waits
+// on requests in the order the reader issued them.
+type request struct {
+	args  []string
+	resp  []byte
+	start time.Time
+	done  chan struct{}
+}
+
+// Server is a running RESP front-end.
+type Server struct {
+	cfg    Config
+	sys    *core.System
+	obs    *stats.Sink
+	faults *fault.Registry
+
+	ln       net.Listener
+	shards   []*shard
+	nextConn atomic.Uint64
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New boots the serving layer on an already-running system: spawns one
+// worker process per shard (each claiming a simulated core and attaching
+// to the shared RedisJMP state, creating it if absent) and starts the
+// accept loop on ln. The caller owns ln's address; the server owns closing
+// it at Shutdown.
+func New(sys *core.System, ln net.Listener, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		sys:    sys,
+		obs:    sys.M.Observer(),
+		faults: sys.M.Faults,
+		ln:     ln,
+		conns:  map[net.Conn]struct{}{},
+	}
+	ctrs := s.obs.InstallServerShards(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := s.newShard(i, ctrs[i])
+		if err != nil {
+			for _, prev := range s.shards {
+				close(prev.queue)
+			}
+			s.workerWG.Wait()
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatally broken
+		}
+		if s.faults.Fire(fault.SrvAccept) {
+			nc.Close()
+			continue
+		}
+		id := s.nextConn.Add(1)
+		sh := s.shards[int(id)%len(s.shards)]
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.obs.ConnAccepted(id, uint64(sh.id))
+		sh.ctr.Conn()
+		s.connWG.Add(1)
+		go s.serveConn(id, nc, sh)
+	}
+}
+
+func (s *Server) dropConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	nc.Close()
+}
+
+// Shutdown drains the server: stop accepting, unblock connection readers,
+// finish every in-flight command, stop the shard workers (each detaches
+// from the shared VASes and exits its process, handing its core and private
+// segments to the kernel reaper), and finally destroy the shared RedisJMP
+// state itself. After Shutdown returns, the only simulated memory still
+// allocated is what existed before New — the leak tests hold the server to
+// exactly that.
+func (s *Server) Shutdown() error {
+	s.shutdownOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.ln.Close()
+		s.acceptWG.Wait()
+
+		// Wake every connection reader blocked in Read; in-flight
+		// requests still complete and their replies still flush.
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		s.connWG.Wait()
+
+		// No reader can enqueue anymore; closing the queues lets each
+		// worker finish its backlog and tear itself down.
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		s.workerWG.Wait()
+		for _, sh := range s.shards {
+			if sh.err != nil {
+				s.shutdownErr = errors.Join(s.shutdownErr, fmt.Errorf("shard %d: %w", sh.id, sh.err))
+			}
+		}
+
+		// All clients are gone; destroy the shared VASes and store.
+		if err := s.destroyShared(); err != nil {
+			s.shutdownErr = errors.Join(s.shutdownErr, err)
+		}
+	})
+	return s.shutdownErr
+}
+
+// destroyShared tears down the shared RedisJMP state through a short-lived
+// admin process (every worker has already detached and exited).
+func (s *Server) destroyShared() error {
+	proc, err := s.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return err
+	}
+	defer proc.Exit()
+	th, err := proc.NewThread()
+	if err != nil {
+		return err
+	}
+	return redis.Destroy(th)
+}

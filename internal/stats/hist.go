@@ -44,6 +44,15 @@ func (h *Hist) Count() uint64 {
 	return h.count.Load()
 }
 
+// Snap copies the histogram into an immutable HistSnap. Safe on nil
+// (returns a zero snapshot).
+func (h *Hist) Snap() HistSnap {
+	if h == nil {
+		return HistSnap{}
+	}
+	return h.snapshot()
+}
+
 // snapshot copies the histogram into an immutable HistSnap.
 func (h *Hist) snapshot() HistSnap {
 	s := HistSnap{

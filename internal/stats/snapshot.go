@@ -81,6 +81,30 @@ type VMSnap struct {
 	Faults uint64 `json:"faults"`
 }
 
+// ShardSnap is one worker shard's serving activity.
+type ShardSnap struct {
+	Conns    uint64 `json:"conns"`
+	Commands uint64 `json:"commands"`
+	Busy     uint64 `json:"busy"`
+	QueueMax uint64 `json:"queue_max"`
+}
+
+// ServerSnap is the serving layer's view: connection and command totals,
+// backpressure rejections, and the pipeline/queue/latency histograms, plus
+// the per-shard breakdown.
+type ServerSnap struct {
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsClosed   uint64 `json:"conns_closed"`
+	Commands      uint64 `json:"commands"`
+	Busy          uint64 `json:"busy"`
+
+	Pipeline   HistSnap `json:"pipeline"`
+	QueueDepth HistSnap `json:"queue_depth"`
+	LatencyNs  HistSnap `json:"latency_ns"`
+
+	Shards []ShardSnap `json:"shards,omitempty"`
+}
+
 // Snapshot is an immutable, point-in-time copy of every counter the
 // observability layer maintains. It shares no memory with the live Sink:
 // mutating the machine after Snapshot() leaves the snapshot unchanged.
@@ -93,6 +117,7 @@ type Snapshot struct {
 	NVM      NVMSnap                `json:"nvm"`
 	VM       VMSnap                 `json:"vm"`
 	Syscalls map[string]HistSnap    `json:"syscalls,omitempty"`
+	Server   *ServerSnap            `json:"server,omitempty"`
 
 	LockWaitNs     HistSnap `json:"lock_wait_ns"`
 	LockHoldCycles HistSnap `json:"lock_hold_cycles"`
@@ -169,6 +194,30 @@ func (s *Sink) Snapshot() *Snapshot {
 			snap.Syscalls[Op(op).String()] = h
 		}
 	}
+	if srv := (&s.server); srv.connsAccepted.Load() != 0 || srv.commands.Load() != 0 || srv.busy.Load() != 0 {
+		ss := &ServerSnap{
+			ConnsAccepted: srv.connsAccepted.Load(),
+			ConnsClosed:   srv.connsClosed.Load(),
+			Commands:      srv.commands.Load(),
+			Busy:          srv.busy.Load(),
+			Pipeline:      srv.pipeline.snapshot(),
+			QueueDepth:    srv.queue.snapshot(),
+			LatencyNs:     srv.latencyNs.snapshot(),
+		}
+		if shards := srv.shards.Load(); shards != nil {
+			ss.Shards = make([]ShardSnap, len(*shards))
+			for i := range *shards {
+				sh := &(*shards)[i]
+				ss.Shards[i] = ShardSnap{
+					Conns:    sh.conns.Load(),
+					Commands: sh.commands.Load(),
+					Busy:     sh.busy.Load(),
+					QueueMax: sh.queueMax.Load(),
+				}
+			}
+		}
+		snap.Server = ss
+	}
 	if t := s.tracer.Load(); t != nil {
 		snap.TraceRecorded = t.Recorded()
 		snap.TraceDropped = t.Dropped()
@@ -234,6 +283,32 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 		if d.Count != 0 {
 			out.Syscalls[op] = d
 		}
+	}
+	if s.Server != nil {
+		b := before.Server
+		if b == nil {
+			b = &ServerSnap{}
+		}
+		d := &ServerSnap{
+			ConnsAccepted: s.Server.ConnsAccepted - b.ConnsAccepted,
+			ConnsClosed:   s.Server.ConnsClosed - b.ConnsClosed,
+			Commands:      s.Server.Commands - b.Commands,
+			Busy:          s.Server.Busy - b.Busy,
+			Pipeline:      s.Server.Pipeline.sub(b.Pipeline),
+			QueueDepth:    s.Server.QueueDepth.sub(b.QueueDepth),
+			LatencyNs:     s.Server.LatencyNs.sub(b.LatencyNs),
+		}
+		d.Shards = make([]ShardSnap, len(s.Server.Shards))
+		for i, sh := range s.Server.Shards {
+			ds := sh // QueueMax is a high-water mark; carry the later value
+			if i < len(b.Shards) {
+				ds.Conns -= b.Shards[i].Conns
+				ds.Commands -= b.Shards[i].Commands
+				ds.Busy -= b.Shards[i].Busy
+			}
+			d.Shards[i] = ds
+		}
+		out.Server = d
 	}
 	out.LockWaitNs = s.LockWaitNs.sub(before.LockWaitNs)
 	out.LockHoldCycles = s.LockHoldCycles.sub(before.LockHoldCycles)
@@ -312,6 +387,19 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			h := s.Syscalls[op]
 			fmt.Fprintf(tw, "  %s\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
 				op, h.Count, h.Mean(), h.Quantile(0.99), h.Max)
+		}
+	}
+	if srv := s.Server; srv != nil {
+		fmt.Fprintf(tw, "server\tconns %d/%d\tcommands %d\tbusy %d\n",
+			srv.ConnsClosed, srv.ConnsAccepted, srv.Commands, srv.Busy)
+		fmt.Fprintf(tw, "  latency-ns\tn %d\tmean %.0f\tp50 ≤%d\tp99 ≤%d\tmax %d\n",
+			srv.LatencyNs.Count, srv.LatencyNs.Mean(),
+			srv.LatencyNs.Quantile(0.50), srv.LatencyNs.Quantile(0.99), srv.LatencyNs.Max)
+		fmt.Fprintf(tw, "  pipeline\tmean %.1f\tmax %d\tqueue mean %.1f max %d\n",
+			srv.Pipeline.Mean(), srv.Pipeline.Max, srv.QueueDepth.Mean(), srv.QueueDepth.Max)
+		for i, sh := range srv.Shards {
+			fmt.Fprintf(tw, "  shard %d\tconns %d\tcommands %d\tbusy %d\tqueue-max %d\n",
+				i, sh.Conns, sh.Commands, sh.Busy, sh.QueueMax)
 		}
 	}
 	if s.TraceRecorded != 0 {

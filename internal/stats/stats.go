@@ -220,6 +220,10 @@ type Sink struct {
 
 	syscalls [NumOps]Hist // per-syscall latency in simulated cycles
 
+	// server is the serving-layer block (connections, commands, latency,
+	// per-shard counters); see server.go.
+	server serverCounters
+
 	tracer atomic.Pointer[Tracer]
 }
 

@@ -18,12 +18,18 @@ const (
 	EvFault
 	// EvURPCRetry is a urpc request re-send: A = sequence number, B = try.
 	EvURPCRetry
+	// EvConnOpen is a serving-layer connection accept: A = connection id,
+	// B = the shard it was assigned to.
+	EvConnOpen
+	// EvConnClose is a serving-layer connection teardown: A = connection
+	// id, B = commands served on it.
+	EvConnClose
 
 	// NumEvents is the number of event kinds.
-	NumEvents = int(EvURPCRetry) + 1
+	NumEvents = int(EvConnClose) + 1
 )
 
-var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry"}
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close"}
 
 func (k EventKind) String() string {
 	if int(k) < NumEvents {
@@ -55,6 +61,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d fault %s", e.Seq, e.Label)
 	case EvURPCRetry:
 		return fmt.Sprintf("#%d urpc-retry core=%d seq=%d try=%d", e.Seq, e.Core, e.A, e.B)
+	case EvConnOpen:
+		return fmt.Sprintf("#%d conn-open conn=%d shard=%d", e.Seq, e.A, e.B)
+	case EvConnClose:
+		return fmt.Sprintf("#%d conn-close conn=%d commands=%d", e.Seq, e.A, e.B)
 	}
 	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
 }

@@ -33,4 +33,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke (RESP parser) =="
+go test -run Fuzz -fuzz=FuzzReadCommand -fuzztime=10s ./internal/redis
+
 echo "OK"
