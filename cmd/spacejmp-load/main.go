@@ -1,14 +1,17 @@
 // Command spacejmp-load is a closed-loop RESP load generator for
 // cmd/spacejmp-server: N connections each keep a fixed pipeline of mixed
-// GET/SET commands in flight, values are deterministic binary bytes
-// (embedded CRLF included) so every GET reply is verified, and per-command
-// latency percentiles are reported at the end. It doubles as the
-// integration harness the serving-layer tests run in-process.
+// GET/SET/MGET commands in flight, values are deterministic binary bytes
+// (embedded CRLF included) so every reply is verified element by element,
+// and per-command latency percentiles are reported at the end. It doubles
+// as the integration harness the serving-layer and cluster tests run
+// in-process. Against a -cluster server, MGETs fan out across shard nodes,
+// so -mget is the knob that exercises the multi-key VAS-vs-urpc contrast.
 //
 // Usage:
 //
 //	spacejmp-load [-addr host:port] [-conns n] [-pipeline n] [-n requests]
-//	              [-set-percent p] [-keys n] [-value bytes] [-seed s]
+//	              [-set-percent p] [-mget p] [-mget-keys n]
+//	              [-keys n] [-value bytes] [-seed s]
 package main
 
 import (
@@ -26,6 +29,8 @@ func main() {
 	flag.IntVar(&cfg.Pipeline, "pipeline", 8, "commands in flight per connection")
 	flag.IntVar(&cfg.Requests, "n", 1024, "commands per connection")
 	flag.IntVar(&cfg.SetPercent, "set-percent", 20, "percentage of SETs in the mix")
+	flag.IntVar(&cfg.MGetPercent, "mget", 0, "percentage of MGETs in the mix (carved from the GET share)")
+	flag.IntVar(&cfg.MGetKeys, "mget-keys", 4, "keys per MGET")
 	flag.IntVar(&cfg.Keys, "keys", 512, "keyspace size")
 	flag.IntVar(&cfg.ValueSize, "value", 64, "value size in bytes")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "per-connection PRNG seed base")
@@ -36,8 +41,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spacejmp-load: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("commands  %d (%d GET, %d SET) in %v\n",
-		res.Commands, res.Gets, res.Sets, res.Elapsed.Round(1e6))
+	fmt.Printf("commands  %d (%d GET, %d SET, %d MGET) in %v\n",
+		res.Commands, res.Gets, res.Sets, res.MGets, res.Elapsed.Round(1e6))
 	fmt.Printf("throughput  %.0f cmd/s\n", res.Throughput())
 	fmt.Printf("latency  mean %.0fns  p50 ≤%dns  p99 ≤%dns  max %dns\n",
 		res.Latency.Mean(), res.Latency.Quantile(0.50),

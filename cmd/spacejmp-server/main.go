@@ -1,13 +1,22 @@
 // Command spacejmp-server runs the RESP/TCP serving layer over the
-// simulated SpaceJMP machine: a sharded worker pool in which every worker
-// owns a simulated core and serves commands by switching into the shared
-// RedisJMP VAS (§5.3). Drive it with cmd/spacejmp-load or any RESP client
-// (GET, SET, DEL, PING, ECHO, QUIT).
+// simulated SpaceJMP machine. By default a sharded worker pool serves every
+// command by switching into one shared RedisJMP VAS (§5.3); with -cluster N
+// the key space is instead hashed across N shard nodes behind a router, and
+// each node is reached either on the shared-VAS fast path (co-resident) or
+// over urpc cache-line channels (remote) — both sides of Figure 7 in one
+// process, selected per node by -mode. Drive it with cmd/spacejmp-load or
+// any RESP client (GET, SET, DEL, MGET, PING, ECHO, QUIT).
 //
 // Usage:
 //
 //	spacejmp-server [-addr host:port] [-shards n] [-queue n] [-pipeline n]
 //	                [-seg bytes] [-tags] [-machine M1|M2|M3|small] [-trace n]
+//	                [-cluster n] [-mode vas|urpc|auto] [-workers n]
+//	                [-admin host:port]
+//
+// With -admin, a plain HTTP surface serves /healthz, /stats (the live
+// observability snapshot as JSON), and /trace?n= (the newest trace-ring
+// events) while the server runs.
 //
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // finishes in-flight commands, detaches every worker from the shared VASes
@@ -16,13 +25,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"spacejmp/internal/cluster"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/server"
@@ -38,6 +51,10 @@ func main() {
 	machine := flag.String("machine", "M1", "simulated machine: M1, M2, M3, small")
 	traceCap := flag.Int("trace", 4096, "trace ring capacity (0 disables tracing)")
 	jsonOut := flag.Bool("json", false, "dump the final stats snapshot as JSON")
+	clusterN := flag.Int("cluster", 0, "shard the key space across n cluster nodes (0 = single store)")
+	modeFlag := flag.String("mode", "auto", "cluster node placement: vas, urpc, or auto")
+	workers := flag.Int("workers", 0, "cluster router workers (0 = -shards)")
+	adminAddr := flag.String("admin", "", "HTTP admin address for /healthz, /stats, /trace (empty disables)")
 	flag.Parse()
 
 	cfg, err := machineConfig(*machine)
@@ -53,18 +70,56 @@ func main() {
 		fatal(err)
 	}
 	base := m.PM.AllocatedBytes()
-	srv, err := server.New(sys, ln, server.Config{
+	srvCfg := server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
 		PipelineDepth: *pipeline,
 		SegSize:       *segSize,
 		Tags:          *tags,
-	})
-	if err != nil {
-		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "spacejmp-server: listening on %s (%s, %d shards, queue %d, pipeline %d)\n",
-		srv.Addr(), cfg.Name, *shards, *queue, *pipeline)
+	var srv *server.Server
+	if *clusterN > 0 {
+		mode, err := cluster.ParseMode(*modeFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if *workers <= 0 {
+			*workers = *shards
+		}
+		router, err := cluster.New(sys, cluster.Config{
+			Nodes:      *clusterN,
+			Workers:    *workers,
+			Mode:       mode,
+			QueueDepth: *queue,
+			SegSize:    *segSize,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv = server.NewWithBackend(sys, ln, srvCfg, router)
+		fmt.Fprintf(os.Stderr, "spacejmp-server: listening on %s (%s, queue %d, pipeline %d)\n",
+			srv.Addr(), cfg.Name, *queue, *pipeline)
+		fmt.Fprint(os.Stderr, router.String())
+	} else {
+		srv, err = server.New(sys, ln, srvCfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spacejmp-server: listening on %s (%s, %d shards, queue %d, pipeline %d)\n",
+			srv.Addr(), cfg.Name, *shards, *queue, *pipeline)
+	}
+
+	var admin *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(fmt.Errorf("admin: %w", err))
+		}
+		admin = &http.Server{Handler: server.AdminHandler(sys)}
+		go admin.Serve(aln)
+		fmt.Fprintf(os.Stderr, "spacejmp-server: admin on http://%s (/healthz /stats /trace)\n",
+			aln.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -72,6 +127,11 @@ func main() {
 	fmt.Fprintln(os.Stderr, "spacejmp-server: draining...")
 	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintf(os.Stderr, "spacejmp-server: shutdown: %v\n", err)
+	}
+	if admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(ctx)
+		cancel()
 	}
 	if err := m.PM.CheckLeaks(base); err != nil {
 		fmt.Fprintf(os.Stderr, "spacejmp-server: leak check: %v\n", err)

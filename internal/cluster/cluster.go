@@ -1,0 +1,246 @@
+// Package cluster is the multi-machine layer: a keyspace-sharded cluster of
+// simulated machines behind the serving layer's RESP front-end. The key
+// space is hashed across N shard nodes, each owning its own RedisJMP store
+// (§5.3). What makes the layer a SpaceJMP experiment rather than plumbing
+// is HOW a shard is reached, reproducing both sides of the paper's Figure 7
+// comparison inside one process:
+//
+//   - Co-resident ("local") shards are served on the shared-VAS fast path:
+//     the router worker switches its own thread into the shard's VAS and
+//     operates on the lockable segment directly. Extra keys in a multi-key
+//     command cost memory accesses, not messages.
+//
+//   - Remote shards are reached over urpc cache-line channels: the command
+//     is serialized to RESP, moved line by line to the shard node's core
+//     (dearer across sockets), executed there, and the reply moved back.
+//     The router's at-most-once Call survives a lossy interconnect with
+//     timeout/backoff/dedup, so loss degrades latency, never consistency.
+//
+// Every command's worker-core cycle delta is recorded per mode in
+// internal/stats, so one run yields the local-vs-remote cost distributions
+// side by side.
+//
+// The concurrency contract is the simulator's usual one, twice over: each
+// router worker owns its front-end core, and each remote node's core is
+// driven only under that node's mutex — urpc handlers execute inline in the
+// calling worker's goroutine, so the mutex is what keeps two workers from
+// driving one node core at once.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/stats"
+)
+
+// Config sizes the cluster. Zero values take the defaults below.
+type Config struct {
+	// Nodes is the number of shard nodes the key space is hashed across.
+	Nodes int
+	// Workers is the number of router workers; each claims one simulated
+	// core on the front-end machine.
+	Workers int
+	// Mode places the nodes: all co-resident (vas), all remote (urpc), or
+	// split (auto). See Mode.
+	Mode Mode
+	// Locals is how many nodes are co-resident in ModeAuto (nodes
+	// 0..Locals-1); 0 means half, rounded up.
+	Locals int
+	// QueueDepth bounds each worker's request queue.
+	QueueDepth int
+	// SegSize is each node's store segment size.
+	SegSize uint64
+	// Slots is the ring capacity of each urpc channel, in cache lines.
+	Slots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Mode == "" {
+		c.Mode = ModeAuto
+	}
+	if c.Locals <= 0 || c.Locals > c.Nodes {
+		c.Locals = (c.Nodes + 1) / 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SegSize == 0 {
+		c.SegSize = 8 << 20
+	}
+	if c.Slots <= 0 {
+		c.Slots = 256
+	}
+	return c
+}
+
+// New builds the cluster on an already-running system: the shard nodes
+// (remote ones each claim a core and bootstrap their store behind a urpc
+// handler), then the router workers (each claims a front-end core, attaches
+// a client to every co-resident node's store, and connects an endpoint to
+// every remote node). The Router implements server.Backend, so it plugs
+// directly into server.NewWithBackend.
+//
+// Core budget: Workers + the number of remote nodes must not exceed the
+// machine's cores; claiming past the end fails here, not at runtime.
+func New(sys *core.System, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		sys: sys,
+		obs: sys.M.Observer(),
+		cfg: cfg,
+	}
+	r.obs.InstallClusterNodes(cfg.Nodes)
+	ctrs := r.obs.InstallServerShards(cfg.Workers)
+
+	// Workers claim the first cores so they land on the first socket(s);
+	// remote nodes claim after them, so with more nodes than fit on the
+	// workers' socket the placement naturally yields both URPC L and
+	// URPC X channels.
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := r.newWorker(i, ctrs[i])
+		if err != nil {
+			r.teardownPartial()
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		r.workers = append(r.workers, w)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := r.newNode(i, cfg.Mode.Local(i, cfg))
+		if err != nil {
+			r.teardownPartial()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		r.nodes = append(r.nodes, n)
+	}
+	// Attach every worker to every co-resident store, and connect an
+	// endpoint to every remote node. The first attachment bootstraps the
+	// node's store lazily, exactly as RedisJMP clients do.
+	for _, w := range r.workers {
+		if err := r.wireWorker(w); err != nil {
+			r.teardownPartial()
+			return nil, fmt.Errorf("cluster: wiring worker %d: %w", w.id, err)
+		}
+	}
+	// Only now do the worker goroutines start driving their cores.
+	for _, w := range r.workers {
+		r.workerWG.Add(1)
+		go r.runWorker(w)
+	}
+	return r, nil
+}
+
+// teardownPartial unwinds a half-built cluster after a construction error:
+// no worker goroutine is running yet, so the constructor goroutine may
+// drive every thread.
+func (r *Router) teardownPartial() {
+	for _, w := range r.workers {
+		for _, c := range w.locals {
+			if c != nil {
+				c.Close()
+			}
+		}
+		w.proc.Exit()
+	}
+	for _, n := range r.nodes {
+		if n.client != nil {
+			n.client.Close()
+		}
+		if n.proc != nil {
+			n.proc.Exit()
+		}
+	}
+	r.destroyStores()
+}
+
+// destroyStores removes every node store that exists, through a short-lived
+// admin process.
+func (r *Router) destroyStores() error {
+	proc, err := r.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return err
+	}
+	defer proc.Exit()
+	th, err := proc.NewThread()
+	if err != nil {
+		return err
+	}
+	var errs error
+	for i := 0; i < r.cfg.Nodes; i++ {
+		err := redis.DestroyNamed(th, redis.ShardNames(i))
+		if err != nil && !errors.Is(err, core.ErrNotFound) {
+			errs = errors.Join(errs, fmt.Errorf("node %d store: %w", i, err))
+		}
+	}
+	return errs
+}
+
+// Close drains the cluster: the workers finish their backlogs, close their
+// clients and exit (releasing front-end cores), then the remote node
+// processes exit, and finally every node store is destroyed. After Close
+// the only simulated memory left is what existed before New.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() {
+		for _, w := range r.workers {
+			close(w.queue)
+		}
+		r.workerWG.Wait()
+		for _, w := range r.workers {
+			if w.err != nil {
+				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("worker %d: %w", w.id, w.err))
+			}
+		}
+		// No worker can call into a node anymore; this goroutine may now
+		// drive the node threads for teardown.
+		for _, n := range r.nodes {
+			if n.client != nil {
+				if err := n.client.Close(); err != nil {
+					r.closeErr = errors.Join(r.closeErr, fmt.Errorf("node %d: %w", n.id, err))
+				}
+			}
+			if n.proc != nil {
+				n.proc.Exit()
+			}
+		}
+		if err := r.destroyStores(); err != nil {
+			r.closeErr = errors.Join(r.closeErr, err)
+		}
+	})
+	return r.closeErr
+}
+
+// PendingFrames returns the urpc frames sitting unconsumed across every
+// worker↔node channel pair. On a loss-free interconnect a drained cluster
+// reports zero; the drain test holds it to that.
+func (r *Router) PendingFrames() int {
+	var n int
+	for _, w := range r.workers {
+		for _, ep := range w.endpoints {
+			n += ep.Pending()
+		}
+	}
+	return n
+}
+
+// Router routes RESP commands to shard nodes. It implements server.Backend.
+type Router struct {
+	sys *core.System
+	obs *stats.Sink
+	cfg Config
+
+	workers []*worker
+	nodes   []*node
+
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}

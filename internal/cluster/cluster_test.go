@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"spacejmp/internal/fault"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/server"
+)
+
+// startCluster boots a small machine, a kernel, a cluster router, and the
+// RESP front-end over it. The caller owns srv.Shutdown (which closes the
+// router).
+func startCluster(t *testing.T, cfg Config, reg *fault.Registry) (*hw.Machine, *Router, *server.Server) {
+	t.Helper()
+	m := hw.NewMachine(hw.SmallTest())
+	if reg != nil {
+		m.SetFaults(reg)
+	}
+	sys := kernel.New(m)
+	sys.EnableStats(4096)
+	r, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	srv := server.NewWithBackend(sys, ln, server.Config{}, r)
+	return m, r, srv
+}
+
+// keyOnNode finds a key that hashes onto the wanted node.
+func keyOnNode(t *testing.T, r *Router, node int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r.NodeFor(k) == node {
+			return k
+		}
+	}
+	t.Fatalf("no key found for node %d", node)
+	return ""
+}
+
+func roundTrip(t *testing.T, nc net.Conn, br *bufio.Reader, args ...string) ([]byte, bool, error) {
+	t.Helper()
+	if _, err := nc.Write(redis.EncodeCommand(args...)); err != nil {
+		t.Fatalf("write %v: %v", args, err)
+	}
+	return redis.ReadReply(br)
+}
+
+// TestClusterRoutesBothModes drives every node of an auto-split cluster
+// through single-key commands and checks both serving paths ran and were
+// attributed.
+func TestClusterRoutesBothModes(t *testing.T) {
+	// 2 workers + 1 remote node = 3 cores on the 4-core test machine.
+	m, r, srv := startCluster(t, Config{Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2}, nil)
+	defer srv.Shutdown()
+	obs := m.Observer()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	for node := 0; node < 3; node++ {
+		key := keyOnNode(t, r, node)
+		val := fmt.Sprintf("v\r\n%d\x00", node)
+		if v, _, err := roundTrip(t, nc, br, "SET", key, val); err != nil || string(v) != "OK" {
+			t.Fatalf("SET on node %d: %q %v", node, v, err)
+		}
+		if v, isNil, err := roundTrip(t, nc, br, "GET", key); err != nil || isNil || string(v) != val {
+			t.Fatalf("GET on node %d: %q %v %v", node, v, isNil, err)
+		}
+		if v, _, err := roundTrip(t, nc, br, "DEL", key); err != nil || string(v) != "1" {
+			t.Fatalf("DEL on node %d: %q %v", node, v, err)
+		}
+	}
+	if obs.ClusterLocalTotal() == 0 {
+		t.Error("no commands took the shared-VAS path")
+	}
+	if obs.ClusterRemoteTotal() == 0 {
+		t.Error("no commands took the urpc path")
+	}
+	// Nodes 0 and 1 are local, node 2 remote — the per-node counters in
+	// the snapshot must agree with the placement.
+	snap := obs.Snapshot()
+	if snap.Cluster == nil || len(snap.Cluster.Nodes) != 3 {
+		t.Fatalf("cluster snapshot: %+v", snap.Cluster)
+	}
+	for i, n := range snap.Cluster.Nodes {
+		local := i < 2
+		if local && (n.Local == 0 || n.Remote != 0) {
+			t.Errorf("node %d (local): local=%d remote=%d", i, n.Local, n.Remote)
+		}
+		if !local && (n.Remote == 0 || n.Local != 0) {
+			t.Errorf("node %d (remote): local=%d remote=%d", i, n.Local, n.Remote)
+		}
+	}
+}
+
+// TestClusterMGetSpansLocalAndRemote issues one MGET whose keys hash onto a
+// co-resident node and a remote node, and verifies the merged reply keeps
+// key order with per-key values and nils.
+func TestClusterMGetSpansLocalAndRemote(t *testing.T) {
+	m, r, srv := startCluster(t, Config{Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2}, nil)
+	defer srv.Shutdown()
+	obs := m.Observer()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	kLocal := keyOnNode(t, r, 0)   // shared-VAS path
+	kRemote := keyOnNode(t, r, 2)  // urpc path
+	kMissing := keyOnNode(t, r, 1) // never set: must come back nil
+
+	for _, kv := range [][2]string{{kLocal, "local\r\nval"}, {kRemote, "remote\x00val"}} {
+		if v, _, err := roundTrip(t, nc, br, "SET", kv[0], kv[1]); err != nil || string(v) != "OK" {
+			t.Fatalf("SET %q: %q %v", kv[0], v, err)
+		}
+	}
+	localBefore, remoteBefore := obs.ClusterLocalTotal(), obs.ClusterRemoteTotal()
+
+	if _, err := nc.Write(redis.EncodeCommand("MGET", kRemote, kMissing, kLocal)); err != nil {
+		t.Fatal(err)
+	}
+	vals, nils, err := redis.ReadArrayReply(br)
+	if err != nil {
+		t.Fatalf("MGET reply: %v", err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("MGET returned %d values, want 3", len(vals))
+	}
+	if nils[0] || string(vals[0]) != "remote\x00val" {
+		t.Errorf("vals[0] = %q (nil=%v), want remote value", vals[0], nils[0])
+	}
+	if !nils[1] {
+		t.Errorf("vals[1] = %q, want nil for missing key", vals[1])
+	}
+	if nils[2] || string(vals[2]) != "local\r\nval" {
+		t.Errorf("vals[2] = %q (nil=%v), want local value", vals[2], nils[2])
+	}
+
+	// The one command crossed both paths.
+	if obs.ClusterLocalTotal() == localBefore {
+		t.Error("MGET did not touch the shared-VAS path")
+	}
+	if obs.ClusterRemoteTotal() == remoteBefore {
+		t.Error("MGET did not touch the urpc path")
+	}
+}
+
+// TestClusterVASBeatsURPC holds the cluster to Figure 7's ordering: a
+// command served by switching into a co-resident shard's VAS costs fewer
+// worker cycles than the same command served over message passing, because
+// the urpc path pays cache-line transfers and dispatch on top of mirroring
+// all the server-side work into the caller's busy-wait.
+func TestClusterVASBeatsURPC(t *testing.T) {
+	m, _, srv := startCluster(t, Config{Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2}, nil)
+	defer srv.Shutdown()
+
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:        srv.Addr().String(),
+		Conns:       8,
+		Pipeline:    4,
+		Requests:    128,
+		SetPercent:  20,
+		MGetPercent: 30,
+		MGetKeys:    4,
+		Keys:        256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 || res.Errors != 0 {
+		t.Fatalf("load: %d mismatches, %d errors", res.Mismatches, res.Errors)
+	}
+	if res.MGets == 0 {
+		t.Fatal("load issued no MGETs")
+	}
+
+	snap := m.Observer().Snapshot()
+	if snap.Cluster == nil {
+		t.Fatal("no cluster stats")
+	}
+	local, remote := snap.Cluster.LocalCycles, snap.Cluster.RemoteCycles
+	if local.Count == 0 || remote.Count == 0 {
+		t.Fatalf("cycle samples: local %d, remote %d", local.Count, remote.Count)
+	}
+	if local.Mean() >= remote.Mean() {
+		t.Errorf("Figure 7 ordering violated: VAS mean %.0f cycles ≥ urpc mean %.0f cycles",
+			local.Mean(), remote.Mean())
+	}
+	if snap.Cluster.URPCCallCycles.Count == 0 {
+		t.Error("urpc call latency histogram empty")
+	}
+}
+
+// TestClusterLossyRemote runs real load while the interconnect drops and
+// delays urpc messages. The at-most-once protocol must hide the loss:
+// every reply correct, retries observed, no timeouts at this loss rate.
+func TestClusterLossyRemote(t *testing.T) {
+	reg := fault.New(7)
+	m, _, srv := startCluster(t, Config{Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2}, reg)
+	defer srv.Shutdown()
+	reg.Enable(fault.URPCDrop, fault.Probability(0.15))
+	reg.Enable(fault.URPCDelay, fault.Probability(0.10))
+
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:        srv.Addr().String(),
+		Conns:       4,
+		Pipeline:    4,
+		Requests:    96,
+		SetPercent:  25,
+		MGetPercent: 25,
+		MGetKeys:    3,
+		Keys:        128,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Reset()
+	if res.Mismatches != 0 {
+		t.Errorf("%d mismatched replies under loss", res.Mismatches)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d error replies under loss", res.Errors)
+	}
+	snap := m.Observer().Snapshot()
+	if snap.URPCRetries == 0 {
+		t.Error("no urpc retries recorded despite 15%% drop rate")
+	}
+	if snap.FaultsInjected == 0 {
+		t.Error("no injected faults recorded")
+	}
+}
+
+// TestClusterRemoteTimeout partitions the remote node entirely and checks
+// that its keys answer with a retryable timeout error while co-resident
+// keys keep being served, with the timeouts attributed to the right node.
+func TestClusterRemoteTimeout(t *testing.T) {
+	reg := fault.New(1)
+	m, r, srv := startCluster(t, Config{Nodes: 3, Workers: 1, Mode: ModeAuto, Locals: 2}, reg)
+	defer srv.Shutdown()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	kLocal, kRemote := keyOnNode(t, r, 0), keyOnNode(t, r, 2)
+	reg.Enable(fault.URPCDrop, fault.Always())
+
+	var re redis.ReplyError
+	_, _, err = roundTrip(t, nc, br, "SET", kRemote, "x")
+	if !errors.As(err, &re) || !strings.Contains(string(re), "timeout") {
+		t.Fatalf("partitioned SET: want timeout error reply, got %v", err)
+	}
+	if v, _, err := roundTrip(t, nc, br, "SET", kLocal, "y"); err != nil || string(v) != "OK" {
+		t.Fatalf("local SET during partition: %q %v", v, err)
+	}
+	// An MGET touching the dead node fails whole; one avoiding it works.
+	_, _, err = roundTrip(t, nc, br, "MGET", kLocal, kRemote)
+	if !errors.As(err, &re) || !strings.Contains(string(re), "timeout") {
+		t.Fatalf("MGET across partition: want timeout error reply, got %v", err)
+	}
+	reg.Reset()
+
+	if v, isNil, err := roundTrip(t, nc, br, "GET", kRemote); err != nil || !isNil {
+		t.Fatalf("GET after heal: %q %v %v (SET must not have been applied)", v, isNil, err)
+	}
+
+	snap := m.Observer().Snapshot()
+	if snap.Cluster == nil || snap.Cluster.Timeouts == 0 {
+		t.Fatal("no cluster timeouts recorded")
+	}
+	if snap.Cluster.Nodes[2].Timeouts == 0 {
+		t.Error("timeouts not attributed to the partitioned node")
+	}
+}
+
+// TestClusterDrainReleasesEverything holds the cluster to the serving
+// layer's drain contract: after Shutdown no goroutines survive, no urpc
+// frames sit in any ring, and the kernel reaper has reclaimed every
+// simulated frame the cluster allocated — worker processes, node
+// processes, every shard store, every scratch heap.
+func TestClusterDrainReleasesEverything(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	sys := kernel.New(m)
+	sys.EnableStats(1024)
+	base := m.PM.AllocatedBytes()
+	before := runtime.NumGoroutine()
+
+	r, err := New(sys, Config{Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewWithBackend(sys, ln, server.Config{}, r)
+
+	// Real traffic on both paths, then an open connection mid-stream so
+	// Shutdown has to unblock a parked reader.
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	for node := 0; node < 3; node++ {
+		key := keyOnNode(t, r, node)
+		v, _, err := roundTrip(t, nc, br, "SET", key, "drain\r\nme")
+		if err != nil || !bytes.Equal(v, []byte("OK")) {
+			t.Fatalf("SET node %d: %q %v", node, v, err)
+		}
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := r.PendingFrames(); n != 0 {
+		t.Errorf("%d urpc frames still queued after drain", n)
+	}
+	if err := m.PM.CheckLeaks(base); err != nil {
+		t.Errorf("frame leak after drain: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked: %d before, %d after\n%s",
+			before, n, buf[:runtime.Stack(buf, true)])
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestClusterSmoke is the CI smoke scenario: a 3-shard cluster under the
+// stock load generator, asserting end-to-end health and a nonzero remote
+// command count (the wire actually carried traffic).
+func TestClusterSmoke(t *testing.T) {
+	m, _, srv := startCluster(t, Config{Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2}, nil)
+	defer srv.Shutdown()
+
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:        srv.Addr().String(),
+		Conns:       8,
+		Pipeline:    8,
+		Requests:    64,
+		MGetPercent: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(8 * 64)
+	if res.Commands != want {
+		t.Errorf("completed %d commands, want %d", res.Commands, want)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d mismatches", res.Mismatches)
+	}
+	obs := m.Observer()
+	if obs.ClusterRemoteTotal() == 0 {
+		t.Error("no remote commands served")
+	}
+	if obs.ClusterLocalTotal() == 0 {
+		t.Error("no local commands served")
+	}
+}
+
+// TestParseMode pins the flag surface.
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"vas", ModeVAS, true}, {"URPC", ModeURPC, true}, {"auto", ModeAuto, true},
+		{"", ModeAuto, true}, {"both", "", false},
+	} {
+		got, err := ParseMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseMode(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestTopologyPlacement pins node placement per mode.
+func TestTopologyPlacement(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	sys := kernel.New(m)
+	r, err := New(sys, Config{Nodes: 3, Workers: 1, Mode: ModeURPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	topo := r.Topology()
+	if len(topo) != 3 {
+		t.Fatalf("topology has %d nodes", len(topo))
+	}
+	var cross int
+	for _, n := range topo {
+		if n.Local {
+			t.Errorf("node %d local in urpc mode", n.ID)
+		}
+		if n.CrossSocket {
+			cross++
+		}
+	}
+	// Worker on core 0 (socket 0), nodes on cores 1..3: cores 2 and 3 sit
+	// on the second socket, so two channels must be cross-socket.
+	if cross != 2 {
+		t.Errorf("%d cross-socket nodes, want 2 on the 2x2 test machine", cross)
+	}
+	if s := r.String(); !strings.Contains(s, "cross socket") {
+		t.Errorf("String() lacks socket placement:\n%s", s)
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sync"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/urpc"
+)
+
+// node is one shard of the key space. A local node is pure state: its store
+// lives in globally named segments/VASes (redis.ShardNames) and every
+// worker attaches its own client, so serving it is a VAS switch on the
+// worker's core. A remote node models a separate machine: it claims its own
+// core and process, bootstraps the store through its own thread, and is
+// reachable only through urpc — its handler decodes a RESP command, runs it
+// on the node's client, and returns the RESP reply.
+type node struct {
+	id    int
+	local bool
+	names redis.Names
+
+	// Remote nodes only.
+	proc   *core.Process
+	client *redis.Client
+	coreID int
+
+	// mu serializes the workers' calls into this node: urpc handlers run
+	// inline in the calling goroutine, and the node's core and thread
+	// tolerate exactly one driver at a time.
+	mu sync.Mutex
+}
+
+func (r *Router) newNode(id int, local bool) (*node, error) {
+	n := &node{id: id, local: local, names: redis.ShardNames(id)}
+	if local {
+		// The store itself is bootstrapped lazily by the first worker
+		// client that attaches (wireWorker).
+		return n, nil
+	}
+	proc, err := r.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return nil, err
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		proc.Exit()
+		return nil, err
+	}
+	client, err := redis.NewClientNamed(th, r.cfg.SegSize, n.names)
+	if err != nil {
+		proc.Exit()
+		return nil, err
+	}
+	n.proc, n.client, n.coreID = proc, client, th.Core.ID
+	return n, nil
+}
+
+// handler is the node's urpc service routine: RESP in, RESP out. It runs
+// with the node's core active (under n.mu), so the decode, the VAS
+// switches, and the table walk are all charged to the node — and, because
+// the urpc client busy-waits, mirrored into the calling worker's latency.
+func (n *node) handler(req []byte) []byte {
+	args, err := redis.DecodeCommand(req)
+	if err != nil {
+		return redis.EncodeError("protocol error: " + err.Error())
+	}
+	return redis.Execute(n.client, args)
+}
+
+// call performs one serialized RPC into a remote node on the worker's
+// endpoint, reporting the cycles the urpc round trip alone cost the worker.
+func (n *node) call(ep *urpc.Endpoint, wire []byte) (resp []byte, cycles uint64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	before := ep.ClientCore().Cycles()
+	resp, err = ep.Call(wire)
+	return resp, ep.ClientCore().Cycles() - before, err
+}

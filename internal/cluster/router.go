@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/server"
+	"spacejmp/internal/stats"
+	"spacejmp/internal/urpc"
+)
+
+// worker is one router worker: a goroutine owning a front-end core (via its
+// Thread), a RedisJMP client on every co-resident node's store, and a urpc
+// endpoint to every remote node. Only this goroutine drives the thread; the
+// endpoints' inline handlers drive node cores, serialized by each node's
+// mutex.
+type worker struct {
+	id    int
+	queue chan *server.Request
+	ctr   *stats.ShardCounters
+
+	proc   *core.Process
+	th     *core.Thread
+	coreID int
+
+	locals    map[int]*redis.Client  // co-resident nodes, by node id
+	endpoints map[int]*urpc.Endpoint // remote nodes, by node id
+	err       error                  // first teardown error, read after workerWG.Wait
+}
+
+func (r *Router) newWorker(id int, ctr *stats.ShardCounters) (*worker, error) {
+	proc, err := r.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return nil, err
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		proc.Exit()
+		return nil, err
+	}
+	return &worker{
+		id:        id,
+		queue:     make(chan *server.Request, r.cfg.QueueDepth),
+		ctr:       ctr,
+		proc:      proc,
+		th:        th,
+		coreID:    th.Core.ID,
+		locals:    map[int]*redis.Client{},
+		endpoints: map[int]*urpc.Endpoint{},
+	}, nil
+}
+
+// wireWorker attaches the worker to every node: a client per co-resident
+// store (the first attachment bootstraps it), an endpoint per remote node.
+func (r *Router) wireWorker(w *worker) error {
+	for _, n := range r.nodes {
+		if n.local {
+			c, err := redis.NewClientNamed(w.th, r.cfg.SegSize, n.names)
+			if err != nil {
+				return fmt.Errorf("node %d store: %w", n.id, err)
+			}
+			w.locals[n.id] = c
+		} else {
+			w.endpoints[n.id] = urpc.Connect(r.sys.M, w.coreID, n.coreID, r.cfg.Slots, n.handler)
+		}
+	}
+	return nil
+}
+
+// runWorker drains the queue until it closes, then detaches from every
+// co-resident store and exits the process.
+func (r *Router) runWorker(w *worker) {
+	defer r.workerWG.Done()
+	for req := range w.queue {
+		w.ctr.Command()
+		req.Finish(r.exec(w, req.Args))
+		r.obs.ServerCommand(uint64(time.Since(req.Start).Nanoseconds()))
+	}
+	for _, c := range w.locals {
+		if err := c.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	w.proc.Exit()
+}
+
+// Bind stripes the connection onto a worker (server.Backend).
+func (r *Router) Bind(connID uint64) uint64 {
+	w := r.workers[int(connID)%len(r.workers)]
+	w.ctr.Conn()
+	return uint64(w.id)
+}
+
+// Submit enqueues the request on the connection's worker, failing fast when
+// its queue is full (server.Backend).
+func (r *Router) Submit(connID uint64, req *server.Request) bool {
+	w := r.workers[int(connID)%len(r.workers)]
+	select {
+	case w.queue <- req:
+		d := len(w.queue)
+		w.ctr.QueueDepth(d)
+		r.obs.ServerQueue(d)
+		return true
+	default:
+		w.ctr.Busy()
+		return false
+	}
+}
+
+// exec charges the network edge, routes the command, charges the reply's
+// way out. The cycle deltas recorded per mode sit between the two edge
+// charges, so they compare the serving paths themselves.
+func (r *Router) exec(w *worker, args []string) []byte {
+	var n int
+	for _, a := range args {
+		n += len(a)
+	}
+	w.th.Core.AddCycles(server.EdgeCycles(n))
+	resp := r.route(w, args)
+	w.th.Core.AddCycles(server.EdgeCycles(len(resp)))
+	return resp
+}
+
+// route sends single-key commands to their key's node and fans multi-key
+// commands out per node; store-less commands run in place.
+func (r *Router) route(w *worker, args []string) []byte {
+	if len(args) == 0 {
+		return redis.EncodeError("empty command")
+	}
+	switch strings.ToUpper(args[0]) {
+	case "GET", "SET", "DEL":
+		if len(args) < 2 {
+			return redis.EncodeWrongArity(args[0])
+		}
+		return r.exec1(w, r.NodeFor(args[1]), args)
+	case "MGET":
+		if len(args) < 2 {
+			return redis.EncodeWrongArity(args[0])
+		}
+		return r.mget(w, args[1:])
+	default:
+		return redis.Execute(nil, args) // PING, ECHO, unknown
+	}
+}
+
+// exec1 serves one single-key command on its node, local or remote.
+func (r *Router) exec1(w *worker, nid int, args []string) []byte {
+	n := r.nodes[nid]
+	if n.local {
+		before := w.th.Core.Cycles()
+		resp := redis.Execute(w.locals[nid], args)
+		r.obs.ClusterLocal(nid, w.th.Core.Cycles()-before)
+		return resp
+	}
+	wire := redis.EncodeCommand(args...)
+	before := w.th.Core.Cycles()
+	resp, callCycles, err := n.call(w.endpoints[nid], wire)
+	total := w.th.Core.Cycles() - before
+	if err != nil {
+		return r.remoteError(nid, err)
+	}
+	r.obs.ClusterRemote(nid, total)
+	r.obs.ClusterURPCCall(callCycles)
+	return resp
+}
+
+// mget fans a multi-key GET out across the nodes its keys hash to and
+// merges the replies back into key order. Local groups ride one VAS switch
+// (one shared-lock acquisition, however many keys); remote groups ride one
+// urpc round trip each. Any shard failure fails the whole command — partial
+// MGET replies would be indistinguishable from missing keys.
+func (r *Router) mget(w *worker, keys []string) []byte {
+	groups := make(map[int][]int, len(r.nodes)) // node id → indices into keys
+	for i, k := range keys {
+		nid := r.NodeFor(k)
+		groups[nid] = append(groups[nid], i)
+	}
+	vals := make([][]byte, len(keys))
+	for nid := 0; nid < len(r.nodes); nid++ {
+		idxs := groups[nid]
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		n := r.nodes[nid]
+		if n.local {
+			before := w.th.Core.Cycles()
+			got, err := w.locals[nid].MGet(sub)
+			r.obs.ClusterLocal(nid, w.th.Core.Cycles()-before)
+			if err != nil {
+				return redis.EncodeError(err.Error())
+			}
+			for j, i := range idxs {
+				vals[i] = got[j]
+			}
+			continue
+		}
+		wire := redis.EncodeCommand(append([]string{"MGET"}, sub...)...)
+		before := w.th.Core.Cycles()
+		resp, callCycles, err := n.call(w.endpoints[nid], wire)
+		total := w.th.Core.Cycles() - before
+		if err != nil {
+			return r.remoteError(nid, err)
+		}
+		got, _, err := redis.DecodeArrayReply(resp)
+		if err != nil {
+			var re redis.ReplyError
+			if errors.As(err, &re) {
+				return []byte("-" + string(re) + "\r\n") // relay the shard's refusal
+			}
+			return redis.EncodeError("shard protocol error: " + err.Error())
+		}
+		if len(got) != len(idxs) {
+			return redis.EncodeError("shard protocol error: short MGET reply")
+		}
+		r.obs.ClusterRemote(nid, total)
+		r.obs.ClusterURPCCall(callCycles)
+		for j, i := range idxs {
+			vals[i] = got[j]
+		}
+	}
+	return redis.EncodeArray(vals)
+}
+
+// remoteError renders a failed remote call. A transport timeout — the typed
+// urpc.TimeoutError, recognizable end to end via core.ErrTimeout — becomes
+// a retryable error reply and a timeout count against the node; anything
+// else is a hard shard error.
+func (r *Router) remoteError(nid int, err error) []byte {
+	if errors.Is(err, urpc.ErrTimeout) {
+		r.obs.ClusterTimeout(nid)
+		return redis.EncodeError(fmt.Sprintf("shard timeout: node %d unreachable, retry", nid))
+	}
+	return redis.EncodeError(fmt.Sprintf("shard error: node %d: %s", nid, err))
+}

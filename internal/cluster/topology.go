@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Mode places shard nodes relative to the front-end machine.
+type Mode string
+
+const (
+	// ModeVAS makes every node co-resident: all commands take the
+	// shared-VAS fast path (Figure 7's switching side).
+	ModeVAS Mode = "vas"
+	// ModeURPC makes every node remote: all commands cross urpc channels
+	// (Figure 7's message-passing side).
+	ModeURPC Mode = "urpc"
+	// ModeAuto splits the nodes — the first Locals co-resident, the rest
+	// remote — so one run exercises both paths and multi-key commands span
+	// them.
+	ModeAuto Mode = "auto"
+)
+
+// ParseMode validates a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(strings.ToLower(s)) {
+	case ModeVAS:
+		return ModeVAS, nil
+	case ModeURPC:
+		return ModeURPC, nil
+	case ModeAuto, "":
+		return ModeAuto, nil
+	}
+	return "", fmt.Errorf("cluster: unknown mode %q (want vas, urpc, or auto)", s)
+}
+
+// Local reports whether node i is co-resident with the front-end under
+// this mode.
+func (m Mode) Local(i int, cfg Config) bool {
+	switch m {
+	case ModeVAS:
+		return true
+	case ModeURPC:
+		return false
+	default:
+		return i < cfg.Locals
+	}
+}
+
+// NodeFor hashes a key onto a shard node (FNV-1a, the usual pick for short
+// keys with no adversarial input).
+func (r *Router) NodeFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(r.nodes)))
+}
+
+// NodeInfo describes one node's placement for tooling and logs.
+type NodeInfo struct {
+	ID          int    `json:"id"`
+	Local       bool   `json:"local"`
+	Core        int    `json:"core,omitempty"`         // remote nodes: the core its handler runs on
+	CrossSocket bool   `json:"cross_socket,omitempty"` // remote nodes: any worker reaches it across sockets
+	Store       string `json:"store"`
+}
+
+// Topology returns the cluster's node placement.
+func (r *Router) Topology() []NodeInfo {
+	out := make([]NodeInfo, len(r.nodes))
+	for i, n := range r.nodes {
+		info := NodeInfo{ID: n.id, Local: n.local, Store: n.names.Seg}
+		if !n.local {
+			info.Core = n.coreID
+			for _, w := range r.workers {
+				if ep := w.endpoints[n.id]; ep != nil && !r.sys.M.SameSocket(w.coreID, n.coreID) {
+					info.CrossSocket = true
+				}
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// String renders the topology one node per line.
+func (r *Router) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d nodes, %d workers, mode %s\n", len(r.nodes), len(r.workers), r.cfg.Mode)
+	for _, n := range r.Topology() {
+		if n.Local {
+			fmt.Fprintf(&b, "  node %d: local (shared VAS %s)\n", n.ID, n.Store)
+		} else {
+			x := "same socket"
+			if n.CrossSocket {
+				x = "cross socket"
+			}
+			fmt.Fprintf(&b, "  node %d: remote on core %d (urpc, %s)\n", n.ID, n.Core, x)
+		}
+	}
+	return b.String()
+}

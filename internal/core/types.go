@@ -52,6 +52,11 @@ var (
 	// heap, an exhausted physical memory tier. Higher layers wrap it so
 	// errors.Is recognizes "out of space" end to end.
 	ErrNoSpace = errors.New("spacejmp: out of space")
+	// ErrTimeout reports an operation that gave up waiting: a urpc call
+	// whose retries were exhausted, a remote shard that never answered.
+	// Transports wrap it so routing layers can tell a retryable timeout
+	// from a payload error with one errors.Is test.
+	ErrTimeout = errors.New("spacejmp: timed out")
 )
 
 // Conventional process layout. Process-private segments (text, globals,

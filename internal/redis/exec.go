@@ -1,0 +1,91 @@
+package redis
+
+import (
+	"errors"
+	"strings"
+)
+
+// Execute runs one already-parsed command against a client's store and
+// renders the RESP reply. It is the single command table shared by every
+// execution site: the serving layer's pool workers, the cluster's shard
+// node handlers, and the router's co-resident fast path all dispatch
+// through it, so a command behaves identically whether it was served
+// locally over a VAS switch or remotely over urpc.
+//
+// A nil client serves only the store-less commands (PING, ECHO); data
+// commands answer with an error reply.
+func Execute(c *Client, args []string) []byte {
+	if len(args) == 0 {
+		return EncodeError("empty command")
+	}
+	name := strings.ToUpper(args[0])
+	switch name {
+	case "PING":
+		if len(args) > 2 {
+			return EncodeWrongArity(args[0])
+		}
+		if len(args) == 2 {
+			return EncodeBulk([]byte(args[1]))
+		}
+		return EncodeSimple("PONG")
+	case "ECHO":
+		if len(args) != 2 {
+			return EncodeWrongArity(args[0])
+		}
+		return EncodeBulk([]byte(args[1]))
+	case "GET", "MGET", "SET", "DEL":
+		if c == nil {
+			return EncodeError("no store behind this handler")
+		}
+	default:
+		return EncodeUnknownCommand(args[0])
+	}
+	switch name {
+	case "GET":
+		if len(args) != 2 {
+			return EncodeWrongArity(args[0])
+		}
+		v, ok, err := c.Get(args[1])
+		if err != nil {
+			return EncodeError(err.Error())
+		}
+		if !ok {
+			return EncodeBulk(nil)
+		}
+		return EncodeBulk(v)
+	case "MGET":
+		if len(args) < 2 {
+			return EncodeWrongArity(args[0])
+		}
+		vals, err := c.MGet(args[1:])
+		if err != nil {
+			return EncodeError(err.Error())
+		}
+		return EncodeArray(vals)
+	case "SET":
+		if len(args) != 3 {
+			return EncodeWrongArity(args[0])
+		}
+		if err := c.Set(args[1], []byte(args[2])); err != nil {
+			if errors.Is(err, ErrStoreFull) {
+				return EncodeError("OOM store segment full")
+			}
+			return EncodeError(err.Error())
+		}
+		return EncodeSimple("OK")
+	case "DEL":
+		if len(args) != 2 {
+			return EncodeWrongArity(args[0])
+		}
+		found, err := c.Del(args[1])
+		if err != nil {
+			return EncodeError(err.Error())
+		}
+		if found {
+			return EncodeInt(1)
+		}
+		return EncodeInt(0)
+	default:
+		return EncodeUnknownCommand(args[0])
+	}
+}

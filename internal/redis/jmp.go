@@ -27,6 +27,27 @@ const (
 	WriteVASName = "redisjmp.write"
 )
 
+// Names identifies one store instance in the global registries. The cluster
+// layer runs one instance per shard node; the single-machine experiments
+// and the serving layer's pool backend use DefaultNames.
+type Names struct {
+	Seg      string // the shared data segment
+	ReadVAS  string // maps the segment read-only
+	WriteVAS string // maps the segment read-write
+}
+
+// DefaultNames is the single-store instance of §5.3.
+var DefaultNames = Names{Seg: SegName, ReadVAS: ReadVASName, WriteVAS: WriteVASName}
+
+// ShardNames returns the registry names of cluster shard node i's store.
+func ShardNames(i int) Names {
+	return Names{
+		Seg:      fmt.Sprintf("cluster.s%d.data", i),
+		ReadVAS:  fmt.Sprintf("cluster.s%d.read", i),
+		WriteVAS: fmt.Sprintf("cluster.s%d.write", i),
+	}
+}
+
 // ErrStoreFull reports a SET that could not fit in the shared segment's
 // heap. It wraps core.ErrNoSpace (and the failing operation keeps its
 // mspace.ErrNoSpace cause), so errors.Is works end to end across layers.
@@ -49,6 +70,7 @@ const parseCycles = 300
 // Client is one RedisJMP client process.
 type Client struct {
 	th     *core.Thread
+	names  Names
 	readH  core.Handle
 	writeH core.Handle
 	store  *Store
@@ -60,15 +82,23 @@ type Client struct {
 // NewClient attaches the calling thread to the RedisJMP state, creating it
 // (segment, store, VASes) if this is the first client.
 func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
-	c := &Client{th: th}
+	return NewClientNamed(th, segSize, DefaultNames)
+}
+
+// NewClientNamed attaches the calling thread to the store instance named by
+// names, creating it (segment, store, VASes) if this is the first client.
+// One process may hold clients on several instances at once — the cluster's
+// router workers attach every co-resident shard this way.
+func NewClientNamed(th *core.Thread, segSize uint64, names Names) (*Client, error) {
+	c := &Client{th: th, names: names}
 	if err := c.bootstrap(segSize); err != nil {
 		return nil, err
 	}
-	vidR, err := th.VASFind(ReadVASName)
+	vidR, err := th.VASFind(names.ReadVAS)
 	if err != nil {
 		return nil, err
 	}
-	vidW, err := th.VASFind(WriteVASName)
+	vidW, err := th.VASFind(names.WriteVAS)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +108,10 @@ func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
 	if c.writeH, err = th.VASAttach(vidW); err != nil {
 		return nil, err
 	}
-	// Private scratch heap, attached to this client's views only.
-	scratchName := fmt.Sprintf("redisjmp.scratch.p%d", th.Proc.PID)
+	// Private scratch heap, attached to this client's views only. The name
+	// includes the instance so a process holding clients on several shard
+	// stores gets one scratch heap per instance.
+	scratchName := fmt.Sprintf("%s.scratch.p%d", names.Seg, th.Proc.PID)
 	c.scratch, err = th.SegFind(scratchName)
 	if errors.Is(err, core.ErrNotFound) {
 		c.scratch, err = th.SegAlloc(scratchName, ScratchBase, scratchSize, arch.PermRW)
@@ -108,26 +140,26 @@ func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
 // server data is initialized lazily by its first client").
 func (c *Client) bootstrap(segSize uint64) error {
 	th := c.th
-	if _, err := th.VASFind(ReadVASName); err == nil {
+	if _, err := th.VASFind(c.names.ReadVAS); err == nil {
 		return nil
 	} else if !errors.Is(err, core.ErrNotFound) {
 		return err
 	}
-	sid, err := th.SegAlloc(SegName, SegBase, segSize, arch.PermRW)
+	sid, err := th.SegAlloc(c.names.Seg, SegBase, segSize, arch.PermRW)
 	if err != nil {
 		if errors.Is(err, core.ErrExists) {
 			return nil // raced with another bootstrapper
 		}
 		return err
 	}
-	vidW, err := th.VASCreate(WriteVASName, 0o666)
+	vidW, err := th.VASCreate(c.names.WriteVAS, 0o666)
 	if err != nil {
 		return err
 	}
 	if err := th.SegAttachVAS(vidW, sid, arch.PermRW); err != nil {
 		return err
 	}
-	vidR, err := th.VASCreate(ReadVASName, 0o666)
+	vidR, err := th.VASCreate(c.names.ReadVAS, 0o666)
 	if err != nil {
 		return err
 	}
@@ -154,7 +186,7 @@ func (c *Client) bootstrap(segSize uint64) error {
 // EnableTags assigns TLB tags to both VASes (the "RedisJMP (Tags)" series
 // of Figure 10a).
 func (c *Client) EnableTags() error {
-	for _, name := range []string{ReadVASName, WriteVASName} {
+	for _, name := range []string{c.names.ReadVAS, c.names.WriteVAS} {
 		vid, err := c.th.VASFind(name)
 		if err != nil {
 			return err
@@ -183,6 +215,38 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	return val, ok, nil
+}
+
+// MGet executes a multi-key GET on the paper's fast path: one switch into
+// the read VAS (one shared lock acquisition), one table walk per key, one
+// switch out. This is the operation Figure 7's comparison is about — over
+// message passing every key group costs a round trip of cache-line
+// transfers, while here the additional keys cost only memory accesses.
+// Missing keys come back as nil entries.
+func (c *Client) MGet(keys []string) ([][]byte, error) {
+	c.th.Core.AddCycles(uint64(len(keys)) * parseCycles)
+	if err := c.th.VASSwitch(c.readH); err != nil {
+		return nil, err
+	}
+	vals := make([][]byte, len(keys))
+	var err error
+	for i, key := range keys {
+		var v []byte
+		var ok bool
+		if v, ok, err = c.store.Get([]byte(key)); err != nil {
+			break
+		}
+		if ok {
+			vals[i] = v
+		}
+	}
+	if serr := c.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return vals, nil
 }
 
 // Set executes a SET under the exclusive lock, rehashing while exclusive
@@ -245,12 +309,16 @@ func (c *Client) Close() error {
 // Destroy removes the shared RedisJMP state: both VASes and the store
 // segment are destroyed and their frames returned to the allocator. Every
 // client must have Closed first (attached VASes refuse destruction).
-func Destroy(th *core.Thread) error {
-	sid, err := th.SegFind(SegName)
+func Destroy(th *core.Thread) error { return DestroyNamed(th, DefaultNames) }
+
+// DestroyNamed removes the store instance named by names, as Destroy does
+// for the default instance.
+func DestroyNamed(th *core.Thread, names Names) error {
+	sid, err := th.SegFind(names.Seg)
 	if err != nil {
 		return err
 	}
-	for _, name := range []string{ReadVASName, WriteVASName} {
+	for _, name := range []string{names.ReadVAS, names.WriteVAS} {
 		vid, err := th.VASFind(name)
 		if err != nil {
 			return err

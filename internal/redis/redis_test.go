@@ -340,3 +340,67 @@ func TestFig10Shapes(t *testing.T) {
 		t.Errorf("RedisJMP at 10%% SETs (%.0f) below baseline (%.0f)", mix[1].RPS, baseMix[0].RPS)
 	}
 }
+
+func TestJmpMGet(t *testing.T) {
+	_, c := newClient(t)
+	for _, kv := range [][2]string{{"a", "va"}, {"b", "vb\r\n\x00"}, {"c", "vc"}} {
+		if err := c.Set(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := c.MGet([]string{"b", "missing", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("MGet returned %d values", len(vals))
+	}
+	if string(vals[0]) != "vb\r\n\x00" || vals[1] != nil || string(vals[2]) != "va" {
+		t.Errorf("MGet = %q", vals)
+	}
+}
+
+func TestShardNamesDisjoint(t *testing.T) {
+	// Two shard stores in one system must not collide in the registries:
+	// one process holding clients on both sees each shard's own data.
+	sys := kernel.New(hw.NewMachine(hw.SmallTest()))
+	proc, err := sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Exit()
+	th, err := proc.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := NewClientNamed(th, 1<<20, ShardNames(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewClientNamed(th, 1<<20, ShardNames(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Set("k", []byte("zero")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Set("k", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c0.Get("k"); string(v) != "zero" {
+		t.Errorf("shard 0 sees %q", v)
+	}
+	if v, _, _ := c1.Get("k"); string(v) != "one" {
+		t.Errorf("shard 1 sees %q", v)
+	}
+	for i, c := range []*Client{c0, c1} {
+		if err := c.Close(); err != nil {
+			t.Errorf("close %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := DestroyNamed(th, ShardNames(i)); err != nil {
+			t.Errorf("destroy shard %d: %v", i, err)
+		}
+	}
+}

@@ -161,6 +161,17 @@ func EncodeBulk(v []byte) []byte {
 	return b.Bytes()
 }
 
+// EncodeArray renders an array reply of bulk strings (as MGET returns);
+// nil elements render as null bulks.
+func EncodeArray(vals [][]byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "*%d\r\n", len(vals))
+	for _, v := range vals {
+		b.Write(EncodeBulk(v))
+	}
+	return b.Bytes()
+}
+
 // EncodeUnknownCommand renders the canonical unknown-command error reply.
 func EncodeUnknownCommand(name string) []byte {
 	return EncodeError(fmt.Sprintf("unknown command '%s'", name))
@@ -205,4 +216,60 @@ func ReadReply(br *bufio.Reader) ([]byte, bool, error) {
 // error). Thin wrapper over ReadReply for the in-process cost models.
 func DecodeReply(data []byte) ([]byte, bool, error) {
 	return ReadReply(bufio.NewReader(bytes.NewReader(data)))
+}
+
+// ReadArrayReply reads exactly one array reply (as MGET returns): element
+// values and per-element nil flags. Error replies come back as ReplyError,
+// exactly as in ReadReply, so a caller expecting an array still sees the
+// server's refusal.
+func ReadArrayReply(br *bufio.Reader) ([][]byte, []bool, error) {
+	line, err := readLine(br, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(line) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty reply line", ErrProtocol)
+	}
+	if line[0] == '-' {
+		return nil, nil, ReplyError(line[1:])
+	}
+	if line[0] != '*' {
+		return nil, nil, fmt.Errorf("%w: expected array reply, got %q", ErrProtocol, line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 {
+		return nil, nil, fmt.Errorf("%w: bad array header %q", ErrProtocol, line)
+	}
+	if n > MaxArgs {
+		return nil, nil, fmt.Errorf("%w: array of %d elements exceeds %d", ErrProtocol, n, MaxArgs)
+	}
+	vals := make([][]byte, 0, n)
+	nils := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := readLine(br, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, nil, fmt.Errorf("%w: expected bulk string, got %q", ErrProtocol, hdr)
+		}
+		if hdr == "$-1" {
+			vals = append(vals, nil)
+			nils = append(nils, true)
+			continue
+		}
+		body, err := readBulk(br, hdr)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append(vals, body)
+		nils = append(nils, false)
+	}
+	return vals, nils, nil
+}
+
+// DecodeArrayReply parses an array reply from a byte slice — the cluster
+// router's view of a remote MGET response.
+func DecodeArrayReply(data []byte) ([][]byte, []bool, error) {
+	return ReadArrayReply(bufio.NewReader(bytes.NewReader(data)))
 }

@@ -157,3 +157,68 @@ func FuzzReadCommand(f *testing.F) {
 		}
 	})
 }
+
+func TestArrayReplyRoundTrip(t *testing.T) {
+	vals := [][]byte{
+		[]byte("plain"),
+		nil, // missing key: null bulk
+		[]byte("bin\r\n\x00\xffary"),
+		{}, // present but empty
+	}
+	got, nils, err := DecodeArrayReply(EncodeArray(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	wantNil := []bool{false, true, false, false}
+	for i := range vals {
+		if nils[i] != wantNil[i] {
+			t.Errorf("nils[%d] = %v, want %v", i, nils[i], wantNil[i])
+		}
+		if !wantNil[i] && !bytes.Equal(got[i], vals[i]) {
+			t.Errorf("vals[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+
+	if _, _, err := DecodeArrayReply(EncodeArray(nil)); err != nil {
+		t.Errorf("empty array: %v", err)
+	}
+}
+
+func TestArrayReplyErrors(t *testing.T) {
+	var re ReplyError
+	if _, _, err := DecodeArrayReply(EncodeError("shard timeout")); !errors.As(err, &re) {
+		t.Errorf("error reply: got %v, want ReplyError", err)
+	}
+	if _, _, err := DecodeArrayReply(EncodeBulk([]byte("x"))); !errors.Is(err, ErrProtocol) {
+		t.Errorf("non-array reply: got %v, want ErrProtocol", err)
+	}
+	if _, _, err := DecodeArrayReply([]byte("*2\r\n$1\r\na\r\n")); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated array: got %v, want unexpected EOF", err)
+	}
+	huge := []byte("*999999999\r\n")
+	if _, _, err := DecodeArrayReply(huge); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized header: got %v, want ErrProtocol", err)
+	}
+}
+
+func TestExecuteTable(t *testing.T) {
+	// Store-less commands work without a client; data commands refuse.
+	if got := string(Execute(nil, []string{"PING"})); got != "+PONG\r\n" {
+		t.Errorf("PING = %q", got)
+	}
+	if got := string(Execute(nil, []string{"ECHO", "x\r\ny"})); got != "$4\r\nx\r\ny\r\n" {
+		t.Errorf("ECHO = %q", got)
+	}
+	if got := string(Execute(nil, []string{"GET", "k"})); !strings.Contains(got, "no store") {
+		t.Errorf("GET without store = %q", got)
+	}
+	if got := string(Execute(nil, []string{"NOSUCH"})); !strings.Contains(got, "unknown command") {
+		t.Errorf("unknown = %q", got)
+	}
+	if got := string(Execute(nil, nil)); !strings.Contains(got, "empty") {
+		t.Errorf("empty = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/stats"
+)
+
+// AdminHandler serves the machine's live observability state over HTTP:
+//
+//	GET /stats    — the sink's counters as JSON (a stats.Snapshot)
+//	GET /trace?n= — the most recent n retained trace events (default all)
+//	GET /healthz  — liveness probe
+//
+// /stats reads only the sink's atomic counters (stats.Sink.Snapshot), so it
+// is safe to poll while workers drive the simulated cores. The per-core
+// *total* cycle counters are deliberately absent: they are non-atomic by
+// design (one goroutine per core), and only hw.Machine.StatsSnapshot — which
+// requires quiescence — can fold them in. Category-attributed cycles, which
+// the sink does own, are present and account for all charged work.
+func AdminHandler(sys *core.System) http.Handler {
+	obs := sys.M.Observer()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := obs.Snapshot()
+		if snap == nil {
+			http.Error(w, "observability disabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := obs.Tracer()
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		events := t.Events()
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		out := make([]traceEvent, len(events))
+		for i, e := range events {
+			out[i] = traceEvent{Kind: e.Kind.String(), Event: e}
+		}
+		writeJSON(w, struct {
+			Recorded uint64       `json:"recorded"`
+			Dropped  uint64       `json:"dropped"`
+			Events   []traceEvent `json:"events"`
+		}{t.Recorded(), t.Dropped(), out})
+	})
+	return mux
+}
+
+// traceEvent decorates a stats.Event with its kind's name — the numeric
+// Kind is json:"-" on the inner type, so the name is the wire form.
+type traceEvent struct {
+	Kind string `json:"kind"`
+	stats.Event
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

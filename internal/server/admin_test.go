@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http/httptest"
+	"testing"
+
+	"spacejmp/internal/stats"
+)
+
+// TestAdminEndpoints serves real traffic, then reads the live stats and
+// trace over the admin HTTP surface while the server is still running —
+// the handler must stay on the race-safe sink-only snapshot path.
+func TestAdminEndpoints(t *testing.T) {
+	sys, srv := startServer(t, Config{Shards: 1}, nil)
+	defer srv.Shutdown()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	if v, _, err := roundTrip(t, nc, br, "SET", "k", "v"); err != nil || string(v) != "OK" {
+		t.Fatalf("SET: %q %v", v, err)
+	}
+	if v, _, err := roundTrip(t, nc, br, "GET", "k"); err != nil || string(v) != "v" {
+		t.Fatalf("GET: %q %v", v, err)
+	}
+
+	admin := httptest.NewServer(AdminHandler(sys))
+	defer admin.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if string(get("/healthz")) != "ok\n" {
+		t.Error("healthz not ok")
+	}
+
+	var snap stats.Snapshot
+	if err := json.Unmarshal(get("/stats"), &snap); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if snap.Server == nil || snap.Server.Commands == 0 {
+		t.Errorf("live stats missing server commands: %+v", snap.Server)
+	}
+	if snap.Server.ConnsAccepted == 0 {
+		t.Error("live stats missing accepted connections")
+	}
+
+	var trace struct {
+		Recorded uint64 `json:"recorded"`
+		Events   []struct {
+			Kind string `json:"kind"`
+			Seq  uint64 `json:"seq"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(get("/trace?n=8"), &trace); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if trace.Recorded == 0 || len(trace.Events) == 0 {
+		t.Fatalf("trace empty: recorded=%d events=%d", trace.Recorded, len(trace.Events))
+	}
+	if len(trace.Events) > 8 {
+		t.Errorf("asked for 8 events, got %d", len(trace.Events))
+	}
+	for _, e := range trace.Events {
+		if e.Kind == "" {
+			t.Errorf("event %d missing kind name", e.Seq)
+		}
+	}
+
+	if resp, err := admin.Client().Get(admin.URL + "/trace?n=bogus"); err == nil {
+		if resp.StatusCode != 400 {
+			t.Errorf("bad n: status %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

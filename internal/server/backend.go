@@ -1,0 +1,73 @@
+package server
+
+import "time"
+
+// Request is one parsed command in flight through a Backend: filled in by a
+// connection reader, executed by whatever goroutine the backend routes it
+// to, and collected by the connection writer once Finish is called. Replies
+// preserve arrival order because the writer waits on requests in the order
+// the reader issued them.
+type Request struct {
+	// Args is the parsed command (name first).
+	Args []string
+	// Start is when the reader accepted the command; backends use it for
+	// wall-latency accounting.
+	Start time.Time
+
+	resp []byte
+	done chan struct{}
+}
+
+// NewRequest builds an in-flight request for a parsed command.
+func NewRequest(args []string) *Request {
+	return &Request{Args: args, Start: time.Now(), done: make(chan struct{})}
+}
+
+// Finish publishes the reply and releases the connection writer waiting on
+// it. Exactly one Finish per request.
+func (r *Request) Finish(resp []byte) {
+	r.resp = resp
+	close(r.done)
+}
+
+// Wait blocks until Finish and returns the reply bytes.
+func (r *Request) Wait() []byte {
+	<-r.done
+	return r.resp
+}
+
+// closedDone is a pre-closed channel for requests answered without a
+// backend (busy rejections, QUIT, protocol errors).
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// inlineReply builds an already-answered request.
+func inlineReply(resp []byte) *Request {
+	return &Request{resp: resp, done: closedDone}
+}
+
+// Backend executes parsed commands against simulated state. The front-end
+// (accept loop, connection reader/writer goroutines) is backend-agnostic:
+// the single-store worker pool of §5.3 and the sharded cluster router both
+// plug in here.
+//
+// The concurrency contract carries over from the pool: Submit may be called
+// from many connection goroutines at once, must never block on simulated
+// state, and must return false instead of queueing without bound — the
+// conn layer turns false into an immediate busy reply.
+type Backend interface {
+	// Bind associates a new connection with the backend and returns the
+	// queue (shard, worker) id it landed on, for the accept trace.
+	Bind(connID uint64) uint64
+	// Submit hands a request to the backend. It returns false when the
+	// backend is saturated; the request is then untouched and the caller
+	// answers it busy.
+	Submit(connID uint64, r *Request) bool
+	// Close drains all in-flight requests, stops the backend's workers,
+	// and destroys whatever simulated state it created. Called once, after
+	// no further Submit can occur.
+	Close() error
+}

@@ -12,31 +12,18 @@ import (
 	"spacejmp/internal/redis"
 )
 
-// closedDone is a pre-closed channel for requests answered without a
-// worker (busy rejections, QUIT, protocol errors).
-var closedDone = func() chan struct{} {
-	ch := make(chan struct{})
-	close(ch)
-	return ch
-}()
-
-// inlineReply builds an already-answered request.
-func inlineReply(resp []byte) *request {
-	return &request{resp: resp, done: closedDone}
-}
-
 var busyReply = redis.EncodeError("server busy: shard queue full, retry")
 
 // serveConn runs one connection: this goroutine reads and parses commands
-// and enqueues them; a companion writer goroutine sends replies back in
-// arrival order, flushing only when the pipeline goes idle so pipelined
-// clients get batched writes. Neither goroutine ever touches simulated
-// state — that is the shard worker's monopoly.
-func (s *Server) serveConn(id uint64, nc net.Conn, sh *shard) {
+// and submits them to the backend; a companion writer goroutine sends
+// replies back in arrival order, flushing only when the pipeline goes idle
+// so pipelined clients get batched writes. Neither goroutine ever touches
+// simulated state — that is the backend workers' monopoly.
+func (s *Server) serveConn(id uint64, nc net.Conn) {
 	defer s.connWG.Done()
 	br := bufio.NewReader(nc)
 	bw := bufio.NewWriter(nc)
-	replies := make(chan *request, s.cfg.PipelineDepth)
+	replies := make(chan *Request, s.cfg.PipelineDepth)
 
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -44,11 +31,11 @@ func (s *Server) serveConn(id uint64, nc net.Conn, sh *shard) {
 		defer writerWG.Done()
 		var werr error
 		for r := range replies {
-			<-r.done
+			resp := r.Wait()
 			if werr != nil {
 				continue // keep draining so the reader never wedges
 			}
-			if _, err := bw.Write(r.resp); err != nil {
+			if _, err := bw.Write(resp); err != nil {
 				werr = err
 				continue
 			}
@@ -82,22 +69,16 @@ func (s *Server) serveConn(id uint64, nc net.Conn, sh *shard) {
 			replies <- inlineReply(redis.EncodeSimple("OK"))
 			break
 		}
-		r := &request{args: args, start: time.Now(), done: make(chan struct{})}
-		select {
-		case sh.queue <- r:
-			d := len(sh.queue)
-			sh.ctr.QueueDepth(d)
-			s.obs.ServerQueue(d)
-		default:
-			// Backpressure: the shard is saturated. Fail fast with an
+		r := NewRequest(args)
+		if !s.backend.Submit(id, r) {
+			// Backpressure: the backend is saturated. Fail fast with an
 			// error reply instead of buffering without bound.
-			sh.ctr.Busy()
 			s.obs.ServerBusy()
 			r.resp = busyReply
 			r.done = closedDone
 		}
 		s.obs.ServerPipeline(len(replies) + 1)
-		// A full pipeline blocks here (never in the worker) until the
+		// A full pipeline blocks here (never in a worker) until the
 		// writer catches up — TCP flow control does the rest.
 		replies <- r
 	}
@@ -105,5 +86,4 @@ func (s *Server) serveConn(id uint64, nc net.Conn, sh *shard) {
 	writerWG.Wait()
 	s.dropConn(nc)
 	s.obs.ConnClosed(id, commands)
-	sh.ctr.QueueDepth(len(sh.queue))
 }

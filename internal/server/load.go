@@ -30,9 +30,15 @@ type LoadConfig struct {
 	Pipeline   int
 	Requests   int // commands per connection
 	SetPercent int // portion of SETs in the mix, 0..100
-	Keys       int // keyspace size
-	ValueSize  int // bytes per value
-	Seed       int64
+	// MGetPercent is the portion of multi-key GETs in the mix, 0..100
+	// (carved out of the GET share; SetPercent+MGetPercent ≤ 100). MGETs
+	// are what separates the cluster's two serving modes: on the shared-VAS
+	// path extra keys cost memory accesses, over urpc they cost transfers.
+	MGetPercent int
+	MGetKeys    int // keys per MGET
+	Keys        int // keyspace size
+	ValueSize   int // bytes per value
+	Seed        int64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -47,6 +53,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.SetPercent < 0 || c.SetPercent > 100 {
 		c.SetPercent = 20
+	}
+	if c.MGetPercent < 0 || c.SetPercent+c.MGetPercent > 100 {
+		c.MGetPercent = 0
+	}
+	if c.MGetKeys <= 0 {
+		c.MGetKeys = 4
 	}
 	if c.Keys <= 0 {
 		c.Keys = 512
@@ -65,6 +77,7 @@ type LoadResult struct {
 	Commands   uint64
 	Gets       uint64
 	Sets       uint64
+	MGets      uint64
 	Busy       uint64 // backpressure rejections ("server busy")
 	Errors     uint64 // any other error reply
 	Mismatches uint64 // GET replies that matched neither nil nor the key's value
@@ -97,7 +110,7 @@ func ValueFor(key string, size int) []byte {
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	res := &LoadResult{}
-	var commands, gets, sets, busy, errCount, mismatches atomic.Uint64
+	var commands, gets, sets, mgets, busy, errCount, mismatches atomic.Uint64
 	var lat stats.Hist
 
 	errs := make([]error, cfg.Conns)
@@ -117,10 +130,15 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			br := bufio.NewReader(nc)
 			bw := bufio.NewWriter(nc)
 
+			const (
+				opGet = iota
+				opSet
+				opMGet
+			)
 			type sent struct {
-				isGet bool
-				key   string
-				at    time.Time
+				op   int
+				keys []string // one key for GET/SET, several for MGET
+				at   time.Time
 			}
 			batch := make([]sent, 0, cfg.Pipeline)
 			for remaining := cfg.Requests; remaining > 0; {
@@ -131,30 +149,66 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				remaining -= n
 				batch = batch[:0]
 				for j := 0; j < n; j++ {
-					key := fmt.Sprintf("k%06d", rng.Intn(cfg.Keys))
-					isGet := rng.Intn(100) >= cfg.SetPercent
+					draw := rng.Intn(100)
+					var s sent
 					var cmd []byte
-					if isGet {
-						cmd = redis.EncodeCommand("GET", key)
-					} else {
+					switch {
+					case draw < cfg.SetPercent:
+						key := fmt.Sprintf("k%06d", rng.Intn(cfg.Keys))
+						s = sent{op: opSet, keys: []string{key}}
 						cmd = redis.EncodeCommand("SET", key, string(ValueFor(key, cfg.ValueSize)))
+					case draw < cfg.SetPercent+cfg.MGetPercent:
+						keys := make([]string, cfg.MGetKeys)
+						for k := range keys {
+							keys[k] = fmt.Sprintf("k%06d", rng.Intn(cfg.Keys))
+						}
+						s = sent{op: opMGet, keys: keys}
+						cmd = redis.EncodeCommand(append([]string{"MGET"}, keys...)...)
+					default:
+						key := fmt.Sprintf("k%06d", rng.Intn(cfg.Keys))
+						s = sent{op: opGet, keys: []string{key}}
+						cmd = redis.EncodeCommand("GET", key)
 					}
 					if _, err := bw.Write(cmd); err != nil {
 						errs[i] = err
 						return
 					}
-					batch = append(batch, sent{isGet: isGet, key: key, at: time.Now()})
+					s.at = time.Now()
+					batch = append(batch, s)
 				}
 				if err := bw.Flush(); err != nil {
 					errs[i] = err
 					return
 				}
 				for _, s := range batch {
-					val, isNil, err := redis.ReadReply(br)
+					var err error
+					if s.op == opMGet {
+						var vals [][]byte
+						var nils []bool
+						vals, nils, err = redis.ReadArrayReply(br)
+						if err == nil {
+							if len(vals) != len(s.keys) {
+								mismatches.Add(1)
+							} else {
+								for k := range vals {
+									if !nils[k] && !bytes.Equal(vals[k], ValueFor(s.keys[k], cfg.ValueSize)) {
+										mismatches.Add(1)
+									}
+								}
+							}
+						}
+					} else {
+						var val []byte
+						var isNil bool
+						val, isNil, err = redis.ReadReply(br)
+						if err == nil && s.op == opGet && !isNil && !bytes.Equal(val, ValueFor(s.keys[0], cfg.ValueSize)) {
+							mismatches.Add(1)
+						}
+					}
 					var reply redis.ReplyError
 					switch {
 					case errors.As(err, &reply):
-						if strings.Contains(string(reply), "busy") {
+						if strings.Contains(string(reply), "busy") || strings.Contains(string(reply), "timeout") {
 							busy.Add(1)
 						} else {
 							errCount.Add(1)
@@ -162,15 +216,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					case err != nil:
 						errs[i] = err
 						return
-					case s.isGet && !isNil && !bytes.Equal(val, ValueFor(s.key, cfg.ValueSize)):
-						mismatches.Add(1)
 					}
 					lat.Observe(uint64(time.Since(s.at).Nanoseconds()))
 					commands.Add(1)
-					if s.isGet {
+					switch s.op {
+					case opGet:
 						gets.Add(1)
-					} else {
+					case opSet:
 						sets.Add(1)
+					case opMGet:
+						mgets.Add(1)
 					}
 				}
 			}
@@ -185,6 +240,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res.Commands = commands.Load()
 	res.Gets = gets.Load()
 	res.Sets = sets.Load()
+	res.MGets = mgets.Load()
 	res.Busy = busy.Load()
 	res.Errors = errCount.Load()
 	res.Mismatches = mismatches.Load()

@@ -1,23 +1,23 @@
 // Package server is the serving layer: a real TCP front-end speaking RESP
 // over the SpaceJMP store. It is the point where true Go concurrency meets
-// the simulated machine — many connection goroutines feed a sharded worker
-// pool, and each worker owns a core.Thread attached to the shared RedisJMP
-// VASes (§5.3), so every command runs the paper's fast path: switch into
-// the server VAS, operate on the lockable segment directly, switch out.
+// the simulated machine — many connection goroutines feed a Backend of
+// workers, and each worker owns a core.Thread attached to RedisJMP VASes
+// (§5.3), so every command runs the paper's fast path: switch into the
+// server VAS, operate on the lockable segment directly, switch out. Two
+// backends exist: the single-store worker Pool in this package, and the
+// keyspace-sharded cluster router in internal/cluster.
 //
 // The concurrency contract with the simulator is strict: a simulated core's
 // cycle counter is not atomic, so exactly one goroutine — the worker that
 // claimed it — may ever drive a given Thread. Connection goroutines never
-// touch simulated state; they parse RESP, hand requests to a shard over a
-// bounded queue, and write replies in arrival order. A full queue is
-// answered immediately with a RESP error (backpressure, never unbounded
+// touch simulated state; they parse RESP, hand requests to the backend over
+// bounded queues, and write replies in arrival order. A saturated backend
+// answers immediately with a RESP error (backpressure, never unbounded
 // buffering); a full pipeline blocks the connection's reader, pushing the
 // backpressure onto TCP itself.
 package server
 
 import (
-	"errors"
-	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -25,7 +25,6 @@ import (
 
 	"spacejmp/internal/core"
 	"spacejmp/internal/fault"
-	"spacejmp/internal/redis"
 	"spacejmp/internal/stats"
 )
 
@@ -64,26 +63,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// request is one command in flight: filled in by a connection reader,
-// executed by a shard worker, written back by the connection writer once
-// done is closed. Replies preserve arrival order because the writer waits
-// on requests in the order the reader issued them.
-type request struct {
-	args  []string
-	resp  []byte
-	start time.Time
-	done  chan struct{}
-}
-
 // Server is a running RESP front-end.
 type Server struct {
-	cfg    Config
-	sys    *core.System
-	obs    *stats.Sink
-	faults *fault.Registry
+	cfg     Config
+	obs     *stats.Sink
+	faults  *fault.Registry
+	backend Backend
 
 	ln       net.Listener
-	shards   []*shard
 	nextConn atomic.Uint64
 
 	mu       sync.Mutex
@@ -92,42 +79,37 @@ type Server struct {
 
 	acceptWG sync.WaitGroup
 	connWG   sync.WaitGroup
-	workerWG sync.WaitGroup
 
 	shutdownOnce sync.Once
 	shutdownErr  error
 }
 
-// New boots the serving layer on an already-running system: spawns one
-// worker process per shard (each claiming a simulated core and attaching
-// to the shared RedisJMP state, creating it if absent) and starts the
-// accept loop on ln. The caller owns ln's address; the server owns closing
-// it at Shutdown.
+// New boots the serving layer on an already-running system with the
+// single-store worker Pool as its backend, and starts the accept loop on
+// ln. The caller owns ln's address; the server owns closing it at Shutdown.
 func New(sys *core.System, ln net.Listener, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:    cfg,
-		sys:    sys,
-		obs:    sys.M.Observer(),
-		faults: sys.M.Faults,
-		ln:     ln,
-		conns:  map[net.Conn]struct{}{},
+	pool, err := NewPool(sys, cfg)
+	if err != nil {
+		return nil, err
 	}
-	ctrs := s.obs.InstallServerShards(cfg.Shards)
-	for i := 0; i < cfg.Shards; i++ {
-		sh, err := s.newShard(i, ctrs[i])
-		if err != nil {
-			for _, prev := range s.shards {
-				close(prev.queue)
-			}
-			s.workerWG.Wait()
-			return nil, fmt.Errorf("server: shard %d: %w", i, err)
-		}
-		s.shards = append(s.shards, sh)
+	return NewWithBackend(sys, ln, cfg, pool), nil
+}
+
+// NewWithBackend boots the front-end over an already-constructed backend.
+// The server takes ownership of the backend: Shutdown closes it.
+func NewWithBackend(sys *core.System, ln net.Listener, cfg Config, b Backend) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		obs:     sys.M.Observer(),
+		faults:  sys.M.Faults,
+		backend: b,
+		ln:      ln,
+		conns:   map[net.Conn]struct{}{},
 	}
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listener's address.
@@ -145,7 +127,7 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		id := s.nextConn.Add(1)
-		sh := s.shards[int(id)%len(s.shards)]
+		qid := s.backend.Bind(id)
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -154,10 +136,9 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[nc] = struct{}{}
 		s.mu.Unlock()
-		s.obs.ConnAccepted(id, uint64(sh.id))
-		sh.ctr.Conn()
+		s.obs.ConnAccepted(id, qid)
 		s.connWG.Add(1)
-		go s.serveConn(id, nc, sh)
+		go s.serveConn(id, nc)
 	}
 }
 
@@ -169,10 +150,10 @@ func (s *Server) dropConn(nc net.Conn) {
 }
 
 // Shutdown drains the server: stop accepting, unblock connection readers,
-// finish every in-flight command, stop the shard workers (each detaches
-// from the shared VASes and exits its process, handing its core and private
-// segments to the kernel reaper), and finally destroy the shared RedisJMP
-// state itself. After Shutdown returns, the only simulated memory still
+// finish every in-flight command, then close the backend (its workers
+// detach from shared state and exit their processes, handing cores and
+// private segments to the kernel reaper, and the shared store itself is
+// destroyed). After Shutdown returns, the only simulated memory still
 // allocated is what existed before New — the leak tests hold the server to
 // exactly that.
 func (s *Server) Shutdown() error {
@@ -192,37 +173,9 @@ func (s *Server) Shutdown() error {
 		s.mu.Unlock()
 		s.connWG.Wait()
 
-		// No reader can enqueue anymore; closing the queues lets each
-		// worker finish its backlog and tear itself down.
-		for _, sh := range s.shards {
-			close(sh.queue)
-		}
-		s.workerWG.Wait()
-		for _, sh := range s.shards {
-			if sh.err != nil {
-				s.shutdownErr = errors.Join(s.shutdownErr, fmt.Errorf("shard %d: %w", sh.id, sh.err))
-			}
-		}
-
-		// All clients are gone; destroy the shared VASes and store.
-		if err := s.destroyShared(); err != nil {
-			s.shutdownErr = errors.Join(s.shutdownErr, err)
-		}
+		// No reader can submit anymore; the backend drains its backlog
+		// and tears down its simulated state.
+		s.shutdownErr = s.backend.Close()
 	})
 	return s.shutdownErr
-}
-
-// destroyShared tears down the shared RedisJMP state through a short-lived
-// admin process (every worker has already detached and exited).
-func (s *Server) destroyShared() error {
-	proc, err := s.sys.NewProcess(core.Creds{UID: 1, GID: 1})
-	if err != nil {
-		return err
-	}
-	defer proc.Exit()
-	th, err := proc.NewThread()
-	if err != nil {
-		return err
-	}
-	return redis.Destroy(th)
 }

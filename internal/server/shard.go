@@ -2,7 +2,8 @@ package server
 
 import (
 	"errors"
-	"strings"
+	"fmt"
+	"sync"
 	"time"
 
 	"spacejmp/internal/core"
@@ -16,20 +17,42 @@ import (
 // per-cache-line copy of the payload. The RedisJMP fast path still elides
 // the *server-side* socket hop the paper measures — this is only the edge
 // the real TCP front-end adds — but charging it keeps the simulated cycle
-// accounts honest about where bytes went.
+// accounts honest about where bytes went. Exported because the cluster
+// router pays the same edge toll before deciding where a command runs.
 const (
-	netSyscall = 357 // enter/leave the kernel per recv or send
-	netPerLine = 200 // copy one cache line through the kernel
+	NetSyscall = 357 // enter/leave the kernel per recv or send
+	NetPerLine = 200 // copy one cache line through the kernel
 )
 
-// shard is one worker: a goroutine that owns a simulated core (via its
-// Thread) and executes requests from a bounded queue. Only this goroutine
-// ever drives the thread — core cycle counters are not atomic, and the
-// segment lock discipline (shared for GET, exclusive for SET) assumes one
-// execution context per core.
+// EdgeCycles is the modeled cost of moving n payload bytes across the
+// network edge in one direction.
+func EdgeCycles(n int) uint64 {
+	return NetSyscall + urpc.Lines(n)*NetPerLine
+}
+
+// Pool is the single-store Backend of §5.3: a sharded worker pool in which
+// every worker owns a simulated core (via its Thread) and attaches to the
+// same shared RedisJMP store, so every command runs the paper's fast path —
+// switch into the server VAS, operate on the lockable segment directly,
+// switch out. Connections are striped across shards at Bind time.
+type Pool struct {
+	sys    *core.System
+	obs    *stats.Sink
+	shards []*shard
+
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// shard is one pool worker: a goroutine that owns a simulated core and
+// executes requests from a bounded queue. Only this goroutine ever drives
+// the thread — core cycle counters are not atomic, and the segment lock
+// discipline (shared for GET, exclusive for SET) assumes one execution
+// context per core.
 type shard struct {
 	id    int
-	queue chan *request
+	queue chan *Request
 	ctr   *stats.ShardCounters
 
 	proc   *core.Process
@@ -37,8 +60,29 @@ type shard struct {
 	err    error // first teardown error, read after workerWG.Wait
 }
 
-func (s *Server) newShard(id int, ctr *stats.ShardCounters) (*shard, error) {
-	proc, err := s.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+// NewPool boots the worker pool on an already-running system: one worker
+// process per shard, each claiming a simulated core and attaching to the
+// shared RedisJMP state, creating it if absent.
+func NewPool(sys *core.System, cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	p := &Pool{sys: sys, obs: sys.M.Observer()}
+	ctrs := p.obs.InstallServerShards(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := p.newShard(i, cfg, ctrs[i])
+		if err != nil {
+			for _, prev := range p.shards {
+				close(prev.queue)
+			}
+			p.workerWG.Wait()
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		p.shards = append(p.shards, sh)
+	}
+	return p, nil
+}
+
+func (p *Pool) newShard(id int, cfg Config, ctr *stats.ShardCounters) (*shard, error) {
+	proc, err := p.sys.NewProcess(core.Creds{UID: 1, GID: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -47,12 +91,12 @@ func (s *Server) newShard(id int, ctr *stats.ShardCounters) (*shard, error) {
 		proc.Exit()
 		return nil, err
 	}
-	client, err := redis.NewClient(th, s.cfg.SegSize)
+	client, err := redis.NewClient(th, cfg.SegSize)
 	if err != nil {
 		proc.Exit()
 		return nil, err
 	}
-	if s.cfg.Tags && id == 0 {
+	if cfg.Tags && id == 0 {
 		if err := client.EnableTags(); err != nil {
 			proc.Exit()
 			return nil, err
@@ -60,26 +104,25 @@ func (s *Server) newShard(id int, ctr *stats.ShardCounters) (*shard, error) {
 	}
 	sh := &shard{
 		id:     id,
-		queue:  make(chan *request, s.cfg.QueueDepth),
+		queue:  make(chan *Request, cfg.QueueDepth),
 		ctr:    ctr,
 		proc:   proc,
 		client: client,
 	}
-	s.workerWG.Add(1)
-	go s.runShard(sh, th)
+	p.workerWG.Add(1)
+	go p.runShard(sh, th)
 	return sh, nil
 }
 
 // runShard is the worker loop: drain the queue until it closes, then
 // detach from the shared state and exit the process so the kernel reaper
 // reclaims the core and private segments.
-func (s *Server) runShard(sh *shard, th *core.Thread) {
-	defer s.workerWG.Done()
+func (p *Pool) runShard(sh *shard, th *core.Thread) {
+	defer p.workerWG.Done()
 	for r := range sh.queue {
 		sh.ctr.Command()
-		r.resp = s.exec(sh, th, r.args)
-		s.obs.ServerCommand(uint64(time.Since(r.start).Nanoseconds()))
-		close(r.done)
+		r.Finish(p.exec(sh, th, r.Args))
+		p.obs.ServerCommand(uint64(time.Since(r.Start).Nanoseconds()))
 	}
 	sh.err = sh.client.Close()
 	sh.proc.Exit()
@@ -88,71 +131,72 @@ func (s *Server) runShard(sh *shard, th *core.Thread) {
 // exec runs one already-parsed command on the worker's thread. The worker
 // charges its core for the network receive and reply (cache-line copies
 // through the kernel) before running the RedisJMP fast path.
-func (s *Server) exec(sh *shard, th *core.Thread, args []string) []byte {
+func (p *Pool) exec(sh *shard, th *core.Thread, args []string) []byte {
 	var n int
 	for _, a := range args {
 		n += len(a)
 	}
-	th.Core.AddCycles(netSyscall + urpc.Lines(n)*netPerLine)
-	resp := s.exec1(sh, args)
-	th.Core.AddCycles(netSyscall + urpc.Lines(len(resp))*netPerLine)
+	th.Core.AddCycles(EdgeCycles(n))
+	resp := redis.Execute(sh.client, args)
+	th.Core.AddCycles(EdgeCycles(len(resp)))
 	return resp
 }
 
-func (s *Server) exec1(sh *shard, args []string) []byte {
-	if len(args) == 0 {
-		return redis.EncodeError("empty command")
-	}
-	switch strings.ToUpper(args[0]) {
-	case "GET":
-		if len(args) != 2 {
-			return redis.EncodeWrongArity(args[0])
-		}
-		v, ok, err := sh.client.Get(args[1])
-		if err != nil {
-			return redis.EncodeError(err.Error())
-		}
-		if !ok {
-			return redis.EncodeBulk(nil)
-		}
-		return redis.EncodeBulk(v)
-	case "SET":
-		if len(args) != 3 {
-			return redis.EncodeWrongArity(args[0])
-		}
-		if err := sh.client.Set(args[1], []byte(args[2])); err != nil {
-			if errors.Is(err, redis.ErrStoreFull) {
-				return redis.EncodeError("OOM store segment full")
-			}
-			return redis.EncodeError(err.Error())
-		}
-		return redis.EncodeSimple("OK")
-	case "DEL":
-		if len(args) != 2 {
-			return redis.EncodeWrongArity(args[0])
-		}
-		found, err := sh.client.Del(args[1])
-		if err != nil {
-			return redis.EncodeError(err.Error())
-		}
-		if found {
-			return redis.EncodeInt(1)
-		}
-		return redis.EncodeInt(0)
-	case "PING":
-		if len(args) > 2 {
-			return redis.EncodeWrongArity(args[0])
-		}
-		if len(args) == 2 {
-			return redis.EncodeBulk([]byte(args[1]))
-		}
-		return redis.EncodeSimple("PONG")
-	case "ECHO":
-		if len(args) != 2 {
-			return redis.EncodeWrongArity(args[0])
-		}
-		return redis.EncodeBulk([]byte(args[1]))
+// Bind stripes the connection onto a shard.
+func (p *Pool) Bind(connID uint64) uint64 {
+	sh := p.shards[int(connID)%len(p.shards)]
+	sh.ctr.Conn()
+	return uint64(sh.id)
+}
+
+// Submit enqueues the request on the connection's shard, failing fast when
+// its queue is full.
+func (p *Pool) Submit(connID uint64, r *Request) bool {
+	sh := p.shards[int(connID)%len(p.shards)]
+	select {
+	case sh.queue <- r:
+		d := len(sh.queue)
+		sh.ctr.QueueDepth(d)
+		p.obs.ServerQueue(d)
+		return true
 	default:
-		return redis.EncodeUnknownCommand(args[0])
+		sh.ctr.Busy()
+		return false
 	}
+}
+
+// Close lets each worker finish its backlog and tear itself down, then
+// destroys the shared RedisJMP state. After Close returns, the only
+// simulated memory still allocated is what existed before NewPool.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() {
+		for _, sh := range p.shards {
+			close(sh.queue)
+		}
+		p.workerWG.Wait()
+		for _, sh := range p.shards {
+			if sh.err != nil {
+				p.closeErr = errors.Join(p.closeErr, fmt.Errorf("shard %d: %w", sh.id, sh.err))
+			}
+		}
+		if err := p.destroyShared(); err != nil {
+			p.closeErr = errors.Join(p.closeErr, err)
+		}
+	})
+	return p.closeErr
+}
+
+// destroyShared tears down the shared RedisJMP state through a short-lived
+// admin process (every worker has already detached and exited).
+func (p *Pool) destroyShared() error {
+	proc, err := p.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return err
+	}
+	defer proc.Exit()
+	th, err := proc.NewThread()
+	if err != nil {
+		return err
+	}
+	return redis.Destroy(th)
 }

@@ -1,0 +1,118 @@
+package stats
+
+import "sync/atomic"
+
+// Cluster-layer counters. The cluster router serves every command one of
+// two ways — a VAS switch onto a co-resident shard's store, or a urpc call
+// to a remote shard node — and the whole point of the layer (paper §5.3,
+// Figure 7) is comparing what the two modes cost. The sink therefore keeps,
+// besides per-node routing counts, a cycle histogram per mode: the worker
+// core's simulated-cycle delta across one request, so the local and remote
+// distributions can be read side by side from one snapshot.
+
+// clusterCounters is the sink's cluster-layer block.
+type clusterCounters struct {
+	local    atomic.Uint64 // commands served on the shared-VAS fast path
+	remote   atomic.Uint64 // commands served over urpc
+	timeouts atomic.Uint64 // remote commands whose retries were exhausted
+
+	localCycles  Hist // worker-core cycles per locally-served command
+	remoteCycles Hist // worker-core cycles per remotely-served command
+	urpcCycles   Hist // cycles of the urpc Call alone (transfer + dispatch + server work)
+
+	nodes atomic.Pointer[[]NodeCounters]
+}
+
+// NodeCounters is one shard node's routing activity: how many commands the
+// router served against it locally, remotely, and how many remote calls
+// timed out. Multi-key commands count once per node they touch.
+type NodeCounters struct {
+	local    atomic.Uint64
+	remote   atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// InstallClusterNodes sizes the per-node counter table. Safe on nil.
+func (s *Sink) InstallClusterNodes(n int) {
+	if s == nil {
+		return
+	}
+	table := make([]NodeCounters, n)
+	s.cluster.nodes.Store(&table)
+}
+
+func (s *Sink) clusterNode(node int) *NodeCounters {
+	nodes := s.cluster.nodes.Load()
+	if nodes == nil || node < 0 || node >= len(*nodes) {
+		return nil
+	}
+	return &(*nodes)[node]
+}
+
+// ClusterLocal records one command (or one node's share of a multi-key
+// command) served on the shared-VAS fast path, with the worker-core cycles
+// it cost. Safe on nil.
+func (s *Sink) ClusterLocal(node int, cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.local.Add(1)
+	s.cluster.localCycles.Observe(cycles)
+	if nc := s.clusterNode(node); nc != nil {
+		nc.local.Add(1)
+	}
+}
+
+// ClusterRemote records one command (or one node's share of a multi-key
+// command) served over urpc, with the worker-core cycles it cost end to
+// end, and traces it. Safe on nil.
+func (s *Sink) ClusterRemote(node int, cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.remote.Add(1)
+	s.cluster.remoteCycles.Observe(cycles)
+	if nc := s.clusterNode(node); nc != nil {
+		nc.remote.Add(1)
+	}
+	s.Trace(Event{Kind: EvRemoteCall, Core: -1, A: uint64(node), B: cycles})
+}
+
+// ClusterURPCCall records the cycle cost of one urpc round trip by itself
+// (cache-line transfers, dispatch, and the server-side execution, but not
+// the router's serialize/route work around it). Safe on nil.
+func (s *Sink) ClusterURPCCall(cycles uint64) {
+	if s != nil {
+		s.cluster.urpcCycles.Observe(cycles)
+	}
+}
+
+// ClusterTimeout records one remote call abandoned after retry exhaustion.
+// Safe on nil.
+func (s *Sink) ClusterTimeout(node int) {
+	if s == nil {
+		return
+	}
+	s.cluster.timeouts.Add(1)
+	if nc := s.clusterNode(node); nc != nil {
+		nc.timeouts.Add(1)
+	}
+}
+
+// ClusterRemoteTotal returns the running count of remotely-served commands.
+// A single atomic load — safe to poll while the cluster runs, unlike a full
+// Snapshot of a live machine.
+func (s *Sink) ClusterRemoteTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.remote.Load()
+}
+
+// ClusterLocalTotal returns the running count of locally-served commands.
+func (s *Sink) ClusterLocalTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.local.Load()
+}

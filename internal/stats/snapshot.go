@@ -105,6 +105,28 @@ type ServerSnap struct {
 	Shards []ShardSnap `json:"shards,omitempty"`
 }
 
+// NodeSnap is one cluster shard node's routing activity.
+type NodeSnap struct {
+	Local    uint64 `json:"local"`
+	Remote   uint64 `json:"remote"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// ClusterSnap is the cluster layer's view: how many commands were served on
+// the shared-VAS fast path versus over urpc, what each mode cost in worker
+// cycles, and the per-node breakdown.
+type ClusterSnap struct {
+	Local    uint64 `json:"local"`
+	Remote   uint64 `json:"remote"`
+	Timeouts uint64 `json:"timeouts"`
+
+	LocalCycles    HistSnap `json:"local_cycles"`
+	RemoteCycles   HistSnap `json:"remote_cycles"`
+	URPCCallCycles HistSnap `json:"urpc_call_cycles"`
+
+	Nodes []NodeSnap `json:"nodes,omitempty"`
+}
+
 // Snapshot is an immutable, point-in-time copy of every counter the
 // observability layer maintains. It shares no memory with the live Sink:
 // mutating the machine after Snapshot() leaves the snapshot unchanged.
@@ -118,6 +140,7 @@ type Snapshot struct {
 	VM       VMSnap                 `json:"vm"`
 	Syscalls map[string]HistSnap    `json:"syscalls,omitempty"`
 	Server   *ServerSnap            `json:"server,omitempty"`
+	Cluster  *ClusterSnap           `json:"cluster,omitempty"`
 
 	LockWaitNs     HistSnap `json:"lock_wait_ns"`
 	LockHoldCycles HistSnap `json:"lock_hold_cycles"`
@@ -218,6 +241,28 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		snap.Server = ss
 	}
+	if cl := (&s.cluster); cl.local.Load() != 0 || cl.remote.Load() != 0 || cl.timeouts.Load() != 0 {
+		cs := &ClusterSnap{
+			Local:          cl.local.Load(),
+			Remote:         cl.remote.Load(),
+			Timeouts:       cl.timeouts.Load(),
+			LocalCycles:    cl.localCycles.snapshot(),
+			RemoteCycles:   cl.remoteCycles.snapshot(),
+			URPCCallCycles: cl.urpcCycles.snapshot(),
+		}
+		if nodes := cl.nodes.Load(); nodes != nil {
+			cs.Nodes = make([]NodeSnap, len(*nodes))
+			for i := range *nodes {
+				nc := &(*nodes)[i]
+				cs.Nodes[i] = NodeSnap{
+					Local:    nc.local.Load(),
+					Remote:   nc.remote.Load(),
+					Timeouts: nc.timeouts.Load(),
+				}
+			}
+		}
+		snap.Cluster = cs
+	}
 	if t := s.tracer.Load(); t != nil {
 		snap.TraceRecorded = t.Recorded()
 		snap.TraceDropped = t.Dropped()
@@ -310,6 +355,31 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 		}
 		out.Server = d
 	}
+	if s.Cluster != nil {
+		b := before.Cluster
+		if b == nil {
+			b = &ClusterSnap{}
+		}
+		d := &ClusterSnap{
+			Local:          s.Cluster.Local - b.Local,
+			Remote:         s.Cluster.Remote - b.Remote,
+			Timeouts:       s.Cluster.Timeouts - b.Timeouts,
+			LocalCycles:    s.Cluster.LocalCycles.sub(b.LocalCycles),
+			RemoteCycles:   s.Cluster.RemoteCycles.sub(b.RemoteCycles),
+			URPCCallCycles: s.Cluster.URPCCallCycles.sub(b.URPCCallCycles),
+		}
+		d.Nodes = make([]NodeSnap, len(s.Cluster.Nodes))
+		for i, n := range s.Cluster.Nodes {
+			dn := n
+			if i < len(b.Nodes) {
+				dn.Local -= b.Nodes[i].Local
+				dn.Remote -= b.Nodes[i].Remote
+				dn.Timeouts -= b.Nodes[i].Timeouts
+			}
+			d.Nodes[i] = dn
+		}
+		out.Cluster = d
+	}
 	out.LockWaitNs = s.LockWaitNs.sub(before.LockWaitNs)
 	out.LockHoldCycles = s.LockHoldCycles.sub(before.LockHoldCycles)
 	out.Shootdowns = s.Shootdowns - before.Shootdowns
@@ -400,6 +470,24 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		for i, sh := range srv.Shards {
 			fmt.Fprintf(tw, "  shard %d\tconns %d\tcommands %d\tbusy %d\tqueue-max %d\n",
 				i, sh.Conns, sh.Commands, sh.Busy, sh.QueueMax)
+		}
+	}
+	if cl := s.Cluster; cl != nil {
+		fmt.Fprintf(tw, "cluster\tlocal %d\tremote %d\ttimeouts %d\n", cl.Local, cl.Remote, cl.Timeouts)
+		if cl.LocalCycles.Count != 0 {
+			fmt.Fprintf(tw, "  local-cyc\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+				cl.LocalCycles.Count, cl.LocalCycles.Mean(), cl.LocalCycles.Quantile(0.99), cl.LocalCycles.Max)
+		}
+		if cl.RemoteCycles.Count != 0 {
+			fmt.Fprintf(tw, "  remote-cyc\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+				cl.RemoteCycles.Count, cl.RemoteCycles.Mean(), cl.RemoteCycles.Quantile(0.99), cl.RemoteCycles.Max)
+		}
+		if cl.URPCCallCycles.Count != 0 {
+			fmt.Fprintf(tw, "  urpc-call-cyc\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+				cl.URPCCallCycles.Count, cl.URPCCallCycles.Mean(), cl.URPCCallCycles.Quantile(0.99), cl.URPCCallCycles.Max)
+		}
+		for i, n := range cl.Nodes {
+			fmt.Fprintf(tw, "  node %d\tlocal %d\tremote %d\ttimeouts %d\n", i, n.Local, n.Remote, n.Timeouts)
 		}
 	}
 	if s.TraceRecorded != 0 {

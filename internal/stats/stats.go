@@ -224,6 +224,10 @@ type Sink struct {
 	// per-shard counters); see server.go.
 	server serverCounters
 
+	// cluster is the cluster-layer block (local/remote routing counts and
+	// per-mode cycle histograms); see cluster.go.
+	cluster clusterCounters
+
 	tracer atomic.Pointer[Tracer]
 }
 

@@ -24,12 +24,15 @@ const (
 	// EvConnClose is a serving-layer connection teardown: A = connection
 	// id, B = commands served on it.
 	EvConnClose
+	// EvRemoteCall is one cluster command served over urpc: A = the shard
+	// node it was routed to, B = the worker-core cycles it cost end to end.
+	EvRemoteCall
 
 	// NumEvents is the number of event kinds.
-	NumEvents = int(EvConnClose) + 1
+	NumEvents = int(EvRemoteCall) + 1
 )
 
-var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close"}
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call"}
 
 func (k EventKind) String() string {
 	if int(k) < NumEvents {
@@ -65,6 +68,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d conn-open conn=%d shard=%d", e.Seq, e.A, e.B)
 	case EvConnClose:
 		return fmt.Sprintf("#%d conn-close conn=%d commands=%d", e.Seq, e.A, e.B)
+	case EvRemoteCall:
+		return fmt.Sprintf("#%d remote-call node=%d cycles=%d", e.Seq, e.A, e.B)
 	}
 	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
 	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 )
@@ -48,8 +49,26 @@ const DefaultTimeoutCycles = 1 << 14
 const DefaultMaxRetries = 8
 
 // ErrTimeout reports a Call whose request or response kept getting lost:
-// every retry timed out without a matching response arriving.
+// every retry timed out without a matching response arriving. Call returns
+// a *TimeoutError, which wraps both this sentinel and core.ErrTimeout.
 var ErrTimeout = errors.New("urpc: call timed out")
+
+// TimeoutError is the typed error a Call returns when it exhausts its
+// retries. It carries the request sequence number and the retry count, and
+// unwraps to both urpc.ErrTimeout and core.ErrTimeout so routing layers can
+// distinguish a retryable transport timeout from a payload error.
+type TimeoutError struct {
+	Seq     uint64 // sequence number of the abandoned request
+	Retries int    // re-sends performed before giving up
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("urpc: call timed out: seq %d after %d retries", e.Seq, e.Retries)
+}
+
+// Unwrap makes errors.Is(err, urpc.ErrTimeout) and errors.Is(err,
+// core.ErrTimeout) both hold.
+func (e *TimeoutError) Unwrap() []error { return []error{ErrTimeout, core.ErrTimeout} }
 
 // Lines returns the number of cache-line messages needed for n bytes. Every
 // transfer uses at least one line (a 64-bit key rides in the header line).
@@ -69,11 +88,16 @@ type Stats struct {
 	Delays uint64 // messages stalled by fault injection
 }
 
-// message is one ring slot: the sequence number rides in the cache line's
-// 8-byte header (already accounted for in PayloadPerLine), out of band of
-// the payload, so transfer costs depend only on payload size.
+// message is one ring slot: one cache line carrying at most PayloadPerLine
+// payload bytes. The frame's sequence number and a last-fragment flag ride
+// in the line's 8-byte header (already accounted for in PayloadPerLine),
+// out of band of the payload, so transfer costs depend only on payload
+// size. A value longer than one line is framed across consecutive slots and
+// reassembled by the receiver — the multi-slot framing variable-length
+// cluster values need.
 type message struct {
 	seq     uint64
+	last    bool // final fragment of its frame
 	payload []byte
 }
 
@@ -85,6 +109,7 @@ type Channel struct {
 	ring     []message
 	head     int // next slot to read
 	count    int // occupied slots
+	frames   int // complete frames queued
 	perLine  uint64
 	stats    Stats
 	capacity int
@@ -110,17 +135,20 @@ func (c *Channel) CrossSocket() bool { return !c.m.SameSocket(c.tx, c.rx) }
 // Stats returns a snapshot of the channel's counters.
 func (c *Channel) Stats() Stats { return c.stats }
 
-// Send enqueues a message, charging the sending core one cache-line
-// transfer per line. Fails when the ring is full (the caller polls). An
-// armed fault.URPCDrop point loses the message after the sender paid for
-// it — exactly how a lossy interconnect looks from the sending side.
+// Send enqueues one message, charging the sending core one cache-line
+// transfer per line. A payload longer than one line is framed across that
+// many ring slots; Send fails when the frame does not fit in the ring's
+// free slots (the caller polls). An armed fault.URPCDrop point loses the
+// whole frame after the sender paid for it — exactly how a lossy
+// interconnect looks from the sending side.
 func (c *Channel) Send(payload []byte) error { return c.sendSeq(0, payload) }
 
 func (c *Channel) sendSeq(seq uint64, payload []byte) error {
-	if c.count == c.capacity {
-		return fmt.Errorf("urpc: channel full (%d slots)", c.capacity)
-	}
 	lines := Lines(len(payload))
+	if c.count+int(lines) > c.capacity {
+		return fmt.Errorf("urpc: channel full (%d of %d slots free, frame needs %d)",
+			c.capacity-c.count, c.capacity, lines)
+	}
 	c.m.Cores[c.tx].AddCycles(lines * c.perLine)
 	if c.m.Faults.Fire(fault.URPCDelay) {
 		c.m.Cores[c.tx].AddCycles(DelayCycles)
@@ -132,35 +160,60 @@ func (c *Channel) sendSeq(seq uint64, payload []byte) error {
 		c.stats.Drops++
 		return nil
 	}
-	msg := message{seq: seq, payload: make([]byte, len(payload))}
-	copy(msg.payload, payload)
-	c.ring[(c.head+c.count)%c.capacity] = msg
-	c.count++
+	// Fragment into cache-line slots. The final fragment carries the last
+	// flag the receiver reassembles on; an empty payload is one empty,
+	// last fragment (the 64-bit-key-in-header case).
+	for i := uint64(0); i < lines; i++ {
+		lo := int(i) * PayloadPerLine
+		hi := lo + PayloadPerLine
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		frag := message{seq: seq, last: i == lines-1, payload: make([]byte, hi-lo)}
+		copy(frag.payload, payload[lo:hi])
+		c.ring[(c.head+c.count)%c.capacity] = frag
+		c.count++
+	}
+	c.frames++
 	return nil
 }
 
-// Recv dequeues the oldest message, charging the receiving core per line
-// plus dispatch. Fails when the ring is empty.
+// Recv dequeues the oldest message, reassembling its fragments and charging
+// the receiving core per line plus one dispatch. Fails when the ring holds
+// no complete frame.
 func (c *Channel) Recv() ([]byte, error) {
 	_, payload, err := c.recvSeq()
 	return payload, err
 }
 
 func (c *Channel) recvSeq() (uint64, []byte, error) {
-	if c.count == 0 {
+	if c.frames == 0 {
 		return 0, nil, fmt.Errorf("urpc: channel empty")
 	}
-	msg := c.ring[c.head]
-	c.ring[c.head] = message{}
-	c.head = (c.head + 1) % c.capacity
-	c.count--
-	c.m.Cores[c.rx].AddCycles(Lines(len(msg.payload))*c.perLine + DispatchCycles)
+	var payload []byte
+	var seq uint64
+	var lines uint64
+	for {
+		msg := c.ring[c.head]
+		c.ring[c.head] = message{}
+		c.head = (c.head + 1) % c.capacity
+		c.count--
+		lines++
+		seq = msg.seq
+		payload = append(payload, msg.payload...)
+		if msg.last {
+			break
+		}
+	}
+	c.frames--
+	c.m.Cores[c.rx].AddCycles(lines*c.perLine + DispatchCycles)
 	c.stats.Recvs++
-	return msg.seq, msg.payload, nil
+	return seq, payload, nil
 }
 
-// Len returns the number of queued messages.
-func (c *Channel) Len() int { return c.count }
+// Len returns the number of queued messages (complete frames, however many
+// slots each occupies).
+func (c *Channel) Len() int { return c.frames }
 
 // Handler processes a request and produces a response. It runs with the
 // server core's cycle counter active: any simulated memory work it performs
@@ -220,6 +273,11 @@ func (e *Endpoint) Retries() uint64 { return e.retries }
 // counters, exposing drop/delay accounting to callers.
 func (e *Endpoint) ChannelStats() (req, resp Stats) { return e.req.Stats(), e.resp.Stats() }
 
+// Pending returns the frames sitting unconsumed in either ring. A drained
+// endpoint reports zero: Call either completes a round trip (consuming the
+// response and any stale retries) or times out with nothing queued.
+func (e *Endpoint) Pending() int { return e.req.Len() + e.resp.Len() }
+
 // Call performs one RPC round trip and returns the response. The client
 // core's cycle delta across Call is the client-perceived latency the paper
 // plots in Figure 7.
@@ -278,7 +336,7 @@ func (e *Endpoint) Call(request []byte) ([]byte, error) {
 		// backing off exponentially.
 		client.AddCycles(e.TimeoutCycles << uint(try))
 	}
-	return nil, fmt.Errorf("%w: seq %d after %d retries", ErrTimeout, seq, e.MaxRetries)
+	return nil, &TimeoutError{Seq: seq, Retries: e.MaxRetries}
 }
 
 // CallLatency runs one call and returns the client-perceived latency in

@@ -36,4 +36,7 @@ go test -race ./...
 echo "== fuzz smoke (RESP parser) =="
 go test -run Fuzz -fuzz=FuzzReadCommand -fuzztime=10s ./internal/redis
 
+echo "== cluster smoke (3 shards, both serving paths) =="
+./scripts/cluster-smoke.sh
+
 echo "OK"
