@@ -12,11 +12,17 @@
 //	spacejmp-server [-addr host:port] [-shards n] [-queue n] [-pipeline n]
 //	                [-seg bytes] [-tags] [-machine M1|M2|M3|small] [-trace n]
 //	                [-cluster n] [-mode vas|urpc|auto] [-workers n]
-//	                [-admin host:port]
+//	                [-admin host:port] [-replicate] [-ship-every n]
+//	                [-kill-node n] [-kill-after d]
 //
 // With -admin, a plain HTTP surface serves /healthz, /stats (the live
 // observability snapshot as JSON), and /trace?n= (the newest trace-ring
-// events) while the server runs.
+// events) while the server runs; with a replicated cluster, /stats grows
+// a cluster_runtime block and /healthz turns 503 when a key range
+// degrades. With -replicate, every remote cluster node gets a warm
+// standby kept fresh by checkpoint shipping and a health monitor that
+// fails its key range over on crash; -kill-node/-kill-after stage a
+// crash for failover experiments.
 //
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // finishes in-flight commands, detaches every worker from the shared VASes
@@ -55,11 +61,25 @@ func main() {
 	modeFlag := flag.String("mode", "auto", "cluster node placement: vas, urpc, or auto")
 	workers := flag.Int("workers", 0, "cluster router workers (0 = -shards)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /healthz, /stats, /trace (empty disables)")
+	replicate := flag.Bool("replicate", false, "replicate remote cluster nodes to warm standbys with failover")
+	shipEvery := flag.Int("ship-every", 0, "ship a node's checkpoint after this many writes (0 = default)")
+	killNode := flag.Int("kill-node", -1, "crash this cluster node after -kill-after (testing failover)")
+	killAfter := flag.Duration("kill-after", 2*time.Second, "delay before -kill-node fires")
 	flag.Parse()
 
 	cfg, err := machineConfig(*machine)
 	if err != nil {
 		fatal(err)
+	}
+	if *replicate {
+		// Replication rides NVM checkpoint generations; give machines
+		// configured without persistent memory enough to hold them.
+		if cfg.Mem.NVMSize == 0 {
+			cfg.Mem.NVMSize = 256 << 20
+		}
+		if cfg.Mem.NVMSuperblock == 0 {
+			cfg.Mem.NVMSuperblock = 64 << 20
+		}
 	}
 	m := hw.NewMachine(cfg)
 	sys := kernel.New(m)
@@ -78,6 +98,7 @@ func main() {
 		Tags:          *tags,
 	}
 	var srv *server.Server
+	var router *cluster.Router
 	if *clusterN > 0 {
 		mode, err := cluster.ParseMode(*modeFlag)
 		if err != nil {
@@ -86,12 +107,14 @@ func main() {
 		if *workers <= 0 {
 			*workers = *shards
 		}
-		router, err := cluster.New(sys, cluster.Config{
+		router, err = cluster.New(sys, cluster.Config{
 			Nodes:      *clusterN,
 			Workers:    *workers,
 			Mode:       mode,
 			QueueDepth: *queue,
 			SegSize:    *segSize,
+			Replicate:  *replicate,
+			ShipEvery:  *shipEvery,
 		})
 		if err != nil {
 			fatal(err)
@@ -100,6 +123,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spacejmp-server: listening on %s (%s, queue %d, pipeline %d)\n",
 			srv.Addr(), cfg.Name, *queue, *pipeline)
 		fmt.Fprint(os.Stderr, router.String())
+		if *killNode >= 0 {
+			go func(id int, after time.Duration) {
+				time.Sleep(after)
+				if err := router.KillNode(id); err != nil {
+					fmt.Fprintf(os.Stderr, "spacejmp-server: kill-node: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "spacejmp-server: crashed node %d\n", id)
+			}(*killNode, *killAfter)
+		}
 	} else {
 		srv, err = server.New(sys, ln, srvCfg)
 		if err != nil {
@@ -115,7 +148,13 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("admin: %w", err))
 		}
-		admin = &http.Server{Handler: server.AdminHandler(sys)}
+		// The explicit nil guard matters: assigning a nil *cluster.Router
+		// straight into the interface would make it non-nil.
+		var cl server.ClusterStatus
+		if router != nil {
+			cl = router
+		}
+		admin = &http.Server{Handler: server.AdminHandler(sys, cl)}
 		go admin.Serve(aln)
 		fmt.Fprintf(os.Stderr, "spacejmp-server: admin on http://%s (/healthz /stats /trace)\n",
 			aln.Addr())

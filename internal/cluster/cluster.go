@@ -16,6 +16,13 @@
 //     The router's at-most-once Call survives a lossy interconnect with
 //     timeout/backoff/dedup, so loss degrades latency, never consistency.
 //
+// With replication on, every remote node also gets a warm standby: the
+// primary's store lives in NVM, checkpoint generations are shipped over
+// urpc to a standby segment/VAS pair, and a health monitor promotes the
+// standby when the primary dies — the paper's "data survives the process"
+// claim (§5.3) stretched across simulated machines. See DESIGN.md,
+// "Replication & failover".
+//
 // Every command's worker-core cycle delta is recorded per mode in
 // internal/stats, so one run yields the local-vs-remote cost distributions
 // side by side.
@@ -28,9 +35,11 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"spacejmp/internal/core"
 	"spacejmp/internal/redis"
@@ -56,6 +65,26 @@ type Config struct {
 	SegSize uint64
 	// Slots is the ring capacity of each urpc channel, in cache lines.
 	Slots int
+
+	// Replicate gives every remote node a warm standby replica, kept
+	// fresh by checkpoint shipping over urpc, and a health monitor (one
+	// more core) that fails a dead node's key range over to it. Requires
+	// a machine with an NVM superblock (mem.Config.NVMSuperblock).
+	Replicate bool
+	// ShipEvery triggers a checkpoint ship after this many buffered
+	// writes on a node.
+	ShipEvery int
+	// ShipInterval is the periodic ship cadence (ships are skipped while
+	// a node has nothing buffered).
+	ShipInterval time.Duration
+	// ProbeInterval is the health monitor's probe cadence.
+	ProbeInterval time.Duration
+	// ProbeThreshold is the consecutive failures that declare a node dead.
+	ProbeThreshold int
+	// DeltaLog bounds the per-node post-checkpoint write buffer; on
+	// overflow the node's failover degrades to checkpoint-only and the
+	// overflowed updates are reported lost.
+	DeltaLog int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +109,21 @@ func (c Config) withDefaults() Config {
 	if c.Slots <= 0 {
 		c.Slots = 256
 	}
+	if c.ShipEvery <= 0 {
+		c.ShipEvery = 128
+	}
+	if c.ShipInterval <= 0 {
+		c.ShipInterval = 200 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 25 * time.Millisecond
+	}
+	if c.ProbeThreshold <= 0 {
+		c.ProbeThreshold = 3
+	}
+	if c.DeltaLog <= 0 {
+		c.DeltaLog = 1024
+	}
 	return c
 }
 
@@ -87,17 +131,28 @@ func (c Config) withDefaults() Config {
 // (remote ones each claim a core and bootstrap their store behind a urpc
 // handler), then the router workers (each claims a front-end core, attaches
 // a client to every co-resident node's store, and connects an endpoint to
-// every remote node). The Router implements server.Backend, so it plugs
-// directly into server.NewWithBackend.
+// every remote node), then — with replication on — the health monitor. The
+// Router implements server.Backend, so it plugs directly into
+// server.NewWithBackend.
 //
-// Core budget: Workers + the number of remote nodes must not exceed the
-// machine's cores; claiming past the end fails here, not at runtime.
+// Core budget: Workers + remote nodes (+1 for the monitor when replicating
+// with any remote node) must not exceed the machine's cores; claiming past
+// the end fails here, not at runtime.
 func New(sys *core.System, cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	r := &Router{
 		sys: sys,
 		obs: sys.M.Observer(),
 		cfg: cfg,
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	if cfg.Replicate {
+		if _, sbSize := sys.M.PM.Superblock(); sbSize == 0 {
+			r.cancel()
+			return nil, fmt.Errorf("cluster: replication needs an NVM superblock (mem.Config.NVMSuperblock)")
+		}
+		r.shipCh = make(chan int, cfg.Nodes)
+		r.suspectCh = make(chan int, cfg.Nodes*4)
 	}
 	r.obs.InstallClusterNodes(cfg.Nodes)
 	ctrs := r.obs.InstallServerShards(cfg.Workers)
@@ -131,18 +186,30 @@ func New(sys *core.System, cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("cluster: wiring worker %d: %w", w.id, err)
 		}
 	}
-	// Only now do the worker goroutines start driving their cores.
+	if cfg.Replicate && len(r.replicatedNodes()) > 0 {
+		if err := r.newMonitor(); err != nil {
+			r.teardownPartial()
+			return nil, fmt.Errorf("cluster: health monitor: %w", err)
+		}
+	}
+	// Only now do the worker and monitor goroutines start driving their
+	// cores.
 	for _, w := range r.workers {
 		r.workerWG.Add(1)
 		go r.runWorker(w)
+	}
+	if r.mon != nil {
+		r.mgrWG.Add(1)
+		go r.runMonitor()
 	}
 	return r, nil
 }
 
 // teardownPartial unwinds a half-built cluster after a construction error:
-// no worker goroutine is running yet, so the constructor goroutine may
-// drive every thread.
+// no worker or monitor goroutine is running yet, so the constructor
+// goroutine may drive every thread.
 func (r *Router) teardownPartial() {
+	r.cancel()
 	for _, w := range r.workers {
 		for _, c := range w.locals {
 			if c != nil {
@@ -150,6 +217,9 @@ func (r *Router) teardownPartial() {
 			}
 		}
 		w.proc.Exit()
+	}
+	if r.mon != nil {
+		r.mon.proc.Exit()
 	}
 	for _, n := range r.nodes {
 		if n.client != nil {
@@ -162,8 +232,10 @@ func (r *Router) teardownPartial() {
 	r.destroyStores()
 }
 
-// destroyStores removes every node store that exists, through a short-lived
-// admin process.
+// destroyStores removes every node store (and standby replica) that exists,
+// through a short-lived admin process, and frees the scratch heaps orphaned
+// by crashed node processes — the reaper only reclaims private segments,
+// and a crashed client's scratch heap is a named global one.
 func (r *Router) destroyStores() error {
 	proc, err := r.sys.NewProcess(core.Creds{UID: 1, GID: 1})
 	if err != nil {
@@ -180,16 +252,33 @@ func (r *Router) destroyStores() error {
 		if err != nil && !errors.Is(err, core.ErrNotFound) {
 			errs = errors.Join(errs, fmt.Errorf("node %d store: %w", i, err))
 		}
+		err = redis.DestroyNamed(th, redis.StandbyNames(i))
+		if err != nil && !errors.Is(err, core.ErrNotFound) {
+			errs = errors.Join(errs, fmt.Errorf("node %d standby: %w", i, err))
+		}
+	}
+	for _, n := range r.nodes {
+		if n.proc == nil || !n.crashed.Load() {
+			continue
+		}
+		if sid, err := th.SegFind(redis.ScratchName(n.names, n.proc.PID)); err == nil {
+			if ferr := th.SegFree(sid); ferr != nil {
+				errs = errors.Join(errs, fmt.Errorf("node %d scratch: %w", n.id, ferr))
+			}
+		}
 	}
 	return errs
 }
 
-// Close drains the cluster: the workers finish their backlogs, close their
-// clients and exit (releasing front-end cores), then the remote node
-// processes exit, and finally every node store is destroyed. After Close
-// the only simulated memory left is what existed before New.
+// Close drains the cluster: the monitor stops (its timers die with the
+// router context), the workers finish their backlogs, close their clients
+// and exit (releasing front-end cores), then the remote node processes
+// exit, and finally every node store is destroyed. After Close the only
+// simulated memory left is what existed before New.
 func (r *Router) Close() error {
 	r.closeOnce.Do(func() {
+		r.cancel()
+		r.mgrWG.Wait()
 		for _, w := range r.workers {
 			close(w.queue)
 		}
@@ -200,8 +289,12 @@ func (r *Router) Close() error {
 			}
 		}
 		// No worker can call into a node anymore; this goroutine may now
-		// drive the node threads for teardown.
+		// drive the node threads for teardown. Crashed processes are
+		// already gone — the reaper ran at crash time.
 		for _, n := range r.nodes {
+			if n.crashed.Load() {
+				continue
+			}
 			if n.client != nil {
 				if err := n.client.Close(); err != nil {
 					r.closeErr = errors.Join(r.closeErr, fmt.Errorf("node %d: %w", n.id, err))
@@ -219,19 +312,35 @@ func (r *Router) Close() error {
 }
 
 // PendingFrames returns the urpc frames sitting unconsumed across every
-// worker↔node channel pair. On a loss-free interconnect a drained cluster
-// reports zero; the drain test holds it to that.
+// channel into each remote node — the workers' data endpoints and the
+// monitor's probe endpoints. On a loss-free interconnect a drained cluster
+// reports zero; the drain test holds it to that. Safe to call while the
+// cluster serves: every channel into a node is only driven under that
+// node's mutex, which this takes per node.
 func (r *Router) PendingFrames() int {
-	var n int
-	for _, w := range r.workers {
-		for _, ep := range w.endpoints {
-			n += ep.Pending()
+	var total int
+	for _, n := range r.nodes {
+		if n.local {
+			continue
 		}
+		n.mu.Lock()
+		for _, w := range r.workers {
+			if ep := w.endpoints[n.id]; ep != nil {
+				total += ep.Pending()
+			}
+		}
+		if r.mon != nil {
+			if ep := r.mon.eps[n.id]; ep != nil {
+				total += ep.Pending()
+			}
+		}
+		n.mu.Unlock()
 	}
-	return n
+	return total
 }
 
-// Router routes RESP commands to shard nodes. It implements server.Backend.
+// Router routes RESP commands to shard nodes. It implements server.Backend
+// and server.ClusterStatus.
 type Router struct {
 	sys *core.System
 	obs *stats.Sink
@@ -239,8 +348,22 @@ type Router struct {
 
 	workers []*worker
 	nodes   []*node
+	mon     *monitor
+
+	// ctx is the router's lifetime: the monitor's timers and waits hang
+	// off it, so Close cancels them instead of leaking them.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// topoMu orders routing-entry flips (promotions) against the workers'
+	// path resolution.
+	topoMu sync.RWMutex
+
+	shipCh    chan int // monitor pokes: write-count ship triggers
+	suspectCh chan int // monitor pokes: data-path timeout evidence
 
 	workerWG  sync.WaitGroup
+	mgrWG     sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"runtime"
 	"strings"
@@ -23,7 +24,13 @@ import (
 // router).
 func startCluster(t *testing.T, cfg Config, reg *fault.Registry) (*hw.Machine, *Router, *server.Server) {
 	t.Helper()
-	m := hw.NewMachine(hw.SmallTest())
+	hwCfg := hw.SmallTest()
+	if cfg.Replicate {
+		// Checkpoint shipping needs somewhere durable to put generations;
+		// the small test machine has NVM but no superblock by default.
+		hwCfg.Mem.NVMSuperblock = 1 << 20
+	}
+	m := hw.NewMachine(hwCfg)
 	if reg != nil {
 		m.SetFaults(reg)
 	}
@@ -276,16 +283,19 @@ func TestClusterRemoteTimeout(t *testing.T) {
 
 	var re redis.ReplyError
 	_, _, err = roundTrip(t, nc, br, "SET", kRemote, "x")
-	if !errors.As(err, &re) || !strings.Contains(string(re), "timeout") {
-		t.Fatalf("partitioned SET: want timeout error reply, got %v", err)
+	if !errors.As(err, &re) || !errors.Is(re, redis.ErrShardTimeout) {
+		t.Fatalf("partitioned SET: want SHARDTIMEOUT error reply, got %v", err)
+	}
+	if !redis.IsRetryableReply(re) {
+		t.Fatalf("shard timeout %q not classified retryable", re)
 	}
 	if v, _, err := roundTrip(t, nc, br, "SET", kLocal, "y"); err != nil || string(v) != "OK" {
 		t.Fatalf("local SET during partition: %q %v", v, err)
 	}
 	// An MGET touching the dead node fails whole; one avoiding it works.
 	_, _, err = roundTrip(t, nc, br, "MGET", kLocal, kRemote)
-	if !errors.As(err, &re) || !strings.Contains(string(re), "timeout") {
-		t.Fatalf("MGET across partition: want timeout error reply, got %v", err)
+	if !errors.As(err, &re) || !errors.Is(re, redis.ErrShardTimeout) {
+		t.Fatalf("MGET across partition: want SHARDTIMEOUT error reply, got %v", err)
 	}
 	reg.Reset()
 
@@ -393,6 +403,273 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if obs.ClusterLocalTotal() == 0 {
 		t.Error("no local commands served")
+	}
+}
+
+// replicatedConfig is the smallest replicated cluster the 4-core test
+// machine can host: 2 workers + 1 remote node + the health monitor claim
+// every core, and the aggressive timers keep failover inside test budgets.
+func replicatedConfig() Config {
+	return Config{
+		Nodes: 3, Workers: 2, Mode: ModeAuto, Locals: 2,
+		SegSize:        1 << 20,
+		Replicate:      true,
+		ShipEvery:      8,
+		ShipInterval:   25 * time.Millisecond,
+		ProbeInterval:  2 * time.Millisecond,
+		ProbeThreshold: 3,
+		DeltaLog:       256,
+	}
+}
+
+// waitFor polls cond until it holds or the deadline trips.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClusterFailoverUnderLoad is the headline failover scenario: a
+// replicated cluster takes pipelined SET/GET/MGET load, the remote shard
+// node is crashed mid-run by the cluster.node.crash fault point, and the
+// health monitor promotes its warm standby. The load must finish with zero
+// verification failures and zero hard errors (commands caught mid-failover
+// come back as retryable timeouts, counted busy), and a key checkpointed
+// before the crash must still read back correctly from the standby.
+func TestClusterFailoverUnderLoad(t *testing.T) {
+	reg := fault.New(11)
+	cfg := replicatedConfig()
+	m, r, srv := startCluster(t, cfg, reg)
+	defer srv.Shutdown()
+	obs := m.Observer()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	// Seed a durable key on the remote node and write past ShipEvery so a
+	// checkpoint generation carrying it lands on the standby.
+	kRemote := keyOnNode(t, r, 2)
+	shipsBefore := obs.ClusterShipsTotal()
+	for i := 0; i <= cfg.ShipEvery; i++ {
+		if v, _, err := roundTrip(t, nc, br, "SET", kRemote, "survive\r\nme"); err != nil || string(v) != "OK" {
+			t.Fatalf("seed SET: %q %v", v, err)
+		}
+	}
+	waitFor(t, "checkpoint ship", func() bool { return obs.ClusterShipsTotal() > shipsBefore })
+
+	// Run the load, then crash the primary a beat in so the generator is
+	// mid-pipeline when the range fails over.
+	type loadOut struct {
+		res *server.LoadResult
+		err error
+	}
+	done := make(chan loadOut, 1)
+	go func() {
+		res, err := server.RunLoad(server.LoadConfig{
+			Addr:        srv.Addr().String(),
+			Conns:       4,
+			Pipeline:    4,
+			Requests:    160,
+			SetPercent:  25,
+			MGetPercent: 20,
+			MGetKeys:    3,
+			Keys:        128,
+			Seed:        11,
+		})
+		done <- loadOut{res, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	reg.Enable(fault.ClusterNodeCrash, fault.OnNth(1))
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Mismatches != 0 || out.res.Errors != 0 {
+		t.Fatalf("load across failover: %d mismatches, %d hard errors (busy %d)",
+			out.res.Mismatches, out.res.Errors, out.res.Busy)
+	}
+
+	waitFor(t, "standby promotion", func() bool { return obs.ClusterPromotionsTotal() == 1 })
+	if v, isNil, err := roundTrip(t, nc, br, "GET", kRemote); err != nil || isNil || string(v) != "survive\r\nme" {
+		t.Fatalf("checkpointed key after failover: %q nil=%v err=%v", v, isNil, err)
+	}
+
+	health := r.Health()
+	if len(health) != 3 {
+		t.Fatalf("health reports %d nodes", len(health))
+	}
+	h := health[2]
+	if !h.Promoted || h.Degraded || h.State != "healthy" {
+		t.Fatalf("failed-over node health: %+v", h)
+	}
+	snap := obs.Snapshot()
+	rep := snap.Cluster.Replication
+	if rep == nil || rep.Ships == 0 || rep.Promotions != 1 {
+		t.Fatalf("replication snapshot: %+v", rep)
+	}
+	// Updates may be lost in the crash window, but the loss is bounded by
+	// what was actually written after the last shipped checkpoint.
+	if max := out.res.Sets + uint64(cfg.ShipEvery) + 1; rep.LostUpdates > max {
+		t.Errorf("%d lost updates, more than the %d post-checkpoint writes", rep.LostUpdates, max)
+	}
+	if snap.FaultsInjected == 0 {
+		t.Error("crash fault not recorded as injected")
+	}
+}
+
+// TestClusterDoubleFaultDegrades tears every checkpoint write (the paper's
+// torn-write power-failure model) so no generation ever validates, then
+// kills the primary: promotion finds neither an applied standby image nor a
+// recoverable checkpoint, and the range must degrade to typed errors — not
+// panic, and not take the rest of the key space down.
+func TestClusterDoubleFaultDegrades(t *testing.T) {
+	reg := fault.New(3)
+	// Each checkpoint is exactly two superblock writes — payload then
+	// header — and nothing else in the serving path uses mem.WriteAt, so
+	// the even-hit policy tears every header: magic lands, CRC doesn't.
+	reg.Enable(fault.MemWriteTorn, func(hit uint64, _ *rand.Rand) bool { return hit%2 == 0 })
+	cfg := replicatedConfig()
+	cfg.ShipEvery = 4
+	m, r, srv := startCluster(t, cfg, reg)
+	defer srv.Shutdown()
+	obs := m.Observer()
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	kLocal, kRemote := keyOnNode(t, r, 0), keyOnNode(t, r, 2)
+	for i := 0; i < cfg.ShipEvery; i++ {
+		if v, _, err := roundTrip(t, nc, br, "SET", kRemote, "doomed"); err != nil || string(v) != "OK" {
+			t.Fatalf("SET: %q %v", v, err)
+		}
+	}
+	// Both superblock slots take a torn generation before the crash.
+	waitFor(t, "two failed ships", func() bool {
+		snap := obs.Snapshot()
+		return snap.Cluster != nil && snap.Cluster.Replication != nil &&
+			snap.Cluster.Replication.ShipFailures >= 2
+	})
+
+	if err := r.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "range degraded", func() bool {
+		return r.Health()[2].State == "degraded"
+	})
+
+	var re redis.ReplyError
+	_, _, err = roundTrip(t, nc, br, "GET", kRemote)
+	if !errors.As(err, &re) || !errors.Is(re, redis.ErrShardDegraded) {
+		t.Fatalf("degraded GET: want SHARDDEGRADED error reply, got %v", err)
+	}
+	if redis.IsRetryableReply(re) {
+		t.Errorf("degraded reply %q classified retryable", re)
+	}
+	if v, _, err := roundTrip(t, nc, br, "SET", kLocal, "alive"); err != nil || string(v) != "OK" {
+		t.Fatalf("local SET while range degraded: %q %v", v, err)
+	}
+
+	h := r.Health()[2]
+	if !h.Degraded || h.Promoted {
+		t.Fatalf("degraded node health: %+v", h)
+	}
+	if !strings.Contains(h.Detail, "no recoverable replica") {
+		t.Errorf("health detail %q does not explain the failed recovery", h.Detail)
+	}
+	if h.LostUpdates == 0 {
+		t.Error("degraded range reports no lost updates despite buffered writes")
+	}
+	if obs.ClusterPromotionsTotal() != 0 {
+		t.Error("promotion recorded despite unrecoverable replica")
+	}
+}
+
+// TestClusterReplicatedDrain extends the drain contract to the replication
+// machinery: with a monitor running, ships landed, a primary crashed and
+// its standby promoted, Shutdown must still reclaim every goroutine, every
+// urpc frame, and every simulated frame — including the crashed process's
+// orphaned store and scratch heap and the standby's segment and VASes.
+func TestClusterReplicatedDrain(t *testing.T) {
+	hwCfg := hw.SmallTest()
+	hwCfg.Mem.NVMSuperblock = 1 << 20
+	m := hw.NewMachine(hwCfg)
+	sys := kernel.New(m)
+	sys.EnableStats(1024)
+	base := m.PM.AllocatedBytes()
+	before := runtime.NumGoroutine()
+	obs := m.Observer()
+
+	cfg := replicatedConfig()
+	r, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewWithBackend(sys, ln, server.Config{}, r)
+
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	for node := 0; node < 3; node++ {
+		key := keyOnNode(t, r, node)
+		for i := 0; i <= cfg.ShipEvery; i++ {
+			v, _, err := roundTrip(t, nc, br, "SET", key, "drain\r\nme")
+			if err != nil || !bytes.Equal(v, []byte("OK")) {
+				t.Fatalf("SET node %d: %q %v", node, v, err)
+			}
+		}
+	}
+
+	// Crash the replicated primary and serve from its promoted standby, so
+	// teardown has real failover debris to reclaim.
+	if err := r.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "standby promotion", func() bool { return obs.ClusterPromotionsTotal() == 1 })
+	kRemote := keyOnNode(t, r, 2)
+	if v, isNil, err := roundTrip(t, nc, br, "GET", kRemote); err != nil || isNil || string(v) != "drain\r\nme" {
+		t.Fatalf("GET from standby: %q nil=%v err=%v", v, isNil, err)
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := r.PendingFrames(); n != 0 {
+		t.Errorf("%d urpc frames still queued after drain", n)
+	}
+	if err := m.PM.CheckLeaks(base); err != nil {
+		t.Errorf("frame leak after drain: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked: %d before, %d after\n%s",
+			before, n, buf[:runtime.Stack(buf, true)])
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Errorf("second shutdown: %v", err)
 	}
 }
 

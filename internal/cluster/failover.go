@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/redis"
+)
+
+// shipWire is the pre-encoded replication control command.
+var shipWire = redis.EncodeCommand(shipCommand)
+
+// ship moves one checkpoint generation from node n's primary to its
+// standby: the primary checkpoints its store into the machine's NVM
+// superblock and streams the validated generation's segment image back over
+// the monitor's multi-slot urpc channel; the monitor rebuilds the standby
+// from it.
+//
+// The node's mutex is held across the call AND the delta truncation:
+// everything buffered before the checkpoint is inside the shipped image, and
+// nothing can slip between the checkpoint and the truncation. If the apply
+// then fails, the taken window is restored — those writes are still newer
+// than whatever image the standby holds.
+func (m *monitor) ship(r *Router, n *node) {
+	if n.promoted.Load() || n.crashed.Load() {
+		return
+	}
+	switch n.curState() {
+	case StateFailed, StatePromoting, StateDegraded:
+		return
+	}
+	n.mu.Lock()
+	if n.crashed.Load() {
+		n.mu.Unlock()
+		return
+	}
+	resp, err := m.eps[n.id].CallBulk(shipWire)
+	if err != nil || len(resp) == 0 || n.crashed.Load() {
+		n.mu.Unlock()
+		r.obs.ClusterShipFailure(n.id)
+		m.noteFailure(r, n)
+		return
+	}
+	entries, dropped := n.takeDelta()
+	n.mu.Unlock()
+
+	payload, err := decodeShipReply(resp)
+	if err == nil {
+		var img core.SegmentImage
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); derr != nil {
+			err = fmt.Errorf("ship decode: %w", derr)
+		} else {
+			err = m.applyImage(n, &img)
+		}
+	}
+	if err != nil {
+		// The primary answered but could not produce (or we could not
+		// apply) a valid generation — a checkpoint fault, not dead-node
+		// evidence. Keep the window for the next attempt.
+		n.restoreDelta(entries, dropped)
+		r.obs.ClusterShipFailure(n.id)
+		return
+	}
+	r.obs.ClusterShip(n.id, uint64(len(payload)))
+}
+
+// decodeShipReply unwraps the RESP bulk carrying the gob image; a shard
+// error reply surfaces as the contained ReplyError.
+func decodeShipReply(resp []byte) ([]byte, error) {
+	v, isNil, err := redis.ReadReply(bufio.NewReader(bytes.NewReader(resp)))
+	if err != nil {
+		return nil, err
+	}
+	if isNil || len(v) == 0 {
+		return nil, fmt.Errorf("empty ship reply")
+	}
+	return v, nil
+}
+
+// promote fails node n's range over to its standby. The standby is rebuilt
+// from the last shipped generation (or, if no ship ever landed, from the
+// newest generation still in the shared NVM superblock — the primary's
+// store frames survive its process), the bounded post-checkpoint delta is
+// replayed in order, and the routing entry flips under the topology lock.
+// If the delta window overflowed, replaying a suffix would reorder history:
+// promotion degrades to checkpoint-only and every buffered update is
+// counted lost. If no valid image exists at all, the range is degraded.
+func (m *monitor) promote(r *Router, n *node) {
+	n.setState(StatePromoting, r.obs)
+	if !n.rep.applied {
+		img, err := r.sys.CheckpointSegment(n.names.Seg)
+		if err == nil {
+			err = m.applyImage(n, img)
+		}
+		if err != nil {
+			m.degrade(r, n, fmt.Errorf("no recoverable replica: %w", err))
+			return
+		}
+	}
+	entries, dropped := n.takeDelta()
+	var replayed, lost uint64
+	if dropped > 0 {
+		lost = dropped + uint64(len(entries))
+	} else if len(entries) > 0 {
+		replayed, lost = m.replay(r, n, entries)
+	}
+	n.lost.Add(lost)
+	r.topoMu.Lock()
+	n.promoted.Store(true)
+	n.state.Store(int32(StateHealthy))
+	r.topoMu.Unlock()
+	r.obs.ClusterNodeState(n.id, StateHealthy.String())
+	r.obs.ClusterPromotion(n.id, replayed, lost)
+}
+
+// replay applies the buffered post-checkpoint writes onto the standby, in
+// arrival order, through a temporary client on the monitor's thread.
+func (m *monitor) replay(r *Router, n *node, entries [][]string) (replayed, lost uint64) {
+	c, err := redis.NewClientNamed(m.th, r.cfg.SegSize, n.standby)
+	if err != nil {
+		return 0, uint64(len(entries))
+	}
+	defer c.Close()
+	for _, args := range entries {
+		resp := redis.Execute(c, args)
+		if len(resp) > 0 && resp[0] == '-' {
+			lost++
+		} else {
+			replayed++
+		}
+	}
+	return replayed, lost
+}
+
+// KillNode crashes remote node id abruptly: the process dies with whatever
+// it holds, exactly as the cluster.node.crash fault point does, and the
+// data path is fenced. Local (co-resident) nodes share the front-end
+// process and cannot be killed independently.
+func (r *Router) KillNode(id int) error {
+	if id < 0 || id >= len(r.nodes) {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	n := r.nodes[id]
+	if n.local || n.proc == nil {
+		return fmt.Errorf("cluster: node %d is co-resident; kill the server instead", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.crashed.Swap(true) {
+		n.proc.Crash()
+	}
+	return nil
+}

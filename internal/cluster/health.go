@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"spacejmp/internal/core"
+	"spacejmp/internal/fault"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/server"
+	"spacejmp/internal/urpc"
+)
+
+// monitor is the cluster's health-and-replication agent: one goroutine with
+// its own process, thread and front-end core, plus a private urpc endpoint
+// to every replicated node (probes must not queue behind data traffic on
+// the workers' channels). It ships checkpoints to the standbys, probes the
+// primaries, and drives the failover state machine.
+type monitor struct {
+	proc   *core.Process
+	th     *core.Thread
+	coreID int
+
+	eps   map[int]*urpc.Endpoint // replicated remote nodes, by node id
+	fails map[int]int            // consecutive probe failures
+	skip  map[int]int            // probe-backoff ticks remaining
+}
+
+// pingWire is the monitor's probe command, pre-encoded.
+var pingWire = redis.EncodeCommand("PING")
+
+// newMonitor claims a core for the health monitor and connects it to every
+// replicated node. Called after workers and nodes, so the monitor's core
+// lands after theirs.
+func (r *Router) newMonitor() error {
+	proc, err := r.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return err
+	}
+	th, err := proc.NewThread()
+	if err != nil {
+		proc.Exit()
+		return err
+	}
+	m := &monitor{
+		proc: proc, th: th, coreID: th.Core.ID,
+		eps:   map[int]*urpc.Endpoint{},
+		fails: map[int]int{},
+		skip:  map[int]int{},
+	}
+	for _, n := range r.nodes {
+		if n.replicated {
+			m.eps[n.id] = urpc.Connect(r.sys.M, m.coreID, n.coreID, r.cfg.Slots, n.handler)
+		}
+	}
+	r.mon = m
+	return nil
+}
+
+// runMonitor is the monitor goroutine: warm every standby with an initial
+// ship, then alternate probe ticks, periodic ships, write-count-triggered
+// ships, and worker timeout reports until the router closes. All timers are
+// tied to the router-lifetime context, so Close never leaves one running.
+func (r *Router) runMonitor() {
+	defer r.mgrWG.Done()
+	m := r.mon
+	defer m.proc.Exit()
+	probe := time.NewTicker(r.cfg.ProbeInterval)
+	defer probe.Stop()
+	ship := time.NewTicker(r.cfg.ShipInterval)
+	defer ship.Stop()
+	for _, n := range r.replicatedNodes() {
+		m.ship(r, n)
+	}
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case nid := <-r.shipCh:
+			m.ship(r, r.nodes[nid])
+		case nid := <-r.suspectCh:
+			// A worker's data call timed out: that is probe-grade
+			// evidence, counted toward the failure threshold so detection
+			// under load beats the probe cadence.
+			m.noteFailure(r, r.nodes[nid])
+		case <-ship.C:
+			for _, n := range r.replicatedNodes() {
+				if n.pendingWrites() {
+					m.ship(r, n)
+				}
+			}
+		case <-probe.C:
+			for _, n := range r.replicatedNodes() {
+				m.probe(r, n)
+			}
+		}
+	}
+}
+
+func (r *Router) replicatedNodes() []*node {
+	var out []*node
+	for _, n := range r.nodes {
+		if n.replicated {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// probe sends one PING on the monitor's private endpoint. The
+// cluster.probe.drop fault point models the probe lost in the interconnect;
+// consecutive failures back off (skip fails-1 ticks) so a flapping node is
+// not hammered while it is counted toward the threshold.
+func (m *monitor) probe(r *Router, n *node) {
+	if n.promoted.Load() {
+		return
+	}
+	switch n.curState() {
+	case StateFailed, StatePromoting, StateDegraded:
+		return
+	}
+	if m.skip[n.id] > 0 {
+		m.skip[n.id]--
+		return
+	}
+	ok := false
+	if !r.sys.M.Faults.Fire(fault.ClusterProbeDrop) {
+		_, _, err := n.call(m.eps[n.id], pingWire)
+		ok = err == nil
+	}
+	r.obs.ClusterProbe(ok)
+	if ok {
+		m.noteSuccess(r, n)
+	} else {
+		m.noteFailure(r, n)
+	}
+}
+
+func (m *monitor) noteSuccess(r *Router, n *node) {
+	m.fails[n.id], m.skip[n.id] = 0, 0
+	if n.curState() == StateSuspect {
+		n.setState(StateHealthy, r.obs)
+	}
+}
+
+// noteFailure counts one piece of dead-node evidence and, at the
+// threshold, declares the node failed and promotes its standby.
+func (m *monitor) noteFailure(r *Router, n *node) {
+	if !n.replicated || n.promoted.Load() {
+		return
+	}
+	switch n.curState() {
+	case StateFailed, StatePromoting, StateDegraded:
+		return
+	}
+	m.fails[n.id]++
+	m.skip[n.id] = m.fails[n.id] - 1
+	if n.curState() == StateHealthy {
+		n.setState(StateSuspect, r.obs)
+	}
+	if m.fails[n.id] >= r.cfg.ProbeThreshold {
+		n.setState(StateFailed, r.obs)
+		m.promote(r, n)
+	}
+}
+
+// degrade parks the node in the terminal degraded state: no serving copy of
+// the range exists, and everything buffered for replay is lost.
+func (m *monitor) degrade(r *Router, n *node, err error) {
+	cause := err.Error()
+	n.cause.Store(&cause)
+	entries, dropped := n.takeDelta()
+	lost := dropped + uint64(len(entries))
+	n.lost.Add(lost)
+	r.obs.ClusterLostUpdates(lost)
+	n.setState(StateDegraded, r.obs)
+}
+
+// Health reports every node's routing/failover status (server.ClusterStatus).
+func (r *Router) Health() []server.NodeHealth {
+	out := make([]server.NodeHealth, len(r.nodes))
+	for i, n := range r.nodes {
+		h := server.NodeHealth{Node: n.id, Local: n.local, State: StateHealthy.String()}
+		if !n.local {
+			st := n.curState()
+			h.State = st.String()
+			h.Replicated = n.replicated
+			h.Promoted = n.promoted.Load()
+			h.LostUpdates = n.lost.Load()
+			buffered, dropped := n.deltaLen()
+			h.DeltaBuffered = buffered + int(dropped)
+			if p := n.cause.Load(); p != nil {
+				h.Detail = *p
+			}
+			switch st {
+			case StateFailed, StatePromoting, StateDegraded:
+				h.Degraded = true
+			}
+			if h.Degraded && h.Detail == "" {
+				h.Detail = fmt.Sprintf("range %d not serving", n.id)
+			}
+		}
+		out[i] = h
+	}
+	return out
+}

@@ -1,12 +1,58 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/gob"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"spacejmp/internal/core"
+	"spacejmp/internal/fault"
+	"spacejmp/internal/mem"
 	"spacejmp/internal/redis"
+	"spacejmp/internal/stats"
 	"spacejmp/internal/urpc"
 )
+
+// NodeState is a remote node's position in the failover state machine. The
+// health monitor owns every transition except crash fencing (the data path
+// marks a node crashed the instant a call lands on a dead process).
+//
+//	healthy → suspect → (failed) → promoting → healthy   (standby serving)
+//	                                         ↘ degraded  (no recoverable image)
+type NodeState int32
+
+const (
+	// StateHealthy: the primary serves; probes answer.
+	StateHealthy NodeState = iota
+	// StateSuspect: probes are failing but the threshold hasn't been hit.
+	StateSuspect
+	// StateFailed: declared dead; promotion is about to start.
+	StateFailed
+	// StatePromoting: the standby is being rebuilt/replayed; the range
+	// refuses commands (retryable) until the routing entry flips.
+	StatePromoting
+	// StateDegraded: both the primary and a recoverable replica image are
+	// gone; the range returns hard errors. Terminal.
+	StateDegraded
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateFailed:
+		return "failed"
+	case StatePromoting:
+		return "promoting"
+	case StateDegraded:
+		return "degraded"
+	}
+	return "state(?)"
+}
 
 // node is one shard of the key space. A local node is pure state: its store
 // lives in globally named segments/VASes (redis.ShardNames) and every
@@ -24,15 +70,42 @@ type node struct {
 	proc   *core.Process
 	client *redis.Client
 	coreID int
+	sys    *core.System
 
 	// mu serializes the workers' calls into this node: urpc handlers run
 	// inline in the calling goroutine, and the node's core and thread
-	// tolerate exactly one driver at a time.
+	// tolerate exactly one driver at a time. The monitor's checkpoint ship
+	// holds it too, so a shipped image is a quiescent-store snapshot.
 	mu sync.Mutex
+
+	// Replication and failover (replicated remote nodes only).
+	replicated bool
+	standby    redis.Names  // the warm replica's segment/VAS names
+	state      atomic.Int32 // NodeState; monitor-owned transitions
+	crashed    atomic.Bool  // process died; fences the data path immediately
+	promoted   atomic.Bool  // the standby now serves this range (VAS fast path)
+	lost       atomic.Uint64
+	cause      atomic.Pointer[string] // degradation cause, for health reports
+	rep        replica                // monitor-owned standby bookkeeping
+
+	// delta buffers post-checkpoint writes for replay at promotion,
+	// bounded by Config.DeltaLog; overflow switches the node's failover to
+	// checkpoint-only and counts the updates that can no longer be
+	// replayed in order.
+	deltaMu      sync.Mutex
+	delta        [][]string
+	deltaDropped uint64
+}
+
+func (n *node) curState() NodeState { return NodeState(n.state.Load()) }
+
+func (n *node) setState(s NodeState, obs *stats.Sink) {
+	n.state.Store(int32(s))
+	obs.ClusterNodeState(n.id, s.String())
 }
 
 func (r *Router) newNode(id int, local bool) (*node, error) {
-	n := &node{id: id, local: local, names: redis.ShardNames(id)}
+	n := &node{id: id, local: local, names: redis.ShardNames(id), sys: r.sys}
 	if local {
 		// The store itself is bootstrapped lazily by the first worker
 		// client that attaches (wireWorker).
@@ -47,7 +120,15 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 		proc.Exit()
 		return nil, err
 	}
-	client, err := redis.NewClientNamed(th, r.cfg.SegSize, n.names)
+	var opts []core.SegOption
+	if r.cfg.Replicate {
+		// A replicated primary's store lives in NVM so checkpoint
+		// generations (the replication transport) cover it.
+		n.replicated = true
+		n.standby = redis.StandbyNames(id)
+		opts = append(opts, core.WithTier(mem.TierNVM))
+	}
+	client, err := redis.NewClientNamed(th, r.cfg.SegSize, n.names, opts...)
 	if err != nil {
 		proc.Exit()
 		return nil, err
@@ -56,24 +137,118 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 	return n, nil
 }
 
+// shipCommand is the replication control command a node's handler answers
+// with a checkpointed image of its own store segment.
+const shipCommand = "CLUSTER.SHIP"
+
 // handler is the node's urpc service routine: RESP in, RESP out. It runs
 // with the node's core active (under n.mu), so the decode, the VAS
 // switches, and the table walk are all charged to the node — and, because
 // the urpc client busy-waits, mirrored into the calling worker's latency.
+//
+// The cluster.node.crash fault point fires here, at dispatch: the process
+// dies between commands, never mid-mutation, which models a machine losing
+// power with a consistent store in NVM (the paper's §5.3 survival claim).
 func (n *node) handler(req []byte) []byte {
+	if n.sys.M.Faults.Fire(fault.ClusterNodeCrash) {
+		n.crashed.Store(true)
+		n.proc.Crash()
+		return nil
+	}
 	args, err := redis.DecodeCommand(req)
 	if err != nil {
 		return redis.EncodeError("protocol error: " + err.Error())
 	}
+	if len(args) == 1 && strings.EqualFold(args[0], shipCommand) {
+		return n.shipReply()
+	}
 	return redis.Execute(n.client, args)
+}
+
+// shipReply checkpoints the machine's NVM segments and returns this node's
+// store segment image, gob-encoded in a bulk reply. Runs on the node's core
+// with the store quiescent (the caller holds n.mu), so the image is a
+// consistent snapshot.
+func (n *node) shipReply() []byte {
+	if err := n.sys.Checkpoint(); err != nil {
+		return redis.EncodeError("ship: checkpoint: " + err.Error())
+	}
+	img, err := n.sys.CheckpointSegment(n.names.Seg)
+	if err != nil {
+		return redis.EncodeError("ship: " + err.Error())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return redis.EncodeError("ship: encode: " + err.Error())
+	}
+	return redis.EncodeBulk(buf.Bytes())
 }
 
 // call performs one serialized RPC into a remote node on the worker's
 // endpoint, reporting the cycles the urpc round trip alone cost the worker.
+//
+// A crashed node is fenced here: calls against a node known dead fail
+// without touching the channel, and a reply that raced with the crash — the
+// handler's nil tombstone arrives as an empty frame, or the crash bit was
+// set while the call was in flight — is refused as a timeout rather than
+// trusted. Late replies from a fenced primary never reach a client.
 func (n *node) call(ep *urpc.Endpoint, wire []byte) (resp []byte, cycles uint64, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.crashed.Load() {
+		return nil, 0, &urpc.TimeoutError{}
+	}
 	before := ep.ClientCore().Cycles()
 	resp, err = ep.Call(wire)
-	return resp, ep.ClientCore().Cycles() - before, err
+	cycles = ep.ClientCore().Cycles() - before
+	if err == nil && (len(resp) == 0 || n.crashed.Load()) {
+		return nil, cycles, &urpc.TimeoutError{}
+	}
+	return resp, cycles, err
+}
+
+// recordDelta buffers one applied write for replay at promotion. Returns
+// true when the buffered count crosses a ship trigger. Once the window
+// overflows the bound, order is unrecoverable: everything further is only
+// counted, and promotion degrades to checkpoint-only.
+func (n *node) recordDelta(args []string, bound, every int) (trigger bool) {
+	n.deltaMu.Lock()
+	defer n.deltaMu.Unlock()
+	if n.deltaDropped > 0 || len(n.delta) >= bound {
+		n.deltaDropped++
+		return false
+	}
+	n.delta = append(n.delta, args)
+	return every > 0 && len(n.delta)%every == 0
+}
+
+// takeDelta atomically drains the buffered window.
+func (n *node) takeDelta() (entries [][]string, dropped uint64) {
+	n.deltaMu.Lock()
+	defer n.deltaMu.Unlock()
+	entries, dropped = n.delta, n.deltaDropped
+	n.delta, n.deltaDropped = nil, 0
+	return entries, dropped
+}
+
+// restoreDelta prepends a window taken by a ship whose apply then failed:
+// the entries are still newer than the standby's image, so they must stay
+// ahead of anything buffered since.
+func (n *node) restoreDelta(entries [][]string, dropped uint64) {
+	n.deltaMu.Lock()
+	defer n.deltaMu.Unlock()
+	n.delta = append(entries, n.delta...)
+	n.deltaDropped += dropped
+}
+
+func (n *node) deltaLen() (buffered int, dropped uint64) {
+	n.deltaMu.Lock()
+	defer n.deltaMu.Unlock()
+	return len(n.delta), n.deltaDropped
+}
+
+func (n *node) pendingWrites() bool {
+	n.deltaMu.Lock()
+	defer n.deltaMu.Unlock()
+	return len(n.delta) > 0 || n.deltaDropped > 0
 }

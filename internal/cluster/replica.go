@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spacejmp/internal/arch"
+	"spacejmp/internal/core"
+	"spacejmp/internal/redis"
+)
+
+// replica is the monitor's bookkeeping for one node's warm standby: a copy
+// of the shard's lockable store segment, rebuilt from each shipped
+// checkpoint generation into its own globally named segment/VAS pair
+// (redis.StandbyNames). The standby lives in DRAM — it models a replica
+// machine's RAM, and it must not itself be swept into the next checkpoint
+// generation (which covers NVM segments only).
+//
+// Only the monitor goroutine touches replica fields; no lock needed.
+type replica struct {
+	applied bool   // the standby holds a validated generation
+	seq     uint64 // generation sequence applied
+	bytes   uint64 // page bytes in the applied image
+}
+
+// applyImage rebuilds node n's standby store from a checkpointed segment
+// image: tear down any previous standby (Restore semantics — replace, not
+// merge), allocate a fresh segment and read/write VAS pair under the
+// standby names, copy the image's pages in through a write attachment, and
+// validate the store root before declaring the standby warm.
+func (m *monitor) applyImage(n *node, img *core.SegmentImage) error {
+	th := m.th
+	if n.rep.applied {
+		n.rep.applied = false
+		if err := redis.DestroyNamed(th, n.standby); err != nil && !errors.Is(err, core.ErrNotFound) {
+			return fmt.Errorf("standby teardown: %w", err)
+		}
+	}
+	sid, err := th.SegAlloc(n.standby.Seg, redis.SegBase, img.Size, arch.PermRW, core.WithPageSize(img.PageSize))
+	if err != nil {
+		return fmt.Errorf("standby segment: %w", err)
+	}
+	vidW, err := th.VASCreate(n.standby.WriteVAS, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := th.SegAttachVAS(vidW, sid, arch.PermRW); err != nil {
+		return err
+	}
+	vidR, err := th.VASCreate(n.standby.ReadVAS, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := th.SegAttachVAS(vidR, sid, arch.PermRead); err != nil {
+		return err
+	}
+	h, err := th.VASAttach(vidW)
+	if err != nil {
+		return err
+	}
+	if err := th.VASSwitch(h); err != nil {
+		return err
+	}
+	var total uint64
+	for idx, page := range img.Pages {
+		base := redis.SegBase + arch.VirtAddr(idx*img.PageSize)
+		total += uint64(len(page))
+		for off := 0; off+8 <= len(page); off += 8 {
+			word := binary.LittleEndian.Uint64(page[off:])
+			if word == 0 {
+				continue // fresh frames read zero; skip the stores
+			}
+			if err := th.Store64(base+arch.VirtAddr(off), word); err != nil {
+				_ = th.VASSwitch(core.PrimaryHandle)
+				_ = th.VASDetach(h)
+				return fmt.Errorf("standby page %d: %w", idx, err)
+			}
+		}
+	}
+	// Validate the rebuilt store root from inside the VAS, so a bad image
+	// fails here (and degrades the node) instead of at first request.
+	_, err = redis.OpenStore(th, redis.SegBase)
+	if serr := th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if derr := th.VASDetach(h); err == nil {
+		err = derr
+	}
+	if err != nil {
+		return fmt.Errorf("standby validation: %w", err)
+	}
+	n.rep.applied, n.rep.seq, n.rep.bytes = true, img.Seq, total
+	return nil
+}

@@ -29,6 +29,7 @@ type worker struct {
 
 	locals    map[int]*redis.Client  // co-resident nodes, by node id
 	endpoints map[int]*urpc.Endpoint // remote nodes, by node id
+	standbys  map[int]*redis.Client  // promoted standbys, attached lazily
 	err       error                  // first teardown error, read after workerWG.Wait
 }
 
@@ -51,6 +52,7 @@ func (r *Router) newWorker(id int, ctr *stats.ShardCounters) (*worker, error) {
 		coreID:    th.Core.ID,
 		locals:    map[int]*redis.Client{},
 		endpoints: map[int]*urpc.Endpoint{},
+		standbys:  map[int]*redis.Client{},
 	}, nil
 }
 
@@ -72,7 +74,8 @@ func (r *Router) wireWorker(w *worker) error {
 }
 
 // runWorker drains the queue until it closes, then detaches from every
-// co-resident store and exits the process.
+// co-resident store (and any promoted standby it attached) and exits the
+// process.
 func (r *Router) runWorker(w *worker) {
 	defer r.workerWG.Done()
 	for req := range w.queue {
@@ -81,6 +84,11 @@ func (r *Router) runWorker(w *worker) {
 		r.obs.ServerCommand(uint64(time.Since(req.Start).Nanoseconds()))
 	}
 	for _, c := range w.locals {
+		if err := c.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	for _, c := range w.standbys {
 		if err := c.Close(); err != nil && w.err == nil {
 			w.err = err
 		}
@@ -147,25 +155,122 @@ func (r *Router) route(w *worker, args []string) []byte {
 	}
 }
 
+// path resolves how worker w reaches node n right now: a client for the
+// VAS fast path (co-resident store, or a promoted standby), an endpoint
+// for urpc, or a ready-made error reply when the range is fenced
+// (crashed/failing: retryable timeout) or degraded (hard error). The
+// promoted flag is read under the topology lock — the flip in promote is
+// the failover's linearization point.
+func (r *Router) path(w *worker, n *node) (*redis.Client, *urpc.Endpoint, []byte) {
+	if n.local {
+		return w.locals[n.id], nil, nil
+	}
+	r.topoMu.RLock()
+	promoted := n.promoted.Load()
+	st := n.curState()
+	r.topoMu.RUnlock()
+	if promoted {
+		c, err := w.standbyClient(r, n)
+		if err != nil {
+			return nil, nil, redis.EncodeError("standby attach: " + err.Error())
+		}
+		return c, nil, nil
+	}
+	switch st {
+	case StateDegraded:
+		cause := "no recoverable replica"
+		if p := n.cause.Load(); p != nil {
+			cause = *p
+		}
+		return nil, nil, redis.EncodeShardDegraded(n.id, cause)
+	case StateFailed, StatePromoting:
+		r.obs.ClusterTimeout(n.id)
+		return nil, nil, redis.EncodeShardTimeout(n.id)
+	}
+	if n.crashed.Load() {
+		// Fenced before the call: don't burn a full retry ladder against
+		// a node already known dead.
+		r.obs.ClusterTimeout(n.id)
+		r.noteSuspect(n)
+		return nil, nil, redis.EncodeShardTimeout(n.id)
+	}
+	return nil, w.endpoints[n.id], nil
+}
+
+// standbyClient lazily attaches this worker to node n's promoted standby.
+// Only reached when promoted is set, which guarantees the standby store
+// exists — NewClientNamed must find it, never bootstrap an empty one.
+func (w *worker) standbyClient(r *Router, n *node) (*redis.Client, error) {
+	if c := w.standbys[n.id]; c != nil {
+		return c, nil
+	}
+	c, err := redis.NewClientNamed(w.th, r.cfg.SegSize, n.standby)
+	if err != nil {
+		return nil, err
+	}
+	w.standbys[n.id] = c
+	return c, nil
+}
+
 // exec1 serves one single-key command on its node, local or remote.
 func (r *Router) exec1(w *worker, nid int, args []string) []byte {
 	n := r.nodes[nid]
-	if n.local {
+	c, ep, errReply := r.path(w, n)
+	if errReply != nil {
+		return errReply
+	}
+	if c != nil {
 		before := w.th.Core.Cycles()
-		resp := redis.Execute(w.locals[nid], args)
+		resp := redis.Execute(c, args)
 		r.obs.ClusterLocal(nid, w.th.Core.Cycles()-before)
 		return resp
 	}
 	wire := redis.EncodeCommand(args...)
 	before := w.th.Core.Cycles()
-	resp, callCycles, err := n.call(w.endpoints[nid], wire)
+	resp, callCycles, err := n.call(ep, wire)
 	total := w.th.Core.Cycles() - before
 	if err != nil {
 		return r.remoteError(nid, err)
 	}
 	r.obs.ClusterRemote(nid, total)
 	r.obs.ClusterURPCCall(callCycles)
+	r.bufferWrite(n, args, resp)
 	return resp
+}
+
+// bufferWrite records a successfully applied remote write in the node's
+// delta log (the post-checkpoint tail a promotion replays) and pokes the
+// monitor when the window crosses the ship trigger. The append happens
+// after the node's mutex is released, so an entry can land just after a
+// concurrent ship truncated the window — harmless, because SET/DEL replay
+// is idempotent.
+func (r *Router) bufferWrite(n *node, args []string, resp []byte) {
+	if !n.replicated || len(resp) == 0 || resp[0] == '-' {
+		return
+	}
+	switch strings.ToUpper(args[0]) {
+	case "SET", "DEL":
+	default:
+		return
+	}
+	if n.recordDelta(args, r.cfg.DeltaLog, r.cfg.ShipEvery) && r.shipCh != nil {
+		select {
+		case r.shipCh <- n.id:
+		default:
+		}
+	}
+}
+
+// noteSuspect forwards dead-node evidence from the data path to the
+// monitor, without blocking the worker.
+func (r *Router) noteSuspect(n *node) {
+	if r.suspectCh == nil || !n.replicated {
+		return
+	}
+	select {
+	case r.suspectCh <- n.id:
+	default:
+	}
 }
 
 // mget fans a multi-key GET out across the nodes its keys hash to and
@@ -190,9 +295,13 @@ func (r *Router) mget(w *worker, keys []string) []byte {
 			sub[j] = keys[i]
 		}
 		n := r.nodes[nid]
-		if n.local {
+		c, ep, errReply := r.path(w, n)
+		if errReply != nil {
+			return errReply
+		}
+		if c != nil {
 			before := w.th.Core.Cycles()
-			got, err := w.locals[nid].MGet(sub)
+			got, err := c.MGet(sub)
 			r.obs.ClusterLocal(nid, w.th.Core.Cycles()-before)
 			if err != nil {
 				return redis.EncodeError(err.Error())
@@ -204,7 +313,7 @@ func (r *Router) mget(w *worker, keys []string) []byte {
 		}
 		wire := redis.EncodeCommand(append([]string{"MGET"}, sub...)...)
 		before := w.th.Core.Cycles()
-		resp, callCycles, err := n.call(w.endpoints[nid], wire)
+		resp, callCycles, err := n.call(ep, wire)
 		total := w.th.Core.Cycles() - before
 		if err != nil {
 			return r.remoteError(nid, err)
@@ -231,12 +340,13 @@ func (r *Router) mget(w *worker, keys []string) []byte {
 
 // remoteError renders a failed remote call. A transport timeout — the typed
 // urpc.TimeoutError, recognizable end to end via core.ErrTimeout — becomes
-// a retryable error reply and a timeout count against the node; anything
-// else is a hard shard error.
+// the retryable SHARDTIMEOUT reply, a timeout count against the node, and
+// dead-node evidence for the monitor; anything else is a hard shard error.
 func (r *Router) remoteError(nid int, err error) []byte {
 	if errors.Is(err, urpc.ErrTimeout) {
 		r.obs.ClusterTimeout(nid)
-		return redis.EncodeError(fmt.Sprintf("shard timeout: node %d unreachable, retry", nid))
+		r.noteSuspect(r.nodes[nid])
+		return redis.EncodeShardTimeout(nid)
 	}
 	return redis.EncodeError(fmt.Sprintf("shard error: node %d: %s", nid, err))
 }

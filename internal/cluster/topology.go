@@ -63,6 +63,9 @@ type NodeInfo struct {
 	Core        int    `json:"core,omitempty"`         // remote nodes: the core its handler runs on
 	CrossSocket bool   `json:"cross_socket,omitempty"` // remote nodes: any worker reaches it across sockets
 	Store       string `json:"store"`
+	Replicated  bool   `json:"replicated,omitempty"` // a warm standby shadows this node
+	State       string `json:"state,omitempty"`      // remote nodes: failover state
+	Promoted    bool   `json:"promoted,omitempty"`   // the standby serves this range
 }
 
 // Topology returns the cluster's node placement.
@@ -72,6 +75,9 @@ func (r *Router) Topology() []NodeInfo {
 		info := NodeInfo{ID: n.id, Local: n.local, Store: n.names.Seg}
 		if !n.local {
 			info.Core = n.coreID
+			info.Replicated = n.replicated
+			info.State = n.curState().String()
+			info.Promoted = n.promoted.Load()
 			for _, w := range r.workers {
 				if ep := w.endpoints[n.id]; ep != nil && !r.sys.M.SameSocket(w.coreID, n.coreID) {
 					info.CrossSocket = true
@@ -95,7 +101,17 @@ func (r *Router) String() string {
 			if n.CrossSocket {
 				x = "cross socket"
 			}
-			fmt.Fprintf(&b, "  node %d: remote on core %d (urpc, %s)\n", n.ID, n.Core, x)
+			rep := ""
+			if n.Replicated {
+				rep = ", replicated"
+				if n.Promoted {
+					rep = ", standby promoted"
+				}
+				if n.State != "" && n.State != "healthy" {
+					rep += ", " + n.State
+				}
+			}
+			fmt.Fprintf(&b, "  node %d: remote on core %d (urpc, %s%s)\n", n.ID, n.Core, x, rep)
 		}
 	}
 	return b.String()

@@ -245,6 +245,77 @@ func (sys *System) Checkpoint() error {
 	return nil
 }
 
+// SegmentImage is one segment's content as recorded by a checkpoint
+// generation: the metadata needed to rebuild the segment elsewhere plus the
+// bytes of every page the segment had materialized. Pages is sparse — a
+// page index absent from the map was never touched and reads as zeros, so
+// an applier that skips it reproduces the same contents.
+type SegmentImage struct {
+	Name     string
+	Size     uint64
+	PageSize uint64
+	Lockable bool
+	Seq      uint64            // generation the image came from
+	Pages    map[uint64][]byte // page index → page contents
+}
+
+// CheckpointSegment reads one segment's image out of the newest valid
+// checkpoint generation without restoring anything locally — the reader a
+// replica peer uses to ship a generation's payload over the interconnect.
+// It returns ErrNoCheckpoint on fresh NVM, ErrCorruptCheckpoint when
+// headers are present but no generation validates, and ErrNotFound when the
+// generation holds no segment of that name.
+func (sys *System) CheckpointSegment(name string) (*SegmentImage, error) {
+	sbBase, sbSize := sys.M.PM.Superblock()
+	if sbSize == 0 {
+		return nil, fmt.Errorf("%w: machine has no NVM superblock", ErrInvalid)
+	}
+	gens, err := sys.generations(sbBase, sbSize)
+	if err != nil {
+		return nil, err
+	}
+	best, ok := newestValid(gens)
+	if !ok {
+		for _, g := range gens {
+			if g.magic {
+				return nil, fmt.Errorf("%w: headers present but no generation validates", ErrCorruptCheckpoint)
+			}
+		}
+		return nil, ErrNoCheckpoint
+	}
+	data := make([]byte, best.size)
+	if err := sys.M.PM.ReadAt(best.base+hdrSize, data); err != nil {
+		return nil, err
+	}
+	var img persistImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("%w: decoding generation %d: %v", ErrCorruptCheckpoint, best.seq, err)
+	}
+	for _, ps := range img.Segs {
+		if ps.Name != name {
+			continue
+		}
+		pageSize := ps.PageSize
+		if pageSize == 0 {
+			pageSize = arch.PageSize
+		}
+		out := &SegmentImage{
+			Name: ps.Name, Size: ps.Size, PageSize: pageSize,
+			Lockable: ps.Lockable, Seq: best.seq,
+			Pages: make(map[uint64][]byte, len(ps.Frames)),
+		}
+		for idx, pa := range ps.Frames {
+			page := make([]byte, pageSize)
+			if err := sys.M.PM.ReadAt(pa, page); err != nil {
+				return nil, fmt.Errorf("spacejmp: reading checkpointed page %d: %w", idx, err)
+			}
+			out.Pages[idx] = page
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: generation %d holds no segment %q", ErrNotFound, best.seq, name)
+}
+
 // Restore rebuilds the registries from the newest valid checkpoint
 // generation in the NVM superblock into this (freshly booted) System. It
 // must be called before any VASes or global segments are created, so

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"spacejmp/internal/arch"
@@ -318,5 +319,99 @@ func TestRestoreCorruptCheckpoint(t *testing.T) {
 	sys2 := NewSystem(m, testPersonality{})
 	if err := sys2.Restore(); !errors.Is(err, ErrCorruptCheckpoint) {
 		t.Errorf("restore of scribbled checkpoint: %v", err)
+	}
+}
+
+func TestCheckpointSegmentRoundTrip(t *testing.T) {
+	m := persistentMachine()
+	sys := NewSystem(m, testPersonality{})
+	sys.SetSegmentTier(mem.TierNVM)
+	_, th := spawn(t, sys)
+
+	vid, err := th.VASCreate("img.vas", 0o660)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := th.SegAlloc("img.seg", segBase(0), 1<<20, arch.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SegAttachVAS(vid, sid, arch.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := th.VASAttach(vid)
+	if err := th.VASSwitch(h); err != nil {
+		t.Fatal(err)
+	}
+	// Touch two distinct pages so content survives round trip.
+	if err := th.Store64(segBase(0)+8, 0xAABBCCDD); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store64(segBase(0)+3*arch.PageSize+16, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.VASSwitch(PrimaryHandle); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.CheckpointSegment("img.seg"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("before any checkpoint: err = %v, want ErrNoCheckpoint", err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := sys.CheckpointSegment("img.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Name != "img.seg" || img.Size != 1<<20 || !img.Lockable || img.Seq == 0 {
+		t.Fatalf("image metadata = %+v", img)
+	}
+	if want := int((1 << 20) / arch.PageSize); len(img.Pages) != want {
+		t.Fatalf("image holds %d pages, want all %d backing pages", len(img.Pages), want)
+	}
+	word := func(page []byte, off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(page[off+i]) << (8 * i)
+		}
+		return v
+	}
+	if p := img.Pages[0]; p == nil || word(p, 8) != 0xAABBCCDD {
+		t.Errorf("page 0 content wrong")
+	}
+	if p := img.Pages[3]; p == nil || word(p, 16) != 0x11223344 {
+		t.Errorf("page 3 content wrong")
+	}
+
+	if _, err := sys.CheckpointSegment("no.such.seg"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown segment: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCheckpointSegmentCorrupt(t *testing.T) {
+	// Every checkpoint tears its header write (a custom policy firing on the
+	// second WriteAt of each attempt), so no generation ever validates:
+	// magic-but-invalid headers must surface as ErrCorruptCheckpoint, never
+	// as a silent empty image.
+	m := persistentMachine()
+	reg := fault.New(3)
+	m.SetFaults(reg)
+	sys := NewSystem(m, testPersonality{})
+	sys.SetSegmentTier(mem.TierNVM)
+	_, th := spawn(t, sys)
+	if _, err := th.VASCreate("corrupt.vas", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Hit 1 of each checkpoint is the payload write, hit 2 the commit
+	// header: tearing every second write corrupts every header ever
+	// committed, so no slot validates.
+	reg.Enable(fault.MemWriteTorn, func(hit uint64, _ *rand.Rand) bool { return hit%2 == 0 })
+	if err := sys.Checkpoint(); err == nil {
+		t.Fatal("torn checkpoint reported success")
+	}
+	if _, err := sys.CheckpointSegment("corrupt.seg"); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("err = %v, want ErrCorruptCheckpoint", err)
 	}
 }

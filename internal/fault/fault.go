@@ -52,6 +52,14 @@ const (
 	// SrvConnDrop severs a connection mid-command stream: the server
 	// closes the socket without a reply, as a network partition would.
 	SrvConnDrop = "server.conn.drop"
+	// ClusterProbeDrop loses a cluster health probe before it is sent: the
+	// monitor counts a failed probe without the node ever seeing it, the
+	// way an interconnect partition looks from the prober's side.
+	ClusterProbeDrop = "cluster.probe.drop"
+	// ClusterNodeCrash kills a shard node's process abruptly at urpc
+	// handler entry: the request goes unanswered, the kernel reaper
+	// reclaims the node, and only its replicated store state survives.
+	ClusterNodeCrash = "cluster.node.crash"
 )
 
 // A Policy decides whether the hit'th pass (1-based) through a point fires.

@@ -1,0 +1,78 @@
+package redis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Typed RESP error replies. Redis convention puts a machine-readable code
+// in the reply's first word ("-BUSY ...", "-MOVED ..."); the cluster layer
+// follows it so the load generator and tests can match replies on sentinel
+// errors instead of scraping message text. A decoded ReplyError matches a
+// sentinel via errors.Is whenever its leading code word agrees — the
+// human-readable tail (node ids, detail) is free to vary.
+const (
+	codeShardTimeout  = "SHARDTIMEOUT"
+	codeShardDegraded = "SHARDDEGRADED"
+	codeBusy          = "BUSY"
+)
+
+// Sentinel reply errors. Use errors.Is against a decoded ReplyError; use
+// the Encode helpers to render the wire form with per-reply detail.
+var (
+	// ErrShardTimeout is a shard whose remote calls keep timing out — the
+	// command may be retried once the range fails over or the node heals.
+	ErrShardTimeout = ReplyError(codeShardTimeout + " shard timeout: node unreachable, retry")
+	// ErrShardDegraded is a shard whose key range lost both its primary and
+	// a recoverable replica image — retrying will not help.
+	ErrShardDegraded = ReplyError(codeShardDegraded + " shard degraded: no recoverable replica")
+	// ErrBusy is the serving layer's backpressure rejection.
+	ErrBusy = ReplyError(codeBusy + " server busy, retry")
+)
+
+// Is makes errors.Is(reply, ErrShardTimeout) and friends match on the
+// leading code word, so sentinel matching survives per-reply detail text.
+func (e ReplyError) Is(target error) bool {
+	t, ok := target.(ReplyError)
+	if !ok {
+		return false
+	}
+	switch t {
+	case ErrShardTimeout, ErrShardDegraded, ErrBusy:
+		return replyCode(string(e)) == replyCode(string(t))
+	}
+	return string(e) == string(t)
+}
+
+func replyCode(s string) string {
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// EncodeShardTimeout renders the retryable shard-timeout reply for a node.
+func EncodeShardTimeout(node int) []byte {
+	return []byte(fmt.Sprintf("-%s shard timeout: node %d unreachable, retry\r\n", codeShardTimeout, node))
+}
+
+// EncodeShardDegraded renders the non-retryable degraded-range reply.
+func EncodeShardDegraded(node int, detail string) []byte {
+	return []byte(fmt.Sprintf("-%s node %d degraded: %s\r\n", codeShardDegraded, node, detail))
+}
+
+// EncodeBusy renders the serving layer's backpressure rejection.
+func EncodeBusy(detail string) []byte {
+	return []byte(fmt.Sprintf("-%s %s\r\n", codeBusy, detail))
+}
+
+// IsRetryableReply reports whether an error reply asks the client to try
+// again later (backpressure or a shard mid-failover) rather than reporting
+// a hard failure.
+func IsRetryableReply(e ReplyError) bool {
+	switch replyCode(string(e)) {
+	case codeBusy, codeShardTimeout:
+		return true
+	}
+	return false
+}

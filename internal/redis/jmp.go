@@ -48,6 +48,25 @@ func ShardNames(i int) Names {
 	}
 }
 
+// StandbyNames returns the registry names of shard node i's warm standby
+// store — the replica copy the cluster's failover path rebuilds from
+// checkpoint generations and promotes when the primary dies.
+func StandbyNames(i int) Names {
+	return Names{
+		Seg:      fmt.Sprintf("cluster.s%d.standby.data", i),
+		ReadVAS:  fmt.Sprintf("cluster.s%d.standby.read", i),
+		WriteVAS: fmt.Sprintf("cluster.s%d.standby.write", i),
+	}
+}
+
+// ScratchName returns the global registry name of the private scratch heap
+// a client of pid attaches to the instance named by names. Exported so the
+// cluster can reap a crashed node's scratch segment — the kernel reaper
+// only reclaims private segments, and a crashed client never ran Close.
+func ScratchName(names Names, pid int) string {
+	return fmt.Sprintf("%s.scratch.p%d", names.Seg, pid)
+}
+
 // ErrStoreFull reports a SET that could not fit in the shared segment's
 // heap. It wraps core.ErrNoSpace (and the failing operation keeps its
 // mspace.ErrNoSpace cause), so errors.Is works end to end across layers.
@@ -88,10 +107,13 @@ func NewClient(th *core.Thread, segSize uint64) (*Client, error) {
 // NewClientNamed attaches the calling thread to the store instance named by
 // names, creating it (segment, store, VASes) if this is the first client.
 // One process may hold clients on several instances at once — the cluster's
-// router workers attach every co-resident shard this way.
-func NewClientNamed(th *core.Thread, segSize uint64, names Names) (*Client, error) {
+// router workers attach every co-resident shard this way. opts configure
+// the data segment's allocation when this client is the one bootstrapping
+// it (the cluster places replicated shard stores in the NVM tier this way);
+// they are ignored when the store already exists.
+func NewClientNamed(th *core.Thread, segSize uint64, names Names, opts ...core.SegOption) (*Client, error) {
 	c := &Client{th: th, names: names}
-	if err := c.bootstrap(segSize); err != nil {
+	if err := c.bootstrap(segSize, opts...); err != nil {
 		return nil, err
 	}
 	vidR, err := th.VASFind(names.ReadVAS)
@@ -138,14 +160,14 @@ func NewClientNamed(th *core.Thread, segSize uint64, names Names) (*Client, erro
 
 // bootstrap creates the shared state if no client has yet (§5.3: "the
 // server data is initialized lazily by its first client").
-func (c *Client) bootstrap(segSize uint64) error {
+func (c *Client) bootstrap(segSize uint64, opts ...core.SegOption) error {
 	th := c.th
 	if _, err := th.VASFind(c.names.ReadVAS); err == nil {
 		return nil
 	} else if !errors.Is(err, core.ErrNotFound) {
 		return err
 	}
-	sid, err := th.SegAlloc(c.names.Seg, SegBase, segSize, arch.PermRW)
+	sid, err := th.SegAlloc(c.names.Seg, SegBase, segSize, arch.PermRW, opts...)
 	if err != nil {
 		if errors.Is(err, core.ErrExists) {
 			return nil // raced with another bootstrapper

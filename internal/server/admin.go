@@ -9,11 +9,37 @@ import (
 	"spacejmp/internal/stats"
 )
 
+// NodeHealth is one shard node's routing and failover status, as the
+// cluster layer reports it (defined here so the admin surface does not
+// import the cluster package, which imports this one).
+type NodeHealth struct {
+	Node          int    `json:"node"`
+	Local         bool   `json:"local"`
+	Replicated    bool   `json:"replicated,omitempty"`
+	State         string `json:"state"`
+	Promoted      bool   `json:"promoted,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	LostUpdates   uint64 `json:"lost_updates,omitempty"`
+	DeltaBuffered int    `json:"delta_buffered,omitempty"`
+	Detail        string `json:"detail,omitempty"`
+}
+
+// ClusterStatus is what the admin surface needs from a cluster router:
+// live channel occupancy and per-node health. Pass nil when the server
+// fronts a single store.
+type ClusterStatus interface {
+	PendingFrames() int
+	Health() []NodeHealth
+}
+
 // AdminHandler serves the machine's live observability state over HTTP:
 //
-//	GET /stats    — the sink's counters as JSON (a stats.Snapshot)
+//	GET /stats    — the sink's counters as JSON (a stats.Snapshot), plus,
+//	                when a cluster is attached, its live runtime state
+//	                (pending urpc frames, per-node health)
 //	GET /trace?n= — the most recent n retained trace events (default all)
-//	GET /healthz  — liveness probe
+//	GET /healthz  — liveness probe; 503 with per-node detail when any key
+//	                range is degraded (failed, mid-promotion, or lost)
 //
 // /stats reads only the sink's atomic counters (stats.Sink.Snapshot), so it
 // is safe to poll while workers drive the simulated cores. The per-core
@@ -21,10 +47,28 @@ import (
 // design (one goroutine per core), and only hw.Machine.StatsSnapshot — which
 // requires quiescence — can fold them in. Category-attributed cycles, which
 // the sink does own, are present and account for all charged work.
-func AdminHandler(sys *core.System) http.Handler {
+func AdminHandler(sys *core.System, cl ClusterStatus) http.Handler {
 	obs := sys.M.Observer()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cl != nil {
+			nodes := cl.Health()
+			var degraded []NodeHealth
+			for _, n := range nodes {
+				if n.Degraded || n.LostUpdates > 0 {
+					degraded = append(degraded, n)
+				}
+			}
+			if len(degraded) > 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(struct {
+					Status string       `json:"status"`
+					Nodes  []NodeHealth `json:"nodes"`
+				}{"degraded", degraded})
+				return
+			}
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -33,7 +77,14 @@ func AdminHandler(sys *core.System) http.Handler {
 			http.Error(w, "observability disabled", http.StatusNotFound)
 			return
 		}
-		writeJSON(w, snap)
+		if cl == nil {
+			writeJSON(w, snap)
+			return
+		}
+		writeJSON(w, struct {
+			*stats.Snapshot
+			Runtime clusterRuntime `json:"cluster_runtime"`
+		}{snap, clusterRuntime{cl.PendingFrames(), cl.Health()}})
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := obs.Tracer()
@@ -63,6 +114,12 @@ func AdminHandler(sys *core.System) http.Handler {
 		}{t.Recorded(), t.Dropped(), out})
 	})
 	return mux
+}
+
+// clusterRuntime is the live (non-counter) cluster state folded into /stats.
+type clusterRuntime struct {
+	PendingFrames int          `json:"pending_frames"`
+	Nodes         []NodeHealth `json:"nodes"`
 }
 
 // traceEvent decorates a stats.Event with its kind's name — the numeric

@@ -31,7 +31,7 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Fatalf("GET: %q %v", v, err)
 	}
 
-	admin := httptest.NewServer(AdminHandler(sys))
+	admin := httptest.NewServer(AdminHandler(sys, nil))
 	defer admin.Close()
 
 	get := func(path string) []byte {
@@ -93,5 +93,82 @@ func TestAdminEndpoints(t *testing.T) {
 			t.Errorf("bad n: status %d, want 400", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// stubCluster fakes a cluster router for the admin surface.
+type stubCluster struct {
+	frames int
+	nodes  []NodeHealth
+}
+
+func (s *stubCluster) PendingFrames() int   { return s.frames }
+func (s *stubCluster) Health() []NodeHealth { return s.nodes }
+
+// TestAdminClusterHealth drives the cluster-aware admin surface: /stats
+// grows a cluster_runtime block, and /healthz flips to 503 with per-node
+// JSON detail the moment any key range is degraded.
+func TestAdminClusterHealth(t *testing.T) {
+	sys, srv := startServer(t, Config{Shards: 1}, nil)
+	defer srv.Shutdown()
+
+	cl := &stubCluster{frames: 7, nodes: []NodeHealth{
+		{Node: 0, Local: true, State: "healthy"},
+		{Node: 1, Replicated: true, State: "healthy"},
+	}}
+	admin := httptest.NewServer(AdminHandler(sys, cl))
+	defer admin.Close()
+
+	resp, err := admin.Client().Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthy cluster: /healthz status %d, want 200", resp.StatusCode)
+	}
+
+	var wrapped struct {
+		Runtime struct {
+			PendingFrames int          `json:"pending_frames"`
+			Nodes         []NodeHealth `json:"nodes"`
+		} `json:"cluster_runtime"`
+	}
+	resp, err = admin.Client().Get(admin.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &wrapped); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if wrapped.Runtime.PendingFrames != 7 || len(wrapped.Runtime.Nodes) != 2 {
+		t.Fatalf("cluster_runtime = %+v, want 7 pending frames and 2 nodes", wrapped.Runtime)
+	}
+
+	cl.nodes[1] = NodeHealth{Node: 1, Replicated: true, State: "degraded", Degraded: true,
+		LostUpdates: 3, Detail: "no recoverable replica"}
+	resp, err = admin.Client().Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("degraded cluster: /healthz status %d, want 503", resp.StatusCode)
+	}
+	var report struct {
+		Status string       `json:"status"`
+		Nodes  []NodeHealth `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatalf("healthz JSON: %v (body %q)", err, body)
+	}
+	if report.Status != "degraded" || len(report.Nodes) != 1 || report.Nodes[0].Node != 1 {
+		t.Fatalf("healthz report = %+v, want node 1 degraded", report)
+	}
+	if report.Nodes[0].LostUpdates != 3 || report.Nodes[0].Detail == "" {
+		t.Fatalf("healthz detail missing: %+v", report.Nodes[0])
 	}
 }

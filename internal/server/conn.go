@@ -12,7 +12,7 @@ import (
 	"spacejmp/internal/redis"
 )
 
-var busyReply = redis.EncodeError("server busy: shard queue full, retry")
+var busyReply = redis.EncodeBusy("server busy: shard queue full, retry")
 
 // serveConn runs one connection: this goroutine reads and parses commands
 // and submits them to the backend; a companion writer goroutine sends

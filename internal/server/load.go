@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -208,7 +207,10 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					var reply redis.ReplyError
 					switch {
 					case errors.As(err, &reply):
-						if strings.Contains(string(reply), "busy") || strings.Contains(string(reply), "timeout") {
+						// Typed retryable refusals (-BUSY backpressure,
+						// -SHARDTIMEOUT mid-failover) count as busy;
+						// anything else is a hard error.
+						if redis.IsRetryableReply(reply) {
 							busy.Add(1)
 						} else {
 							errCount.Add(1)

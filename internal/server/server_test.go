@@ -331,7 +331,7 @@ func TestServerBackpressure(t *testing.T) {
 		v, _, err := redis.ReadReply(br)
 		var re redis.ReplyError
 		switch {
-		case errors.As(err, &re) && strings.Contains(string(re), "busy"):
+		case errors.As(err, &re) && errors.Is(re, redis.ErrBusy):
 			busy++
 		case err == nil && string(v) == "OK":
 			ok++

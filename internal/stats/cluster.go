@@ -1,6 +1,9 @@
 package stats
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Cluster-layer counters. The cluster router serves every command one of
 // two ways — a VAS switch onto a co-resident shard's store, or a urpc call
@@ -19,6 +22,16 @@ type clusterCounters struct {
 	localCycles  Hist // worker-core cycles per locally-served command
 	remoteCycles Hist // worker-core cycles per remotely-served command
 	urpcCycles   Hist // cycles of the urpc Call alone (transfer + dispatch + server work)
+
+	// Replication and failover activity (replicated clusters only).
+	ships         atomic.Uint64 // checkpoint generations shipped to replicas
+	shipBytes     atomic.Uint64 // segment-image payload bytes moved
+	shipFailures  atomic.Uint64 // ships abandoned (transport or checkpoint failure)
+	probes        atomic.Uint64 // health probes sent
+	probeFailures atomic.Uint64 // probes that timed out, were dropped, or hit a dead node
+	promotions    atomic.Uint64 // replicas promoted to serve a dead node's range
+	deltaReplayed atomic.Uint64 // post-checkpoint delta entries replayed at promotion
+	lostUpdates   atomic.Uint64 // updates lost to delta-window overflow or replay failure
 
 	nodes atomic.Pointer[[]NodeCounters]
 }
@@ -97,6 +110,84 @@ func (s *Sink) ClusterTimeout(node int) {
 	if nc := s.clusterNode(node); nc != nil {
 		nc.timeouts.Add(1)
 	}
+}
+
+// ClusterShip records one checkpoint generation shipped to a node's
+// replica, with the image payload bytes moved, and traces it. Safe on nil.
+func (s *Sink) ClusterShip(node int, bytes uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.ships.Add(1)
+	s.cluster.shipBytes.Add(bytes)
+	s.Trace(Event{Kind: EvCheckpointShip, Core: -1, A: uint64(node), B: bytes})
+}
+
+// ClusterShipFailure records one abandoned checkpoint ship. Safe on nil.
+func (s *Sink) ClusterShipFailure(node int) {
+	if s != nil {
+		s.cluster.shipFailures.Add(1)
+	}
+}
+
+// ClusterProbe records one health probe and its outcome. Safe on nil.
+func (s *Sink) ClusterProbe(ok bool) {
+	if s == nil {
+		return
+	}
+	s.cluster.probes.Add(1)
+	if !ok {
+		s.cluster.probeFailures.Add(1)
+	}
+}
+
+// ClusterNodeState traces a node health-state transition. Safe on nil.
+func (s *Sink) ClusterNodeState(node int, state string) {
+	if s != nil {
+		s.Trace(Event{Kind: EvNodeState, Core: -1, A: uint64(node), Label: state})
+	}
+}
+
+// ClusterPromotion records one replica promotion: how many buffered delta
+// entries were replayed onto the standby and how many updates were lost
+// (delta-window overflow or replay failure). Safe on nil.
+func (s *Sink) ClusterPromotion(node int, replayed, lost uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.promotions.Add(1)
+	s.cluster.deltaReplayed.Add(replayed)
+	s.cluster.lostUpdates.Add(lost)
+	ev := Event{Kind: EvPromotion, Core: -1, A: uint64(node), B: replayed}
+	if lost > 0 {
+		ev.Label = fmt.Sprintf("%d", lost)
+	}
+	s.Trace(ev)
+}
+
+// ClusterLostUpdates adds updates that can no longer be recovered — a range
+// degraded with a non-empty delta buffer. Safe on nil.
+func (s *Sink) ClusterLostUpdates(count uint64) {
+	if s != nil && count > 0 {
+		s.cluster.lostUpdates.Add(count)
+	}
+}
+
+// ClusterPromotionsTotal returns the running promotion count — a single
+// atomic load, safe to poll while the cluster runs.
+func (s *Sink) ClusterPromotionsTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.promotions.Load()
+}
+
+// ClusterShipsTotal returns the running count of shipped generations.
+func (s *Sink) ClusterShipsTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.ships.Load()
 }
 
 // ClusterRemoteTotal returns the running count of remotely-served commands.

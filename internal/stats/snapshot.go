@@ -112,6 +112,21 @@ type NodeSnap struct {
 	Timeouts uint64 `json:"timeouts"`
 }
 
+// ReplicationSnap is the replication/failover side of the cluster layer:
+// checkpoint shipping, health probing, and promotion activity.
+type ReplicationSnap struct {
+	Ships         uint64 `json:"ships"`
+	ShipBytes     uint64 `json:"ship_bytes"`
+	ShipFailures  uint64 `json:"ship_failures"`
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	Promotions    uint64 `json:"promotions"`
+	DeltaReplayed uint64 `json:"delta_replayed"`
+	LostUpdates   uint64 `json:"lost_updates"`
+}
+
+func (r ReplicationSnap) zero() bool { return r == ReplicationSnap{} }
+
 // ClusterSnap is the cluster layer's view: how many commands were served on
 // the shared-VAS fast path versus over urpc, what each mode cost in worker
 // cycles, and the per-node breakdown.
@@ -123,6 +138,8 @@ type ClusterSnap struct {
 	LocalCycles    HistSnap `json:"local_cycles"`
 	RemoteCycles   HistSnap `json:"remote_cycles"`
 	URPCCallCycles HistSnap `json:"urpc_call_cycles"`
+
+	Replication *ReplicationSnap `json:"replication,omitempty"`
 
 	Nodes []NodeSnap `json:"nodes,omitempty"`
 }
@@ -241,7 +258,8 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		snap.Server = ss
 	}
-	if cl := (&s.cluster); cl.local.Load() != 0 || cl.remote.Load() != 0 || cl.timeouts.Load() != 0 {
+	if cl := (&s.cluster); cl.local.Load() != 0 || cl.remote.Load() != 0 || cl.timeouts.Load() != 0 ||
+		cl.ships.Load() != 0 || cl.probes.Load() != 0 || cl.shipFailures.Load() != 0 {
 		cs := &ClusterSnap{
 			Local:          cl.local.Load(),
 			Remote:         cl.remote.Load(),
@@ -249,6 +267,19 @@ func (s *Sink) Snapshot() *Snapshot {
 			LocalCycles:    cl.localCycles.snapshot(),
 			RemoteCycles:   cl.remoteCycles.snapshot(),
 			URPCCallCycles: cl.urpcCycles.snapshot(),
+		}
+		rep := ReplicationSnap{
+			Ships:         cl.ships.Load(),
+			ShipBytes:     cl.shipBytes.Load(),
+			ShipFailures:  cl.shipFailures.Load(),
+			Probes:        cl.probes.Load(),
+			ProbeFailures: cl.probeFailures.Load(),
+			Promotions:    cl.promotions.Load(),
+			DeltaReplayed: cl.deltaReplayed.Load(),
+			LostUpdates:   cl.lostUpdates.Load(),
+		}
+		if !rep.zero() {
+			cs.Replication = &rep
 		}
 		if nodes := cl.nodes.Load(); nodes != nil {
 			cs.Nodes = make([]NodeSnap, len(*nodes))
@@ -368,6 +399,24 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 			RemoteCycles:   s.Cluster.RemoteCycles.sub(b.RemoteCycles),
 			URPCCallCycles: s.Cluster.URPCCallCycles.sub(b.URPCCallCycles),
 		}
+		if s.Cluster.Replication != nil {
+			br := ReplicationSnap{}
+			if b.Replication != nil {
+				br = *b.Replication
+			}
+			r := s.Cluster.Replication
+			dr := ReplicationSnap{
+				Ships:         r.Ships - br.Ships,
+				ShipBytes:     r.ShipBytes - br.ShipBytes,
+				ShipFailures:  r.ShipFailures - br.ShipFailures,
+				Probes:        r.Probes - br.Probes,
+				ProbeFailures: r.ProbeFailures - br.ProbeFailures,
+				Promotions:    r.Promotions - br.Promotions,
+				DeltaReplayed: r.DeltaReplayed - br.DeltaReplayed,
+				LostUpdates:   r.LostUpdates - br.LostUpdates,
+			}
+			d.Replication = &dr
+		}
 		d.Nodes = make([]NodeSnap, len(s.Cluster.Nodes))
 		for i, n := range s.Cluster.Nodes {
 			dn := n
@@ -485,6 +534,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		if cl.URPCCallCycles.Count != 0 {
 			fmt.Fprintf(tw, "  urpc-call-cyc\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
 				cl.URPCCallCycles.Count, cl.URPCCallCycles.Mean(), cl.URPCCallCycles.Quantile(0.99), cl.URPCCallCycles.Max)
+		}
+		if r := cl.Replication; r != nil {
+			fmt.Fprintf(tw, "  replication\tships %d (%d B, %d failed)\tprobes %d (%d failed)\n",
+				r.Ships, r.ShipBytes, r.ShipFailures, r.Probes, r.ProbeFailures)
+			fmt.Fprintf(tw, "  failover\tpromotions %d\tdelta-replayed %d\tlost-updates %d\n",
+				r.Promotions, r.DeltaReplayed, r.LostUpdates)
 		}
 		for i, n := range cl.Nodes {
 			fmt.Fprintf(tw, "  node %d\tlocal %d\tremote %d\ttimeouts %d\n", i, n.Local, n.Remote, n.Timeouts)

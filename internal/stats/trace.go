@@ -27,12 +27,22 @@ const (
 	// EvRemoteCall is one cluster command served over urpc: A = the shard
 	// node it was routed to, B = the worker-core cycles it cost end to end.
 	EvRemoteCall
+	// EvNodeState is a cluster node health transition: A = the node,
+	// Label = the state entered.
+	EvNodeState
+	// EvCheckpointShip is one checkpoint generation shipped to a node's
+	// replica: A = the node, B = payload bytes moved.
+	EvCheckpointShip
+	// EvPromotion is a replica promoted to serve a dead node's key range:
+	// A = the node, B = delta entries replayed; Label carries the lost
+	// update count when the delta window overflowed.
+	EvPromotion
 
 	// NumEvents is the number of event kinds.
-	NumEvents = int(EvRemoteCall) + 1
+	NumEvents = int(EvPromotion) + 1
 )
 
-var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call"}
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion"}
 
 func (k EventKind) String() string {
 	if int(k) < NumEvents {
@@ -70,6 +80,15 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d conn-close conn=%d commands=%d", e.Seq, e.A, e.B)
 	case EvRemoteCall:
 		return fmt.Sprintf("#%d remote-call node=%d cycles=%d", e.Seq, e.A, e.B)
+	case EvNodeState:
+		return fmt.Sprintf("#%d node-state node=%d state=%s", e.Seq, e.A, e.Label)
+	case EvCheckpointShip:
+		return fmt.Sprintf("#%d checkpoint-ship node=%d bytes=%d", e.Seq, e.A, e.B)
+	case EvPromotion:
+		if e.Label != "" {
+			return fmt.Sprintf("#%d promotion node=%d replayed=%d lost=%s", e.Seq, e.A, e.B, e.Label)
+		}
+		return fmt.Sprintf("#%d promotion node=%d replayed=%d", e.Seq, e.A, e.B)
 	}
 	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
 }

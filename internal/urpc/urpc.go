@@ -19,6 +19,7 @@
 package urpc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -337,6 +338,125 @@ func (e *Endpoint) Call(request []byte) ([]byte, error) {
 		client.AddCycles(e.TimeoutCycles << uint(try))
 	}
 	return nil, &TimeoutError{Seq: seq, Retries: e.MaxRetries}
+}
+
+// Bulk responses are streamed as kind-tagged frames so CallBulk can tell a
+// length header from a data chunk even when loss reorders what arrives: one
+// header frame (total response length) followed by data chunks, each small
+// enough to fit the response ring, with the client draining between sends.
+const (
+	bulkHeader byte = 0
+	bulkData   byte = 1
+)
+
+// bulkChunkBytes is the largest data-chunk payload one streamed frame may
+// carry: the whole ring minus one slot of headroom, minus the kind tag.
+func (e *Endpoint) bulkChunkBytes() int {
+	return (e.resp.capacity-1)*PayloadPerLine - 1
+}
+
+// CallBulk performs one RPC round trip whose response may exceed the
+// response ring's capacity. The request travels exactly as in Call; the
+// response is streamed in bounded multi-slot chunks, the client consuming
+// each chunk as it lands so the ring never overflows regardless of payload
+// size. Loss anywhere — request, header, any chunk — surfaces as an
+// incomplete reassembly and retries the whole call; the server's duplicate
+// cache keeps the handler at-most-once, re-streaming the cached response.
+func (e *Endpoint) CallBulk(request []byte) ([]byte, error) {
+	client := e.m.Cores[e.client]
+	server := e.m.Cores[e.server]
+	seq := e.nextSeq
+	e.nextSeq++
+	for try := 0; try <= e.MaxRetries; try++ {
+		if try > 0 {
+			e.retries++
+			e.m.Observer().URPCRetry(e.client, seq, uint64(try))
+		}
+		if err := e.req.sendSeq(seq, request); err != nil {
+			return nil, err
+		}
+		before := server.Cycles()
+		rseq, req, err := e.req.recvSeq()
+		served := false
+		var response []byte
+		if err == nil {
+			if rseq != 0 && rseq == e.lastSeq {
+				response = e.lastResp // duplicate of an executed request
+			} else {
+				response = e.handler(req)
+				if rseq != 0 {
+					e.lastSeq, e.lastResp = rseq, response
+				}
+			}
+			served = true
+		}
+		client.AddCycles(server.Cycles() - before)
+		if served {
+			if got, ok := e.streamResponse(seq, response); ok {
+				return got, nil
+			}
+		}
+		client.AddCycles(e.TimeoutCycles << uint(try))
+	}
+	return nil, &TimeoutError{Seq: seq, Retries: e.MaxRetries}
+}
+
+// streamResponse moves one bulk response across the response ring: the
+// server sends the header then each chunk, the client draining after every
+// send (both sides run inline here, each charged on its own core). It
+// reports whether the complete response was reassembled; any dropped frame
+// makes the caller retry the whole exchange.
+func (e *Endpoint) streamResponse(seq uint64, response []byte) ([]byte, bool) {
+	client := e.m.Cores[e.client]
+	server := e.m.Cores[e.server]
+	chunk := e.bulkChunkBytes()
+
+	frames := make([][]byte, 0, 1+(len(response)+chunk-1)/chunk)
+	hdr := make([]byte, 9)
+	hdr[0] = bulkHeader
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(response)))
+	frames = append(frames, hdr)
+	for off := 0; off < len(response); off += chunk {
+		end := off + chunk
+		if end > len(response) {
+			end = len(response)
+		}
+		frames = append(frames, append([]byte{bulkData}, response[off:end]...))
+	}
+
+	var got []byte
+	var want uint64
+	sawHeader := false
+	for _, f := range frames {
+		before := server.Cycles()
+		if err := e.resp.sendSeq(seq, f); err != nil {
+			return nil, false
+		}
+		// The client busy-waits through the server's send, then drains.
+		client.AddCycles(server.Cycles() - before)
+		for e.resp.Len() > 0 {
+			sseq, frag, err := e.resp.recvSeq()
+			if err != nil {
+				break
+			}
+			if sseq != seq || len(frag) == 0 {
+				continue // stale traffic from an earlier exchange
+			}
+			switch frag[0] {
+			case bulkHeader:
+				if len(frag) == 9 {
+					want = binary.LittleEndian.Uint64(frag[1:])
+					sawHeader = true
+				}
+			case bulkData:
+				got = append(got, frag[1:]...)
+			}
+		}
+	}
+	if !sawHeader || uint64(len(got)) != want {
+		return nil, false
+	}
+	return got, true
 }
 
 // CallLatency runs one call and returns the client-perceived latency in

@@ -336,3 +336,85 @@ func TestDelayInjectionChargesSender(t *testing.T) {
 		t.Errorf("delays = %d, want 1", ch.Stats().Delays)
 	}
 }
+
+func TestCallBulkSizes(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte {
+		n := int(req[0]) | int(req[1])<<8 | int(req[2])<<16
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = byte(i * 7)
+		}
+		return out
+	})
+	ring := 8 * PayloadPerLine
+	for _, n := range []int{0, 1, 55, 56, 57, ring - 1, ring, ring + 1, 10 * ring} {
+		resp, err := ep.CallBulk([]byte{byte(n), byte(n >> 8), byte(n >> 16)})
+		if err != nil {
+			t.Fatalf("size %d: %v", n, err)
+		}
+		if len(resp) != n {
+			t.Fatalf("size %d: got %d bytes", n, len(resp))
+		}
+		for i, b := range resp {
+			if b != byte(i*7) {
+				t.Fatalf("size %d: byte %d corrupted (%d)", n, i, b)
+			}
+		}
+	}
+	if ep.Pending() != 0 {
+		t.Errorf("pending frames after drained bulk calls: %d", ep.Pending())
+	}
+}
+
+func TestCallBulkThroughLossyChannel(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(7)
+	m.SetFaults(reg)
+	calls := 0
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte {
+		calls++ // non-idempotent: the duplicate cache must absorb retries
+		return big
+	})
+	// A bulk exchange moves ~13 frames, so per-frame loss compounds
+	// steeply; 5% still forces plenty of whole-call retries.
+	reg.Enable(fault.URPCDrop, fault.Probability(0.05))
+	for i := 0; i < 20; i++ {
+		resp, err := ep.CallBulk([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, big) {
+			t.Fatalf("call %d: %d bytes, corrupted or short", i, len(resp))
+		}
+	}
+	if calls != 20 {
+		t.Errorf("handler ran %d times for 20 calls, want exactly 20 (at-most-once)", calls)
+	}
+	if ep.Retries() == 0 {
+		t.Error("5%% loss over multi-frame streams produced no retries")
+	}
+	if ep.Pending() != 0 {
+		t.Errorf("pending frames after drain: %d", ep.Pending())
+	}
+}
+
+func TestCallBulkTimesOutWhenEverythingDrops(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(1)
+	m.SetFaults(reg)
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte { return make([]byte, 1024) })
+	reg.Enable(fault.URPCDrop, fault.Always())
+	_, err := ep.CallBulk([]byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Retries != ep.MaxRetries {
+		t.Errorf("timeout detail = %+v", err)
+	}
+}

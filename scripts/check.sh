@@ -39,4 +39,7 @@ go test -run Fuzz -fuzz=FuzzReadCommand -fuzztime=10s ./internal/redis
 echo "== cluster smoke (3 shards, both serving paths) =="
 ./scripts/cluster-smoke.sh
 
+echo "== failover smoke (kill a node mid-load, standby promotes) =="
+./scripts/failover-smoke.sh
+
 echo "OK"
