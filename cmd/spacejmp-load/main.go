@@ -11,7 +11,12 @@
 //
 //	spacejmp-load [-addr host:port] [-conns n] [-pipeline n] [-n requests]
 //	              [-set-percent p] [-mget p] [-mget-keys n]
-//	              [-keys n] [-value bytes] [-seed s]
+//	              [-keys n] [-value bytes] [-seed s] [-reconnect]
+//
+// With -reconnect, a connection that loses its transport (a chaos scenario
+// dropping conns, a server mid-failover) redials and works through its
+// remaining quota instead of failing the run; survived disconnects are
+// reported alongside the verification counters.
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 	flag.IntVar(&cfg.Keys, "keys", 512, "keyspace size")
 	flag.IntVar(&cfg.ValueSize, "value", 64, "value size in bytes")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "per-connection PRNG seed base")
+	flag.BoolVar(&cfg.Reconnect, "reconnect", false, "redial on transport failure instead of aborting the run")
 	flag.Parse()
 
 	res, err := server.RunLoad(cfg)
@@ -47,8 +53,8 @@ func main() {
 	fmt.Printf("latency  mean %.0fns  p50 ≤%dns  p99 ≤%dns  max %dns\n",
 		res.Latency.Mean(), res.Latency.Quantile(0.50),
 		res.Latency.Quantile(0.99), res.Latency.Max)
-	fmt.Printf("busy  %d  errors  %d  mismatches  %d\n",
-		res.Busy, res.Errors, res.Mismatches)
+	fmt.Printf("busy  %d  errors  %d  mismatches  %d  disconnects  %d\n",
+		res.Busy, res.Errors, res.Mismatches, res.Disconnects)
 	if res.Mismatches > 0 || res.Errors > 0 {
 		os.Exit(1)
 	}

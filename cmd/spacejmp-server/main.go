@@ -14,15 +14,24 @@
 //	                [-cluster n] [-mode vas|urpc|auto] [-workers n]
 //	                [-admin host:port] [-replicate] [-ship-every n]
 //	                [-kill-node n] [-kill-after d]
+//	                [-scenario name|file.json] [-fault-seed n]
 //
 // With -admin, a plain HTTP surface serves /healthz, /stats (the live
-// observability snapshot as JSON), and /trace?n= (the newest trace-ring
-// events) while the server runs; with a replicated cluster, /stats grows
-// a cluster_runtime block and /healthz turns 503 when a key range
-// degrades. With -replicate, every remote cluster node gets a warm
+// observability snapshot as JSON, including the armed fault rules),
+// /stats/delta (long-poll delta stream), and /trace?n= (the newest
+// trace-ring events) while the server runs; with a replicated cluster,
+// /stats grows a cluster_runtime block and /healthz turns 503 when a key
+// range degrades. With -replicate, every remote cluster node gets a warm
 // standby kept fresh by checkpoint shipping and a health monitor that
 // fails its key range over on crash; -kill-node/-kill-after stage a
 // crash for failover experiments.
+//
+// With -scenario, the named chaos-library scenario (or a JSON scenario
+// file) plays its step timeline against this server's live fault registry:
+// only the steps are used — the server keeps its own -cluster/-machine
+// shape and serves whatever clients connect, so invariants are not checked
+// here (use cmd/spacejmp-chaos for a full self-contained run). The step
+// outcomes are reported on drain.
 //
 // On SIGINT/SIGTERM the server drains gracefully — stops accepting,
 // finishes in-flight commands, detaches every worker from the shared VASes
@@ -41,7 +50,9 @@ import (
 	"syscall"
 	"time"
 
+	"spacejmp/internal/chaos"
 	"spacejmp/internal/cluster"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/server"
@@ -65,11 +76,19 @@ func main() {
 	shipEvery := flag.Int("ship-every", 0, "ship a node's checkpoint after this many writes (0 = default)")
 	killNode := flag.Int("kill-node", -1, "crash this cluster node after -kill-after (testing failover)")
 	killAfter := flag.Duration("kill-after", 2*time.Second, "delay before -kill-node fires")
+	scenario := flag.String("scenario", "", "play this chaos scenario's steps against the live fault registry (library name or JSON file)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault registry seed for -scenario runs")
 	flag.Parse()
 
-	cfg, err := machineConfig(*machine)
+	cfg, err := hw.NamedConfig(*machine)
 	if err != nil {
 		fatal(err)
+	}
+	var spec *chaos.Spec
+	if *scenario != "" {
+		if spec, err = loadScenario(*scenario); err != nil {
+			fatal(err)
+		}
 	}
 	if *replicate {
 		// Replication rides NVM checkpoint generations; give machines
@@ -82,6 +101,8 @@ func main() {
 		}
 	}
 	m := hw.NewMachine(cfg)
+	reg := fault.New(*faultSeed)
+	m.SetFaults(reg)
 	sys := kernel.New(m)
 	sys.EnableStats(*traceCap)
 
@@ -160,10 +181,40 @@ func main() {
 			aln.Addr())
 	}
 
+	var sched *chaos.ScheduleRun
+	schedCtx, schedCancel := context.WithCancel(context.Background())
+	defer schedCancel()
+	if spec != nil {
+		kill := func(id int) error {
+			if router == nil {
+				return fmt.Errorf("cluster.node.kill needs -cluster")
+			}
+			return router.KillNode(id)
+		}
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "spacejmp-server: "+format+"\n", args...)
+		}
+		fmt.Fprintf(os.Stderr, "spacejmp-server: playing scenario %s (%d steps, seed %d)\n",
+			spec.Name, len(spec.Steps), *faultSeed)
+		sched = chaos.StartSchedule(schedCtx, spec.Steps, reg, kill, logf)
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
 	fmt.Fprintln(os.Stderr, "spacejmp-server: draining...")
+	if sched != nil {
+		schedCancel()
+		reports, _ := sched.Wait(context.Background())
+		chaos.FinalizeReports(reg, spec.Steps, reports)
+		for _, r := range reports {
+			line := fmt.Sprintf("spacejmp-server: scenario step %d: %s fired %d/%d", r.Step, r.Point, r.Fired, r.Hits)
+			if r.Err != "" {
+				line += " err=" + r.Err
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
 	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintf(os.Stderr, "spacejmp-server: shutdown: %v\n", err)
 	}
@@ -191,18 +242,18 @@ func main() {
 	snap.WriteText(os.Stderr)
 }
 
-func machineConfig(name string) (hw.MachineConfig, error) {
-	switch name {
-	case "M1":
-		return hw.M1(), nil
-	case "M2":
-		return hw.M2(), nil
-	case "M3":
-		return hw.M3(), nil
-	case "small":
-		return hw.SmallTest(), nil
+// loadScenario resolves a -scenario argument: a library name first, then a
+// JSON scenario file.
+func loadScenario(arg string) (*chaos.Spec, error) {
+	if spec, ok := chaos.Lookup(arg); ok {
+		return spec, nil
 	}
-	return hw.MachineConfig{}, fmt.Errorf("unknown machine %q", name)
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: not a library scenario (have %v) and %w",
+			arg, chaos.Names(), err)
+	}
+	return chaos.ParseSpec(data)
 }
 
 func fatal(err error) {

@@ -1,0 +1,222 @@
+package chaos
+
+import "time"
+
+// The scenario library: each entry is a named, self-contained disruption
+// pattern over the clustered stack with the invariants it must hold. They
+// run in the chaos smoke script and via `spacejmp-chaos -scenario <name>`;
+// the JSON form of any of them (spacejmp-chaos -scenario x -dump) is a
+// starting point for hand-written scenario files.
+
+func u64(v uint64) *uint64         { return &v }
+func f64(v float64) *float64       { return &v }
+func intp(v int) *int              { return &v }
+func dur(d time.Duration) Duration { return Duration(d) }
+
+// Library returns fresh copies of every built-in scenario.
+func Library() []*Spec {
+	return []*Spec{
+		clusterBaseline(),
+		rollingNodeKills(),
+		partitionThenHeal(),
+		slowReplica(),
+		checkpointCorruptionStorm(),
+		acceptPressureFlood(),
+	}
+}
+
+// Lookup returns the named built-in scenario.
+func Lookup(name string) (*Spec, bool) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the built-in scenario names in library order.
+func Names() []string {
+	lib := Library()
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// clusterBaseline is the no-fault control: a mixed keyspace-sharded cluster
+// must verify cleanly, exercise both serving paths, and drain leak-free.
+// Every other scenario's invariants only mean something because this one
+// holds with the chaos turned off.
+func clusterBaseline() *Spec {
+	return &Spec{
+		Name:        "cluster-baseline",
+		Description: "no faults: mixed GET/SET/MGET over both serving paths, clean drain",
+		Machine:     "small",
+		Cluster:     ClusterSpec{Nodes: 3, Workers: 2, Locals: 2},
+		Load: LoadSpec{
+			Conns: 8, Pipeline: 4, Requests: 128,
+			SetPercent: 20, MGetPercent: 25, MGetKeys: 4,
+			Keys: 256,
+		},
+		Invariants: Invariants{
+			MinLocal:  1,
+			MinRemote: 1,
+		},
+	}
+}
+
+// rollingNodeKills crashes both remote replicated nodes in sequence; each
+// kill must promote its warm standby with zero lost updates while the load
+// keeps verifying. This is the failover smoke in declarative form.
+func rollingNodeKills() *Spec {
+	return &Spec{
+		Name:        "rolling-node-kills",
+		Description: "crash remote nodes 2 then 3; each standby promotes, no update lost",
+		Machine:     "M1",
+		Cluster: ClusterSpec{
+			Nodes: 4, Workers: 2, Locals: 1,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 8, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(2 * time.Millisecond), ProbeThreshold: 3,
+			DeltaLog: 256,
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 384,
+			SetPercent: 25, MGetPercent: 20, Keys: 256,
+		},
+		Steps: []Step{
+			{Point: "cluster.node.crash", Target: intp(2), Policy: PolicySpec{Kind: "always"}, After: dur(150 * time.Millisecond)},
+			{Point: "cluster.node.crash", Target: intp(3), Policy: PolicySpec{Kind: "always"}, After: dur(450 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			Promotions:     u64(2),
+			MinShips:       1,
+			MaxLostUpdates: u64(0),
+			MaxBusyFrac:    f64(0.5),
+			Degraded:       intp(0),
+			StepsMustFire:  true,
+			MinTraceEvents: map[string]uint64{"promotion": 2},
+		},
+	}
+}
+
+// partitionThenHeal severs every urpc channel for a window mid-run, then
+// heals it. During the partition remote commands time out as retryable
+// -SHARDTIMEOUT refusals; after the heal the same keys must verify — a
+// partition may slow the cluster down but must never corrupt it.
+func partitionThenHeal() *Spec {
+	return &Spec{
+		Name:        "partition-then-heal",
+		Description: "drop all urpc frames for 250ms, then heal; only retryable refusals allowed",
+		Machine:     "small",
+		Cluster:     ClusterSpec{Nodes: 3, Workers: 2, Locals: 2},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 2, Requests: 512,
+			SetPercent: 20, Keys: 128,
+		},
+		Steps: []Step{
+			{Point: "urpc.drop", Policy: PolicySpec{Kind: "always"}, After: dur(25 * time.Millisecond), For: dur(250 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			MinLocal:      1,
+			MinRemote:     1,
+			MaxBusyFrac:   f64(0.9),
+			StepsMustFire: true,
+		},
+	}
+}
+
+// slowReplica delays roughly half of all urpc transfers for the whole run
+// on a replicated cluster: checkpoint shipping and probing slow down but
+// must neither trip a spurious promotion nor degrade a range.
+func slowReplica() *Spec {
+	return &Spec{
+		Name:        "slow-replica",
+		Description: "delay ~half of urpc transfers all run; shipping lags, nobody false-promotes",
+		Machine:     "small",
+		Cluster: ClusterSpec{
+			Nodes: 3, Workers: 2, Locals: 2,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 8, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(5 * time.Millisecond), ProbeThreshold: 3,
+			DeltaLog: 256,
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 256,
+			SetPercent: 60, Keys: 256,
+		},
+		Steps: []Step{
+			{Point: "urpc.delay", Policy: PolicySpec{Kind: "probability", P: 0.5}},
+		},
+		Invariants: Invariants{
+			MinShips:      1,
+			Promotions:    u64(0),
+			Degraded:      intp(0),
+			StepsMustFire: true,
+		},
+	}
+}
+
+// checkpointCorruptionStorm tears every checkpoint header (the serving path
+// never writes through the checkpoint's persistence hook, so client data is
+// untouched), then crashes the replicated node: with no valid generation to
+// promote from, the range must degrade — loudly, as terminal
+// -SHARDDEGRADED errors — rather than serve stale data as fresh.
+func checkpointCorruptionStorm() *Spec {
+	return &Spec{
+		Name:        "checkpoint-corruption-storm",
+		Description: "tear every checkpoint header, then crash node 2: degrade, don't lie",
+		Machine:     "small",
+		Cluster: ClusterSpec{
+			Nodes: 3, Workers: 2, Locals: 2,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 4, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(2 * time.Millisecond), ProbeThreshold: 3,
+			DeltaLog: 256,
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 384,
+			SetPercent: 40, Keys: 256,
+		},
+		Steps: []Step{
+			// Checkpoint writes are payload then header; every-nth(2) lands
+			// on each header, so no shipped generation ever validates.
+			{Point: "mem.write.torn", Policy: PolicySpec{Kind: "every-nth", N: 2}},
+			{Point: "cluster.node.crash", Target: intp(2), Policy: PolicySpec{Kind: "always"}, After: dur(400 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			Promotions:     u64(0),
+			Degraded:       intp(1),
+			MaxErrorFrac:   f64(0.9),
+			StepsMustFire:  true,
+			MinTraceEvents: map[string]uint64{"node-state": 1},
+		},
+	}
+}
+
+// acceptPressureFlood refuses a chunk of accepts and randomly drops live
+// connections while the load reconnects through it: the server must shed
+// connections without ever corrupting a surviving one.
+func acceptPressureFlood() *Spec {
+	return &Spec{
+		Name:        "accept-pressure-flood",
+		Description: "refuse 40% of accepts and drop 2% of conns; reconnecting load still verifies",
+		Machine:     "small",
+		Cluster:     ClusterSpec{Nodes: 3, Workers: 2, Locals: 2},
+		Load: LoadSpec{
+			Conns: 8, Pipeline: 4, Requests: 128,
+			SetPercent: 20, Keys: 256,
+			Reconnect: true,
+		},
+		Steps: []Step{
+			{Point: "server.accept", Policy: PolicySpec{Kind: "probability", P: 0.4}},
+			{Point: "server.conn.drop", Policy: PolicySpec{Kind: "probability", P: 0.02}},
+		},
+		Invariants: Invariants{
+			MinDisconnects: 1,
+			StepsMustFire:  true,
+		},
+	}
+}

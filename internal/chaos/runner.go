@@ -1,0 +1,485 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"spacejmp/internal/cluster"
+	"spacejmp/internal/fault"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/server"
+	"spacejmp/internal/stats"
+)
+
+// Options tune one Runner invocation without touching the spec.
+type Options struct {
+	// Machine overrides the spec's machine config name.
+	Machine string
+	// Admin serves the HTTP admin surface on a loopback listener for the
+	// run's duration and watches its own /stats/delta long-poll stream; the
+	// observed delta count lands in Report.DeltasObserved and is asserted
+	// (at least one delta per step) as the stats-delta check.
+	Admin bool
+	// Log receives progress lines; nil runs silently.
+	Log io.Writer
+}
+
+// Check is one evaluated invariant.
+type Check struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is a finished run: what the load saw, what each step did, what
+// the registry looked like at the end, and every invariant verdict.
+type Report struct {
+	Scenario       string              `json:"scenario"`
+	Seed           int64               `json:"seed"`
+	Elapsed        time.Duration       `json:"elapsed_ns"`
+	Load           *server.LoadResult  `json:"load,omitempty"`
+	Steps          []StepReport        `json:"steps,omitempty"`
+	Faults         []fault.PointStatus `json:"faults,omitempty"`
+	DeltasObserved int                 `json:"deltas_observed,omitempty"`
+	Checks         []Check             `json:"checks"`
+	Passed         bool                `json:"passed"`
+}
+
+// Failed returns the checks that did not hold.
+func (r *Report) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteText renders the report for a terminal.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s (seed %d): ", r.Scenario, r.Seed)
+	if r.Passed {
+		fmt.Fprintf(w, "PASS")
+	} else {
+		fmt.Fprintf(w, "FAIL")
+	}
+	fmt.Fprintf(w, " in %v\n", r.Elapsed.Round(time.Millisecond))
+	if l := r.Load; l != nil {
+		fmt.Fprintf(w, "  load: %d commands (%d get, %d set, %d mget), %d busy, %d errors, %d mismatches, %d disconnects\n",
+			l.Commands, l.Gets, l.Sets, l.MGets, l.Busy, l.Errors, l.Mismatches, l.Disconnects)
+	}
+	for _, s := range r.Steps {
+		tgt := "any"
+		if s.Target != fault.TargetAny {
+			tgt = fmt.Sprintf("%d", s.Target)
+		}
+		line := fmt.Sprintf("  step %d: %s target %s fired %d/%d", s.Step, s.Point, tgt, s.Fired, s.Hits)
+		if s.Err != "" {
+			line += " err=" + s.Err
+		}
+		fmt.Fprintln(w, line)
+	}
+	if r.DeltasObserved > 0 {
+		fmt.Fprintf(w, "  stats/delta: %d deltas streamed\n", r.DeltasObserved)
+	}
+	for _, c := range r.Checks {
+		mark := "ok"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		if c.Detail != "" {
+			fmt.Fprintf(w, "  check %-18s %-4s %s\n", c.Name, mark, c.Detail)
+		} else {
+			fmt.Fprintf(w, "  check %-18s %s\n", c.Name, mark)
+		}
+	}
+}
+
+// quiesceTimeout bounds each post-load wait for asynchronous machinery
+// (promotions, ships, degradations) to reach its declared count; generous
+// because the race detector slows everything down.
+const quiesceTimeout = 15 * time.Second
+
+// Run boots the scenario's cluster under a verifying load, plays the
+// schedule, and evaluates the invariants. A non-nil error means the run
+// could not be staged (bad spec, boot failure); invariant violations are
+// reported in Report.Checks with Passed false, not as errors.
+func Run(spec *Spec, opts Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	logf := func(string, ...any) {}
+	if opts.Log != nil {
+		logf = func(format string, args ...any) { fmt.Fprintf(opts.Log, format+"\n", args...) }
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	machine := spec.Machine
+	if opts.Machine != "" {
+		machine = opts.Machine
+	}
+	hwCfg, err := hw.NamedConfig(machine)
+	if err != nil {
+		return nil, err
+	}
+	clCfg, err := spec.Cluster.Config()
+	if err != nil {
+		return nil, err
+	}
+	if clCfg.Replicate {
+		// Replication rides NVM checkpoint generations; give machines
+		// configured without (enough) persistent memory room to hold them.
+		if hwCfg.Mem.NVMSize == 0 {
+			hwCfg.Mem.NVMSize = 256 << 20
+		}
+		if hwCfg.Mem.NVMSuperblock == 0 {
+			sb := hwCfg.Mem.NVMSize / 4
+			if sb > 64<<20 {
+				sb = 64 << 20
+			}
+			hwCfg.Mem.NVMSuperblock = sb
+		}
+	}
+
+	goroutineBase := runtime.NumGoroutine()
+	start := time.Now()
+	m := hw.NewMachine(hwCfg)
+	reg := fault.New(seed)
+	m.SetFaults(reg)
+	sys := kernel.New(m)
+	sys.EnableStats(8192)
+	obs := m.Observer()
+	frameBase := m.PM.AllocatedBytes()
+
+	router, err := cluster.New(sys, clCfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: cluster boot: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		router.Close()
+		return nil, err
+	}
+	srv := server.NewWithBackend(sys, ln, server.Config{QueueDepth: clCfg.QueueDepth}, router)
+	logf("chaos: %s: serving on %s (machine %s, seed %d)", spec.Name, srv.Addr(), hwCfg.Name, seed)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Optional admin surface plus its own /stats/delta watcher — the run
+	// observes itself over the same HTTP long-poll a human would.
+	var admin *http.Server
+	var deltaCount chan int
+	if opts.Admin {
+		aln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Shutdown()
+			return nil, err
+		}
+		admin = &http.Server{Handler: server.AdminHandler(sys, router)}
+		go admin.Serve(aln)
+		deltaCount = make(chan int, 1)
+		go watchDeltas(ctx, aln.Addr().String(), deltaCount)
+		logf("chaos: admin on http://%s", aln.Addr())
+	}
+
+	sched := StartSchedule(ctx, spec.Steps, reg, router.KillNode, logf)
+
+	loadCfg := server.LoadConfig{
+		Addr:        srv.Addr().String(),
+		Conns:       spec.Load.Conns,
+		Pipeline:    spec.Load.Pipeline,
+		Requests:    spec.Load.Requests,
+		SetPercent:  spec.Load.SetPercent,
+		MGetPercent: spec.Load.MGetPercent,
+		MGetKeys:    spec.Load.MGetKeys,
+		Keys:        spec.Load.Keys,
+		ValueSize:   spec.Load.ValueSize,
+		Seed:        seed,
+		Reconnect:   spec.Load.Reconnect,
+	}
+	res, loadErr := server.RunLoad(loadCfg)
+	logf("chaos: load done: %d commands, %d busy, %d errors, %d mismatches",
+		res.Commands, res.Busy, res.Errors, res.Mismatches)
+
+	// The schedule may reach past the load (a late crash lands on probe
+	// traffic); let it finish before judging anything.
+	schedCtx, schedCancel := context.WithTimeout(ctx, Horizon(spec.Steps)+5*time.Second)
+	reports, schedErr := sched.Wait(schedCtx)
+	schedCancel()
+
+	// Quiesce: asynchronous failover machinery (probe -> ship -> promote)
+	// needs wall time to reach the declared counts; poll, bounded.
+	inv := &spec.Invariants
+	if p := inv.Promotions; p != nil && *p > 0 {
+		waitUntil(quiesceTimeout, func() bool { return obs.ClusterPromotionsTotal() >= *p })
+	}
+	if inv.MinShips > 0 {
+		waitUntil(quiesceTimeout, func() bool { return obs.ClusterShipsTotal() >= inv.MinShips })
+	}
+	if d := inv.Degraded; d != nil && *d > 0 {
+		waitUntil(quiesceTimeout, func() bool { return countDegraded(router.Health()) >= *d })
+	}
+
+	FinalizeReports(reg, spec.Steps, reports)
+	faults := reg.Points()
+	health := router.Health()
+	pending := router.PendingFrames()
+
+	cancel() // stop the delta watcher before tearing the admin surface down
+	deltas := 0
+	if deltaCount != nil {
+		deltas = <-deltaCount
+	}
+	if admin != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(sctx)
+		scancel()
+	}
+	shutdownErr := srv.Shutdown()
+	leakErr := m.PM.CheckLeaks(frameBase)
+	goroutinesOK := waitUntil(5*time.Second, func() bool { return runtime.NumGoroutine() <= goroutineBase })
+
+	snap := sys.Stats()
+	rep := &Report{
+		Scenario:       spec.Name,
+		Seed:           seed,
+		Elapsed:        time.Since(start),
+		Load:           res,
+		Steps:          reports,
+		Faults:         faults,
+		DeltasObserved: deltas,
+	}
+	evaluate(rep, spec, snap, health, runState{
+		loadErr:      loadErr,
+		schedErr:     schedErr,
+		shutdownErr:  shutdownErr,
+		leakErr:      leakErr,
+		pending:      pending,
+		goroutinesOK: goroutinesOK,
+		adminOn:      opts.Admin,
+		tracer:       obs.Tracer(),
+	})
+	return rep, nil
+}
+
+// runState carries the teardown-side evidence into invariant evaluation.
+type runState struct {
+	loadErr      error
+	schedErr     error
+	shutdownErr  error
+	leakErr      error
+	pending      int
+	goroutinesOK bool
+	adminOn      bool
+	tracer       *stats.Tracer
+}
+
+func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.NodeHealth, st runState) {
+	inv := &spec.Invariants
+	res := rep.Load
+	add := func(name string, ok bool, detail string) {
+		rep.Checks = append(rep.Checks, Check{Name: name, OK: ok, Detail: detail})
+	}
+	errDetail := func(err error) string {
+		if err == nil {
+			return ""
+		}
+		return err.Error()
+	}
+
+	add("load-transport", st.loadErr == nil, errDetail(st.loadErr))
+	add("schedule", st.schedErr == nil, errDetail(st.schedErr))
+	add("verify", res.Mismatches <= inv.MaxMismatches,
+		fmt.Sprintf("%d mismatches (max %d)", res.Mismatches, inv.MaxMismatches))
+
+	switch {
+	case inv.MaxErrorFrac != nil:
+		limit := uint64(*inv.MaxErrorFrac * float64(res.Commands))
+		add("errors", res.Errors <= limit, fmt.Sprintf("%d terminal errors (max %d = %g of %d)",
+			res.Errors, limit, *inv.MaxErrorFrac, res.Commands))
+	case inv.MaxErrors != nil:
+		add("errors", res.Errors <= *inv.MaxErrors,
+			fmt.Sprintf("%d terminal errors (max %d)", res.Errors, *inv.MaxErrors))
+	default:
+		add("errors", res.Errors == 0, fmt.Sprintf("%d terminal errors (none allowed)", res.Errors))
+	}
+	if inv.MaxBusyFrac != nil {
+		limit := uint64(*inv.MaxBusyFrac * float64(res.Commands))
+		add("busy", res.Busy <= limit, fmt.Sprintf("%d retryable refusals (max %d = %g of %d)",
+			res.Busy, limit, *inv.MaxBusyFrac, res.Commands))
+	}
+
+	var repl stats.ReplicationSnap
+	var local, remote uint64
+	if snap != nil && snap.Cluster != nil {
+		local, remote = snap.Cluster.Local, snap.Cluster.Remote
+		if snap.Cluster.Replication != nil {
+			repl = *snap.Cluster.Replication
+		}
+	}
+	if p := inv.Promotions; p != nil {
+		add("promotions", repl.Promotions == *p,
+			fmt.Sprintf("%d promotions (want exactly %d)", repl.Promotions, *p))
+	}
+	if inv.MinShips > 0 {
+		add("ships", repl.Ships >= inv.MinShips,
+			fmt.Sprintf("%d checkpoint ships (min %d)", repl.Ships, inv.MinShips))
+	}
+	if l := inv.MaxLostUpdates; l != nil {
+		add("lost-updates", repl.LostUpdates <= *l,
+			fmt.Sprintf("%d lost updates (max %d)", repl.LostUpdates, *l))
+	}
+	if d := inv.Degraded; d != nil {
+		got := countDegraded(health)
+		add("degraded", got == *d, fmt.Sprintf("%d degraded ranges (want exactly %d)", got, *d))
+	}
+	if inv.MinLocal > 0 {
+		add("local", local >= inv.MinLocal,
+			fmt.Sprintf("%d commands on the shared-VAS path (min %d)", local, inv.MinLocal))
+	}
+	if inv.MinRemote > 0 {
+		add("remote", remote >= inv.MinRemote,
+			fmt.Sprintf("%d commands over urpc (min %d)", remote, inv.MinRemote))
+	}
+	if inv.MinDisconnects > 0 {
+		add("disconnects", res.Disconnects >= inv.MinDisconnects,
+			fmt.Sprintf("%d disconnects survived (min %d)", res.Disconnects, inv.MinDisconnects))
+	}
+	if inv.StepsMustFire {
+		ok := true
+		detail := ""
+		for _, s := range rep.Steps {
+			if s.Fired == 0 || s.Err != "" {
+				ok = false
+				detail = fmt.Sprintf("step %d (%s) never fired", s.Step, s.Point)
+				if s.Err != "" {
+					detail += ": " + s.Err
+				}
+				break
+			}
+		}
+		add("steps-fired", ok, detail)
+	}
+	for _, name := range sortedKeys(inv.MinTraceEvents) {
+		want := inv.MinTraceEvents[name]
+		got := traceCountByName(st.tracer, name)
+		add("trace:"+name, got >= want, fmt.Sprintf("%d %s events (min %d)", got, name, want))
+	}
+
+	if st.adminOn {
+		add("stats-delta", rep.DeltasObserved >= len(spec.Steps),
+			fmt.Sprintf("%d deltas streamed (min %d: one per step)", rep.DeltasObserved, len(spec.Steps)))
+	}
+	add("shutdown", st.shutdownErr == nil, errDetail(st.shutdownErr))
+	add("drain-frames", st.leakErr == nil, errDetail(st.leakErr))
+	add("drain-pending", st.pending == 0, fmt.Sprintf("%d urpc frames pending", st.pending))
+	add("drain-goroutines", st.goroutinesOK, "goroutine count back to baseline")
+
+	rep.Passed = true
+	for _, c := range rep.Checks {
+		if !c.OK {
+			rep.Passed = false
+			break
+		}
+	}
+}
+
+func countDegraded(health []server.NodeHealth) int {
+	n := 0
+	for _, h := range health {
+		if h.Degraded {
+			n++
+		}
+	}
+	return n
+}
+
+func traceCountByName(t *stats.Tracer, name string) uint64 {
+	for k := 0; k < stats.NumEvents; k++ {
+		if stats.EventKind(k).String() == name {
+			return t.Count(stats.EventKind(k))
+		}
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func waitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// watchDeltas loops on the admin surface's /stats/delta long-poll for the
+// run's duration and reports how many changed deltas it saw — the live
+// observer the acceptance criteria ask for, exercised on every Admin run.
+func watchDeltas(ctx context.Context, addr string, out chan<- int) {
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	count := 0
+	defer func() { out <- count }()
+	cursor := ""
+	for ctx.Err() == nil {
+		url := "http://" + addr + "/stats/delta?wait=250ms"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return
+		}
+		var body struct {
+			Cursor  uint64 `json:"cursor"`
+			Changed bool   `json:"changed"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			// A lost cursor (410) restarts the stream from scratch.
+			cursor = ""
+			if resp.StatusCode != http.StatusGone {
+				return
+			}
+			continue
+		}
+		if body.Changed {
+			count++
+		}
+		cursor = fmt.Sprintf("%d", body.Cursor)
+	}
+}

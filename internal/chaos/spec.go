@@ -1,0 +1,446 @@
+// Package chaos is the declarative chaos-scenario layer over the clustered
+// stack. A Scenario (Spec) is a timeline of steps, each arming one of the
+// fault registry's named injection points with a trigger policy, a target,
+// a start offset, and a duration — loadable from a Go struct or a JSON
+// file. The Runner boots a clustered (optionally replicated) server, drives
+// it with the closed-loop verifying load generator while the schedule plays
+// out against the live registry, and then asserts the spec's declared
+// invariants from the stats snapshot, the trace ring, and the drain checks:
+// zero verification failures, bounded retryable-vs-terminal errors,
+// expected promotion and degradation counts, leak-free zero-goroutine
+// teardown.
+//
+// Determinism is inherited from the seeded registry and the seeded load
+// generator: the same seed and spec replay the same per-rule firing
+// pattern, so a scenario that exposes a bug is a reproducible regression
+// test, not a flake (the library in library.go is exactly that — every past
+// failure mode of the cluster stack as one declarative file each).
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"spacejmp/internal/cluster"
+	"spacejmp/internal/fault"
+	"spacejmp/internal/hw"
+	"spacejmp/internal/stats"
+)
+
+// PointNodeKill is the schedule-only pseudo-point: instead of arming a
+// registry rule, the step calls Router.KillNode on its target at its start
+// offset — an operator-style hard kill, distinct from cluster.node.crash
+// (which arms the node's own handler to die on its next dispatch).
+const PointNodeKill = "cluster.node.kill"
+
+// MaxHorizon bounds how far into a run a step may reach (start offset plus
+// duration); schedules are wall-clock timelines and an unbounded one would
+// hang the runner.
+const MaxHorizon = 5 * time.Minute
+
+// Typed spec errors. Validation wraps them in a *SpecError carrying the
+// step index and field, so errors.Is works on the category and the message
+// still pinpoints the bad entry.
+var (
+	ErrBadSpec          = errors.New("chaos: bad scenario spec")
+	ErrUnknownPoint     = errors.New("chaos: unknown fault point")
+	ErrBadPolicy        = errors.New("chaos: bad trigger policy")
+	ErrBadDuration      = errors.New("chaos: bad duration")
+	ErrBadTarget        = errors.New("chaos: bad target")
+	ErrOverlappingSteps = errors.New("chaos: overlapping steps")
+)
+
+// SpecError locates a validation failure: which step (-1 for spec-level
+// problems), which field, and the typed category it wraps.
+type SpecError struct {
+	Step  int
+	Field string
+	Err   error
+}
+
+func (e *SpecError) Error() string {
+	if e.Step < 0 {
+		return fmt.Sprintf("%v: %s", e.Err, e.Field)
+	}
+	return fmt.Sprintf("%v: step %d, %s", e.Err, e.Step, e.Field)
+}
+
+func (e *SpecError) Unwrap() error { return e.Err }
+
+func specErr(step int, field string, category error) error {
+	return &SpecError{Step: step, Field: field, Err: category}
+}
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("300ms") and unmarshals from either that form or a bare number of
+// nanoseconds.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("%w: %q", ErrBadDuration, s)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("%w: %s", ErrBadDuration, bytes.TrimSpace(b))
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// PolicySpec is a trigger policy in declarative form.
+type PolicySpec struct {
+	// Kind is one of: always, probability, on-nth, from-nth, every-nth.
+	// Empty is allowed only on a cluster.node.kill step (kills have no
+	// policy; they happen at their start offset).
+	Kind string `json:"kind,omitempty"`
+	// P is the per-hit firing probability for kind "probability".
+	P float64 `json:"p,omitempty"`
+	// N is the hit ordinal/stride for the *-nth kinds.
+	N uint64 `json:"n,omitempty"`
+}
+
+// build compiles the declarative policy into a fault.Policy plus its
+// introspection label.
+func (p PolicySpec) build() (fault.Policy, string, error) {
+	switch p.Kind {
+	case "always":
+		return fault.Always(), "always", nil
+	case "probability":
+		if p.P <= 0 || p.P > 1 {
+			return nil, "", fmt.Errorf("%w: probability wants 0 < p <= 1, got %g", ErrBadPolicy, p.P)
+		}
+		return fault.Probability(p.P), fmt.Sprintf("p=%g", p.P), nil
+	case "on-nth":
+		if p.N < 1 {
+			return nil, "", fmt.Errorf("%w: on-nth wants n >= 1", ErrBadPolicy)
+		}
+		return fault.OnNth(p.N), fmt.Sprintf("on-nth(%d)", p.N), nil
+	case "from-nth":
+		if p.N < 1 {
+			return nil, "", fmt.Errorf("%w: from-nth wants n >= 1", ErrBadPolicy)
+		}
+		return fault.FromNth(p.N), fmt.Sprintf("from-nth(%d)", p.N), nil
+	case "every-nth":
+		if p.N < 1 {
+			return nil, "", fmt.Errorf("%w: every-nth wants n >= 1", ErrBadPolicy)
+		}
+		return fault.EveryNth(p.N), fmt.Sprintf("every-nth(%d)", p.N), nil
+	case "":
+		return nil, "", fmt.Errorf("%w: missing kind", ErrBadPolicy)
+	}
+	return nil, "", fmt.Errorf("%w: unknown kind %q", ErrBadPolicy, p.Kind)
+}
+
+// Step is one scheduled disruption: arm Point with Policy for the window
+// [After, After+For), scoped to Target when set. For of zero keeps the rule
+// armed until the run ends. A PointNodeKill step ignores Policy and For and
+// kills its target node at After.
+type Step struct {
+	Point  string     `json:"point"`
+	Target *int       `json:"target,omitempty"`
+	Policy PolicySpec `json:"policy,omitempty"`
+	After  Duration   `json:"after,omitempty"`
+	For    Duration   `json:"for,omitempty"`
+}
+
+func (s Step) target() int {
+	if s.Target == nil {
+		return fault.TargetAny
+	}
+	return *s.Target
+}
+
+// targetedPoints are the injection points whose components report a target
+// identity; a Target on any other point would silently never match, so
+// validation rejects it.
+var targetedPoints = map[string]bool{
+	fault.ClusterProbeDrop: true,
+	fault.ClusterNodeCrash: true,
+	PointNodeKill:          true,
+}
+
+var knownPoints = map[string]bool{
+	fault.MemAlloc:         true,
+	fault.MemWriteTorn:     true,
+	fault.CoreSyscallCrash: true,
+	fault.URPCDrop:         true,
+	fault.URPCDelay:        true,
+	fault.SrvAccept:        true,
+	fault.SrvConnStall:     true,
+	fault.SrvConnDrop:      true,
+	fault.ClusterProbeDrop: true,
+	fault.ClusterNodeCrash: true,
+	PointNodeKill:          true,
+}
+
+// ClusterSpec sizes the cluster under test; zero values take the cluster
+// package's defaults. It mirrors cluster.Config field by field so a
+// scenario file can pin any knob a test can.
+type ClusterSpec struct {
+	Nodes          int      `json:"nodes,omitempty"`
+	Workers        int      `json:"workers,omitempty"`
+	Mode           string   `json:"mode,omitempty"`
+	Locals         int      `json:"locals,omitempty"`
+	QueueDepth     int      `json:"queue_depth,omitempty"`
+	SegSize        uint64   `json:"seg_size,omitempty"`
+	Slots          int      `json:"slots,omitempty"`
+	Replicate      bool     `json:"replicate,omitempty"`
+	ShipEvery      int      `json:"ship_every,omitempty"`
+	ShipInterval   Duration `json:"ship_interval,omitempty"`
+	ProbeInterval  Duration `json:"probe_interval,omitempty"`
+	ProbeThreshold int      `json:"probe_threshold,omitempty"`
+	DeltaLog       int      `json:"delta_log,omitempty"`
+}
+
+// Config resolves the spec into a cluster.Config.
+func (c ClusterSpec) Config() (cluster.Config, error) {
+	mode, err := cluster.ParseMode(c.Mode)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluster.Config{
+		Nodes:          c.Nodes,
+		Workers:        c.Workers,
+		Mode:           mode,
+		Locals:         c.Locals,
+		QueueDepth:     c.QueueDepth,
+		SegSize:        c.SegSize,
+		Slots:          c.Slots,
+		Replicate:      c.Replicate,
+		ShipEvery:      c.ShipEvery,
+		ShipInterval:   time.Duration(c.ShipInterval),
+		ProbeInterval:  time.Duration(c.ProbeInterval),
+		ProbeThreshold: c.ProbeThreshold,
+		DeltaLog:       c.DeltaLog,
+	}, nil
+}
+
+// placement mirrors the cluster's Locals default so target validation sees
+// the same node placement the booted cluster will.
+func (c ClusterSpec) placement() (nodes int, local func(i int) bool) {
+	nodes = c.Nodes
+	if nodes <= 0 {
+		nodes = 3
+	}
+	locals := c.Locals
+	if locals <= 0 || locals > nodes {
+		locals = (nodes + 1) / 2
+	}
+	mode := cluster.Mode(c.Mode)
+	if c.Mode == "" {
+		mode = cluster.ModeAuto
+	}
+	cfg := cluster.Config{Nodes: nodes, Locals: locals}
+	return nodes, func(i int) bool { return mode.Local(i, cfg) }
+}
+
+// LoadSpec parameterizes the verifying load; zero values take the load
+// generator's defaults.
+type LoadSpec struct {
+	Conns       int  `json:"conns,omitempty"`
+	Pipeline    int  `json:"pipeline,omitempty"`
+	Requests    int  `json:"requests,omitempty"`
+	SetPercent  int  `json:"set_percent,omitempty"`
+	MGetPercent int  `json:"mget_percent,omitempty"`
+	MGetKeys    int  `json:"mget_keys,omitempty"`
+	Keys        int  `json:"keys,omitempty"`
+	ValueSize   int  `json:"value_size,omitempty"`
+	Reconnect   bool `json:"reconnect,omitempty"`
+}
+
+// Invariants are the assertions a run must satisfy. Value fields of zero
+// are strict bounds (MaxMismatches 0 = no mismatch tolerated — the usual
+// chaos contract); pointer fields distinguish "unset" from "exactly zero".
+type Invariants struct {
+	// MaxMismatches bounds load-side verification failures (default 0).
+	MaxMismatches uint64 `json:"max_mismatches,omitempty"`
+	// MaxErrors bounds terminal error replies; when neither it nor
+	// MaxErrorFrac is set, terminal errors must be zero.
+	MaxErrors *uint64 `json:"max_errors,omitempty"`
+	// MaxErrorFrac bounds terminal error replies as a fraction of commands.
+	MaxErrorFrac *float64 `json:"max_error_frac,omitempty"`
+	// MaxBusyFrac bounds retryable refusals (busy, shard timeouts) as a
+	// fraction of commands; unset leaves them unbounded.
+	MaxBusyFrac *float64 `json:"max_busy_frac,omitempty"`
+	// Promotions, when set, is the exact standby-promotion count.
+	Promotions *uint64 `json:"promotions,omitempty"`
+	// MinShips is the minimum checkpoint generations shipped.
+	MinShips uint64 `json:"min_ships,omitempty"`
+	// MaxLostUpdates, when set, bounds updates lost across failover.
+	MaxLostUpdates *uint64 `json:"max_lost_updates,omitempty"`
+	// Degraded, when set, is the exact count of degraded key ranges at the
+	// end of the run.
+	Degraded *int `json:"degraded,omitempty"`
+	// MinLocal / MinRemote are minimum command counts per serving path.
+	MinLocal  uint64 `json:"min_local,omitempty"`
+	MinRemote uint64 `json:"min_remote,omitempty"`
+	// MinDisconnects is the minimum transport failures the load generator
+	// must have survived (Reconnect runs).
+	MinDisconnects uint64 `json:"min_disconnects,omitempty"`
+	// StepsMustFire requires every step to have fired at least once (for a
+	// kill step: the kill succeeded).
+	StepsMustFire bool `json:"steps_must_fire,omitempty"`
+	// MinTraceEvents maps trace event kind names ("promotion",
+	// "checkpoint-ship", "node-state", ...) to minimum occurrence counts.
+	MinTraceEvents map[string]uint64 `json:"min_trace_events,omitempty"`
+}
+
+// Spec is one declarative chaos scenario.
+type Spec struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Seed        int64       `json:"seed,omitempty"`
+	Machine     string      `json:"machine,omitempty"` // small (default), M1, M2, M3
+	Cluster     ClusterSpec `json:"cluster,omitempty"`
+	Load        LoadSpec    `json:"load,omitempty"`
+	Steps       []Step      `json:"steps,omitempty"`
+	Invariants  Invariants  `json:"invariants,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON scenario. Unknown fields are
+// rejected, so a typo'd knob fails loudly instead of silently running a
+// different scenario than the file describes.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		if errors.Is(err, ErrBadDuration) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	// A second document in the stream is garbage, not a scenario.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after scenario object", ErrBadSpec)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// traceEventKinds enumerates the stats trace kinds an invariant may bound.
+func traceEventKinds() map[string]bool {
+	out := make(map[string]bool, stats.NumEvents)
+	for k := 0; k < stats.NumEvents; k++ {
+		out[stats.EventKind(k).String()] = true
+	}
+	return out
+}
+
+// Validate checks the spec top to bottom and returns the first problem as
+// a *SpecError wrapping one of the typed categories above.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return specErr(-1, "name: required", ErrBadSpec)
+	}
+	if _, err := hw.NamedConfig(s.Machine); err != nil {
+		return specErr(-1, fmt.Sprintf("machine: %v", err), ErrBadSpec)
+	}
+	if _, err := s.Cluster.Config(); err != nil {
+		return specErr(-1, fmt.Sprintf("cluster: %v", err), ErrBadSpec)
+	}
+	nodes, localNode := s.Cluster.placement()
+
+	for i, st := range s.Steps {
+		if !knownPoints[st.Point] {
+			return specErr(i, fmt.Sprintf("point %q", st.Point), ErrUnknownPoint)
+		}
+		if st.After < 0 {
+			return specErr(i, fmt.Sprintf("after: negative (%v)", time.Duration(st.After)), ErrBadDuration)
+		}
+		if st.For < 0 {
+			return specErr(i, fmt.Sprintf("for: negative (%v)", time.Duration(st.For)), ErrBadDuration)
+		}
+		if end := time.Duration(st.After) + time.Duration(st.For); end > MaxHorizon {
+			return specErr(i, fmt.Sprintf("after+for: %v exceeds the %v horizon", end, MaxHorizon), ErrBadDuration)
+		}
+		if st.Point == PointNodeKill {
+			if st.Target == nil {
+				return specErr(i, "target: cluster.node.kill requires one", ErrBadTarget)
+			}
+			if st.Policy.Kind != "" && st.Policy.Kind != "always" {
+				return specErr(i, fmt.Sprintf("policy: kill steps take none, got %q", st.Policy.Kind), ErrBadPolicy)
+			}
+			if st.For != 0 {
+				return specErr(i, "for: a kill has no duration", ErrBadDuration)
+			}
+		} else if _, _, err := st.Policy.build(); err != nil {
+			return specErr(i, err.Error(), ErrBadPolicy)
+		}
+		if st.Target != nil {
+			if !targetedPoints[st.Point] {
+				return specErr(i, fmt.Sprintf("target: point %q fires untargeted; a targeted rule would never match", st.Point), ErrBadTarget)
+			}
+			t := *st.Target
+			if t < 0 || t >= nodes {
+				return specErr(i, fmt.Sprintf("target: node %d out of range [0,%d)", t, nodes), ErrBadTarget)
+			}
+			if (st.Point == PointNodeKill || st.Point == fault.ClusterNodeCrash) && localNode(t) {
+				return specErr(i, fmt.Sprintf("target: node %d is co-resident; only remote nodes can die", t), ErrBadTarget)
+			}
+		}
+	}
+
+	// Two live windows on the same (point, target) would fight over one
+	// registry rule — the second arm resets the first's counters and the
+	// first disarm kills the second's window. Reject the ambiguity.
+	type key struct {
+		point  string
+		target int
+	}
+	byRule := map[key][]int{}
+	for i, st := range s.Steps {
+		k := key{st.Point, st.target()}
+		byRule[k] = append(byRule[k], i)
+	}
+	for k, idxs := range byRule {
+		if len(idxs) < 2 {
+			continue
+		}
+		sort.Slice(idxs, func(a, b int) bool { return s.Steps[idxs[a]].After < s.Steps[idxs[b]].After })
+		for j := 0; j+1 < len(idxs); j++ {
+			cur, next := s.Steps[idxs[j]], s.Steps[idxs[j+1]]
+			if k.point == PointNodeKill {
+				// Two kills of one node: the second can never do anything.
+				return specErr(idxs[j+1], fmt.Sprintf("point %q target %d killed twice", k.point, k.target), ErrOverlappingSteps)
+			}
+			if cur.For == 0 || time.Duration(cur.After)+time.Duration(cur.For) > time.Duration(next.After) {
+				return specErr(idxs[j+1], fmt.Sprintf("point %q target %d: window overlaps step %d", k.point, k.target, idxs[j]), ErrOverlappingSteps)
+			}
+		}
+	}
+
+	kinds := traceEventKinds()
+	for name := range s.Invariants.MinTraceEvents {
+		if !kinds[name] {
+			return specErr(-1, fmt.Sprintf("invariants.min_trace_events: unknown event kind %q", name), ErrBadSpec)
+		}
+	}
+	if f := s.Invariants.MaxErrorFrac; f != nil && (*f < 0 || *f > 1) {
+		return specErr(-1, fmt.Sprintf("invariants.max_error_frac: %g outside [0,1]", *f), ErrBadSpec)
+	}
+	if f := s.Invariants.MaxBusyFrac; f != nil && (*f < 0 || *f > 1) {
+		return specErr(-1, fmt.Sprintf("invariants.max_busy_frac: %g outside [0,1]", *f), ErrBadSpec)
+	}
+	return nil
+}

@@ -124,7 +124,7 @@ func (m *monitor) probe(r *Router, n *node) {
 		return
 	}
 	ok := false
-	if !r.sys.M.Faults.Fire(fault.ClusterProbeDrop) {
+	if !r.sys.M.Faults.FireAt(fault.ClusterProbeDrop, n.id) {
 		_, _, err := n.call(m.eps[n.id], pingWire)
 		ok = err == nil
 	}

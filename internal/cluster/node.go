@@ -150,7 +150,7 @@ const shipCommand = "CLUSTER.SHIP"
 // dies between commands, never mid-mutation, which models a machine losing
 // power with a consistent store in NVM (the paper's §5.3 survival claim).
 func (n *node) handler(req []byte) []byte {
-	if n.sys.M.Faults.Fire(fault.ClusterNodeCrash) {
+	if n.sys.M.Faults.FireAt(fault.ClusterNodeCrash, n.id) {
 		n.crashed.Store(true)
 		n.proc.Crash()
 		return nil

@@ -6,17 +6,25 @@
 // and the component turns the firing into its layer's failure mode: a failed
 // allocation, a torn write, an abrupt process death, a lost message.
 //
+// Points that pass through a targetable component (a cluster node's request
+// handler, the health monitor's prober) report their target index via
+// FireAt, and a rule armed with EnableAt only matches passes through that
+// target — "crash node 2", not "crash whichever node's handler runs next".
+// Rules armed with Enable (target TargetAny) match every pass.
+//
 // Registries are per-test-scoped by construction: each Registry is an
 // independent value, so one test's faults can never leak into another's.
-// Determinism is per-point: every enabled point draws from its own RNG seeded
-// from the registry seed and the point name, so the firing pattern of one
-// point does not depend on how many times other points were hit.
+// Determinism is per-rule: every armed rule draws from its own RNG seeded
+// from the registry seed, the point name, and the target, so the firing
+// pattern of one rule does not depend on how many times other points were
+// hit.
 //
 // All methods are safe on a nil *Registry (they report "no fault"), so
 // components can hold an optional registry and consult it unconditionally.
 package fault
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -54,16 +62,22 @@ const (
 	SrvConnDrop = "server.conn.drop"
 	// ClusterProbeDrop loses a cluster health probe before it is sent: the
 	// monitor counts a failed probe without the node ever seeing it, the
-	// way an interconnect partition looks from the prober's side.
+	// way an interconnect partition looks from the prober's side. Fired
+	// with the probed node's id as target.
 	ClusterProbeDrop = "cluster.probe.drop"
 	// ClusterNodeCrash kills a shard node's process abruptly at urpc
 	// handler entry: the request goes unanswered, the kernel reaper
 	// reclaims the node, and only its replicated store state survives.
+	// Fired with the node's id as target.
 	ClusterNodeCrash = "cluster.node.crash"
 )
 
+// TargetAny is the wildcard target: a rule armed with it matches every pass
+// through its point, and a component with no target identity fires with it.
+const TargetAny = -1
+
 // A Policy decides whether the hit'th pass (1-based) through a point fires.
-// rng is the point's private deterministic source.
+// rng is the rule's private deterministic source.
 type Policy func(hit uint64, rng *rand.Rand) bool
 
 // OnNth fires exactly on the nth hit (1-based) and never again.
@@ -76,30 +90,38 @@ func FromNth(n uint64) Policy {
 	return func(hit uint64, _ *rand.Rand) bool { return hit >= n }
 }
 
+// EveryNth fires on every nth hit (the 2nd, 4th, ... for n=2). n of 0 or 1
+// fires on every hit.
+func EveryNth(n uint64) Policy {
+	return func(hit uint64, _ *rand.Rand) bool { return n <= 1 || hit%n == 0 }
+}
+
 // Always fires on every hit.
 func Always() Policy {
 	return func(uint64, *rand.Rand) bool { return true }
 }
 
 // Probability fires each hit independently with probability p, drawn from
-// the point's seeded RNG — the same registry seed replays the same pattern.
+// the rule's seeded RNG — the same registry seed replays the same pattern.
 func Probability(p float64) Policy {
 	return func(_ uint64, rng *rand.Rand) bool { return rng.Float64() < p }
 }
 
-// point is one enabled injection point.
-type point struct {
+// rule is one armed (point, target) pair.
+type rule struct {
+	target int
+	desc   string
 	policy Policy
 	rng    *rand.Rand
 	hits   uint64
 	fired  uint64
 }
 
-// Registry holds the enabled injection points of one test scope.
+// Registry holds the armed injection rules of one test scope.
 type Registry struct {
 	mu       sync.Mutex
 	seed     int64
-	points   map[string]*point
+	points   map[string][]*rule
 	observer func(name string)
 }
 
@@ -118,28 +140,53 @@ func (r *Registry) SetObserver(fn func(name string)) {
 // New creates a registry. The seed determines every probabilistic policy's
 // firing pattern.
 func New(seed int64) *Registry {
-	return &Registry{seed: seed, points: map[string]*point{}}
+	return &Registry{seed: seed, points: map[string][]*rule{}}
 }
 
-// pointSeed mixes the registry seed with the point name, giving each point
-// an independent deterministic stream.
-func pointSeed(seed int64, name string) int64 {
+// ruleSeed mixes the registry seed with the point name and target, giving
+// each rule an independent deterministic stream.
+func ruleSeed(seed int64, name string, target int) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
+	var tb [8]byte
+	binary.LittleEndian.PutUint64(tb[:], uint64(int64(target)))
+	h.Write(tb[:])
 	return seed ^ int64(h.Sum64())
 }
 
-// Enable arms a point with a policy, resetting its hit and fired counters.
+// Enable arms a point with a policy matching every pass (TargetAny),
+// resetting its hit and fired counters.
 func (r *Registry) Enable(name string, p Policy) {
+	r.EnableAt(name, TargetAny, "custom", p)
+}
+
+// EnableAt arms a point with a policy scoped to one target (TargetAny
+// matches every pass). Re-arming an existing (point, target) pair replaces
+// its rule and resets its counters; rules on other targets are untouched.
+// desc labels the policy in introspection output.
+func (r *Registry) EnableAt(name string, target int, desc string, p Policy) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.points[name] = &point{policy: p, rng: rand.New(rand.NewSource(pointSeed(r.seed, name)))}
+	nr := &rule{
+		target: target,
+		desc:   desc,
+		policy: p,
+		rng:    rand.New(rand.NewSource(ruleSeed(r.seed, name, target))),
+	}
+	rules := r.points[name]
+	for i, pt := range rules {
+		if pt.target == target {
+			rules[i] = nr
+			return
+		}
+	}
+	r.points[name] = append(rules, nr)
 }
 
-// Disable disarms a point. Its counters are discarded.
+// Disable disarms every rule on the named point. Counters are discarded.
 func (r *Registry) Disable(name string) {
 	if r == nil {
 		return
@@ -147,6 +194,26 @@ func (r *Registry) Disable(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.points, name)
+}
+
+// DisableAt disarms the rule on one (point, target) pair, leaving rules on
+// other targets armed.
+func (r *Registry) DisableAt(name string, target int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rules := r.points[name]
+	for i, pt := range rules {
+		if pt.target == target {
+			r.points[name] = append(rules[:i], rules[i+1:]...)
+			break
+		}
+	}
+	if len(r.points[name]) == 0 {
+		delete(r.points, name)
+	}
 }
 
 // Reset disarms every point — the per-test cleanup when a registry is shared
@@ -157,25 +224,40 @@ func (r *Registry) Reset() {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.points = map[string]*point{}
+	r.points = map[string][]*rule{}
 }
 
-// Fire records one pass through the named point and reports whether the
-// fault fires. Unarmed points (and nil registries) never fire.
+// Fire records one pass through the named point with no target identity and
+// reports whether the fault fires. Only TargetAny rules can match. Unarmed
+// points (and nil registries) never fire.
 func (r *Registry) Fire(name string) bool {
+	return r.FireAt(name, TargetAny)
+}
+
+// FireAt records one pass through the named point by the given target and
+// reports whether the fault fires: a rule matches when it is armed for this
+// exact target or for TargetAny. Every matching rule counts the hit and
+// consults its policy; the pass fires if any of them fire.
+func (r *Registry) FireAt(name string, target int) bool {
 	if r == nil {
 		return false
 	}
 	r.mu.Lock()
-	pt, ok := r.points[name]
-	if !ok {
+	rules := r.points[name]
+	if len(rules) == 0 {
 		r.mu.Unlock()
 		return false
 	}
-	pt.hits++
-	fired := pt.policy(pt.hits, pt.rng)
-	if fired {
-		pt.fired++
+	fired := false
+	for _, pt := range rules {
+		if pt.target != TargetAny && pt.target != target {
+			continue
+		}
+		pt.hits++
+		if pt.policy(pt.hits, pt.rng) {
+			pt.fired++
+			fired = true
+		}
 	}
 	obs := r.observer
 	r.mu.Unlock()
@@ -185,51 +267,108 @@ func (r *Registry) Fire(name string) bool {
 	return fired
 }
 
-// Hits returns how many times the named point was passed while armed.
+// Hits returns how many times the named point was passed while armed,
+// summed over every rule on it.
 func (r *Registry) Hits(name string) uint64 {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if pt, ok := r.points[name]; ok {
-		return pt.hits
+	var total uint64
+	for _, pt := range r.points[name] {
+		total += pt.hits
 	}
-	return 0
+	return total
 }
 
-// Fired returns how many of those passes fired the fault.
+// Fired returns how many of those passes fired the fault, summed over every
+// rule on the point.
 func (r *Registry) Fired(name string) uint64 {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if pt, ok := r.points[name]; ok {
-		return pt.fired
+	var total uint64
+	for _, pt := range r.points[name] {
+		total += pt.fired
 	}
-	return 0
+	return total
 }
 
-// String summarizes the armed points, for test failure messages.
+// StatusAt returns one rule's counters: how many passes matched it and how
+// many fired. Zero for unarmed pairs and nil registries.
+func (r *Registry) StatusAt(name string, target int) (hits, fired uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, pt := range r.points[name] {
+		if pt.target == target {
+			return pt.hits, pt.fired
+		}
+	}
+	return 0, 0
+}
+
+// PointStatus is one armed rule's introspection record: the point name, the
+// target it is scoped to (TargetAny = every pass), a human-readable policy
+// label, and its hit/fired counters.
+type PointStatus struct {
+	Name   string `json:"name"`
+	Target int    `json:"target"` // -1 = any
+	Policy string `json:"policy"`
+	Hits   uint64 `json:"hits"`
+	Fired  uint64 `json:"fired"`
+}
+
+// Points returns every armed rule's status, sorted by point name then
+// target — the registry's live introspection surface, folded into the
+// admin /stats snapshot. Nil registries return nil.
+func (r *Registry) Points() []PointStatus {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []PointStatus
+	for name, rules := range r.points {
+		for _, pt := range rules {
+			out = append(out, PointStatus{
+				Name:   name,
+				Target: pt.target,
+				Policy: pt.desc,
+				Hits:   pt.hits,
+				Fired:  pt.fired,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// String summarizes the armed rules, for test failure messages.
 func (r *Registry) String() string {
 	if r == nil {
 		return "fault.Registry(nil)"
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.points))
-	for n := range r.points {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	s := "fault.Registry{"
-	for i, n := range names {
+	for i, p := range r.Points() {
 		if i > 0 {
 			s += ", "
 		}
-		pt := r.points[n]
-		s += fmt.Sprintf("%s: %d/%d", n, pt.fired, pt.hits)
+		if p.Target == TargetAny {
+			s += fmt.Sprintf("%s: %d/%d", p.Name, p.Fired, p.Hits)
+		} else {
+			s += fmt.Sprintf("%s@%d: %d/%d", p.Name, p.Target, p.Fired, p.Hits)
+		}
 	}
 	return s + "}"
 }

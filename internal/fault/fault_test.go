@@ -135,3 +135,110 @@ func TestDisableAndReset(t *testing.T) {
 		t.Error("reset registry fired")
 	}
 }
+
+func TestEveryNth(t *testing.T) {
+	r := New(1)
+	r.Enable(MemAlloc, EveryNth(3))
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if r.Fire(MemAlloc) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 3 || fired[1] != 6 || fired[2] != 9 {
+		t.Errorf("EveryNth(3) fired at %v", fired)
+	}
+	r.Enable(URPCDrop, EveryNth(0))
+	if !r.Fire(URPCDrop) || !r.Fire(URPCDrop) {
+		t.Error("EveryNth(0) must fire on every hit")
+	}
+}
+
+func TestTargetedRuleOnlyMatchesItsTarget(t *testing.T) {
+	r := New(1)
+	r.EnableAt(ClusterNodeCrash, 2, "always", Always())
+	if r.FireAt(ClusterNodeCrash, 1) {
+		t.Error("rule for target 2 fired on target 1")
+	}
+	if r.Fire(ClusterNodeCrash) {
+		t.Error("rule for target 2 fired on an untargeted pass")
+	}
+	if !r.FireAt(ClusterNodeCrash, 2) {
+		t.Error("rule for target 2 did not fire on target 2")
+	}
+	hits, fired := r.StatusAt(ClusterNodeCrash, 2)
+	if hits != 1 || fired != 1 {
+		t.Errorf("StatusAt = %d hits, %d fired, want 1, 1", hits, fired)
+	}
+}
+
+func TestWildcardRuleMatchesEveryTarget(t *testing.T) {
+	r := New(1)
+	r.Enable(ClusterProbeDrop, Always())
+	if !r.FireAt(ClusterProbeDrop, 0) || !r.FireAt(ClusterProbeDrop, 7) {
+		t.Error("TargetAny rule must match every target")
+	}
+	if r.Hits(ClusterProbeDrop) != 2 {
+		t.Errorf("Hits = %d, want 2", r.Hits(ClusterProbeDrop))
+	}
+}
+
+func TestPerTargetRulesAreIndependent(t *testing.T) {
+	r := New(1)
+	r.EnableAt(ClusterNodeCrash, 1, "on-nth", OnNth(1))
+	r.EnableAt(ClusterNodeCrash, 2, "on-nth", OnNth(1))
+	if !r.FireAt(ClusterNodeCrash, 1) {
+		t.Error("target 1 rule did not fire")
+	}
+	// Target 2's OnNth(1) must still see hit 1: counters are per rule.
+	if !r.FireAt(ClusterNodeCrash, 2) {
+		t.Error("target 2 rule consumed target 1's hits")
+	}
+	r.DisableAt(ClusterNodeCrash, 1)
+	if r.FireAt(ClusterNodeCrash, 1) {
+		t.Error("disabled target still fired")
+	}
+	if _, ok := r.StatusAt(ClusterNodeCrash, 2); ok != 1 {
+		t.Error("DisableAt(1) disturbed target 2's rule")
+	}
+}
+
+func TestPointsIntrospection(t *testing.T) {
+	r := New(1)
+	r.EnableAt(ClusterNodeCrash, 2, "always", Always())
+	r.Enable(URPCDrop, Probability(0.5))
+	r.FireAt(ClusterNodeCrash, 2)
+	pts := r.Points()
+	if len(pts) != 2 {
+		t.Fatalf("Points() returned %d rules, want 2", len(pts))
+	}
+	// Sorted by name then target: cluster.node.crash before urpc.drop.
+	if pts[0].Name != ClusterNodeCrash || pts[0].Target != 2 ||
+		pts[0].Policy != "always" || pts[0].Hits != 1 || pts[0].Fired != 1 {
+		t.Errorf("first rule = %+v", pts[0])
+	}
+	if pts[1].Name != URPCDrop || pts[1].Target != TargetAny {
+		t.Errorf("second rule = %+v", pts[1])
+	}
+	var nilReg *Registry
+	if nilReg.Points() != nil {
+		t.Error("nil registry Points() must be nil")
+	}
+}
+
+func TestTargetStreamsAreIndependent(t *testing.T) {
+	// Two probabilistic rules on the same point but different targets must
+	// draw from distinct seeded streams.
+	r := New(5)
+	r.EnableAt(URPCDelay, 1, "p=0.5", Probability(0.5))
+	r.EnableAt(URPCDelay, 2, "p=0.5", Probability(0.5))
+	same := true
+	for i := 0; i < 64; i++ {
+		if r.FireAt(URPCDelay, 1) != r.FireAt(URPCDelay, 2) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different targets produced identical 64-hit patterns")
+	}
+}

@@ -93,6 +93,22 @@ func SmallTest() MachineConfig {
 		Mem: mem.Config{DRAMSize: 512 << 20, NVMSize: 128 << 20}, TLB: tlb.Config{Sets: 16, Ways: 4}, Cost: DefaultCost}
 }
 
+// NamedConfig resolves a machine name as commands and scenario specs use
+// them: the paper's M1/M2/M3 platforms, or "small" (the unit-test machine).
+func NamedConfig(name string) (MachineConfig, error) {
+	switch name {
+	case "M1":
+		return M1(), nil
+	case "M2":
+		return M2(), nil
+	case "M3":
+		return M3(), nil
+	case "small", "":
+		return SmallTest(), nil
+	}
+	return MachineConfig{}, fmt.Errorf("hw: unknown machine %q (want M1, M2, M3, or small)", name)
+}
+
 // Machine is a simulated platform instance.
 type Machine struct {
 	Cfg   MachineConfig

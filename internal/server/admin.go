@@ -1,11 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"spacejmp/internal/core"
+	"spacejmp/internal/fault"
 	"spacejmp/internal/stats"
 )
 
@@ -34,12 +38,20 @@ type ClusterStatus interface {
 
 // AdminHandler serves the machine's live observability state over HTTP:
 //
-//	GET /stats    — the sink's counters as JSON (a stats.Snapshot), plus,
-//	                when a cluster is attached, its live runtime state
-//	                (pending urpc frames, per-node health)
-//	GET /trace?n= — the most recent n retained trace events (default all)
-//	GET /healthz  — liveness probe; 503 with per-node detail when any key
-//	                range is degraded (failed, mid-promotion, or lost)
+//	GET /stats       — the sink's counters as JSON (a stats.Snapshot), plus
+//	                   the armed fault rules (a "faults" block) and, when a
+//	                   cluster is attached, its live runtime state (pending
+//	                   urpc frames, per-node health)
+//	GET /stats/delta — long-poll delta stream: the first call returns the
+//	                   full snapshot and a cursor; each follow-up call with
+//	                   ?cursor= blocks (up to ?wait=, default 10s) until any
+//	                   counter changed, then returns the delta since the
+//	                   cursor's snapshot and a new cursor. A watcher loops on
+//	                   it to stream a running scenario's activity instead of
+//	                   re-pulling and re-diffing full snapshots.
+//	GET /trace?n=    — the most recent n retained trace events (default all)
+//	GET /healthz     — liveness probe; 503 with per-node detail when any key
+//	                   range is degraded (failed, mid-promotion, or lost)
 //
 // /stats reads only the sink's atomic counters (stats.Sink.Snapshot), so it
 // is safe to poll while workers drive the simulated cores. The per-core
@@ -49,6 +61,7 @@ type ClusterStatus interface {
 // the sink does own, are present and account for all charged work.
 func AdminHandler(sys *core.System, cl ClusterStatus) http.Handler {
 	obs := sys.M.Observer()
+	cursors := &deltaCursors{snaps: map[uint64]cursorSnap{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if cl != nil {
@@ -77,14 +90,22 @@ func AdminHandler(sys *core.System, cl ClusterStatus) http.Handler {
 			http.Error(w, "observability disabled", http.StatusNotFound)
 			return
 		}
+		faults := sys.M.Faults.Points()
 		if cl == nil {
-			writeJSON(w, snap)
+			writeJSON(w, struct {
+				*stats.Snapshot
+				Faults []fault.PointStatus `json:"faults,omitempty"`
+			}{snap, faults})
 			return
 		}
 		writeJSON(w, struct {
 			*stats.Snapshot
-			Runtime clusterRuntime `json:"cluster_runtime"`
-		}{snap, clusterRuntime{cl.PendingFrames(), cl.Health()}})
+			Faults  []fault.PointStatus `json:"faults,omitempty"`
+			Runtime clusterRuntime      `json:"cluster_runtime"`
+		}{snap, faults, clusterRuntime{cl.PendingFrames(), cl.Health()}})
+	})
+	mux.HandleFunc("/stats/delta", func(w http.ResponseWriter, r *http.Request) {
+		serveStatsDelta(w, r, obs, cursors)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := obs.Tracer()
@@ -134,4 +155,134 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// --- /stats/delta: long-poll streaming of snapshot deltas. ---
+
+// cursorSnap is one registered baseline: the snapshot a future delta is
+// taken against, plus its canonical JSON form — change detection compares
+// marshaled bytes, which is sound because Go marshals map keys sorted.
+type cursorSnap struct {
+	snap *stats.Snapshot
+	raw  []byte
+}
+
+// deltaCursors is the handler's baseline table. Cursors are cheap (one
+// snapshot each) but unclaimed ones must not accumulate, so the table is
+// bounded: past maxDeltaCursors the oldest (smallest id) is evicted, and a
+// poll presenting it gets 410 Gone — the watcher restarts cursorless.
+type deltaCursors struct {
+	mu    sync.Mutex
+	next  uint64
+	snaps map[uint64]cursorSnap
+}
+
+const maxDeltaCursors = 64
+
+func (c *deltaCursors) register(cs cursorSnap) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	c.snaps[c.next] = cs
+	for len(c.snaps) > maxDeltaCursors {
+		oldest := uint64(0)
+		for id := range c.snaps {
+			if oldest == 0 || id < oldest {
+				oldest = id
+			}
+		}
+		delete(c.snaps, oldest)
+	}
+	return c.next
+}
+
+func (c *deltaCursors) take(id uint64) (cursorSnap, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.snaps[id]
+	if ok {
+		// A cursor is single-use: the reply hands back a fresh one, so
+		// dropping the old baseline keeps the table from filling with
+		// spent entries.
+		delete(c.snaps, id)
+	}
+	return cs, ok
+}
+
+// statsDelta is one long-poll reply: the next cursor, whether any counter
+// changed within the wait window, and the delta itself (the full snapshot
+// on a cursorless first call).
+type statsDelta struct {
+	Cursor  uint64          `json:"cursor"`
+	Changed bool            `json:"changed"`
+	Delta   *stats.Snapshot `json:"delta"`
+}
+
+func serveStatsDelta(w http.ResponseWriter, r *http.Request, obs *stats.Sink, cursors *deltaCursors) {
+	snapshotNow := func() (cursorSnap, bool) {
+		snap := obs.Snapshot()
+		if snap == nil {
+			return cursorSnap{}, false
+		}
+		raw, err := json.Marshal(snap)
+		if err != nil {
+			return cursorSnap{}, false
+		}
+		return cursorSnap{snap, raw}, true
+	}
+
+	cur, ok := snapshotNow()
+	if !ok {
+		http.Error(w, "observability disabled", http.StatusNotFound)
+		return
+	}
+	cursorParam := r.URL.Query().Get("cursor")
+	if cursorParam == "" {
+		// First call: the full snapshot is the delta, and its baseline is
+		// what the next poll diffs against.
+		writeJSON(w, statsDelta{cursors.register(cur), true, cur.snap})
+		return
+	}
+	id, err := strconv.ParseUint(cursorParam, 10, 64)
+	if err != nil {
+		http.Error(w, "bad cursor", http.StatusBadRequest)
+		return
+	}
+	base, ok := cursors.take(id)
+	if !ok {
+		http.Error(w, "unknown cursor (expired?)", http.StatusGone)
+		return
+	}
+
+	wait := 10 * time.Second
+	if s := r.URL.Query().Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			http.Error(w, "bad wait", http.StatusBadRequest)
+			return
+		}
+		wait = d
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+
+	deadline := time.Now().Add(wait)
+	changed := !bytes.Equal(cur.raw, base.raw)
+	for !changed {
+		if time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		if cur, ok = snapshotNow(); !ok {
+			http.Error(w, "observability disabled", http.StatusNotFound)
+			return
+		}
+		changed = !bytes.Equal(cur.raw, base.raw)
+	}
+	writeJSON(w, statsDelta{cursors.register(cur), changed, cur.snap.Delta(base.snap)})
 }

@@ -6,8 +6,10 @@ import (
 	"io"
 	"net"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
+	"spacejmp/internal/fault"
 	"spacejmp/internal/stats"
 )
 
@@ -93,6 +95,106 @@ func TestAdminEndpoints(t *testing.T) {
 			t.Errorf("bad n: status %d, want 400", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// TestAdminStatsDelta drives the long-poll delta stream: the cursorless
+// first call returns the full snapshot and a cursor; a follow-up with that
+// cursor reports whether anything changed and hands back a fresh cursor;
+// cursors are single-use (replay gets 410) and garbage gets 400. It also
+// checks the /stats faults block reflects the armed registry rules.
+func TestAdminStatsDelta(t *testing.T) {
+	reg := fault.New(42)
+	sys, srv := startServer(t, Config{Shards: 1}, reg)
+	defer srv.Shutdown()
+	reg.EnableAt(fault.SrvConnStall, fault.TargetAny, "p=0.5", fault.Probability(0.5))
+
+	admin := httptest.NewServer(AdminHandler(sys, nil))
+	defer admin.Close()
+
+	getJSON := func(path string, out any) int {
+		t.Helper()
+		resp, err := admin.Client().Get(admin.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil && resp.StatusCode == 200 {
+			if err := json.Unmarshal(body, out); err != nil {
+				t.Fatalf("GET %s: bad JSON %v (body %q)", path, err, body)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// The faults block mirrors the armed rule.
+	var withFaults struct {
+		Faults []struct {
+			Name   string `json:"name"`
+			Target int    `json:"target"`
+			Policy string `json:"policy"`
+		} `json:"faults"`
+	}
+	if code := getJSON("/stats", &withFaults); code != 200 {
+		t.Fatalf("/stats status %d", code)
+	}
+	if len(withFaults.Faults) != 1 || withFaults.Faults[0].Name != fault.SrvConnStall ||
+		withFaults.Faults[0].Policy != "p=0.5" {
+		t.Fatalf("faults block = %+v, want the armed server.conn.stall rule", withFaults.Faults)
+	}
+
+	var first struct {
+		Cursor  uint64 `json:"cursor"`
+		Changed bool   `json:"changed"`
+	}
+	if code := getJSON("/stats/delta", &first); code != 200 {
+		t.Fatalf("first delta call: status %d", code)
+	}
+	if first.Cursor == 0 || !first.Changed {
+		t.Fatalf("first delta call = %+v, want a cursor and changed=true", first)
+	}
+
+	// Generate activity so the poll sees a change without waiting out the
+	// window.
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	if v, _, err := roundTrip(t, nc, br, "SET", "dk", "dv"); err != nil || string(v) != "OK" {
+		t.Fatalf("SET: %q %v", v, err)
+	}
+
+	var second struct {
+		Cursor  uint64          `json:"cursor"`
+		Changed bool            `json:"changed"`
+		Delta   *stats.Snapshot `json:"delta"`
+	}
+	url := "/stats/delta?wait=2s&cursor=" + strconv.FormatUint(first.Cursor, 10)
+	if code := getJSON(url, &second); code != 200 {
+		t.Fatalf("second delta call: status %d", code)
+	}
+	if !second.Changed || second.Delta == nil {
+		t.Fatalf("second delta call = changed=%v delta=%v, want a changed delta", second.Changed, second.Delta)
+	}
+	if second.Delta.Server == nil || second.Delta.Server.Commands == 0 {
+		t.Errorf("delta did not attribute the SET: %+v", second.Delta.Server)
+	}
+
+	// Cursors are single-use: replaying the consumed one is Gone.
+	if code := getJSON(url, nil); code != 410 {
+		t.Errorf("replayed cursor: status %d, want 410", code)
+	}
+	if code := getJSON("/stats/delta?cursor=bogus", nil); code != 400 {
+		t.Errorf("bad cursor: status %d, want 400", code)
+	}
+	if code := getJSON("/stats/delta?cursor="+strconv.FormatUint(second.Cursor, 10)+"&wait=nope", nil); code != 400 {
+		t.Errorf("bad wait: status %d, want 400", code)
 	}
 }
 

@@ -38,6 +38,13 @@ type LoadConfig struct {
 	Keys        int // keyspace size
 	ValueSize   int // bytes per value
 	Seed        int64
+	// Reconnect makes a connection survive transport failure: instead of
+	// aborting the run, it counts a disconnect, redials, and keeps working
+	// through its remaining quota (abandoning the in-flight batch). This is
+	// what lets the chaos scenarios sever connections — server.conn.drop,
+	// server.accept — while still holding the run to zero verification
+	// failures.
+	Reconnect bool
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -73,15 +80,16 @@ func (c LoadConfig) withDefaults() LoadConfig {
 
 // LoadResult aggregates a run.
 type LoadResult struct {
-	Commands   uint64
-	Gets       uint64
-	Sets       uint64
-	MGets      uint64
-	Busy       uint64 // backpressure rejections ("server busy")
-	Errors     uint64 // any other error reply
-	Mismatches uint64 // GET replies that matched neither nil nor the key's value
-	Elapsed    time.Duration
-	Latency    stats.HistSnap // per-command wall latency, nanoseconds
+	Commands    uint64
+	Gets        uint64
+	Sets        uint64
+	MGets       uint64
+	Busy        uint64 // backpressure rejections ("server busy")
+	Errors      uint64 // any other error reply
+	Mismatches  uint64 // GET replies that matched neither nil nor the key's value
+	Disconnects uint64 // transport failures survived by reconnecting (Reconnect only)
+	Elapsed     time.Duration
+	Latency     stats.HistSnap // per-command wall latency, nanoseconds
 }
 
 // Throughput returns commands per second over the run.
@@ -104,12 +112,14 @@ func ValueFor(key string, size int) []byte {
 }
 
 // RunLoad drives the server at cfg.Addr and blocks until every connection
-// finishes its quota. Transport-level failures abort the run with an error;
-// error *replies* (busy, OOM) are counted, not fatal.
+// finishes its quota. Transport-level failures abort the run with an error
+// unless cfg.Reconnect is set, in which case the connection redials and
+// works through its remaining quota; error *replies* (busy, OOM) are
+// counted, not fatal either way.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	res := &LoadResult{}
-	var commands, gets, sets, mgets, busy, errCount, mismatches atomic.Uint64
+	var commands, gets, sets, mgets, busy, errCount, mismatches, disconnects atomic.Uint64
 	var lat stats.Hist
 
 	errs := make([]error, cfg.Conns)
@@ -120,14 +130,37 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-			nc, err := net.Dial("tcp", cfg.Addr)
-			if err != nil {
-				errs[i] = err
-				return
+
+			var nc net.Conn
+			var br *bufio.Reader
+			var bw *bufio.Writer
+			defer func() {
+				if nc != nil {
+					nc.Close()
+				}
+			}()
+			// fail handles a transport-level failure: without Reconnect it
+			// records the error and aborts this connection's run; with it,
+			// the connection is abandoned (any unread in-flight replies with
+			// it), the disconnect is counted, and the caller retries on a
+			// fresh dial. The retry cap keeps a hard-down server from
+			// spinning forever.
+			const maxReconnects = 256
+			reconnects := 0
+			fail := func(err error) bool {
+				if nc != nil {
+					nc.Close()
+					nc = nil
+				}
+				if !cfg.Reconnect || reconnects >= maxReconnects {
+					errs[i] = err
+					return false
+				}
+				reconnects++
+				disconnects.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return true
 			}
-			defer nc.Close()
-			br := bufio.NewReader(nc)
-			bw := bufio.NewWriter(nc)
 
 			const (
 				opGet = iota
@@ -141,12 +174,22 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			}
 			batch := make([]sent, 0, cfg.Pipeline)
 			for remaining := cfg.Requests; remaining > 0; {
+				if nc == nil {
+					c, err := net.Dial("tcp", cfg.Addr)
+					if err != nil {
+						if fail(err) {
+							continue
+						}
+						return
+					}
+					nc, br, bw = c, bufio.NewReader(c), bufio.NewWriter(c)
+				}
 				n := cfg.Pipeline
 				if n > remaining {
 					n = remaining
 				}
-				remaining -= n
 				batch = batch[:0]
+				writeErr := error(nil)
 				for j := 0; j < n; j++ {
 					draw := rng.Intn(100)
 					var s sent
@@ -169,16 +212,27 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 						cmd = redis.EncodeCommand("GET", key)
 					}
 					if _, err := bw.Write(cmd); err != nil {
-						errs[i] = err
-						return
+						writeErr = err
+						break
 					}
 					s.at = time.Now()
 					batch = append(batch, s)
 				}
-				if err := bw.Flush(); err != nil {
-					errs[i] = err
+				if writeErr == nil {
+					writeErr = bw.Flush()
+				}
+				if writeErr != nil {
+					// Nothing from this batch was consumed; a reconnect
+					// retries the full remaining quota (with fresh draws —
+					// values are functions of their key, so verification
+					// does not care which commands land).
+					if fail(writeErr) {
+						continue
+					}
 					return
 				}
+				consumed := 0
+				var transportErr error
 				for _, s := range batch {
 					var err error
 					if s.op == opMGet {
@@ -216,11 +270,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 							errCount.Add(1)
 						}
 					case err != nil:
-						errs[i] = err
-						return
+						transportErr = err
+					}
+					if transportErr != nil {
+						break
 					}
 					lat.Observe(uint64(time.Since(s.at).Nanoseconds()))
 					commands.Add(1)
+					consumed++
 					switch s.op {
 					case opGet:
 						gets.Add(1)
@@ -230,10 +287,19 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 						mgets.Add(1)
 					}
 				}
+				remaining -= consumed
+				if transportErr != nil {
+					if fail(transportErr) {
+						continue
+					}
+					return
+				}
 			}
 			// Polite goodbye; the +OK confirms the server saw it.
-			if _, err := nc.Write(redis.EncodeCommand("QUIT")); err == nil {
-				redis.ReadReply(br)
+			if nc != nil {
+				if _, err := nc.Write(redis.EncodeCommand("QUIT")); err == nil {
+					redis.ReadReply(br)
+				}
 			}
 		}(i)
 	}
@@ -246,6 +312,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res.Busy = busy.Load()
 	res.Errors = errCount.Load()
 	res.Mismatches = mismatches.Load()
+	res.Disconnects = disconnects.Load()
 	res.Latency = lat.Snap()
 	return res, errors.Join(errs...)
 }

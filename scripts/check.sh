@@ -36,10 +36,16 @@ go test -race ./...
 echo "== fuzz smoke (RESP parser) =="
 go test -run Fuzz -fuzz=FuzzReadCommand -fuzztime=10s ./internal/redis
 
-echo "== cluster smoke (3 shards, both serving paths) =="
+echo "== fuzz smoke (chaos scenario parser) =="
+go test -run Fuzz -fuzz=FuzzParseSpec -fuzztime=10s ./internal/chaos
+
+echo "== cluster smoke (baseline scenario, both serving paths) =="
 ./scripts/cluster-smoke.sh
 
-echo "== failover smoke (kill a node mid-load, standby promotes) =="
+echo "== failover smoke (rolling node kills, standbys promote) =="
 ./scripts/failover-smoke.sh
+
+echo "== chaos smoke (kills + partition, invariant-checked) =="
+./scripts/chaos-smoke.sh
 
 echo "OK"

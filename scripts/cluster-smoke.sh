@@ -1,63 +1,21 @@
 #!/bin/sh
-# Cluster smoke test: boot a 3-node cluster server in auto mode (so the
-# shared-VAS fast path and the urpc channels are both live), drive the load
-# generator with an MGET-heavy mix over real TCP, drain via SIGTERM, and
-# assert from the final JSON snapshot that commands were served on BOTH
-# paths — a routing bug that silently sends everything local would pass a
-# plain load test and fail here.
+# Cluster smoke test, now phrased as a chaos scenario: `cluster-baseline`
+# boots a 3-node cluster in auto mode (shared-VAS fast path and urpc
+# channels both live), drives the verifying load generator with an
+# MGET-heavy mix over real TCP, and asserts its invariants — commands
+# served on BOTH paths (min_local/min_remote), zero mismatches, zero
+# terminal errors, and a leak-free zero-goroutine drain. A routing bug
+# that silently sends everything local would pass a plain load test and
+# fail here. The runner also long-polls its own /stats/delta stream, so
+# the admin surface is exercised on every smoke.
 set -e
 
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
-srv_pid=""
-cleanup() {
-    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null
-    rm -rf "$tmp"
-}
-trap cleanup EXIT
+trap 'rm -rf "$tmp"' EXIT
 
-go build -o "$tmp/spacejmp-server" ./cmd/spacejmp-server
-go build -o "$tmp/spacejmp-load" ./cmd/spacejmp-load
+go build -o "$tmp/spacejmp-chaos" ./cmd/spacejmp-chaos
 
-"$tmp/spacejmp-server" -addr 127.0.0.1:0 -cluster 3 -mode auto -workers 2 \
-    -machine M1 -json 2>"$tmp/server.log" &
-srv_pid=$!
-
-addr=""
-i=0
-while [ $i -lt 50 ]; do
-    addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$tmp/server.log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "cluster-smoke: server never came up" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-
-"$tmp/spacejmp-load" -addr "$addr" -conns 8 -pipeline 4 -n 128 \
-    -set-percent 20 -mget 30
-
-kill -TERM "$srv_pid"
-wait "$srv_pid"
-srv_pid=""
-
-# The snapshot's cluster object leads with its aggregate counters, so the
-# first "local"/"remote" hits are the cluster-wide totals.
-local_cmds=$(grep -o '"local": *[0-9]*' "$tmp/server.log" | head -1 | grep -o '[0-9]*$')
-remote_cmds=$(grep -o '"remote": *[0-9]*' "$tmp/server.log" | head -1 | grep -o '[0-9]*$')
-echo "cluster-smoke: local=$local_cmds remote=$remote_cmds"
-if [ -z "$local_cmds" ] || [ "$local_cmds" -eq 0 ]; then
-    echo "cluster-smoke: no commands took the shared-VAS fast path" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-if [ -z "$remote_cmds" ] || [ "$remote_cmds" -eq 0 ]; then
-    echo "cluster-smoke: no commands crossed a urpc channel" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
+"$tmp/spacejmp-chaos" -scenario cluster-baseline -quiet
 echo "cluster-smoke: OK"

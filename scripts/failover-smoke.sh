@@ -1,78 +1,20 @@
 #!/bin/sh
-# Failover smoke test: boot a replicated 3-node cluster server, crash the
-# remote shard node mid-load with -kill-node, and require the load
-# generator to finish with zero verification failures while the health
-# monitor promotes the warm standby. The final JSON snapshot must show at
-# least one checkpoint ship and exactly one promotion — a monitor that
-# never ships, or a router that keeps serving the dead primary, fails here
-# even though a plain load test would pass.
+# Failover smoke test, now phrased as a chaos scenario: `rolling-node-kills`
+# boots a replicated 4-node cluster, crashes both remote shard nodes in
+# sequence mid-load, and asserts the declared invariants — exactly two
+# standby promotions (seen in both the counters and the trace ring), at
+# least one checkpoint ship, zero lost updates, zero degraded ranges, zero
+# verification failures, and a leak-free drain. A monitor that never ships,
+# or a router that keeps serving a dead primary, fails here even though a
+# plain load test would pass.
 set -e
 
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
-srv_pid=""
-cleanup() {
-    [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null
-    rm -rf "$tmp"
-}
-trap cleanup EXIT
+trap 'rm -rf "$tmp"' EXIT
 
-go build -o "$tmp/spacejmp-server" ./cmd/spacejmp-server
-go build -o "$tmp/spacejmp-load" ./cmd/spacejmp-load
+go build -o "$tmp/spacejmp-chaos" ./cmd/spacejmp-chaos
 
-"$tmp/spacejmp-server" -addr 127.0.0.1:0 -cluster 3 -mode auto -workers 2 \
-    -machine M1 -replicate -ship-every 16 -kill-node 2 -kill-after 300ms \
-    -json 2>"$tmp/server.log" &
-srv_pid=$!
-
-addr=""
-i=0
-while [ $i -lt 50 ]; do
-    addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$tmp/server.log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "failover-smoke: server never came up" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-
-# Enough pipelined load to straddle the 300ms kill: the generator verifies
-# every GET against the key's deterministic value and exits nonzero on any
-# mismatch or hard error reply, so surviving the crash is the assertion.
-"$tmp/spacejmp-load" -addr "$addr" -conns 4 -pipeline 4 -n 512 \
-    -set-percent 25 -mget 20 -keys 256
-
-if ! grep -q "crashed node 2" "$tmp/server.log"; then
-    echo "failover-smoke: kill-node never fired" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-
-kill -TERM "$srv_pid"
-wait "$srv_pid"
-srv_pid=""
-
-ships=$(grep -o '"ships": *[0-9]*' "$tmp/server.log" | head -1 | grep -o '[0-9]*$')
-promotions=$(grep -o '"promotions": *[0-9]*' "$tmp/server.log" | head -1 | grep -o '[0-9]*$')
-lost=$(grep -o '"lost_updates": *[0-9]*' "$tmp/server.log" | head -1 | grep -o '[0-9]*$')
-echo "failover-smoke: ships=$ships promotions=$promotions lost_updates=$lost"
-if [ -z "$ships" ] || [ "$ships" -eq 0 ]; then
-    echo "failover-smoke: no checkpoint generation was ever shipped" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-if [ -z "$promotions" ] || [ "$promotions" -ne 1 ]; then
-    echo "failover-smoke: expected exactly one standby promotion" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-if grep -q "leak check:" "$tmp/server.log"; then
-    echo "failover-smoke: simulated frames leaked across failover" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
+"$tmp/spacejmp-chaos" -scenario rolling-node-kills -quiet
 echo "failover-smoke: OK"
