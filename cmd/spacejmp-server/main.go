@@ -14,6 +14,7 @@
 //	                [-cluster n] [-mode vas|urpc|auto] [-workers n]
 //	                [-admin host:port] [-replicate] [-ship-every n]
 //	                [-kill-node n] [-kill-after d]
+//	                [-add-node-after d] [-remove-node n] [-remove-node-after d]
 //	                [-scenario name|file.json] [-fault-seed n]
 //
 // With -admin, a plain HTTP surface serves /healthz, /stats (the live
@@ -24,7 +25,11 @@
 // range degrades. With -replicate, every remote cluster node gets a warm
 // standby kept fresh by checkpoint shipping and a health monitor that
 // fails its key range over on crash; -kill-node/-kill-after stage a
-// crash for failover experiments.
+// crash for failover experiments. -add-node-after grows the cluster by one
+// node mid-run (and rebalances a fair share of placement slots onto it);
+// -remove-node/-remove-node-after drain a node's slots to the rest of the
+// cluster and retire it — both run live, under whatever traffic clients
+// are sending.
 //
 // With -scenario, the named chaos-library scenario (or a JSON scenario
 // file) plays its step timeline against this server's live fault registry:
@@ -76,6 +81,9 @@ func main() {
 	shipEvery := flag.Int("ship-every", 0, "ship a node's checkpoint after this many writes (0 = default)")
 	killNode := flag.Int("kill-node", -1, "crash this cluster node after -kill-after (testing failover)")
 	killAfter := flag.Duration("kill-after", 2*time.Second, "delay before -kill-node fires")
+	addNodeAfter := flag.Duration("add-node-after", 0, "add one cluster node (and rebalance slots onto it) after this delay (0 disables)")
+	removeNode := flag.Int("remove-node", -1, "drain and remove this cluster node after -remove-node-after")
+	removeNodeAfter := flag.Duration("remove-node-after", 2*time.Second, "delay before -remove-node fires")
 	scenario := flag.String("scenario", "", "play this chaos scenario's steps against the live fault registry (library name or JSON file)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault registry seed for -scenario runs")
 	flag.Parse()
@@ -134,8 +142,10 @@ func main() {
 			Mode:       mode,
 			QueueDepth: *queue,
 			SegSize:    *segSize,
-			Replicate:  *replicate,
-			ShipEvery:  *shipEvery,
+			Replication: cluster.ReplicationConfig{
+				Enabled:   *replicate,
+				ShipEvery: *shipEvery,
+			},
 		})
 		if err != nil {
 			fatal(err)
@@ -153,6 +163,32 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "spacejmp-server: crashed node %d\n", id)
 			}(*killNode, *killAfter)
+		}
+		if *addNodeAfter > 0 {
+			go func(after time.Duration) {
+				time.Sleep(after)
+				id, err := router.AddNode()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "spacejmp-server: add-node: %v\n", err)
+					return
+				}
+				moved, err := router.RebalanceInto(id)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "spacejmp-server: add-node: rebalance onto %d: %v\n", id, err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "spacejmp-server: added node %d (%d slots migrated onto it)\n", id, moved)
+			}(*addNodeAfter)
+		}
+		if *removeNode >= 0 {
+			go func(id int, after time.Duration) {
+				time.Sleep(after)
+				if err := router.RemoveNode(id); err != nil {
+					fmt.Fprintf(os.Stderr, "spacejmp-server: remove-node: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "spacejmp-server: drained and removed node %d\n", id)
+			}(*removeNode, *removeNodeAfter)
 		}
 	} else {
 		srv, err = server.New(sys, ln, srvCfg)
@@ -185,18 +221,30 @@ func main() {
 	schedCtx, schedCancel := context.WithCancel(context.Background())
 	defer schedCancel()
 	if spec != nil {
-		kill := func(id int) error {
-			if router == nil {
-				return fmt.Errorf("cluster.node.kill needs -cluster")
+		var ops chaos.Ops
+		if router != nil {
+			ops = chaos.Ops{
+				Kill: router.KillNode,
+				AddNode: func() (int, error) {
+					id, err := router.AddNode()
+					if err != nil {
+						return 0, err
+					}
+					if _, err := router.RebalanceInto(id); err != nil {
+						return id, err
+					}
+					return id, nil
+				},
+				RemoveNode:  router.RemoveNode,
+				MigrateSlot: router.MigrateSlot,
 			}
-			return router.KillNode(id)
 		}
 		logf := func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "spacejmp-server: "+format+"\n", args...)
 		}
 		fmt.Fprintf(os.Stderr, "spacejmp-server: playing scenario %s (%d steps, seed %d)\n",
 			spec.Name, len(spec.Steps), *faultSeed)
-		sched = chaos.StartSchedule(schedCtx, spec.Steps, reg, kill, logf)
+		sched = chaos.StartSchedule(schedCtx, spec.Steps, reg, ops, logf)
 	}
 
 	sigs := make(chan os.Signal, 1)

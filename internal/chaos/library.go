@@ -22,6 +22,8 @@ func Library() []*Spec {
 		slowReplica(),
 		checkpointCorruptionStorm(),
 		acceptPressureFlood(),
+		elasticAddRemove(),
+		migrationTargetKilled(),
 	}
 }
 
@@ -192,6 +194,83 @@ func checkpointCorruptionStorm() *Spec {
 			MaxErrorFrac:   f64(0.9),
 			StepsMustFire:  true,
 			MinTraceEvents: map[string]uint64{"node-state": 1},
+		},
+	}
+}
+
+// elasticAddRemove is the elastic-membership exercise: grow the cluster by
+// one node mid-run (the add step rebalances a fair share of slots onto it
+// under the live verifying load), then drain and retire that same node. The
+// load must verify cleanly throughout — a command racing a slot flip may
+// only ever see a retryable -MOVED, never a wrong answer — and both
+// membership changes must land in the trace.
+//
+// Core budget on the small (4-core) machine: worker on core 0, the one
+// remote seed node on core 1, the migration engine claims core 2, and the
+// added node takes core 3.
+func elasticAddRemove() *Spec {
+	return &Spec{
+		Name:        "elastic-add-remove",
+		Description: "add node 3 and rebalance onto it mid-load, then drain and remove it; everything verifies",
+		Machine:     "small",
+		Cluster:     ClusterSpec{Nodes: 3, Workers: 1, Locals: 2},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 512,
+			SetPercent: 30, Keys: 256,
+		},
+		Steps: []Step{
+			{Point: "cluster.node.add", After: dur(100 * time.Millisecond)},
+			{Point: "cluster.node.remove", Target: intp(3), After: dur(700 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			// Rebalance moves a fair share (256/4 = 64 slots) onto node 3;
+			// the remove drains them all back out again.
+			MinSlotMoves:  64,
+			MaxBusyFrac:   f64(0.9),
+			StepsMustFire: true,
+			MinTraceEvents: map[string]uint64{
+				"slot-move":    64,
+				"node-added":   1,
+				"node-removed": 1,
+			},
+		},
+	}
+}
+
+// migrationTargetKilled points a slot migration at a node armed to crash:
+// the copy fails mid-import, the migration must abort and roll back — the
+// source stays authoritative and the load keeps verifying against it. The
+// failed move is counted exactly once and traced. StepsMustFire stays off:
+// the migrate step erroring out is this scenario's point.
+//
+// Core budget on the small (4-core) machine: worker on core 0, remote
+// nodes 1 and 2 on cores 1-2, the migration engine claims core 3.
+func migrationTargetKilled() *Spec {
+	return &Spec{
+		Name:        "migration-target-killed",
+		Description: "migrate a slot into a crashing node: abort, roll back, source stays authoritative",
+		Machine:     "small",
+		Cluster:     ClusterSpec{Nodes: 3, Workers: 1, Locals: 1},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 2, Requests: 256,
+			SetPercent: 30, Keys: 128,
+		},
+		Steps: []Step{
+			// Node 2 dies on its next dispatch from 50ms on; the migration at
+			// 150ms targets it — either the crash already landed (the target
+			// is rejected as unserving) or the import itself trips it.
+			{Point: "cluster.node.crash", Target: intp(2), Policy: PolicySpec{Kind: "always"}, After: dur(50 * time.Millisecond)},
+			{Point: "cluster.slot.migrate", Slot: intp(4), Target: intp(2), After: dur(150 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			SlotMoveFailures: u64(1),
+			// A third of the keyspace routes to the dead node for the rest of
+			// the run; those commands surface as retryable refusals.
+			MaxBusyFrac:  f64(0.95),
+			MaxErrorFrac: f64(0.9),
+			MinTraceEvents: map[string]uint64{
+				"slot-move-failed": 1,
+			},
 		},
 	}
 }

@@ -137,7 +137,7 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if clCfg.Replicate {
+	if clCfg.Replication.Enabled {
 		// Replication rides NVM checkpoint generations; give machines
 		// configured without (enough) persistent memory room to hold them.
 		if hwCfg.Mem.NVMSize == 0 {
@@ -194,7 +194,23 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		logf("chaos: admin on http://%s", aln.Addr())
 	}
 
-	sched := StartSchedule(ctx, spec.Steps, reg, router.KillNode, logf)
+	sched := StartSchedule(ctx, spec.Steps, reg, Ops{
+		Kill: router.KillNode,
+		AddNode: func() (int, error) {
+			id, err := router.AddNode()
+			if err != nil {
+				return 0, err
+			}
+			// One step is the whole operator action: bring the node up AND
+			// move a fair share of slots onto it under the live load.
+			if _, err := router.RebalanceInto(id); err != nil {
+				return id, err
+			}
+			return id, nil
+		},
+		RemoveNode:  router.RemoveNode,
+		MigrateSlot: router.MigrateSlot,
+	}, logf)
 
 	loadCfg := server.LoadConfig{
 		Addr:        srv.Addr().String(),
@@ -230,6 +246,9 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 	}
 	if d := inv.Degraded; d != nil && *d > 0 {
 		waitUntil(quiesceTimeout, func() bool { return countDegraded(router.Health()) >= *d })
+	}
+	if inv.MinSlotMoves > 0 {
+		waitUntil(quiesceTimeout, func() bool { return obs.ClusterSlotMovesTotal() >= inv.MinSlotMoves })
 	}
 
 	FinalizeReports(reg, spec.Steps, reports)
@@ -322,11 +341,15 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 	}
 
 	var repl stats.ReplicationSnap
+	var mig stats.MigrationSnap
 	var local, remote uint64
 	if snap != nil && snap.Cluster != nil {
 		local, remote = snap.Cluster.Local, snap.Cluster.Remote
 		if snap.Cluster.Replication != nil {
 			repl = *snap.Cluster.Replication
+		}
+		if snap.Cluster.Migration != nil {
+			mig = *snap.Cluster.Migration
 		}
 	}
 	if p := inv.Promotions; p != nil {
@@ -340,6 +363,14 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 	if l := inv.MaxLostUpdates; l != nil {
 		add("lost-updates", repl.LostUpdates <= *l,
 			fmt.Sprintf("%d lost updates (max %d)", repl.LostUpdates, *l))
+	}
+	if inv.MinSlotMoves > 0 {
+		add("slot-moves", mig.SlotMoves >= inv.MinSlotMoves,
+			fmt.Sprintf("%d slot migrations (min %d)", mig.SlotMoves, inv.MinSlotMoves))
+	}
+	if f := inv.SlotMoveFailures; f != nil {
+		add("slot-move-failures", mig.SlotMoveFailures == *f,
+			fmt.Sprintf("%d failed slot migrations (want exactly %d)", mig.SlotMoveFailures, *f))
 	}
 	if d := inv.Degraded; d != nil {
 		got := countDegraded(health)

@@ -130,7 +130,7 @@ func TestScheduleTiming(t *testing.T) {
 	}
 
 	reg := fault.New(1)
-	run := StartSchedule(t.Context(), steps, reg, nil, t.Logf)
+	run := StartSchedule(t.Context(), steps, reg, Ops{}, t.Logf)
 	// Contract: the zero-offset rule is live before StartSchedule returns.
 	if !reg.Fire("urpc.delay") {
 		t.Fatal("zero-offset step not armed synchronously")

@@ -29,11 +29,57 @@ type ScheduleRun struct {
 	reports []StepReport
 }
 
-// scheduleEvent is one timed action on the registry (or the kill hook).
+// scheduleEvent is one timed action on the registry (or an operator hook).
 type scheduleEvent struct {
 	at    time.Duration
 	order int // arms sort before disarms at the same instant
 	apply func()
+}
+
+// Ops are the operator actions a schedule's pseudo-point steps invoke on
+// the cluster under test. Any nil hook turns its steps into recorded
+// errors rather than panics, so a partial wiring (tests, single-store
+// runs) stays usable.
+type Ops struct {
+	// Kill hard-kills a node (cluster.node.kill).
+	Kill func(node int) error
+	// AddNode brings up a new node and returns its id (cluster.node.add).
+	// Rebalancing onto it is the hook's business — the runner's hook adds
+	// then rebalances, so one step models the whole operator action.
+	AddNode func() (int, error)
+	// RemoveNode drains and decommissions a node (cluster.node.remove).
+	RemoveNode func(node int) error
+	// MigrateSlot moves one placement slot to a node (cluster.slot.migrate).
+	MigrateSlot func(slot, dst int) error
+}
+
+// run executes one pseudo-point step, returning a description of what
+// happened (for the narration log) or an error.
+func (o Ops) run(st Step) (string, error) {
+	switch st.Point {
+	case PointNodeKill:
+		if o.Kill == nil {
+			return "", fmt.Errorf("no kill hook wired")
+		}
+		return fmt.Sprintf("killed node %d", *st.Target), o.Kill(*st.Target)
+	case PointNodeAdd:
+		if o.AddNode == nil {
+			return "", fmt.Errorf("no add-node hook wired")
+		}
+		id, err := o.AddNode()
+		return fmt.Sprintf("added node %d", id), err
+	case PointNodeRemove:
+		if o.RemoveNode == nil {
+			return "", fmt.Errorf("no remove-node hook wired")
+		}
+		return fmt.Sprintf("removed node %d", *st.Target), o.RemoveNode(*st.Target)
+	case PointSlotMigrate:
+		if o.MigrateSlot == nil {
+			return "", fmt.Errorf("no migrate-slot hook wired")
+		}
+		return fmt.Sprintf("migrated slot %d to node %d", *st.Slot, *st.Target), o.MigrateSlot(*st.Slot, *st.Target)
+	}
+	return "", fmt.Errorf("not a pseudo-point: %s", st.Point)
 }
 
 // StartSchedule begins executing steps against reg. Events at offset zero
@@ -41,8 +87,9 @@ type scheduleEvent struct {
 // right after is guaranteed the whole-run rules were armed first — that
 // ordering is what makes a seeded scenario's fired totals reproducible.
 // Later events play out on a goroutine until the context is cancelled;
-// kill steps invoke kill with their target. logf (nil ok) narrates events.
-func StartSchedule(ctx context.Context, steps []Step, reg *fault.Registry, kill func(node int) error, logf func(format string, args ...any)) *ScheduleRun {
+// pseudo-point steps invoke the matching ops hook at their start offset.
+// logf (nil ok) narrates events.
+func StartSchedule(ctx context.Context, steps []Step, reg *fault.Registry, ops Ops, logf func(format string, args ...any)) *ScheduleRun {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -54,15 +101,16 @@ func StartSchedule(ctx context.Context, steps []Step, reg *fault.Registry, kill 
 	for i, st := range steps {
 		i, st := i, st
 		run.reports[i] = StepReport{Step: i, Point: st.Point, Target: st.target()}
-		if st.Point == PointNodeKill {
+		if pseudoPoints[st.Point] {
 			events = append(events, scheduleEvent{at: time.Duration(st.After), order: 0, apply: func() {
-				if err := kill(*st.Target); err != nil {
+				what, err := ops.run(st)
+				if err != nil {
 					run.reports[i].Err = err.Error()
-					logf("chaos: step %d: kill node %d: %v", i, *st.Target, err)
+					logf("chaos: step %d: %s: %v", i, st.Point, err)
 					return
 				}
 				run.reports[i].Hits, run.reports[i].Fired = 1, 1
-				logf("chaos: step %d: killed node %d", i, *st.Target)
+				logf("chaos: step %d: %s", i, what)
 			}})
 			continue
 		}
@@ -144,7 +192,7 @@ func (s *ScheduleRun) Wait(ctx context.Context) ([]StepReport, error) {
 // totals are read from the live registry now.
 func FinalizeReports(reg *fault.Registry, steps []Step, reports []StepReport) {
 	for i, st := range steps {
-		if st.Point == PointNodeKill || st.For > 0 || i >= len(reports) {
+		if pseudoPoints[st.Point] || st.For > 0 || i >= len(reports) {
 			continue
 		}
 		reports[i].Hits, reports[i].Fired = reg.StatusAt(st.Point, st.target())

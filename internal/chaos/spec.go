@@ -31,11 +31,32 @@ import (
 	"spacejmp/internal/stats"
 )
 
-// PointNodeKill is the schedule-only pseudo-point: instead of arming a
-// registry rule, the step calls Router.KillNode on its target at its start
-// offset — an operator-style hard kill, distinct from cluster.node.crash
-// (which arms the node's own handler to die on its next dispatch).
-const PointNodeKill = "cluster.node.kill"
+// Schedule-only pseudo-points: instead of arming a registry rule, the step
+// invokes an operator action on the router at its start offset.
+const (
+	// PointNodeKill calls Router.KillNode on its target — an operator-style
+	// hard kill, distinct from cluster.node.crash (which arms the node's
+	// own handler to die on its next dispatch).
+	PointNodeKill = "cluster.node.kill"
+	// PointNodeAdd calls Router.AddNode (then rebalances slots onto the new
+	// node); it takes no target — the new node's id is the next free one.
+	PointNodeAdd = "cluster.node.add"
+	// PointNodeRemove calls Router.RemoveNode on its target: drain every
+	// owned slot to the remaining nodes, then decommission.
+	PointNodeRemove = "cluster.node.remove"
+	// PointSlotMigrate calls Router.MigrateSlot(Slot, Target): move one
+	// placement slot to the target node while the cluster serves.
+	PointSlotMigrate = "cluster.slot.migrate"
+)
+
+// pseudoPoints are the schedule-only operator actions — they never touch
+// the fault registry.
+var pseudoPoints = map[string]bool{
+	PointNodeKill:    true,
+	PointNodeAdd:     true,
+	PointNodeRemove:  true,
+	PointSlotMigrate: true,
+}
 
 // MaxHorizon bounds how far into a run a step may reach (start offset plus
 // duration); schedules are wall-clock timelines and an unbounded one would
@@ -151,11 +172,14 @@ func (p PolicySpec) build() (fault.Policy, string, error) {
 
 // Step is one scheduled disruption: arm Point with Policy for the window
 // [After, After+For), scoped to Target when set. For of zero keeps the rule
-// armed until the run ends. A PointNodeKill step ignores Policy and For and
-// kills its target node at After.
+// armed until the run ends. Pseudo-point steps (kill, add, remove, migrate)
+// ignore Policy and For and invoke their operator action at After; a
+// cluster.slot.migrate step names the slot to move in Slot and its
+// destination node in Target.
 type Step struct {
 	Point  string     `json:"point"`
 	Target *int       `json:"target,omitempty"`
+	Slot   *int       `json:"slot,omitempty"`
 	Policy PolicySpec `json:"policy,omitempty"`
 	After  Duration   `json:"after,omitempty"`
 	For    Duration   `json:"for,omitempty"`
@@ -189,47 +213,56 @@ var knownPoints = map[string]bool{
 	fault.ClusterProbeDrop: true,
 	fault.ClusterNodeCrash: true,
 	PointNodeKill:          true,
+	PointNodeAdd:           true,
+	PointNodeRemove:        true,
+	PointSlotMigrate:       true,
 }
 
 // ClusterSpec sizes the cluster under test; zero values take the cluster
 // package's defaults. It mirrors cluster.Config field by field so a
 // scenario file can pin any knob a test can.
 type ClusterSpec struct {
-	Nodes          int      `json:"nodes,omitempty"`
-	Workers        int      `json:"workers,omitempty"`
-	Mode           string   `json:"mode,omitempty"`
-	Locals         int      `json:"locals,omitempty"`
-	QueueDepth     int      `json:"queue_depth,omitempty"`
-	SegSize        uint64   `json:"seg_size,omitempty"`
-	Slots          int      `json:"slots,omitempty"`
-	Replicate      bool     `json:"replicate,omitempty"`
-	ShipEvery      int      `json:"ship_every,omitempty"`
-	ShipInterval   Duration `json:"ship_interval,omitempty"`
-	ProbeInterval  Duration `json:"probe_interval,omitempty"`
-	ProbeThreshold int      `json:"probe_threshold,omitempty"`
-	DeltaLog       int      `json:"delta_log,omitempty"`
+	Nodes             int      `json:"nodes,omitempty"`
+	Workers           int      `json:"workers,omitempty"`
+	Mode              string   `json:"mode,omitempty"`
+	Locals            int      `json:"locals,omitempty"`
+	QueueDepth        int      `json:"queue_depth,omitempty"`
+	SegSize           uint64   `json:"seg_size,omitempty"`
+	Slots             int      `json:"slots,omitempty"`
+	Replicate         bool     `json:"replicate,omitempty"`
+	ShipEvery         int      `json:"ship_every,omitempty"`
+	ShipInterval      Duration `json:"ship_interval,omitempty"`
+	ProbeInterval     Duration `json:"probe_interval,omitempty"`
+	ProbeThreshold    int      `json:"probe_threshold,omitempty"`
+	DeltaLog          int      `json:"delta_log,omitempty"`
+	MigrationDeltaLog int      `json:"migration_delta_log,omitempty"`
 }
 
-// Config resolves the spec into a cluster.Config.
+// Config resolves the spec into a cluster.Config. The replication knobs
+// stay flat in the JSON surface (scenario files predate the nesting) but
+// land in the nested ReplicationConfig.
 func (c ClusterSpec) Config() (cluster.Config, error) {
 	mode, err := cluster.ParseMode(c.Mode)
 	if err != nil {
 		return cluster.Config{}, err
 	}
 	return cluster.Config{
-		Nodes:          c.Nodes,
-		Workers:        c.Workers,
-		Mode:           mode,
-		Locals:         c.Locals,
-		QueueDepth:     c.QueueDepth,
-		SegSize:        c.SegSize,
-		Slots:          c.Slots,
-		Replicate:      c.Replicate,
-		ShipEvery:      c.ShipEvery,
-		ShipInterval:   time.Duration(c.ShipInterval),
-		ProbeInterval:  time.Duration(c.ProbeInterval),
-		ProbeThreshold: c.ProbeThreshold,
-		DeltaLog:       c.DeltaLog,
+		Nodes:             c.Nodes,
+		Workers:           c.Workers,
+		Mode:              mode,
+		Locals:            c.Locals,
+		QueueDepth:        c.QueueDepth,
+		SegSize:           c.SegSize,
+		Slots:             c.Slots,
+		MigrationDeltaLog: c.MigrationDeltaLog,
+		Replication: cluster.ReplicationConfig{
+			Enabled:        c.Replicate,
+			ShipEvery:      c.ShipEvery,
+			ShipInterval:   time.Duration(c.ShipInterval),
+			ProbeInterval:  time.Duration(c.ProbeInterval),
+			ProbeThreshold: c.ProbeThreshold,
+			DeltaLog:       c.DeltaLog,
+		},
 	}, nil
 }
 
@@ -295,8 +328,13 @@ type Invariants struct {
 	// MinDisconnects is the minimum transport failures the load generator
 	// must have survived (Reconnect runs).
 	MinDisconnects uint64 `json:"min_disconnects,omitempty"`
+	// MinSlotMoves is the minimum completed slot migrations.
+	MinSlotMoves uint64 `json:"min_slot_moves,omitempty"`
+	// SlotMoveFailures, when set, is the exact count of slot migrations that
+	// aborted (source stayed authoritative).
+	SlotMoveFailures *uint64 `json:"slot_move_failures,omitempty"`
 	// StepsMustFire requires every step to have fired at least once (for a
-	// kill step: the kill succeeded).
+	// pseudo-point step: the operator action succeeded).
 	StepsMustFire bool `json:"steps_must_fire,omitempty"`
 	// MinTraceEvents maps trace event kind names ("promotion",
 	// "checkpoint-ship", "node-state", ...) to minimum occurrence counts.
@@ -374,18 +412,59 @@ func (s *Spec) Validate() error {
 		if end := time.Duration(st.After) + time.Duration(st.For); end > MaxHorizon {
 			return specErr(i, fmt.Sprintf("after+for: %v exceeds the %v horizon", end, MaxHorizon), ErrBadDuration)
 		}
-		if st.Point == PointNodeKill {
-			if st.Target == nil {
-				return specErr(i, "target: cluster.node.kill requires one", ErrBadTarget)
-			}
+		if pseudoPoints[st.Point] {
 			if st.Policy.Kind != "" && st.Policy.Kind != "always" {
-				return specErr(i, fmt.Sprintf("policy: kill steps take none, got %q", st.Policy.Kind), ErrBadPolicy)
+				return specErr(i, fmt.Sprintf("policy: %s steps take none, got %q", st.Point, st.Policy.Kind), ErrBadPolicy)
 			}
 			if st.For != 0 {
-				return specErr(i, "for: a kill has no duration", ErrBadDuration)
+				return specErr(i, "for: an operator action has no duration", ErrBadDuration)
 			}
 		} else if _, _, err := st.Policy.build(); err != nil {
 			return specErr(i, err.Error(), ErrBadPolicy)
+		}
+		if st.Slot != nil && st.Point != PointSlotMigrate {
+			return specErr(i, fmt.Sprintf("slot: only %s takes one", PointSlotMigrate), ErrBadSpec)
+		}
+		switch st.Point {
+		case PointNodeAdd:
+			if st.Target != nil {
+				return specErr(i, "target: cluster.node.add assigns the next free id; it takes no target", ErrBadTarget)
+			}
+			continue
+		case PointNodeRemove, PointSlotMigrate:
+			// The target may name a node an earlier add step creates: ids are
+			// assigned in order, so the upper bound grows with each add that
+			// runs before this step.
+			if st.Target == nil {
+				return specErr(i, fmt.Sprintf("target: %s requires one", st.Point), ErrBadTarget)
+			}
+			maxNode := nodes
+			for j, prior := range s.Steps {
+				if prior.Point == PointNodeAdd &&
+					(prior.After < st.After || (prior.After == st.After && j < i)) {
+					maxNode++
+				}
+			}
+			t := *st.Target
+			if t < 0 || t >= maxNode {
+				return specErr(i, fmt.Sprintf("target: node %d out of range [0,%d) (counting earlier adds)", t, maxNode), ErrBadTarget)
+			}
+			if st.Point == PointNodeRemove && t < nodes && localNode(t) {
+				return specErr(i, fmt.Sprintf("target: node %d is co-resident; it cannot be removed", t), ErrBadTarget)
+			}
+			if st.Point == PointSlotMigrate {
+				if st.Slot == nil {
+					return specErr(i, fmt.Sprintf("slot: %s requires one", PointSlotMigrate), ErrBadSpec)
+				}
+				if *st.Slot < 0 || *st.Slot >= cluster.NumSlots {
+					return specErr(i, fmt.Sprintf("slot: %d out of range [0,%d)", *st.Slot, cluster.NumSlots), ErrBadSpec)
+				}
+			}
+			continue
+		case PointNodeKill:
+			if st.Target == nil {
+				return specErr(i, "target: cluster.node.kill requires one", ErrBadTarget)
+			}
 		}
 		if st.Target != nil {
 			if !targetedPoints[st.Point] {
@@ -410,6 +489,12 @@ func (s *Spec) Validate() error {
 	}
 	byRule := map[key][]int{}
 	for i, st := range s.Steps {
+		if pseudoPoints[st.Point] && st.Point != PointNodeKill {
+			// Operator actions are instantaneous and own no registry rule;
+			// two adds (or a remove after an add) never collide. Kills keep
+			// the double-kill rule below.
+			continue
+		}
 		k := key{st.Point, st.target()}
 		byRule[k] = append(byRule[k], i)
 	}

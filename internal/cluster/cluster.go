@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spacejmp/internal/core"
@@ -66,11 +67,38 @@ type Config struct {
 	// Slots is the ring capacity of each urpc channel, in cache lines.
 	Slots int
 
-	// Replicate gives every remote node a warm standby replica, kept
-	// fresh by checkpoint shipping over urpc, and a health monitor (one
-	// more core) that fails a dead node's key range over to it. Requires
-	// a machine with an NVM superblock (mem.Config.NVMSuperblock).
+	// Replication configures warm standbys, checkpoint shipping and
+	// failover for remote nodes. See ReplicationConfig.
+	Replication ReplicationConfig
+
+	// MigrationDeltaLog bounds the per-slot write buffer a live slot
+	// migration accumulates while copying; on overflow the migration
+	// aborts and rolls back rather than lose ordered replay.
+	MigrationDeltaLog int
+
+	// Deprecated: set Replication.Enabled. Kept as an alias for one
+	// release; read only when Replication is entirely zero.
 	Replicate bool
+	// Deprecated: set Replication.ShipEvery.
+	ShipEvery int
+	// Deprecated: set Replication.ShipInterval.
+	ShipInterval time.Duration
+	// Deprecated: set Replication.ProbeInterval.
+	ProbeInterval time.Duration
+	// Deprecated: set Replication.ProbeThreshold.
+	ProbeThreshold int
+	// Deprecated: set Replication.DeltaLog.
+	DeltaLog int
+}
+
+// ReplicationConfig groups the replication and failover knobs. Enabled
+// gives every remote node a warm standby replica, kept fresh by checkpoint
+// shipping over urpc, and a health monitor (one more core) that fails a
+// dead node's key range over to it. Requires a machine with an NVM
+// superblock (mem.Config.NVMSuperblock).
+type ReplicationConfig struct {
+	// Enabled turns replication on.
+	Enabled bool
 	// ShipEvery triggers a checkpoint ship after this many buffered
 	// writes on a node.
 	ShipEvery int
@@ -85,6 +113,10 @@ type Config struct {
 	// overflow the node's failover degrades to checkpoint-only and the
 	// overflowed updates are reported lost.
 	DeltaLog int
+}
+
+func (c ReplicationConfig) isZero() bool {
+	return c == ReplicationConfig{}
 }
 
 func (c Config) withDefaults() Config {
@@ -109,21 +141,43 @@ func (c Config) withDefaults() Config {
 	if c.Slots <= 0 {
 		c.Slots = 256
 	}
-	if c.ShipEvery <= 0 {
-		c.ShipEvery = 128
+	if c.MigrationDeltaLog <= 0 {
+		c.MigrationDeltaLog = 4096
 	}
-	if c.ShipInterval <= 0 {
-		c.ShipInterval = 200 * time.Millisecond
+	// Fold the deprecated flat replication knobs into the nested config
+	// when the caller still uses them, then default and mirror back so
+	// both views agree for the alias release.
+	if c.Replication.isZero() {
+		c.Replication = ReplicationConfig{
+			Enabled:        c.Replicate,
+			ShipEvery:      c.ShipEvery,
+			ShipInterval:   c.ShipInterval,
+			ProbeInterval:  c.ProbeInterval,
+			ProbeThreshold: c.ProbeThreshold,
+			DeltaLog:       c.DeltaLog,
+		}
 	}
-	if c.ProbeInterval <= 0 {
-		c.ProbeInterval = 25 * time.Millisecond
+	if c.Replication.ShipEvery <= 0 {
+		c.Replication.ShipEvery = 128
 	}
-	if c.ProbeThreshold <= 0 {
-		c.ProbeThreshold = 3
+	if c.Replication.ShipInterval <= 0 {
+		c.Replication.ShipInterval = 200 * time.Millisecond
 	}
-	if c.DeltaLog <= 0 {
-		c.DeltaLog = 1024
+	if c.Replication.ProbeInterval <= 0 {
+		c.Replication.ProbeInterval = 25 * time.Millisecond
 	}
+	if c.Replication.ProbeThreshold <= 0 {
+		c.Replication.ProbeThreshold = 3
+	}
+	if c.Replication.DeltaLog <= 0 {
+		c.Replication.DeltaLog = 1024
+	}
+	c.Replicate = c.Replication.Enabled
+	c.ShipEvery = c.Replication.ShipEvery
+	c.ShipInterval = c.Replication.ShipInterval
+	c.ProbeInterval = c.Replication.ProbeInterval
+	c.ProbeThreshold = c.Replication.ProbeThreshold
+	c.DeltaLog = c.Replication.DeltaLog
 	return c
 }
 
@@ -146,15 +200,19 @@ func New(sys *core.System, cfg Config) (*Router, error) {
 		cfg: cfg,
 	}
 	r.ctx, r.cancel = context.WithCancel(context.Background())
-	if cfg.Replicate {
+	r.installTable(initialTable(cfg.Nodes))
+	if cfg.Replication.Enabled {
 		if _, sbSize := sys.M.PM.Superblock(); sbSize == 0 {
 			r.cancel()
 			return nil, fmt.Errorf("cluster: replication needs an NVM superblock (mem.Config.NVMSuperblock)")
 		}
-		r.shipCh = make(chan int, cfg.Nodes)
-		r.suspectCh = make(chan int, cfg.Nodes*4)
+		// Headroom in the channel capacities for nodes added later.
+		r.shipCh = make(chan int, cfg.Nodes*4)
+		r.suspectCh = make(chan int, cfg.Nodes*16)
+		r.monCtl = make(chan int, cfg.Nodes)
 	}
 	r.obs.InstallClusterNodes(cfg.Nodes)
+	r.obs.InstallClusterSlots(NumSlots)
 	ctrs := r.obs.InstallServerShards(cfg.Workers)
 
 	// Workers claim the first cores so they land on the first socket(s);
@@ -186,7 +244,7 @@ func New(sys *core.System, cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("cluster: wiring worker %d: %w", w.id, err)
 		}
 	}
-	if cfg.Replicate && len(r.replicatedNodes()) > 0 {
+	if cfg.Replication.Enabled && len(r.replicatedNodes()) > 0 {
 		if err := r.newMonitor(); err != nil {
 			r.teardownPartial()
 			return nil, fmt.Errorf("cluster: health monitor: %w", err)
@@ -247,14 +305,17 @@ func (r *Router) destroyStores() error {
 		return err
 	}
 	var errs error
-	for i := 0; i < r.cfg.Nodes; i++ {
-		err := redis.DestroyNamed(th, redis.ShardNames(i))
+	// Iterate the actual node list, not cfg.Nodes: AddNode grows it past
+	// the configured size, and removed nodes' stores (already destroyed at
+	// removal) fall through the ErrNotFound tolerance.
+	for _, n := range r.nodes {
+		err := redis.DestroyNamed(th, redis.ShardNames(n.id))
 		if err != nil && !errors.Is(err, core.ErrNotFound) {
-			errs = errors.Join(errs, fmt.Errorf("node %d store: %w", i, err))
+			errs = errors.Join(errs, fmt.Errorf("node %d store: %w", n.id, err))
 		}
-		err = redis.DestroyNamed(th, redis.StandbyNames(i))
+		err = redis.DestroyNamed(th, redis.StandbyNames(n.id))
 		if err != nil && !errors.Is(err, core.ErrNotFound) {
-			errs = errors.Join(errs, fmt.Errorf("node %d standby: %w", i, err))
+			errs = errors.Join(errs, fmt.Errorf("node %d standby: %w", n.id, err))
 		}
 	}
 	for _, n := range r.nodes {
@@ -272,10 +333,14 @@ func (r *Router) destroyStores() error {
 
 // Close drains the cluster: the monitor stops (its timers die with the
 // router context), the workers finish their backlogs, close their clients
-// and exit (releasing front-end cores), then the remote node processes
-// exit, and finally every node store is destroyed. After Close the only
-// simulated memory left is what existed before New.
+// and exit (releasing front-end cores), then the migration engine and the
+// remote node processes exit, and finally every node store is destroyed.
+// After Close the only simulated memory left is what existed before New.
+// The lifecycle lock is taken first, so an in-flight AddNode/RemoveNode/
+// MigrateSlot finishes (or fails) before teardown starts.
 func (r *Router) Close() error {
+	r.lifecycleMu.Lock()
+	defer r.lifecycleMu.Unlock()
 	r.closeOnce.Do(func() {
 		r.cancel()
 		r.mgrWG.Wait()
@@ -288,11 +353,18 @@ func (r *Router) Close() error {
 				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("worker %d: %w", w.id, w.err))
 			}
 		}
+		if r.eng != nil {
+			if err := r.eng.close(); err != nil {
+				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("migration engine: %w", err))
+			}
+			r.eng = nil
+		}
 		// No worker can call into a node anymore; this goroutine may now
 		// drive the node threads for teardown. Crashed processes are
-		// already gone — the reaper ran at crash time.
+		// already gone — the reaper ran at crash time — and removed nodes
+		// were torn down at removal.
 		for _, n := range r.nodes {
-			if n.crashed.Load() {
+			if n.crashed.Load() || n.removed.Load() {
 				continue
 			}
 			if n.client != nil {
@@ -312,15 +384,20 @@ func (r *Router) Close() error {
 }
 
 // PendingFrames returns the urpc frames sitting unconsumed across every
-// channel into each remote node — the workers' data endpoints and the
-// monitor's probe endpoints. On a loss-free interconnect a drained cluster
-// reports zero; the drain test holds it to that. Safe to call while the
-// cluster serves: every channel into a node is only driven under that
-// node's mutex, which this takes per node.
+// channel into each remote node — the workers' data endpoints, the
+// monitor's probe endpoints and the migration engine's copy endpoints. On
+// a loss-free interconnect a drained cluster reports zero; the drain test
+// holds it to that. Safe to call while the cluster serves: every channel
+// into a node is only driven under that node's mutex, which this takes per
+// node, and the node/endpoint lists are read under the topology lock (the
+// monitor's endpoint map is additionally guarded per node: the monitor
+// only grows it before the node's first probe, under monCtl handling).
 func (r *Router) PendingFrames() int {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	var total int
 	for _, n := range r.nodes {
-		if n.local {
+		if n.local || n.removed.Load() {
 			continue
 		}
 		n.mu.Lock()
@@ -330,7 +407,12 @@ func (r *Router) PendingFrames() int {
 			}
 		}
 		if r.mon != nil {
-			if ep := r.mon.eps[n.id]; ep != nil {
+			if ep := r.mon.epFor(n.id); ep != nil {
+				total += ep.Pending()
+			}
+		}
+		if r.eng != nil {
+			if ep := r.eng.existingEp(n.id); ep != nil {
 				total += ep.Pending()
 			}
 		}
@@ -339,28 +421,49 @@ func (r *Router) PendingFrames() int {
 	return total
 }
 
-// Router routes RESP commands to shard nodes. It implements server.Backend
-// and server.ClusterStatus.
+// Router routes RESP commands to shard nodes. It implements server.Backend,
+// server.ClusterStatus and Placement.
 type Router struct {
 	sys *core.System
 	obs *stats.Sink
 	cfg Config
 
 	workers []*worker
-	nodes   []*node
+	nodes   []*node // append-only; grown by AddNode under topoMu
 	mon     *monitor
+
+	// table is the current slot-table epoch (see placement.go). Replaced
+	// wholesale under topoMu; read lock-free for Owner/Table.
+	table atomic.Pointer[SlotTable]
+
+	// migs holds the in-flight migration per slot (nil when none). A
+	// worker that routes a write onto a migrating slot serializes through
+	// the migration's mutex so the delta log matches store order.
+	migs [NumSlots]atomic.Pointer[migration]
+
+	// eng is the lazily built migration engine (one core, claimed at the
+	// first lifecycle operation). Guarded by lifecycleMu for mutation and
+	// published under topoMu so PendingFrames can read it.
+	eng *engine
+
+	// lifecycleMu serializes cluster lifecycle operations — AddNode,
+	// RemoveNode, MigrateSlot, Close — against each other.
+	lifecycleMu sync.Mutex
 
 	// ctx is the router's lifetime: the monitor's timers and waits hang
 	// off it, so Close cancels them instead of leaking them.
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	// topoMu orders routing-entry flips (promotions) against the workers'
-	// path resolution.
+	// topoMu orders routing-entry flips (promotions, slot-table installs,
+	// node appends) against the workers' command execution: a worker holds
+	// the read side for a whole command, so a writer that holds the write
+	// side has waited out every in-flight command.
 	topoMu sync.RWMutex
 
 	shipCh    chan int // monitor pokes: write-count ship triggers
 	suspectCh chan int // monitor pokes: data-path timeout evidence
+	monCtl    chan int // monitor pokes: wire a probe endpoint to a new node
 
 	workerWG  sync.WaitGroup
 	mgrWG     sync.WaitGroup

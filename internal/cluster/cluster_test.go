@@ -49,12 +49,12 @@ func startCluster(t *testing.T, cfg Config, reg *fault.Registry) (*hw.Machine, *
 	return m, r, srv
 }
 
-// keyOnNode finds a key that hashes onto the wanted node.
+// keyOnNode finds a key whose slot is currently owned by the wanted node.
 func keyOnNode(t *testing.T, r *Router, node int) string {
 	t.Helper()
 	for i := 0; i < 10000; i++ {
 		k := fmt.Sprintf("key-%d", i)
-		if r.NodeFor(k) == node {
+		if r.Owner(r.Slot(k)) == node {
 			return k
 		}
 	}

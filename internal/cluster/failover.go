@@ -25,11 +25,15 @@ var shipWire = redis.EncodeCommand(shipCommand)
 // then fails, the taken window is restored — those writes are still newer
 // than whatever image the standby holds.
 func (m *monitor) ship(r *Router, n *node) {
-	if n.promoted.Load() || n.crashed.Load() {
+	if n.promoted.Load() || n.crashed.Load() || n.removed.Load() {
 		return
 	}
 	switch n.curState() {
 	case StateFailed, StatePromoting, StateDegraded:
+		return
+	}
+	ep := m.epFor(n.id)
+	if ep == nil {
 		return
 	}
 	n.mu.Lock()
@@ -37,7 +41,7 @@ func (m *monitor) ship(r *Router, n *node) {
 		n.mu.Unlock()
 		return
 	}
-	resp, err := m.eps[n.id].CallBulk(shipWire)
+	resp, err := ep.CallBulk(shipWire)
 	if err != nil || len(resp) == 0 || n.crashed.Load() {
 		n.mu.Unlock()
 		r.obs.ClusterShipFailure(n.id)
@@ -140,10 +144,10 @@ func (m *monitor) replay(r *Router, n *node, entries [][]string) (replayed, lost
 // data path is fenced. Local (co-resident) nodes share the front-end
 // process and cannot be killed independently.
 func (r *Router) KillNode(id int) error {
-	if id < 0 || id >= len(r.nodes) {
+	n := r.nodeByID(id)
+	if n == nil {
 		return fmt.Errorf("cluster: no node %d", id)
 	}
-	n := r.nodes[id]
 	if n.local || n.proc == nil {
 		return fmt.Errorf("cluster: node %d is co-resident; kill the server instead", id)
 	}

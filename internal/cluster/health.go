@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"spacejmp/internal/core"
@@ -21,9 +22,27 @@ type monitor struct {
 	th     *core.Thread
 	coreID int
 
+	// epMu guards eps: the monitor goroutine grows the map when AddNode
+	// hands it a new replicated node (monCtl), and PendingFrames reads it
+	// from outside.
+	epMu  sync.Mutex
 	eps   map[int]*urpc.Endpoint // replicated remote nodes, by node id
 	fails map[int]int            // consecutive probe failures
 	skip  map[int]int            // probe-backoff ticks remaining
+}
+
+// epFor returns the monitor's probe endpoint to node id, if any.
+func (m *monitor) epFor(id int) *urpc.Endpoint {
+	m.epMu.Lock()
+	defer m.epMu.Unlock()
+	return m.eps[id]
+}
+
+// setEp installs a probe endpoint for a node wired after construction.
+func (m *monitor) setEp(id int, ep *urpc.Endpoint) {
+	m.epMu.Lock()
+	defer m.epMu.Unlock()
+	m.eps[id] = ep
 }
 
 // pingWire is the monitor's probe command, pre-encoded.
@@ -65,9 +84,9 @@ func (r *Router) runMonitor() {
 	defer r.mgrWG.Done()
 	m := r.mon
 	defer m.proc.Exit()
-	probe := time.NewTicker(r.cfg.ProbeInterval)
+	probe := time.NewTicker(r.cfg.Replication.ProbeInterval)
 	defer probe.Stop()
-	ship := time.NewTicker(r.cfg.ShipInterval)
+	ship := time.NewTicker(r.cfg.Replication.ShipInterval)
 	defer ship.Stop()
 	for _, n := range r.replicatedNodes() {
 		m.ship(r, n)
@@ -76,13 +95,26 @@ func (r *Router) runMonitor() {
 		select {
 		case <-r.ctx.Done():
 			return
+		case nid := <-r.monCtl:
+			// AddNode wired a new replicated node: connect a probe
+			// endpoint and warm its standby with an initial ship.
+			n := r.nodeByID(nid)
+			if n == nil || !n.replicated {
+				continue
+			}
+			m.setEp(nid, urpc.Connect(r.sys.M, m.coreID, n.coreID, r.cfg.Slots, n.handler))
+			m.ship(r, n)
 		case nid := <-r.shipCh:
-			m.ship(r, r.nodes[nid])
+			if n := r.nodeByID(nid); n != nil {
+				m.ship(r, n)
+			}
 		case nid := <-r.suspectCh:
 			// A worker's data call timed out: that is probe-grade
 			// evidence, counted toward the failure threshold so detection
 			// under load beats the probe cadence.
-			m.noteFailure(r, r.nodes[nid])
+			if n := r.nodeByID(nid); n != nil {
+				m.noteFailure(r, n)
+			}
 		case <-ship.C:
 			for _, n := range r.replicatedNodes() {
 				if n.pendingWrites() {
@@ -97,14 +129,29 @@ func (r *Router) runMonitor() {
 	}
 }
 
+// replicatedNodes snapshots the replicated, still-present nodes under the
+// topology lock (AddNode appends concurrently; removed nodes are done).
 func (r *Router) replicatedNodes() []*node {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	var out []*node
 	for _, n := range r.nodes {
-		if n.replicated {
+		if n.replicated && !n.removed.Load() {
 			out = append(out, n)
 		}
 	}
 	return out
+}
+
+// nodeByID resolves a node id against the live list, nil for out-of-range
+// or removed ids (stale pokes on the monitor channels).
+func (r *Router) nodeByID(id int) *node {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	if id < 0 || id >= len(r.nodes) || r.nodes[id].removed.Load() {
+		return nil
+	}
+	return r.nodes[id]
 }
 
 // probe sends one PING on the monitor's private endpoint. The
@@ -123,9 +170,13 @@ func (m *monitor) probe(r *Router, n *node) {
 		m.skip[n.id]--
 		return
 	}
+	ep := m.epFor(n.id)
+	if ep == nil {
+		return
+	}
 	ok := false
 	if !r.sys.M.Faults.FireAt(fault.ClusterProbeDrop, n.id) {
-		_, _, err := n.call(m.eps[n.id], pingWire)
+		_, _, err := n.call(ep, pingWire)
 		ok = err == nil
 	}
 	r.obs.ClusterProbe(ok)
@@ -158,7 +209,7 @@ func (m *monitor) noteFailure(r *Router, n *node) {
 	if n.curState() == StateHealthy {
 		n.setState(StateSuspect, r.obs)
 	}
-	if m.fails[n.id] >= r.cfg.ProbeThreshold {
+	if m.fails[n.id] >= r.cfg.Replication.ProbeThreshold {
 		n.setState(StateFailed, r.obs)
 		m.promote(r, n)
 	}
@@ -178,9 +229,17 @@ func (m *monitor) degrade(r *Router, n *node, err error) {
 
 // Health reports every node's routing/failover status (server.ClusterStatus).
 func (r *Router) Health() []server.NodeHealth {
-	out := make([]server.NodeHealth, len(r.nodes))
-	for i, n := range r.nodes {
+	r.topoMu.RLock()
+	nodes := r.nodes
+	r.topoMu.RUnlock()
+	out := make([]server.NodeHealth, len(nodes))
+	for i, n := range nodes {
 		h := server.NodeHealth{Node: n.id, Local: n.local, State: StateHealthy.String()}
+		if n.removed.Load() {
+			h.State = "removed"
+			out[i] = h
+			continue
+		}
 		if !n.local {
 			st := n.curState()
 			h.State = st.String()

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/gob"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,7 @@ type node struct {
 	standby    redis.Names  // the warm replica's segment/VAS names
 	state      atomic.Int32 // NodeState; monitor-owned transitions
 	crashed    atomic.Bool  // process died; fences the data path immediately
+	removed    atomic.Bool  // decommissioned by RemoveNode; owns no slots, resources released
 	promoted   atomic.Bool  // the standby now serves this range (VAS fast path)
 	lost       atomic.Uint64
 	cause      atomic.Pointer[string] // degradation cause, for health reports
@@ -121,7 +123,7 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 		return nil, err
 	}
 	var opts []core.SegOption
-	if r.cfg.Replicate {
+	if r.cfg.Replication.Enabled {
 		// A replicated primary's store lives in NVM so checkpoint
 		// generations (the replication transport) cover it.
 		n.replicated = true
@@ -137,9 +139,21 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 	return n, nil
 }
 
-// shipCommand is the replication control command a node's handler answers
-// with a checkpointed image of its own store segment.
-const shipCommand = "CLUSTER.SHIP"
+// Control commands a node's handler answers beyond the data plane:
+// replication image shipping and the slot-migration copy protocol.
+const (
+	// shipCommand: reply with a checkpointed image of the store segment.
+	shipCommand = "CLUSTER.SHIP"
+	// migrateCommand <slot> <nslots>: reply with the slot's key/value
+	// pairs, gob-encoded in a bulk reply (the migration source side).
+	migrateCommand = "CLUSTER.MIGRATE"
+	// importCommand <slot> <gob-chunk>: replay a chunk of migrated pairs
+	// into this node's store (the migration target side).
+	importCommand = "CLUSTER.IMPORT"
+	// cleanupCommand <slot> <nslots>: delete the slot's keys after its
+	// ownership flipped away (the migration source side, post-flip).
+	cleanupCommand = "CLUSTER.CLEANUP"
+)
 
 // handler is the node's urpc service routine: RESP in, RESP out. It runs
 // with the node's core active (under n.mu), so the decode, the VAS
@@ -159,10 +173,87 @@ func (n *node) handler(req []byte) []byte {
 	if err != nil {
 		return redis.EncodeError("protocol error: " + err.Error())
 	}
-	if len(args) == 1 && strings.EqualFold(args[0], shipCommand) {
+	switch {
+	case len(args) == 1 && strings.EqualFold(args[0], shipCommand):
 		return n.shipReply()
+	case len(args) == 3 && strings.EqualFold(args[0], migrateCommand):
+		return n.migrateReply(args[1], args[2])
+	case len(args) == 3 && strings.EqualFold(args[0], importCommand):
+		return n.importReply(args[1], args[2])
+	case len(args) == 3 && strings.EqualFold(args[0], cleanupCommand):
+		return n.cleanupReply(args[1], args[2])
 	}
 	return redis.Execute(n.client, args)
+}
+
+// migrateReply streams this node's share of a slot to the migration
+// engine: checkpoint first when replicated (so the slot copy and the
+// replication image can never disagree about frozen state), then dump the
+// slot's pairs under the shared lock, gob-encoded in a bulk reply. Runs on
+// the node's core with the store quiescent (the caller holds n.mu).
+func (n *node) migrateReply(slotArg, nslotsArg string) []byte {
+	slot, nslots, errReply := parseSlotArgs(slotArg, nslotsArg)
+	if errReply != nil {
+		return errReply
+	}
+	if n.replicated {
+		if err := n.sys.Checkpoint(); err != nil {
+			return redis.EncodeError("migrate: checkpoint: " + err.Error())
+		}
+		if _, err := n.sys.CheckpointSegment(n.names.Seg); err != nil {
+			return redis.EncodeError("migrate: " + err.Error())
+		}
+	}
+	pairs, err := n.client.DumpSlot(slot, nslots)
+	if err != nil {
+		return redis.EncodeError("migrate: dump: " + err.Error())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
+		return redis.EncodeError("migrate: encode: " + err.Error())
+	}
+	return redis.EncodeBulk(buf.Bytes())
+}
+
+// importReply replays one gob chunk of migrated pairs into this node's
+// store and replies with the count applied.
+func (n *node) importReply(slotArg, chunk string) []byte {
+	var pairs []redis.KV
+	if err := gob.NewDecoder(strings.NewReader(chunk)).Decode(&pairs); err != nil {
+		return redis.EncodeError("import: decode: " + err.Error())
+	}
+	for _, kv := range pairs {
+		if err := n.client.Set(string(kv.Key), kv.Val); err != nil {
+			return redis.EncodeError("import: set: " + err.Error())
+		}
+	}
+	return redis.EncodeInt(int64(len(pairs)))
+}
+
+// cleanupReply deletes this node's copy of a slot after ownership flipped
+// away, replying with the number of keys removed.
+func (n *node) cleanupReply(slotArg, nslotsArg string) []byte {
+	slot, nslots, errReply := parseSlotArgs(slotArg, nslotsArg)
+	if errReply != nil {
+		return errReply
+	}
+	removed, err := n.client.DelSlot(slot, nslots)
+	if err != nil {
+		return redis.EncodeError("cleanup: " + err.Error())
+	}
+	return redis.EncodeInt(int64(removed))
+}
+
+func parseSlotArgs(slotArg, nslotsArg string) (slot, nslots int, errReply []byte) {
+	slot, err := strconv.Atoi(slotArg)
+	if err != nil {
+		return 0, 0, redis.EncodeError("bad slot: " + slotArg)
+	}
+	nslots, err = strconv.Atoi(nslotsArg)
+	if err != nil || nslots <= 0 || slot < 0 || slot >= nslots {
+		return 0, 0, redis.EncodeError("bad slot range: " + slotArg + "/" + nslotsArg)
+	}
+	return slot, nslots, nil
 }
 
 // shipReply checkpoints the machine's NVM segments and returns this node's
@@ -205,6 +296,22 @@ func (n *node) call(ep *urpc.Endpoint, wire []byte) (resp []byte, cycles uint64,
 		return nil, cycles, &urpc.TimeoutError{}
 	}
 	return resp, cycles, err
+}
+
+// callBulk performs one serialized multi-slot RPC into a remote node —
+// the migration engine's copy path — with the same crash fencing as call:
+// a node known dead fails fast, and a reply racing the crash is refused.
+func (n *node) callBulk(ep *urpc.Endpoint, wire []byte) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed.Load() {
+		return nil, &urpc.TimeoutError{}
+	}
+	resp, err := ep.CallBulk(wire)
+	if err == nil && (len(resp) == 0 || n.crashed.Load()) {
+		return nil, &urpc.TimeoutError{}
+	}
+	return resp, err
 }
 
 // recordDelta buffers one applied write for replay at promotion. Returns

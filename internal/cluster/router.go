@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -133,8 +134,11 @@ func (r *Router) exec(w *worker, args []string) []byte {
 	return resp
 }
 
-// route sends single-key commands to their key's node and fans multi-key
-// commands out per node; store-less commands run in place.
+// route sends single-key commands to the node owning their key's slot and
+// fans multi-key commands out per owner; store-less commands run in place.
+// Keyed commands hold the topology read lock end to end, so each command
+// executes against one consistent slot-table epoch and node list — a slot
+// flip or node append waits out every in-flight command before it lands.
 func (r *Router) route(w *worker, args []string) []byte {
 	if len(args) == 0 {
 		return redis.EncodeError("empty command")
@@ -144,12 +148,21 @@ func (r *Router) route(w *worker, args []string) []byte {
 		if len(args) < 2 {
 			return redis.EncodeWrongArity(args[0])
 		}
-		return r.exec1(w, r.NodeFor(args[1]), args)
+		r.topoMu.RLock()
+		defer r.topoMu.RUnlock()
+		return r.exec1(w, args)
 	case "MGET":
 		if len(args) < 2 {
 			return redis.EncodeWrongArity(args[0])
 		}
+		r.topoMu.RLock()
+		defer r.topoMu.RUnlock()
 		return r.mget(w, args[1:])
+	case "CLUSTER":
+		// Read-only introspection off the published table epoch; must not
+		// take topoMu here (Topology takes its own read lock, and nesting
+		// read locks around a waiting writer self-deadlocks).
+		return r.clusterCommand(args[1:])
 	default:
 		return redis.Execute(nil, args) // PING, ECHO, unknown
 	}
@@ -159,16 +172,14 @@ func (r *Router) route(w *worker, args []string) []byte {
 // VAS fast path (co-resident store, or a promoted standby), an endpoint
 // for urpc, or a ready-made error reply when the range is fenced
 // (crashed/failing: retryable timeout) or degraded (hard error). The
-// promoted flag is read under the topology lock — the flip in promote is
+// caller holds the topology read lock — the promoted flip in promote is
 // the failover's linearization point.
 func (r *Router) path(w *worker, n *node) (*redis.Client, *urpc.Endpoint, []byte) {
 	if n.local {
 		return w.locals[n.id], nil, nil
 	}
-	r.topoMu.RLock()
 	promoted := n.promoted.Load()
 	st := n.curState()
-	r.topoMu.RUnlock()
 	if promoted {
 		c, err := w.standbyClient(r, n)
 		if err != nil {
@@ -212,8 +223,44 @@ func (w *worker) standbyClient(r *Router, n *node) (*redis.Client, error) {
 	return c, nil
 }
 
-// exec1 serves one single-key command on its node, local or remote.
-func (r *Router) exec1(w *worker, nid int, args []string) []byte {
+// exec1 serves one single-key command on the node owning its slot. Caller
+// holds the topology read lock. A write that lands on a migrating slot
+// serializes through the migration's mutex — executed on the source and
+// recorded in the delta log as one atomic step, so replay order on the
+// target matches store order on the source exactly. Once the migration is
+// fenced (the flip is imminent), writes get the retryable -MOVED; reads
+// keep serving from the still-authoritative source until the flip, so no
+// slot ever goes dark.
+func (r *Router) exec1(w *worker, args []string) []byte {
+	slot := r.Slot(args[1])
+	nid := r.Owner(slot)
+	var isWrite bool
+	switch strings.ToUpper(args[0]) {
+	case "SET", "DEL":
+		isWrite = true
+	}
+	if mig := r.migs[slot].Load(); mig != nil && isWrite {
+		if mig.fenced.Load() {
+			r.obs.ClusterMovedRetry()
+			return redis.EncodeMoved(slot, mig.dst)
+		}
+		mig.mu.Lock()
+		defer mig.mu.Unlock()
+		if mig.fenced.Load() { // fence raced the lock
+			r.obs.ClusterMovedRetry()
+			return redis.EncodeMoved(slot, mig.dst)
+		}
+		resp := r.execOn(w, nid, args)
+		if len(resp) > 0 && resp[0] != '-' {
+			mig.record(args, r.cfg.MigrationDeltaLog)
+		}
+		return resp
+	}
+	return r.execOn(w, nid, args)
+}
+
+// execOn runs one command on node nid, local or remote.
+func (r *Router) execOn(w *worker, nid int, args []string) []byte {
 	n := r.nodes[nid]
 	c, ep, errReply := r.path(w, n)
 	if errReply != nil {
@@ -253,7 +300,7 @@ func (r *Router) bufferWrite(n *node, args []string, resp []byte) {
 	default:
 		return
 	}
-	if n.recordDelta(args, r.cfg.DeltaLog, r.cfg.ShipEvery) && r.shipCh != nil {
+	if n.recordDelta(args, r.cfg.Replication.DeltaLog, r.cfg.Replication.ShipEvery) && r.shipCh != nil {
 		select {
 		case r.shipCh <- n.id:
 		default:
@@ -273,15 +320,18 @@ func (r *Router) noteSuspect(n *node) {
 	}
 }
 
-// mget fans a multi-key GET out across the nodes its keys hash to and
-// merges the replies back into key order. Local groups ride one VAS switch
-// (one shared-lock acquisition, however many keys); remote groups ride one
-// urpc round trip each. Any shard failure fails the whole command — partial
-// MGET replies would be indistinguishable from missing keys.
+// mget fans a multi-key GET out across the nodes owning its keys' slots
+// and merges the replies back into key order. Local groups ride one VAS
+// switch (one shared-lock acquisition, however many keys); remote groups
+// ride one urpc round trip each. Any shard failure fails the whole
+// command — partial MGET replies would be indistinguishable from missing
+// keys. Caller holds the topology read lock, so every key resolves against
+// one table epoch. Reads on migrating slots serve from the source, which
+// stays authoritative until the flip.
 func (r *Router) mget(w *worker, keys []string) []byte {
 	groups := make(map[int][]int, len(r.nodes)) // node id → indices into keys
 	for i, k := range keys {
-		nid := r.NodeFor(k)
+		nid := r.Owner(r.Slot(k))
 		groups[nid] = append(groups[nid], i)
 	}
 	vals := make([][]byte, len(keys))
@@ -336,6 +386,78 @@ func (r *Router) mget(w *worker, keys []string) []byte {
 		}
 	}
 	return redis.EncodeArray(vals)
+}
+
+// clusterCommand serves the read-only CLUSTER introspection subcommands,
+// Redis-compatible in shape, off the published slot-table epoch.
+func (r *Router) clusterCommand(sub []string) []byte {
+	if len(sub) == 0 {
+		return redis.EncodeError("wrong number of arguments for 'cluster' command")
+	}
+	switch strings.ToUpper(sub[0]) {
+	case "SLOTS":
+		return r.clusterSlotsReply()
+	case "NODES":
+		return r.clusterNodesReply()
+	}
+	return redis.EncodeError("unknown CLUSTER subcommand: " + sub[0])
+}
+
+// clusterSlotsReply renders CLUSTER SLOTS: an array of slot ranges, each
+// [start, end, [node-name, node-id]] — the Redis shape with the simulated
+// node's name standing in for host:port.
+func (r *Router) clusterSlotsReply() []byte {
+	t := r.Table()
+	type span struct{ start, end, owner int }
+	var spans []span
+	for s := 0; s < NumSlots; {
+		e := s
+		for e+1 < NumSlots && t.Owners[e+1] == t.Owners[s] {
+			e++
+		}
+		spans = append(spans, span{s, e, t.Owners[s]})
+		s = e + 1
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "*%d\r\n", len(spans))
+	for _, sp := range spans {
+		name := fmt.Sprintf("node-%d", sp.owner)
+		fmt.Fprintf(&b, "*3\r\n:%d\r\n:%d\r\n*2\r\n$%d\r\n%s\r\n:%d\r\n",
+			sp.start, sp.end, len(name), name, sp.owner)
+	}
+	return b.Bytes()
+}
+
+// clusterNodesReply renders CLUSTER NODES: one line per node in the Redis
+// field order (id, address, flags, master, ping, pong, epoch, state, slot
+// ranges), as a bulk string.
+func (r *Router) clusterNodesReply() []byte {
+	t := r.Table()
+	var b strings.Builder
+	for _, n := range r.Topology() {
+		addr := fmt.Sprintf("core:%d", n.Core)
+		if n.Local {
+			addr = "local:vas"
+		}
+		flags := "master"
+		if n.Promoted {
+			flags = "master,standby-promoted"
+		}
+		state := "connected"
+		switch {
+		case n.Removed:
+			addr, state = "-", "removed"
+		case n.State != "" && n.State != "healthy":
+			state = n.State
+		}
+		ranges := strings.ReplaceAll(slotRanges(t.slotsOf(n.ID)), ",", " ")
+		if ranges == "none" {
+			ranges = ""
+		}
+		line := fmt.Sprintf("node-%d %s %s - 0 0 %d %s %s", n.ID, addr, flags, t.Version, state, ranges)
+		b.WriteString(strings.TrimRight(line, " ") + "\n")
+	}
+	return redis.EncodeBulk([]byte(b.String()))
 }
 
 // remoteError renders a failed remote call. A transport timeout — the typed

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 )
 
@@ -48,14 +47,6 @@ func (m Mode) Local(i int, cfg Config) bool {
 	}
 }
 
-// NodeFor hashes a key onto a shard node (FNV-1a, the usual pick for short
-// keys with no adversarial input).
-func (r *Router) NodeFor(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(r.nodes)))
-}
-
 // NodeInfo describes one node's placement for tooling and logs.
 type NodeInfo struct {
 	ID          int    `json:"id"`
@@ -66,19 +57,33 @@ type NodeInfo struct {
 	Replicated  bool   `json:"replicated,omitempty"` // a warm standby shadows this node
 	State       string `json:"state,omitempty"`      // remote nodes: failover state
 	Promoted    bool   `json:"promoted,omitempty"`   // the standby serves this range
+	Removed     bool   `json:"removed,omitempty"`    // decommissioned by RemoveNode; owns no slots
+	Slots       int    `json:"slots"`                // placement slots this node currently owns
 }
 
-// Topology returns the cluster's node placement.
+// Topology returns the cluster's node placement. Safe against concurrent
+// AddNode: the node list is read under the topology lock.
 func (r *Router) Topology() []NodeInfo {
-	out := make([]NodeInfo, len(r.nodes))
-	for i, n := range r.nodes {
-		info := NodeInfo{ID: n.id, Local: n.local, Store: n.names.Seg}
-		if !n.local {
+	r.topoMu.RLock()
+	nodes := r.nodes
+	workers := r.workers
+	r.topoMu.RUnlock()
+	table := r.Table()
+	out := make([]NodeInfo, len(nodes))
+	for i, n := range nodes {
+		info := NodeInfo{
+			ID:      n.id,
+			Local:   n.local,
+			Store:   n.names.Seg,
+			Removed: n.removed.Load(),
+			Slots:   len(table.slotsOf(n.id)),
+		}
+		if !n.local && !info.Removed {
 			info.Core = n.coreID
 			info.Replicated = n.replicated
 			info.State = n.curState().String()
 			info.Promoted = n.promoted.Load()
-			for _, w := range r.workers {
+			for _, w := range workers {
 				if ep := w.endpoints[n.id]; ep != nil && !r.sys.M.SameSocket(w.coreID, n.coreID) {
 					info.CrossSocket = true
 				}
@@ -89,14 +94,46 @@ func (r *Router) Topology() []NodeInfo {
 	return out
 }
 
-// String renders the topology one node per line.
-func (r *Router) String() string {
+// slotRanges renders a node's owned slots as compact ranges ("0-2,9,12-14").
+func slotRanges(slots []int) string {
+	if len(slots) == 0 {
+		return "none"
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: %d nodes, %d workers, mode %s\n", len(r.nodes), len(r.workers), r.cfg.Mode)
-	for _, n := range r.Topology() {
-		if n.Local {
-			fmt.Fprintf(&b, "  node %d: local (shared VAS %s)\n", n.ID, n.Store)
+	for i := 0; i < len(slots); {
+		j := i
+		for j+1 < len(slots) && slots[j+1] == slots[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "%d", slots[i])
 		} else {
+			fmt.Fprintf(&b, "%d-%d", slots[i], slots[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// String renders the topology one node per line, with each node's slot
+// ranges from the current table epoch.
+func (r *Router) String() string {
+	table := r.Table()
+	topo := r.Topology()
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d nodes, %d workers, mode %s, slot table v%d\n",
+		len(topo), len(r.workers), r.cfg.Mode, table.Version)
+	for _, n := range topo {
+		slots := slotRanges(table.slotsOf(n.ID))
+		switch {
+		case n.Removed:
+			fmt.Fprintf(&b, "  node %d: removed\n", n.ID)
+		case n.Local:
+			fmt.Fprintf(&b, "  node %d: local (shared VAS %s), slots %s\n", n.ID, n.Store, slots)
+		default:
 			x := "same socket"
 			if n.CrossSocket {
 				x = "cross socket"
@@ -111,7 +148,7 @@ func (r *Router) String() string {
 					rep += ", " + n.State
 				}
 			}
-			fmt.Fprintf(&b, "  node %d: remote on core %d (urpc, %s%s)\n", n.ID, n.Core, x, rep)
+			fmt.Fprintf(&b, "  node %d: remote on core %d (urpc, %s%s), slots %s\n", n.ID, n.Core, x, rep, slots)
 		}
 	}
 	return b.String()

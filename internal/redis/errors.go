@@ -15,6 +15,7 @@ const (
 	codeShardTimeout  = "SHARDTIMEOUT"
 	codeShardDegraded = "SHARDDEGRADED"
 	codeBusy          = "BUSY"
+	codeMoved         = "MOVED"
 )
 
 // Sentinel reply errors. Use errors.Is against a decoded ReplyError; use
@@ -28,6 +29,10 @@ var (
 	ErrShardDegraded = ReplyError(codeShardDegraded + " shard degraded: no recoverable replica")
 	// ErrBusy is the serving layer's backpressure rejection.
 	ErrBusy = ReplyError(codeBusy + " server busy, retry")
+	// ErrMoved is a command that raced a slot migration's ownership flip —
+	// the slot's keys now live on another node; retrying routes against the
+	// new slot table.
+	ErrMoved = ReplyError(codeMoved + " slot moved, retry")
 )
 
 // Is makes errors.Is(reply, ErrShardTimeout) and friends match on the
@@ -38,7 +43,7 @@ func (e ReplyError) Is(target error) bool {
 		return false
 	}
 	switch t {
-	case ErrShardTimeout, ErrShardDegraded, ErrBusy:
+	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved:
 		return replyCode(string(e)) == replyCode(string(t))
 	}
 	return string(e) == string(t)
@@ -66,12 +71,19 @@ func EncodeBusy(detail string) []byte {
 	return []byte(fmt.Sprintf("-%s %s\r\n", codeBusy, detail))
 }
 
+// EncodeMoved renders the retryable slot-moved reply, in Redis cluster
+// shape ("-MOVED <slot> <node>"): the command raced an ownership flip and
+// should be retried — the router re-resolves against the new slot table.
+func EncodeMoved(slot, node int) []byte {
+	return []byte(fmt.Sprintf("-%s %d node-%d\r\n", codeMoved, slot, node))
+}
+
 // IsRetryableReply reports whether an error reply asks the client to try
 // again later (backpressure or a shard mid-failover) rather than reporting
 // a hard failure.
 func IsRetryableReply(e ReplyError) bool {
 	switch replyCode(string(e)) {
-	case codeBusy, codeShardTimeout:
+	case codeBusy, codeShardTimeout, codeMoved:
 		return true
 	}
 	return false

@@ -1,0 +1,89 @@
+package redis
+
+import (
+	"hash/fnv"
+
+	"spacejmp/internal/core"
+)
+
+// Slot-addressed operations for the cluster's placement layer. The key
+// space is partitioned into a fixed number of slots by FNV-1a (the same
+// hash the router used when placement was "hash mod len(nodes)"); the
+// cluster's Placement implementation delegates here so the node-side copy
+// path (DumpSlot on the source, replay on the target) and the router-side
+// routing decision can never disagree about which slot a key is in.
+
+// SlotForKey hashes a key onto one of nslots placement slots. This is the
+// single placement hash in the tree — everything else goes through the
+// cluster's Placement API, which calls this.
+func SlotForKey(key string, nslots int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(nslots))
+}
+
+// KV is one key/value pair streamed during a slot migration.
+type KV struct {
+	Key []byte
+	Val []byte
+}
+
+// DumpSlot returns every key/value pair whose key hashes into slot (of
+// nslots), read under the shared lock — the consistent snapshot a slot
+// migration streams to the new owner. The caller serializes against
+// writers the same way it does for any other command on this store.
+func (c *Client) DumpSlot(slot, nslots int) ([]KV, error) {
+	c.th.Core.AddCycles(parseCycles)
+	if err := c.th.VASSwitch(c.readH); err != nil {
+		return nil, err
+	}
+	var out []KV
+	err := c.store.ForEach(func(key, val []byte) error {
+		if SlotForKey(string(key), nslots) == slot {
+			out = append(out, KV{Key: key, Val: val})
+		}
+		return nil
+	})
+	if serr := c.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DelSlot removes every key in slot (of nslots) under the exclusive lock —
+// the source-side cleanup after a migrated slot's ownership flipped.
+// Returns how many keys were removed. Keys are collected before deletion;
+// Del during a ForEach walk would relink chains under the iterator.
+func (c *Client) DelSlot(slot, nslots int) (int, error) {
+	c.th.Core.AddCycles(parseCycles)
+	if err := c.th.VASSwitch(c.writeH); err != nil {
+		return 0, err
+	}
+	var keys [][]byte
+	err := c.store.ForEach(func(key, val []byte) error {
+		if SlotForKey(string(key), nslots) == slot {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	removed := 0
+	if err == nil {
+		for _, k := range keys {
+			ok, derr := c.store.Del(k)
+			if derr != nil {
+				err = derr
+				break
+			}
+			if ok {
+				removed++
+			}
+		}
+	}
+	if serr := c.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	return removed, err
+}

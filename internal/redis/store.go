@@ -360,6 +360,65 @@ func (s *Store) Len() (uint64, error) {
 	return s.get(s.root + hdrCount)
 }
 
+// ForEach walks every entry, calling fn(key, value) on each. A non-nil
+// error from fn stops the walk and is returned. The caller must hold the
+// segment at least shared for the duration; fn must not mutate the store
+// (Set/Del during the walk would relink chains under the iterator — collect
+// keys first, then mutate).
+func (s *Store) ForEach(fn func(key, val []byte) error) error {
+	n, err := s.get(s.root + hdrNBkt)
+	if err != nil {
+		return err
+	}
+	bktsWord, err := s.get(s.root + hdrBuckets)
+	if err != nil {
+		return err
+	}
+	bkts := arch.VirtAddr(bktsWord)
+	for i := uint64(0); i < n; i++ {
+		curWord, err := s.get(bkts + arch.VirtAddr(i*8))
+		if err != nil {
+			return err
+		}
+		cur := arch.VirtAddr(curWord)
+		for cur != 0 {
+			kptr, err := s.get(cur + entKeyPtr)
+			if err != nil {
+				return err
+			}
+			klen, err := s.get(cur + entKeyLen)
+			if err != nil {
+				return err
+			}
+			key, err := s.readBytes(arch.VirtAddr(kptr), klen)
+			if err != nil {
+				return err
+			}
+			vptr, err := s.get(cur + entValPtr)
+			if err != nil {
+				return err
+			}
+			vlen, err := s.get(cur + entValLen)
+			if err != nil {
+				return err
+			}
+			val, err := s.readBytes(arch.VirtAddr(vptr), vlen)
+			if err != nil {
+				return err
+			}
+			if err := fn(key, val); err != nil {
+				return err
+			}
+			nextWord, err := s.get(cur + entNext)
+			if err != nil {
+				return err
+			}
+			cur = arch.VirtAddr(nextWord)
+		}
+	}
+	return nil
+}
+
 // NeedRehash reports whether the table exceeds its load factor. Redis
 // normally rehashes asynchronously; RedisJMP rehashes only while a client
 // holds the exclusive lock (§5.3), so clients check this on the SET path.

@@ -28,12 +28,28 @@ type NodeHealth struct {
 	Detail        string `json:"detail,omitempty"`
 }
 
+// SlotRangeInfo is one contiguous run of placement slots with one owner.
+type SlotRangeInfo struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Node  int `json:"node"`
+}
+
+// PlacementInfo is the cluster's slot-table state for the admin surface:
+// the table's version, the slot count, and the owned ranges.
+type PlacementInfo struct {
+	Version uint64          `json:"version"`
+	Slots   int             `json:"slots"`
+	Ranges  []SlotRangeInfo `json:"ranges"`
+}
+
 // ClusterStatus is what the admin surface needs from a cluster router:
-// live channel occupancy and per-node health. Pass nil when the server
-// fronts a single store.
+// live channel occupancy, per-node health, and the slot-table placement.
+// Pass nil when the server fronts a single store.
 type ClusterStatus interface {
 	PendingFrames() int
 	Health() []NodeHealth
+	PlacementInfo() PlacementInfo
 }
 
 // AdminHandler serves the machine's live observability state over HTTP:
@@ -102,10 +118,20 @@ func AdminHandler(sys *core.System, cl ClusterStatus) http.Handler {
 			*stats.Snapshot
 			Faults  []fault.PointStatus `json:"faults,omitempty"`
 			Runtime clusterRuntime      `json:"cluster_runtime"`
-		}{snap, faults, clusterRuntime{cl.PendingFrames(), cl.Health()}})
+		}{snap, faults, clusterRuntime{cl.PendingFrames(), cl.Health(), cl.PlacementInfo()}})
 	})
 	mux.HandleFunc("/stats/delta", func(w http.ResponseWriter, r *http.Request) {
 		serveStatsDelta(w, r, obs, cursors)
+	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+		if cl == nil {
+			http.Error(w, "no cluster attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			Placement PlacementInfo `json:"placement"`
+			Nodes     []NodeHealth  `json:"nodes"`
+		}{cl.PlacementInfo(), cl.Health()})
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := obs.Tracer()
@@ -139,8 +165,9 @@ func AdminHandler(sys *core.System, cl ClusterStatus) http.Handler {
 
 // clusterRuntime is the live (non-counter) cluster state folded into /stats.
 type clusterRuntime struct {
-	PendingFrames int          `json:"pending_frames"`
-	Nodes         []NodeHealth `json:"nodes"`
+	PendingFrames int           `json:"pending_frames"`
+	Nodes         []NodeHealth  `json:"nodes"`
+	Placement     PlacementInfo `json:"placement"`
 }
 
 // traceEvent decorates a stats.Event with its kind's name — the numeric

@@ -206,6 +206,9 @@ type stubCluster struct {
 
 func (s *stubCluster) PendingFrames() int   { return s.frames }
 func (s *stubCluster) Health() []NodeHealth { return s.nodes }
+func (s *stubCluster) PlacementInfo() PlacementInfo {
+	return PlacementInfo{Version: 1, Slots: 256, Ranges: []SlotRangeInfo{{Start: 0, End: 255, Node: 0}}}
+}
 
 // TestAdminClusterHealth drives the cluster-aware admin surface: /stats
 // grows a cluster_runtime block, and /healthz flips to 503 with per-node

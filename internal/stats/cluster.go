@@ -33,7 +33,18 @@ type clusterCounters struct {
 	deltaReplayed atomic.Uint64 // post-checkpoint delta entries replayed at promotion
 	lostUpdates   atomic.Uint64 // updates lost to delta-window overflow or replay failure
 
-	nodes atomic.Pointer[[]NodeCounters]
+	// Elastic-membership activity (slot migrations, node join/leave).
+	slotMoves        atomic.Uint64 // slots whose ownership flipped after a full copy
+	slotMoveFailures atomic.Uint64 // migrations aborted and rolled back
+	migKeysMoved     atomic.Uint64 // keys copied into migration targets
+	migBytes         atomic.Uint64 // key+value payload bytes streamed during migrations
+	migDeltaReplayed atomic.Uint64 // writes replayed from migration delta logs
+	movedRetries     atomic.Uint64 // -MOVED refusals sent to commands racing a flip
+	nodesAdded       atomic.Uint64 // nodes joined mid-run
+	nodesRemoved     atomic.Uint64 // nodes drained and retired mid-run
+
+	nodes    atomic.Pointer[[]NodeCounters]
+	slotKeys atomic.Pointer[[]atomic.Uint64]
 }
 
 // NodeCounters is one shard node's routing activity: how many commands the
@@ -52,6 +63,40 @@ func (s *Sink) InstallClusterNodes(n int) {
 	}
 	table := make([]NodeCounters, n)
 	s.cluster.nodes.Store(&table)
+}
+
+// EnsureClusterNodes grows the per-node counter table to hold at least n
+// nodes, preserving existing totals — the install path for nodes joining a
+// live cluster, where a fresh table would zero history. Increments racing
+// the copy can be lost; the counters are advisory. Safe on nil.
+func (s *Sink) EnsureClusterNodes(n int) {
+	if s == nil {
+		return
+	}
+	old := s.cluster.nodes.Load()
+	if old != nil && len(*old) >= n {
+		return
+	}
+	table := make([]NodeCounters, n)
+	if old != nil {
+		for i := range *old {
+			table[i].local.Store((*old)[i].local.Load())
+			table[i].remote.Store((*old)[i].remote.Load())
+			table[i].timeouts.Store((*old)[i].timeouts.Load())
+		}
+	}
+	s.cluster.nodes.Store(&table)
+}
+
+// InstallClusterSlots sizes the per-slot key-count table (one entry per
+// placement slot; each records the key count observed when that slot last
+// migrated). Safe on nil.
+func (s *Sink) InstallClusterSlots(n int) {
+	if s == nil {
+		return
+	}
+	table := make([]atomic.Uint64, n)
+	s.cluster.slotKeys.Store(&table)
 }
 
 func (s *Sink) clusterNode(node int) *NodeCounters {
@@ -206,4 +251,96 @@ func (s *Sink) ClusterLocalTotal() uint64 {
 		return 0
 	}
 	return s.cluster.local.Load()
+}
+
+// ClusterSlotMoved records one completed slot migration: keys and payload
+// bytes streamed to the new owner, delta-log writes replayed during the
+// copy, and the slot's key count at flip time. Traced. Safe on nil.
+func (s *Sink) ClusterSlotMoved(slot, src, dst int, keys, bytes, replayed uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.slotMoves.Add(1)
+	s.cluster.migKeysMoved.Add(keys)
+	s.cluster.migBytes.Add(bytes)
+	s.cluster.migDeltaReplayed.Add(replayed)
+	if table := s.cluster.slotKeys.Load(); table != nil && slot >= 0 && slot < len(*table) {
+		(*table)[slot].Store(keys)
+	}
+	s.Trace(Event{Kind: EvSlotMove, Core: -1, A: uint64(slot), B: keys,
+		Label: fmt.Sprintf("%d->%d", src, dst)})
+}
+
+// ClusterSlotMoveFailed records one migration aborted and rolled back;
+// the source stays authoritative. Traced with the reason. Safe on nil.
+func (s *Sink) ClusterSlotMoveFailed(slot, src, dst int, reason string) {
+	if s == nil {
+		return
+	}
+	s.cluster.slotMoveFailures.Add(1)
+	s.Trace(Event{Kind: EvSlotMoveFailed, Core: -1, A: uint64(slot),
+		Label: fmt.Sprintf("%d->%d: %s", src, dst, reason)})
+}
+
+// ClusterMovedRetry records one -MOVED refusal sent to a command that raced
+// a slot flip (the client retries against the new table). Safe on nil.
+func (s *Sink) ClusterMovedRetry() {
+	if s != nil {
+		s.cluster.movedRetries.Add(1)
+	}
+}
+
+// ClusterNodeAdded records and traces a node joining the live cluster.
+// Safe on nil.
+func (s *Sink) ClusterNodeAdded(node int) {
+	if s == nil {
+		return
+	}
+	s.cluster.nodesAdded.Add(1)
+	s.Trace(Event{Kind: EvNodeAdded, Core: -1, A: uint64(node)})
+}
+
+// ClusterNodeRemoved records and traces a node drained and retired from the
+// live cluster. Safe on nil.
+func (s *Sink) ClusterNodeRemoved(node int) {
+	if s == nil {
+		return
+	}
+	s.cluster.nodesRemoved.Add(1)
+	s.Trace(Event{Kind: EvNodeRemoved, Core: -1, A: uint64(node)})
+}
+
+// ClusterSlotMovesTotal returns the running count of completed slot
+// migrations — a single atomic load, safe to poll while the cluster runs.
+func (s *Sink) ClusterSlotMovesTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.slotMoves.Load()
+}
+
+// ClusterSlotMoveFailuresTotal returns the running count of migrations
+// aborted and rolled back.
+func (s *Sink) ClusterSlotMoveFailuresTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.slotMoveFailures.Load()
+}
+
+// ClusterNodesAddedTotal returns the running count of mid-run node joins.
+func (s *Sink) ClusterNodesAddedTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.nodesAdded.Load()
+}
+
+// ClusterNodesRemovedTotal returns the running count of mid-run node
+// removals.
+func (s *Sink) ClusterNodesRemovedTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.nodesRemoved.Load()
 }

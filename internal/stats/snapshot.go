@@ -127,6 +127,28 @@ type ReplicationSnap struct {
 
 func (r ReplicationSnap) zero() bool { return r == ReplicationSnap{} }
 
+// MigrationSnap is the elastic-membership side of the cluster layer: slot
+// migrations, node join/leave, and the -MOVED retries clients absorbed
+// while slots flipped. SlotKeys maps slot → key count observed when that
+// slot last migrated (point-in-time, not monotonic).
+type MigrationSnap struct {
+	SlotMoves        uint64         `json:"slot_moves"`
+	SlotMoveFailures uint64         `json:"slot_move_failures"`
+	KeysMoved        uint64         `json:"keys_moved"`
+	BytesMoved       uint64         `json:"bytes_moved"`
+	DeltaReplayed    uint64         `json:"delta_replayed"`
+	MovedRetries     uint64         `json:"moved_retries"`
+	NodesAdded       uint64         `json:"nodes_added"`
+	NodesRemoved     uint64         `json:"nodes_removed"`
+	SlotKeys         map[int]uint64 `json:"slot_keys,omitempty"`
+}
+
+func (m MigrationSnap) zero() bool {
+	return m.SlotMoves == 0 && m.SlotMoveFailures == 0 && m.KeysMoved == 0 &&
+		m.BytesMoved == 0 && m.DeltaReplayed == 0 && m.MovedRetries == 0 &&
+		m.NodesAdded == 0 && m.NodesRemoved == 0 && len(m.SlotKeys) == 0
+}
+
 // ClusterSnap is the cluster layer's view: how many commands were served on
 // the shared-VAS fast path versus over urpc, what each mode cost in worker
 // cycles, and the per-node breakdown.
@@ -140,6 +162,7 @@ type ClusterSnap struct {
 	URPCCallCycles HistSnap `json:"urpc_call_cycles"`
 
 	Replication *ReplicationSnap `json:"replication,omitempty"`
+	Migration   *MigrationSnap   `json:"migration,omitempty"`
 
 	Nodes []NodeSnap `json:"nodes,omitempty"`
 }
@@ -259,7 +282,9 @@ func (s *Sink) Snapshot() *Snapshot {
 		snap.Server = ss
 	}
 	if cl := (&s.cluster); cl.local.Load() != 0 || cl.remote.Load() != 0 || cl.timeouts.Load() != 0 ||
-		cl.ships.Load() != 0 || cl.probes.Load() != 0 || cl.shipFailures.Load() != 0 {
+		cl.ships.Load() != 0 || cl.probes.Load() != 0 || cl.shipFailures.Load() != 0 ||
+		cl.slotMoves.Load() != 0 || cl.slotMoveFailures.Load() != 0 ||
+		cl.nodesAdded.Load() != 0 || cl.nodesRemoved.Load() != 0 {
 		cs := &ClusterSnap{
 			Local:          cl.local.Load(),
 			Remote:         cl.remote.Load(),
@@ -280,6 +305,29 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		if !rep.zero() {
 			cs.Replication = &rep
+		}
+		mig := MigrationSnap{
+			SlotMoves:        cl.slotMoves.Load(),
+			SlotMoveFailures: cl.slotMoveFailures.Load(),
+			KeysMoved:        cl.migKeysMoved.Load(),
+			BytesMoved:       cl.migBytes.Load(),
+			DeltaReplayed:    cl.migDeltaReplayed.Load(),
+			MovedRetries:     cl.movedRetries.Load(),
+			NodesAdded:       cl.nodesAdded.Load(),
+			NodesRemoved:     cl.nodesRemoved.Load(),
+		}
+		if table := cl.slotKeys.Load(); table != nil {
+			for i := range *table {
+				if v := (*table)[i].Load(); v != 0 {
+					if mig.SlotKeys == nil {
+						mig.SlotKeys = map[int]uint64{}
+					}
+					mig.SlotKeys[i] = v
+				}
+			}
+		}
+		if !mig.zero() {
+			cs.Migration = &mig
 		}
 		if nodes := cl.nodes.Load(); nodes != nil {
 			cs.Nodes = make([]NodeSnap, len(*nodes))
@@ -417,6 +465,26 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 			}
 			d.Replication = &dr
 		}
+		if s.Cluster.Migration != nil {
+			bm := MigrationSnap{}
+			if b.Migration != nil {
+				bm = *b.Migration
+			}
+			m := s.Cluster.Migration
+			dm := MigrationSnap{
+				SlotMoves:        m.SlotMoves - bm.SlotMoves,
+				SlotMoveFailures: m.SlotMoveFailures - bm.SlotMoveFailures,
+				KeysMoved:        m.KeysMoved - bm.KeysMoved,
+				BytesMoved:       m.BytesMoved - bm.BytesMoved,
+				DeltaReplayed:    m.DeltaReplayed - bm.DeltaReplayed,
+				MovedRetries:     m.MovedRetries - bm.MovedRetries,
+				NodesAdded:       m.NodesAdded - bm.NodesAdded,
+				NodesRemoved:     m.NodesRemoved - bm.NodesRemoved,
+				// Point-in-time counts, not monotonic: carry the later view.
+				SlotKeys: m.SlotKeys,
+			}
+			d.Migration = &dm
+		}
 		d.Nodes = make([]NodeSnap, len(s.Cluster.Nodes))
 		for i, n := range s.Cluster.Nodes {
 			dn := n
@@ -540,6 +608,12 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 				r.Ships, r.ShipBytes, r.ShipFailures, r.Probes, r.ProbeFailures)
 			fmt.Fprintf(tw, "  failover\tpromotions %d\tdelta-replayed %d\tlost-updates %d\n",
 				r.Promotions, r.DeltaReplayed, r.LostUpdates)
+		}
+		if m := cl.Migration; m != nil {
+			fmt.Fprintf(tw, "  migration\tslot-moves %d (%d failed)\tkeys %d (%d B)\tdelta-replayed %d\tmoved-retries %d\n",
+				m.SlotMoves, m.SlotMoveFailures, m.KeysMoved, m.BytesMoved, m.DeltaReplayed, m.MovedRetries)
+			fmt.Fprintf(tw, "  membership\tnodes-added %d\tnodes-removed %d\n",
+				m.NodesAdded, m.NodesRemoved)
 		}
 		for i, n := range cl.Nodes {
 			fmt.Fprintf(tw, "  node %d\tlocal %d\tremote %d\ttimeouts %d\n", i, n.Local, n.Remote, n.Timeouts)

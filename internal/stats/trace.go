@@ -37,12 +37,23 @@ const (
 	// A = the node, B = delta entries replayed; Label carries the lost
 	// update count when the delta window overflowed.
 	EvPromotion
+	// EvSlotMove is one slot migrated between nodes: A = the slot,
+	// B = keys moved; Label = "src->dst".
+	EvSlotMove
+	// EvSlotMoveFailed is a slot migration aborted and rolled back:
+	// A = the slot; Label = "src->dst: reason".
+	EvSlotMoveFailed
+	// EvNodeAdded is a node joined to the live cluster: A = the node.
+	EvNodeAdded
+	// EvNodeRemoved is a node drained and retired from the live cluster:
+	// A = the node.
+	EvNodeRemoved
 
 	// NumEvents is the number of event kinds.
-	NumEvents = int(EvPromotion) + 1
+	NumEvents = int(EvNodeRemoved) + 1
 )
 
-var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion"}
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion", "slot-move", "slot-move-failed", "node-added", "node-removed"}
 
 func (k EventKind) String() string {
 	if int(k) < NumEvents {
@@ -89,6 +100,14 @@ func (e Event) String() string {
 			return fmt.Sprintf("#%d promotion node=%d replayed=%d lost=%s", e.Seq, e.A, e.B, e.Label)
 		}
 		return fmt.Sprintf("#%d promotion node=%d replayed=%d", e.Seq, e.A, e.B)
+	case EvSlotMove:
+		return fmt.Sprintf("#%d slot-move slot=%d keys=%d %s", e.Seq, e.A, e.B, e.Label)
+	case EvSlotMoveFailed:
+		return fmt.Sprintf("#%d slot-move-failed slot=%d %s", e.Seq, e.A, e.Label)
+	case EvNodeAdded:
+		return fmt.Sprintf("#%d node-added node=%d", e.Seq, e.A)
+	case EvNodeRemoved:
+		return fmt.Sprintf("#%d node-removed node=%d", e.Seq, e.A)
 	}
 	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
 }

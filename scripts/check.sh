@@ -27,6 +27,28 @@ if [ -n "$offenders" ]; then
     exit 1
 fi
 
+# NodeFor is deprecated: placement goes through the slot table (Slot/Owner/
+# Table on the Placement interface). The only mentions allowed are the
+# wrapper's own declaration in internal/cluster/placement.go and the test
+# that pins its equivalence.
+offenders=$(grep -rn "NodeFor" --include='*.go' . \
+    | grep -v "^./internal/cluster/placement.go:" \
+    | grep -v "^./internal/cluster/migrate_test.go:" || true)
+if [ -n "$offenders" ]; then
+    echo "deprecated NodeFor used outside its wrapper:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
+# The slot-table is the single placement authority: nobody outside the
+# placement implementation may hash a key straight onto a node count.
+offenders=$(grep -rn "fnv" --include='*.go' ./internal/cluster ./internal/server ./internal/chaos || true)
+if [ -n "$offenders" ]; then
+    echo "direct key hashing outside the placement implementation:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -47,5 +69,8 @@ echo "== failover smoke (rolling node kills, standbys promote) =="
 
 echo "== chaos smoke (kills + partition, invariant-checked) =="
 ./scripts/chaos-smoke.sh
+
+echo "== migration smoke (elastic add/remove + slot moves under traffic) =="
+./scripts/migration-smoke.sh
 
 echo "OK"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Migration smoke test: run the two elastic-cluster scenarios end to end
+# with their invariant checks — `elastic-add-remove` (a node joins mid-run,
+# a fair share of placement slots migrates onto it under verifying load,
+# then the same node is drained and retired; every command must verify,
+# with only retryable -MOVED refusals allowed around the flips) and
+# `migration-target-killed` (a slot migration pointed at a crashing node
+# must abort and roll back, leaving the source authoritative and the
+# failure counted exactly once).
+#
+# The add/remove scenario also round-trips through its JSON form, so the
+# declarative surface of the new pseudo-points (cluster.node.add,
+# cluster.node.remove, cluster.slot.migrate) is exercised too.
+set -e
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/spacejmp-chaos" ./cmd/spacejmp-chaos
+
+echo "migration-smoke: elastic-add-remove (via JSON spec file)"
+"$tmp/spacejmp-chaos" -scenario elastic-add-remove -dump > "$tmp/elastic.json"
+"$tmp/spacejmp-chaos" -spec "$tmp/elastic.json" -quiet
+
+echo "migration-smoke: migration-target-killed"
+"$tmp/spacejmp-chaos" -scenario migration-target-killed -quiet
+
+echo "migration-smoke: OK"
