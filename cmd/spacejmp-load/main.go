@@ -12,11 +12,20 @@
 //	spacejmp-load [-addr host:port] [-conns n] [-pipeline n] [-n requests]
 //	              [-set-percent p] [-mget p] [-mget-keys n]
 //	              [-keys n] [-value bytes] [-seed s] [-reconnect]
+//	              [-tenants n] [-auth] [-cross-check n]
 //
 // With -reconnect, a connection that loses its transport (a chaos scenario
 // dropping conns, a server mid-failover) redials and works through its
 // remaining quota instead of failing the run; survived disconnects are
 // reported alongside the verification counters.
+//
+// With -tenants N -auth, the load runs multi-tenant against a server booted
+// with the same -tenants N: connection i authenticates as demo tenant
+// t(i%N) and works that tenant's view, values verified against the
+// tenant-qualified key so views never silently alias. With two or more
+// tenants, every -cross-check'th command probes another tenant's view; the
+// only correct reply is -NOPERM, and any data reply is reported (and fails
+// the run) as a cross-view leak.
 package main
 
 import (
@@ -40,6 +49,9 @@ func main() {
 	flag.IntVar(&cfg.ValueSize, "value", 64, "value size in bytes")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "per-connection PRNG seed base")
 	flag.BoolVar(&cfg.Reconnect, "reconnect", false, "redial on transport failure instead of aborting the run")
+	flag.IntVar(&cfg.Tenants, "tenants", 0, "spread connections across n demo tenants (needs -auth)")
+	flag.BoolVar(&cfg.Auth, "auth", false, "AUTH each connection with its demo tenant credentials")
+	flag.IntVar(&cfg.CrossCheckEvery, "cross-check", 0, "probe another tenant's view every n commands (0 = default 32; needs 2+ tenants)")
 	flag.Parse()
 
 	res, err := server.RunLoad(cfg)
@@ -55,7 +67,11 @@ func main() {
 		res.Latency.Quantile(0.99), res.Latency.Max)
 	fmt.Printf("busy  %d  errors  %d  mismatches  %d  disconnects  %d\n",
 		res.Busy, res.Errors, res.Mismatches, res.Disconnects)
-	if res.Mismatches > 0 || res.Errors > 0 {
+	if cfg.Tenants > 0 && cfg.Auth {
+		fmt.Printf("tenant  cross-denied  %d  cross-leaks  %d  quota-rejected  %d\n",
+			res.CrossDenied, res.CrossLeaks, res.QuotaRejected)
+	}
+	if res.Mismatches > 0 || res.Errors > 0 || res.CrossLeaks > 0 {
 		os.Exit(1)
 	}
 }

@@ -16,6 +16,16 @@
 //	                [-kill-node n] [-kill-after d]
 //	                [-add-node-after d] [-remove-node n] [-remove-node-after d]
 //	                [-scenario name|file.json] [-fault-seed n]
+//	                [-tenants n] [-tenant-max-bytes n] [-tenant-max-keys n]
+//	                [-tenant-rate n]
+//
+// With -tenants N, the server runs multi-tenant: N demo tenants (ids t0..,
+// secrets s0..) are registered, every connection must AUTH before touching
+// data, each tenant works an isolated per-tenant view of the store, and
+// cross-view access is answered -NOPERM unless a capability grant allows
+// it. The -tenant-* flags set each tenant's quotas (0 = unlimited); the
+// admin surface grows a /tenants endpoint with per-tenant usage and
+// counters.
 //
 // With -admin, a plain HTTP surface serves /healthz, /stats (the live
 // observability snapshot as JSON, including the armed fault rules),
@@ -61,6 +71,7 @@ import (
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/server"
+	"spacejmp/internal/tenant"
 )
 
 func main() {
@@ -86,6 +97,10 @@ func main() {
 	removeNodeAfter := flag.Duration("remove-node-after", 2*time.Second, "delay before -remove-node fires")
 	scenario := flag.String("scenario", "", "play this chaos scenario's steps against the live fault registry (library name or JSON file)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault registry seed for -scenario runs")
+	tenantsN := flag.Int("tenants", 0, "serve n demo tenants (t0../s0..) behind AUTH with isolated views (0 = single-tenant)")
+	tenantMaxBytes := flag.Uint64("tenant-max-bytes", 0, "per-tenant stored-bytes quota (0 = unlimited)")
+	tenantMaxKeys := flag.Uint64("tenant-max-keys", 0, "per-tenant key-count quota (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant command rate limit per second (0 = unlimited)")
 	flag.Parse()
 
 	cfg, err := hw.NamedConfig(*machine)
@@ -119,12 +134,26 @@ func main() {
 		fatal(err)
 	}
 	base := m.PM.AllocatedBytes()
+	var tenants *tenant.Registry
+	if *tenantsN > 0 {
+		nodes := *clusterN
+		if nodes <= 0 {
+			nodes = 1
+		}
+		tenants, err = tenant.NewDemo(*tenantsN, tenant.Config{Nodes: nodes, Stats: m.Observer()},
+			tenant.Quotas{MaxBytes: *tenantMaxBytes, MaxKeys: *tenantMaxKeys, Rate: *tenantRate})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spacejmp-server: %s\n", tenants)
+	}
 	srvCfg := server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
 		PipelineDepth: *pipeline,
 		SegSize:       *segSize,
 		Tags:          *tags,
+		Tenants:       tenants,
 	}
 	var srv *server.Server
 	var router *cluster.Router
@@ -211,7 +240,7 @@ func main() {
 		if router != nil {
 			cl = router
 		}
-		admin = &http.Server{Handler: server.AdminHandler(sys, cl)}
+		admin = &http.Server{Handler: server.AdminHandler(sys, cl, tenants)}
 		go admin.Serve(aln)
 		fmt.Fprintf(os.Stderr, "spacejmp-server: admin on http://%s (/healthz /stats /trace)\n",
 			aln.Addr())

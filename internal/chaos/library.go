@@ -24,6 +24,7 @@ func Library() []*Spec {
 		acceptPressureFlood(),
 		elasticAddRemove(),
 		migrationTargetKilled(),
+		tenantIsolationUnderKill(),
 	}
 }
 
@@ -258,9 +259,14 @@ func migrationTargetKilled() *Spec {
 		Steps: []Step{
 			// Node 2 dies on its next dispatch from 50ms on; the migration at
 			// 150ms targets it — either the crash already landed (the target
-			// is rejected as unserving) or the import itself trips it.
+			// is rejected as unserving) or the import itself trips it. Slot
+			// 142 holds keys of the k%06d/128 keyspace (slot 4, the old
+			// choice, holds none — an empty slot sends no import chunks, so
+			// nothing tripped the crash once the fast load had drained), which
+			// guarantees at least one CLUSTER.IMPORT dispatch at the target
+			// even when the load finishes before the crash step arms.
 			{Point: "cluster.node.crash", Target: intp(2), Policy: PolicySpec{Kind: "always"}, After: dur(50 * time.Millisecond)},
-			{Point: "cluster.slot.migrate", Slot: intp(4), Target: intp(2), After: dur(150 * time.Millisecond)},
+			{Point: "cluster.slot.migrate", Slot: intp(142), Target: intp(2), After: dur(150 * time.Millisecond)},
 		},
 		Invariants: Invariants{
 			SlotMoveFailures: u64(1),
@@ -271,6 +277,46 @@ func migrationTargetKilled() *Spec {
 			MinTraceEvents: map[string]uint64{
 				"slot-move-failed": 1,
 			},
+		},
+	}
+}
+
+// tenantIsolationUnderKill runs two authenticated tenants over a replicated
+// cluster and hard-kills a remote primary mid-load. The standby must promote
+// with zero lost updates while both tenant views keep verifying — and the
+// capability boundary must hold through the failover: every cross-view probe
+// is answered -NOPERM by the promoted standby exactly as by the primary it
+// replaced. A single data reply to a probe (a cross-view leak) fails the
+// run, no matter how chaotic the failover window was.
+func tenantIsolationUnderKill() *Spec {
+	return &Spec{
+		Name:        "tenant-isolation-under-kill",
+		Description: "two tenants, primary killed mid-run: standby promotes, views verify, probes stay denied",
+		Machine:     "M1",
+		Cluster: ClusterSpec{
+			Nodes: 4, Workers: 2, Locals: 1,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 8, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(2 * time.Millisecond), ProbeThreshold: 3,
+			DeltaLog: 256,
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 384,
+			SetPercent: 25, MGetPercent: 20, Keys: 256,
+			Tenants: 2, Auth: true, CrossCheckEvery: 16,
+		},
+		Steps: []Step{
+			{Point: PointNodeKill, Target: intp(2), After: dur(200 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			Promotions:     u64(1),
+			MinShips:       1,
+			MaxLostUpdates: u64(0),
+			MaxBusyFrac:    f64(0.5),
+			Degraded:       intp(0),
+			MinCrossDenied: 1,
+			StepsMustFire:  true,
+			MinTraceEvents: map[string]uint64{"promotion": 1},
 		},
 	}
 }

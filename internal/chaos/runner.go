@@ -16,6 +16,7 @@ import (
 	"spacejmp/internal/kernel"
 	"spacejmp/internal/server"
 	"spacejmp/internal/stats"
+	"spacejmp/internal/tenant"
 )
 
 // Options tune one Runner invocation without touching the spec.
@@ -75,6 +76,10 @@ func (r *Report) WriteText(w io.Writer) {
 	if l := r.Load; l != nil {
 		fmt.Fprintf(w, "  load: %d commands (%d get, %d set, %d mget), %d busy, %d errors, %d mismatches, %d disconnects\n",
 			l.Commands, l.Gets, l.Sets, l.MGets, l.Busy, l.Errors, l.Mismatches, l.Disconnects)
+		if l.CrossDenied > 0 || l.CrossLeaks > 0 || l.QuotaRejected > 0 {
+			fmt.Fprintf(w, "  tenant: %d cross-view probes denied, %d leaks, %d quota rejections\n",
+				l.CrossDenied, l.CrossLeaks, l.QuotaRejected)
+		}
 	}
 	for _, s := range r.Steps {
 		tgt := "any"
@@ -166,12 +171,26 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: cluster boot: %w", err)
 	}
+
+	// Tenant runs boot the demo registry over the cluster's node stores; the
+	// load generator authenticates with the matching demo credentials.
+	var tenants *tenant.Registry
+	if spec.Load.Tenants > 0 {
+		nodeCount, _ := spec.Cluster.placement()
+		tenants, err = tenant.NewDemo(spec.Load.Tenants,
+			tenant.Config{Nodes: nodeCount, Stats: obs}, tenant.Quotas{})
+		if err != nil {
+			router.Close()
+			return nil, fmt.Errorf("chaos: tenant registry: %w", err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		router.Close()
 		return nil, err
 	}
-	srv := server.NewWithBackend(sys, ln, server.Config{QueueDepth: clCfg.QueueDepth}, router)
+	srv := server.NewWithBackend(sys, ln, server.Config{QueueDepth: clCfg.QueueDepth, Tenants: tenants}, router)
 	logf("chaos: %s: serving on %s (machine %s, seed %d)", spec.Name, srv.Addr(), hwCfg.Name, seed)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -187,7 +206,7 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 			srv.Shutdown()
 			return nil, err
 		}
-		admin = &http.Server{Handler: server.AdminHandler(sys, router)}
+		admin = &http.Server{Handler: server.AdminHandler(sys, router, tenants)}
 		go admin.Serve(aln)
 		deltaCount = make(chan int, 1)
 		go watchDeltas(ctx, aln.Addr().String(), deltaCount)
@@ -224,6 +243,10 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		ValueSize:   spec.Load.ValueSize,
 		Seed:        seed,
 		Reconnect:   spec.Load.Reconnect,
+
+		Tenants:         spec.Load.Tenants,
+		Auth:            spec.Load.Auth,
+		CrossCheckEvery: spec.Load.CrossCheckEvery,
 	}
 	res, loadErr := server.RunLoad(loadCfg)
 	logf("chaos: load done: %d commands, %d busy, %d errors, %d mismatches",
@@ -322,6 +345,16 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 	add("schedule", st.schedErr == nil, errDetail(st.schedErr))
 	add("verify", res.Mismatches <= inv.MaxMismatches,
 		fmt.Sprintf("%d mismatches (max %d)", res.Mismatches, inv.MaxMismatches))
+	if spec.Load.Tenants > 1 && spec.Load.Auth {
+		// Isolation is absolute: any data reply to a cross-view probe is a
+		// leak, regardless of what the scenario otherwise tolerates.
+		add("cross-leaks", res.CrossLeaks == 0,
+			fmt.Sprintf("%d cross-view leaks (none allowed)", res.CrossLeaks))
+		if inv.MinCrossDenied > 0 {
+			add("cross-denied", res.CrossDenied >= inv.MinCrossDenied,
+				fmt.Sprintf("%d cross-view probes denied (min %d)", res.CrossDenied, inv.MinCrossDenied))
+		}
+	}
 
 	switch {
 	case inv.MaxErrorFrac != nil:

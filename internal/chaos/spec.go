@@ -297,6 +297,14 @@ type LoadSpec struct {
 	Keys        int  `json:"keys,omitempty"`
 	ValueSize   int  `json:"value_size,omitempty"`
 	Reconnect   bool `json:"reconnect,omitempty"`
+	// Tenants with Auth boots the demo tenant registry and runs the load
+	// multi-tenant: each connection authenticates as tenant i%Tenants and
+	// works its own view. CrossCheckEvery interleaves probe GETs at another
+	// tenant's view; the only correct answer is -NOPERM, and any data reply
+	// is counted as a cross-view leak.
+	Tenants         int  `json:"tenants,omitempty"`
+	Auth            bool `json:"auth,omitempty"`
+	CrossCheckEvery int  `json:"cross_check_every,omitempty"`
 }
 
 // Invariants are the assertions a run must satisfy. Value fields of zero
@@ -333,6 +341,12 @@ type Invariants struct {
 	// SlotMoveFailures, when set, is the exact count of slot migrations that
 	// aborted (source stayed authoritative).
 	SlotMoveFailures *uint64 `json:"slot_move_failures,omitempty"`
+	// MinCrossDenied is the minimum cross-tenant probes the load must have
+	// seen denied with -NOPERM (tenant runs; proves the probes actually ran).
+	// Any probe answered with data instead of a denial is a cross-view leak,
+	// and leaks are always an invariant violation — there is no knob to
+	// tolerate them.
+	MinCrossDenied uint64 `json:"min_cross_denied,omitempty"`
 	// StepsMustFire requires every step to have fired at least once (for a
 	// pseudo-point step: the operator action succeeded).
 	StepsMustFire bool `json:"steps_must_fire,omitempty"`
@@ -398,6 +412,19 @@ func (s *Spec) Validate() error {
 		return specErr(-1, fmt.Sprintf("cluster: %v", err), ErrBadSpec)
 	}
 	nodes, localNode := s.Cluster.placement()
+
+	if s.Load.Tenants < 0 {
+		return specErr(-1, fmt.Sprintf("load.tenants: negative (%d)", s.Load.Tenants), ErrBadSpec)
+	}
+	if s.Load.Auth && s.Load.Tenants == 0 {
+		return specErr(-1, "load.auth: requires load.tenants > 0", ErrBadSpec)
+	}
+	if s.Load.CrossCheckEvery > 0 && (!s.Load.Auth || s.Load.Tenants < 2) {
+		return specErr(-1, "load.cross_check_every: probes need auth and at least two tenants", ErrBadSpec)
+	}
+	if s.Invariants.MinCrossDenied > 0 && (!s.Load.Auth || s.Load.Tenants < 2) {
+		return specErr(-1, "invariants.min_cross_denied: needs auth and at least two tenants", ErrBadSpec)
+	}
 
 	for i, st := range s.Steps {
 		if !knownPoints[st.Point] {

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// slotSpan is one parsed CLUSTER SLOTS range.
+type slotSpan struct{ start, end, owner int }
+
+// parseSlotsReply decodes a clusterSlotsReply wire form. Each range is
+// `*3\r\n:start\r\n:end\r\n*2\r\n$len\r\nnode-name\r\n:owner\r\n`.
+func parseSlotsReply(t *testing.T, raw []byte) []slotSpan {
+	t.Helper()
+	lines := strings.Split(string(raw), "\r\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "*") {
+		t.Fatalf("slots reply header: %q", raw)
+	}
+	n, err := strconv.Atoi(lines[0][1:])
+	if err != nil {
+		t.Fatalf("slots reply count: %q", lines[0])
+	}
+	num := func(s, tag string) int {
+		if !strings.HasPrefix(s, ":") {
+			t.Fatalf("%s: want integer line, got %q", tag, s)
+		}
+		v, err := strconv.Atoi(s[1:])
+		if err != nil {
+			t.Fatalf("%s: %q", tag, s)
+		}
+		return v
+	}
+	spans := make([]slotSpan, 0, n)
+	i := 1
+	for r := 0; r < n; r++ {
+		if lines[i] != "*3" {
+			t.Fatalf("range %d: want *3, got %q", r, lines[i])
+		}
+		sp := slotSpan{start: num(lines[i+1], "start"), end: num(lines[i+2], "end")}
+		if lines[i+3] != "*2" {
+			t.Fatalf("range %d: want *2 node entry, got %q", r, lines[i+3])
+		}
+		name := lines[i+5] // the bulk payload after its $len line
+		sp.owner = num(lines[i+6], "owner id")
+		if name != "node-"+strconv.Itoa(sp.owner) {
+			t.Fatalf("range %d: name %q does not match owner %d", r, name, sp.owner)
+		}
+		spans = append(spans, sp)
+		i += 7
+	}
+	return spans
+}
+
+// checkCoverage asserts the spans tile [0, NumSlots) exactly: sorted,
+// contiguous, no overlap, no gap, no wraparound past the last slot.
+func checkCoverage(t *testing.T, spans []slotSpan) {
+	t.Helper()
+	next := 0
+	for i, sp := range spans {
+		if sp.start != next {
+			t.Fatalf("span %d starts at %d, want %d (gap or overlap)", i, sp.start, next)
+		}
+		if sp.end < sp.start {
+			t.Fatalf("span %d inverted: [%d,%d]", i, sp.start, sp.end)
+		}
+		next = sp.end + 1
+	}
+	if next != NumSlots {
+		t.Fatalf("spans end at %d, want %d", next-1, NumSlots-1)
+	}
+}
+
+// ownersOf maps slot -> owner from a span list.
+func ownersOf(spans []slotSpan) map[int]int {
+	out := map[int]int{}
+	for _, sp := range spans {
+		for s := sp.start; s <= sp.end; s++ {
+			out[s] = sp.owner
+		}
+	}
+	return out
+}
+
+// TestClusterSlotsSingleSlotRanges pins the merge logic's smallest case: a
+// lone slot whose neighbours belong to other nodes must render as a
+// one-slot range, and moving it away must re-merge its neighbours.
+func TestClusterSlotsSingleSlotRanges(t *testing.T) {
+	_, r, srv := startCluster(t, Config{Nodes: 3, Workers: 1, Locals: 2}, nil)
+	defer srv.Shutdown()
+
+	// Build a run of three slots on one owner, then punch out the middle:
+	// the hole must split the run into [10,10] / [11,11] / [12,12] with the
+	// middle on its own owner.
+	owner := r.Owner(10)
+	other := (owner + 1) % 3
+	for s := 10; s <= 12; s++ {
+		if r.Owner(s) != owner {
+			if err := r.MigrateSlot(s, owner); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.MigrateSlot(11, other); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := parseSlotsReply(t, r.clusterSlotsReply())
+	checkCoverage(t, spans)
+	var hole *slotSpan
+	for i := range spans {
+		if spans[i].start == 11 {
+			hole = &spans[i]
+		}
+	}
+	if hole == nil || hole.end != 11 || hole.owner != other {
+		t.Fatalf("punched slot 11 not a single-slot range for node %d: %+v", other, hole)
+	}
+	owners := ownersOf(spans)
+	if owners[10] != owner || owners[12] != owner {
+		t.Fatalf("neighbours of the hole moved: 10->%d 12->%d, want %d", owners[10], owners[12], owner)
+	}
+}
+
+// TestClusterSlotsLastSlotBoundary exercises the table's edge: a range must
+// close exactly at slot 255 whether the last slot shares its neighbour's
+// owner or sits alone, and never wrap around.
+func TestClusterSlotsLastSlotBoundary(t *testing.T) {
+	_, r, srv := startCluster(t, Config{Nodes: 3, Workers: 1, Locals: 2}, nil)
+	defer srv.Shutdown()
+
+	last, prev := NumSlots-1, NumSlots-2
+	// Case 1: the last slot differs from its neighbour — a single-slot
+	// range must close the table.
+	alone := (r.Owner(prev) + 1) % 3
+	if err := r.MigrateSlot(last, alone); err != nil {
+		t.Fatal(err)
+	}
+	spans := parseSlotsReply(t, r.clusterSlotsReply())
+	checkCoverage(t, spans)
+	tail := spans[len(spans)-1]
+	if tail.start != last || tail.end != last || tail.owner != alone {
+		t.Fatalf("tail span = %+v, want the lone slot %d on node %d", tail, last, alone)
+	}
+
+	// Case 2: the last slot merges into its neighbour's range and the
+	// merged range still ends at 255.
+	if err := r.MigrateSlot(last, r.Owner(prev)); err != nil {
+		t.Fatal(err)
+	}
+	spans = parseSlotsReply(t, r.clusterSlotsReply())
+	checkCoverage(t, spans)
+	tail = spans[len(spans)-1]
+	if tail.end != last || tail.start > prev || tail.owner != r.Owner(prev) {
+		t.Fatalf("merged tail span = %+v, want [%d,%d] on node %d", tail, prev, last, r.Owner(prev))
+	}
+}
+
+// TestClusterSlotsDrainedNodeAbsent removes a node and checks the rendered
+// table: the drained node owns nothing, appears in no range, and the
+// survivors still tile the whole keyspace.
+func TestClusterSlotsDrainedNodeAbsent(t *testing.T) {
+	_, r, srv := startCluster(t, Config{Nodes: 3, Workers: 1, Locals: 2}, nil)
+	defer srv.Shutdown()
+
+	// Node 2 is the remote one under Locals: 2; drain and retire it.
+	if err := r.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	spans := parseSlotsReply(t, r.clusterSlotsReply())
+	checkCoverage(t, spans)
+	for _, sp := range spans {
+		if sp.owner == 2 {
+			t.Fatalf("drained node 2 still owns range %+v", sp)
+		}
+	}
+}

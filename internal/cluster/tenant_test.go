@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"spacejmp/internal/hw"
+	"spacejmp/internal/kernel"
+	"spacejmp/internal/redis"
+	"spacejmp/internal/server"
+	"spacejmp/internal/tenant"
+)
+
+// startTenantCluster boots a cluster whose front-end carries a demo tenant
+// registry spanning the cluster's shard stores.
+func startTenantCluster(t *testing.T, cfg Config, tenants int) (*hw.Machine, *Router, *server.Server, *tenant.Registry) {
+	t.Helper()
+	m := hw.NewMachine(hw.SmallTest())
+	sys := kernel.New(m)
+	sys.EnableStats(4096)
+	r, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := tenant.NewDemo(tenants, tenant.Config{Nodes: cfg.Nodes, Stats: m.Observer()}, tenant.Quotas{})
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	srv := server.NewWithBackend(sys, ln, server.Config{Tenants: reg}, r)
+	return m, r, srv, reg
+}
+
+func dialAs(t *testing.T, srv *server.Server, i int) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	br := bufio.NewReader(nc)
+	if v, _, err := roundTrip(t, nc, br, "AUTH", tenant.DemoID(i), tenant.DemoSecret(i)); err != nil || string(v) != "OK" {
+		t.Fatalf("AUTH %s: %q %v", tenant.DemoID(i), v, err)
+	}
+	return nc, br
+}
+
+// TestClusterTenantBothModes routes two tenants' views across a mixed
+// cluster: the tenant prefix rides the same slot hashing as any key, so
+// view-scoped data lands on both the shared-VAS path and the urpc path and
+// verifies on each — while a cross-view address is denied at admission
+// with -NOPERM before it can reach either path.
+func TestClusterTenantBothModes(t *testing.T) {
+	m, _, srv, _ := startTenantCluster(t, Config{Nodes: 3, Workers: 2, Locals: 2}, 2)
+	defer srv.Shutdown()
+
+	nc0, br0 := dialAs(t, srv, 0)
+	nc1, br1 := dialAs(t, srv, 1)
+
+	// Enough keys to land on every node; the two views use the same logical
+	// keys with different values, so any cross-view bleed is a visible
+	// wrong answer, not a silent match.
+	const n = 24
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, _, err := roundTrip(t, nc0, br0, "SET", k, "zero-"+k); err != nil || string(v) != "OK" {
+			t.Fatalf("t0 SET %s: %q %v", k, v, err)
+		}
+		if v, _, err := roundTrip(t, nc1, br1, "SET", k, "one-"+k); err != nil || string(v) != "OK" {
+			t.Fatalf("t1 SET %s: %q %v", k, v, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, _, err := roundTrip(t, nc0, br0, "GET", k); err != nil || string(v) != "zero-"+k {
+			t.Fatalf("t0 GET %s: %q %v", k, v, err)
+		}
+		if v, _, err := roundTrip(t, nc1, br1, "GET", k); err != nil || string(v) != "one-"+k {
+			t.Fatalf("t1 GET %s: %q %v", k, v, err)
+		}
+	}
+	// Cross-view denial holds regardless of which node would serve the key.
+	for i := 0; i < n; i++ {
+		k := redis.TenantKey(tenant.DemoID(0), fmt.Sprintf("key-%d", i))
+		if _, _, err := roundTrip(t, nc1, br1, "GET", k); !errors.Is(err, redis.ErrNoPerm) {
+			t.Fatalf("cross-view GET %s: err = %v, want redis.ErrNoPerm", k, err)
+		}
+	}
+
+	snap := m.Observer().Snapshot()
+	if snap.Cluster == nil || snap.Cluster.Local == 0 || snap.Cluster.Remote == 0 {
+		t.Fatalf("cluster paths = %+v, want tenant traffic on both local and remote", snap.Cluster)
+	}
+	if len(snap.Tenants) != 2 || snap.Tenants[0].Commands == 0 || snap.Tenants[1].Commands == 0 {
+		t.Fatalf("tenant snaps = %+v, want commands on both", snap.Tenants)
+	}
+	if snap.Tenants[1].CapDenials == 0 {
+		t.Fatalf("tenant snaps = %+v, want t1's denials counted", snap.Tenants)
+	}
+}
+
+// TestClusterTenantURPCOnly pins the remote path specifically: with every
+// node behind urpc, tenant-qualified keys still verify per view and the
+// denial stays typed — the capability check runs at admission, not on the
+// shard, so no urpc round trip ever carries an unauthorized key.
+func TestClusterTenantURPCOnly(t *testing.T) {
+	m, _, srv, _ := startTenantCluster(t, Config{Nodes: 2, Workers: 1, Mode: ModeURPC}, 2)
+	defer srv.Shutdown()
+
+	nc0, br0 := dialAs(t, srv, 0)
+	nc1, br1 := dialAs(t, srv, 1)
+
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("rk-%d", i)
+		if v, _, err := roundTrip(t, nc0, br0, "SET", k, "v0"); err != nil || string(v) != "OK" {
+			t.Fatalf("SET %s: %q %v", k, v, err)
+		}
+		if _, _, err := roundTrip(t, nc1, br1, "GET", redis.TenantKey(tenant.DemoID(0), k)); !errors.Is(err, redis.ErrNoPerm) {
+			t.Fatalf("cross-view GET %s: err = %v, want redis.ErrNoPerm", k, err)
+		}
+	}
+	snap := m.Observer().Snapshot()
+	if snap.Cluster == nil || snap.Cluster.Remote == 0 || snap.Cluster.Local != 0 {
+		t.Fatalf("cluster paths = %+v, want urpc-only traffic", snap.Cluster)
+	}
+}

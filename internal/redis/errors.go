@@ -16,6 +16,8 @@ const (
 	codeShardDegraded = "SHARDDEGRADED"
 	codeBusy          = "BUSY"
 	codeMoved         = "MOVED"
+	codeNoPerm        = "NOPERM"
+	codeQuota         = "QUOTA"
 )
 
 // Sentinel reply errors. Use errors.Is against a decoded ReplyError; use
@@ -33,6 +35,14 @@ var (
 	// the slot's keys now live on another node; retrying routes against the
 	// new slot table.
 	ErrMoved = ReplyError(codeMoved + " slot moved, retry")
+	// ErrNoPerm is a capability denial: the connection's tenant holds no
+	// capability covering the addressed view (paper §4.2 — a segment attach
+	// outside the caller's ACL fails at the check, not as a missing key).
+	// Terminal for the command; retrying cannot help.
+	ErrNoPerm = ReplyError(codeNoPerm + " permission denied")
+	// ErrQuota is a quota rejection at admission — the tenant is over its
+	// byte, key, or command-rate budget. Terminal for the command.
+	ErrQuota = ReplyError(codeQuota + " tenant quota exceeded")
 )
 
 // Is makes errors.Is(reply, ErrShardTimeout) and friends match on the
@@ -43,7 +53,7 @@ func (e ReplyError) Is(target error) bool {
 		return false
 	}
 	switch t {
-	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved:
+	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved, ErrNoPerm, ErrQuota:
 		return replyCode(string(e)) == replyCode(string(t))
 	}
 	return string(e) == string(t)
@@ -76,6 +86,18 @@ func EncodeBusy(detail string) []byte {
 // should be retried — the router re-resolves against the new slot table.
 func EncodeMoved(slot, node int) []byte {
 	return []byte(fmt.Sprintf("-%s %d node-%d\r\n", codeMoved, slot, node))
+}
+
+// EncodeNoPerm renders the capability-denial reply. detail says which view
+// the caller could not address, not whether the key exists there — a denial
+// must be distinguishable from a miss.
+func EncodeNoPerm(detail string) []byte {
+	return []byte(fmt.Sprintf("-%s %s\r\n", codeNoPerm, detail))
+}
+
+// EncodeQuota renders the quota-rejection reply.
+func EncodeQuota(detail string) []byte {
+	return []byte(fmt.Sprintf("-%s %s\r\n", codeQuota, detail))
 }
 
 // IsRetryableReply reports whether an error reply asks the client to try

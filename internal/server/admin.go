@@ -11,6 +11,7 @@ import (
 	"spacejmp/internal/core"
 	"spacejmp/internal/fault"
 	"spacejmp/internal/stats"
+	"spacejmp/internal/tenant"
 )
 
 // NodeHealth is one shard node's routing and failover status, as the
@@ -66,8 +67,14 @@ type ClusterStatus interface {
 //	                   it to stream a running scenario's activity instead of
 //	                   re-pulling and re-diffing full snapshots.
 //	GET /trace?n=    — the most recent n retained trace events (default all)
-//	GET /healthz     — liveness probe; 503 with per-node detail when any key
-//	                   range is degraded (failed, mid-promotion, or lost)
+//	GET /healthz     — liveness probe; JSON with the current placement table
+//	                   version (so operators can correlate degraded ranges
+//	                   with a recent slot flip); 503 with per-node detail
+//	                   when any key range is degraded (failed, mid-promotion,
+//	                   or lost)
+//	GET /tenants     — multi-tenant registry listing: each tenant's quotas,
+//	                   live usage, and serving counters (404 when the server
+//	                   runs single-tenant)
 //
 // /stats reads only the sink's atomic counters (stats.Sink.Snapshot), so it
 // is safe to poll while workers drive the simulated cores. The per-core
@@ -75,30 +82,63 @@ type ClusterStatus interface {
 // design (one goroutine per core), and only hw.Machine.StatsSnapshot — which
 // requires quiescence — can fold them in. Category-attributed cycles, which
 // the sink does own, are present and account for all charged work.
-func AdminHandler(sys *core.System, cl ClusterStatus) http.Handler {
+func AdminHandler(sys *core.System, cl ClusterStatus, tenants *tenant.Registry) http.Handler {
 	obs := sys.M.Observer()
 	cursors := &deltaCursors{snaps: map[uint64]cursorSnap{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// healthBody carries the placement version alongside the verdict so
+		// an operator can correlate a degraded range with a recent slot
+		// flip without a second /topology round trip.
+		type healthBody struct {
+			Status           string       `json:"status"`
+			PlacementVersion *uint64      `json:"placement_version,omitempty"`
+			Nodes            []NodeHealth `json:"nodes,omitempty"`
+		}
+		body := healthBody{Status: "ok"}
+		status := http.StatusOK
 		if cl != nil {
-			nodes := cl.Health()
-			var degraded []NodeHealth
-			for _, n := range nodes {
+			v := cl.PlacementInfo().Version
+			body.PlacementVersion = &v
+			for _, n := range cl.Health() {
 				if n.Degraded || n.LostUpdates > 0 {
-					degraded = append(degraded, n)
+					body.Nodes = append(body.Nodes, n)
 				}
 			}
-			if len(degraded) > 0 {
-				w.Header().Set("Content-Type", "application/json")
-				w.WriteHeader(http.StatusServiceUnavailable)
-				json.NewEncoder(w).Encode(struct {
-					Status string       `json:"status"`
-					Nodes  []NodeHealth `json:"nodes"`
-				}{"degraded", degraded})
-				return
+			if len(body.Nodes) > 0 {
+				body.Status = "degraded"
+				status = http.StatusServiceUnavailable
 			}
 		}
-		w.Write([]byte("ok\n"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		if tenants == nil {
+			http.Error(w, "multi-tenant serving disabled", http.StatusNotFound)
+			return
+		}
+		infos := tenants.List()
+		var counters []stats.TenantSnap
+		if snap := obs.Snapshot(); snap != nil {
+			counters = snap.Tenants
+		}
+		type entry struct {
+			tenant.Info
+			Counters stats.TenantSnap `json:"counters"`
+		}
+		out := make([]entry, len(infos))
+		for i, info := range infos {
+			out[i] = entry{Info: info}
+			if i < len(counters) {
+				out[i].Counters = counters[i]
+			}
+		}
+		writeJSON(w, struct {
+			Generation uint64  `json:"generation"`
+			Tenants    []entry `json:"tenants"`
+		}{tenants.Generation(), out})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		snap := obs.Snapshot()

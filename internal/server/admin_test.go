@@ -33,7 +33,7 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Fatalf("GET: %q %v", v, err)
 	}
 
-	admin := httptest.NewServer(AdminHandler(sys, nil))
+	admin := httptest.NewServer(AdminHandler(sys, nil, nil))
 	defer admin.Close()
 
 	get := func(path string) []byte {
@@ -53,8 +53,26 @@ func TestAdminEndpoints(t *testing.T) {
 		return body
 	}
 
-	if string(get("/healthz")) != "ok\n" {
-		t.Error("healthz not ok")
+	var health struct {
+		Status           string  `json:"status"`
+		PlacementVersion *uint64 `json:"placement_version"`
+	}
+	if err := json.Unmarshal(get("/healthz"), &health); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("healthz status = %q, want ok", health.Status)
+	}
+	if health.PlacementVersion != nil {
+		t.Errorf("single-store healthz reported a placement version: %d", *health.PlacementVersion)
+	}
+
+	// Single-tenant server: the tenant listing is absent, loudly.
+	if resp, err := admin.Client().Get(admin.URL + "/tenants"); err == nil {
+		if resp.StatusCode != 404 {
+			t.Errorf("/tenants without a registry: status %d, want 404", resp.StatusCode)
+		}
+		resp.Body.Close()
 	}
 
 	var snap stats.Snapshot
@@ -109,7 +127,7 @@ func TestAdminStatsDelta(t *testing.T) {
 	defer srv.Shutdown()
 	reg.EnableAt(fault.SrvConnStall, fault.TargetAny, "p=0.5", fault.Probability(0.5))
 
-	admin := httptest.NewServer(AdminHandler(sys, nil))
+	admin := httptest.NewServer(AdminHandler(sys, nil, nil))
 	defer admin.Close()
 
 	getJSON := func(path string, out any) int {
@@ -221,16 +239,27 @@ func TestAdminClusterHealth(t *testing.T) {
 		{Node: 0, Local: true, State: "healthy"},
 		{Node: 1, Replicated: true, State: "healthy"},
 	}}
-	admin := httptest.NewServer(AdminHandler(sys, cl))
+	admin := httptest.NewServer(AdminHandler(sys, cl, nil))
 	defer admin.Close()
 
 	resp, err := admin.Client().Get(admin.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
+	healthy, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("healthy cluster: /healthz status %d, want 200", resp.StatusCode)
+	}
+	var okBody struct {
+		Status           string  `json:"status"`
+		PlacementVersion *uint64 `json:"placement_version"`
+	}
+	if err := json.Unmarshal(healthy, &okBody); err != nil {
+		t.Fatalf("healthz JSON: %v (body %q)", err, healthy)
+	}
+	if okBody.Status != "ok" || okBody.PlacementVersion == nil || *okBody.PlacementVersion != 1 {
+		t.Fatalf("healthz = %+v, want ok with placement version 1", okBody)
 	}
 
 	var wrapped struct {

@@ -16,6 +16,10 @@ type Request struct {
 
 	resp []byte
 	done chan struct{}
+
+	// settle, when set, runs in the connection writer with the finished
+	// reply — the tenant layer's quota commit/rollback hook.
+	settle func([]byte)
 }
 
 // NewRequest builds an in-flight request for a parsed command.

@@ -32,6 +32,11 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 		var werr error
 		for r := range replies {
 			resp := r.Wait()
+			if r.settle != nil {
+				// Commit or roll back the tenant quota charge now that the
+				// outcome is known (registry state only — never simulated).
+				r.settle(resp)
+			}
 			if werr != nil {
 				continue // keep draining so the reader never wedges
 			}
@@ -48,6 +53,7 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 		}
 	}()
 
+	ct := newConnTenant(s.cfg.Tenants)
 	var commands uint64
 	for {
 		if s.faults.Fire(fault.SrvConnStall) {
@@ -69,7 +75,19 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 			replies <- inlineReply(redis.EncodeSimple("OK"))
 			break
 		}
+		var settle func([]byte)
+		if ct != nil {
+			var inline []byte
+			if inline, settle = ct.admit(args); inline != nil {
+				// Answered at admission: AUTH, a capability denial, or a
+				// quota rejection. Nothing reaches the backend.
+				s.obs.ServerPipeline(len(replies) + 1)
+				replies <- inlineReply(inline)
+				continue
+			}
+		}
 		r := NewRequest(args)
+		r.settle = settle
 		if !s.backend.Submit(id, r) {
 			// Backpressure: the backend is saturated. Fail fast with an
 			// error reply instead of buffering without bound.

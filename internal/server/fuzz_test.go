@@ -1,0 +1,132 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"spacejmp/internal/redis"
+	"spacejmp/internal/tenant"
+)
+
+// FuzzAuthCommand throws arbitrary commands at the tenant admission layer —
+// the code every untrusted connection byte reaches first. Invariants: admit
+// never panics, data commands without an identity are always answered
+// inline with -NOPERM, every inline reply is one well-formed RESP reply,
+// and after a successful AUTH every plain key arg is rewritten into the
+// tenant's view so the prefix round-trips through SplitTenantKey.
+func FuzzAuthCommand(f *testing.F) {
+	f.Add("AUTH", "t0", "s0")
+	f.Add("AUTH", "t0", "wrong")
+	f.Add("AUTH", "", "")
+	f.Add("GET", "k", "")
+	f.Add("SET", "k", "v")
+	f.Add("SET", "t:t1:k", "v")
+	f.Add("DEL", "t:zz:x", "")
+	f.Add("MGET", "a", "t:t0:b")
+	f.Add("get", "t:", "")
+	f.Add("Set", "t::", "t:t0")
+	f.Add("PING", "", "")
+	f.Add("QUIT", "\r\n", "\x00")
+	f.Fuzz(func(t *testing.T, a0, a1, a2 string) {
+		if a0 == "" {
+			return // the conn layer never passes an empty command name
+		}
+		reg, err := tenant.NewDemo(2, tenant.Config{}, tenant.Quotas{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := []string{a0, a1, a2}
+
+		checkInline := func(resp []byte, tag string) {
+			if resp == nil {
+				return
+			}
+			if _, _, err := redis.DecodeReply(resp); err != nil {
+				// Error replies decode to a ReplyError; that is well-formed.
+				var re redis.ReplyError
+				if !asReplyError(err, &re) {
+					t.Fatalf("%s: inline reply %q is not one well-formed RESP reply: %v", tag, resp, err)
+				}
+			}
+		}
+
+		// Pass 1: unauthenticated. A data command must die inline with the
+		// typed denial; nothing else may slip through to a backend.
+		ct := newConnTenant(reg)
+		unauth := append([]string(nil), args...)
+		inline, settle := ct.admit(unauth)
+		checkInline(inline, "unauthenticated")
+		switch strings.ToUpper(a0) {
+		case "GET", "MGET", "SET", "DEL":
+			if inline == nil {
+				t.Fatalf("unauthenticated %q reached the backend", args)
+			}
+			if !strings.HasPrefix(string(inline), "-NOPERM") {
+				t.Fatalf("unauthenticated %q: inline reply %q, want -NOPERM", args, inline)
+			}
+			if settle != nil {
+				t.Fatalf("unauthenticated %q produced a settle hook", args)
+			}
+		case "AUTH":
+			if inline == nil {
+				t.Fatalf("AUTH %q produced no inline reply", args)
+			}
+		}
+
+		// Pass 2: authenticated as t0. Plain keys must be rewritten into
+		// t0's view and round-trip through SplitTenantKey; explicit
+		// cross-view keys are either denied inline or left untouched.
+		ct = newConnTenant(reg)
+		if resp := ct.auth([]string{"AUTH", tenant.DemoID(0), tenant.DemoSecret(0)}); string(resp) != "+OK\r\n" {
+			t.Fatalf("demo AUTH failed: %q", resp)
+		}
+		authed := append([]string(nil), args...)
+		inline, settle = ct.admit(authed)
+		checkInline(inline, "authenticated")
+		name := strings.ToUpper(a0)
+		if name == "GET" || name == "MGET" || name == "SET" || name == "DEL" {
+			lastKey := len(authed) - 1
+			if name == "SET" {
+				lastKey = 1
+			}
+			for i := 1; i <= lastKey; i++ {
+				orig, rewritten := args[i], authed[i]
+				id, rest, wasCross := redis.SplitTenantKey(orig)
+				if inline != nil {
+					// Denied or rejected at admission: args may be partially
+					// rewritten but nothing reached a backend; nothing more
+					// to hold.
+					continue
+				}
+				if wasCross {
+					if rewritten != orig {
+						t.Fatalf("cross-view key %q (-> %s/%s) was rewritten to %q", orig, id, rest, rewritten)
+					}
+					continue
+				}
+				wantKey := redis.TenantKey(tenant.DemoID(0), orig)
+				if rewritten != wantKey {
+					t.Fatalf("key %q rewritten to %q, want %q", orig, rewritten, wantKey)
+				}
+				gotID, gotRest, ok := redis.SplitTenantKey(rewritten)
+				if !ok || gotID != tenant.DemoID(0) || gotRest != orig {
+					t.Fatalf("rewritten key %q does not round-trip: (%q, %q, %v)", rewritten, gotID, gotRest, ok)
+				}
+			}
+		}
+		if settle != nil {
+			// The settle hook must tolerate any reply shape the backend
+			// could produce, including errors and empty slices.
+			settle(nil)
+			settle = func([]byte) {}
+		}
+	})
+}
+
+func asReplyError(err error, re *redis.ReplyError) bool {
+	e, ok := err.(redis.ReplyError)
+	if ok {
+		*re = e
+	}
+	return ok
+}

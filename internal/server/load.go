@@ -13,6 +13,7 @@ import (
 
 	"spacejmp/internal/redis"
 	"spacejmp/internal/stats"
+	"spacejmp/internal/tenant"
 )
 
 // Closed-loop load generator: N connections, each keeping a fixed pipeline
@@ -45,6 +46,21 @@ type LoadConfig struct {
 	// server.accept — while still holding the run to zero verification
 	// failures.
 	Reconnect bool
+	// Tenants with Auth runs the load multi-tenant against a server booted
+	// with a demo registry: connection i authenticates as demo tenant
+	// i%Tenants (re-authenticating after every redial) and works its own
+	// view of the keyspace. Values are derived from the tenant-qualified
+	// key, so per-tenant keyspaces verify independently and any cross-view
+	// bleed is a value mismatch, not a silent match.
+	Tenants int
+	Auth    bool
+	// CrossCheckEvery replaces every n'th command on a connection with a
+	// probe GET explicitly addressed at another tenant's view. The only
+	// correct answer is a -NOPERM denial; any other reply — nil included —
+	// means the capability check did not fire and counts as a cross-tenant
+	// leak (and a mismatch). 0 takes the default (32); <0 disables probes.
+	// Probes need Auth and at least two tenants.
+	CrossCheckEvery int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -75,6 +91,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Tenants < 0 {
+		c.Tenants = 0
+	}
+	if c.CrossCheckEvery == 0 {
+		c.CrossCheckEvery = 32
+	}
 	return c
 }
 
@@ -88,8 +110,12 @@ type LoadResult struct {
 	Errors      uint64 // any other error reply
 	Mismatches  uint64 // GET replies that matched neither nil nor the key's value
 	Disconnects uint64 // transport failures survived by reconnecting (Reconnect only)
-	Elapsed     time.Duration
-	Latency     stats.HistSnap // per-command wall latency, nanoseconds
+	// Multi-tenant runs only.
+	QuotaRejected uint64 // -QUOTA admission rejections (not counted as Errors)
+	CrossDenied   uint64 // cross-view probes correctly denied with -NOPERM
+	CrossLeaks    uint64 // cross-view probes answered any other way — isolation failures (also Mismatches)
+	Elapsed       time.Duration
+	Latency       stats.HistSnap // per-command wall latency, nanoseconds
 }
 
 // Throughput returns commands per second over the run.
@@ -120,6 +146,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	res := &LoadResult{}
 	var commands, gets, sets, mgets, busy, errCount, mismatches, disconnects atomic.Uint64
+	var quotaRejected, crossDenied, crossLeaks atomic.Uint64
 	var lat stats.Hist
 
 	errs := make([]error, cfg.Conns)
@@ -130,6 +157,24 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		go func(i int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+
+			// Tenant identity: connection i works as demo tenant i%N. The
+			// expected value of a key is derived from its tenant-qualified
+			// form, so every tenant's keyspace verifies independently.
+			var tid, secret, probeTarget string
+			if cfg.Auth && cfg.Tenants > 0 {
+				tid = tenant.DemoID(i % cfg.Tenants)
+				secret = tenant.DemoSecret(i % cfg.Tenants)
+				if cfg.Tenants > 1 {
+					probeTarget = tenant.DemoID((i + 1) % cfg.Tenants)
+				}
+			}
+			valKey := func(key string) string {
+				if tid == "" {
+					return key
+				}
+				return redis.TenantKey(tid, key)
+			}
 
 			var nc net.Conn
 			var br *bufio.Reader
@@ -166,6 +211,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				opGet = iota
 				opSet
 				opMGet
+				opProbe // GET explicitly addressed at another tenant's view
 			)
 			type sent struct {
 				op   int
@@ -173,6 +219,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				at   time.Time
 			}
 			batch := make([]sent, 0, cfg.Pipeline)
+			issued := 0
 			for remaining := cfg.Requests; remaining > 0; {
 				if nc == nil {
 					c, err := net.Dial("tcp", cfg.Addr)
@@ -183,6 +230,29 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 						return
 					}
 					nc, br, bw = c, bufio.NewReader(c), bufio.NewWriter(c)
+					if tid != "" {
+						// Every (re)dial starts unauthenticated; bind the
+						// tenant identity before any data command.
+						if _, err := nc.Write(redis.EncodeCommand("AUTH", tid, secret)); err != nil {
+							if fail(err) {
+								continue
+							}
+							return
+						}
+						if _, _, err := redis.ReadReply(br); err != nil {
+							var reply redis.ReplyError
+							if errors.As(err, &reply) {
+								// Rejected credentials are a configuration
+								// error; redialing cannot help.
+								errs[i] = fmt.Errorf("auth %s: %w", tid, err)
+								return
+							}
+							if fail(err) {
+								continue
+							}
+							return
+						}
+					}
 				}
 				n := cfg.Pipeline
 				if n > remaining {
@@ -192,13 +262,18 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				writeErr := error(nil)
 				for j := 0; j < n; j++ {
 					draw := rng.Intn(100)
+					issued++
 					var s sent
 					var cmd []byte
 					switch {
+					case probeTarget != "" && cfg.CrossCheckEvery > 0 && issued%cfg.CrossCheckEvery == 0:
+						key := redis.TenantKey(probeTarget, fmt.Sprintf("k%06d", rng.Intn(cfg.Keys)))
+						s = sent{op: opProbe, keys: []string{key}}
+						cmd = redis.EncodeCommand("GET", key)
 					case draw < cfg.SetPercent:
 						key := fmt.Sprintf("k%06d", rng.Intn(cfg.Keys))
 						s = sent{op: opSet, keys: []string{key}}
-						cmd = redis.EncodeCommand("SET", key, string(ValueFor(key, cfg.ValueSize)))
+						cmd = redis.EncodeCommand("SET", key, string(ValueFor(valKey(key), cfg.ValueSize)))
 					case draw < cfg.SetPercent+cfg.MGetPercent:
 						keys := make([]string, cfg.MGetKeys)
 						for k := range keys {
@@ -244,7 +319,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 								mismatches.Add(1)
 							} else {
 								for k := range vals {
-									if !nils[k] && !bytes.Equal(vals[k], ValueFor(s.keys[k], cfg.ValueSize)) {
+									if !nils[k] && !bytes.Equal(vals[k], ValueFor(valKey(s.keys[k]), cfg.ValueSize)) {
 										mismatches.Add(1)
 									}
 								}
@@ -254,7 +329,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 						var val []byte
 						var isNil bool
 						val, isNil, err = redis.ReadReply(br)
-						if err == nil && s.op == opGet && !isNil && !bytes.Equal(val, ValueFor(s.keys[0], cfg.ValueSize)) {
+						if err == nil && s.op == opGet && !isNil && !bytes.Equal(val, ValueFor(valKey(s.keys[0]), cfg.ValueSize)) {
 							mismatches.Add(1)
 						}
 					}
@@ -263,14 +338,28 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					case errors.As(err, &reply):
 						// Typed retryable refusals (-BUSY backpressure,
 						// -SHARDTIMEOUT mid-failover) count as busy;
-						// anything else is a hard error.
-						if redis.IsRetryableReply(reply) {
+						// -QUOTA and a probe's expected -NOPERM have their
+						// own buckets; anything else is a hard error.
+						switch {
+						case s.op == opProbe && errors.Is(reply, redis.ErrNoPerm):
+							crossDenied.Add(1)
+						case errors.Is(reply, redis.ErrQuota):
+							quotaRejected.Add(1)
+						case redis.IsRetryableReply(reply):
 							busy.Add(1)
-						} else {
+						default:
 							errCount.Add(1)
 						}
 					case err != nil:
 						transportErr = err
+					default:
+						if s.op == opProbe {
+							// The store answered a cross-view address — the
+							// capability check did not fire. Nil or not,
+							// this is an isolation failure.
+							crossLeaks.Add(1)
+							mismatches.Add(1)
+						}
 					}
 					if transportErr != nil {
 						break
@@ -313,6 +402,9 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res.Errors = errCount.Load()
 	res.Mismatches = mismatches.Load()
 	res.Disconnects = disconnects.Load()
+	res.QuotaRejected = quotaRejected.Load()
+	res.CrossDenied = crossDenied.Load()
+	res.CrossLeaks = crossLeaks.Load()
 	res.Latency = lat.Snap()
 	return res, errors.Join(errs...)
 }

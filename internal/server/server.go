@@ -26,6 +26,7 @@ import (
 	"spacejmp/internal/core"
 	"spacejmp/internal/fault"
 	"spacejmp/internal/stats"
+	"spacejmp/internal/tenant"
 )
 
 // Config sizes the server. Zero values take the defaults below.
@@ -45,6 +46,11 @@ type Config struct {
 	// Tags enables TLB tags on the server VASes (Figure 10a's tagged
 	// series).
 	Tags bool
+	// Tenants, when set, turns on multi-tenant serving: connections must
+	// AUTH against this registry, keys are qualified into the tenant's
+	// view, cross-view addresses pass capability checks, and quotas gate
+	// admission. Nil keeps the single-tenant behavior unchanged.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -91,7 +91,7 @@ func (p *Pool) newShard(id int, cfg Config, ctr *stats.ShardCounters) (*shard, e
 		proc.Exit()
 		return nil, err
 	}
-	client, err := redis.NewClient(th, cfg.SegSize)
+	client, err := redis.NewClientNamed(th, cfg.SegSize, redis.DefaultNames)
 	if err != nil {
 		proc.Exit()
 		return nil, err

@@ -149,6 +149,18 @@ func (m MigrationSnap) zero() bool {
 		m.NodesAdded == 0 && m.NodesRemoved == 0 && len(m.SlotKeys) == 0
 }
 
+// TenantSnap is one tenant's serving activity: admitted commands and their
+// payload bytes, quota rejections at admission, and capability denials on
+// cross-view addresses. Index order follows tenant registration order.
+type TenantSnap struct {
+	Commands        uint64 `json:"commands"`
+	Bytes           uint64 `json:"bytes"`
+	QuotaRejections uint64 `json:"quota_rejections"`
+	CapDenials      uint64 `json:"cap_denials"`
+}
+
+func (t TenantSnap) zero() bool { return t == TenantSnap{} }
+
 // ClusterSnap is the cluster layer's view: how many commands were served on
 // the shared-VAS fast path versus over urpc, what each mode cost in worker
 // cycles, and the per-node breakdown.
@@ -181,6 +193,7 @@ type Snapshot struct {
 	Syscalls map[string]HistSnap    `json:"syscalls,omitempty"`
 	Server   *ServerSnap            `json:"server,omitempty"`
 	Cluster  *ClusterSnap           `json:"cluster,omitempty"`
+	Tenants  []TenantSnap           `json:"tenants,omitempty"`
 
 	LockWaitNs     HistSnap `json:"lock_wait_ns"`
 	LockHoldCycles HistSnap `json:"lock_hold_cycles"`
@@ -342,6 +355,23 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		snap.Cluster = cs
 	}
+	if table := s.tenants.table.Load(); table != nil {
+		tenants := make([]TenantSnap, len(*table))
+		var any bool
+		for i := range *table {
+			tc := &(*table)[i]
+			tenants[i] = TenantSnap{
+				Commands:        tc.commands.Load(),
+				Bytes:           tc.bytes.Load(),
+				QuotaRejections: tc.quota.Load(),
+				CapDenials:      tc.denials.Load(),
+			}
+			any = any || !tenants[i].zero()
+		}
+		if any {
+			snap.Tenants = tenants
+		}
+	}
 	if t := s.tracer.Load(); t != nil {
 		snap.TraceRecorded = t.Recorded()
 		snap.TraceDropped = t.Dropped()
@@ -497,6 +527,20 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 		}
 		out.Cluster = d
 	}
+	if len(s.Tenants) > 0 {
+		out.Tenants = make([]TenantSnap, len(s.Tenants))
+		for i, t := range s.Tenants {
+			d := t
+			if i < len(before.Tenants) {
+				b := before.Tenants[i]
+				d.Commands -= b.Commands
+				d.Bytes -= b.Bytes
+				d.QuotaRejections -= b.QuotaRejections
+				d.CapDenials -= b.CapDenials
+			}
+			out.Tenants[i] = d
+		}
+	}
 	out.LockWaitNs = s.LockWaitNs.sub(before.LockWaitNs)
 	out.LockHoldCycles = s.LockHoldCycles.sub(before.LockHoldCycles)
 	out.Shootdowns = s.Shootdowns - before.Shootdowns
@@ -618,6 +662,13 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		for i, n := range cl.Nodes {
 			fmt.Fprintf(tw, "  node %d\tlocal %d\tremote %d\ttimeouts %d\n", i, n.Local, n.Remote, n.Timeouts)
 		}
+	}
+	for i, t := range s.Tenants {
+		if t.zero() {
+			continue
+		}
+		fmt.Fprintf(tw, "tenant %d\tcommands %d\tbytes %d\tquota-rejected %d\tcap-denied %d\n",
+			i, t.Commands, t.Bytes, t.QuotaRejections, t.CapDenials)
 	}
 	if s.TraceRecorded != 0 {
 		fmt.Fprintf(tw, "trace\trecorded %d\tdropped %d\n", s.TraceRecorded, s.TraceDropped)

@@ -228,6 +228,10 @@ type Sink struct {
 	// per-mode cycle histograms); see cluster.go.
 	cluster clusterCounters
 
+	// tenants is the multi-tenant serving block (per-tenant commands,
+	// bytes, quota rejections, capability denials); see tenant.go.
+	tenants tenantCounters
+
 	tracer atomic.Pointer[Tracer]
 }
 

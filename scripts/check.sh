@@ -49,6 +49,17 @@ if [ -n "$offenders" ]; then
     exit 1
 fi
 
+# Store construction in the serving layers goes through NewClientNamed so
+# every shard carries its node's namespace (and a tenant view is just a
+# prefix inside it). A bare redis.NewClient would silently collapse all
+# nodes onto the default store names.
+offenders=$(grep -rn "redis\.NewClient(" --include='*.go' ./internal/server ./internal/cluster || true)
+if [ -n "$offenders" ]; then
+    echo "direct redis.NewClient in serving code (use NewClientNamed):" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -61,6 +72,9 @@ go test -run Fuzz -fuzz=FuzzReadCommand -fuzztime=10s ./internal/redis
 echo "== fuzz smoke (chaos scenario parser) =="
 go test -run Fuzz -fuzz=FuzzParseSpec -fuzztime=10s ./internal/chaos
 
+echo "== fuzz smoke (tenant admission) =="
+go test -run Fuzz -fuzz=FuzzAuthCommand -fuzztime=10s ./internal/server
+
 echo "== cluster smoke (baseline scenario, both serving paths) =="
 ./scripts/cluster-smoke.sh
 
@@ -72,5 +86,8 @@ echo "== chaos smoke (kills + partition, invariant-checked) =="
 
 echo "== migration smoke (elastic add/remove + slot moves under traffic) =="
 ./scripts/migration-smoke.sh
+
+echo "== tenant smoke (AUTH, cross-view denial, quotas in /stats) =="
+./scripts/tenant-smoke.sh
 
 echo "OK"
