@@ -13,6 +13,7 @@
 //	              [-set-percent p] [-mget p] [-mget-keys n]
 //	              [-keys n] [-value bytes] [-seed s] [-reconnect]
 //	              [-tenants n] [-auth] [-cross-check n]
+//	              [-stale-reads] [-stale-bound d] [-stale-check n]
 //
 // With -reconnect, a connection that loses its transport (a chaos scenario
 // dropping conns, a server mid-failover) redials and works through its
@@ -26,6 +27,13 @@
 // tenants, every -cross-check'th command probes another tenant's view; the
 // only correct reply is -NOPERM, and any data reply is reported (and fails
 // the run) as a cross-view leak.
+//
+// With -stale-reads, every connection opts into follower reads (READONLY)
+// against a cluster server running with -follower-reads, and interleaves
+// versioned staleness probes into the mix: each probe GET must return either
+// a version no older than -stale-bound or the typed -STALE refusal. A stale
+// version served silently is a staleness-bound violation and fails the run.
+// Set -stale-bound to the server's bound plus shipping slack.
 package main
 
 import (
@@ -52,6 +60,9 @@ func main() {
 	flag.IntVar(&cfg.Tenants, "tenants", 0, "spread connections across n demo tenants (needs -auth)")
 	flag.BoolVar(&cfg.Auth, "auth", false, "AUTH each connection with its demo tenant credentials")
 	flag.IntVar(&cfg.CrossCheckEvery, "cross-check", 0, "probe another tenant's view every n commands (0 = default 32; needs 2+ tenants)")
+	flag.BoolVar(&cfg.StaleReads, "stale-reads", false, "opt connections into follower reads (READONLY) and verify the staleness bound with versioned probes")
+	flag.DurationVar(&cfg.StaleBound, "stale-bound", 0, "verifying staleness bound for probe GETs (0 = default 1s; set to server bound plus slack)")
+	flag.IntVar(&cfg.StaleCheckEvery, "stale-check", 0, "issue a staleness probe every n commands (0 = default 8)")
 	flag.Parse()
 
 	res, err := server.RunLoad(cfg)
@@ -71,7 +82,11 @@ func main() {
 		fmt.Printf("tenant  cross-denied  %d  cross-leaks  %d  quota-rejected  %d\n",
 			res.CrossDenied, res.CrossLeaks, res.QuotaRejected)
 	}
-	if res.Mismatches > 0 || res.Errors > 0 || res.CrossLeaks > 0 {
+	if cfg.StaleReads {
+		fmt.Printf("stale  probes  %d  rejected  %d  violations  %d\n",
+			res.StaleProbes, res.StaleRejected, res.StaleViolations)
+	}
+	if res.Mismatches > 0 || res.Errors > 0 || res.CrossLeaks > 0 || res.StaleViolations > 0 {
 		os.Exit(1)
 	}
 }

@@ -90,6 +90,8 @@ func main() {
 	adminAddr := flag.String("admin", "", "HTTP admin address for /healthz, /stats, /trace (empty disables)")
 	replicate := flag.Bool("replicate", false, "replicate remote cluster nodes to warm standbys with failover")
 	shipEvery := flag.Int("ship-every", 0, "ship a node's checkpoint after this many writes (0 = default)")
+	followerReads := flag.Bool("follower-reads", false, "serve READONLY-connection reads from frozen fork views (needs -replicate)")
+	staleBound := flag.Duration("stale-bound", 0, "follower-read staleness bound; older views reply -STALE (0 = default 500ms)")
 	killNode := flag.Int("kill-node", -1, "crash this cluster node after -kill-after (testing failover)")
 	killAfter := flag.Duration("kill-after", 2*time.Second, "delay before -kill-node fires")
 	addNodeAfter := flag.Duration("add-node-after", 0, "add one cluster node (and rebalance slots onto it) after this delay (0 disables)")
@@ -112,6 +114,9 @@ func main() {
 		if spec, err = loadScenario(*scenario); err != nil {
 			fatal(err)
 		}
+	}
+	if *followerReads && !*replicate {
+		fatal(fmt.Errorf("-follower-reads requires -replicate (frozen fork views ride the replication engine)"))
 	}
 	if *replicate {
 		// Replication rides NVM checkpoint generations; give machines
@@ -172,8 +177,10 @@ func main() {
 			QueueDepth: *queue,
 			SegSize:    *segSize,
 			Replication: cluster.ReplicationConfig{
-				Enabled:   *replicate,
-				ShipEvery: *shipEvery,
+				Enabled:       *replicate,
+				ShipEvery:     *shipEvery,
+				FollowerReads: *followerReads,
+				StaleBound:    *staleBound,
 			},
 		})
 		if err != nil {

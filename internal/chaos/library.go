@@ -25,6 +25,7 @@ func Library() []*Spec {
 		elasticAddRemove(),
 		migrationTargetKilled(),
 		tenantIsolationUnderKill(),
+		shipUnderLoad(),
 	}
 }
 
@@ -317,6 +318,47 @@ func tenantIsolationUnderKill() *Spec {
 			MinCrossDenied: 1,
 			StepsMustFire:  true,
 			MinTraceEvents: map[string]uint64{"promotion": 1},
+		},
+	}
+}
+
+// shipUnderLoad is the write-stall gate for fork-based checkpoint shipping:
+// a write-heavy load hammers a replicated cluster whose aggressive ship
+// cadence keeps forking frozen views and shipping them while the primary
+// serves. The p99 bound is the regression tripwire — a ship that holds the
+// node mutex for the segment copy (the pre-fork design) parks every
+// concurrent write for the whole copy and blows the tail. The same run
+// exercises follower reads end to end: every connection goes READONLY and
+// the versioned staleness probes must never see a too-old value served
+// silently.
+func shipUnderLoad() *Spec {
+	return &Spec{
+		Name:        "ship-under-load",
+		Description: "write-heavy load over constant fork-based ships: bounded p99, bounded-stale follower reads",
+		Machine:     "small",
+		Cluster: ClusterSpec{
+			Nodes: 3, Workers: 1, Locals: 2,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 4, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(5 * time.Millisecond), ProbeThreshold: 5,
+			DeltaLog:      1024,
+			FollowerReads: true, StaleBound: dur(250 * time.Millisecond),
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 384,
+			SetPercent: 60, Keys: 256,
+			StaleReads: true, StaleBound: dur(2 * time.Second), StaleCheckEvery: 8,
+		},
+		Invariants: Invariants{
+			MinShips:       4,
+			Promotions:     u64(0),
+			Degraded:       intp(0),
+			MaxP99:         dur(500 * time.Millisecond),
+			MinStaleProbes: 8,
+			MinTraceEvents: map[string]uint64{
+				"fork":            4,
+				"checkpoint-ship": 4,
+			},
 		},
 	}
 }

@@ -80,6 +80,10 @@ func (r *Report) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  tenant: %d cross-view probes denied, %d leaks, %d quota rejections\n",
 				l.CrossDenied, l.CrossLeaks, l.QuotaRejected)
 		}
+		if l.StaleProbes > 0 || l.StaleRejected > 0 || l.StaleViolations > 0 {
+			fmt.Fprintf(w, "  stale: %d probes, %d -STALE refusals, %d bound violations\n",
+				l.StaleProbes, l.StaleRejected, l.StaleViolations)
+		}
 	}
 	for _, s := range r.Steps {
 		tgt := "any"
@@ -247,6 +251,10 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		Tenants:         spec.Load.Tenants,
 		Auth:            spec.Load.Auth,
 		CrossCheckEvery: spec.Load.CrossCheckEvery,
+
+		StaleReads:      spec.Load.StaleReads,
+		StaleBound:      time.Duration(spec.Load.StaleBound),
+		StaleCheckEvery: spec.Load.StaleCheckEvery,
 	}
 	res, loadErr := server.RunLoad(loadCfg)
 	logf("chaos: load done: %d commands, %d busy, %d errors, %d mismatches",
@@ -345,6 +353,21 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 	add("schedule", st.schedErr == nil, errDetail(st.schedErr))
 	add("verify", res.Mismatches <= inv.MaxMismatches,
 		fmt.Sprintf("%d mismatches (max %d)", res.Mismatches, inv.MaxMismatches))
+	if spec.Load.StaleReads {
+		// The staleness bound is absolute, like tenant isolation: a stale
+		// version served silently is always a failure.
+		add("stale-violations", res.StaleViolations == 0,
+			fmt.Sprintf("%d staleness-bound violations (none allowed)", res.StaleViolations))
+		if inv.MinStaleProbes > 0 {
+			add("stale-probes", res.StaleProbes >= inv.MinStaleProbes,
+				fmt.Sprintf("%d staleness probes completed (min %d)", res.StaleProbes, inv.MinStaleProbes))
+		}
+	}
+	if inv.MaxP99 > 0 {
+		p99 := time.Duration(res.Latency.Quantile(0.99))
+		add("latency-p99", p99 <= time.Duration(inv.MaxP99),
+			fmt.Sprintf("p99 %v (max %v)", p99, time.Duration(inv.MaxP99)))
+	}
 	if spec.Load.Tenants > 1 && spec.Load.Auth {
 		// Isolation is absolute: any data reply to a cross-view probe is a
 		// leak, regardless of what the scenario otherwise tolerates.

@@ -236,6 +236,11 @@ type ClusterSpec struct {
 	ProbeThreshold    int      `json:"probe_threshold,omitempty"`
 	DeltaLog          int      `json:"delta_log,omitempty"`
 	MigrationDeltaLog int      `json:"migration_delta_log,omitempty"`
+	// FollowerReads routes READONLY-connection reads to frozen fork views
+	// of replicated remote nodes, bounded by StaleBound (see
+	// cluster.ReplicationConfig).
+	FollowerReads bool     `json:"follower_reads,omitempty"`
+	StaleBound    Duration `json:"stale_bound,omitempty"`
 }
 
 // Config resolves the spec into a cluster.Config. The replication knobs
@@ -262,6 +267,8 @@ func (c ClusterSpec) Config() (cluster.Config, error) {
 			ProbeInterval:  time.Duration(c.ProbeInterval),
 			ProbeThreshold: c.ProbeThreshold,
 			DeltaLog:       c.DeltaLog,
+			FollowerReads:  c.FollowerReads,
+			StaleBound:     time.Duration(c.StaleBound),
 		},
 	}, nil
 }
@@ -305,6 +312,17 @@ type LoadSpec struct {
 	Tenants         int  `json:"tenants,omitempty"`
 	Auth            bool `json:"auth,omitempty"`
 	CrossCheckEvery int  `json:"cross_check_every,omitempty"`
+	// StaleReads opts every load connection into follower reads (READONLY)
+	// and interleaves versioned staleness probes: a probe GET must answer
+	// either a version no older than StaleBound or the typed -STALE
+	// refusal; a stale version served silently is a violation (and
+	// violations are always an invariant failure — there is no knob to
+	// tolerate them). Requires cluster.follower_reads. StaleBound is the
+	// verifying bound (defaults to 1s; set it to the cluster's bound plus
+	// shipping slack), StaleCheckEvery the probe cadence (default 8).
+	StaleReads      bool     `json:"stale_reads,omitempty"`
+	StaleBound      Duration `json:"stale_bound,omitempty"`
+	StaleCheckEvery int      `json:"stale_check_every,omitempty"`
 }
 
 // Invariants are the assertions a run must satisfy. Value fields of zero
@@ -347,6 +365,16 @@ type Invariants struct {
 	// and leaks are always an invariant violation — there is no knob to
 	// tolerate them.
 	MinCrossDenied uint64 `json:"min_cross_denied,omitempty"`
+	// MinStaleProbes is the minimum staleness probes the load must have
+	// completed (stale-read runs; proves the bound was actually exercised,
+	// the way MinCrossDenied proves tenant probes ran).
+	MinStaleProbes uint64 `json:"min_stale_probes,omitempty"`
+	// MaxP99, when set, bounds the load's end-to-end p99 command latency.
+	// This is the write-stall invariant: a serving path that holds a node's
+	// mutex across a checkpoint ship (instead of forking a frozen view and
+	// shipping off-mutex) parks every concurrent command for the whole copy
+	// and blows the tail; the bound keeps that regression out.
+	MaxP99 Duration `json:"max_p99,omitempty"`
 	// StepsMustFire requires every step to have fired at least once (for a
 	// pseudo-point step: the operator action succeeded).
 	StepsMustFire bool `json:"steps_must_fire,omitempty"`
@@ -424,6 +452,27 @@ func (s *Spec) Validate() error {
 	}
 	if s.Invariants.MinCrossDenied > 0 && (!s.Load.Auth || s.Load.Tenants < 2) {
 		return specErr(-1, "invariants.min_cross_denied: needs auth and at least two tenants", ErrBadSpec)
+	}
+	if s.Cluster.FollowerReads && !s.Cluster.Replicate {
+		return specErr(-1, "cluster.follower_reads: requires cluster.replicate", ErrBadSpec)
+	}
+	if s.Cluster.StaleBound < 0 {
+		return specErr(-1, fmt.Sprintf("cluster.stale_bound: negative (%v)", time.Duration(s.Cluster.StaleBound)), ErrBadDuration)
+	}
+	if s.Load.StaleReads && !s.Cluster.FollowerReads {
+		return specErr(-1, "load.stale_reads: requires cluster.follower_reads", ErrBadSpec)
+	}
+	if s.Load.StaleBound < 0 {
+		return specErr(-1, fmt.Sprintf("load.stale_bound: negative (%v)", time.Duration(s.Load.StaleBound)), ErrBadDuration)
+	}
+	if (s.Load.StaleBound != 0 || s.Load.StaleCheckEvery != 0) && !s.Load.StaleReads {
+		return specErr(-1, "load.stale_bound/stale_check_every: need load.stale_reads", ErrBadSpec)
+	}
+	if s.Invariants.MinStaleProbes > 0 && !s.Load.StaleReads {
+		return specErr(-1, "invariants.min_stale_probes: needs load.stale_reads", ErrBadSpec)
+	}
+	if s.Invariants.MaxP99 < 0 {
+		return specErr(-1, fmt.Sprintf("invariants.max_p99: negative (%v)", time.Duration(s.Invariants.MaxP99)), ErrBadDuration)
 	}
 
 	for i, st := range s.Steps {

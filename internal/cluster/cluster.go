@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"spacejmp/internal/core"
+	"spacejmp/internal/fork"
 	"spacejmp/internal/redis"
 	"spacejmp/internal/stats"
 )
@@ -113,6 +114,16 @@ type ReplicationConfig struct {
 	// overflow the node's failover degrades to checkpoint-only and the
 	// overflowed updates are reported lost.
 	DeltaLog int
+
+	// FollowerReads routes read-only commands (GET/MGET) on connections
+	// that opted in via READONLY to frozen fork views of remote replicated
+	// nodes, provided the freshest view is within StaleBound. Reads past
+	// the bound answer -STALE; nodes with no usable view serve from the
+	// primary as usual.
+	FollowerReads bool
+	// StaleBound is the maximum age of a frozen view a follower read may
+	// be served from. Defaults to 500ms when FollowerReads is on.
+	StaleBound time.Duration
 }
 
 func (c ReplicationConfig) isZero() bool {
@@ -172,6 +183,9 @@ func (c Config) withDefaults() Config {
 	if c.Replication.DeltaLog <= 0 {
 		c.Replication.DeltaLog = 1024
 	}
+	if c.Replication.StaleBound <= 0 {
+		c.Replication.StaleBound = 500 * time.Millisecond
+	}
 	c.Replicate = c.Replication.Enabled
 	c.ShipEvery = c.Replication.ShipEvery
 	c.ShipInterval = c.Replication.ShipInterval
@@ -210,6 +224,7 @@ func New(sys *core.System, cfg Config) (*Router, error) {
 		r.shipCh = make(chan int, cfg.Nodes*4)
 		r.suspectCh = make(chan int, cfg.Nodes*16)
 		r.monCtl = make(chan int, cfg.Nodes)
+		r.forks = fork.New(sys, r.obs)
 	}
 	r.obs.InstallClusterNodes(cfg.Nodes)
 	r.obs.InstallClusterSlots(NumSlots)
@@ -331,6 +346,25 @@ func (r *Router) destroyStores() error {
 	return errs
 }
 
+// closeForks releases every outstanding frozen view through a short-lived
+// admin process, exactly as destroyStores does for the stores themselves.
+// Runs after the workers exited (their cores are free to claim, and no
+// frozen-view attachments remain) and before destroyStores (a frozen view
+// pins its live object as a COW parent; releasing first keeps the
+// live-store teardown a plain free).
+func (r *Router) closeForks() error {
+	proc, err := r.sys.NewProcess(core.Creds{UID: 1, GID: 1})
+	if err != nil {
+		return err
+	}
+	defer proc.Exit()
+	th, err := proc.NewThread()
+	if err != nil {
+		return err
+	}
+	return r.forks.Close(th)
+}
+
 // Close drains the cluster: the monitor stops (its timers die with the
 // router context), the workers finish their backlogs, close their clients
 // and exit (releasing front-end cores), then the migration engine and the
@@ -358,6 +392,15 @@ func (r *Router) Close() error {
 				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("migration engine: %w", err))
 			}
 			r.eng = nil
+		}
+		// Workers have detached from every frozen view; release them all
+		// before the stores they were forked from are destroyed. An admin
+		// thread drives the teardown — node threads may be dead from
+		// crash injection.
+		if r.forks != nil {
+			if err := r.closeForks(); err != nil {
+				r.closeErr = errors.Join(r.closeErr, fmt.Errorf("fork engine: %w", err))
+			}
 		}
 		// No worker can call into a node anymore; this goroutine may now
 		// drive the node threads for teardown. Crashed processes are
@@ -431,6 +474,11 @@ type Router struct {
 	workers []*worker
 	nodes   []*node // append-only; grown by AddNode under topoMu
 	mon     *monitor
+
+	// forks manages the frozen COW views behind non-blocking checkpoint
+	// ships and follower reads. Nil when replication is off — every method
+	// tolerates the nil receiver.
+	forks *fork.Engine
 
 	// table is the current slot-table epoch (see placement.go). Replaced
 	// wholesale under topoMu; read lock-free for Owner/Table.

@@ -25,7 +25,7 @@ import (
 func startCluster(t *testing.T, cfg Config, reg *fault.Registry) (*hw.Machine, *Router, *server.Server) {
 	t.Helper()
 	hwCfg := hw.SmallTest()
-	if cfg.Replicate {
+	if cfg.Replicate || cfg.Replication.Enabled {
 		// Checkpoint shipping needs somewhere durable to put generations;
 		// the small test machine has NVM but no superblock by default.
 		hwCfg.Mem.NVMSuperblock = 1 << 20

@@ -1,29 +1,29 @@
 package cluster
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"strconv"
+	"strings"
+	"time"
 
 	"spacejmp/internal/core"
+	"spacejmp/internal/fork"
 	"spacejmp/internal/redis"
 )
 
-// shipWire is the pre-encoded replication control command.
-var shipWire = redis.EncodeCommand(shipCommand)
+// forkWire is the pre-encoded replication control command.
+var forkWire = redis.EncodeCommand(forkCommand)
 
 // ship moves one checkpoint generation from node n's primary to its
-// standby: the primary checkpoints its store into the machine's NVM
-// superblock and streams the validated generation's segment image back over
-// the monitor's multi-slot urpc channel; the monitor rebuilds the standby
-// from it.
-//
-// The node's mutex is held across the call AND the delta truncation:
-// everything buffered before the checkpoint is inside the shipped image, and
-// nothing can slip between the checkpoint and the truncation. If the apply
-// then fails, the taken window is restored — those writes are still newer
-// than whatever image the standby holds.
+// standby, in two phases. Phase one holds the node's mutex just long enough
+// for the primary to fork a frozen COW view of its store and for the delta
+// window to be truncated: everything buffered before the fork is inside the
+// frozen image, and nothing can slip between the fork and the truncation.
+// Phase two runs with the mutex released — the primary is already serving
+// writes again (they fault and break COW into private frames) while the
+// monitor extracts the frozen image and rebuilds the standby from it. If
+// the extraction or apply fails, the taken window is restored: those writes
+// are still newer than whatever image the standby holds.
 func (m *monitor) ship(r *Router, n *node) {
 	if n.promoted.Load() || n.crashed.Load() || n.removed.Load() {
 		return
@@ -41,7 +41,7 @@ func (m *monitor) ship(r *Router, n *node) {
 		n.mu.Unlock()
 		return
 	}
-	resp, err := ep.CallBulk(shipWire)
+	resp, err := ep.CallBulk(forkWire)
 	if err != nil || len(resp) == 0 || n.crashed.Load() {
 		n.mu.Unlock()
 		r.obs.ClusterShipFailure(n.id)
@@ -51,37 +51,45 @@ func (m *monitor) ship(r *Router, n *node) {
 	entries, dropped := n.takeDelta()
 	n.mu.Unlock()
 
-	payload, err := decodeShipReply(resp)
+	gen, err := parseForkReply(resp)
+	var view *fork.View
 	if err == nil {
-		var img core.SegmentImage
-		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); derr != nil {
-			err = fmt.Errorf("ship decode: %w", derr)
-		} else {
-			err = m.applyImage(n, &img)
+		if view = r.forks.Current(n.id); view == nil || view.Gen() != gen {
+			err = fmt.Errorf("fork gen %d no longer current", gen)
+		}
+	}
+	var shipped uint64
+	start := time.Now()
+	if err == nil {
+		var img *core.SegmentImage
+		if img, err = r.forks.Image(view); err == nil {
+			shipped = uint64(len(img.Pages)) * img.PageSize
+			err = m.applyImage(n, img)
 		}
 	}
 	if err != nil {
 		// The primary answered but could not produce (or we could not
-		// apply) a valid generation — a checkpoint fault, not dead-node
+		// apply) a usable view — a checkpoint fault, not dead-node
 		// evidence. Keep the window for the next attempt.
 		n.restoreDelta(entries, dropped)
 		r.obs.ClusterShipFailure(n.id)
 		return
 	}
-	r.obs.ClusterShip(n.id, uint64(len(payload)))
+	r.obs.ClusterShipDuration(uint64(time.Since(start).Nanoseconds()))
+	r.obs.ClusterShip(n.id, shipped)
 }
 
-// decodeShipReply unwraps the RESP bulk carrying the gob image; a shard
-// error reply surfaces as the contained ReplyError.
-func decodeShipReply(resp []byte) ([]byte, error) {
-	v, isNil, err := redis.ReadReply(bufio.NewReader(bytes.NewReader(resp)))
-	if err != nil {
-		return nil, err
+// parseForkReply extracts the fork generation from the node's integer
+// reply; a shard error reply surfaces as the contained ReplyError.
+func parseForkReply(resp []byte) (uint64, error) {
+	s := strings.TrimSuffix(string(resp), "\r\n")
+	switch {
+	case strings.HasPrefix(s, ":"):
+		return strconv.ParseUint(s[1:], 10, 64)
+	case strings.HasPrefix(s, "-"):
+		return 0, redis.ReplyError(s[1:])
 	}
-	if isNil || len(v) == 0 {
-		return nil, fmt.Errorf("empty ship reply")
-	}
-	return v, nil
+	return 0, fmt.Errorf("unexpected fork reply %q", s)
 }
 
 // promote fails node n's range over to its standby. The standby is rebuilt
@@ -94,6 +102,10 @@ func decodeShipReply(resp []byte) ([]byte, error) {
 // counted lost. If no valid image exists at all, the range is degraded.
 func (m *monitor) promote(r *Router, n *node) {
 	n.setState(StatePromoting, r.obs)
+	// Fence outstanding frozen views first: once the standby takes over,
+	// views of the dead primary are semantically stale in a way no
+	// staleness bound covers — follower reads must fall back immediately.
+	r.forks.InvalidateNode(n.id, "promotion")
 	if !n.rep.applied {
 		img, err := r.sys.CheckpointSegment(n.names.Seg)
 		if err == nil {

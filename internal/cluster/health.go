@@ -220,6 +220,7 @@ func (m *monitor) noteFailure(r *Router, n *node) {
 func (m *monitor) degrade(r *Router, n *node, err error) {
 	cause := err.Error()
 	n.cause.Store(&cause)
+	r.forks.InvalidateNode(n.id, "degraded")
 	entries, dropped := n.takeDelta()
 	lost := dropped + uint64(len(entries))
 	n.lost.Add(lost)

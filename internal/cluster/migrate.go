@@ -187,9 +187,12 @@ func (e *engine) dumpSlot(n *node, slot int) ([]redis.KV, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := decodeShipReply(resp)
+	payload, isNil, err := redis.DecodeReply(resp)
 	if err != nil {
 		return nil, err
+	}
+	if isNil {
+		return nil, fmt.Errorf("migrate: nil dump reply from node %d", n.id)
 	}
 	var pairs []redis.KV
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pairs); err != nil {
@@ -419,6 +422,12 @@ func (r *Router) migrateSlotLocked(slot, dst int) error {
 	r.installTable(t)
 	r.migs[slot].Store(nil)
 	r.topoMu.Unlock()
+
+	// Ownership moved: frozen views of both ends predate the flip — the
+	// source's views still carry the slot's keys it no longer owns, the
+	// target's lack them entirely. Fence them off the follower-read path.
+	r.forks.InvalidateNode(src, "slot-migration")
+	r.forks.InvalidateNode(dst, "slot-migration")
 
 	// The flip is durable; the source's copy is garbage now. Cleanup is
 	// best effort — a failure leaves dead keys on a node that no longer

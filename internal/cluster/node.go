@@ -10,6 +10,7 @@ import (
 
 	"spacejmp/internal/core"
 	"spacejmp/internal/fault"
+	"spacejmp/internal/fork"
 	"spacejmp/internal/mem"
 	"spacejmp/internal/redis"
 	"spacejmp/internal/stats"
@@ -69,9 +70,11 @@ type node struct {
 
 	// Remote nodes only.
 	proc   *core.Process
+	th     *core.Thread
 	client *redis.Client
 	coreID int
 	sys    *core.System
+	forks  *fork.Engine // shared fork engine; nil when replication is off
 
 	// mu serializes the workers' calls into this node: urpc handlers run
 	// inline in the calling goroutine, and the node's core and thread
@@ -128,6 +131,7 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 		// generations (the replication transport) cover it.
 		n.replicated = true
 		n.standby = redis.StandbyNames(id)
+		n.forks = r.forks
 		opts = append(opts, core.WithTier(mem.TierNVM))
 	}
 	client, err := redis.NewClientNamed(th, r.cfg.SegSize, n.names, opts...)
@@ -135,15 +139,17 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 		proc.Exit()
 		return nil, err
 	}
-	n.proc, n.client, n.coreID = proc, client, th.Core.ID
+	n.proc, n.th, n.client, n.coreID = proc, th, client, th.Core.ID
 	return n, nil
 }
 
 // Control commands a node's handler answers beyond the data plane:
 // replication image shipping and the slot-migration copy protocol.
 const (
-	// shipCommand: reply with a checkpointed image of the store segment.
-	shipCommand = "CLUSTER.SHIP"
+	// forkCommand: fork a frozen COW view of the store and reply with the
+	// fork generation (an integer reply). The expensive image extraction
+	// happens later, off the node mutex, through the fork engine.
+	forkCommand = "CLUSTER.FORK"
 	// migrateCommand <slot> <nslots>: reply with the slot's key/value
 	// pairs, gob-encoded in a bulk reply (the migration source side).
 	migrateCommand = "CLUSTER.MIGRATE"
@@ -174,8 +180,8 @@ func (n *node) handler(req []byte) []byte {
 		return redis.EncodeError("protocol error: " + err.Error())
 	}
 	switch {
-	case len(args) == 1 && strings.EqualFold(args[0], shipCommand):
-		return n.shipReply()
+	case len(args) == 1 && strings.EqualFold(args[0], forkCommand):
+		return n.forkReply()
 	case len(args) == 3 && strings.EqualFold(args[0], migrateCommand):
 		return n.migrateReply(args[1], args[2])
 	case len(args) == 3 && strings.EqualFold(args[0], importCommand):
@@ -256,23 +262,26 @@ func parseSlotArgs(slotArg, nslotsArg string) (slot, nslots int, errReply []byte
 	return slot, nslots, nil
 }
 
-// shipReply checkpoints the machine's NVM segments and returns this node's
-// store segment image, gob-encoded in a bulk reply. Runs on the node's core
-// with the store quiescent (the caller holds n.mu), so the image is a
-// consistent snapshot.
-func (n *node) shipReply() []byte {
+// forkReply takes the mutex-held half of a checkpoint ship: refresh the NVM
+// superblock's metadata generation (cheap — frame addresses, not page
+// contents; it keeps promotion's superblock fallback current), then fork a
+// frozen COW view of the store and answer with its generation. Runs on the
+// node's core with the store quiescent (the caller holds n.mu) — but unlike
+// the old image-in-reply ship, the caller releases the mutex the moment
+// this returns; page extraction reads the immutable frozen frames with the
+// primary already serving again.
+func (n *node) forkReply() []byte {
+	if n.forks == nil {
+		return redis.EncodeError("fork: replication disabled on this node")
+	}
 	if err := n.sys.Checkpoint(); err != nil {
-		return redis.EncodeError("ship: checkpoint: " + err.Error())
+		return redis.EncodeError("fork: checkpoint: " + err.Error())
 	}
-	img, err := n.sys.CheckpointSegment(n.names.Seg)
+	v, err := n.forks.Fork(n.th, n.id, n.names.Seg)
 	if err != nil {
-		return redis.EncodeError("ship: " + err.Error())
+		return redis.EncodeError("fork: " + err.Error())
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
-		return redis.EncodeError("ship: encode: " + err.Error())
-	}
-	return redis.EncodeBulk(buf.Bytes())
+	return redis.EncodeInt(int64(v.Gen()))
 }
 
 // call performs one serialized RPC into a remote node on the worker's

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spacejmp/internal/core"
+	"spacejmp/internal/fork"
 	"spacejmp/internal/redis"
 	"spacejmp/internal/server"
 	"spacejmp/internal/stats"
@@ -31,7 +32,62 @@ type worker struct {
 	locals    map[int]*redis.Client  // co-resident nodes, by node id
 	endpoints map[int]*urpc.Endpoint // remote nodes, by node id
 	standbys  map[int]*redis.Client  // promoted standbys, attached lazily
+	frozen    map[int]*frozenReader  // follower-read attachments, by node id
 	err       error                  // first teardown error, read after workerWG.Wait
+}
+
+// frozenReader is one worker's attachment to a node's current frozen fork
+// view: the VAS handle and a store bound inside it. Superseded or
+// invalidated views are detached lazily on the next follower read, and
+// unconditionally at worker teardown.
+type frozenReader struct {
+	view  *fork.View
+	h     core.Handle
+	store *redis.Store
+}
+
+// get reads one key from the frozen view: switch in, walk the table, switch
+// out. The frozen segment is not lockable, so unlike the live read VAS no
+// shared lock is taken — the frames are immutable.
+func (f *frozenReader) get(th *core.Thread, key string) ([]byte, bool, error) {
+	if err := th.VASSwitch(f.h); err != nil {
+		return nil, false, err
+	}
+	val, ok, err := f.store.Get([]byte(key))
+	if serr := th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return val, ok, nil
+}
+
+// mget reads a key group on one switch into the frozen view — the same
+// one-switch-many-walks fast path the live MGET uses, minus the lock.
+func (f *frozenReader) mget(th *core.Thread, keys []string) ([][]byte, error) {
+	if err := th.VASSwitch(f.h); err != nil {
+		return nil, err
+	}
+	vals := make([][]byte, len(keys))
+	var err error
+	for i, k := range keys {
+		var v []byte
+		var ok bool
+		if v, ok, err = f.store.Get([]byte(k)); err != nil {
+			break
+		}
+		if ok {
+			vals[i] = v
+		}
+	}
+	if serr := th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return vals, nil
 }
 
 func (r *Router) newWorker(id int, ctr *stats.ShardCounters) (*worker, error) {
@@ -54,6 +110,7 @@ func (r *Router) newWorker(id int, ctr *stats.ShardCounters) (*worker, error) {
 		locals:    map[int]*redis.Client{},
 		endpoints: map[int]*urpc.Endpoint{},
 		standbys:  map[int]*redis.Client{},
+		frozen:    map[int]*frozenReader{},
 	}, nil
 }
 
@@ -81,8 +138,13 @@ func (r *Router) runWorker(w *worker) {
 	defer r.workerWG.Done()
 	for req := range w.queue {
 		w.ctr.Command()
-		req.Finish(r.exec(w, req.Args))
+		req.Finish(r.exec(w, req.Args, req.Readonly))
 		r.obs.ServerCommand(uint64(time.Since(req.Start).Nanoseconds()))
+	}
+	for _, fr := range w.frozen {
+		if err := w.th.VASDetach(fr.h); err != nil && w.err == nil {
+			w.err = err
+		}
 	}
 	for _, c := range w.locals {
 		if err := c.Close(); err != nil && w.err == nil {
@@ -122,14 +184,15 @@ func (r *Router) Submit(connID uint64, req *server.Request) bool {
 
 // exec charges the network edge, routes the command, charges the reply's
 // way out. The cycle deltas recorded per mode sit between the two edge
-// charges, so they compare the serving paths themselves.
-func (r *Router) exec(w *worker, args []string) []byte {
+// charges, so they compare the serving paths themselves. readonly marks a
+// request from a connection that opted into follower reads (READONLY).
+func (r *Router) exec(w *worker, args []string, readonly bool) []byte {
 	var n int
 	for _, a := range args {
 		n += len(a)
 	}
 	w.th.Core.AddCycles(server.EdgeCycles(n))
-	resp := r.route(w, args)
+	resp := r.route(w, args, readonly)
 	w.th.Core.AddCycles(server.EdgeCycles(len(resp)))
 	return resp
 }
@@ -139,7 +202,7 @@ func (r *Router) exec(w *worker, args []string) []byte {
 // Keyed commands hold the topology read lock end to end, so each command
 // executes against one consistent slot-table epoch and node list — a slot
 // flip or node append waits out every in-flight command before it lands.
-func (r *Router) route(w *worker, args []string) []byte {
+func (r *Router) route(w *worker, args []string, readonly bool) []byte {
 	if len(args) == 0 {
 		return redis.EncodeError("empty command")
 	}
@@ -150,14 +213,14 @@ func (r *Router) route(w *worker, args []string) []byte {
 		}
 		r.topoMu.RLock()
 		defer r.topoMu.RUnlock()
-		return r.exec1(w, args)
+		return r.exec1(w, args, readonly)
 	case "MGET":
 		if len(args) < 2 {
 			return redis.EncodeWrongArity(args[0])
 		}
 		r.topoMu.RLock()
 		defer r.topoMu.RUnlock()
-		return r.mget(w, args[1:])
+		return r.mget(w, args[1:], readonly)
 	case "CLUSTER":
 		// Read-only introspection off the published table epoch; must not
 		// take topoMu here (Topology takes its own read lock, and nesting
@@ -231,13 +294,18 @@ func (w *worker) standbyClient(r *Router, n *node) (*redis.Client, error) {
 // fenced (the flip is imminent), writes get the retryable -MOVED; reads
 // keep serving from the still-authoritative source until the flip, so no
 // slot ever goes dark.
-func (r *Router) exec1(w *worker, args []string) []byte {
+func (r *Router) exec1(w *worker, args []string, readonly bool) []byte {
 	slot := r.Slot(args[1])
 	nid := r.Owner(slot)
 	var isWrite bool
 	switch strings.ToUpper(args[0]) {
 	case "SET", "DEL":
 		isWrite = true
+	}
+	if readonly && !isWrite {
+		if resp, served := r.followerGet(w, r.nodes[nid], args[1]); served {
+			return resp
+		}
 	}
 	if mig := r.migs[slot].Load(); mig != nil && isWrite {
 		if mig.fenced.Load() {
@@ -308,6 +376,123 @@ func (r *Router) bufferWrite(n *node, args []string, resp []byte) {
 	}
 }
 
+// followerView returns the frozen view a follower read of node n may serve
+// from. Three outcomes: a valid view within the staleness bound (serve it);
+// a -STALE reply when the freshest view exceeds the bound (the explicit
+// contract of READONLY — the client asked for bounded staleness and the
+// bound cannot be met); or neither, when the node has no usable view at all
+// (never forked, invalidated, local, promoted) — those reads fall through
+// to the primary, which is always fresh.
+func (r *Router) followerView(n *node) (*fork.View, []byte) {
+	if !r.cfg.Replication.FollowerReads || n.local || !n.replicated || n.promoted.Load() {
+		return nil, nil
+	}
+	v := r.forks.Current(n.id)
+	if v == nil {
+		return nil, nil
+	}
+	bound := r.cfg.Replication.StaleBound
+	if age := v.Age(); age > bound {
+		r.obs.ClusterStaleRejected()
+		return nil, redis.EncodeStale(fmt.Sprintf("node %d view age %s exceeds bound %s",
+			n.id, age.Truncate(time.Millisecond), bound))
+	}
+	return v, nil
+}
+
+// followerGet serves one GET from node n's frozen view when the staleness
+// bound allows. served=false falls through to the primary path.
+func (r *Router) followerGet(w *worker, n *node, key string) (resp []byte, served bool) {
+	v, stale := r.followerView(n)
+	if stale != nil {
+		return stale, true
+	}
+	if v == nil {
+		return nil, false
+	}
+	fr := w.frozenReaderFor(r, n.id, v)
+	if fr == nil {
+		return nil, false
+	}
+	val, ok, err := fr.get(w.th, key)
+	if err != nil {
+		return nil, false
+	}
+	r.obs.ClusterFollowerRead()
+	if !ok {
+		return redis.EncodeBulk(nil), true
+	}
+	return redis.EncodeBulk(val), true
+}
+
+// followerMGet serves one MGET key group from node n's frozen view,
+// writing hits into vals at idxs. served=false falls through to the
+// primary; a non-nil stale reply fails the whole command — a partially
+// bounded MGET would be indistinguishable from a fully bounded one.
+func (r *Router) followerMGet(w *worker, n *node, keys []string, vals [][]byte, idxs []int) (served bool, stale []byte) {
+	v, staleReply := r.followerView(n)
+	if staleReply != nil {
+		return false, staleReply
+	}
+	if v == nil {
+		return false, nil
+	}
+	fr := w.frozenReaderFor(r, n.id, v)
+	if fr == nil {
+		return false, nil
+	}
+	got, err := fr.mget(w.th, keys)
+	if err != nil {
+		return false, nil
+	}
+	r.obs.ClusterFollowerRead()
+	for j, i := range idxs {
+		vals[i] = got[j]
+	}
+	return true, nil
+}
+
+// frozenReaderFor returns this worker's cached attachment to view v,
+// rotating the cache when the node forked a newer view or the old one was
+// invalidated. Returns nil (caller serves the primary) when the view
+// cannot be attached — e.g. it was swept between the engine lookup and the
+// attach. The re-check after attaching closes the release race: a view
+// that is still the node's current one cannot be reclaimed while this
+// attachment exists (VASDestroy refuses attached VASes), and a view
+// retired in the window is dropped before any read goes through it.
+func (w *worker) frozenReaderFor(r *Router, nid int, v *fork.View) *frozenReader {
+	if fr := w.frozen[nid]; fr != nil {
+		if fr.view == v && !v.Invalid() {
+			return fr
+		}
+		_ = w.th.VASDetach(fr.h)
+		delete(w.frozen, nid)
+	}
+	h, err := w.th.VASAttach(v.VID())
+	if err != nil {
+		return nil
+	}
+	if r.forks.Current(nid) != v {
+		_ = w.th.VASDetach(h)
+		return nil
+	}
+	if err := w.th.VASSwitch(h); err != nil {
+		_ = w.th.VASDetach(h)
+		return nil
+	}
+	store, err := redis.OpenStore(w.th, redis.SegBase)
+	if serr := w.th.VASSwitch(core.PrimaryHandle); err == nil {
+		err = serr
+	}
+	if err != nil {
+		_ = w.th.VASDetach(h)
+		return nil
+	}
+	fr := &frozenReader{view: v, h: h, store: store}
+	w.frozen[nid] = fr
+	return fr
+}
+
 // noteSuspect forwards dead-node evidence from the data path to the
 // monitor, without blocking the worker.
 func (r *Router) noteSuspect(n *node) {
@@ -328,7 +513,7 @@ func (r *Router) noteSuspect(n *node) {
 // keys. Caller holds the topology read lock, so every key resolves against
 // one table epoch. Reads on migrating slots serve from the source, which
 // stays authoritative until the flip.
-func (r *Router) mget(w *worker, keys []string) []byte {
+func (r *Router) mget(w *worker, keys []string, readonly bool) []byte {
 	groups := make(map[int][]int, len(r.nodes)) // node id → indices into keys
 	for i, k := range keys {
 		nid := r.Owner(r.Slot(k))
@@ -345,6 +530,15 @@ func (r *Router) mget(w *worker, keys []string) []byte {
 			sub[j] = keys[i]
 		}
 		n := r.nodes[nid]
+		if readonly {
+			served, stale := r.followerMGet(w, n, sub, vals, idxs)
+			if stale != nil {
+				return stale
+			}
+			if served {
+				continue
+			}
+		}
 		c, ep, errReply := r.path(w, n)
 		if errReply != nil {
 			return errReply

@@ -184,23 +184,44 @@ func (sys *System) Checkpoint() error {
 	sys.mu.Lock()
 	img := persistImage{NextVAS: sys.nextVAS, NextSeg: sys.nextSeg, NextASID: sys.nextASID}
 	persisted := map[SegID]bool{}
+	ephemeral := map[SegID]bool{}
 	for _, seg := range sys.segs {
+		if seg.Ephemeral() {
+			// Frozen fork views are transient: their frames belong to a live
+			// segment's COW chain and are already covered by that segment's
+			// resolved frame map below.
+			ephemeral[seg.ID] = true
+			continue
+		}
 		if seg.Obj.Tier != mem.TierNVM {
 			continue
 		}
+		// ResolvedFrameMap, not FrameMap: after a frozen fork the live
+		// object's own map holds only pages written since the fork — the
+		// rest live up the COW parent chain and must still be persisted.
 		img.Segs = append(img.Segs, persistSeg{
 			ID: seg.ID, Name: seg.Name, Base: seg.Base, Size: seg.Size,
 			Perm: seg.Perm(), Lockable: seg.Lockable(), Owner: seg.Owner,
-			PageSize: seg.Obj.PageSize, Frames: seg.Obj.FrameMap(),
+			PageSize: seg.Obj.PageSize, Frames: seg.Obj.ResolvedFrameMap(),
 		})
 		persisted[seg.ID] = true
 	}
 	for _, v := range sys.vases {
 		pv := persistVAS{ID: v.ID, Name: v.Name, Owner: v.Owner, Mode: v.Mode, Tag: v.Tag()}
+		skip := false
 		for _, m := range v.Mappings() {
+			if ephemeral[m.Seg.ID] {
+				skip = true
+				break
+			}
 			if persisted[m.Seg.ID] {
 				pv.Segs = append(pv.Segs, persistVASMapping{Seg: m.Seg.ID, Perm: m.Perm})
 			}
+		}
+		if skip {
+			// VASes over frozen views die with the fork; restoring them
+			// would resurrect a window onto nothing.
+			continue
 		}
 		img.Vases = append(img.Vases, pv)
 	}
@@ -314,6 +335,43 @@ func (sys *System) CheckpointSegment(name string) (*SegmentImage, error) {
 		return out, nil
 	}
 	return nil, fmt.Errorf("%w: generation %d holds no segment %q", ErrNotFound, best.seq, name)
+}
+
+// SegmentImageOf reads a live segment's current content into a SegmentImage
+// without going through the NVM superblock — the extraction path for frozen
+// fork segments, whose frames are immutable by construction. Pages are
+// resolved through the object's COW parent chain (a second-generation frozen
+// view owns only the pages written since the previous fork; older content
+// lives upstream), so the image is always complete. seq stamps the image's
+// generation for the applier.
+//
+// The read never mutates the object: unmaterialized pages are simply absent
+// from the sparse map and read as zeros on apply.
+func (sys *System) SegmentImageOf(name string, seq uint64) (*SegmentImage, error) {
+	sys.mu.Lock()
+	seg, ok := sys.segByName[name]
+	sys.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: segment %q", ErrNotFound, name)
+	}
+	obj := seg.Obj
+	out := &SegmentImage{
+		Name: seg.Name, Size: seg.Size, PageSize: obj.PageSize,
+		Lockable: seg.Lockable(), Seq: seq,
+		Pages: make(map[uint64][]byte),
+	}
+	for idx := uint64(0); idx < obj.Pages(); idx++ {
+		pa, ok := obj.ResolveFrame(idx)
+		if !ok {
+			continue
+		}
+		page := make([]byte, obj.PageSize)
+		if err := sys.M.PM.ReadAt(pa, page); err != nil {
+			return nil, fmt.Errorf("spacejmp: reading page %d of %q: %w", idx, name, err)
+		}
+		out.Pages[idx] = page
+	}
+	return out, nil
 }
 
 // Restore rebuilds the registries from the newest valid checkpoint

@@ -34,6 +34,11 @@ type Segment struct {
 	lockable bool
 	lock     segLock
 
+	// ephemeral marks transient derived segments (frozen fork views) that
+	// must never be persisted: their frames belong to a live segment's COW
+	// chain and their lifetime is bounded by the fork that created them.
+	ephemeral bool
+
 	// cache is the segment's cached translation subtree: a private page
 	// table whose single PML4 entry covers the segment, whose PDPT can be
 	// linked into attaching address spaces in O(1) (§4.1, §4.4).
@@ -124,6 +129,10 @@ func (s *Segment) LockHolders() (readers, writers int64) {
 func (s *Segment) LockContentions() int64 {
 	return s.lock.contended.Load()
 }
+
+// Ephemeral reports whether the segment is a transient derived view
+// (a frozen fork) excluded from checkpoints.
+func (s *Segment) Ephemeral() bool { return s.ephemeral }
 
 // End returns the first address past the segment.
 func (s *Segment) End() arch.VirtAddr { return s.Base + arch.VirtAddr(s.Size) }

@@ -57,6 +57,80 @@ func (t *Thread) SegCloneCOW(sid SegID, newName string) (SegID, error) {
 	return dst.ID, nil
 }
 
+// SegForkFrozen splits an immutable point-in-time view off a live segment:
+// the returned segment owns the source's current frames (read-only, not
+// lockable), and the source becomes a copy-on-write child of it — writes to
+// the live segment after the fork break into private frames and never reach
+// the frozen view. This is the fork side of a BGSAVE-style snapshot: the
+// frozen segment can be attached read-only or have its image extracted
+// (System.SegmentImageOf) while the original keeps serving writes.
+//
+// The caller must quiesce writers of the source for the duration of the call
+// (the cluster holds the node mutex across it); SegForkFrozen downgrades
+// every installed writable translation of the source afterwards so resumed
+// writers fault and break COW instead of storing through stale PTEs.
+//
+// Segments with cached translation subtrees are refused: the cache holds
+// writable PTEs pointing at what are now frozen frames and cannot be
+// downgraded per-space.
+func (t *Thread) SegForkFrozen(sid SegID, newName string) (SegID, error) {
+	sys, done, err := t.enter(stats.OpSegClone)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	src, err := sys.seg(sid)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.P.CheckSeg(t.Proc.Creds, src, arch.PermWrite); err != nil {
+		return 0, err
+	}
+	if src.HasCache() {
+		return 0, fmt.Errorf("%w: segment %q has cached translations; cannot fork frozen", ErrInvalid, src.Name)
+	}
+	sys.mu.Lock()
+	if _, dup := sys.segByName[newName]; dup {
+		sys.mu.Unlock()
+		return 0, fmt.Errorf("%w: segment %q", ErrExists, newName)
+	}
+	id := sys.nextSeg
+	sys.nextSeg++
+	vases := make([]*VAS, 0, len(sys.vases))
+	for _, v := range sys.vases {
+		vases = append(vases, v)
+	}
+	sys.mu.Unlock()
+	dst := &Segment{
+		ID: id, Name: newName, Base: src.Base, Size: src.Size,
+		Obj: src.Obj.ForkFrozen(newName), Owner: t.Proc.Creds,
+		perm: arch.PermRead, lockable: false, ephemeral: true,
+	}
+	// The live object's frames map is now empty; installed writable PTEs
+	// still point at the frozen frames. Downgrade them everywhere the source
+	// is mapped writable so the next store faults and breaks COW.
+	for _, v := range vases {
+		for _, m := range v.Mappings() {
+			if m.Seg.ID != src.ID || !m.Perm.CanWrite() {
+				continue
+			}
+			for _, a := range v.attachments() {
+				if err := a.Space.DowngradeWrites(src.Base, src.Size); err != nil {
+					dst.Obj.Unref()
+					src.Obj.CollapseCOW()
+					return 0, fmt.Errorf("spacejmp: downgrading writers of %q: %w", src.Name, err)
+				}
+			}
+		}
+	}
+	sys.mu.Lock()
+	sys.segs[dst.ID] = dst
+	sys.segByName[newName] = dst
+	sys.mu.Unlock()
+	sys.P.SegCreated(t.Proc.Creds, dst)
+	return dst.ID, nil
+}
+
 // VASSnapshot creates a point-in-time copy of a VAS: a new VAS whose
 // segments are copy-on-write clones of the original's, named
 // "<segment>@<snapshot>". The snapshot is immediately attachable; its

@@ -18,6 +18,7 @@ const (
 	codeMoved         = "MOVED"
 	codeNoPerm        = "NOPERM"
 	codeQuota         = "QUOTA"
+	codeStale         = "STALE"
 )
 
 // Sentinel reply errors. Use errors.Is against a decoded ReplyError; use
@@ -43,6 +44,12 @@ var (
 	// ErrQuota is a quota rejection at admission — the tenant is over its
 	// byte, key, or command-rate budget. Terminal for the command.
 	ErrQuota = ReplyError(codeQuota + " tenant quota exceeded")
+	// ErrStale is a follower read refused because the node's freshest frozen
+	// view exceeds the configured staleness bound. Not retryable by blind
+	// re-send — the client should either accept fresh routing (READWRITE) or
+	// wait for the next fork; the load generator counts these as explicit
+	// bound enforcement, never as failures.
+	ErrStale = ReplyError(codeStale + " follower view exceeds staleness bound")
 )
 
 // Is makes errors.Is(reply, ErrShardTimeout) and friends match on the
@@ -53,7 +60,7 @@ func (e ReplyError) Is(target error) bool {
 		return false
 	}
 	switch t {
-	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved, ErrNoPerm, ErrQuota:
+	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved, ErrNoPerm, ErrQuota, ErrStale:
 		return replyCode(string(e)) == replyCode(string(t))
 	}
 	return string(e) == string(t)
@@ -98,6 +105,13 @@ func EncodeNoPerm(detail string) []byte {
 // EncodeQuota renders the quota-rejection reply.
 func EncodeQuota(detail string) []byte {
 	return []byte(fmt.Sprintf("-%s %s\r\n", codeQuota, detail))
+}
+
+// EncodeStale renders the staleness-bound refusal for a follower read.
+// detail carries the view's age and the bound, so a client can tell how far
+// behind the follower was.
+func EncodeStale(detail string) []byte {
+	return []byte(fmt.Sprintf("-%s %s\r\n", codeStale, detail))
 }
 
 // IsRetryableReply reports whether an error reply asks the client to try

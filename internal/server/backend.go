@@ -13,6 +13,10 @@ type Request struct {
 	// Start is when the reader accepted the command; backends use it for
 	// wall-latency accounting.
 	Start time.Time
+	// Readonly marks a request from a connection that opted into follower
+	// reads via READONLY: backends may serve reads from a bounded-staleness
+	// frozen view instead of the primary.
+	Readonly bool
 
 	resp []byte
 	done chan struct{}

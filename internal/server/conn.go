@@ -55,6 +55,7 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 
 	ct := newConnTenant(s.cfg.Tenants)
 	var commands uint64
+	var readonly bool // READONLY/READWRITE toggle, stamped onto each request
 	for {
 		if s.faults.Fire(fault.SrvConnStall) {
 			time.Sleep(500 * time.Microsecond)
@@ -75,6 +76,14 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 			replies <- inlineReply(redis.EncodeSimple("OK"))
 			break
 		}
+		if len(args) == 1 && (strings.EqualFold(args[0], "READONLY") || strings.EqualFold(args[0], "READWRITE")) {
+			// Per-connection follower-read opt-in, answered inline like QUIT:
+			// it flips reader-goroutine state only, so it never needs a worker.
+			readonly = strings.EqualFold(args[0], "READONLY")
+			s.obs.ServerPipeline(len(replies) + 1)
+			replies <- inlineReply(redis.EncodeSimple("OK"))
+			continue
+		}
 		var settle func([]byte)
 		if ct != nil {
 			var inline []byte
@@ -87,6 +96,7 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 			}
 		}
 		r := NewRequest(args)
+		r.Readonly = readonly
 		r.settle = settle
 		if !s.backend.Submit(id, r) {
 			// Backpressure: the backend is saturated. Fail fast with an

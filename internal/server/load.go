@@ -61,6 +61,23 @@ type LoadConfig struct {
 	// leak (and a mismatch). 0 takes the default (32); <0 disables probes.
 	// Probes need Auth and at least two tenants.
 	CrossCheckEvery int
+	// StaleReads opts every connection into follower reads (READONLY is
+	// sent after each (re)dial, after AUTH) and interleaves staleness
+	// probes into the mix: each connection owns one probe key it SETs with
+	// monotonically versioned values, and each probe GET must come back as
+	// either a version no older than StaleBound or the typed -STALE
+	// refusal. A version older than the bound served without -STALE is a
+	// StaleViolation — the server broke its bounded-staleness contract
+	// silently, which is the one failure mode follower reads must not have.
+	StaleReads bool
+	// StaleBound is the verifying staleness bound for probe GETs. Set it to
+	// the server's configured bound plus shipping slack; a violation is
+	// only counted when a probe returns a version superseded earlier than
+	// this long ago. 0 defaults to 1s.
+	StaleBound time.Duration
+	// StaleCheckEvery issues a probe (alternating SET and GET) every n'th
+	// command on stale-read runs. 0 takes the default (8); <0 disables.
+	StaleCheckEvery int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -97,6 +114,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.CrossCheckEvery == 0 {
 		c.CrossCheckEvery = 32
 	}
+	if c.StaleBound <= 0 {
+		c.StaleBound = time.Second
+	}
+	if c.StaleCheckEvery == 0 {
+		c.StaleCheckEvery = 8
+	}
 	return c
 }
 
@@ -114,8 +137,12 @@ type LoadResult struct {
 	QuotaRejected uint64 // -QUOTA admission rejections (not counted as Errors)
 	CrossDenied   uint64 // cross-view probes correctly denied with -NOPERM
 	CrossLeaks    uint64 // cross-view probes answered any other way — isolation failures (also Mismatches)
-	Elapsed       time.Duration
-	Latency       stats.HistSnap // per-command wall latency, nanoseconds
+	// Stale-read runs only.
+	StaleProbes     uint64 // probe GETs answered with a value or nil
+	StaleRejected   uint64 // probe GETs correctly refused with -STALE
+	StaleViolations uint64 // probe GETs that returned a version older than the bound without -STALE
+	Elapsed         time.Duration
+	Latency         stats.HistSnap // per-command wall latency, nanoseconds
 }
 
 // Throughput returns commands per second over the run.
@@ -137,6 +164,43 @@ func ValueFor(key string, size int) []byte {
 	return out
 }
 
+// StaleProbeValue encodes version seq of a staleness probe: a
+// self-identifying header the verifier parses back, padded to size with the
+// same binary pattern ordinary values use.
+func StaleProbeValue(seq uint64, size int) []byte {
+	hdr := fmt.Sprintf("stale|%d|", seq)
+	if size < len(hdr) {
+		return []byte(hdr)
+	}
+	out := make([]byte, size)
+	copy(out, hdr)
+	pad := []byte("\r\n\x00\xff")
+	for i := len(hdr); i < size; i++ {
+		out[i] = pad[(i-len(hdr))%len(pad)]
+	}
+	return out
+}
+
+// ParseStaleProbe recovers the version from a probe value.
+func ParseStaleProbe(val []byte) (uint64, bool) {
+	rest, ok := bytes.CutPrefix(val, []byte("stale|"))
+	if !ok {
+		return 0, false
+	}
+	end := bytes.IndexByte(rest, '|')
+	if end <= 0 {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range rest[:end] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
 // RunLoad drives the server at cfg.Addr and blocks until every connection
 // finishes its quota. Transport-level failures abort the run with an error
 // unless cfg.Reconnect is set, in which case the connection redials and
@@ -147,6 +211,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res := &LoadResult{}
 	var commands, gets, sets, mgets, busy, errCount, mismatches, disconnects atomic.Uint64
 	var quotaRejected, crossDenied, crossLeaks atomic.Uint64
+	var staleProbes, staleRejected, staleViolations atomic.Uint64
 	var lat stats.Hist
 
 	errs := make([]error, cfg.Conns)
@@ -211,15 +276,32 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				opGet = iota
 				opSet
 				opMGet
-				opProbe // GET explicitly addressed at another tenant's view
+				opProbe    // GET explicitly addressed at another tenant's view
+				opStaleSet // versioned write to this connection's staleness probe key
+				opStaleGet // read of the probe key: fresh version, bounded-old version, or -STALE
 			)
 			type sent struct {
 				op   int
 				keys []string // one key for GET/SET, several for MGET
+				seq  uint64   // probe version (opStaleSet)
 				at   time.Time
 			}
 			batch := make([]sent, 0, cfg.Pipeline)
 			issued := 0
+
+			// Staleness-probe state: this connection is the only writer of
+			// its probe key, so acked versions totally order what any view of
+			// the key may still legally serve. probeCommits holds acked
+			// writes young enough to be servable; older ones fold into
+			// floorSeq — the newest version every in-bound view must include.
+			type probeCommit struct {
+				seq uint64
+				at  time.Time
+			}
+			probeKey := fmt.Sprintf("stale.c%03d", i)
+			var probeCommits []probeCommit
+			var probeSeq, floorSeq uint64
+			probeWrite := true
 			for remaining := cfg.Requests; remaining > 0; {
 				if nc == nil {
 					c, err := net.Dial("tcp", cfg.Addr)
@@ -253,6 +335,28 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 							return
 						}
 					}
+					if cfg.StaleReads {
+						// The follower-read opt-in is per connection, so every
+						// redial must re-issue it (after AUTH, like a client
+						// library would).
+						if _, err := nc.Write(redis.EncodeCommand("READONLY")); err != nil {
+							if fail(err) {
+								continue
+							}
+							return
+						}
+						if _, _, err := redis.ReadReply(br); err != nil {
+							var reply redis.ReplyError
+							if errors.As(err, &reply) {
+								errs[i] = fmt.Errorf("readonly: %w", err)
+								return
+							}
+							if fail(err) {
+								continue
+							}
+							return
+						}
+					}
 				}
 				n := cfg.Pipeline
 				if n > remaining {
@@ -266,6 +370,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					var s sent
 					var cmd []byte
 					switch {
+					case cfg.StaleReads && cfg.StaleCheckEvery > 0 && issued%cfg.StaleCheckEvery == 0:
+						if probeWrite {
+							probeSeq++
+							s = sent{op: opStaleSet, keys: []string{probeKey}, seq: probeSeq}
+							cmd = redis.EncodeCommand("SET", probeKey, string(StaleProbeValue(probeSeq, cfg.ValueSize)))
+						} else {
+							s = sent{op: opStaleGet, keys: []string{probeKey}}
+							cmd = redis.EncodeCommand("GET", probeKey)
+						}
+						probeWrite = !probeWrite
 					case probeTarget != "" && cfg.CrossCheckEvery > 0 && issued%cfg.CrossCheckEvery == 0:
 						key := redis.TenantKey(probeTarget, fmt.Sprintf("k%06d", rng.Intn(cfg.Keys)))
 						s = sent{op: opProbe, keys: []string{key}}
@@ -332,19 +446,49 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 						if err == nil && s.op == opGet && !isNil && !bytes.Equal(val, ValueFor(valKey(s.keys[0]), cfg.ValueSize)) {
 							mismatches.Add(1)
 						}
+						if err == nil && s.op == opStaleGet {
+							// Any version at or past the floor (the newest
+							// write acked longer than the bound ago) is a
+							// legal bounded-stale answer; older than that,
+							// the server should have said -STALE instead.
+							staleProbes.Add(1)
+							now := time.Now()
+							for len(probeCommits) > 0 && now.Sub(probeCommits[0].at) > cfg.StaleBound {
+								if probeCommits[0].seq > floorSeq {
+									floorSeq = probeCommits[0].seq
+								}
+								probeCommits = probeCommits[1:]
+							}
+							switch seq, ok := ParseStaleProbe(val); {
+							case isNil:
+								if floorSeq > 0 {
+									staleViolations.Add(1)
+								}
+							case !ok:
+								mismatches.Add(1)
+							case seq < floorSeq:
+								staleViolations.Add(1)
+							}
+						}
 					}
 					var reply redis.ReplyError
 					switch {
 					case errors.As(err, &reply):
 						// Typed retryable refusals (-BUSY backpressure,
 						// -SHARDTIMEOUT mid-failover) count as busy;
-						// -QUOTA and a probe's expected -NOPERM have their
-						// own buckets; anything else is a hard error.
+						// -QUOTA, -STALE, and a probe's expected -NOPERM
+						// have their own buckets; anything else is a hard
+						// error.
 						switch {
 						case s.op == opProbe && errors.Is(reply, redis.ErrNoPerm):
 							crossDenied.Add(1)
 						case errors.Is(reply, redis.ErrQuota):
 							quotaRejected.Add(1)
+						case errors.Is(reply, redis.ErrStale):
+							// The honest refusal of a follower read past the
+							// bound — the explicit alternative to serving a
+							// too-old value.
+							staleRejected.Add(1)
 						case redis.IsRetryableReply(reply):
 							busy.Add(1)
 						default:
@@ -360,6 +504,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 							crossLeaks.Add(1)
 							mismatches.Add(1)
 						}
+						if s.op == opStaleSet {
+							// Acked: from now on every in-bound view must
+							// eventually include this version. The ack time
+							// is read after the reply, which only overstates
+							// the commit's age tolerance — never a false
+							// violation.
+							probeCommits = append(probeCommits, probeCommit{seq: s.seq, at: time.Now()})
+						}
 					}
 					if transportErr != nil {
 						break
@@ -368,9 +520,9 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					commands.Add(1)
 					consumed++
 					switch s.op {
-					case opGet:
+					case opGet, opStaleGet:
 						gets.Add(1)
-					case opSet:
+					case opSet, opStaleSet:
 						sets.Add(1)
 					case opMGet:
 						mgets.Add(1)
@@ -405,6 +557,9 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	res.QuotaRejected = quotaRejected.Load()
 	res.CrossDenied = crossDenied.Load()
 	res.CrossLeaks = crossLeaks.Load()
+	res.StaleProbes = staleProbes.Load()
+	res.StaleRejected = staleRejected.Load()
+	res.StaleViolations = staleViolations.Load()
 	res.Latency = lat.Snap()
 	return res, errors.Join(errs...)
 }

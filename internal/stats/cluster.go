@@ -43,6 +43,15 @@ type clusterCounters struct {
 	nodesAdded       atomic.Uint64 // nodes joined mid-run
 	nodesRemoved     atomic.Uint64 // nodes drained and retired mid-run
 
+	// COW-fork activity (fork-based checkpoint shipping + follower reads).
+	forks           atomic.Uint64 // frozen views forked off live shards
+	forkReleases    atomic.Uint64 // frozen views released and reclaimed
+	forkInvalidates atomic.Uint64 // views fenced off by promotion or slot flip
+	followerReads   atomic.Uint64 // read commands served from a frozen view
+	staleRejected   atomic.Uint64 // follower reads refused with -STALE past the bound
+
+	shipNs Hist // wall ns per fork-based image extraction + apply, off-mutex
+
 	nodes    atomic.Pointer[[]NodeCounters]
 	slotKeys atomic.Pointer[[]atomic.Uint64]
 }
@@ -308,6 +317,86 @@ func (s *Sink) ClusterNodeRemoved(node int) {
 	}
 	s.cluster.nodesRemoved.Add(1)
 	s.Trace(Event{Kind: EvNodeRemoved, Core: -1, A: uint64(node)})
+}
+
+// ClusterFork records one frozen view forked off node's live shard at
+// generation gen, and traces it. Safe on nil.
+func (s *Sink) ClusterFork(node int, gen uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.forks.Add(1)
+	s.Trace(Event{Kind: EvFork, Core: -1, A: uint64(node), B: gen})
+}
+
+// ClusterForkRelease records one frozen view released: its private frames
+// went back to the allocator. Traced. Safe on nil.
+func (s *Sink) ClusterForkRelease(node int, gen uint64) {
+	if s == nil {
+		return
+	}
+	s.cluster.forkReleases.Add(1)
+	s.Trace(Event{Kind: EvForkRelease, Core: -1, A: uint64(node), B: gen})
+}
+
+// ClusterForkInvalidate records views fenced off a node by a promotion or
+// slot-migration flip. Traced with the reason. Safe on nil.
+func (s *Sink) ClusterForkInvalidate(node int, views uint64, reason string) {
+	if s == nil {
+		return
+	}
+	s.cluster.forkInvalidates.Add(views)
+	s.Trace(Event{Kind: EvForkInvalidate, Core: -1, A: uint64(node), B: views, Label: reason})
+}
+
+// ClusterFollowerRead records one read command answered from a frozen view
+// (or warm standby) instead of the primary. Safe on nil.
+func (s *Sink) ClusterFollowerRead() {
+	if s != nil {
+		s.cluster.followerReads.Add(1)
+	}
+}
+
+// ClusterStaleRejected records one follower read refused with -STALE because
+// the freshest view exceeded the staleness bound. Safe on nil.
+func (s *Sink) ClusterStaleRejected() {
+	if s != nil {
+		s.cluster.staleRejected.Add(1)
+	}
+}
+
+// ClusterShipDuration records the wall-clock nanoseconds one fork-based ship
+// spent extracting and applying the image — all off the node mutex. Safe on
+// nil.
+func (s *Sink) ClusterShipDuration(ns uint64) {
+	if s != nil {
+		s.cluster.shipNs.Observe(ns)
+	}
+}
+
+// ClusterForksTotal returns the running count of frozen views forked — a
+// single atomic load, safe to poll while the cluster runs.
+func (s *Sink) ClusterForksTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.forks.Load()
+}
+
+// ClusterFollowerReadsTotal returns the running count of follower reads.
+func (s *Sink) ClusterFollowerReadsTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.followerReads.Load()
+}
+
+// ClusterStaleRejectedTotal returns the running count of -STALE refusals.
+func (s *Sink) ClusterStaleRejectedTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.staleRejected.Load()
 }
 
 // ClusterSlotMovesTotal returns the running count of completed slot

@@ -76,9 +76,10 @@ type NVMSnap struct {
 
 // VMSnap counts VM-layer activity across observed spaces.
 type VMSnap struct {
-	Maps   uint64 `json:"maps"`
-	Unmaps uint64 `json:"unmaps"`
-	Faults uint64 `json:"faults"`
+	Maps      uint64 `json:"maps"`
+	Unmaps    uint64 `json:"unmaps"`
+	Faults    uint64 `json:"faults"`
+	COWBreaks uint64 `json:"cow_breaks"`
 }
 
 // ShardSnap is one worker shard's serving activity.
@@ -149,6 +150,24 @@ func (m MigrationSnap) zero() bool {
 		m.NodesAdded == 0 && m.NodesRemoved == 0 && len(m.SlotKeys) == 0
 }
 
+// ForkSnap is the COW-fork side of the cluster layer: frozen views forked
+// for checkpoint shipping and follower reads, their lifecycle (release,
+// fence invalidation), the read traffic they absorbed, and how long
+// fork-based ships spent off the node mutex.
+type ForkSnap struct {
+	Forks         uint64   `json:"forks"`
+	Releases      uint64   `json:"releases"`
+	Invalidated   uint64   `json:"invalidated"`
+	FollowerReads uint64   `json:"follower_reads"`
+	StaleRejected uint64   `json:"stale_rejected"`
+	ShipNs        HistSnap `json:"ship_ns"`
+}
+
+func (f ForkSnap) zero() bool {
+	return f.Forks == 0 && f.Releases == 0 && f.Invalidated == 0 &&
+		f.FollowerReads == 0 && f.StaleRejected == 0 && f.ShipNs.Count == 0
+}
+
 // TenantSnap is one tenant's serving activity: admitted commands and their
 // payload bytes, quota rejections at admission, and capability denials on
 // cross-view addresses. Index order follows tenant registration order.
@@ -175,6 +194,7 @@ type ClusterSnap struct {
 
 	Replication *ReplicationSnap `json:"replication,omitempty"`
 	Migration   *MigrationSnap   `json:"migration,omitempty"`
+	Fork        *ForkSnap        `json:"fork,omitempty"`
 
 	Nodes []NodeSnap `json:"nodes,omitempty"`
 }
@@ -228,7 +248,7 @@ func (s *Sink) Snapshot() *Snapshot {
 			Walks:          s.PT.walks.Load(),
 		},
 		NVM: NVMSnap{Writes: s.nvmWrites.Load(), WrittenBytes: s.nvmWriteByte.Load()},
-		VM:  VMSnap{Maps: s.vmMaps.Load(), Unmaps: s.vmUnmaps.Load(), Faults: s.vmFaults.Load()},
+		VM:  VMSnap{Maps: s.vmMaps.Load(), Unmaps: s.vmUnmaps.Load(), Faults: s.vmFaults.Load(), COWBreaks: s.vmCOWBreaks.Load()},
 
 		LockWaitNs:     s.lockWaitNs.snapshot(),
 		LockHoldCycles: s.lockHoldCycles.snapshot(),
@@ -297,7 +317,8 @@ func (s *Sink) Snapshot() *Snapshot {
 	if cl := (&s.cluster); cl.local.Load() != 0 || cl.remote.Load() != 0 || cl.timeouts.Load() != 0 ||
 		cl.ships.Load() != 0 || cl.probes.Load() != 0 || cl.shipFailures.Load() != 0 ||
 		cl.slotMoves.Load() != 0 || cl.slotMoveFailures.Load() != 0 ||
-		cl.nodesAdded.Load() != 0 || cl.nodesRemoved.Load() != 0 {
+		cl.nodesAdded.Load() != 0 || cl.nodesRemoved.Load() != 0 ||
+		cl.forks.Load() != 0 || cl.followerReads.Load() != 0 || cl.staleRejected.Load() != 0 {
 		cs := &ClusterSnap{
 			Local:          cl.local.Load(),
 			Remote:         cl.remote.Load(),
@@ -341,6 +362,17 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		if !mig.zero() {
 			cs.Migration = &mig
+		}
+		fk := ForkSnap{
+			Forks:         cl.forks.Load(),
+			Releases:      cl.forkReleases.Load(),
+			Invalidated:   cl.forkInvalidates.Load(),
+			FollowerReads: cl.followerReads.Load(),
+			StaleRejected: cl.staleRejected.Load(),
+			ShipNs:        cl.shipNs.snapshot(),
+		}
+		if !fk.zero() {
+			cs.Fork = &fk
 		}
 		if nodes := cl.nodes.Load(); nodes != nil {
 			cs.Nodes = make([]NodeSnap, len(*nodes))
@@ -430,7 +462,7 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 		Walks:          s.PT.Walks - before.PT.Walks,
 	}
 	out.NVM = NVMSnap{Writes: s.NVM.Writes - before.NVM.Writes, WrittenBytes: s.NVM.WrittenBytes - before.NVM.WrittenBytes}
-	out.VM = VMSnap{Maps: s.VM.Maps - before.VM.Maps, Unmaps: s.VM.Unmaps - before.VM.Unmaps, Faults: s.VM.Faults - before.VM.Faults}
+	out.VM = VMSnap{Maps: s.VM.Maps - before.VM.Maps, Unmaps: s.VM.Unmaps - before.VM.Unmaps, Faults: s.VM.Faults - before.VM.Faults, COWBreaks: s.VM.COWBreaks - before.VM.COWBreaks}
 	out.Syscalls = map[string]HistSnap{}
 	for op, h := range s.Syscalls {
 		d := h.sub(before.Syscalls[op])
@@ -515,6 +547,22 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 			}
 			d.Migration = &dm
 		}
+		if s.Cluster.Fork != nil {
+			bf := ForkSnap{}
+			if b.Fork != nil {
+				bf = *b.Fork
+			}
+			f := s.Cluster.Fork
+			df := ForkSnap{
+				Forks:         f.Forks - bf.Forks,
+				Releases:      f.Releases - bf.Releases,
+				Invalidated:   f.Invalidated - bf.Invalidated,
+				FollowerReads: f.FollowerReads - bf.FollowerReads,
+				StaleRejected: f.StaleRejected - bf.StaleRejected,
+				ShipNs:        f.ShipNs.sub(bf.ShipNs),
+			}
+			d.Fork = &df
+		}
 		d.Nodes = make([]NodeSnap, len(s.Cluster.Nodes))
 		for i, n := range s.Cluster.Nodes {
 			dn := n
@@ -596,7 +644,7 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		s.PT.NodesAllocated, s.PT.NodesFreed, s.PT.NodesTouched)
 	fmt.Fprintf(tw, "\tentries-set %d\tentries-cleared %d\twalks %d\n",
 		s.PT.EntriesSet, s.PT.EntriesCleared, s.PT.Walks)
-	fmt.Fprintf(tw, "vm\tmaps %d\tunmaps %d\tfaults %d\n", s.VM.Maps, s.VM.Unmaps, s.VM.Faults)
+	fmt.Fprintf(tw, "vm\tmaps %d\tunmaps %d\tfaults %d\tcow-breaks %d\n", s.VM.Maps, s.VM.Unmaps, s.VM.Faults, s.VM.COWBreaks)
 	if s.NVM.Writes != 0 {
 		fmt.Fprintf(tw, "nvm\twrites %d\tbytes %d\n", s.NVM.Writes, s.NVM.WrittenBytes)
 	}
@@ -658,6 +706,14 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 				m.SlotMoves, m.SlotMoveFailures, m.KeysMoved, m.BytesMoved, m.DeltaReplayed, m.MovedRetries)
 			fmt.Fprintf(tw, "  membership\tnodes-added %d\tnodes-removed %d\n",
 				m.NodesAdded, m.NodesRemoved)
+		}
+		if f := cl.Fork; f != nil {
+			fmt.Fprintf(tw, "  fork\tforks %d\treleases %d\tinvalidated %d\tfollower-reads %d\tstale-rejected %d\n",
+				f.Forks, f.Releases, f.Invalidated, f.FollowerReads, f.StaleRejected)
+			if f.ShipNs.Count != 0 {
+				fmt.Fprintf(tw, "  ship-ns\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
+					f.ShipNs.Count, f.ShipNs.Mean(), f.ShipNs.Quantile(0.99), f.ShipNs.Max)
+			}
 		}
 		for i, n := range cl.Nodes {
 			fmt.Fprintf(tw, "  node %d\tlocal %d\tremote %d\ttimeouts %d\n", i, n.Local, n.Remote, n.Timeouts)

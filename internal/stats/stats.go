@@ -208,9 +208,10 @@ type Sink struct {
 	nvmWrites    atomic.Uint64
 	nvmWriteByte atomic.Uint64
 
-	vmMaps   atomic.Uint64
-	vmUnmaps atomic.Uint64
-	vmFaults atomic.Uint64
+	vmMaps      atomic.Uint64
+	vmUnmaps    atomic.Uint64
+	vmFaults    atomic.Uint64
+	vmCOWBreaks atomic.Uint64
 
 	urpcRetries atomic.Uint64
 	faultsFired atomic.Uint64
@@ -327,6 +328,23 @@ func (s *Sink) VMFault() {
 	if s != nil {
 		s.vmFaults.Add(1)
 	}
+}
+
+// VMCOWBreak records one copy-on-write break: a write faulted on a shared
+// page and the object allocated a private frame for it.
+func (s *Sink) VMCOWBreak() {
+	if s != nil {
+		s.vmCOWBreaks.Add(1)
+	}
+}
+
+// VMCOWBreaksTotal returns the running COW-break count — a single atomic
+// load, safe to poll while the machine runs.
+func (s *Sink) VMCOWBreaksTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.vmCOWBreaks.Load()
 }
 
 // LockWait records ns nanoseconds of real time a switch spent acquiring a

@@ -48,12 +48,22 @@ const (
 	// EvNodeRemoved is a node drained and retired from the live cluster:
 	// A = the node.
 	EvNodeRemoved
+	// EvFork is a frozen COW view forked off a node's live shard:
+	// A = the node, B = the fork generation.
+	EvFork
+	// EvForkRelease is a frozen view released, its private frames returned
+	// to the allocator: A = the node, B = the fork generation.
+	EvForkRelease
+	// EvForkInvalidate is outstanding frozen views fenced off a node by a
+	// promotion or slot flip: A = the node, B = views invalidated,
+	// Label = the reason.
+	EvForkInvalidate
 
 	// NumEvents is the number of event kinds.
-	NumEvents = int(EvNodeRemoved) + 1
+	NumEvents = int(EvForkInvalidate) + 1
 )
 
-var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion", "slot-move", "slot-move-failed", "node-added", "node-removed"}
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion", "slot-move", "slot-move-failed", "node-added", "node-removed", "fork", "fork-release", "fork-invalidate"}
 
 func (k EventKind) String() string {
 	if int(k) < NumEvents {
@@ -108,6 +118,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d node-added node=%d", e.Seq, e.A)
 	case EvNodeRemoved:
 		return fmt.Sprintf("#%d node-removed node=%d", e.Seq, e.A)
+	case EvFork:
+		return fmt.Sprintf("#%d fork node=%d gen=%d", e.Seq, e.A, e.B)
+	case EvForkRelease:
+		return fmt.Sprintf("#%d fork-release node=%d gen=%d", e.Seq, e.A, e.B)
+	case EvForkInvalidate:
+		return fmt.Sprintf("#%d fork-invalidate node=%d views=%d reason=%s", e.Seq, e.A, e.B, e.Label)
 	}
 	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
 }

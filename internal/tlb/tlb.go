@@ -7,6 +7,7 @@ package tlb
 
 import (
 	"fmt"
+	"sync"
 
 	"spacejmp/internal/arch"
 )
@@ -43,8 +44,12 @@ type Stats struct {
 	FlushedEntries uint64
 }
 
-// TLB is a single-level, set-associative translation cache.
+// TLB is a single-level, set-associative translation cache. A core's TLB
+// is mostly touched by that core's own goroutine, but shootdown IPIs
+// (vm.Space.Shootdown) flush entries from whichever goroutine removed the
+// translation — the mutex is the interconnect that serializes them.
 type TLB struct {
+	mu    sync.Mutex
 	cfg   Config
 	sets  [][]Entry
 	tick  uint64
@@ -70,10 +75,18 @@ func New(cfg Config) *TLB {
 func (t *TLB) Capacity() int { return t.cfg.Sets * t.cfg.Ways }
 
 // Stats returns a snapshot of the activity counters.
-func (t *TLB) Stats() Stats { return t.stats }
+func (t *TLB) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
 
 // ResetStats clears the activity counters (entries are kept).
-func (t *TLB) ResetStats() { t.stats = Stats{} }
+func (t *TLB) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = Stats{}
+}
 
 func (t *TLB) setFor(vpn uint64) []Entry {
 	return t.sets[vpn&uint64(t.cfg.Sets-1)]
@@ -86,6 +99,8 @@ var pageSizes = [...]uint64{arch.PageSize, arch.HugePageSize, arch.GiantPageSize
 // Lookup probes the TLB for a translation of va under the given ASID.
 // Global entries match any ASID. On a hit the entry's LRU stamp is renewed.
 func (t *TLB) Lookup(asid arch.ASID, va arch.VirtAddr) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.tick++
 	for _, ps := range pageSizes {
 		base := arch.AlignDown(va, ps)
@@ -110,6 +125,8 @@ func (t *TLB) Lookup(asid arch.ASID, va arch.VirtAddr) (Entry, bool) {
 // the ASID of the entry it displaced and whether an eviction happened, so
 // the MMU can attribute the eviction to the victim's address space.
 func (t *TLB) Insert(asid arch.ASID, base arch.VirtAddr, frame arch.PhysAddr, pageSize uint64, perm arch.Perm, global bool) (victimASID arch.ASID, evicted bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.tick++
 	vpn := uint64(arch.AlignDown(base, pageSize)) >> arch.PageShift
 	set := t.setFor(vpn)
@@ -143,6 +160,8 @@ func (t *TLB) Insert(asid arch.ASID, base arch.VirtAddr, frame arch.PhysAddr, pa
 // without a tag (or with the reserved flush tag). It returns the number of
 // entries invalidated.
 func (t *TLB) FlushAll() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.stats.Flushes++
 	n := 0
 	for _, set := range t.sets {
@@ -160,6 +179,8 @@ func (t *TLB) FlushAll() int {
 // FlushASID invalidates every entry tagged with the given ASID (INVPCID)
 // and returns the number of entries invalidated.
 func (t *TLB) FlushASID(asid arch.ASID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.stats.Flushes++
 	n := 0
 	for _, set := range t.sets {
@@ -178,6 +199,8 @@ func (t *TLB) FlushASID(asid arch.ASID) int {
 // given ASID at every page size (INVLPG) and returns the number of entries
 // invalidated.
 func (t *TLB) FlushPage(asid arch.ASID, va arch.VirtAddr) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := 0
 	for _, ps := range pageSizes {
 		vpn := uint64(arch.AlignDown(va, ps)) >> arch.PageShift
@@ -196,6 +219,8 @@ func (t *TLB) FlushPage(asid arch.ASID, va arch.VirtAddr) int {
 
 // Live returns the number of valid entries (for tests and introspection).
 func (t *TLB) Live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := 0
 	for _, set := range t.sets {
 		for i := range set {

@@ -38,6 +38,15 @@ type Object struct {
 	// served from the parent (read-only) until BreakCOW copies them — the
 	// snapshotting optimization of paper §7.
 	parent *Object
+
+	// mappers is the reverse map: every Space with at least one region over
+	// this object, counted per region. A COW break installs the private
+	// frame only in the faulting space's table; the fault handler walks this
+	// map to revoke the stale shared translation everywhere else. Guarded by
+	// its own mutex — it is consulted while space locks are held, and o.mu
+	// may be taken under a space lock (ABBA).
+	mapMu   sync.Mutex
+	mappers map[*Space]int
 }
 
 // order returns the buddy order of one page of the object.
@@ -184,21 +193,32 @@ func (o *Object) IsCOW(idx uint64) bool {
 
 // BreakCOW gives page idx its own frame, copying the parent's content.
 // It is idempotent; returns the (possibly new) frame.
+//
+// o.mu is held for the whole operation (taking the parent's lock inside it,
+// the same child→parent order Frame uses), so a break can never interleave
+// with ForkFrozen swapping the frame maps or CollapseCOW retiring the
+// parent mid-copy.
 func (o *Object) BreakCOW(idx uint64) (arch.PhysAddr, error) {
 	if idx >= o.Pages() {
 		return 0, fmt.Errorf("vm: page %d beyond object %q", idx, o.Name)
 	}
 	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return 0, fmt.Errorf("vm: object %q destroyed", o.Name)
+	}
 	if pa, ok := o.frames[idx]; ok {
-		o.mu.Unlock()
 		return pa, nil
 	}
-	parent := o.parent
-	o.mu.Unlock()
-	if parent == nil {
-		return o.Frame(idx)
+	if o.parent == nil {
+		pa, err := o.pm.AllocFrames(o.order(), o.Tier)
+		if err != nil {
+			return 0, fmt.Errorf("vm: backing page %d of %q: %w", idx, o.Name, err)
+		}
+		o.frames[idx] = pa
+		return pa, nil
 	}
-	src, err := parent.Frame(idx)
+	src, err := o.parent.Frame(idx)
 	if err != nil {
 		return 0, err
 	}
@@ -215,16 +235,150 @@ func (o *Object) BreakCOW(idx uint64) (arch.PhysAddr, error) {
 		o.pm.Free(dst, o.order())
 		return 0, err
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if pa, ok := o.frames[idx]; ok { // raced with another breaker
-		if err := o.pm.Free(dst, o.order()); err != nil {
-			return 0, err
-		}
-		return pa, nil
-	}
 	o.frames[idx] = dst
 	return dst, nil
+}
+
+// ForkFrozen splits off an immutable point-in-time view of the object: the
+// returned frozen object takes over o's current frames wholesale, and o
+// itself becomes a copy-on-write child of it — the inverse sharing
+// direction of CloneCOW, which is what a snapshot-while-serving needs
+// (writes to o after the fork land in private frames via BreakCOW and never
+// reach the frozen view).
+//
+// The frozen object starts with two references: one owned by the caller,
+// one held by o as its parent link. Any parent o already had is inherited
+// by the frozen object (the reference moves; the chain stays intact for
+// ResolveFrame).
+//
+// The caller must quiesce writers for the instant of the swap AND downgrade
+// any installed writable translations of o afterwards (Space.DowngradeWrites),
+// or in-flight stores would write through stale PTEs into the frozen frames.
+func (o *Object) ForkFrozen(name string) *Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		panic("vm: ForkFrozen on destroyed object " + o.Name)
+	}
+	frozen := &Object{
+		Name: name, Size: o.Size, Tier: o.Tier, PageSize: o.PageSize,
+		pm: o.pm, frames: o.frames, refs: 2, parent: o.parent,
+	}
+	o.frames = make(map[uint64]arch.PhysAddr)
+	o.parent = frozen
+	return o.parent
+}
+
+// CollapseCOW folds released frozen parents back into o: while o's immediate
+// parent is held by nobody else (refs == 1, i.e. only o's parent link), o
+// adopts the parent's frames for every page it has not rewritten, frees the
+// parent's superseded frames, and splices the grandparent in. Called after
+// a frozen view's last external reference drops, it keeps fork chains from
+// growing without bound and returns every private COW frame to the
+// allocator — the leak-check contract of the fork subsystem.
+func (o *Object) CollapseCOW() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		p := o.parent
+		if p == nil {
+			return
+		}
+		p.mu.Lock()
+		if p.refs != 1 || p.dead {
+			p.mu.Unlock()
+			return // still shared by a live frozen view; keep the chain
+		}
+		order := o.order()
+		for idx, pa := range p.frames {
+			if _, own := o.frames[idx]; own {
+				if err := o.pm.Free(pa, order); err != nil {
+					panic("vm: freeing superseded COW frame: " + err.Error())
+				}
+				continue
+			}
+			o.frames[idx] = pa
+		}
+		p.frames = nil
+		p.refs = 0
+		p.dead = true
+		o.parent = p.parent // the grandparent reference moves from p to o
+		p.parent = nil
+		p.mu.Unlock()
+	}
+}
+
+// addMapper records one region of s over o.
+func (o *Object) addMapper(s *Space) {
+	o.mapMu.Lock()
+	defer o.mapMu.Unlock()
+	if o.mappers == nil {
+		o.mappers = make(map[*Space]int)
+	}
+	o.mappers[s]++
+}
+
+// delMapper drops one region of s over o.
+func (o *Object) delMapper(s *Space) {
+	o.mapMu.Lock()
+	defer o.mapMu.Unlock()
+	if o.mappers[s]--; o.mappers[s] <= 0 {
+		delete(o.mappers, s)
+	}
+}
+
+// revokeStale removes the translation for page idx from every space mapping
+// o except the one that just broke COW (its table already holds the private
+// frame). Revoked pages re-fault and pick the private frame up from o's own
+// map. Must be called with no space lock held: each revocation takes the
+// target space's lock, and holding another space's lock here would deadlock
+// against a concurrent fault in the opposite direction.
+func (o *Object) revokeStale(except *Space, idx uint64) {
+	o.mapMu.Lock()
+	spaces := make([]*Space, 0, len(o.mappers))
+	for s := range o.mappers {
+		if s != except {
+			spaces = append(spaces, s)
+		}
+	}
+	o.mapMu.Unlock()
+	for _, s := range spaces {
+		s.revokePage(o, idx)
+	}
+}
+
+// ResolveFrame returns the frame serving page idx through the COW chain
+// without allocating anything: ok=false means no object in the chain ever
+// materialized the page and it reads as zeros. This is the extraction path
+// for frozen views — unlike Frame it cannot mutate the object.
+func (o *Object) ResolveFrame(idx uint64) (arch.PhysAddr, bool) {
+	o.mu.Lock()
+	pa, ok := o.frames[idx]
+	parent := o.parent
+	o.mu.Unlock()
+	if ok {
+		return pa, true
+	}
+	if parent != nil {
+		return parent.ResolveFrame(idx)
+	}
+	return 0, false
+}
+
+// ResolvedFrameMap returns the frames backing every materialized page,
+// resolving each index through the COW parent chain. Unlike FrameMap it
+// reflects what a reader of this object actually sees: after a frozen fork
+// the object's own map holds only pages written since the fork, while the
+// rest still live upstream. Persisting code must use this, never FrameMap,
+// or a checkpoint taken mid-fork silently drops everything unwritten since.
+func (o *Object) ResolvedFrameMap() map[uint64]arch.PhysAddr {
+	out := make(map[uint64]arch.PhysAddr)
+	for idx := uint64(0); idx < o.Pages(); idx++ {
+		if pa, ok := o.ResolveFrame(idx); ok {
+			out[idx] = pa
+		}
+	}
+	return out
 }
 
 // Resident returns the number of pages currently backed by frames.

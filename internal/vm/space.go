@@ -183,12 +183,14 @@ func (s *Space) Map(va arch.VirtAddr, size uint64, perm arch.Perm, obj *Object, 
 	}
 	r := &Region{Start: va, Size: size, Perm: perm, Obj: obj, ObjOff: objOff, Flags: flags}
 	obj.Ref()
+	obj.addMapper(s)
 	s.insert(r)
 	s.stats.Maps++
 	s.obs.VMMap()
 	if flags&MapPopulate != 0 {
 		if err := s.populate(r); err != nil {
 			s.remove(r)
+			obj.delMapper(s)
 			obj.Unref()
 			return 0, err
 		}
@@ -288,6 +290,71 @@ func (s *Space) breakCOW(r *Region, va arch.VirtAddr) error {
 	}
 	s.stats.PagesMaped++
 	s.stats.COWBreaks++
+	s.obs.VMCOWBreak()
+	return nil
+}
+
+// revokePage removes any installed translation for page idx of obj from
+// this space — the receiving side of Object.revokeStale. The page re-faults
+// on next access and picks up the object's current frame. Safe to call on a
+// space that never installed the page.
+func (s *Space) revokePage(obj *Object, idx uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.regions {
+		if r.Obj != obj {
+			continue
+		}
+		ps := r.pageSize()
+		off := idx * ps
+		if off < r.ObjOff || off >= r.ObjOff+r.Size {
+			continue
+		}
+		va := r.Start + arch.VirtAddr(off-r.ObjOff)
+		if _, err := s.table.Walk(va); err != nil {
+			continue
+		}
+		if err := s.table.Unmap(va, ps); err != nil {
+			continue
+		}
+		s.shoot(va, ps)
+	}
+}
+
+// DowngradeWrites strips the write bit from every *installed* leaf
+// translation in [va, va+size), leaving the region descriptors untouched —
+// the fork-time downgrade that makes the next store to a now-COW page fault
+// into breakCOW instead of writing through a stale writable PTE into the
+// frozen frames. Region permissions keep their write bit on purpose: the
+// fault handler's COW branch requires r.Perm.CanWrite() to upgrade the page
+// back in place. Pages whose translations were never installed need nothing
+// (their first touch faults already).
+func (s *Space) DowngradeWrites(va arch.VirtAddr, size uint64) error {
+	end := va + arch.VirtAddr(size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.regions {
+		if r.End() <= va || r.Start >= end || !r.Perm.CanWrite() {
+			continue
+		}
+		ps := r.pageSize()
+		lo, hi := r.Start, r.End()
+		if lo < va {
+			lo = arch.AlignDown(va, ps)
+		}
+		if hi > end {
+			hi = end
+		}
+		for p := lo; p < hi; p += arch.VirtAddr(ps) {
+			if _, err := s.table.Walk(p); err != nil {
+				continue
+			}
+			if err := s.table.Protect(p, ps, r.Perm&^arch.PermWrite); err != nil {
+				return err
+			}
+		}
+	}
+	s.shoot(va, size)
 	return nil
 }
 
@@ -314,6 +381,7 @@ func (s *Space) Unmap(va arch.VirtAddr, size uint64) error {
 				head := *r
 				head.Size = uint64(va - r.Start)
 				head.Obj.Ref()
+				head.Obj.addMapper(s)
 				keep = append(keep, &head)
 			}
 			if r.End() > end {
@@ -322,6 +390,7 @@ func (s *Space) Unmap(va arch.VirtAddr, size uint64) error {
 				tail.ObjOff = r.ObjOff + uint64(end-r.Start)
 				tail.Size = uint64(r.End() - end)
 				tail.Obj.Ref()
+				tail.Obj.addMapper(s)
 				keep = append(keep, &tail)
 			}
 			drop = append(drop, r)
@@ -337,6 +406,7 @@ func (s *Space) Unmap(va arch.VirtAddr, size uint64) error {
 	s.shoot(va, size)
 	s.regions = keep
 	for _, r := range drop {
+		r.Obj.delMapper(s)
 		r.Obj.Unref()
 	}
 	s.stats.Unmaps++
@@ -361,6 +431,7 @@ func (s *Space) Protect(va arch.VirtAddr, size uint64, perm arch.Perm) error {
 			head := *r
 			head.Size = uint64(va - lo)
 			head.Obj.Ref()
+			head.Obj.addMapper(s)
 			out = append(out, &head)
 			lo = va
 		}
@@ -370,6 +441,7 @@ func (s *Space) Protect(va arch.VirtAddr, size uint64, perm arch.Perm) error {
 			tail.ObjOff = r.ObjOff + uint64(end-r.Start)
 			tail.Size = uint64(hi - end)
 			tail.Obj.Ref()
+			tail.Obj.addMapper(s)
 			out = append(out, &tail)
 			hi = end
 		}
@@ -379,7 +451,9 @@ func (s *Space) Protect(va arch.VirtAddr, size uint64, perm arch.Perm) error {
 		mid.Size = uint64(hi - lo)
 		mid.Perm = perm
 		mid.Obj.Ref()
+		mid.Obj.addMapper(s)
 		out = append(out, &mid)
+		r.Obj.delMapper(s)
 		r.Obj.Unref()
 		// Update only translations that are actually installed.
 		for p := lo; p < hi; p += arch.PageSize {
@@ -398,25 +472,37 @@ func (s *Space) Protect(va arch.VirtAddr, size uint64, perm arch.Perm) error {
 
 // HandleFault services a page fault: if the faulting address lies in a
 // region whose permissions allow the access, the page is mapped in. It has
-// the hw.FaultHandler shape via Space.Handler.
+// the hw.FaultHandler shape via Space.Handler. After a COW break, stale
+// translations of the page in every other mapping space are revoked before
+// the faulting store retries — without this, read-only mappings installed
+// pre-break would keep serving the shared (frozen) frame forever.
 func (s *Space) HandleFault(va arch.VirtAddr, access arch.Access) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.Faults++
 	s.obs.VMFault()
 	r := s.regionAt(va)
 	if r == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("vm: segmentation fault: %v %v", access, va)
 	}
 	if !r.Perm.Allows(access.Perm()) {
+		s.mu.Unlock()
 		return fmt.Errorf("vm: protection fault: %v of %v in %v region", access, va, r.Perm)
 	}
 	base := arch.AlignDown(va, r.pageSize())
 	idx := (r.ObjOff + uint64(base-r.Start)) / r.pageSize()
 	if access == arch.AccessWrite && r.Obj.IsCOW(idx) {
-		return s.breakCOW(r, va)
+		obj := r.Obj
+		err := s.breakCOW(r, va)
+		s.mu.Unlock() // revocation takes other spaces' locks; drop ours first
+		if err == nil {
+			obj.revokeStale(s, idx)
+		}
+		return err
 	}
-	return s.mapPage(r, va)
+	err := s.mapPage(r, va)
+	s.mu.Unlock()
+	return err
 }
 
 // Handler adapts the space to the hardware fault-handler hook.
@@ -434,8 +520,12 @@ func (s *Space) Handler() hw.FaultHandler {
 				if r.Obj.IsCOW(idx) {
 					s.stats.Faults++
 					s.obs.VMFault()
+					obj := r.Obj
 					err := s.breakCOW(r, f.VA)
 					s.mu.Unlock()
+					if err == nil {
+						obj.revokeStale(s, idx)
+					}
 					return err
 				}
 			}
@@ -462,6 +552,7 @@ func (s *Space) Destroy() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range s.regions {
+		r.Obj.delMapper(s)
 		r.Obj.Unref()
 	}
 	s.regions = nil

@@ -49,6 +49,18 @@ if [ -n "$offenders" ]; then
     exit 1
 fi
 
+# Checkpoint shipping goes through frozen COW forks: the primary forks a
+# view under the node mutex (an O(pages) frame swap), then extracts and
+# ships the image off-mutex while it keeps serving. The old path — a
+# CLUSTER.SHIP command whose reply carried the whole image out from under
+# the held mutex — must not come back; its tokens are banned.
+offenders=$(grep -rn "shipReply\|CLUSTER\.SHIP\|shipWire" --include='*.go' . || true)
+if [ -n "$offenders" ]; then
+    echo "mutex-held ship path resurrected (ship through internal/fork instead):" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
 # Store construction in the serving layers goes through NewClientNamed so
 # every shard carries its node's namespace (and a tenant view is just a
 # prefix inside it). A bare redis.NewClient would silently collapse all
@@ -89,5 +101,8 @@ echo "== migration smoke (elastic add/remove + slot moves under traffic) =="
 
 echo "== tenant smoke (AUTH, cross-view denial, quotas in /stats) =="
 ./scripts/tenant-smoke.sh
+
+echo "== forkread smoke (fork-based ships + bounded-stale follower reads) =="
+./scripts/forkread-smoke.sh
 
 echo "OK"
