@@ -14,11 +14,19 @@
 //	spacejmp-chaos -list                   list library scenarios
 //	spacejmp-chaos -scenario name -dump    print a scenario as JSON
 //	              [-seed n] [-machine name] [-json] [-quiet] [-no-admin]
+//	              [-soak d] [-soak-iters n]
 //
 // -seed and -machine override the scenario's own values (a different seed
 // replays the same timeline with different probabilistic firings). The
 // admin surface and its /stats/delta watcher are on by default so every
 // run also exercises the streaming endpoint; -no-admin disables that.
+//
+// Soak mode repeats the selected scenario(s) with rotating seeds — seed,
+// seed+1, seed+2, … — until a wall-clock budget (-soak 10m) or an
+// iteration cap (-soak-iters 50) runs out, whichever comes first, and
+// stops at the first failing iteration with that run's full report and the
+// seed needed to replay it. This is the cheap way to hunt
+// schedule-dependent bugs: one seed is one timeline, a soak is a sweep.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"spacejmp/internal/chaos"
 )
@@ -41,6 +50,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the run report(s) as JSON")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	noAdmin := flag.Bool("no-admin", false, "skip the admin surface and /stats/delta watcher")
+	soak := flag.Duration("soak", 0, "soak mode: repeat with rotating seeds until this wall-clock budget expires")
+	soakIters := flag.Int("soak-iters", 0, "soak mode: iteration cap (with -soak, whichever runs out first)")
 	flag.Parse()
 
 	if *list {
@@ -94,6 +105,10 @@ func main() {
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
+	if *soak > 0 || *soakIters > 0 {
+		runSoak(specs, opts, *soak, *soakIters)
+		return
+	}
 	failed := 0
 	var reports []*chaos.Report
 	for _, s := range specs {
@@ -124,6 +139,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spacejmp-chaos: %d of %d scenarios failed\n", failed, len(reports))
 		os.Exit(1)
 	}
+}
+
+// runSoak repeats the selected scenarios with rotating seeds (each spec's
+// base seed plus the iteration number) until the wall-clock budget or the
+// iteration cap runs out. The first failing iteration stops the soak with
+// its full report — the printed seed replays that exact timeline.
+func runSoak(specs []*chaos.Spec, opts chaos.Options, budget time.Duration, iters int) {
+	base := make([]int64, len(specs))
+	for i, s := range specs {
+		base[i] = s.Seed
+		if base[i] == 0 {
+			// The runner treats 0 as "default seed 1"; start the rotation
+			// there so iteration 0 isn't a duplicate of iteration 1.
+			base[i] = 1
+		}
+	}
+	start := time.Now()
+	done := 0
+	for i := 0; iters == 0 || i < iters; i++ {
+		if budget > 0 && time.Since(start) >= budget {
+			break
+		}
+		for j, s := range specs {
+			s.Seed = base[j] + int64(i)
+			t0 := time.Now()
+			rep, err := chaos.Run(s, opts)
+			if err != nil {
+				fatal(fmt.Errorf("soak iter %d: %s: %w", i, s.Name, err))
+			}
+			if !rep.Passed {
+				rep.WriteText(os.Stdout)
+				fmt.Fprintf(os.Stderr,
+					"spacejmp-chaos: soak: %s failed at iteration %d after %d clean runs (replay with -scenario %s -seed %d)\n",
+					s.Name, i, done, s.Name, s.Seed)
+				os.Exit(1)
+			}
+			done++
+			fmt.Printf("soak iter %d: %s (seed %d): PASS in %v\n",
+				i, s.Name, s.Seed, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("soak: %d runs clean in %v\n", done, time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

@@ -63,6 +63,7 @@ func main() {
 	flag.BoolVar(&cfg.StaleReads, "stale-reads", false, "opt connections into follower reads (READONLY) and verify the staleness bound with versioned probes")
 	flag.DurationVar(&cfg.StaleBound, "stale-bound", 0, "verifying staleness bound for probe GETs (0 = default 1s; set to server bound plus slack)")
 	flag.IntVar(&cfg.StaleCheckEvery, "stale-check", 0, "issue a staleness probe every n commands (0 = default 8)")
+	flag.DurationVar(&cfg.Deadline, "deadline", 0, "stamp every command with this deadline budget (DEADLINE prefix command; 0 = server default)")
 	flag.Parse()
 
 	res, err := server.RunLoad(cfg)

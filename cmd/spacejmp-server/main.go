@@ -18,6 +18,20 @@
 //	                [-scenario name|file.json] [-fault-seed n]
 //	                [-tenants n] [-tenant-max-bytes n] [-tenant-max-keys n]
 //	                [-tenant-rate n]
+//	                [-deadline d] [-breakers] [-breaker-threshold n]
+//	                [-breaker-cooldown d] [-degraded-reads] [-queue-watermark n]
+//
+// The overload-protection flags: -deadline stamps every command with a
+// cycle budget (converted from wall time at the machine's clock; clients
+// override per connection with the DEADLINE <ms> prefix command) that the
+// router refuses to overspend — a remote hop it cannot afford answers a
+// retryable -DEADLINE instead of queueing doomed work. -breakers arms a
+// closed→open→half-open circuit breaker per remote cluster node: tripped
+// by consecutive call/probe failures, an open breaker sheds writes fast
+// with -SHARDTIMEOUT while READONLY reads (or all reads, with
+// -degraded-reads) degrade to the node's frozen fork view within the
+// staleness bound. -queue-watermark extends the same degradation to local
+// nodes when a worker's queue backs up.
 //
 // With -tenants N, the server runs multi-tenant: N demo tenants (ids t0..,
 // secrets s0..) are registered, every connection must AUTH before touching
@@ -70,6 +84,7 @@ import (
 	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
+	"spacejmp/internal/overload"
 	"spacejmp/internal/server"
 	"spacejmp/internal/tenant"
 )
@@ -92,6 +107,8 @@ func main() {
 	shipEvery := flag.Int("ship-every", 0, "ship a node's checkpoint after this many writes (0 = default)")
 	followerReads := flag.Bool("follower-reads", false, "serve READONLY-connection reads from frozen fork views (needs -replicate)")
 	staleBound := flag.Duration("stale-bound", 0, "follower-read staleness bound; older views reply -STALE (0 = default 500ms)")
+	probeInterval := flag.Duration("probe-interval", 0, "health-monitor probe cadence (0 = default 25ms)")
+	probeThreshold := flag.Int("probe-threshold", 0, "consecutive probe failures that declare a node dead and promote its standby (0 = default 3; park high to brown out without failover)")
 	killNode := flag.Int("kill-node", -1, "crash this cluster node after -kill-after (testing failover)")
 	killAfter := flag.Duration("kill-after", 2*time.Second, "delay before -kill-node fires")
 	addNodeAfter := flag.Duration("add-node-after", 0, "add one cluster node (and rebalance slots onto it) after this delay (0 disables)")
@@ -103,6 +120,12 @@ func main() {
 	tenantMaxBytes := flag.Uint64("tenant-max-bytes", 0, "per-tenant stored-bytes quota (0 = unlimited)")
 	tenantMaxKeys := flag.Uint64("tenant-max-keys", 0, "per-tenant key-count quota (0 = unlimited)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant command rate limit per second (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "default per-command deadline budget, converted to cycles at the machine's clock (0 = none; clients override with DEADLINE <ms>)")
+	breakers := flag.Bool("breakers", false, "arm a circuit breaker per remote cluster node (needs -cluster)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that trip a breaker (0 = default 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker fail-fast window before a half-open probe (0 = default 100ms)")
+	degradedReads := flag.Bool("degraded-reads", false, "serve overload-degraded reads from stale fork views to every connection, not just READONLY (needs -replicate)")
+	queueWatermark := flag.Int("queue-watermark", 0, "worker queue depth past which reads degrade to stale views (0 disables; needs -replicate)")
 	flag.Parse()
 
 	cfg, err := hw.NamedConfig(*machine)
@@ -117,6 +140,12 @@ func main() {
 	}
 	if *followerReads && !*replicate {
 		fatal(fmt.Errorf("-follower-reads requires -replicate (frozen fork views ride the replication engine)"))
+	}
+	if (*degradedReads || *queueWatermark > 0) && !*replicate {
+		fatal(fmt.Errorf("-degraded-reads/-queue-watermark require -replicate (degraded reads serve from fork views)"))
+	}
+	if (*breakers || *degradedReads || *queueWatermark > 0) && *clusterN <= 0 {
+		fatal(fmt.Errorf("-breakers/-degraded-reads/-queue-watermark require -cluster"))
 	}
 	if *replicate {
 		// Replication rides NVM checkpoint generations; give machines
@@ -159,6 +188,12 @@ func main() {
 		SegSize:       *segSize,
 		Tags:          *tags,
 		Tenants:       tenants,
+		// Wall-clock deadlines become cycle budgets at the machine's clock;
+		// the same rate converts each client DEADLINE <ms> override.
+		CyclesPerMilli: uint64(cfg.GHz * 1e6),
+	}
+	if *deadline > 0 {
+		srvCfg.DeadlineCycles = overload.Cycles(*deadline, cfg.GHz)
 	}
 	var srv *server.Server
 	var router *cluster.Router
@@ -177,10 +212,19 @@ func main() {
 			QueueDepth: *queue,
 			SegSize:    *segSize,
 			Replication: cluster.ReplicationConfig{
-				Enabled:       *replicate,
-				ShipEvery:     *shipEvery,
-				FollowerReads: *followerReads,
-				StaleBound:    *staleBound,
+				Enabled:        *replicate,
+				ShipEvery:      *shipEvery,
+				FollowerReads:  *followerReads,
+				StaleBound:     *staleBound,
+				ProbeInterval:  *probeInterval,
+				ProbeThreshold: *probeThreshold,
+			},
+			Overload: cluster.OverloadConfig{
+				Breakers:         *breakers,
+				BreakerThreshold: *breakerThreshold,
+				BreakerCooldown:  *breakerCooldown,
+				DegradedReads:    *degradedReads,
+				QueueWatermark:   *queueWatermark,
 			},
 		})
 		if err != nil {

@@ -26,6 +26,8 @@ func Library() []*Spec {
 		migrationTargetKilled(),
 		tenantIsolationUnderKill(),
 		shipUnderLoad(),
+		slowNodeBrownout(),
+		partitionDuringMigration(),
 	}
 }
 
@@ -359,6 +361,115 @@ func shipUnderLoad() *Spec {
 				"fork":            4,
 				"checkpoint-ship": 4,
 			},
+		},
+	}
+}
+
+// slowNodeBrownout is the overload-protection gate: node 2's health probes
+// are dropped for a window mid-run while its data path stays healthy, and
+// the probe threshold is parked out of reach so failover never triggers —
+// the node is browned out, not dead. The monitor's probe failures feed the
+// node's circuit breaker instead. The breaker is hair-trigger (threshold 1)
+// because the healthy data path feeds it successes between probe ticks — a
+// dropped probe must trip it while the load still runs, not after. While
+// open, writes to node 2 shed fast with retryable -SHARDTIMEOUT and
+// READONLY reads degrade to the node's frozen fork view (counted as
+// degraded reads); the breaker recloses two ways — a write admitted as the
+// half-open probe after the cooldown succeeds on the healthy data path, or
+// the first successful monitor probe after the window — so open and close
+// transitions both land in the trace ring, repeatedly, as the window keeps
+// re-tripping it. The p99 bound is the brownout contract: one slow node
+// must not drag the whole cluster's tail, because its writes fail fast and
+// its reads never touch it. Commands carry a generous deadline budget so
+// the budget-remaining histogram fills without a single -DEADLINE expected.
+func slowNodeBrownout() *Spec {
+	return &Spec{
+		Name:        "slow-node-brownout",
+		Description: "drop node 2's probes, not its data: breaker trips, writes shed, reads degrade to stale views, p99 stays bounded",
+		Machine:     "small",
+		Cluster: ClusterSpec{
+			Nodes: 3, Workers: 1, Locals: 2,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 4, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(2 * time.Millisecond),
+			// Parked out of reach: the brownout must never promote.
+			ProbeThreshold: 999,
+			DeltaLog:       1024,
+			FollowerReads:  true, StaleBound: dur(2 * time.Second),
+			// A short cooldown so open→half-open→closed cycles happen while
+			// the load still runs; the probe-drop window re-trips each time.
+			Breakers: true, BreakerThreshold: 1, BreakerCooldown: dur(15 * time.Millisecond),
+			Deadline: dur(250 * time.Millisecond),
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 4, Requests: 1024,
+			SetPercent: 30, MGetPercent: 10, MGetKeys: 4, Keys: 256,
+			StaleReads: true, StaleBound: dur(4 * time.Second), StaleCheckEvery: 8,
+		},
+		Steps: []Step{
+			{Point: "cluster.probe.drop", Target: intp(2), Policy: PolicySpec{Kind: "always"}, After: dur(50 * time.Millisecond), For: dur(300 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			MinShips:         1,
+			Promotions:       u64(0),
+			Degraded:         intp(0),
+			MinBreakerOpens:  1,
+			MinDegradedReads: 8,
+			MaxP99:           dur(500 * time.Millisecond),
+			MinStaleProbes:   8,
+			MaxBusyFrac:      f64(0.9),
+			StepsMustFire:    true,
+			MinTraceEvents: map[string]uint64{
+				"breaker-state": 2, // at least one trip and one reclose
+			},
+		},
+	}
+}
+
+// partitionDuringMigration is the ROADMAP's compound timeline: a probe-drop
+// window declares node 2 dead (its standby promotes — a spurious promotion,
+// the primary is alive but fenced) while a slot migration targeting that
+// same node is in flight. The migration must abort cleanly (target not
+// serving during promotion, source stays authoritative) or complete against
+// whichever copy is authoritative when it lands — never half-apply — and
+// the load must keep verifying through the race. StepsMustFire stays off:
+// the migrate step aborting with an error is an acceptable outcome here.
+//
+// M1: worker core 0, remote replicated nodes 1-3 on cores 1-3, monitor and
+// migration engine claim their own cores after that.
+func partitionDuringMigration() *Spec {
+	return &Spec{
+		Name:        "partition-during-migration",
+		Description: "probe-drop promotes node 2's standby while a migration targets it: abort or complete, never half-apply",
+		Machine:     "M1",
+		Cluster: ClusterSpec{
+			Nodes: 4, Workers: 1, Locals: 1,
+			Replicate: true, SegSize: 1 << 20,
+			ShipEvery: 8, ShipInterval: dur(25 * time.Millisecond),
+			ProbeInterval: dur(2 * time.Millisecond), ProbeThreshold: 3,
+			DeltaLog: 1024,
+		},
+		Load: LoadSpec{
+			Conns: 4, Pipeline: 2, Requests: 384,
+			SetPercent: 30, Keys: 128,
+		},
+		Steps: []Step{
+			// Probes to node 2 vanish at 100ms; threshold 3 declares it dead
+			// and promotes the standby a few probe ticks later. The migration
+			// at 150ms moves slot 142 (which holds keys of the k%06d/128
+			// keyspace) into node 2 — landing before, during, or after the
+			// promotion depending on scheduling, all of which must be safe.
+			{Point: "cluster.probe.drop", Target: intp(2), Policy: PolicySpec{Kind: "always"}, After: dur(100 * time.Millisecond), For: dur(300 * time.Millisecond)},
+			{Point: "cluster.slot.migrate", Slot: intp(142), Target: intp(2), After: dur(150 * time.Millisecond)},
+		},
+		Invariants: Invariants{
+			Promotions:     u64(1),
+			MinShips:       1,
+			MaxLostUpdates: u64(0),
+			Degraded:       intp(0),
+			MaxBusyFrac:    f64(0.9),
+			MaxErrorFrac:   f64(0.5),
+			MinTraceEvents: map[string]uint64{"promotion": 1},
 		},
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"spacejmp/internal/fault"
 	"spacejmp/internal/hw"
 	"spacejmp/internal/kernel"
+	"spacejmp/internal/overload"
 	"spacejmp/internal/server"
 	"spacejmp/internal/stats"
 	"spacejmp/internal/tenant"
@@ -194,7 +195,12 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		router.Close()
 		return nil, err
 	}
-	srv := server.NewWithBackend(sys, ln, server.Config{QueueDepth: clCfg.QueueDepth, Tenants: tenants}, router)
+	srvCfg := server.Config{QueueDepth: clCfg.QueueDepth, Tenants: tenants}
+	srvCfg.CyclesPerMilli = uint64(hwCfg.GHz * 1e6)
+	if d := time.Duration(spec.Cluster.Deadline); d > 0 {
+		srvCfg.DeadlineCycles = overload.Cycles(d, hwCfg.GHz)
+	}
+	srv := server.NewWithBackend(sys, ln, srvCfg, router)
 	logf("chaos: %s: serving on %s (machine %s, seed %d)", spec.Name, srv.Addr(), hwCfg.Name, seed)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -280,6 +286,12 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 	}
 	if inv.MinSlotMoves > 0 {
 		waitUntil(quiesceTimeout, func() bool { return obs.ClusterSlotMovesTotal() >= inv.MinSlotMoves })
+	}
+	if inv.MinDegradedReads > 0 {
+		waitUntil(quiesceTimeout, func() bool { return obs.ClusterDegradedReadsTotal() >= inv.MinDegradedReads })
+	}
+	if inv.MinBreakerOpens > 0 {
+		waitUntil(quiesceTimeout, func() bool { return obs.ClusterBreakerOpensTotal() >= inv.MinBreakerOpens })
 	}
 
 	FinalizeReports(reg, spec.Steps, reports)
@@ -398,6 +410,7 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 
 	var repl stats.ReplicationSnap
 	var mig stats.MigrationSnap
+	var ovl stats.OverloadSnap
 	var local, remote uint64
 	if snap != nil && snap.Cluster != nil {
 		local, remote = snap.Cluster.Local, snap.Cluster.Remote
@@ -406,6 +419,9 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 		}
 		if snap.Cluster.Migration != nil {
 			mig = *snap.Cluster.Migration
+		}
+		if snap.Cluster.Overload != nil {
+			ovl = *snap.Cluster.Overload
 		}
 	}
 	if p := inv.Promotions; p != nil {
@@ -431,6 +447,14 @@ func evaluate(rep *Report, spec *Spec, snap *stats.Snapshot, health []server.Nod
 	if d := inv.Degraded; d != nil {
 		got := countDegraded(health)
 		add("degraded", got == *d, fmt.Sprintf("%d degraded ranges (want exactly %d)", got, *d))
+	}
+	if inv.MinDegradedReads > 0 {
+		add("degraded-reads", ovl.DegradedReads >= inv.MinDegradedReads,
+			fmt.Sprintf("%d reads degraded to stale views (min %d)", ovl.DegradedReads, inv.MinDegradedReads))
+	}
+	if inv.MinBreakerOpens > 0 {
+		add("breaker-opens", ovl.BreakerOpens >= inv.MinBreakerOpens,
+			fmt.Sprintf("%d breaker trips (min %d)", ovl.BreakerOpens, inv.MinBreakerOpens))
 	}
 	if inv.MinLocal > 0 {
 		add("local", local >= inv.MinLocal,

@@ -241,6 +241,17 @@ type ClusterSpec struct {
 	// cluster.ReplicationConfig).
 	FollowerReads bool     `json:"follower_reads,omitempty"`
 	StaleBound    Duration `json:"stale_bound,omitempty"`
+	// Overload protection (see cluster.OverloadConfig): per-remote-node
+	// circuit breakers, overload-degraded stale reads, and the worker-queue
+	// watermark past which reads degrade. Deadline stamps every command
+	// with a cycle budget derived from this wall-time allowance and the
+	// machine's clock.
+	Breakers         bool     `json:"breakers,omitempty"`
+	BreakerThreshold int      `json:"breaker_threshold,omitempty"`
+	BreakerCooldown  Duration `json:"breaker_cooldown,omitempty"`
+	DegradedReads    bool     `json:"degraded_reads,omitempty"`
+	QueueWatermark   int      `json:"queue_watermark,omitempty"`
+	Deadline         Duration `json:"deadline,omitempty"`
 }
 
 // Config resolves the spec into a cluster.Config. The replication knobs
@@ -269,6 +280,13 @@ func (c ClusterSpec) Config() (cluster.Config, error) {
 			DeltaLog:       c.DeltaLog,
 			FollowerReads:  c.FollowerReads,
 			StaleBound:     time.Duration(c.StaleBound),
+		},
+		Overload: cluster.OverloadConfig{
+			Breakers:         c.Breakers,
+			BreakerThreshold: c.BreakerThreshold,
+			BreakerCooldown:  time.Duration(c.BreakerCooldown),
+			DegradedReads:    c.DegradedReads,
+			QueueWatermark:   c.QueueWatermark,
 		},
 	}, nil
 }
@@ -369,6 +387,13 @@ type Invariants struct {
 	// completed (stale-read runs; proves the bound was actually exercised,
 	// the way MinCrossDenied proves tenant probes ran).
 	MinStaleProbes uint64 `json:"min_stale_probes,omitempty"`
+	// MinDegradedReads is the minimum reads served stale because the
+	// primary was overloaded — the proof a brownout scenario actually
+	// degraded gracefully instead of just erroring.
+	MinDegradedReads uint64 `json:"min_degraded_reads,omitempty"`
+	// MinBreakerOpens is the minimum circuit-breaker trips; pins that a
+	// storm scenario actually drove a breaker open.
+	MinBreakerOpens uint64 `json:"min_breaker_opens,omitempty"`
 	// MaxP99, when set, bounds the load's end-to-end p99 command latency.
 	// This is the write-stall invariant: a serving path that holds a node's
 	// mutex across a checkpoint ship (instead of forking a frozen view and
@@ -470,6 +495,30 @@ func (s *Spec) Validate() error {
 	}
 	if s.Invariants.MinStaleProbes > 0 && !s.Load.StaleReads {
 		return specErr(-1, "invariants.min_stale_probes: needs load.stale_reads", ErrBadSpec)
+	}
+	if (s.Cluster.DegradedReads || s.Cluster.QueueWatermark > 0) && !s.Cluster.Replicate {
+		return specErr(-1, "cluster.degraded_reads/queue_watermark: require cluster.replicate (degraded reads serve from fork views)", ErrBadSpec)
+	}
+	if s.Cluster.QueueWatermark < 0 {
+		return specErr(-1, fmt.Sprintf("cluster.queue_watermark: negative (%d)", s.Cluster.QueueWatermark), ErrBadSpec)
+	}
+	if s.Cluster.BreakerThreshold < 0 {
+		return specErr(-1, fmt.Sprintf("cluster.breaker_threshold: negative (%d)", s.Cluster.BreakerThreshold), ErrBadSpec)
+	}
+	if s.Cluster.BreakerCooldown < 0 {
+		return specErr(-1, fmt.Sprintf("cluster.breaker_cooldown: negative (%v)", time.Duration(s.Cluster.BreakerCooldown)), ErrBadDuration)
+	}
+	if s.Cluster.Deadline < 0 {
+		return specErr(-1, fmt.Sprintf("cluster.deadline: negative (%v)", time.Duration(s.Cluster.Deadline)), ErrBadDuration)
+	}
+	if (s.Cluster.BreakerThreshold > 0 || s.Cluster.BreakerCooldown > 0) && !s.Cluster.Breakers {
+		return specErr(-1, "cluster.breaker_threshold/breaker_cooldown: need cluster.breakers", ErrBadSpec)
+	}
+	if s.Invariants.MinBreakerOpens > 0 && !s.Cluster.Breakers {
+		return specErr(-1, "invariants.min_breaker_opens: needs cluster.breakers", ErrBadSpec)
+	}
+	if s.Invariants.MinDegradedReads > 0 && !s.Cluster.DegradedReads && s.Cluster.QueueWatermark == 0 && !s.Cluster.Breakers {
+		return specErr(-1, "invariants.min_degraded_reads: needs an overload trigger (breakers, degraded_reads, or queue_watermark)", ErrBadSpec)
 	}
 	if s.Invariants.MaxP99 < 0 {
 		return specErr(-1, fmt.Sprintf("invariants.max_p99: negative (%v)", time.Duration(s.Invariants.MaxP99)), ErrBadDuration)

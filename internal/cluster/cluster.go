@@ -72,6 +72,11 @@ type Config struct {
 	// failover for remote nodes. See ReplicationConfig.
 	Replication ReplicationConfig
 
+	// Overload configures overload protection: per-node circuit breakers,
+	// deadline-aware dispatch, and graceful read degradation to frozen fork
+	// views. See OverloadConfig.
+	Overload OverloadConfig
+
 	// MigrationDeltaLog bounds the per-slot write buffer a live slot
 	// migration accumulates while copying; on overflow the migration
 	// aborts and rolls back rather than lose ordered replay.
@@ -130,6 +135,44 @@ func (c ReplicationConfig) isZero() bool {
 	return c == ReplicationConfig{}
 }
 
+// OverloadConfig groups the overload-protection knobs. Breakers guard the
+// data path into each remote node; DegradedReads and QueueWatermark govern
+// when reads degrade to bounded-staleness frozen views instead of queueing
+// behind a saturated primary. Request deadline budgets arrive per request
+// (server.Request.Deadline) and need no switch here — the router honors
+// them whenever they are set.
+type OverloadConfig struct {
+	// Breakers arms a closed→open→half-open circuit breaker per remote
+	// node, fed by data-call outcomes and health-probe evidence. An open
+	// breaker fails dispatches fast with retryable -SHARDTIMEOUT instead
+	// of queueing doomed calls; half-open admits a single probe call whose
+	// outcome recloses or reopens it.
+	Breakers bool
+	// BreakerThreshold is the consecutive failures that trip a breaker
+	// open. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// admitting a half-open probe. Default 100ms.
+	BreakerCooldown time.Duration
+	// DegradedReads serves overload-degraded reads to every connection,
+	// not only those that opted in via READONLY. Requires replication —
+	// the fork engine provides the frozen views — and clients that
+	// tolerate bounded staleness.
+	DegradedReads bool
+	// QueueWatermark is the worker queue depth at which reads start
+	// degrading to frozen views — the local-node analogue of an open
+	// breaker (a deep queue is the co-resident serving path's overload
+	// signal). 0 disables the watermark. With a watermark set and
+	// replication on, the monitor keeps a frozen view of every local node
+	// fresh on the ship cadence so there is something to degrade to.
+	QueueWatermark int
+}
+
+// active reports whether any overload-protection feature is switched on.
+func (c OverloadConfig) active() bool {
+	return c.Breakers || c.DegradedReads || c.QueueWatermark > 0
+}
+
 func (c Config) withDefaults() Config {
 	if c.Nodes <= 0 {
 		c.Nodes = 3
@@ -185,6 +228,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replication.StaleBound <= 0 {
 		c.Replication.StaleBound = 500 * time.Millisecond
+	}
+	if c.Overload.BreakerThreshold <= 0 {
+		c.Overload.BreakerThreshold = 5
+	}
+	if c.Overload.BreakerCooldown <= 0 {
+		c.Overload.BreakerCooldown = 100 * time.Millisecond
 	}
 	c.Replicate = c.Replication.Enabled
 	c.ShipEvery = c.Replication.ShipEvery

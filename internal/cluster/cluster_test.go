@@ -24,6 +24,13 @@ import (
 // router).
 func startCluster(t *testing.T, cfg Config, reg *fault.Registry) (*hw.Machine, *Router, *server.Server) {
 	t.Helper()
+	return startClusterSrvCfg(t, cfg, reg, server.Config{})
+}
+
+// startClusterSrvCfg is startCluster with an explicit front-end config —
+// the overload tests stamp per-command deadline defaults there.
+func startClusterSrvCfg(t *testing.T, cfg Config, reg *fault.Registry, srvCfg server.Config) (*hw.Machine, *Router, *server.Server) {
+	t.Helper()
 	hwCfg := hw.SmallTest()
 	if cfg.Replicate || cfg.Replication.Enabled {
 		// Checkpoint shipping needs somewhere durable to put generations;
@@ -45,7 +52,7 @@ func startCluster(t *testing.T, cfg Config, reg *fault.Registry) (*hw.Machine, *
 		r.Close()
 		t.Fatal(err)
 	}
-	srv := server.NewWithBackend(sys, ln, server.Config{}, r)
+	srv := server.NewWithBackend(sys, ln, srvCfg, r)
 	return m, r, srv
 }
 

@@ -121,6 +121,7 @@ func (r *Router) runMonitor() {
 					m.ship(r, n)
 				}
 			}
+			m.refreshLocalForks(r)
 		case <-probe.C:
 			for _, n := range r.replicatedNodes() {
 				m.probe(r, n)
@@ -176,7 +177,7 @@ func (m *monitor) probe(r *Router, n *node) {
 	}
 	ok := false
 	if !r.sys.M.Faults.FireAt(fault.ClusterProbeDrop, n.id) {
-		_, _, err := n.call(ep, pingWire)
+		_, _, err := n.call(ep, pingWire, 0)
 		ok = err == nil
 	}
 	r.obs.ClusterProbe(ok)
@@ -189,6 +190,7 @@ func (m *monitor) probe(r *Router, n *node) {
 
 func (m *monitor) noteSuccess(r *Router, n *node) {
 	m.fails[n.id], m.skip[n.id] = 0, 0
+	n.noteProbe(true)
 	if n.curState() == StateSuspect {
 		n.setState(StateHealthy, r.obs)
 	}
@@ -200,6 +202,7 @@ func (m *monitor) noteFailure(r *Router, n *node) {
 	if !n.replicated || n.promoted.Load() {
 		return
 	}
+	n.noteProbe(false)
 	switch n.curState() {
 	case StateFailed, StatePromoting, StateDegraded:
 		return
@@ -212,6 +215,36 @@ func (m *monitor) noteFailure(r *Router, n *node) {
 	if m.fails[n.id] >= r.cfg.Replication.ProbeThreshold {
 		n.setState(StateFailed, r.obs)
 		m.promote(r, n)
+	}
+}
+
+// refreshLocalForks keeps a frozen fork view of every local node current so
+// degraded reads have something to serve when the workers saturate. Remote
+// nodes get views as a side effect of checkpoint shipping; local nodes have
+// no ship path, so the monitor forks them here on the ship cadence, under
+// the full topology lock — the write side of the lock every worker holds
+// read-side per command, so the store is quiescent for the COW freeze
+// exactly as a remote node's mutex-held forkReply is. Gated on the queue
+// watermark: it is the only degradation trigger a local node has (breakers
+// are remote-only), so without one the views would be dead weight.
+func (m *monitor) refreshLocalForks(r *Router) {
+	if r.cfg.Overload.QueueWatermark <= 0 {
+		return
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	for _, n := range r.nodes {
+		if !n.local || n.removed.Load() {
+			continue
+		}
+		if v := r.forks.Current(n.id); v != nil && v.Age() <= r.cfg.Replication.ShipInterval {
+			continue
+		}
+		if _, err := r.forks.Fork(m.th, n.id, n.names.Seg); err != nil {
+			// The store may not exist yet (bootstrapped lazily by the
+			// first worker client); try again next tick.
+			continue
+		}
 	}
 }
 

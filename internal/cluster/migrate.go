@@ -161,7 +161,7 @@ func (e *engine) clientFor(n *node) (c *redis.Client, release func(), err error)
 // callCheck runs one command on a remote node through the engine's
 // endpoint and surfaces an error reply as an error.
 func (e *engine) callCheck(n *node, wire []byte) error {
-	resp, _, err := n.call(e.epFor(n), wire)
+	resp, _, err := n.call(e.epFor(n), wire, 0)
 	if err != nil {
 		return err
 	}

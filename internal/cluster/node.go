@@ -12,6 +12,7 @@ import (
 	"spacejmp/internal/fault"
 	"spacejmp/internal/fork"
 	"spacejmp/internal/mem"
+	"spacejmp/internal/overload"
 	"spacejmp/internal/redis"
 	"spacejmp/internal/stats"
 	"spacejmp/internal/urpc"
@@ -75,6 +76,12 @@ type node struct {
 	coreID int
 	sys    *core.System
 	forks  *fork.Engine // shared fork engine; nil when replication is off
+
+	// breaker is the node's circuit breaker, nil unless
+	// Config.Overload.Breakers is on (remote nodes only). Fed by data-call
+	// outcomes and health-probe evidence; consulted in path before every
+	// remote dispatch.
+	breaker *overload.Breaker
 
 	// mu serializes the workers' calls into this node: urpc handlers run
 	// inline in the calling goroutine, and the node's core and thread
@@ -140,7 +147,46 @@ func (r *Router) newNode(id int, local bool) (*node, error) {
 		return nil, err
 	}
 	n.proc, n.th, n.client, n.coreID = proc, th, client, th.Core.ID
+	if r.cfg.Overload.Breakers {
+		obs := r.obs
+		n.breaker = overload.NewBreaker(overload.BreakerConfig{
+			Threshold: r.cfg.Overload.BreakerThreshold,
+			Cooldown:  r.cfg.Overload.BreakerCooldown,
+		}, func(from, to overload.State) {
+			obs.ClusterBreaker(n.id, from.String(), to.String())
+		})
+	}
 	return n, nil
+}
+
+// noteOutcome feeds one data-call outcome to the node's breaker: any error
+// — a transport timeout, a budget exhaustion, a crash-fenced reply — is
+// failure evidence; a delivered reply (even an error reply: the node
+// answered) is success.
+func (n *node) noteOutcome(err error) {
+	if n.breaker == nil {
+		return
+	}
+	if err != nil {
+		n.breaker.Failure()
+	} else {
+		n.breaker.Success()
+	}
+}
+
+// noteProbe feeds one health-probe outcome to the node's breaker. Probe
+// successes use the stronger ProbeSuccess path: they may reclose an open
+// breaker whose data traffic has fully degraded to stale reads (no data
+// call left to take the half-open slot).
+func (n *node) noteProbe(ok bool) {
+	if n.breaker == nil {
+		return
+	}
+	if ok {
+		n.breaker.ProbeSuccess()
+	} else {
+		n.breaker.Failure()
+	}
 }
 
 // Control commands a node's handler answers beyond the data plane:
@@ -286,20 +332,22 @@ func (n *node) forkReply() []byte {
 
 // call performs one serialized RPC into a remote node on the worker's
 // endpoint, reporting the cycles the urpc round trip alone cost the worker.
+// budget, when nonzero, caps the cycles the retry loop may burn — the
+// caller's remaining deadline allowance (see urpc.CallBudget).
 //
 // A crashed node is fenced here: calls against a node known dead fail
 // without touching the channel, and a reply that raced with the crash — the
 // handler's nil tombstone arrives as an empty frame, or the crash bit was
 // set while the call was in flight — is refused as a timeout rather than
 // trusted. Late replies from a fenced primary never reach a client.
-func (n *node) call(ep *urpc.Endpoint, wire []byte) (resp []byte, cycles uint64, err error) {
+func (n *node) call(ep *urpc.Endpoint, wire []byte, budget uint64) (resp []byte, cycles uint64, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.crashed.Load() {
 		return nil, 0, &urpc.TimeoutError{}
 	}
 	before := ep.ClientCore().Cycles()
-	resp, err = ep.Call(wire)
+	resp, err = ep.CallBudget(wire, budget)
 	cycles = ep.ClientCore().Cycles() - before
 	if err == nil && (len(resp) == 0 || n.crashed.Load()) {
 		return nil, cycles, &urpc.TimeoutError{}

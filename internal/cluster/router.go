@@ -9,6 +9,7 @@ import (
 
 	"spacejmp/internal/core"
 	"spacejmp/internal/fork"
+	"spacejmp/internal/overload"
 	"spacejmp/internal/redis"
 	"spacejmp/internal/server"
 	"spacejmp/internal/stats"
@@ -34,6 +35,11 @@ type worker struct {
 	standbys  map[int]*redis.Client  // promoted standbys, attached lazily
 	frozen    map[int]*frozenReader  // follower-read attachments, by node id
 	err       error                  // first teardown error, read after workerWG.Wait
+
+	// bud is the in-flight request's deadline budget, armed against this
+	// worker's core cycle counter when execution starts. Only this
+	// worker's goroutine touches it — one request at a time.
+	bud overload.Budget
 }
 
 // frozenReader is one worker's attachment to a node's current frozen fork
@@ -138,7 +144,7 @@ func (r *Router) runWorker(w *worker) {
 	defer r.workerWG.Done()
 	for req := range w.queue {
 		w.ctr.Command()
-		req.Finish(r.exec(w, req.Args, req.Readonly))
+		req.Finish(r.exec(w, req))
 		r.obs.ServerCommand(uint64(time.Since(req.Start).Nanoseconds()))
 	}
 	for _, fr := range w.frozen {
@@ -184,16 +190,23 @@ func (r *Router) Submit(connID uint64, req *server.Request) bool {
 
 // exec charges the network edge, routes the command, charges the reply's
 // way out. The cycle deltas recorded per mode sit between the two edge
-// charges, so they compare the serving paths themselves. readonly marks a
-// request from a connection that opted into follower reads (READONLY).
-func (r *Router) exec(w *worker, args []string, readonly bool) []byte {
+// charges, so they compare the serving paths themselves. A request that
+// carries a deadline has its cycle budget armed against this worker's core
+// here — every cycle the worker burns on its behalf drains it — and the
+// remaining allowance at completion feeds the budget histogram.
+func (r *Router) exec(w *worker, req *server.Request) []byte {
+	w.bud = overload.Arm(req.Deadline, w.th.Core.Cycles())
+	args := req.Args
 	var n int
 	for _, a := range args {
 		n += len(a)
 	}
 	w.th.Core.AddCycles(server.EdgeCycles(n))
-	resp := r.route(w, args, readonly)
+	resp := r.route(w, args, req.Readonly)
 	w.th.Core.AddCycles(server.EdgeCycles(len(resp)))
+	if w.bud.Active() {
+		r.obs.ClusterBudgetRemaining(w.bud.Remaining(w.th.Core.Cycles()))
+	}
 	return resp
 }
 
@@ -268,7 +281,68 @@ func (r *Router) path(w *worker, n *node) (*redis.Client, *urpc.Endpoint, []byte
 		r.noteSuspect(n)
 		return nil, nil, redis.EncodeShardTimeout(n.id)
 	}
-	return nil, w.endpoints[n.id], nil
+	ep := w.endpoints[n.id]
+	// Deadline: refuse a dispatch the remaining budget cannot cover. One
+	// timeout window is the floor — a call that cannot even ride out its
+	// first busy-wait is doomed work, better failed fast and retried with
+	// a fresh budget.
+	if w.bud.Active() {
+		if rem := w.bud.Remaining(w.th.Core.Cycles()); rem < ep.TimeoutCycles {
+			r.obs.ClusterDeadlineExpired()
+			return nil, nil, redis.EncodeDeadline(fmt.Sprintf(
+				"node %d: %d cycles left, dispatch needs %d, retry", n.id, rem, ep.TimeoutCycles))
+		}
+	}
+	// Circuit breaker: an open breaker sheds the dispatch immediately with
+	// the same retryable refusal a timed-out call would earn — minus the
+	// timeout. Every admission (including the half-open probe) flows into
+	// n.call, whose outcome feeds back via noteOutcome.
+	if n.breaker != nil {
+		if ok, _ := n.breaker.Allow(); !ok {
+			r.obs.ClusterShed(n.id)
+			return nil, nil, redis.EncodeShardTimeout(n.id)
+		}
+	}
+	return nil, ep, nil
+}
+
+// callBudget returns the cycle cap to hand a remote call: the in-flight
+// request's remaining allowance, floored at 1 so an armed budget that
+// raced to zero between path's refusal check and the dispatch still caps
+// the call (0 means unlimited to urpc.CallBudget).
+func (w *worker) callBudget() uint64 {
+	if !w.bud.Active() {
+		return 0
+	}
+	rem := w.bud.Remaining(w.th.Core.Cycles())
+	if rem == 0 {
+		rem = 1
+	}
+	return rem
+}
+
+// degradedRead reports whether reads of node n should degrade to its
+// frozen fork view right now: the caller must be eligible (the connection
+// opted into bounded staleness via READONLY, or the cluster-wide
+// DegradedReads mode covers everyone) and the node must look overloaded —
+// its breaker open or half-open, or this worker's queue past the
+// watermark (the co-resident serving path's saturation signal). This is
+// what extends follower reads to local nodes: followerView waives its
+// remote-replicated gate for a degraded read.
+func (r *Router) degradedRead(w *worker, n *node, readonly bool) bool {
+	if r.forks == nil {
+		return false
+	}
+	oc := r.cfg.Overload
+	if !readonly && !oc.DegradedReads {
+		return false
+	}
+	if n.breaker != nil {
+		if st := n.breaker.State(); st == overload.Open || st == overload.HalfOpen {
+			return true
+		}
+	}
+	return oc.QueueWatermark > 0 && len(w.queue) >= oc.QueueWatermark
 }
 
 // standbyClient lazily attaches this worker to node n's promoted standby.
@@ -302,9 +376,12 @@ func (r *Router) exec1(w *worker, args []string, readonly bool) []byte {
 	case "SET", "DEL":
 		isWrite = true
 	}
-	if readonly && !isWrite {
-		if resp, served := r.followerGet(w, r.nodes[nid], args[1]); served {
-			return resp
+	if !isWrite {
+		n := r.nodes[nid]
+		if degraded := r.degradedRead(w, n, readonly); readonly || degraded {
+			if resp, served := r.followerGet(w, n, args[1], degraded); served {
+				return resp
+			}
 		}
 	}
 	if mig := r.migs[slot].Load(); mig != nil && isWrite {
@@ -342,8 +419,9 @@ func (r *Router) execOn(w *worker, nid int, args []string) []byte {
 	}
 	wire := redis.EncodeCommand(args...)
 	before := w.th.Core.Cycles()
-	resp, callCycles, err := n.call(ep, wire)
+	resp, callCycles, err := n.call(ep, wire, w.callBudget())
 	total := w.th.Core.Cycles() - before
+	n.noteOutcome(err)
 	if err != nil {
 		return r.remoteError(nid, err)
 	}
@@ -381,10 +459,20 @@ func (r *Router) bufferWrite(n *node, args []string, resp []byte) {
 // a -STALE reply when the freshest view exceeds the bound (the explicit
 // contract of READONLY — the client asked for bounded staleness and the
 // bound cannot be met); or neither, when the node has no usable view at all
-// (never forked, invalidated, local, promoted) — those reads fall through
-// to the primary, which is always fresh.
-func (r *Router) followerView(n *node) (*fork.View, []byte) {
-	if !r.cfg.Replication.FollowerReads || n.local || !n.replicated || n.promoted.Load() {
+// (never forked, invalidated, promoted) — those reads fall through to the
+// primary, which is always fresh.
+//
+// degraded marks an overload-degraded read: the node's breaker is open or
+// the worker is saturated, and the caller is eligible for stale serving.
+// It waives the plain path's gates — the FollowerReads switch and the
+// remote-replicated requirement — so local saturated nodes degrade to
+// their monitor-refreshed views exactly as remote ones do, within the same
+// staleness bound.
+func (r *Router) followerView(n *node, degraded bool) (*fork.View, []byte) {
+	if n.promoted.Load() {
+		return nil, nil
+	}
+	if !degraded && (!r.cfg.Replication.FollowerReads || n.local || !n.replicated) {
 		return nil, nil
 	}
 	v := r.forks.Current(n.id)
@@ -402,8 +490,8 @@ func (r *Router) followerView(n *node) (*fork.View, []byte) {
 
 // followerGet serves one GET from node n's frozen view when the staleness
 // bound allows. served=false falls through to the primary path.
-func (r *Router) followerGet(w *worker, n *node, key string) (resp []byte, served bool) {
-	v, stale := r.followerView(n)
+func (r *Router) followerGet(w *worker, n *node, key string, degraded bool) (resp []byte, served bool) {
+	v, stale := r.followerView(n, degraded)
 	if stale != nil {
 		return stale, true
 	}
@@ -419,6 +507,9 @@ func (r *Router) followerGet(w *worker, n *node, key string) (resp []byte, serve
 		return nil, false
 	}
 	r.obs.ClusterFollowerRead()
+	if degraded {
+		r.obs.ClusterDegradedRead()
+	}
 	if !ok {
 		return redis.EncodeBulk(nil), true
 	}
@@ -429,8 +520,8 @@ func (r *Router) followerGet(w *worker, n *node, key string) (resp []byte, serve
 // writing hits into vals at idxs. served=false falls through to the
 // primary; a non-nil stale reply fails the whole command — a partially
 // bounded MGET would be indistinguishable from a fully bounded one.
-func (r *Router) followerMGet(w *worker, n *node, keys []string, vals [][]byte, idxs []int) (served bool, stale []byte) {
-	v, staleReply := r.followerView(n)
+func (r *Router) followerMGet(w *worker, n *node, keys []string, vals [][]byte, idxs []int, degraded bool) (served bool, stale []byte) {
+	v, staleReply := r.followerView(n, degraded)
 	if staleReply != nil {
 		return false, staleReply
 	}
@@ -446,6 +537,9 @@ func (r *Router) followerMGet(w *worker, n *node, keys []string, vals [][]byte, 
 		return false, nil
 	}
 	r.obs.ClusterFollowerRead()
+	if degraded {
+		r.obs.ClusterDegradedRead()
+	}
 	for j, i := range idxs {
 		vals[i] = got[j]
 	}
@@ -530,8 +624,16 @@ func (r *Router) mget(w *worker, keys []string, readonly bool) []byte {
 			sub[j] = keys[i]
 		}
 		n := r.nodes[nid]
-		if readonly {
-			served, stale := r.followerMGet(w, n, sub, vals, idxs)
+		// A fan-out burns budget group by group; catch exhaustion between
+		// groups so a slow early shard can't push later dispatches past the
+		// deadline silently.
+		if now := w.th.Core.Cycles(); w.bud.Exhausted(now) {
+			r.obs.ClusterDeadlineExpired()
+			return redis.EncodeDeadline(fmt.Sprintf(
+				"budget exhausted after %d cycles mid-MGET, retry", w.bud.Spent(now)))
+		}
+		if degraded := r.degradedRead(w, n, readonly); readonly || degraded {
+			served, stale := r.followerMGet(w, n, sub, vals, idxs, degraded)
 			if stale != nil {
 				return stale
 			}
@@ -557,8 +659,9 @@ func (r *Router) mget(w *worker, keys []string, readonly bool) []byte {
 		}
 		wire := redis.EncodeCommand(append([]string{"MGET"}, sub...)...)
 		before := w.th.Core.Cycles()
-		resp, callCycles, err := n.call(ep, wire)
+		resp, callCycles, err := n.call(ep, wire, w.callBudget())
 		total := w.th.Core.Cycles() - before
+		n.noteOutcome(err)
 		if err != nil {
 			return r.remoteError(nid, err)
 		}
@@ -659,6 +762,12 @@ func (r *Router) clusterNodesReply() []byte {
 // the retryable SHARDTIMEOUT reply, a timeout count against the node, and
 // dead-node evidence for the monitor; anything else is a hard shard error.
 func (r *Router) remoteError(nid int, err error) []byte {
+	if errors.Is(err, urpc.ErrBudget) {
+		// Checked before ErrTimeout: a BudgetError unwraps to both, and the
+		// distinction matters — the deadline ran out, not the node.
+		r.obs.ClusterDeadlineExpired()
+		return redis.EncodeDeadline(fmt.Sprintf("node %d: budget exhausted mid-call, retry", nid))
+	}
 	if errors.Is(err, urpc.ErrTimeout) {
 		r.obs.ClusterTimeout(nid)
 		r.noteSuspect(r.nodes[nid])

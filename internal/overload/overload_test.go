@@ -1,0 +1,220 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetInactive(t *testing.T) {
+	b := Arm(0, 1000)
+	if b.Active() {
+		t.Fatal("zero-total budget must be inactive")
+	}
+	if b.Exhausted(1 << 40) {
+		t.Fatal("inactive budget must never exhaust")
+	}
+	if !b.Covers(1<<40, 1<<40) {
+		t.Fatal("inactive budget must cover any wait")
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := Arm(1000, 5000) // 1000 cycles, armed at reading 5000
+	if !b.Active() {
+		t.Fatal("armed budget must be active")
+	}
+	if got := b.Remaining(5000); got != 1000 {
+		t.Fatalf("remaining at arm time = %d, want 1000", got)
+	}
+	if got := b.Remaining(5600); got != 400 {
+		t.Fatalf("remaining after 600 cycles = %d, want 400", got)
+	}
+	if !b.Covers(5600, 400) || b.Covers(5600, 401) {
+		t.Fatal("Covers must compare against exact remaining")
+	}
+	if b.Exhausted(5999) {
+		t.Fatal("not exhausted at 999 spent")
+	}
+	if !b.Exhausted(6000) {
+		t.Fatal("exhausted at 1000 spent")
+	}
+	if got := b.Remaining(7000); got != 0 {
+		t.Fatalf("remaining past exhaustion = %d, want 0", got)
+	}
+	// A cycle reading below the arm point (never happens on a monotonic
+	// counter, but don't wrap) reads as nothing spent.
+	if got := b.Spent(4000); got != 0 {
+		t.Fatalf("spent on rewound counter = %d, want 0", got)
+	}
+}
+
+func TestCyclesConversion(t *testing.T) {
+	// 1ms at 2 GHz = 2e6 cycles.
+	if got := Cycles(time.Millisecond, 2.0); got != 2_000_000 {
+		t.Fatalf("Cycles(1ms, 2GHz) = %d, want 2000000", got)
+	}
+	if got := Cycles(0, 2.0); got != 0 {
+		t.Fatalf("Cycles(0) = %d, want 0", got)
+	}
+	if got := Cycles(time.Second, 0); got != 0 {
+		t.Fatalf("Cycles with zero clock = %d, want 0", got)
+	}
+}
+
+// transitions collects breaker state changes for assertion.
+type transitions struct{ log []string }
+
+func (tr *transitions) hook(from, to State) {
+	tr.log = append(tr.log, from.String()+"->"+to.String())
+}
+
+func TestBreakerTripAndReclose(t *testing.T) {
+	tr := &transitions{}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond}, tr.hook)
+	t0 := time.Unix(100, 0)
+
+	if ok, probe := b.allowAt(t0); !ok || probe {
+		t.Fatal("closed breaker must admit plainly")
+	}
+	// Two failures: still closed; a success resets the streak.
+	b.failureAt(t0)
+	b.failureAt(t0)
+	if b.State() != Closed {
+		t.Fatal("below threshold must stay closed")
+	}
+	b.Success()
+	b.failureAt(t0)
+	b.failureAt(t0)
+	if b.State() != Closed {
+		t.Fatal("success must reset the failure streak")
+	}
+	// Third consecutive failure trips it open.
+	b.failureAt(t0)
+	if b.State() != Open {
+		t.Fatal("threshold consecutive failures must open the breaker")
+	}
+	if ok, _ := b.allowAt(t0.Add(10 * time.Millisecond)); ok {
+		t.Fatal("open breaker inside cooldown must refuse")
+	}
+	// Cooldown elapsed: exactly one probe admitted.
+	ok, probe := b.allowAt(t0.Add(60 * time.Millisecond))
+	if !ok || !probe {
+		t.Fatal("cooldown elapsed must admit a half-open probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatal("probe admission must move to half-open")
+	}
+	if ok, _ := b.allowAt(t0.Add(61 * time.Millisecond)); ok {
+		t.Fatal("half-open must admit only one probe at a time")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatal("probe success must reclose the breaker")
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(tr.log) != len(want) {
+		t.Fatalf("transitions = %v, want %v", tr.log, want)
+	}
+	for i := range want {
+		if tr.log[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, tr.log[i], want[i])
+		}
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond}, nil)
+	t0 := time.Unix(100, 0)
+	b.failureAt(t0)
+	if b.State() != Open {
+		t.Fatal("threshold 1 must open on first failure")
+	}
+	ok, probe := b.allowAt(t0.Add(60 * time.Millisecond))
+	if !ok || !probe {
+		t.Fatal("must admit half-open probe after cooldown")
+	}
+	b.failureAt(t0.Add(61 * time.Millisecond))
+	if b.State() != Open {
+		t.Fatal("probe failure must reopen")
+	}
+	// The cooldown restarted at the probe failure, not the original trip.
+	if ok, _ := b.allowAt(t0.Add(100 * time.Millisecond)); ok {
+		t.Fatal("reopened breaker must restart its cooldown")
+	}
+	if ok, _ := b.allowAt(t0.Add(120 * time.Millisecond)); !ok {
+		t.Fatal("restarted cooldown must elapse and admit again")
+	}
+}
+
+func TestBreakerProbeSuccessRecloses(t *testing.T) {
+	tr := &transitions{}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond}, tr.hook)
+	t0 := time.Unix(100, 0)
+	b.failureAt(t0)
+	if b.State() != Open {
+		t.Fatal("threshold 1 must open on first failure")
+	}
+	// A lucky probe inside the cooldown must not flap the breaker shut.
+	b.probeSuccessAt(t0.Add(10 * time.Millisecond))
+	if b.State() != Open {
+		t.Fatal("probe success inside cooldown must not reclose")
+	}
+	// Past the cooldown, probe evidence recloses directly — the degraded
+	// read path may never send the half-open probe itself — and the
+	// transition goes through half-open so the trace shows the recovery.
+	b.probeSuccessAt(t0.Add(60 * time.Millisecond))
+	if b.State() != Closed {
+		t.Fatal("probe success past cooldown must reclose")
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(tr.log) != len(want) {
+		t.Fatalf("transitions = %v, want %v", tr.log, want)
+	}
+	for i := range want {
+		if tr.log[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, tr.log[i], want[i])
+		}
+	}
+	// While half-open with the probe slot taken, a probe success closes and
+	// frees the slot.
+	b.failureAt(t0.Add(100 * time.Millisecond))
+	if ok, probe := b.allowAt(t0.Add(160 * time.Millisecond)); !ok || !probe {
+		t.Fatal("must admit half-open probe after cooldown")
+	}
+	b.ProbeSuccess()
+	if b.State() != Closed {
+		t.Fatal("probe success while half-open must reclose")
+	}
+	if ok, probe := b.allowAt(t0.Add(161 * time.Millisecond)); !ok || probe {
+		t.Fatal("reclosed breaker must admit plainly")
+	}
+}
+
+func TestBreakerProbeSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond}, nil)
+	t0 := time.Unix(100, 0)
+	b.failureAt(t0)
+	b.failureAt(t0)
+	b.probeSuccessAt(t0)
+	b.failureAt(t0)
+	b.failureAt(t0)
+	if b.State() != Closed {
+		t.Fatal("probe success must reset the closed failure streak")
+	}
+}
+
+func TestBreakerStragglersWhileOpen(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond}, nil)
+	t0 := time.Unix(100, 0)
+	b.failureAt(t0)
+	// In-flight stragglers report after the trip: neither a late success
+	// nor a late failure may move an open breaker or extend its cooldown.
+	b.Success()
+	b.failureAt(t0.Add(40 * time.Millisecond))
+	if b.State() != Open {
+		t.Fatal("stragglers must not move an open breaker")
+	}
+	if ok, _ := b.allowAt(t0.Add(55 * time.Millisecond)); !ok {
+		t.Fatal("original cooldown must still elapse on time")
+	}
+}

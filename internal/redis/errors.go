@@ -19,6 +19,7 @@ const (
 	codeNoPerm        = "NOPERM"
 	codeQuota         = "QUOTA"
 	codeStale         = "STALE"
+	codeDeadline      = "DEADLINE"
 )
 
 // Sentinel reply errors. Use errors.Is against a decoded ReplyError; use
@@ -50,6 +51,11 @@ var (
 	// wait for the next fork; the load generator counts these as explicit
 	// bound enforcement, never as failures.
 	ErrStale = ReplyError(codeStale + " follower view exceeds staleness bound")
+	// ErrDeadline is a command refused or abandoned because its deadline
+	// budget ran out — the router would not start (or finish) a dispatch it
+	// cannot complete within the request's remaining cycle allowance.
+	// Retryable: a fresh request carries a fresh budget.
+	ErrDeadline = ReplyError(codeDeadline + " deadline budget exhausted, retry")
 )
 
 // Is makes errors.Is(reply, ErrShardTimeout) and friends match on the
@@ -60,7 +66,7 @@ func (e ReplyError) Is(target error) bool {
 		return false
 	}
 	switch t {
-	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved, ErrNoPerm, ErrQuota, ErrStale:
+	case ErrShardTimeout, ErrShardDegraded, ErrBusy, ErrMoved, ErrNoPerm, ErrQuota, ErrStale, ErrDeadline:
 		return replyCode(string(e)) == replyCode(string(t))
 	}
 	return string(e) == string(t)
@@ -114,12 +120,19 @@ func EncodeStale(detail string) []byte {
 	return []byte(fmt.Sprintf("-%s %s\r\n", codeStale, detail))
 }
 
+// EncodeDeadline renders the retryable deadline-budget refusal. detail says
+// where the budget died (pre-dispatch refusal vs mid-call exhaustion) and
+// against which node.
+func EncodeDeadline(detail string) []byte {
+	return []byte(fmt.Sprintf("-%s %s\r\n", codeDeadline, detail))
+}
+
 // IsRetryableReply reports whether an error reply asks the client to try
-// again later (backpressure or a shard mid-failover) rather than reporting
-// a hard failure.
+// again later (backpressure, a shard mid-failover, or a deadline budget
+// that a fresh request would reset) rather than reporting a hard failure.
 func IsRetryableReply(e ReplyError) bool {
 	switch replyCode(string(e)) {
-	case codeBusy, codeShardTimeout, codeMoved:
+	case codeBusy, codeShardTimeout, codeMoved, codeDeadline:
 		return true
 	}
 	return false

@@ -17,6 +17,13 @@ type Request struct {
 	// reads via READONLY: backends may serve reads from a bounded-staleness
 	// frozen view instead of the primary.
 	Readonly bool
+	// Deadline is the request's cycle budget: the simulated-core cycles the
+	// backend may burn serving it before failing fast with a retryable
+	// -DEADLINE instead of queueing doomed work. 0 means no deadline. Set
+	// from the server's per-command default or the connection's DEADLINE
+	// prefix command; the budget is armed against the serving worker's
+	// cycle counter when execution starts (queue wait burns no cycles).
+	Deadline uint64
 
 	resp []byte
 	done chan struct{}

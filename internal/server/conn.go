@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -56,6 +57,9 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 	ct := newConnTenant(s.cfg.Tenants)
 	var commands uint64
 	var readonly bool // READONLY/READWRITE toggle, stamped onto each request
+	// Per-connection deadline budget, stamped onto each request in cycles:
+	// the server-wide default until the client overrides it with DEADLINE.
+	deadline := s.cfg.DeadlineCycles
 	for {
 		if s.faults.Fire(fault.SrvConnStall) {
 			time.Sleep(500 * time.Microsecond)
@@ -84,6 +88,21 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 			replies <- inlineReply(redis.EncodeSimple("OK"))
 			continue
 		}
+		if len(args) == 2 && strings.EqualFold(args[0], "DEADLINE") {
+			// Per-connection deadline override in milliseconds, answered
+			// inline like READONLY: 0 clears back to no deadline. The
+			// wall-clock allowance converts to a cycle budget at the
+			// machine's clock so every downstream layer spends one currency.
+			ms, perr := strconv.ParseUint(args[1], 10, 32)
+			if perr != nil {
+				replies <- inlineReply(redis.EncodeError("DEADLINE wants milliseconds: " + args[1]))
+				continue
+			}
+			deadline = ms * s.cfg.CyclesPerMilli
+			s.obs.ServerPipeline(len(replies) + 1)
+			replies <- inlineReply(redis.EncodeSimple("OK"))
+			continue
+		}
 		var settle func([]byte)
 		if ct != nil {
 			var inline []byte
@@ -97,6 +116,7 @@ func (s *Server) serveConn(id uint64, nc net.Conn) {
 		}
 		r := NewRequest(args)
 		r.Readonly = readonly
+		r.Deadline = deadline
 		r.settle = settle
 		if !s.backend.Submit(id, r) {
 			// Backpressure: the backend is saturated. Fail fast with an

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,13 @@ type LoadConfig struct {
 	// StaleCheckEvery issues a probe (alternating SET and GET) every n'th
 	// command on stale-read runs. 0 takes the default (8); <0 disables.
 	StaleCheckEvery int
+	// Deadline sets a per-command deadline budget on every connection: the
+	// DEADLINE <ms> prefix command is sent after each (re)dial, so every
+	// subsequent command carries the budget and an overloaded server
+	// answers typed retryable -DEADLINE refusals (counted as Busy, never
+	// as failures) instead of queueing the work. 0 sends nothing — the
+	// server's own default applies.
+	Deadline time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -349,6 +357,31 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 							var reply redis.ReplyError
 							if errors.As(err, &reply) {
 								errs[i] = fmt.Errorf("readonly: %w", err)
+								return
+							}
+							if fail(err) {
+								continue
+							}
+							return
+						}
+					}
+					if cfg.Deadline > 0 {
+						// The deadline budget is per connection too: re-stamp
+						// it on every redial.
+						ms := cfg.Deadline.Milliseconds()
+						if ms <= 0 {
+							ms = 1
+						}
+						if _, err := nc.Write(redis.EncodeCommand("DEADLINE", strconv.FormatInt(ms, 10))); err != nil {
+							if fail(err) {
+								continue
+							}
+							return
+						}
+						if _, _, err := redis.ReadReply(br); err != nil {
+							var reply redis.ReplyError
+							if errors.As(err, &reply) {
+								errs[i] = fmt.Errorf("deadline: %w", err)
 								return
 							}
 							if fail(err) {

@@ -51,6 +51,15 @@ type Config struct {
 	// view, cross-view addresses pass capability checks, and quotas gate
 	// admission. Nil keeps the single-tenant behavior unchanged.
 	Tenants *tenant.Registry
+
+	// DeadlineCycles is the per-command default deadline budget, in
+	// simulated-core cycles; 0 (the default) stamps no deadline. A
+	// connection overrides it with the DEADLINE <ms> prefix command.
+	DeadlineCycles uint64
+	// CyclesPerMilli converts the DEADLINE command's millisecond argument
+	// to cycles; set it from the machine's clock (GHz × 1e6). Defaults to
+	// 2e6 — the small test machine's 2 GHz.
+	CyclesPerMilli uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SegSize == 0 {
 		c.SegSize = 16 << 20
+	}
+	if c.CyclesPerMilli == 0 {
+		c.CyclesPerMilli = 2_000_000
 	}
 	return c
 }

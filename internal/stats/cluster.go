@@ -52,6 +52,16 @@ type clusterCounters struct {
 
 	shipNs Hist // wall ns per fork-based image extraction + apply, off-mutex
 
+	// Overload protection (deadline budgets, breakers, degradation).
+	deadlineExpired  atomic.Uint64 // commands refused with -DEADLINE (budget exhausted)
+	shed             atomic.Uint64 // remote dispatches refused fast by an open breaker
+	degradedReads    atomic.Uint64 // reads served stale because the primary was overloaded
+	breakerOpens     atomic.Uint64 // breaker transitions into open
+	breakerHalfOpens atomic.Uint64 // breaker transitions into half-open
+	breakerCloses    atomic.Uint64 // breaker transitions back to closed
+
+	budgetRemaining Hist // cycles left on the budget when a budgeted command finished
+
 	nodes    atomic.Pointer[[]NodeCounters]
 	slotKeys atomic.Pointer[[]atomic.Uint64]
 }
@@ -363,6 +373,88 @@ func (s *Sink) ClusterStaleRejected() {
 	if s != nil {
 		s.cluster.staleRejected.Add(1)
 	}
+}
+
+// ClusterDeadlineExpired records one command refused with -DEADLINE: its
+// cycle budget ran out before (or during) a dispatch. Safe on nil.
+func (s *Sink) ClusterDeadlineExpired() {
+	if s != nil {
+		s.cluster.deadlineExpired.Add(1)
+	}
+}
+
+// ClusterShed records one remote dispatch refused fast because node's
+// breaker was open — no channel wait, no retry ladder. Safe on nil.
+func (s *Sink) ClusterShed(node int) {
+	if s == nil {
+		return
+	}
+	s.cluster.shed.Add(1)
+	if nc := s.clusterNode(node); nc != nil {
+		nc.timeouts.Add(1)
+	}
+}
+
+// ClusterDegradedRead records one read served from a frozen view because the
+// primary was overloaded (breaker open or queue past the watermark) — the
+// graceful-degradation counterpart of a plain follower read. Safe on nil.
+func (s *Sink) ClusterDegradedRead() {
+	if s != nil {
+		s.cluster.degradedReads.Add(1)
+	}
+}
+
+// ClusterBreaker records and traces one circuit-breaker transition on node.
+// Safe on nil.
+func (s *Sink) ClusterBreaker(node int, from, to string) {
+	if s == nil {
+		return
+	}
+	switch to {
+	case "open":
+		s.cluster.breakerOpens.Add(1)
+	case "half-open":
+		s.cluster.breakerHalfOpens.Add(1)
+	case "closed":
+		s.cluster.breakerCloses.Add(1)
+	}
+	s.Trace(Event{Kind: EvBreakerState, Core: -1, A: uint64(node), Label: from + "->" + to})
+}
+
+// ClusterBudgetRemaining observes the cycles left on a command's deadline
+// budget when it finished — the margin distribution that shows how close
+// the cluster runs to its deadlines. Safe on nil.
+func (s *Sink) ClusterBudgetRemaining(cycles uint64) {
+	if s != nil {
+		s.cluster.budgetRemaining.Observe(cycles)
+	}
+}
+
+// ClusterDegradedReadsTotal returns the running count of overload-degraded
+// reads — a single atomic load, safe to poll while the cluster runs.
+func (s *Sink) ClusterDegradedReadsTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.degradedReads.Load()
+}
+
+// ClusterBreakerOpensTotal returns the running count of breaker transitions
+// into open.
+func (s *Sink) ClusterBreakerOpensTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.breakerOpens.Load()
+}
+
+// ClusterDeadlineExpiredTotal returns the running count of -DEADLINE
+// refusals.
+func (s *Sink) ClusterDeadlineExpiredTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cluster.deadlineExpired.Load()
 }
 
 // ClusterShipDuration records the wall-clock nanoseconds one fork-based ship

@@ -168,6 +168,25 @@ func (f ForkSnap) zero() bool {
 		f.FollowerReads == 0 && f.StaleRejected == 0 && f.ShipNs.Count == 0
 }
 
+// OverloadSnap is the overload-protection side of the cluster layer:
+// deadline-budget refusals, breaker-shed dispatches, degraded (stale)
+// reads, breaker transition counts, and the budget-margin distribution.
+type OverloadSnap struct {
+	DeadlineExpired  uint64   `json:"deadline_expired"`
+	Shed             uint64   `json:"shed"`
+	DegradedReads    uint64   `json:"degraded_reads"`
+	BreakerOpens     uint64   `json:"breaker_opens"`
+	BreakerHalfOpens uint64   `json:"breaker_half_opens"`
+	BreakerCloses    uint64   `json:"breaker_closes"`
+	BudgetRemaining  HistSnap `json:"budget_remaining"`
+}
+
+func (o OverloadSnap) zero() bool {
+	return o.DeadlineExpired == 0 && o.Shed == 0 && o.DegradedReads == 0 &&
+		o.BreakerOpens == 0 && o.BreakerHalfOpens == 0 && o.BreakerCloses == 0 &&
+		o.BudgetRemaining.Count == 0
+}
+
 // TenantSnap is one tenant's serving activity: admitted commands and their
 // payload bytes, quota rejections at admission, and capability denials on
 // cross-view addresses. Index order follows tenant registration order.
@@ -195,6 +214,7 @@ type ClusterSnap struct {
 	Replication *ReplicationSnap `json:"replication,omitempty"`
 	Migration   *MigrationSnap   `json:"migration,omitempty"`
 	Fork        *ForkSnap        `json:"fork,omitempty"`
+	Overload    *OverloadSnap    `json:"overload,omitempty"`
 
 	Nodes []NodeSnap `json:"nodes,omitempty"`
 }
@@ -318,7 +338,9 @@ func (s *Sink) Snapshot() *Snapshot {
 		cl.ships.Load() != 0 || cl.probes.Load() != 0 || cl.shipFailures.Load() != 0 ||
 		cl.slotMoves.Load() != 0 || cl.slotMoveFailures.Load() != 0 ||
 		cl.nodesAdded.Load() != 0 || cl.nodesRemoved.Load() != 0 ||
-		cl.forks.Load() != 0 || cl.followerReads.Load() != 0 || cl.staleRejected.Load() != 0 {
+		cl.forks.Load() != 0 || cl.followerReads.Load() != 0 || cl.staleRejected.Load() != 0 ||
+		cl.deadlineExpired.Load() != 0 || cl.shed.Load() != 0 || cl.degradedReads.Load() != 0 ||
+		cl.breakerOpens.Load() != 0 {
 		cs := &ClusterSnap{
 			Local:          cl.local.Load(),
 			Remote:         cl.remote.Load(),
@@ -373,6 +395,18 @@ func (s *Sink) Snapshot() *Snapshot {
 		}
 		if !fk.zero() {
 			cs.Fork = &fk
+		}
+		ov := OverloadSnap{
+			DeadlineExpired:  cl.deadlineExpired.Load(),
+			Shed:             cl.shed.Load(),
+			DegradedReads:    cl.degradedReads.Load(),
+			BreakerOpens:     cl.breakerOpens.Load(),
+			BreakerHalfOpens: cl.breakerHalfOpens.Load(),
+			BreakerCloses:    cl.breakerCloses.Load(),
+			BudgetRemaining:  cl.budgetRemaining.snapshot(),
+		}
+		if !ov.zero() {
+			cs.Overload = &ov
 		}
 		if nodes := cl.nodes.Load(); nodes != nil {
 			cs.Nodes = make([]NodeSnap, len(*nodes))
@@ -563,6 +597,23 @@ func (s *Snapshot) Delta(before *Snapshot) *Snapshot {
 			}
 			d.Fork = &df
 		}
+		if s.Cluster.Overload != nil {
+			bo := OverloadSnap{}
+			if b.Overload != nil {
+				bo = *b.Overload
+			}
+			o := s.Cluster.Overload
+			do := OverloadSnap{
+				DeadlineExpired:  o.DeadlineExpired - bo.DeadlineExpired,
+				Shed:             o.Shed - bo.Shed,
+				DegradedReads:    o.DegradedReads - bo.DegradedReads,
+				BreakerOpens:     o.BreakerOpens - bo.BreakerOpens,
+				BreakerHalfOpens: o.BreakerHalfOpens - bo.BreakerHalfOpens,
+				BreakerCloses:    o.BreakerCloses - bo.BreakerCloses,
+				BudgetRemaining:  o.BudgetRemaining.sub(bo.BudgetRemaining),
+			}
+			d.Overload = &do
+		}
 		d.Nodes = make([]NodeSnap, len(s.Cluster.Nodes))
 		for i, n := range s.Cluster.Nodes {
 			dn := n
@@ -713,6 +764,17 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			if f.ShipNs.Count != 0 {
 				fmt.Fprintf(tw, "  ship-ns\tn %d\tmean %.0f\tp99 ≤%d\tmax %d\n",
 					f.ShipNs.Count, f.ShipNs.Mean(), f.ShipNs.Quantile(0.99), f.ShipNs.Max)
+			}
+		}
+		if o := cl.Overload; o != nil {
+			fmt.Fprintf(tw, "  overload\tdeadline-expired %d\tshed %d\tdegraded-reads %d\n",
+				o.DeadlineExpired, o.Shed, o.DegradedReads)
+			fmt.Fprintf(tw, "  breakers\topens %d\thalf-opens %d\tcloses %d\n",
+				o.BreakerOpens, o.BreakerHalfOpens, o.BreakerCloses)
+			if o.BudgetRemaining.Count != 0 {
+				fmt.Fprintf(tw, "  budget-left-cyc\tn %d\tmean %.0f\tp50 ≤%d\tmax %d\n",
+					o.BudgetRemaining.Count, o.BudgetRemaining.Mean(),
+					o.BudgetRemaining.Quantile(0.50), o.BudgetRemaining.Max)
 			}
 		}
 		for i, n := range cl.Nodes {

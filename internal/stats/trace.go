@@ -58,12 +58,15 @@ const (
 	// promotion or slot flip: A = the node, B = views invalidated,
 	// Label = the reason.
 	EvForkInvalidate
+	// EvBreakerState is a node circuit-breaker transition: A = the node,
+	// Label = "from->to" ("closed->open", "open->half-open", ...).
+	EvBreakerState
 
 	// NumEvents is the number of event kinds.
-	NumEvents = int(EvForkInvalidate) + 1
+	NumEvents = int(EvBreakerState) + 1
 )
 
-var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion", "slot-move", "slot-move-failed", "node-added", "node-removed", "fork", "fork-release", "fork-invalidate"}
+var eventNames = [NumEvents]string{"vas-switch", "seg-attach", "fault", "urpc-retry", "conn-open", "conn-close", "remote-call", "node-state", "checkpoint-ship", "promotion", "slot-move", "slot-move-failed", "node-added", "node-removed", "fork", "fork-release", "fork-invalidate", "breaker-state"}
 
 func (k EventKind) String() string {
 	if int(k) < NumEvents {
@@ -124,6 +127,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d fork-release node=%d gen=%d", e.Seq, e.A, e.B)
 	case EvForkInvalidate:
 		return fmt.Sprintf("#%d fork-invalidate node=%d views=%d reason=%s", e.Seq, e.A, e.B, e.Label)
+	case EvBreakerState:
+		return fmt.Sprintf("#%d breaker-state node=%d %s", e.Seq, e.A, e.Label)
 	}
 	return fmt.Sprintf("#%d %v", e.Seq, e.Kind)
 }

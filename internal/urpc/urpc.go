@@ -49,6 +49,13 @@ const DefaultTimeoutCycles = 1 << 14
 // giving up with ErrTimeout.
 const DefaultMaxRetries = 8
 
+// MaxBackoffShift caps the exponential backoff doubling: the busy-wait for
+// retry t is TimeoutCycles << min(t, MaxBackoffShift). Without the cap a
+// large MaxRetries shifts past 63 — in Go that makes the charge wrap to 0
+// (a hot spin), and the charges on the way there jump the core's cycle
+// counter by absurd amounts.
+const MaxBackoffShift = 6
+
 // ErrTimeout reports a Call whose request or response kept getting lost:
 // every retry timed out without a matching response arriving. Call returns
 // a *TimeoutError, which wraps both this sentinel and core.ErrTimeout.
@@ -70,6 +77,28 @@ func (e *TimeoutError) Error() string {
 // Unwrap makes errors.Is(err, urpc.ErrTimeout) and errors.Is(err,
 // core.ErrTimeout) both hold.
 func (e *TimeoutError) Unwrap() []error { return []error{ErrTimeout, core.ErrTimeout} }
+
+// ErrBudget reports a CallBudget abandoned because the caller's cycle
+// budget ran out before a response arrived.
+var ErrBudget = errors.New("urpc: call budget exhausted")
+
+// BudgetError is the typed error CallBudget returns when the caller's
+// remaining cycle budget runs out mid-retry. It unwraps to ErrBudget (so
+// routing layers can answer a typed deadline refusal) and also to
+// ErrTimeout/core.ErrTimeout — a budget exhaustion is a transport-level
+// timeout as far as retryability and crash fencing are concerned, just a
+// deadline-shaped one.
+type BudgetError struct {
+	Seq    uint64 // sequence number of the abandoned request
+	Budget uint64 // the cycle budget the call started with
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("urpc: call budget exhausted: seq %d after %d cycles", e.Seq, e.Budget)
+}
+
+// Unwrap makes errors.Is hold for ErrBudget, ErrTimeout and core.ErrTimeout.
+func (e *BudgetError) Unwrap() []error { return []error{ErrBudget, ErrTimeout, core.ErrTimeout} }
 
 // Lines returns the number of cache-line messages needed for n bytes. Every
 // transfer uses at least one line (a 64-bit key rides in the header line).
@@ -279,22 +308,45 @@ func (e *Endpoint) ChannelStats() (req, resp Stats) { return e.req.Stats(), e.re
 // response and any stale retries) or times out with nothing queued.
 func (e *Endpoint) Pending() int { return e.req.Len() + e.resp.Len() }
 
+// backoff returns the busy-wait charge for a timed-out try: exponential in
+// the retry count, capped at MaxBackoffShift doublings.
+func (e *Endpoint) backoff(try int) uint64 {
+	shift := uint(try)
+	if shift > MaxBackoffShift {
+		shift = MaxBackoffShift
+	}
+	return e.TimeoutCycles << shift
+}
+
 // Call performs one RPC round trip and returns the response. The client
 // core's cycle delta across Call is the client-perceived latency the paper
 // plots in Figure 7.
 //
 // Call is at-most-once under message loss: the request carries a sequence
 // number, a lost request or response makes the client time out (charging
-// the busy-wait, doubling each retry) and re-send, and the server's
-// duplicate cache ensures a re-executed round trip never runs the handler
-// twice for the same sequence number. After MaxRetries lost round trips
-// Call returns ErrTimeout.
-func (e *Endpoint) Call(request []byte) ([]byte, error) {
+// the busy-wait, doubling each retry up to MaxBackoffShift) and re-send,
+// and the server's duplicate cache ensures a re-executed round trip never
+// runs the handler twice for the same sequence number. After MaxRetries
+// lost round trips Call returns ErrTimeout.
+func (e *Endpoint) Call(request []byte) ([]byte, error) { return e.CallBudget(request, 0) }
+
+// CallBudget is Call under a cycle budget: budget == 0 is plain Call;
+// otherwise the retry loop is capped so the call never burns the client
+// core past the caller's remaining allowance — each timeout's backoff is
+// clamped to the budget still unspent, and once the budget is dry the call
+// stops retrying and returns a *BudgetError instead of riding out the full
+// retry ladder. The guarantee callers leaning on deadlines get: cycles
+// charged to the client core by backoff never exceed the budget.
+func (e *Endpoint) CallBudget(request []byte, budget uint64) ([]byte, error) {
 	client := e.m.Cores[e.client]
 	server := e.m.Cores[e.server]
+	start := client.Cycles()
 	seq := e.nextSeq
 	e.nextSeq++
 	for try := 0; try <= e.MaxRetries; try++ {
+		if budget != 0 && client.Cycles()-start >= budget {
+			return nil, &BudgetError{Seq: seq, Budget: budget}
+		}
 		if try > 0 {
 			e.retries++
 			e.m.Observer().URPCRetry(e.client, seq, uint64(try))
@@ -334,8 +386,19 @@ func (e *Endpoint) Call(request []byte) ([]byte, error) {
 			}
 		}
 		// Nothing (or only stale traffic) arrived: time out and retry,
-		// backing off exponentially.
-		client.AddCycles(e.TimeoutCycles << uint(try))
+		// backing off exponentially — but a budgeted call never sleeps
+		// past its remaining allowance.
+		wait := e.backoff(try)
+		if budget != 0 {
+			spent := client.Cycles() - start
+			if spent >= budget {
+				return nil, &BudgetError{Seq: seq, Budget: budget}
+			}
+			if rem := budget - spent; wait > rem {
+				wait = rem
+			}
+		}
+		client.AddCycles(wait)
 	}
 	return nil, &TimeoutError{Seq: seq, Retries: e.MaxRetries}
 }
@@ -396,7 +459,7 @@ func (e *Endpoint) CallBulk(request []byte) ([]byte, error) {
 				return got, nil
 			}
 		}
-		client.AddCycles(e.TimeoutCycles << uint(try))
+		client.AddCycles(e.backoff(try))
 	}
 	return nil, &TimeoutError{Seq: seq, Retries: e.MaxRetries}
 }

@@ -418,3 +418,89 @@ func TestCallBulkTimesOutWhenEverythingDrops(t *testing.T) {
 		t.Errorf("timeout detail = %+v", err)
 	}
 }
+
+// TestBackoffShiftCapped pins the fix for the unbounded exponential
+// backoff: a large MaxRetries used to shift TimeoutCycles past 63 bits —
+// the charges on the way there jumped the cycle counter by absurd amounts
+// and at 64 the shift wrapped to a zero-cycle hot spin. The capped ladder
+// keeps every wait at TimeoutCycles << MaxBackoffShift at most.
+func TestBackoffShiftCapped(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(11)
+	m.SetFaults(reg)
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte { return req })
+	ep.MaxRetries = 128 // would shift past 64 bits without the cap
+
+	reg.Enable(fault.URPCDrop, fault.Always())
+	before := m.Cores[0].Cycles()
+	_, err := ep.Call([]byte("lost"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call on dead channel: %v, want ErrTimeout", err)
+	}
+	got := m.Cores[0].Cycles() - before
+	// 129 tries, each charging at most the capped backoff plus the send.
+	maxWait := uint64(129) * (DefaultTimeoutCycles<<MaxBackoffShift + 1<<20)
+	if got > maxWait {
+		t.Errorf("client charged %d cycles; capped ladder allows at most %d", got, maxWait)
+	}
+	// And every timeout window actually charged something: a wrapped shift
+	// would make late tries free (a hot spin).
+	minWait := uint64(129) * DefaultTimeoutCycles
+	if got < minWait {
+		t.Errorf("client charged %d cycles, want >= %d (no zero-cycle spins)", got, minWait)
+	}
+}
+
+// TestCallBudgetNeverSleepsPastBudget pins the deadline guarantee: with a
+// cycle budget, the retry loop's backoff never burns the client core past
+// the caller's remaining allowance, and exhaustion surfaces as a typed
+// *BudgetError rather than riding out the full retry ladder.
+func TestCallBudgetNeverSleepsPastBudget(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(11)
+	m.SetFaults(reg)
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte { return req })
+	ep.MaxRetries = 64
+
+	reg.Enable(fault.URPCDrop, fault.Always())
+	budget := uint64(3 * DefaultTimeoutCycles)
+	before := m.Cores[0].Cycles()
+	_, err := ep.CallBudget([]byte("lost"), budget)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("budgeted call on dead channel: %v, want ErrBudget", err)
+	}
+	// Budget exhaustion is still a retryable transport timeout end to end.
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("BudgetError must unwrap to ErrTimeout, got %v", err)
+	}
+	got := m.Cores[0].Cycles() - before
+	// Backoff charges are clamped to the remaining budget, so the only
+	// overrun allowed is the non-backoff work (sends) of the final try.
+	slack := uint64(4096)
+	if got > budget+slack {
+		t.Errorf("budgeted call burned %d cycles, budget %d (+%d slack)", got, budget, slack)
+	}
+	reg.Disable(fault.URPCDrop)
+
+	// A healthy budgeted call completes normally and charges the round
+	// trip, not the budget.
+	resp, err := ep.CallBudget([]byte("ok"), budget)
+	if err != nil || !bytes.Equal(resp, []byte("ok")) {
+		t.Fatalf("budgeted call on healthy channel: %q, %v", resp, err)
+	}
+}
+
+// TestCallBudgetZeroIsUnbudgeted: budget 0 must behave exactly like Call.
+func TestCallBudgetZeroIsUnbudgeted(t *testing.T) {
+	m := hw.NewMachine(hw.SmallTest())
+	reg := fault.New(11)
+	m.SetFaults(reg)
+	ep := Connect(m, 0, 1, 8, func(req []byte) []byte { return req })
+	ep.MaxRetries = 2
+	reg.Enable(fault.URPCDrop, fault.Always())
+	_, err := ep.CallBudget([]byte("lost"), 0)
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Retries != 2 {
+		t.Fatalf("unbudgeted call must ride the full retry ladder, got %v", err)
+	}
+}

@@ -105,4 +105,7 @@ echo "== tenant smoke (AUTH, cross-view denial, quotas in /stats) =="
 echo "== forkread smoke (fork-based ships + bounded-stale follower reads) =="
 ./scripts/forkread-smoke.sh
 
+echo "== brownout smoke (breaker trips, writes shed, reads degrade to stale views) =="
+./scripts/brownout-smoke.sh
+
 echo "OK"
